@@ -1,0 +1,33 @@
+//! Criterion bench: confirmation-harness runs for each adversarial vector
+//! (the §2.4.3 amplification measurement). Wall-time here is the simulator
+//! cost of one 2-second confirmation window per vector.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use torpedo_bench::{seed_program, VULNERABILITY_SEEDS};
+use torpedo_core::confirm::confirm;
+use torpedo_kernel::{KernelConfig, Usecs};
+use torpedo_prog::build_table;
+
+fn bench_amplification(c: &mut Criterion) {
+    let table = build_table();
+    let mut group = c.benchmark_group("confirm_amplification");
+    group.sample_size(10);
+    for (name, text) in VULNERABILITY_SEEDS.iter().take(5) {
+        let program = seed_program(text, &table);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &program, |b, prog| {
+            b.iter(|| {
+                confirm(
+                    prog,
+                    &table,
+                    KernelConfig::default(),
+                    "runc",
+                    Usecs::from_secs(2),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_amplification);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench: whole-campaign throughput (rounds and mutations per
+//! second of host time) — the §1.2 scalability claim.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use torpedo_core::campaign::{Campaign, CampaignConfig};
+use torpedo_core::observer::ObserverConfig;
+use torpedo_core::seeds::{default_denylist, SeedCorpus};
+use torpedo_kernel::Usecs;
+use torpedo_oracle::CpuOracle;
+use torpedo_prog::{build_table, MutatePolicy};
+
+fn bench_campaign(c: &mut Criterion) {
+    let table = build_table();
+    let texts = torpedo_moonshine::generate_corpus(6, 1);
+    let seeds = SeedCorpus::load(&texts, &table, &default_denylist()).unwrap();
+    let config = CampaignConfig {
+        observer: ObserverConfig {
+            window: Usecs::from_secs(1),
+            executors: 3,
+            ..ObserverConfig::default()
+        },
+        mutate: MutatePolicy {
+            denylist: default_denylist(),
+            ..MutatePolicy::default()
+        },
+        max_rounds_per_batch: 4,
+        ..CampaignConfig::default()
+    };
+    let mut group = c.benchmark_group("campaign");
+    group.sample_size(10);
+    group.bench_function("six_seeds_three_executors", |b| {
+        b.iter(|| {
+            Campaign::new(config.clone(), table.clone())
+                .run(&seeds, &CpuOracle::new())
+                .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign);
+criterion_main!(benches);

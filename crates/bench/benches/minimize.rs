@@ -1,0 +1,28 @@
+//! Criterion bench: Algorithm 3 (oracle-guided minimization) on a padded
+//! adversarial trace — the §4.1.3 workflow.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use torpedo_core::minimize::{minimize_with_oracle, ViolationHarness};
+use torpedo_kernel::KernelConfig;
+use torpedo_oracle::IoOracle;
+use torpedo_prog::{build_table, deserialize};
+
+fn bench_minimize(c: &mut Criterion) {
+    let table = build_table();
+    let program = deserialize(
+        "getpid()\nuname(0x0)\nsync()\nstat(&'/etc/passwd', 0x0)\ngetuid()\n",
+        &table,
+    )
+    .unwrap();
+    let oracle = IoOracle::new();
+    let harness = ViolationHarness::new(KernelConfig::default(), "runc");
+    let mut group = c.benchmark_group("minimize");
+    group.sample_size(10);
+    group.bench_function("algorithm_3_sync_trace", |b| {
+        b.iter(|| minimize_with_oracle(&program, &table, &oracle, &harness))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_minimize);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Criterion bench: observer round cost as a function of the window `T`
+//! (the §3.4 interval-choice trade-off).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use torpedo_core::observer::{Observer, ObserverConfig};
+use torpedo_kernel::{KernelConfig, Usecs};
+use torpedo_prog::{build_table, deserialize};
+
+fn bench_round_length(c: &mut Criterion) {
+    let table = build_table();
+    let programs = vec![
+        deserialize("getpid()\n", &table).unwrap(),
+        deserialize("uname(0x0)\n", &table).unwrap(),
+        deserialize("getuid()\n", &table).unwrap(),
+    ];
+    let mut group = c.benchmark_group("round_length");
+    group.sample_size(10);
+    for t_secs in [1u64, 3, 5] {
+        group.bench_with_input(BenchmarkId::from_parameter(t_secs), &t_secs, |b, &t| {
+            b.iter_batched(
+                || {
+                    Observer::new(
+                        KernelConfig::default(),
+                        ObserverConfig {
+                            window: Usecs::from_secs(t),
+                            executors: 3,
+                            ..ObserverConfig::default()
+                        },
+                    )
+                    .unwrap()
+                },
+                |mut observer| observer.round(&table, &programs).unwrap(),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_round_length);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Criterion bench: one observer round under each runtime design — the
+//! §4.4 runC-vs-gVisor (and §5.2 Kata) overhead comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use torpedo_core::observer::{Observer, ObserverConfig};
+use torpedo_kernel::{KernelConfig, Usecs};
+use torpedo_prog::{build_table, deserialize};
+
+fn bench_runtimes(c: &mut Criterion) {
+    let table = build_table();
+    let programs = vec![
+        deserialize("getpid()\nuname(0x0)\n", &table).unwrap(),
+        deserialize("r0 = creat(&'workfile-0', 0x1a4)\nwrite(r0, 0x0, 0x1000)\n", &table).unwrap(),
+        deserialize("stat(&'/etc/passwd', 0x0)\n", &table).unwrap(),
+    ];
+    let mut group = c.benchmark_group("round_by_runtime");
+    group.sample_size(10);
+    for runtime in ["runc", "runsc", "kata"] {
+        group.bench_with_input(BenchmarkId::from_parameter(runtime), &runtime, |b, rt| {
+            b.iter_batched(
+                || {
+                    Observer::new(
+                        KernelConfig::default(),
+                        ObserverConfig {
+                            window: Usecs::from_secs(2),
+                            executors: 3,
+                            runtime: rt.to_string(),
+                            ..ObserverConfig::default()
+                        },
+                    )
+                    .unwrap()
+                },
+                |mut observer| observer.round(&table, &programs).unwrap(),
+                criterion::BatchSize::SmallInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtimes);
+criterion_main!(benches);

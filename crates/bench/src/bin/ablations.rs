@@ -1,0 +1,260 @@
+//! Ablation studies for the design decisions DESIGN.md calls out:
+//!
+//! 1. **Workload amplification** (§2.4.3's "up to 200x"): out-of-band vs
+//!    charged CPU per adversarial vector, on the vulnerable and the patched
+//!    kernel.
+//! 2. **Round length T** (§3.4: 3–5 s balances noise vs throughput).
+//! 3. **Shuffle/confirm** (§3.5.2): false-baseline rate with and without
+//!    the confirmation state under heavy core-pinned noise.
+//! 4. **Blocking-call denylist** (§4.1.2): executor throughput with and
+//!    without seed filtering.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use torpedo_bench::{confirm_on, seed_program, VULNERABILITY_SEEDS};
+use torpedo_core::batch::{BatchAction, BatchConfig, BatchMachine};
+use torpedo_core::confirm::confirm;
+use torpedo_core::observer::{Observer, ObserverConfig};
+use torpedo_core::seeds::{default_denylist, filter_denylisted, SeedCorpus};
+use torpedo_kernel::{KernelConfig, Usecs};
+use torpedo_oracle::{CpuOracle, Oracle};
+use torpedo_prog::{build_table, deserialize};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let table = build_table();
+
+    // ------------------------------------------------------------------
+    println!("Ablation 1: workload amplification (OOB CPU / charged CPU)");
+    println!("{}", "=".repeat(72));
+    println!("{:<16} {:>14} {:>14} {:>12}", "vector", "vulnerable", "patched", "events");
+    let patched = KernelConfig {
+        modprobe_negative_cache: true,
+        usermodehelper_patched: true,
+        ..KernelConfig::default()
+    };
+    for (name, text) in VULNERABILITY_SEEDS {
+        let program = seed_program(text, &table);
+        let vuln = confirm_on(&program, &table, "runc");
+        let fixed = confirm(&program, &table, patched.clone(), "runc", Usecs::from_secs(2));
+        let events: usize = vuln.causes.iter().map(|c| c.events).sum();
+        println!(
+            "{:<16} {:>13.1}x {:>13.1}x {:>12}",
+            name, vuln.amplification, fixed.amplification, events
+        );
+    }
+    // The coredump vector must amplify heavily on the vulnerable kernel.
+    let dump = confirm_on(&seed_program("rt_sigreturn()\n", &table), &table, "runc");
+    assert!(dump.amplification > 20.0, "coredump amplification {:.1}", dump.amplification);
+
+    // ------------------------------------------------------------------
+    println!("\nAblation 2: round length T (noise rejection vs throughput)");
+    println!("{}", "=".repeat(72));
+    println!(
+        "{:<8} {:>16} {:>18} {:>16}",
+        "T (s)", "execs/round", "score stddev (pp)", "rounds/min(sim)"
+    );
+    let benign = vec![
+        deserialize("getpid()\nuname(0x0)\n", &table)?,
+        deserialize("stat(&'/etc/passwd', 0x0)\n", &table)?,
+        deserialize("getuid()\n", &table)?,
+    ];
+    for t_secs in [1u64, 2, 3, 5, 8] {
+        let mut observer = Observer::new(
+            KernelConfig {
+                noise_fraction: 0.06,
+                ..KernelConfig::default()
+            },
+            ObserverConfig {
+                window: Usecs::from_secs(t_secs),
+                executors: 3,
+                ..ObserverConfig::default()
+            },
+        )?;
+        let oracle = CpuOracle::new();
+        let mut scores = Vec::new();
+        let mut execs = 0u64;
+        for _ in 0..8 {
+            let record = observer.round(&table, &benign)?;
+            scores.push(oracle.score(&record.observation));
+            execs += record.reports.iter().map(|r| r.executions).sum::<u64>();
+        }
+        let mean = scores.iter().sum::<f64>() / scores.len() as f64;
+        let var = scores.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / scores.len() as f64;
+        println!(
+            "{:<8} {:>16} {:>18.3} {:>16.1}",
+            t_secs,
+            execs / 8,
+            var.sqrt(),
+            60.0 / t_secs as f64
+        );
+    }
+
+    // ------------------------------------------------------------------
+    println!("\nAblation 3: shuffle/confirm state vs accept-immediately");
+    println!("{}", "=".repeat(72));
+    // Model of §3.5.2: under core-pinned noise a benign batch occasionally
+    // shows a score spike on one core. With the confirm state the shuffled
+    // re-run exposes the spike as noise; without it the spike becomes a
+    // false baseline. We emulate spikes with a score trace where raw jumps
+    // never reproduce under shuffle.
+    let mut rng = StdRng::seed_from_u64(3);
+    let programs = vec![
+        deserialize("getpid()\n", &table)?,
+        deserialize("uname(0x0)\n", &table)?,
+        deserialize("getuid()\n", &table)?,
+    ];
+    let spike_trace: Vec<(f64, f64)> = (0..40)
+        .map(|i| {
+            // (mutate-round score, confirm-round score): every 5th round has
+            // a +9pp core-pinned spike that vanishes under shuffle.
+            let base = 25.0 + (i % 3) as f64 * 0.2;
+            if i % 5 == 4 {
+                (base + 9.0, base)
+            } else {
+                (base, base)
+            }
+        })
+        .collect();
+
+    // With confirmation.
+    let mut with_confirm = BatchMachine::new(BatchConfig { patience: 1000, ..BatchConfig::default() }, &programs);
+    let mut progs = programs.clone();
+    let mut false_baselines_with = 0;
+    for (mutate_score, confirm_score) in &spike_trace {
+        let (_, action) = with_confirm.on_round(*mutate_score, &mut progs, &mut rng);
+        if action == BatchAction::ShuffleAndRun {
+            let before = with_confirm.best_score();
+            with_confirm.on_round(*confirm_score, &mut progs, &mut rng);
+            if with_confirm.best_score() > before && *mutate_score - *confirm_score > 5.0 {
+                false_baselines_with += 1;
+            }
+        }
+    }
+    // Without confirmation: equivalence band so wide every candidate is
+    // accepted on the spot.
+    let mut no_confirm = BatchMachine::new(
+        BatchConfig {
+            equivalence_band: f64::INFINITY,
+            patience: 1000,
+            ..BatchConfig::default()
+        },
+        &programs,
+    );
+    let mut progs2 = programs.clone();
+    let mut false_baselines_without = 0;
+    for (mutate_score, confirm_score) in &spike_trace {
+        let (_, action) = no_confirm.on_round(*mutate_score, &mut progs2, &mut rng);
+        if action == BatchAction::ShuffleAndRun {
+            let before = no_confirm.best_score();
+            no_confirm.on_round(*confirm_score, &mut progs2, &mut rng);
+            if no_confirm.best_score() > before && *mutate_score - *confirm_score > 5.0 {
+                false_baselines_without += 1;
+            }
+        }
+    }
+    println!("false baselines with shuffle/confirm:    {false_baselines_with}");
+    println!("false baselines without (accept always):  {false_baselines_without}");
+    assert!(false_baselines_with < false_baselines_without);
+
+    // ------------------------------------------------------------------
+    println!("\nAblation 4: blocking-call denylist (§4.1.2)");
+    println!("{}", "=".repeat(72));
+    let blocking_seed = "getpid()\npause()\nuname(0x0)\n";
+    let mut filtered = deserialize(blocking_seed, &table)?;
+    let mut removed = Vec::new();
+    filter_denylisted(&mut filtered, &table, &default_denylist(), &mut removed);
+    for (label, program) in [
+        ("unfiltered (pause kept)", deserialize(blocking_seed, &table)?),
+        ("filtered (denylist)", filtered),
+    ] {
+        let mut observer = Observer::new(
+            KernelConfig::default(),
+            ObserverConfig {
+                window: Usecs::from_secs(3),
+                executors: 1,
+                ..ObserverConfig::default()
+            },
+        )?;
+        let record = observer.round(&table, std::slice::from_ref(&program))?;
+        println!(
+            "{:<26} executions/round: {:>8}, fuzz-core busy {:>5.1}%",
+            label,
+            record.reports[0].executions,
+            record.observation.busy_percent(0)
+        );
+    }
+    let _ = SeedCorpus::load(&[blocking_seed], &table, &default_denylist());
+
+    // ------------------------------------------------------------------
+    println!("\nAblation 5: coverage signal — fallback vs kcov (§5.4)");
+    println!("{}", "=".repeat(72));
+    use torpedo_kernel::CoverageMode;
+    use torpedo_prog::CoverageSet;
+    for (label, mode) in [("fallback (nr^errno)", CoverageMode::Fallback), ("kcov path trace", CoverageMode::Kcov)] {
+        let mut observer = Observer::new(
+            KernelConfig {
+                coverage: mode,
+                ..KernelConfig::default()
+            },
+            ObserverConfig {
+                window: Usecs::from_secs(1),
+                executors: 3,
+                ..ObserverConfig::default()
+            },
+        )?;
+        let mut coverage = CoverageSet::new();
+        let corpus = torpedo_moonshine::generate_corpus(18, 5);
+        for chunk in corpus.chunks(3) {
+            let progs: Vec<_> = chunk
+                .iter()
+                .map(|t| deserialize(t, &table).unwrap())
+                .collect();
+            let record = observer.round(&table, &progs)?;
+            for report in &record.reports {
+                coverage.merge(&report.coverage.flat());
+            }
+        }
+        println!("{:<22} distinct signals after 18 seeds: {}", label, coverage.len());
+        if mode == CoverageMode::Kcov {
+            // Richer signal means more distinguishable behaviours (§5.4:
+            // "real kernel line coverage feedback would obviously improve
+            // the quality of the feedback").
+            assert!(coverage.len() > 40, "kcov signal too weak: {}", coverage.len());
+        }
+    }
+
+    // ------------------------------------------------------------------
+    println!("\nAblation 6: IRON-style softirq credit accounting (§2.4.3)");
+    println!("{}", "=".repeat(72));
+    let sender = deserialize("r0 = socket(0x2, 0x2, 0x0)\nsendto(r0, 0x0, 0x8000, 0x0, 0x0, 0x10)\n", &table)?;
+    for (label, iron) in [("vanilla kernel", false), ("IRON accounting", true)] {
+        let conf = confirm(
+            &sender,
+            &table,
+            KernelConfig {
+                iron_accounting: iron,
+                ..KernelConfig::default()
+            },
+            "runc",
+            Usecs::from_secs(2),
+        );
+        let softirq_oob: usize = conf
+            .causes
+            .iter()
+            .filter(|c| c.channel == torpedo_kernel::DeferralChannel::SoftIrq)
+            .map(|c| c.events)
+            .sum();
+        println!("{label:<18} softirq OOB events escaping the cgroup: {softirq_oob}");
+        if iron {
+            // With IRON every softirq charge lands back in the origin
+            // cgroup — nothing escapes, so nothing is out-of-band.
+            assert_eq!(softirq_oob, 0, "IRON must eliminate softirq escapes");
+        } else {
+            assert!(softirq_oob > 0, "vanilla kernel must leak softirq work");
+        }
+    }
+
+    println!("\nall ablations hold ✓");
+    Ok(())
+}

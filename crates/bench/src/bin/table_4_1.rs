@@ -1,0 +1,86 @@
+//! Regenerates **Table 4.1: TORPEDO CPU Oracle Heuristics** — the active
+//! heuristics with their configured thresholds, verified live against a
+//! baseline round (no heuristic may fire on a quiet system).
+
+use torpedo_bench::row;
+use torpedo_core::observer::{Observer, ObserverConfig};
+use torpedo_kernel::{KernelConfig, Usecs};
+use torpedo_oracle::{CpuOracle, Oracle};
+use torpedo_prog::{build_table, deserialize};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let oracle = CpuOracle::new();
+    let t = oracle.thresholds();
+
+    println!("Table 4.1: TORPEDO CPU Oracle Heuristics");
+    println!("{}", "=".repeat(78));
+    let widths = [38, 38];
+    println!("{}", row(&["heuristic", "notes"], &widths));
+    println!("{}", "-".repeat(78));
+    println!(
+        "{}",
+        row(
+            &[
+                "fuzzing core CPU utilization",
+                &format!("expect above threshold ({}%)", t.fuzz_core_min)
+            ],
+            &widths
+        )
+    );
+    println!(
+        "{}",
+        row(
+            &[
+                "idle core CPU utilization",
+                &format!("expect below threshold ({}%)", t.idle_core_max)
+            ],
+            &widths
+        )
+    );
+    println!(
+        "{}",
+        row(
+            &[
+                "total CPU utilization",
+                &format!("expect below quota-sum + {}pp margin", t.total_margin)
+            ],
+            &widths
+        )
+    );
+    println!(
+        "{}",
+        row(
+            &[
+                "system process CPU utilization",
+                &format!("expect below threshold ({}%)", t.sysproc_max)
+            ],
+            &widths
+        )
+    );
+
+    // Live verification: a quiet baseline round must trip nothing.
+    let table = build_table();
+    let programs = vec![
+        deserialize("getpid()\nuname(0x0)\n", &table)?,
+        deserialize("stat(&'/etc/passwd', 0x0)\n", &table)?,
+        deserialize("getuid()\ntimes(0x0)\n", &table)?,
+    ];
+    let mut observer = Observer::new(
+        KernelConfig::default(),
+        ObserverConfig {
+            window: Usecs::from_secs(5),
+            executors: 3,
+            ..ObserverConfig::default()
+        },
+    )?;
+    observer.round(&table, &programs)?;
+    let record = observer.round(&table, &programs)?;
+    let violations = oracle.flag(&record.observation);
+    println!("{}", "-".repeat(78));
+    println!(
+        "baseline self-check: {} violations on a quiet round (must be 0)",
+        violations.len()
+    );
+    assert!(violations.is_empty());
+    Ok(())
+}

@@ -1,0 +1,117 @@
+//! Regenerates **Table 4.3: Collected Results from gVisor tests** plus the
+//! §4.4.2 negative results.
+//!
+//! ```text
+//! syscall(s)  Symptoms          Cause                     New?
+//! open        container crash   invalid argument          likely
+//! open        container crash   multithreaded collision   likely
+//! ```
+
+use std::collections::BTreeMap;
+
+use torpedo_bench::{confirm_on, row, seed_program, VULNERABILITY_SEEDS};
+use torpedo_core::campaign::{Campaign, CampaignConfig};
+use torpedo_core::observer::ObserverConfig;
+use torpedo_core::seeds::{default_denylist, SeedCorpus};
+use torpedo_kernel::Usecs;
+use torpedo_oracle::CpuOracle;
+use torpedo_prog::{build_table, MutatePolicy};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let table = build_table();
+
+    // The same seed mix as the runC experiment (§4.4: "running the same set
+    // of seeds on gVisor"), including the Appendix A.2.2 open() trace via
+    // the Moonshine corpus.
+    let mut texts: Vec<String> = VULNERABILITY_SEEDS
+        .iter()
+        .map(|(_, text)| text.to_string())
+        .collect();
+    texts.extend(torpedo_moonshine::generate_corpus(40, 0x7042));
+    let seeds = SeedCorpus::load(&texts, &table, &default_denylist())
+        .map_err(|(i, e)| format!("seed {i}: {e}"))?;
+
+    let config = CampaignConfig {
+        observer: ObserverConfig {
+            window: Usecs::from_secs(5),
+            executors: 3,
+            runtime: "runsc".into(),
+            ..ObserverConfig::default()
+        },
+        mutate: MutatePolicy {
+            denylist: default_denylist(),
+            ..MutatePolicy::default()
+        },
+        max_rounds_per_batch: 8,
+        ..CampaignConfig::default()
+    };
+    eprintln!("running gVisor campaign over {} seeds…", seeds.len());
+    let report = Campaign::new(config, table.clone()).run(&seeds, &CpuOracle::new())?;
+    eprintln!(
+        "campaign done: {} rounds, {} crashes, {} resource flags",
+        report.rounds_total,
+        report.crashes.len(),
+        report.flagged.len()
+    );
+
+    // Group crashes by (syscall, cause).
+    let mut rows: BTreeMap<(String, String), usize> = BTreeMap::new();
+    for crash in &report.crashes {
+        let cause = match crash.crash.reason.as_str() {
+            "sentry-panic-open-flags" => "invalid argument",
+            "sentry-race-open-collider" => "multithreaded collision",
+            other => other,
+        };
+        *rows.entry((crash.crash.syscall.clone(), cause.to_string()))
+            .or_default() += 1;
+    }
+
+    println!("\nTable 4.3: Collected Results from gVisor tests");
+    println!("{}", "=".repeat(84));
+    let widths = [12, 18, 26, 8, 8];
+    println!(
+        "{}",
+        row(&["syscall(s)", "Symptoms", "Cause", "New?", "count"], &widths)
+    );
+    println!("{}", "-".repeat(84));
+    for ((syscall, cause), count) in &rows {
+        println!(
+            "{}",
+            row(
+                &[syscall, "container crash", cause, "likely", &count.to_string()],
+                &widths
+            )
+        );
+    }
+    println!("{}", "-".repeat(84));
+
+    // §4.4.2 negative result: none of the runC adversarial patterns
+    // reproduce under the sandbox.
+    println!("\n§4.4.2 check: runC adversarial patterns under gVisor");
+    let mut any_leak = false;
+    for (name, text) in VULNERABILITY_SEEDS {
+        let program = seed_program(text, &table);
+        let conf = confirm_on(&program, &table, "runsc");
+        let leaked = !conf.causes.is_empty();
+        any_leak |= leaked;
+        println!(
+            "  {:<14} host OOB causes: {}",
+            name,
+            if leaked { "LEAKED" } else { "none" }
+        );
+    }
+    assert!(!any_leak, "gVisor must suppress every host deferral channel");
+
+    // Shape assertions: both open(2) crash modes found.
+    assert!(
+        rows.keys().any(|(s, c)| s == "open" && c == "invalid argument"),
+        "flag-pattern open crash missing"
+    );
+    assert!(
+        rows.keys()
+            .any(|(s, c)| s == "open" && c == "multithreaded collision"),
+        "collider open crash missing"
+    );
+    println!("\nboth Table 4.3 open(2) crash modes reproduced; no runC pattern leaked ✓");
+    Ok(())
+}

@@ -1,0 +1,185 @@
+//! `torpedo-bench`: shared harness code for the table-regeneration binaries
+//! and the Criterion benchmarks.
+//!
+//! Every table and figure in the paper's evaluation has a regenerator:
+//!
+//! | artifact | binary |
+//! |---|---|
+//! | Table 4.1 (CPU oracle heuristics) | `table_4_1` |
+//! | Table 4.2 (runC findings) | `table_4_2` |
+//! | Table 4.3 (gVisor findings) | `table_4_3` |
+//! | Tables A.1–A.4 (observer logs) | `appendix_tables` |
+//! | Figures 3.2/3.3 (state machines) | `state_machines` |
+//! | §2.4.3 amplification, §3.4 T choice, §3.5.2 shuffle, §4.1.2 denylist | `ablations` |
+
+use torpedo_core::confirm::{confirm, Confirmation};
+use torpedo_kernel::{KernelConfig, Usecs};
+use torpedo_prog::{deserialize, Program, SyscallDesc};
+
+/// The known-vulnerable recreation seeds of §4.1 ("we begin by distilling a
+/// handful seeds from C programs that recreate the vulnerabilities
+/// described in [21]"), plus the socket probe that leads to the new
+/// finding.
+pub const VULNERABILITY_SEEDS: &[(&str, &str)] = &[
+    ("sync", "sync()\n"),
+    (
+        "fsync",
+        "r0 = creat(&'workfile-0', 0x1a4)\nwrite(r0, 0x7f0000000000, 0x8000)\nfsync(r0)\n",
+    ),
+    ("rt_sigreturn", "rt_sigreturn()\n"),
+    ("rseq", "rseq(0x7f0000000001, 0x20, 0x3, 0x0)\n"),
+    (
+        "fallocate",
+        "setrlimit(0x1, 0x1000)\nr1 = creat(&'workfile-0', 0x1a4)\nfallocate(r1, 0x0, 0x0, 0x100000)\n",
+    ),
+    (
+        "ftruncate",
+        "setrlimit(0x1, 0x1000)\nr1 = creat(&'workfile-0', 0x1a4)\nftruncate(r1, 0x100000)\n",
+    ),
+    ("socket", "socket(0x9, 0x3, 0x0)\n"),
+    ("socket-proto", "socket(0x2, 0x1, 0x63)\n"),
+];
+
+/// Parse one fixture seed.
+pub fn seed_program(text: &str, table: &[SyscallDesc]) -> Program {
+    deserialize(text, table).expect("fixture parses")
+}
+
+/// Confirm a program on a runtime with the standard 2-second window.
+pub fn confirm_on(program: &Program, table: &[SyscallDesc], runtime: &str) -> Confirmation {
+    confirm(
+        program,
+        table,
+        KernelConfig::default(),
+        runtime,
+        Usecs::from_secs(2),
+    )
+}
+
+/// Derive the Table 4.2 "Symptoms" text for a minimized program by probing
+/// its behaviour once against a fresh kernel.
+pub fn derive_symptoms(program: &Program, table: &[SyscallDesc]) -> String {
+    use torpedo_runtime::engine::Engine;
+    use torpedo_runtime::spec::ContainerSpec;
+
+    let mut kernel = torpedo_kernel::Kernel::with_defaults();
+    let mut engine = Engine::new(&mut kernel);
+    let id = engine
+        .create(
+            &mut kernel,
+            ContainerSpec::new("probe").cpuset_cpus(&[0]).cpus(1.0),
+        )
+        .expect("probe container");
+    kernel.begin_round(Usecs::from_secs(1));
+
+    let mut symptoms: Vec<String> = Vec::new();
+    let mut retvals: Vec<i64> = Vec::new();
+    for call in &program.calls {
+        let desc = &table[call.desc];
+        let mut args = [0u64; 6];
+        let mut req_paths: Vec<(usize, String)> = Vec::new();
+        for (i, a) in call.args.iter().take(6).enumerate() {
+            match a {
+                torpedo_prog::ArgValue::Int(v) => args[i] = *v,
+                torpedo_prog::ArgValue::Ref(t) => {
+                    let rv = retvals.get(*t).copied().unwrap_or(-1);
+                    args[i] = if rv >= 0 { rv as u64 } else { u64::MAX };
+                }
+                torpedo_prog::ArgValue::Path(p) | torpedo_prog::ArgValue::Name(p) => {
+                    args[i] = 0x7f00_0000_0000;
+                    req_paths.push((i, p.clone()));
+                }
+            }
+        }
+        let mut req = torpedo_kernel::SyscallRequest::new(desc.name, args);
+        for (i, p) in &req_paths {
+            req = req.with_path(*i, p);
+        }
+        let exec = engine
+            .exec(&mut kernel, &id, req)
+            .expect("probe exec");
+        retvals.push(exec.outcome.retval);
+        if let Some(sig) = exec.outcome.fatal_signal {
+            let trigger = match desc.name {
+                "rt_sigreturn" => "any usage",
+                "rseq" => "invalid arguments",
+                "fallocate" | "ftruncate" | "truncate" | "write" => "argument exceeds max",
+                _ => "fatal signal",
+            };
+            symptoms.push(format!("{trigger} ({sig})"));
+            break;
+        }
+        if let Some(errno) = exec.outcome.errno {
+            if matches!(
+                errno,
+                torpedo_kernel::Errno::EAFNOSUPPORT
+                    | torpedo_kernel::Errno::ESOCKTNOSUPPORT
+                    | torpedo_kernel::Errno::EPROTONOSUPPORT
+            ) {
+                symptoms.push(format!("errno {}", errno.as_raw()));
+            }
+        }
+        if matches!(desc.name, "sync" | "syncfs" | "fsync" | "fdatasync") {
+            symptoms.push("any usage".to_string());
+        }
+    }
+    if symptoms.is_empty() {
+        symptoms.push("resource anomaly".to_string());
+    }
+    symptoms.dedup();
+    symptoms.join("; ")
+}
+
+/// Render one Markdown-ish table row.
+pub fn row(cols: &[&str], widths: &[usize]) -> String {
+    let mut out = String::new();
+    for (col, width) in cols.iter().zip(widths) {
+        out.push_str(&format!("{col:<width$}  ", width = width));
+    }
+    out.trim_end().to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use torpedo_prog::build_table;
+
+    #[test]
+    fn vulnerability_seeds_parse() {
+        let table = build_table();
+        for (name, text) in VULNERABILITY_SEEDS {
+            let prog = seed_program(text, &table);
+            prog.validate(&table).unwrap_or_else(|e| panic!("{name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn symptoms_match_table_4_2_vocabulary() {
+        let table = build_table();
+        let cases = [
+            ("sync()\n", "any usage"),
+            ("rt_sigreturn()\n", "any usage"),
+            ("rseq(0x7f0000000001, 0x20, 0x3, 0x0)\n", "invalid arguments"),
+            ("socket(0x9, 0x3, 0x0)\n", "errno 97"),
+            ("socket(0x2, 0x1, 0x63)\n", "errno 93"),
+            ("socket(0x2, 0x0, 0x0)\n", "errno 94"),
+        ];
+        for (text, expected) in cases {
+            let prog = seed_program(text, &table);
+            let symptoms = derive_symptoms(&prog, &table);
+            assert!(
+                symptoms.contains(expected),
+                "{text:?}: got {symptoms:?}, wanted {expected:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn fallocate_symptom_is_sigxfsz() {
+        let table = build_table();
+        let prog = seed_program(VULNERABILITY_SEEDS[4].1, &table);
+        let symptoms = derive_symptoms(&prog, &table);
+        assert!(symptoms.contains("argument exceeds max"), "{symptoms}");
+        assert!(symptoms.contains("SIGXFSZ"), "{symptoms}");
+    }
+}

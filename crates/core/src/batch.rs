@@ -1,0 +1,298 @@
+//! The batch state machine of Figure 3.3: TORPEDO's addition above the
+//! per-program machine.
+//!
+//! A batch of `n` programs (one per executor) cycles between two states:
+//!
+//! * **Mutate** — each round the programs are perturbed; a score increase
+//!   of at least the significance threshold sends the batch to confirm.
+//! * **Shuffle (confirm)** — programs are shuffled between cores (call
+//!   order untouched) and re-run; a score within the equivalence band of
+//!   the candidate confirms a new baseline, anything else is written off
+//!   as core-pinned system noise and the mutation is reverted (§3.5.2).
+//!
+//! After `patience` rounds without a confirmed improvement the batch is
+//! exhausted and the observer calls for new programs.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+use torpedo_prog::Program;
+
+/// Batch-machine tuning, with the §4.2 experimental values as defaults.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchConfig {
+    /// Scores within this band (percentage points) are equivalent —
+    /// "utilizations ranging within 2.5% of a baseline being considered
+    /// equivalent to account for standard system noise".
+    pub equivalence_band: f64,
+    /// Minimum score increase to be significant — "scores had to increase
+    /// by at least 1 percentage point".
+    pub significance: f64,
+    /// Rounds without confirmed improvement before the batch is exhausted —
+    /// "programs were configured to cycle out after 15 rounds".
+    pub patience: u32,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            equivalence_band: 2.5,
+            significance: 1.0,
+            patience: 15,
+        }
+    }
+}
+
+/// The two live states of Figure 3.3 (plus the exhausted terminal).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BatchState {
+    /// Perturbing programs, looking for a score jump.
+    Mutate,
+    /// Confirming a candidate improvement under shuffle.
+    Confirm {
+        /// The score that triggered confirmation.
+        candidate_score: f64,
+    },
+    /// No improvement within patience; batch done.
+    Exhausted,
+}
+
+/// What the driver should do before the next round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchAction {
+    /// Mutate every program and run again.
+    MutateAndRun,
+    /// Re-run the (shuffled) batch unchanged to confirm.
+    ShuffleAndRun,
+    /// Stop: the batch is exhausted.
+    Stop,
+}
+
+/// Outcome classification of the last round (for logs).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RoundVerdict {
+    /// Score did not improve significantly.
+    NoImprovement,
+    /// Score jumped; entering confirmation.
+    CandidateImprovement,
+    /// Confirmation matched: new baseline.
+    Confirmed,
+    /// Confirmation failed: noise, mutation reverted.
+    RejectedAsNoise,
+}
+
+/// The Figure 3.3 batch machine.
+#[derive(Debug, Clone)]
+pub struct BatchMachine {
+    config: BatchConfig,
+    state: BatchState,
+    best_score: f64,
+    rounds_without_improvement: u32,
+    /// Snapshot of the programs at the last confirmed baseline, restored
+    /// when a confirmation fails.
+    saved: Vec<Program>,
+}
+
+impl BatchMachine {
+    /// A machine over the initial batch (which is also the revert point).
+    pub fn new(config: BatchConfig, initial: &[Program]) -> BatchMachine {
+        BatchMachine {
+            config,
+            state: BatchState::Mutate,
+            best_score: 0.0,
+            rounds_without_improvement: 0,
+            saved: initial.to_vec(),
+        }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> BatchState {
+        self.state
+    }
+
+    /// Best confirmed score so far.
+    pub fn best_score(&self) -> f64 {
+        self.best_score
+    }
+
+    /// Rounds since the last confirmed improvement.
+    pub fn stale_rounds(&self) -> u32 {
+        self.rounds_without_improvement
+    }
+
+    /// Feed the score of the round that just ran over `programs`; the
+    /// machine may mutate `programs` (revert on rejected confirmation,
+    /// shuffle on entering confirmation). Returns the verdict and the next
+    /// action.
+    pub fn on_round(
+        &mut self,
+        score: f64,
+        programs: &mut [Program],
+        rng: &mut StdRng,
+    ) -> (RoundVerdict, BatchAction) {
+        match self.state {
+            BatchState::Exhausted => (RoundVerdict::NoImprovement, BatchAction::Stop),
+            BatchState::Mutate => {
+                if score >= self.best_score + self.config.significance {
+                    // Candidate improvement: shuffle programs between cores
+                    // and confirm (Figure 3.3's confirm-as-shuffle).
+                    self.state = BatchState::Confirm {
+                        candidate_score: score,
+                    };
+                    programs.shuffle(rng);
+                    (RoundVerdict::CandidateImprovement, BatchAction::ShuffleAndRun)
+                } else {
+                    self.rounds_without_improvement += 1;
+                    if self.rounds_without_improvement >= self.config.patience {
+                        self.state = BatchState::Exhausted;
+                        (RoundVerdict::NoImprovement, BatchAction::Stop)
+                    } else {
+                        (RoundVerdict::NoImprovement, BatchAction::MutateAndRun)
+                    }
+                }
+            }
+            BatchState::Confirm { candidate_score } => {
+                if (score - candidate_score).abs() <= self.config.equivalence_band {
+                    // Reproduced under shuffle: adopt the new baseline and
+                    // record these programs as the revert point.
+                    self.best_score = candidate_score.max(score);
+                    self.rounds_without_improvement = 0;
+                    self.saved = programs.to_vec();
+                    self.state = BatchState::Mutate;
+                    (RoundVerdict::Confirmed, BatchAction::MutateAndRun)
+                } else {
+                    // Core-pinned noise: revert to the saved baseline.
+                    for (slot, saved) in programs.iter_mut().zip(self.saved.iter()) {
+                        *slot = saved.clone();
+                    }
+                    self.rounds_without_improvement += 1;
+                    self.state = BatchState::Mutate;
+                    if self.rounds_without_improvement >= self.config.patience {
+                        self.state = BatchState::Exhausted;
+                        (RoundVerdict::RejectedAsNoise, BatchAction::Stop)
+                    } else {
+                        (RoundVerdict::RejectedAsNoise, BatchAction::MutateAndRun)
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use torpedo_prog::{build_table, deserialize};
+
+    fn programs() -> Vec<Program> {
+        let table = build_table();
+        vec![
+            deserialize("getpid()\n", &table).unwrap(),
+            deserialize("sync()\n", &table).unwrap(),
+            deserialize("uname(0x0)\n", &table).unwrap(),
+        ]
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn improvement_triggers_confirmation_then_baseline() {
+        let mut progs = programs();
+        let mut machine = BatchMachine::new(BatchConfig::default(), &progs);
+        let mut r = rng();
+        let (v, a) = machine.on_round(30.0, &mut progs, &mut r);
+        assert_eq!(v, RoundVerdict::CandidateImprovement);
+        assert_eq!(a, BatchAction::ShuffleAndRun);
+        assert!(matches!(machine.state(), BatchState::Confirm { .. }));
+        // Confirmation round scores within the band.
+        let (v, a) = machine.on_round(29.0, &mut progs, &mut r);
+        assert_eq!(v, RoundVerdict::Confirmed);
+        assert_eq!(a, BatchAction::MutateAndRun);
+        assert!((machine.best_score() - 30.0).abs() < 1e-9);
+        assert_eq!(machine.stale_rounds(), 0);
+    }
+
+    #[test]
+    fn noise_is_rejected_and_programs_reverted() {
+        let mut progs = programs();
+        let original = progs.clone();
+        let mut machine = BatchMachine::new(BatchConfig::default(), &progs);
+        let mut r = rng();
+        machine.on_round(40.0, &mut progs, &mut r); // → confirm (shuffles)
+        let (v, _) = machine.on_round(25.0, &mut progs, &mut r); // way off
+        assert_eq!(v, RoundVerdict::RejectedAsNoise);
+        assert_eq!(machine.best_score(), 0.0);
+        // Programs restored to the saved baseline set.
+        let mut sorted_now: Vec<String> = progs.iter().map(|p| format!("{p:?}")).collect();
+        let mut sorted_orig: Vec<String> = original.iter().map(|p| format!("{p:?}")).collect();
+        sorted_now.sort();
+        sorted_orig.sort();
+        assert_eq!(sorted_now, sorted_orig);
+    }
+
+    #[test]
+    fn insignificant_changes_do_not_confirm() {
+        let mut progs = programs();
+        let mut machine = BatchMachine::new(BatchConfig::default(), &progs);
+        let mut r = rng();
+        machine.on_round(10.0, &mut progs, &mut r);
+        machine.on_round(10.5, &mut progs, &mut r); // 10.5 < 0 + 1.0? no: best is 0
+        // Note: the first round already confirmed-ish because best=0. Use a
+        // fresh machine with a confirmed baseline instead.
+        let mut machine = BatchMachine::new(BatchConfig::default(), &progs);
+        machine.on_round(10.0, &mut progs, &mut r);
+        machine.on_round(10.0, &mut progs, &mut r); // confirm at 10
+        assert!((machine.best_score() - 10.0).abs() < 1e-9);
+        let (v, a) = machine.on_round(10.8, &mut progs, &mut r);
+        assert_eq!(v, RoundVerdict::NoImprovement);
+        assert_eq!(a, BatchAction::MutateAndRun);
+    }
+
+    #[test]
+    fn patience_exhausts_the_batch() {
+        let mut progs = programs();
+        let config = BatchConfig {
+            patience: 3,
+            ..BatchConfig::default()
+        };
+        let mut machine = BatchMachine::new(config, &progs);
+        let mut r = rng();
+        // Establish a baseline of 50.
+        machine.on_round(50.0, &mut progs, &mut r);
+        machine.on_round(50.0, &mut progs, &mut r);
+        // Three stale rounds.
+        assert_eq!(
+            machine.on_round(50.0, &mut progs, &mut r).1,
+            BatchAction::MutateAndRun
+        );
+        assert_eq!(
+            machine.on_round(50.2, &mut progs, &mut r).1,
+            BatchAction::MutateAndRun
+        );
+        let (_, action) = machine.on_round(49.0, &mut progs, &mut r);
+        assert_eq!(action, BatchAction::Stop);
+        assert_eq!(machine.state(), BatchState::Exhausted);
+        // Further rounds keep returning Stop.
+        assert_eq!(
+            machine.on_round(99.0, &mut progs, &mut r).1,
+            BatchAction::Stop
+        );
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset_of_programs() {
+        let mut progs = programs();
+        let before: Vec<Program> = progs.clone();
+        let mut machine = BatchMachine::new(BatchConfig::default(), &progs);
+        let mut r = rng();
+        machine.on_round(30.0, &mut progs, &mut r);
+        let mut a: Vec<String> = before.iter().map(|p| format!("{p:?}")).collect();
+        let mut b: Vec<String> = progs.iter().map(|p| format!("{p:?}")).collect();
+        a.sort();
+        b.sort();
+        assert_eq!(a, b, "shuffle must not alter call traces");
+    }
+}

@@ -1,0 +1,444 @@
+//! The campaign driver: the syz-manager-equivalent loop that ties seeds,
+//! observer rounds, the batch state machine, coverage-driven corpus
+//! admission, crash handling, and offline oracle flagging together
+//! (§4.1's testing procedure).
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use torpedo_kernel::{DeferralEvent, KernelConfig};
+use torpedo_oracle::observation::Observation;
+use torpedo_oracle::violation::Violation;
+use torpedo_oracle::Oracle;
+use torpedo_prog::{
+    Corpus, CorpusItem, CoverageSet, MutatePolicy, Mutator, Program, SyscallDesc,
+};
+use torpedo_runtime::ContainerCrash;
+
+use crate::batch::{BatchAction, BatchConfig, BatchMachine};
+use crate::crash::{reproduce_and_minimize, CrashRecord};
+use crate::observer::{Observer, ObserverConfig, RoundRecord};
+use crate::parallel::ParallelObserver;
+use crate::prog_sm::{ProgEvent, ProgramStateMachine};
+use crate::seeds::SeedCorpus;
+
+/// Campaign configuration.
+#[derive(Debug, Clone)]
+pub struct CampaignConfig {
+    /// Kernel model.
+    pub kernel: KernelConfig,
+    /// Observer/executor fleet configuration.
+    pub observer: ObserverConfig,
+    /// Batch state-machine tuning (§4.2 values by default).
+    pub batch: BatchConfig,
+    /// Mutation policy (incl. the generation denylist).
+    pub mutate: MutatePolicy,
+    /// RNG seed for the campaign.
+    pub seed: u64,
+    /// Hard cap on rounds per batch (on top of batch patience).
+    pub max_rounds_per_batch: u32,
+    /// Attempts when reproducing crashes.
+    pub crash_repro_attempts: u32,
+    /// Run executors on real threads through the [`crate::parallel`]
+    /// observer instead of the sequential one.
+    pub parallel: bool,
+}
+
+impl Default for CampaignConfig {
+    fn default() -> Self {
+        CampaignConfig {
+            kernel: KernelConfig::default(),
+            observer: ObserverConfig::default(),
+            batch: BatchConfig::default(),
+            mutate: MutatePolicy::default(),
+            seed: 0x70CA_FE42,
+            max_rounds_per_batch: 40,
+            crash_repro_attempts: 3,
+            parallel: false,
+        }
+    }
+}
+
+/// One logged round (the input to offline flagging, §3.6.1).
+#[derive(Debug, Clone)]
+pub struct RoundLog {
+    /// Batch index.
+    pub batch: usize,
+    /// Global round number.
+    pub round: u64,
+    /// Oracle score for the round.
+    pub score: f64,
+    /// The observation (kept for offline flagging).
+    pub observation: Observation,
+    /// The programs that ran, executor-indexed.
+    pub programs: Vec<Program>,
+    /// Ground-truth deferrals (confirmation stage only).
+    pub deferrals: Vec<DeferralEvent>,
+    /// Program executions completed this round, summed over executors.
+    pub executions: u64,
+    /// Fatal signals delivered this round, summed over executors.
+    pub fatal_signals: u64,
+}
+
+/// A program flagged adversarial by offline log analysis.
+#[derive(Debug, Clone)]
+pub struct FlaggedFinding {
+    /// The program under suspicion.
+    pub program: Program,
+    /// The violations the round exhibited.
+    pub violations: Vec<Violation>,
+    /// The round's oracle score.
+    pub score: f64,
+    /// Where it was observed.
+    pub batch: usize,
+    /// Round number.
+    pub round: u64,
+}
+
+/// Campaign output.
+#[derive(Debug)]
+pub struct CampaignReport {
+    /// Total rounds executed.
+    pub rounds_total: u64,
+    /// Every round log.
+    pub logs: Vec<RoundLog>,
+    /// Programs flagged by offline oracle analysis (deduplicated).
+    pub flagged: Vec<FlaggedFinding>,
+    /// Container crashes with reproduction results.
+    pub crashes: Vec<CrashRecord>,
+    /// The coverage-admitted corpus.
+    pub corpus: Corpus,
+    /// Distinct coverage signals observed.
+    pub coverage_signals: usize,
+}
+
+/// Dispatch between the sequential and threaded observers.
+enum Driver {
+    Seq(Observer),
+    Par(ParallelObserver),
+}
+
+impl Driver {
+    fn new(
+        parallel: bool,
+        kernel: KernelConfig,
+        config: ObserverConfig,
+        table: &[SyscallDesc],
+    ) -> Result<Driver, Box<dyn std::error::Error>> {
+        Ok(if parallel {
+            Driver::Par(ParallelObserver::new(kernel, config, table.to_vec())?)
+        } else {
+            Driver::Seq(Observer::new(kernel, config)?)
+        })
+    }
+
+    fn round(
+        &mut self,
+        table: &[SyscallDesc],
+        programs: &[Program],
+    ) -> Result<RoundRecord, Box<dyn std::error::Error>> {
+        match self {
+            Driver::Seq(o) => o.round(table, programs),
+            Driver::Par(o) => o.round(programs),
+        }
+    }
+
+    fn restart_crashed(&mut self) -> Result<(), Box<dyn std::error::Error>> {
+        match self {
+            Driver::Seq(o) => o.restart_crashed().map_err(Into::into),
+            Driver::Par(o) => o.restart_crashed(),
+        }
+    }
+}
+
+/// The campaign driver.
+pub struct Campaign {
+    config: CampaignConfig,
+    table: Vec<SyscallDesc>,
+}
+
+impl Campaign {
+    /// A campaign over `table` with `config`.
+    pub fn new(config: CampaignConfig, table: Vec<SyscallDesc>) -> Campaign {
+        Campaign { config, table }
+    }
+
+    /// The syscall table in use.
+    pub fn table(&self) -> &[SyscallDesc] {
+        &self.table
+    }
+
+    /// Run the campaign: every seed batch is fuzzed through the batch state
+    /// machine, logs are collected, and flagging runs offline at the end.
+    ///
+    /// # Errors
+    /// Fails only on observer boot problems; runtime crashes are data.
+    pub fn run(
+        &self,
+        seeds: &SeedCorpus,
+        oracle: &dyn Oracle,
+    ) -> Result<CampaignReport, Box<dyn std::error::Error>> {
+        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let mutator = Mutator::new(self.config.mutate.clone());
+        let mut observer = Driver::new(
+            self.config.parallel,
+            self.config.kernel.clone(),
+            self.config.observer.clone(),
+            &self.table,
+        )?;
+        let mut logs: Vec<RoundLog> = Vec::new();
+        let mut corpus = Corpus::new();
+        let mut coverage = CoverageSet::new();
+        let mut raw_crashes: Vec<(ContainerCrash, Program)> = Vec::new();
+        let mut rounds_total = 0u64;
+
+        for (batch_idx, batch_seeds) in seeds.batches(self.config.observer.executors).into_iter().enumerate()
+        {
+            let mut programs = batch_seeds;
+            if programs.is_empty() {
+                continue;
+            }
+            let mut machine = BatchMachine::new(self.config.batch.clone(), &programs);
+            let mut prog_machines: Vec<ProgramStateMachine> =
+                programs.iter().map(|_| ProgramStateMachine::new()).collect();
+            observer.restart_crashed()?;
+
+            for _ in 0..self.config.max_rounds_per_batch {
+                let record = observer.round(&self.table, &programs)?;
+                rounds_total += 1;
+                let score = oracle.score(&record.observation);
+
+                // Coverage feedback → per-program state machines → corpus.
+                for (i, report) in record.reports.iter().enumerate() {
+                    let flat = report.coverage.flat();
+                    let sm = &mut prog_machines[i];
+                    match sm.stage() {
+                        crate::prog_sm::ProgStage::Candidate => {
+                            if coverage.has_new(&flat) {
+                                let _ = sm.advance(ProgEvent::NewCoverage);
+                            } else {
+                                let _ = sm.advance(ProgEvent::NoNewCoverage);
+                            }
+                        }
+                        crate::prog_sm::ProgStage::Triage => {
+                            // Second sighting: verify, merge, admit.
+                            let new = coverage.merge(&flat);
+                            if new > 0 {
+                                let _ = sm.advance(ProgEvent::Verified);
+                                let _ = sm.advance(ProgEvent::Minimized);
+                                let _ = sm.advance(ProgEvent::Smashed);
+                                corpus.add(CorpusItem {
+                                    program: programs[i].clone(),
+                                    new_signals: new,
+                                    best_score: score,
+                                    flagged: false,
+                                });
+                            } else {
+                                let _ = sm.advance(ProgEvent::Flaky);
+                            }
+                        }
+                        _ => {}
+                    }
+
+                    // Crashes: record, restart, and swap in a fresh program.
+                    if let Some(crash) = &report.crash {
+                        raw_crashes.push((crash.clone(), programs[i].clone()));
+                        observer.restart_crashed()?;
+                        programs[i] = torpedo_prog::gen_program(
+                            &self.table,
+                            self.config.mutate.max_len,
+                            &self.config.mutate.denylist,
+                            &mut rng,
+                        );
+                        prog_machines[i] = ProgramStateMachine::new();
+                    }
+                }
+
+                logs.push(RoundLog {
+                    batch: batch_idx,
+                    round: rounds_total,
+                    score,
+                    observation: record.observation,
+                    programs: programs.clone(),
+                    deferrals: record.deferrals,
+                    executions: record.reports.iter().map(|r| r.executions).sum(),
+                    fatal_signals: record.reports.iter().map(|r| r.fatal_signals).sum(),
+                });
+
+                // Batch machine decides what happens next.
+                let (_verdict, action) = machine.on_round(score, &mut programs, &mut rng);
+                match action {
+                    BatchAction::Stop => break,
+                    BatchAction::ShuffleAndRun => {}
+                    BatchAction::MutateAndRun => {
+                        for program in &mut programs {
+                            let donor_pick =
+                                rand::Rng::gen_range(&mut rng, 0.0..1.0f64);
+                            let donor = corpus.donor(donor_pick).cloned();
+                            mutator.mutate(program, &self.table, donor.as_ref(), &mut rng);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Offline flagging (§3.6.1): parse the round logs and isolate
+        // adversarial programs asynchronously from execution.
+        let mut flagged: Vec<FlaggedFinding> = Vec::new();
+        let mut seen_programs: std::collections::HashSet<String> = Default::default();
+        for log in &logs {
+            let violations = oracle.flag(&log.observation);
+            if violations.is_empty() {
+                continue;
+            }
+            for program in &log.programs {
+                let key = torpedo_prog::serialize(program, &self.table);
+                if seen_programs.insert(key) {
+                    flagged.push(FlaggedFinding {
+                        program: program.clone(),
+                        violations: violations.clone(),
+                        score: log.score,
+                        batch: log.batch,
+                        round: log.round,
+                    });
+                }
+            }
+        }
+        flagged.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+
+        // Crash reproduction + minimization.
+        let crashes = raw_crashes
+            .into_iter()
+            .map(|(crash, program)| {
+                reproduce_and_minimize(
+                    crash,
+                    program,
+                    &self.table,
+                    &self.config.kernel,
+                    &self.config.observer.runtime,
+                    self.config.crash_repro_attempts,
+                )
+            })
+            .collect();
+
+        Ok(CampaignReport {
+            rounds_total,
+            logs,
+            flagged,
+            crashes,
+            corpus,
+            coverage_signals: coverage.len(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use torpedo_kernel::Usecs;
+    use torpedo_oracle::CpuOracle;
+    use torpedo_prog::build_table;
+    use crate::executor::GlueCost;
+    use crate::seeds::default_denylist;
+
+    fn quick_config(runtime: &str) -> CampaignConfig {
+        CampaignConfig {
+            observer: ObserverConfig {
+                window: Usecs::from_secs(1),
+                executors: 3,
+                runtime: runtime.to_string(),
+                collider: true,
+                glue: GlueCost::fuzzing(),
+                cpus_per_container: 1.0,
+            },
+            mutate: MutatePolicy {
+                denylist: default_denylist(),
+                ..MutatePolicy::default()
+            },
+            max_rounds_per_batch: 6,
+            ..CampaignConfig::default()
+        }
+    }
+
+    fn seeds(texts: &[&str]) -> SeedCorpus {
+        SeedCorpus::load(texts, &build_table(), &default_denylist()).unwrap()
+    }
+
+    #[test]
+    fn campaign_flags_the_socket_storm_on_runc() {
+        let campaign = Campaign::new(quick_config("runc"), build_table());
+        let corpus = seeds(&[
+            "socket(0x9, 0x3, 0x0)\nsocket(0x9, 0x3, 0x0)\n",
+            "getpid()\nuname(0x0)\n",
+            "stat(&'/etc/passwd', 0x0)\n",
+        ]);
+        let report = campaign.run(&corpus, &CpuOracle::new()).unwrap();
+        assert!(report.rounds_total >= 2);
+        assert!(
+            !report.flagged.is_empty(),
+            "socket storm must flag the CPU oracle"
+        );
+        assert!(report.coverage_signals > 0);
+    }
+
+    #[test]
+    fn campaign_collects_gvisor_crashes() {
+        let campaign = Campaign::new(quick_config("runsc"), build_table());
+        let corpus = seeds(&[
+            "open(&'/lib/x86_64-Linux-gnu/libc.so.6', 0x680002, 0x20)\n",
+            "getpid()\n",
+            "getuid()\n",
+        ]);
+        let report = campaign.run(&corpus, &CpuOracle::new()).unwrap();
+        assert!(!report.crashes.is_empty(), "open crash must be collected");
+        let crash = &report.crashes[0];
+        assert!(crash.reproduced);
+        assert_eq!(crash.crash.reason, "sentry-panic-open-flags");
+    }
+
+    #[test]
+    fn parallel_campaign_matches_sequential_findings() {
+        let mut config = quick_config("runc");
+        config.parallel = true;
+        config.max_rounds_per_batch = 4;
+        let campaign = Campaign::new(config, build_table());
+        let corpus = seeds(&["socket(0x9, 0x3, 0x0)
+", "getpid()
+", "getuid()
+"]);
+        let report = campaign.run(&corpus, &CpuOracle::new()).unwrap();
+        assert!(report.rounds_total >= 4);
+        assert!(
+            !report.flagged.is_empty(),
+            "threaded campaign must still flag the storm"
+        );
+    }
+
+    #[test]
+    fn benign_seeds_on_runc_produce_no_flags() {
+        let mut config = quick_config("runc");
+        config.max_rounds_per_batch = 3;
+        // Paper-sized window: 1-second rounds are legitimately disrupted by
+        // absolute-duration noise spikes (§3.4).
+        config.observer.window = Usecs::from_secs(4);
+        // Mutation could synthesize adversarial calls; pin the batch by
+        // denying everything so programs stay benign.
+        config.mutate.denylist = build_table()
+            .iter()
+            .map(|d| d.name.to_string())
+            .filter(|n| !["getpid", "getuid", "uname", "stat", "clock_gettime", "times", "sysinfo", "getcpu", "sched_yield", "capget", "access"].contains(&n.as_str()))
+            .collect();
+        let campaign = Campaign::new(config, build_table());
+        let corpus = seeds(&["getpid()\nuname(0x0)\n", "getuid()\n", "times(0x0)\n"]);
+        let report = campaign.run(&corpus, &CpuOracle::new()).unwrap();
+        assert!(
+            report.flagged.is_empty(),
+            "benign campaign flagged: {:?}",
+            report
+                .flagged
+                .iter()
+                .map(|f| &f.violations)
+                .collect::<Vec<_>>()
+        );
+    }
+}

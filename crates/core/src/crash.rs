@@ -1,0 +1,151 @@
+//! Crash handling: when a runtime bug kills a container (the gVisor
+//! `open(2)` findings of §4.4), the manager attempts to reproduce the
+//! crash from the offending program and minimize it to a reproducer —
+//! SYZKALLER's crash workflow (§2.6.2) adapted to container crashes.
+
+use torpedo_kernel::{KernelConfig, Usecs};
+use torpedo_prog::{minimize as shrink, Program, SyscallDesc};
+use torpedo_runtime::engine::Engine;
+use torpedo_runtime::spec::ContainerSpec;
+use torpedo_runtime::ContainerCrash;
+
+use crate::executor::{Executor, GlueCost};
+
+/// A collected crash with reproduction status.
+#[derive(Debug, Clone)]
+pub struct CrashRecord {
+    /// The crash as reported by the runtime.
+    pub crash: ContainerCrash,
+    /// The program that was running.
+    pub program: Program,
+    /// Whether a fresh container reproduced the crash.
+    pub reproduced: bool,
+    /// The minimized reproducer, when reproduction succeeded.
+    pub minimized: Option<Program>,
+}
+
+/// Run `program` once in a fresh container of `runtime`; report whether it
+/// crashes the container.
+pub fn crashes_once(
+    program: &Program,
+    table: &[SyscallDesc],
+    kernel_config: &KernelConfig,
+    runtime: &str,
+) -> bool {
+    let mut kernel = torpedo_kernel::Kernel::new(kernel_config.clone());
+    let mut engine = Engine::new(&mut kernel);
+    let Ok(id) = engine.create(
+        &mut kernel,
+        ContainerSpec::new("crash-repro")
+            .runtime_name(runtime)
+            .cpuset_cpus(&[0])
+            .cpus(1.0),
+    ) else {
+        return false;
+    };
+    let mut executor = Executor::new(id);
+    executor.glue = GlueCost::confirmation();
+    kernel.begin_round(Usecs::from_secs(1));
+    match executor.run_until(&mut kernel, &mut engine, table, program, Usecs::from_millis(50)) {
+        Ok(report) => report.crash.is_some(),
+        Err(_) => false,
+    }
+}
+
+/// Reproduce and minimize a crash (§2.6.2's "reproduce the crash down to a
+/// few lines of valid C code"). Reproduction is attempted `attempts` times
+/// — the manager "is not always successful in this regard".
+pub fn reproduce_and_minimize(
+    crash: ContainerCrash,
+    program: Program,
+    table: &[SyscallDesc],
+    kernel_config: &KernelConfig,
+    runtime: &str,
+    attempts: u32,
+) -> CrashRecord {
+    let reproduced = (0..attempts.max(1))
+        .any(|_| crashes_once(&program, table, kernel_config, runtime));
+    let minimized = if reproduced {
+        let mut candidate = program.clone();
+        shrink(&mut candidate, |p| {
+            crashes_once(p, table, kernel_config, runtime)
+        });
+        Some(candidate)
+    } else {
+        None
+    };
+    CrashRecord {
+        crash,
+        program,
+        reproduced,
+        minimized,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use torpedo_prog::{build_table, deserialize};
+
+    const CRASHER: &str = "open(&'/lib/x86_64-Linux-gnu/libc.so.6', 0x680002, 0x20)\n";
+
+    #[test]
+    fn gvisor_open_crash_reproduces_and_minimizes() {
+        let table = build_table();
+        let program = deserialize(
+            &format!("getpid()\nuname(0x0)\n{CRASHER}stat(&'/etc/passwd', 0x0)\n"),
+            &table,
+        )
+        .unwrap();
+        let crash = ContainerCrash {
+            reason: "sentry-panic-open-flags".into(),
+            syscall: "open".into(),
+            args: [0, 0x680002, 0x20, 0, 0, 0],
+        };
+        let record = reproduce_and_minimize(
+            crash,
+            program,
+            &table,
+            &KernelConfig::default(),
+            "runsc",
+            3,
+        );
+        assert!(record.reproduced);
+        let minimized = record.minimized.unwrap();
+        assert_eq!(minimized.len(), 1, "reproducer is a single open call");
+        assert_eq!(minimized.call_names(&table), vec!["open"]);
+    }
+
+    #[test]
+    fn crash_does_not_reproduce_on_runc() {
+        let table = build_table();
+        let program = deserialize(CRASHER, &table).unwrap();
+        assert!(!crashes_once(
+            &program,
+            &table,
+            &KernelConfig::default(),
+            "runc"
+        ));
+    }
+
+    #[test]
+    fn non_crashing_program_reports_unreproduced() {
+        let table = build_table();
+        let program = deserialize("getpid()\n", &table).unwrap();
+        let crash = ContainerCrash {
+            reason: "spurious".into(),
+            syscall: "getpid".into(),
+            args: [0; 6],
+        };
+        let record = reproduce_and_minimize(
+            crash,
+            program,
+            &table,
+            &KernelConfig::default(),
+            "runsc",
+            2,
+        );
+        assert!(!record.reproduced);
+        assert!(record.minimized.is_none());
+    }
+}

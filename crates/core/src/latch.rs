@@ -1,0 +1,234 @@
+//! The two-stage latching protocol of Algorithm 2.
+//!
+//! "This algorithm uses a two-stage latching procedure to distribute
+//! programs and prime each executor, then start the execution window to
+//! line up with some number of resource measurements." The protocol is a
+//! state machine per executor; the observer may only take a measurement
+//! when every executor has latched through *prime* and been released
+//! simultaneously. Violations are hard errors — they would desynchronize
+//! the measurement window and corrupt the round (§3.3/§3.4).
+
+/// Per-executor latch states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatchState {
+    /// No work assigned.
+    Idle,
+    /// Program delivered and stop-time set; container being prepared.
+    Primed,
+    /// Executor signalled the observer it is ready (first latch).
+    Ready,
+    /// Observer released the executor (second latch); window running.
+    Executing,
+    /// Window complete; results available.
+    Done,
+}
+
+/// A protocol violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LatchError {
+    /// Which executor misbehaved, if executor-specific.
+    pub executor: Option<usize>,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for LatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.executor {
+            Some(i) => write!(f, "latch violation (executor {i}): {}", self.message),
+            None => write!(f, "latch violation: {}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for LatchError {}
+
+/// The observer-side view of all executor latches for one round.
+#[derive(Debug, Clone)]
+pub struct RoundLatch {
+    states: Vec<LatchState>,
+}
+
+impl RoundLatch {
+    /// A latch group for `n` executors, all idle.
+    pub fn new(n: usize) -> RoundLatch {
+        RoundLatch {
+            states: vec![LatchState::Idle; n],
+        }
+    }
+
+    /// Current state of executor `i`.
+    pub fn state(&self, i: usize) -> LatchState {
+        self.states[i]
+    }
+
+    /// Observer delivers a program and stop time to executor `i`
+    /// (Algorithm 2 lines 10–12).
+    ///
+    /// # Errors
+    /// The executor must be `Idle`.
+    pub fn prime(&mut self, i: usize) -> Result<(), LatchError> {
+        self.expect(i, LatchState::Idle, "prime requires Idle")?;
+        self.states[i] = LatchState::Primed;
+        Ok(())
+    }
+
+    /// Executor `i` finished container setup and signals readiness
+    /// (Algorithm 2 lines 24–25, `PrepareToExecute` + `SignalObserver`).
+    ///
+    /// # Errors
+    /// The executor must be `Primed`.
+    pub fn signal_ready(&mut self, i: usize) -> Result<(), LatchError> {
+        self.expect(i, LatchState::Primed, "signal_ready requires Primed")?;
+        self.states[i] = LatchState::Ready;
+        Ok(())
+    }
+
+    /// Whether every executor is `Ready` (Algorithm 2 line 13,
+    /// `WaitForAllExecutors`).
+    pub fn all_ready(&self) -> bool {
+        self.states.iter().all(|s| *s == LatchState::Ready)
+    }
+
+    /// Observer releases every executor simultaneously (line 14,
+    /// `SignalAllExecutors`) — the start of the measurement window.
+    ///
+    /// # Errors
+    /// Every executor must be `Ready`; releasing early would let some
+    /// executors run outside the measurement window.
+    pub fn release_all(&mut self) -> Result<(), LatchError> {
+        if !self.all_ready() {
+            return Err(LatchError {
+                executor: None,
+                message: format!(
+                    "release with non-ready executors: {:?}",
+                    self.states
+                ),
+            });
+        }
+        for s in &mut self.states {
+            *s = LatchState::Executing;
+        }
+        Ok(())
+    }
+
+    /// Executor `i` completed its window.
+    ///
+    /// # Errors
+    /// The executor must be `Executing`.
+    pub fn complete(&mut self, i: usize) -> Result<(), LatchError> {
+        self.expect(i, LatchState::Executing, "complete requires Executing")?;
+        self.states[i] = LatchState::Done;
+        Ok(())
+    }
+
+    /// Whether the round is over for everyone.
+    pub fn all_done(&self) -> bool {
+        self.states.iter().all(|s| *s == LatchState::Done)
+    }
+
+    /// Reset for the next round.
+    ///
+    /// # Errors
+    /// All executors must be `Done`.
+    pub fn reset(&mut self) -> Result<(), LatchError> {
+        if !self.all_done() {
+            return Err(LatchError {
+                executor: None,
+                message: "reset before all executors completed".to_string(),
+            });
+        }
+        for s in &mut self.states {
+            *s = LatchState::Idle;
+        }
+        Ok(())
+    }
+
+    fn expect(&self, i: usize, want: LatchState, msg: &str) -> Result<(), LatchError> {
+        if i >= self.states.len() {
+            return Err(LatchError {
+                executor: Some(i),
+                message: "unknown executor".to_string(),
+            });
+        }
+        if self.states[i] != want {
+            return Err(LatchError {
+                executor: Some(i),
+                message: format!("{msg}, was {:?}", self.states[i]),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn happy_path_round() {
+        let mut latch = RoundLatch::new(3);
+        for i in 0..3 {
+            latch.prime(i).unwrap();
+        }
+        assert!(!latch.all_ready());
+        for i in 0..3 {
+            latch.signal_ready(i).unwrap();
+        }
+        assert!(latch.all_ready());
+        latch.release_all().unwrap();
+        for i in 0..3 {
+            assert_eq!(latch.state(i), LatchState::Executing);
+            latch.complete(i).unwrap();
+        }
+        assert!(latch.all_done());
+        latch.reset().unwrap();
+        assert_eq!(latch.state(0), LatchState::Idle);
+    }
+
+    #[test]
+    fn early_release_is_rejected() {
+        let mut latch = RoundLatch::new(2);
+        latch.prime(0).unwrap();
+        latch.prime(1).unwrap();
+        latch.signal_ready(0).unwrap();
+        // Executor 1 not ready yet: the measurement window must not open.
+        let err = latch.release_all().unwrap_err();
+        assert!(err.message.contains("non-ready"));
+    }
+
+    #[test]
+    fn double_prime_is_rejected() {
+        let mut latch = RoundLatch::new(1);
+        latch.prime(0).unwrap();
+        assert!(latch.prime(0).is_err());
+    }
+
+    #[test]
+    fn ready_without_prime_is_rejected() {
+        let mut latch = RoundLatch::new(1);
+        assert!(latch.signal_ready(0).is_err());
+    }
+
+    #[test]
+    fn complete_before_release_is_rejected() {
+        let mut latch = RoundLatch::new(1);
+        latch.prime(0).unwrap();
+        latch.signal_ready(0).unwrap();
+        assert!(latch.complete(0).is_err());
+    }
+
+    #[test]
+    fn reset_requires_all_done() {
+        let mut latch = RoundLatch::new(2);
+        latch.prime(0).unwrap();
+        assert!(latch.reset().is_err());
+    }
+
+    #[test]
+    fn unknown_executor_is_an_error() {
+        let mut latch = RoundLatch::new(1);
+        let err = latch.prime(5).unwrap_err();
+        assert_eq!(err.executor, Some(5));
+    }
+}

@@ -1,0 +1,67 @@
+//! `torpedo-core`: the TORPEDO fuzzing framework (Chapter 3 of the paper).
+//!
+//! TORPEDO extends the SYZKALLER architecture with in-container fuzzing,
+//! resource-utilization feedback, and a two-level state-machine design:
+//!
+//! * [`executor`] — the container entrypoint: Algorithm 1's
+//!   `LoopUntilTime` loop plus program lowering.
+//! * [`latch`] — the two-stage latching protocol of Algorithm 2.
+//! * [`observer`] — rounds: synchronized execution windows with
+//!   `/proc/stat` and `top` measurement.
+//! * [`prog_sm`] / [`batch`] — the Figure 3.2 (per-program) and
+//!   Figure 3.3 (per-batch mutate/shuffle-confirm) state machines.
+//! * [`seeds`] — seed ingestion with the blocking-call denylist (§4.1.2).
+//! * [`campaign`] — the manager loop over seed batches, with offline
+//!   oracle flagging of round logs (§3.6.1).
+//! * [`minimize`] — Algorithm 3: oracle-violation-preserving shrinking.
+//! * [`confirm`] — the §4.1.4 confirmation harness, classifying root
+//!   causes from the kernel's deferral ledger (the ftrace step).
+//! * [`crash`] — container-crash reproduction and minimization.
+//!
+//! # Examples
+//! ```
+//! use torpedo_core::campaign::{Campaign, CampaignConfig};
+//! use torpedo_core::observer::ObserverConfig;
+//! use torpedo_core::seeds::{default_denylist, SeedCorpus};
+//! use torpedo_kernel::Usecs;
+//! use torpedo_oracle::CpuOracle;
+//! use torpedo_prog::build_table;
+//!
+//! let table = build_table();
+//! let seeds = SeedCorpus::load(&["sync()\n"], &table, &default_denylist()).unwrap();
+//! let config = CampaignConfig {
+//!     observer: ObserverConfig { window: Usecs::from_secs(1), executors: 1, ..Default::default() },
+//!     max_rounds_per_batch: 2,
+//!     ..Default::default()
+//! };
+//! let report = Campaign::new(config, table).run(&seeds, &CpuOracle::new()).unwrap();
+//! assert!(report.rounds_total >= 1);
+//! ```
+
+pub mod batch;
+pub mod campaign;
+pub mod confirm;
+pub mod crash;
+pub mod executor;
+pub mod latch;
+pub mod logfmt;
+pub mod minimize;
+pub mod observer;
+pub mod parallel;
+pub mod prog_sm;
+pub mod seeds;
+pub mod stats;
+
+pub use batch::{BatchAction, BatchConfig, BatchMachine, BatchState, RoundVerdict};
+pub use campaign::{Campaign, CampaignConfig, CampaignReport, FlaggedFinding, RoundLog};
+pub use confirm::{classify, confirm, CauseReport, Confirmation};
+pub use crash::{crashes_once, reproduce_and_minimize, CrashRecord};
+pub use executor::{ExecReport, Executor, GlueCost};
+pub use latch::{LatchError, LatchState, RoundLatch};
+pub use logfmt::{parse_log, write_round, LogParseError, ParsedRound};
+pub use minimize::{minimize_with_oracle, OracleMinimized, ViolationHarness};
+pub use observer::{Observer, ObserverConfig, RoundRecord};
+pub use parallel::ParallelObserver;
+pub use prog_sm::{InvalidTransition, ProgEvent, ProgStage, ProgramStateMachine};
+pub use seeds::{default_denylist, filter_denylisted, SeedCorpus};
+pub use stats::CampaignStats;

@@ -1,0 +1,150 @@
+//! Oracle-guided minimization — Algorithm 3 of the paper.
+//!
+//! "We systematically remove calls from the program until we obtain the
+//! smallest set of calls that result in the originally observed oracle
+//! violations." The predicate is *violation-kind equality*: a candidate
+//! survives only if running it reproduces the same set of heuristic kinds.
+
+use torpedo_kernel::KernelConfig;
+use torpedo_oracle::violation::{violation_kinds, HeuristicKind, Violation};
+use torpedo_oracle::Oracle;
+use torpedo_prog::{minimize as shrink, MinimizeStats, Program, SyscallDesc};
+
+use crate::executor::GlueCost;
+use crate::observer::{Observer, ObserverConfig};
+
+/// A harness that runs one program solo and reports oracle violations.
+///
+/// Each evaluation uses a **fresh kernel** so rounds cannot contaminate
+/// each other (the simulated analogue of re-deploying the test container).
+#[derive(Debug, Clone)]
+pub struct ViolationHarness {
+    kernel_config: KernelConfig,
+    runtime: String,
+    window: torpedo_kernel::Usecs,
+    /// Measurement rounds per evaluation (first round warms the sampler).
+    pub rounds: u32,
+}
+
+impl ViolationHarness {
+    /// A harness for `runtime` with the given kernel model.
+    pub fn new(kernel_config: KernelConfig, runtime: &str) -> ViolationHarness {
+        ViolationHarness {
+            kernel_config,
+            runtime: runtime.to_string(),
+            window: torpedo_kernel::Usecs::from_secs(2),
+            rounds: 2,
+        }
+    }
+
+    /// Run `program` alone and collect the oracle's violations from the
+    /// final round.
+    pub fn violations(
+        &self,
+        program: &Program,
+        table: &[SyscallDesc],
+        oracle: &dyn Oracle,
+    ) -> Vec<Violation> {
+        let mut observer = Observer::new(
+            self.kernel_config.clone(),
+            ObserverConfig {
+                window: self.window,
+                executors: 1,
+                runtime: self.runtime.clone(),
+                collider: false,
+                glue: GlueCost::fuzzing(),
+                cpus_per_container: 1.0,
+            },
+        )
+        .expect("harness observer boots");
+        let programs = vec![program.clone()];
+        let mut last = Vec::new();
+        for _ in 0..self.rounds.max(1) {
+            match observer.round(table, &programs) {
+                Ok(record) => last = oracle.flag(&record.observation),
+                Err(_) => return Vec::new(),
+            }
+        }
+        last
+    }
+}
+
+/// Result of an oracle-guided minimization.
+#[derive(Debug, Clone)]
+pub struct OracleMinimized {
+    /// The minimized program.
+    pub program: Program,
+    /// The violation kinds it preserves.
+    pub kinds: Vec<HeuristicKind>,
+    /// Shrink statistics.
+    pub stats: MinimizeStats,
+}
+
+/// Algorithm 3: minimize `program` with respect to `oracle`'s violations.
+///
+/// Returns `None` when the initial program produces no violations at all
+/// (nothing to preserve — the observation was not reproducible).
+pub fn minimize_with_oracle(
+    program: &Program,
+    table: &[SyscallDesc],
+    oracle: &dyn Oracle,
+    harness: &ViolationHarness,
+) -> Option<OracleMinimized> {
+    let baseline = harness.violations(program, table, oracle);
+    if baseline.is_empty() {
+        return None;
+    }
+    let wanted = violation_kinds(&baseline);
+    let mut minimized = program.clone();
+    let stats = shrink(&mut minimized, |candidate| {
+        let got = harness.violations(candidate, table, oracle);
+        violation_kinds(&got) == wanted
+    });
+    Some(OracleMinimized {
+        program: minimized,
+        kinds: wanted,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use torpedo_oracle::IoOracle;
+    use torpedo_prog::{build_table, deserialize};
+
+    #[test]
+    fn sync_program_minimizes_to_the_sync_call() {
+        let table = build_table();
+        // A padded program whose only adversarial ingredient is sync().
+        let program = deserialize(
+            "getpid()\nuname(0x0)\nsync()\nclock_gettime(0x0, 0x0)\n",
+            &table,
+        )
+        .unwrap();
+        let oracle = IoOracle::new();
+        let harness = ViolationHarness::new(KernelConfig::default(), "runc");
+        let result = minimize_with_oracle(&program, &table, &oracle, &harness)
+            .expect("sync violates the IO oracle");
+        assert!(
+            result.program.len() <= 2,
+            "minimized to {} calls: {:?}",
+            result.program.len(),
+            result.program.call_names(&table)
+        );
+        assert!(result
+            .program
+            .call_names(&table)
+            .contains(&"sync"));
+        assert!(result.stats.removed >= 2);
+    }
+
+    #[test]
+    fn benign_program_returns_none() {
+        let table = build_table();
+        let program = deserialize("getpid()\nuname(0x0)\n", &table).unwrap();
+        let oracle = IoOracle::new();
+        let harness = ViolationHarness::new(KernelConfig::default(), "runc");
+        assert!(minimize_with_oracle(&program, &table, &oracle, &harness).is_none());
+    }
+}

@@ -1,0 +1,345 @@
+//! The Observer (§3.4, Algorithm 2): rounds, synchronized execution, and
+//! measurement.
+//!
+//! The observer delegates workloads to executors, drives the two-stage
+//! latch so every executor's window coincides with the measurement window,
+//! takes the `/proc/stat` and `top` measurements, and logs round results
+//! for offline oracle flagging.
+
+use torpedo_kernel::kernel::Kernel;
+use torpedo_kernel::procfs::ProcStatSnapshot;
+use torpedo_kernel::time::Usecs;
+use torpedo_kernel::top::TopSampler;
+use torpedo_kernel::DeferralEvent;
+use torpedo_oracle::observation::{ContainerInfo, Observation};
+use torpedo_prog::{Program, SyscallDesc};
+use torpedo_runtime::engine::{ContainerId, Engine, EngineError};
+use torpedo_runtime::spec::ContainerSpec;
+
+use crate::executor::{ExecReport, Executor, GlueCost};
+use crate::latch::RoundLatch;
+
+/// Observer configuration.
+#[derive(Debug, Clone)]
+pub struct ObserverConfig {
+    /// Round window `T` (§4.2 uses 5 s; §3.4 recommends 3–5 s).
+    pub window: Usecs,
+    /// Number of parallel executors (§4.2 uses 3).
+    pub executors: usize,
+    /// The container runtime to deploy (`"runc"`, `"runsc"`, `"kata"`).
+    pub runtime: String,
+    /// Enable the executor collider pass.
+    pub collider: bool,
+    /// Entry-point overhead model.
+    pub glue: GlueCost,
+    /// `--cpus` quota per container.
+    pub cpus_per_container: f64,
+}
+
+impl Default for ObserverConfig {
+    fn default() -> Self {
+        ObserverConfig {
+            window: Usecs::from_secs(5),
+            executors: 3,
+            runtime: "runc".to_string(),
+            collider: true,
+            glue: GlueCost::fuzzing(),
+            cpus_per_container: 1.0,
+        }
+    }
+}
+
+/// The record of one observation round.
+#[derive(Debug, Clone)]
+pub struct RoundRecord {
+    /// Round sequence number.
+    pub round: u64,
+    /// What the oracles see.
+    pub observation: Observation,
+    /// Per-executor execution reports, in executor order.
+    pub reports: Vec<ExecReport>,
+    /// Ground-truth deferral events — for the confirmation stage only,
+    /// never handed to oracles.
+    pub deferrals: Vec<DeferralEvent>,
+}
+
+/// The observer: owns the kernel, engine, and executor fleet.
+#[derive(Debug)]
+pub struct Observer {
+    kernel: Kernel,
+    engine: Engine,
+    executors: Vec<Executor>,
+    sampler: TopSampler,
+    config: ObserverConfig,
+    rounds: u64,
+}
+
+impl Observer {
+    /// Boot a kernel, start an engine, and deploy `config.executors`
+    /// containers pinned to cores `0..n` with the Table 3.1 restrictions.
+    ///
+    /// # Errors
+    /// Propagates engine errors from container creation.
+    pub fn new(
+        kernel_config: torpedo_kernel::KernelConfig,
+        config: ObserverConfig,
+    ) -> Result<Observer, EngineError> {
+        let mut kernel = Kernel::new(kernel_config);
+        let mut engine = Engine::new(&mut kernel);
+        let mut executors = Vec::with_capacity(config.executors);
+        for i in 0..config.executors {
+            let id = engine.create(
+                &mut kernel,
+                ContainerSpec::new(&format!("fuzz-{i}"))
+                    .runtime_name(&config.runtime)
+                    .cpuset_cpus(&[i])
+                    .cpus(config.cpus_per_container),
+            )?;
+            let mut executor = Executor::new(id);
+            executor.collider = config.collider;
+            executor.glue = config.glue;
+            executors.push(executor);
+        }
+        Ok(Observer {
+            kernel,
+            engine,
+            executors,
+            sampler: TopSampler::new(),
+            config,
+            rounds: 0,
+        })
+    }
+
+    /// The observer's configuration.
+    pub fn config(&self) -> &ObserverConfig {
+        &self.config
+    }
+
+    /// The cores hosting executor containers.
+    pub fn fuzz_cores(&self) -> Vec<usize> {
+        (0..self.config.executors).collect()
+    }
+
+    /// Immutable access to the kernel (diagnostics).
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Immutable access to the engine.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Mutable access to the engine (restarts, extra containers).
+    pub fn engine_mut(&mut self) -> &mut Engine {
+        &mut self.engine
+    }
+
+    /// Container ids, in executor order.
+    pub fn container_ids(&self) -> Vec<ContainerId> {
+        self.executors.iter().map(|e| e.container.clone()).collect()
+    }
+
+    /// Restart any crashed containers (between batches).
+    ///
+    /// # Errors
+    /// Propagates engine restart failures.
+    pub fn restart_crashed(&mut self) -> Result<(), EngineError> {
+        for executor in &self.executors {
+            let crashed = matches!(
+                self.engine.container(&executor.container).map(|c| c.state()),
+                Some(torpedo_runtime::engine::ContainerState::Crashed(_))
+            );
+            if crashed {
+                self.engine.restart(&mut self.kernel, &executor.container)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Run one observation round: assign `programs[i]` to executor `i`
+    /// (missing entries idle), drive the latch protocol, execute the
+    /// window, and measure — Algorithm 2's loop body.
+    ///
+    /// # Errors
+    /// Engine/latch failures. A *crash* is not an error; it is reported in
+    /// the record.
+    pub fn round(
+        &mut self,
+        table: &[SyscallDesc],
+        programs: &[Program],
+    ) -> Result<RoundRecord, Box<dyn std::error::Error>> {
+        let window = self.config.window;
+        let n = self.executors.len().min(programs.len());
+        let mut latch = RoundLatch::new(n);
+
+        // Stage 1: deliver programs and prime containers.
+        for i in 0..n {
+            latch.prime(i)?;
+        }
+        for i in 0..n {
+            // Container-side preparation (deserialize request, set timers).
+            latch.signal_ready(i)?;
+        }
+        // Stage 2: open the measurement window for everyone at once.
+        latch.release_all()?;
+
+        let before = ProcStatSnapshot::capture(&self.kernel);
+        self.kernel.begin_round(window);
+        let reserved = self.fuzz_cores();
+        self.kernel.set_reserved_cores(&reserved);
+
+        let mut reports = Vec::with_capacity(n);
+        for i in 0..n {
+            let report = self.executors[i].run_until(
+                &mut self.kernel,
+                &mut self.engine,
+                table,
+                &programs[i],
+                window,
+            )?;
+            reports.push(report);
+            latch.complete(i)?;
+        }
+        debug_assert!(latch.all_done());
+
+        // Engine/runtime standing overhead for the round.
+        self.engine.round_overhead(&mut self.kernel, window);
+
+        let fuzz_cores = self.fuzz_cores();
+        let out = self.kernel.finish_round(&fuzz_cores);
+        let after = ProcStatSnapshot::capture(&self.kernel);
+        let per_core = after.since(&before);
+        let top = self.sampler.sample(&self.kernel, window);
+
+        let containers: Vec<ContainerInfo> = self
+            .executors
+            .iter()
+            .map(|e| {
+                let c = self.engine.container(&e.container).expect("container exists");
+                let cg = self.kernel.cgroups.get(c.cgroup());
+                ContainerInfo {
+                    name: e.container.name().to_string(),
+                    cpuset: c.spec().cpuset.clone(),
+                    cpu_quota: c.spec().cpus,
+                    memory_limit: c.spec().memory_bytes,
+                    memory_used: cg.map_or(0, |g| g.charged_memory()),
+                    io_bytes: cg.map_or(0, |g| g.charged_io_bytes()),
+                    oom_events: cg.map_or(0, |g| g.oom_events()),
+                }
+            })
+            .collect();
+
+        let sidecar = fuzz_cores.iter().max().map(|m| (m + 1) % self.kernel.cores());
+        let startup_times = self.engine.drain_startup_log();
+        self.rounds += 1;
+        Ok(RoundRecord {
+            round: self.rounds,
+            observation: Observation {
+                window,
+                per_core,
+                top,
+                containers,
+                sidecar_core: sidecar,
+                startup_times,
+            },
+            reports,
+            deferrals: out.deferrals,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use torpedo_kernel::KernelConfig;
+    use torpedo_prog::{build_table, deserialize};
+
+    fn observer(executors: usize) -> Observer {
+        observer_with_window(executors, 1)
+    }
+
+    /// Noise spikes are absolute-duration events, so short windows are
+    /// "more easily disrupted by temporary noise spikes" (§3.4) — shape
+    /// assertions use a paper-sized window.
+    fn observer_with_window(executors: usize, secs: u64) -> Observer {
+        Observer::new(
+            KernelConfig::default(),
+            ObserverConfig {
+                window: Usecs::from_secs(secs),
+                executors,
+                ..ObserverConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn baseline_round_shape_matches_table_a1() {
+        let table = build_table();
+        let mut obs = observer_with_window(3, 4);
+        let programs = vec![
+            deserialize("getpid()\nuname(0x0)\n", &table).unwrap(),
+            deserialize("stat(&'/etc/passwd', 0x7f0000000000)\n", &table).unwrap(),
+            deserialize("getuid()\nclock_gettime(0x0, 0x7f0000000000)\n", &table).unwrap(),
+        ];
+        // Warm-up round for the top sampler.
+        obs.round(&table, &programs).unwrap();
+        let rec = obs.round(&table, &programs).unwrap();
+        let ob = &rec.observation;
+        for core in 0..3 {
+            let busy = ob.busy_percent(core);
+            assert!(busy > 55.0, "fuzz core {core} busy {busy:.1}%");
+        }
+        for core in ob.idle_cores() {
+            let busy = ob.busy_percent(core);
+            assert!(busy < 16.0, "idle core {core} busy {busy:.1}%");
+        }
+        // Sidecar core shows the framework softirq side-effect.
+        let sidecar = ob.sidecar_core.unwrap();
+        assert!(ob.per_core[sidecar].softirq > Usecs::from_millis(20));
+        assert!(rec.observation.top.is_some(), "second frame is post-warmup");
+        assert_eq!(rec.reports.len(), 3);
+    }
+
+    #[test]
+    fn first_round_top_is_warming_up() {
+        let table = build_table();
+        let mut obs = observer(1);
+        let programs = vec![deserialize("getpid()\n", &table).unwrap()];
+        let rec = obs.round(&table, &programs).unwrap();
+        assert!(rec.observation.top.is_none());
+    }
+
+    #[test]
+    fn fewer_programs_than_executors_is_fine() {
+        let table = build_table();
+        let mut obs = observer(3);
+        let programs = vec![deserialize("getpid()\n", &table).unwrap()];
+        let rec = obs.round(&table, &programs).unwrap();
+        assert_eq!(rec.reports.len(), 1);
+    }
+
+    #[test]
+    fn deferrals_are_recorded_but_hidden_from_observation() {
+        let table = build_table();
+        let mut obs = observer(1);
+        let programs = vec![deserialize("sync()\n", &table).unwrap()];
+        let rec = obs.round(&table, &programs).unwrap();
+        assert!(
+            rec.deferrals
+                .iter()
+                .any(|e| e.channel == torpedo_kernel::DeferralChannel::IoFlush),
+            "sync must defer flush work"
+        );
+    }
+
+    #[test]
+    fn round_numbers_increment() {
+        let table = build_table();
+        let mut obs = observer(1);
+        let programs = vec![deserialize("getpid()\n", &table).unwrap()];
+        assert_eq!(obs.round(&table, &programs).unwrap().round, 1);
+        assert_eq!(obs.round(&table, &programs).unwrap().round, 2);
+    }
+}

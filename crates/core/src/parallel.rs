@@ -1,0 +1,480 @@
+//! The parallel observer: Algorithm 2 with real threads.
+//!
+//! §1.2's fifth contribution: "To retain SYZKALLER's inherent efficiency, we
+//! introduce a series of synchronization mechanisms that allow for multiple
+//! fuzzing processes to run simultaneously without compromising measurement
+//! accuracy." This module runs one OS thread per executor, synchronized by
+//! the same two-stage latch the sequential [`crate::observer`] models:
+//!
+//! 1. **Prime** — the observer delivers `(program, window)` to every worker
+//!    over a crossbeam channel.
+//! 2. **Ready** — each worker acknowledges after preparing its container.
+//! 3. **Release** — a shared barrier opens the measurement window for all
+//!    workers at once; nobody executes a single call before the barrier.
+//! 4. **Collect** — workers report; the observer measures.
+//!
+//! The simulated kernel is shared state, so workers interleave at
+//! *iteration* granularity under a [`parking_lot::Mutex`] — coarse enough
+//! to be fast, fine enough that executors genuinely race for victim cores
+//! the way parallel fuzzers do on real hardware.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{bounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use torpedo_kernel::kernel::Kernel;
+use torpedo_kernel::procfs::ProcStatSnapshot;
+use torpedo_kernel::time::Usecs;
+use torpedo_kernel::top::TopSampler;
+use torpedo_oracle::observation::{ContainerInfo, Observation};
+use torpedo_prog::{Program, ProgramCoverage, SyscallDesc};
+use torpedo_runtime::engine::Engine;
+use torpedo_runtime::spec::ContainerSpec;
+
+use crate::executor::{ExecReport, Executor};
+use crate::observer::{ObserverConfig, RoundRecord};
+
+enum Cmd {
+    Run { program: Program, window: Usecs },
+    Shutdown,
+}
+
+struct Worker {
+    cmd_tx: Sender<Cmd>,
+    ready_rx: Receiver<()>,
+    report_rx: Receiver<ExecReport>,
+    handle: Option<JoinHandle<()>>,
+}
+
+/// Shared simulation state guarded for the worker threads.
+struct Shared {
+    kernel: Mutex<Kernel>,
+    engine: Mutex<Engine>,
+    table: Vec<SyscallDesc>,
+    start_barrier: Barrier,
+    poisoned: AtomicBool,
+}
+
+/// A threaded observer: same protocol and measurements as
+/// [`crate::observer::Observer`], executed by concurrent workers.
+pub struct ParallelObserver {
+    shared: Arc<Shared>,
+    workers: Vec<Worker>,
+    sampler: TopSampler,
+    config: ObserverConfig,
+    rounds: u64,
+}
+
+impl std::fmt::Debug for ParallelObserver {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ParallelObserver")
+            .field("workers", &self.workers.len())
+            .field("rounds", &self.rounds)
+            .finish()
+    }
+}
+
+impl ParallelObserver {
+    /// Boot the host, deploy containers, and spawn one worker thread per
+    /// executor.
+    ///
+    /// # Errors
+    /// Propagates engine errors from container creation.
+    pub fn new(
+        kernel_config: torpedo_kernel::KernelConfig,
+        config: ObserverConfig,
+        table: Vec<SyscallDesc>,
+    ) -> Result<ParallelObserver, Box<dyn std::error::Error>> {
+        let mut kernel = Kernel::new(kernel_config);
+        let mut engine = Engine::new(&mut kernel);
+        let mut executors = Vec::with_capacity(config.executors);
+        for i in 0..config.executors {
+            let id = engine.create(
+                &mut kernel,
+                ContainerSpec::new(&format!("fuzz-{i}"))
+                    .runtime_name(&config.runtime)
+                    .cpuset_cpus(&[i])
+                    .cpus(config.cpus_per_container),
+            )?;
+            let mut executor = Executor::new(id);
+            executor.collider = config.collider;
+            executor.glue = config.glue;
+            executors.push(executor);
+        }
+        let shared = Arc::new(Shared {
+            kernel: Mutex::new(kernel),
+            engine: Mutex::new(engine),
+            table,
+            start_barrier: Barrier::new(config.executors + 1),
+            poisoned: AtomicBool::new(false),
+        });
+        let workers = executors
+            .into_iter()
+            .map(|executor| spawn_worker(Arc::clone(&shared), executor))
+            .collect();
+        Ok(ParallelObserver {
+            shared,
+            workers,
+            sampler: TopSampler::new(),
+            config,
+            rounds: 0,
+        })
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Restart any crashed containers (between batches), as the sequential
+    /// observer does.
+    ///
+    /// # Errors
+    /// Engine restart failures.
+    pub fn restart_crashed(&mut self) -> Result<(), Box<dyn std::error::Error>> {
+        let mut kernel = self.shared.kernel.lock();
+        let mut engine = self.shared.engine.lock();
+        let crashed: Vec<_> = engine
+            .container_ids()
+            .into_iter()
+            .filter(|id| {
+                matches!(
+                    engine.container(id).map(|c| c.state()),
+                    Some(torpedo_runtime::engine::ContainerState::Crashed(_))
+                )
+            })
+            .collect();
+        for id in crashed {
+            engine.restart(&mut kernel, &id)?;
+        }
+        Ok(())
+    }
+
+    /// Run one synchronized round across all workers.
+    ///
+    /// Idle workers (when `programs` is shorter than the fleet) still latch
+    /// through the barrier with an empty assignment, as real executors do.
+    ///
+    /// # Errors
+    /// Channel failures (a worker died) or poisoned shared state.
+    pub fn round(
+        &mut self,
+        programs: &[Program],
+    ) -> Result<RoundRecord, Box<dyn std::error::Error>> {
+        if self.shared.poisoned.load(Ordering::SeqCst) {
+            return Err("a worker thread panicked in a previous round".into());
+        }
+        let window = self.config.window;
+        let n = self.workers.len();
+
+        let before;
+        {
+            let mut kernel = self.shared.kernel.lock();
+            before = ProcStatSnapshot::capture(&kernel);
+            kernel.begin_round(window);
+            let reserved: Vec<usize> = (0..n).collect();
+            kernel.set_reserved_cores(&reserved);
+        }
+
+        // Stage 1: prime every worker.
+        for (i, worker) in self.workers.iter().enumerate() {
+            let program = programs.get(i).cloned().unwrap_or_default();
+            worker.cmd_tx.send(Cmd::Run { program, window })?;
+        }
+        // Stage 1b: wait for every ready signal.
+        for worker in &self.workers {
+            worker.ready_rx.recv()?;
+        }
+        // Stage 2: open the measurement window for everyone simultaneously.
+        self.shared.start_barrier.wait();
+
+        // Collect reports.
+        let mut reports = Vec::with_capacity(n);
+        for worker in &self.workers {
+            reports.push(worker.report_rx.recv()?);
+        }
+
+        // Measure, exactly as the sequential observer does.
+        let (per_core, deferrals, containers, top, startup_times) = {
+            let mut kernel = self.shared.kernel.lock();
+            let mut engine = self.shared.engine.lock();
+            engine.round_overhead(&mut kernel, window);
+            let fuzz_cores: Vec<usize> = (0..n).collect();
+            let out = kernel.finish_round(&fuzz_cores);
+            let after = ProcStatSnapshot::capture(&kernel);
+            let per_core = after.since(&before);
+            let top = self.sampler.sample(&kernel, window);
+            let containers: Vec<ContainerInfo> = engine
+                .container_ids()
+                .iter()
+                .map(|id| {
+                    let c = engine.container(id).expect("container exists");
+                    let cg = kernel.cgroups.get(c.cgroup());
+                    ContainerInfo {
+                        name: id.name().to_string(),
+                        cpuset: c.spec().cpuset.clone(),
+                        cpu_quota: c.spec().cpus,
+                        memory_limit: c.spec().memory_bytes,
+                        memory_used: cg.map_or(0, |g| g.charged_memory()),
+                        io_bytes: cg.map_or(0, |g| g.charged_io_bytes()),
+                        oom_events: cg.map_or(0, |g| g.oom_events()),
+                    }
+                })
+                .collect();
+            let startup_times = engine.drain_startup_log();
+            (per_core, out.deferrals, containers, top, startup_times)
+        };
+
+        self.rounds += 1;
+        let cores = per_core.len();
+        Ok(RoundRecord {
+            round: self.rounds,
+            observation: Observation {
+                window,
+                per_core,
+                top,
+                containers,
+                sidecar_core: Some(n % cores),
+                startup_times,
+            },
+            reports,
+            deferrals,
+        })
+    }
+}
+
+impl Drop for ParallelObserver {
+    fn drop(&mut self) {
+        for worker in &self.workers {
+            let _ = worker.cmd_tx.send(Cmd::Shutdown);
+        }
+        for worker in &mut self.workers {
+            if let Some(handle) = worker.handle.take() {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+fn spawn_worker(shared: Arc<Shared>, executor: Executor) -> Worker {
+    let (cmd_tx, cmd_rx) = bounded::<Cmd>(1);
+    let (ready_tx, ready_rx) = bounded::<()>(1);
+    let (report_tx, report_rx) = bounded::<ExecReport>(1);
+    let handle = std::thread::spawn(move || {
+        while let Ok(cmd) = cmd_rx.recv() {
+            let (program, window) = match cmd {
+                Cmd::Run { program, window } => (program, window),
+                Cmd::Shutdown => return,
+            };
+            // Container-side preparation done; first latch.
+            if ready_tx.send(()).is_err() {
+                return;
+            }
+            // Second latch: the window opens for everyone at once.
+            shared.start_barrier.wait();
+            let report = run_window(&shared, &executor, &program, window);
+            let Some(report) = report else {
+                shared.poisoned.store(true, Ordering::SeqCst);
+                return;
+            };
+            if report_tx.send(report).is_err() {
+                return;
+            }
+        }
+    });
+    Worker {
+        cmd_tx,
+        ready_rx,
+        report_rx,
+        handle: Some(handle),
+    }
+}
+
+/// Algorithm 1's loop, interleaving with other workers at iteration
+/// granularity under the shared-kernel lock.
+fn run_window(
+    shared: &Shared,
+    executor: &Executor,
+    program: &Program,
+    window: Usecs,
+) -> Option<ExecReport> {
+    let mut elapsed = Usecs::ZERO;
+    let mut total = Usecs::ZERO;
+    let mut executions = 0u64;
+    let mut coverage = ProgramCoverage::default();
+    let mut crash = None;
+    let mut throttled = false;
+    let mut fatal_signals = 0u64;
+    let mut blocked_time = Usecs::ZERO;
+
+    if program.is_empty() {
+        return Some(ExecReport {
+            executions: 0,
+            avg_exec_time: Usecs::ZERO,
+            coverage,
+            crash: None,
+            throttled: false,
+            fatal_signals: 0,
+            blocked_time: Usecs::ZERO,
+        });
+    }
+
+    loop {
+        let step = {
+            let mut kernel = shared.kernel.lock();
+            let mut engine = shared.engine.lock();
+            executor
+                .step(&mut kernel, &mut engine, &shared.table, program, executions == 0)
+                .ok()?
+        };
+        executions += 1;
+        total += step.duration;
+        blocked_time += step.blocked;
+        fatal_signals += step.fatal_signals;
+        elapsed += step.duration;
+        if executions == 1 {
+            coverage = step.coverage;
+        }
+        if let Some(c) = step.crash {
+            crash = Some(c);
+            break;
+        }
+        if step.throttled {
+            throttled = true;
+            break;
+        }
+        let avg = Usecs(total.as_micros() / executions);
+        if elapsed + avg > window || step.duration == Usecs::ZERO {
+            break;
+        }
+        // Give other workers a chance at the lock.
+        std::thread::yield_now();
+    }
+
+    Some(ExecReport {
+        executions,
+        avg_exec_time: Usecs(total.as_micros() / executions.max(1)),
+        coverage,
+        crash,
+        throttled,
+        fatal_signals,
+        blocked_time,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observer::Observer;
+    use torpedo_kernel::KernelConfig;
+    use torpedo_prog::{build_table, deserialize};
+
+    fn config(executors: usize) -> ObserverConfig {
+        ObserverConfig {
+            window: Usecs::from_secs(1),
+            executors,
+            ..ObserverConfig::default()
+        }
+    }
+
+    #[test]
+    fn parallel_round_conserves_core_time() {
+        let table = build_table();
+        let programs = vec![
+            deserialize("getpid()\n", &table).unwrap(),
+            deserialize("uname(0x0)\n", &table).unwrap(),
+            deserialize("sync()\n", &table).unwrap(),
+        ];
+        let mut obs =
+            ParallelObserver::new(KernelConfig::default(), config(3), table.clone()).unwrap();
+        let rec = obs.round(&programs).unwrap();
+        assert_eq!(rec.reports.len(), 3);
+        for (core, row) in rec.observation.per_core.iter().enumerate() {
+            assert_eq!(
+                row.total(),
+                Usecs::from_secs(1),
+                "core {core}: {}",
+                row.total()
+            );
+        }
+        for report in &rec.reports {
+            assert!(report.executions > 0);
+        }
+    }
+
+    #[test]
+    fn parallel_matches_sequential_shape() {
+        let table = build_table();
+        let programs = vec![
+            deserialize("getpid()\nuname(0x0)\n", &table).unwrap(),
+            deserialize("stat(&'/etc/passwd', 0x0)\n", &table).unwrap(),
+            deserialize("getuid()\n", &table).unwrap(),
+        ];
+        let mut par =
+            ParallelObserver::new(KernelConfig::default(), config(3), table.clone()).unwrap();
+        let mut seq = Observer::new(KernelConfig::default(), config(3)).unwrap();
+        let pr = par.round(&programs).unwrap();
+        let sr = seq.round(&table, &programs).unwrap();
+        // Interleaving differs, but per-executor throughput must be close.
+        for (p, s) in pr.reports.iter().zip(&sr.reports) {
+            let ratio = p.executions as f64 / s.executions.max(1) as f64;
+            assert!(
+                (0.7..1.3).contains(&ratio),
+                "throughput diverged: parallel {} vs sequential {}",
+                p.executions,
+                s.executions
+            );
+        }
+        // Fuzz cores busy in both.
+        for core in 0..3 {
+            assert!(pr.observation.busy_percent(core) > 50.0);
+        }
+    }
+
+    #[test]
+    fn multiple_rounds_reuse_the_latch() {
+        let table = build_table();
+        let programs = vec![deserialize("getpid()\n", &table).unwrap()];
+        let mut obs =
+            ParallelObserver::new(KernelConfig::default(), config(1), table).unwrap();
+        for expected in 1..=3 {
+            let rec = obs.round(&programs).unwrap();
+            assert_eq!(rec.round, expected);
+        }
+    }
+
+    #[test]
+    fn idle_workers_still_latch() {
+        let table = build_table();
+        let programs = vec![deserialize("getpid()\n", &table).unwrap()];
+        let mut obs =
+            ParallelObserver::new(KernelConfig::default(), config(3), table).unwrap();
+        let rec = obs.round(&programs).unwrap();
+        assert_eq!(rec.reports.len(), 3);
+        assert!(rec.reports[0].executions > 0);
+        assert_eq!(rec.reports[1].executions, 0, "idle worker reports empty");
+        assert_eq!(rec.reports[2].executions, 0);
+    }
+
+    #[test]
+    fn crash_in_parallel_round_is_reported() {
+        let table = build_table();
+        let mut cfg = config(2);
+        cfg.runtime = "runsc".to_string();
+        let programs = vec![
+            deserialize(
+                "open(&'/lib/x86_64-Linux-gnu/libc.so.6', 0x680002, 0x20)\n",
+                &table,
+            )
+            .unwrap(),
+            deserialize("getpid()\n", &table).unwrap(),
+        ];
+        let mut obs = ParallelObserver::new(KernelConfig::default(), cfg, table).unwrap();
+        let rec = obs.round(&programs).unwrap();
+        assert!(rec.reports[0].crash.is_some());
+        assert!(rec.reports[1].crash.is_none());
+    }
+}

@@ -1,0 +1,181 @@
+//! The per-program state machine of Figure 3.2 (SYZKALLER's original
+//! lifecycle), retained by TORPEDO at the individual-program level while the
+//! batch machine (Figure 3.3, [`crate::batch`]) operates on sets.
+//!
+//! ```text
+//! candidate --new coverage--> triage --verified--> minimize --> smash --> corpus
+//!     \--no new coverage--> discarded      \--flaky--> discarded
+//! ```
+
+/// Program lifecycle stages (Figure 3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProgStage {
+    /// Run once to check for new coverage.
+    Candidate,
+    /// Re-run to verify the new coverage is stable.
+    Triage,
+    /// Shrink while preserving the coverage of interest.
+    Minimize,
+    /// Mutate repeatedly / inject faults for variants.
+    Smash,
+    /// Retained in the corpus.
+    Corpus,
+    /// Dropped.
+    Discarded,
+}
+
+/// Events that drive stage transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProgEvent {
+    /// The candidate run produced new coverage.
+    NewCoverage,
+    /// The candidate run produced nothing new.
+    NoNewCoverage,
+    /// Triage re-run reproduced the coverage.
+    Verified,
+    /// Triage re-run did not reproduce it (flaky signal).
+    Flaky,
+    /// Minimization converged.
+    Minimized,
+    /// Smashing produced its variants; program settles into the corpus.
+    Smashed,
+}
+
+/// An illegal transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidTransition {
+    /// Stage the machine was in.
+    pub from: ProgStage,
+    /// The event that does not apply there.
+    pub event: ProgEvent,
+}
+
+impl std::fmt::Display for InvalidTransition {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "event {:?} is invalid in stage {:?}", self.event, self.from)
+    }
+}
+
+impl std::error::Error for InvalidTransition {}
+
+/// The Figure 3.2 state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProgramStateMachine {
+    stage: ProgStage,
+}
+
+impl ProgramStateMachine {
+    /// A fresh candidate.
+    pub fn new() -> ProgramStateMachine {
+        ProgramStateMachine {
+            stage: ProgStage::Candidate,
+        }
+    }
+
+    /// Current stage.
+    pub fn stage(&self) -> ProgStage {
+        self.stage
+    }
+
+    /// Whether the program has reached a terminal stage.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self.stage, ProgStage::Corpus | ProgStage::Discarded)
+    }
+
+    /// Apply `event`.
+    ///
+    /// # Errors
+    /// [`InvalidTransition`] when `event` does not apply in the current
+    /// stage; the machine is unchanged in that case.
+    pub fn advance(&mut self, event: ProgEvent) -> Result<ProgStage, InvalidTransition> {
+        use ProgEvent::*;
+        use ProgStage::*;
+        let next = match (self.stage, event) {
+            (Candidate, NewCoverage) => Triage,
+            (Candidate, NoNewCoverage) => Discarded,
+            (Triage, Verified) => Minimize,
+            (Triage, Flaky) => Discarded,
+            (Minimize, Minimized) => Smash,
+            (Smash, Smashed) => Corpus,
+            (from, event) => return Err(InvalidTransition { from, event }),
+        };
+        self.stage = next;
+        Ok(next)
+    }
+
+    /// The canonical happy-path trace, for documentation and the
+    /// `state_machines` bench binary.
+    pub fn happy_path() -> Vec<(ProgStage, ProgEvent, ProgStage)> {
+        let mut machine = ProgramStateMachine::new();
+        let events = [
+            ProgEvent::NewCoverage,
+            ProgEvent::Verified,
+            ProgEvent::Minimized,
+            ProgEvent::Smashed,
+        ];
+        let mut trace = Vec::new();
+        for event in events {
+            let from = machine.stage();
+            let to = machine.advance(event).expect("happy path is legal");
+            trace.push((from, event, to));
+        }
+        trace
+    }
+}
+
+impl Default for ProgramStateMachine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn happy_path_reaches_corpus() {
+        let trace = ProgramStateMachine::happy_path();
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace.last().unwrap().2, ProgStage::Corpus);
+    }
+
+    #[test]
+    fn boring_candidates_are_discarded() {
+        let mut machine = ProgramStateMachine::new();
+        assert_eq!(
+            machine.advance(ProgEvent::NoNewCoverage).unwrap(),
+            ProgStage::Discarded
+        );
+        assert!(machine.is_terminal());
+    }
+
+    #[test]
+    fn flaky_triage_discards() {
+        let mut machine = ProgramStateMachine::new();
+        machine.advance(ProgEvent::NewCoverage).unwrap();
+        assert_eq!(machine.advance(ProgEvent::Flaky).unwrap(), ProgStage::Discarded);
+    }
+
+    #[test]
+    fn illegal_transitions_leave_machine_unchanged() {
+        let mut machine = ProgramStateMachine::new();
+        let err = machine.advance(ProgEvent::Minimized).unwrap_err();
+        assert_eq!(err.from, ProgStage::Candidate);
+        assert_eq!(machine.stage(), ProgStage::Candidate);
+    }
+
+    #[test]
+    fn terminal_stages_accept_nothing() {
+        let mut machine = ProgramStateMachine::new();
+        machine.advance(ProgEvent::NoNewCoverage).unwrap();
+        for event in [
+            ProgEvent::NewCoverage,
+            ProgEvent::Verified,
+            ProgEvent::Minimized,
+            ProgEvent::Smashed,
+        ] {
+            assert!(machine.advance(event).is_err());
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! Seed ingestion (§3's "Adding Seed Ingestion and Minimization" and the
+//! §4.1.1/§4.1.2 evaluation workflow): parse serialized seed programs,
+//! strip the blocking syscalls of the generation denylist, and split the
+//! corpus into executor-sized batches.
+
+use std::collections::HashSet;
+
+use torpedo_prog::{deserialize, ParseError, Program, SyscallDesc};
+
+/// The paper's observed-blocking denylist (§4.1.2): "certain syscalls, such
+/// as 'pause', 'nanosleep', 'poll', and 'recv' send the program into the
+/// blocked state and are thoroughly uninteresting."
+pub fn default_denylist() -> HashSet<String> {
+    ["pause", "nanosleep", "poll", "recvfrom", "recvmsg", "accept", "accept4", "select", "epoll_wait"]
+        .into_iter()
+        .map(str::to_string)
+        .collect()
+}
+
+/// A loaded seed corpus.
+#[derive(Debug, Clone, Default)]
+pub struct SeedCorpus {
+    /// The (filtered) seed programs.
+    pub programs: Vec<Program>,
+    /// Calls removed by the denylist filter, by syscall name.
+    pub filtered_calls: Vec<String>,
+}
+
+impl SeedCorpus {
+    /// Parse seeds from their text representations, dropping denylisted
+    /// calls from each program and discarding seeds that become empty.
+    ///
+    /// # Errors
+    /// The first [`ParseError`] encountered, tagged with the seed index.
+    pub fn load<S: AsRef<str>>(
+        texts: &[S],
+        table: &[SyscallDesc],
+        denylist: &HashSet<String>,
+    ) -> Result<SeedCorpus, (usize, ParseError)> {
+        let mut corpus = SeedCorpus::default();
+        for (i, text) in texts.iter().enumerate() {
+            let mut program = deserialize(text.as_ref(), table).map_err(|e| (i, e))?;
+            filter_denylisted(&mut program, table, denylist, &mut corpus.filtered_calls);
+            if !program.is_empty() {
+                corpus.programs.push(program);
+            }
+        }
+        Ok(corpus)
+    }
+
+    /// Number of usable seeds.
+    pub fn len(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Whether no seeds survived.
+    pub fn is_empty(&self) -> bool {
+        self.programs.is_empty()
+    }
+
+    /// Split into batches of `n` (one program per executor). The last batch
+    /// may be short.
+    pub fn batches(&self, n: usize) -> Vec<Vec<Program>> {
+        self.programs
+            .chunks(n.max(1))
+            .map(|chunk| chunk.to_vec())
+            .collect()
+    }
+}
+
+/// Remove denylisted calls from `program`, recording their names.
+pub fn filter_denylisted(
+    program: &mut Program,
+    table: &[SyscallDesc],
+    denylist: &HashSet<String>,
+    removed_names: &mut Vec<String>,
+) {
+    let mut idx = program.len();
+    while idx > 0 {
+        idx -= 1;
+        let name = table[program.calls[idx].desc].name;
+        if denylist.contains(name) {
+            program.remove_call(idx);
+            removed_names.push(name.to_string());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use torpedo_prog::build_table;
+
+    #[test]
+    fn load_filters_blocking_calls() {
+        let table = build_table();
+        let texts = [
+            "getpid()\npause()\nuname(0x0)\n",
+            "pause()\n",
+            "sync()\n",
+        ];
+        let corpus = SeedCorpus::load(&texts, &table, &default_denylist()).unwrap();
+        // Seed 1 becomes empty and is dropped.
+        assert_eq!(corpus.len(), 2);
+        assert_eq!(corpus.programs[0].len(), 2);
+        assert!(corpus.filtered_calls.iter().any(|n| n == "pause"));
+        for prog in &corpus.programs {
+            prog.validate(&table).unwrap();
+        }
+    }
+
+    #[test]
+    fn parse_errors_carry_seed_index() {
+        let table = build_table();
+        let texts = ["sync()\n", "bogus(0x1)\n"];
+        let err = SeedCorpus::load(&texts, &table, &default_denylist()).unwrap_err();
+        assert_eq!(err.0, 1);
+    }
+
+    #[test]
+    fn batches_chunk_correctly() {
+        let table = build_table();
+        let texts = ["sync()\n"; 7];
+        let corpus = SeedCorpus::load(&texts, &table, &HashSet::new()).unwrap();
+        let batches = corpus.batches(3);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].len(), 3);
+        assert_eq!(batches[2].len(), 1);
+    }
+
+    #[test]
+    fn denylist_matches_paper() {
+        let deny = default_denylist();
+        for name in ["pause", "nanosleep", "poll", "recvfrom"] {
+            assert!(deny.contains(name), "{name} missing");
+        }
+        assert!(!deny.contains("sync"));
+    }
+
+    #[test]
+    fn filtering_preserves_reference_validity() {
+        let table = build_table();
+        // socket is kept; the blocking accept (which references it) is
+        // removed; sendto's reference must survive re-indexing.
+        let text = "\
+r0 = socket(0x2, 0x1, 0x0)
+accept(r0, 0x0, 0x0)
+sendto(r0, 0x0, 0x10, 0x0, 0x0, 0x0)
+";
+        let corpus = SeedCorpus::load(&[text], &table, &default_denylist()).unwrap();
+        let prog = &corpus.programs[0];
+        assert_eq!(prog.len(), 2);
+        prog.validate(&table).unwrap();
+    }
+}

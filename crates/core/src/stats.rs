@@ -1,0 +1,141 @@
+//! Campaign statistics: the syz-manager-style operational counters (§2.6.2:
+//! "a central collection point for the program corpus and execution
+//! statistics … serves these statistics over a local HTTP server for human
+//! observers"). This port collects the same counters and renders them as a
+//! text status page.
+
+use torpedo_kernel::time::Usecs;
+
+use crate::campaign::CampaignReport;
+
+/// Aggregated campaign statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignStats {
+    /// Rounds executed.
+    pub rounds: u64,
+    /// Total program executions across all rounds and executors.
+    pub executions: u64,
+    /// Virtual fuzzing time simulated.
+    pub virtual_time: Usecs,
+    /// Executions per virtual second (the throughput KPI).
+    pub execs_per_vsec: f64,
+    /// Corpus programs admitted.
+    pub corpus: usize,
+    /// Distinct coverage signals.
+    pub signals: usize,
+    /// Programs flagged adversarial.
+    pub flagged: usize,
+    /// Container crashes collected.
+    pub crashes: usize,
+    /// Crashes that reproduced.
+    pub crashes_reproduced: usize,
+    /// Fatal signals delivered to workloads (coredump storms).
+    pub fatal_signals: u64,
+    /// Best oracle score seen in any round.
+    pub best_score: f64,
+}
+
+impl CampaignStats {
+    /// Compute statistics from a finished campaign report.
+    pub fn from_report(report: &CampaignReport) -> CampaignStats {
+        let mut executions = 0u64;
+        let mut fatal_signals = 0u64;
+        let mut virtual_time = Usecs::ZERO;
+        let mut best_score = 0.0f64;
+        for log in &report.logs {
+            virtual_time += log.observation.window;
+            best_score = best_score.max(log.score);
+            executions += log.executions;
+            fatal_signals += log.fatal_signals;
+        }
+        let vsecs = virtual_time.as_secs_f64();
+        CampaignStats {
+            rounds: report.rounds_total,
+            executions,
+            virtual_time,
+            execs_per_vsec: if vsecs > 0.0 {
+                executions as f64 / vsecs
+            } else {
+                0.0
+            },
+            corpus: report.corpus.len(),
+            signals: report.coverage_signals,
+            flagged: report.flagged.len(),
+            crashes: report.crashes.len(),
+            crashes_reproduced: report.crashes.iter().filter(|c| c.reproduced).count(),
+            fatal_signals,
+            best_score,
+        }
+    }
+
+    /// Render the status page.
+    pub fn render(&self) -> String {
+        format!(
+            "TORPEDO campaign status\n\
+             =======================\n\
+             rounds              {}\n\
+             virtual time        {}\n\
+             executions          {}\n\
+             execs / vsec        {:.1}\n\
+             corpus programs     {}\n\
+             coverage signals    {}\n\
+             flagged programs    {}\n\
+             crashes             {} ({} reproduced)\n\
+             fatal signals       {}\n\
+             best oracle score   {:.2}\n",
+            self.rounds,
+            self.virtual_time,
+            self.executions,
+            self.execs_per_vsec,
+            self.corpus,
+            self.signals,
+            self.flagged,
+            self.crashes,
+            self.crashes_reproduced,
+            self.fatal_signals,
+            self.best_score,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::{Campaign, CampaignConfig};
+    use crate::observer::ObserverConfig;
+    use crate::seeds::{default_denylist, SeedCorpus};
+    use torpedo_oracle::CpuOracle;
+    use torpedo_prog::build_table;
+
+    #[test]
+    fn stats_from_a_small_campaign() {
+        let table = build_table();
+        let seeds = SeedCorpus::load(
+            &["getpid()\n", "sync()\n"],
+            &table,
+            &default_denylist(),
+        )
+        .unwrap();
+        let config = CampaignConfig {
+            observer: ObserverConfig {
+                window: Usecs::from_secs(1),
+                executors: 2,
+                ..ObserverConfig::default()
+            },
+            max_rounds_per_batch: 3,
+            ..CampaignConfig::default()
+        };
+        let report = Campaign::new(config, table)
+            .run(&seeds, &CpuOracle::new())
+            .unwrap();
+        let stats = CampaignStats::from_report(&report);
+        assert_eq!(stats.rounds, report.rounds_total);
+        assert!(stats.executions > 100, "{stats:?}");
+        assert!(stats.execs_per_vsec > 100.0);
+        assert!(stats.virtual_time >= Usecs::from_secs(3));
+        assert!(stats.best_score > 0.0);
+        let page = stats.render();
+        assert!(page.contains("execs / vsec"));
+        assert!(page.contains("corpus programs"));
+    }
+}

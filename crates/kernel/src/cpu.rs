@@ -1,0 +1,258 @@
+//! Per-core CPU time accounting in the `/proc/stat` category schema.
+//!
+//! The TORPEDO observer logs (Tables A.1–A.4 of the paper) are constructed by
+//! sampling `/proc/stat` at two instants and diffing. This module provides
+//! the category ledger those tables are built from: `USER`, `NICE`, `SYSTEM`,
+//! `IDLE`, `IO WAIT`, `IRQ`, `SOFTIRQ`, `STEAL`, `GUEST`, `GUEST NICE`, plus
+//! the derived `BUSY` (sum of all non-idle categories, exactly as the paper
+//! computes it — io-wait counts as busy in the appendix tables).
+
+use crate::time::Usecs;
+
+/// One `/proc/stat` accounting category.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CpuCategory {
+    /// Normal user-mode execution.
+    User,
+    /// Niced user-mode execution.
+    Nice,
+    /// Kernel-mode execution.
+    System,
+    /// Idle.
+    Idle,
+    /// Waiting on block I/O completion.
+    IoWait,
+    /// Hard interrupt servicing.
+    Irq,
+    /// Soft interrupt servicing.
+    SoftIrq,
+    /// Stolen by the hypervisor.
+    Steal,
+    /// Running a guest.
+    Guest,
+    /// Running a niced guest.
+    GuestNice,
+}
+
+impl CpuCategory {
+    /// All categories, in `/proc/stat` column order.
+    pub const ALL: [CpuCategory; 10] = [
+        CpuCategory::User,
+        CpuCategory::Nice,
+        CpuCategory::System,
+        CpuCategory::Idle,
+        CpuCategory::IoWait,
+        CpuCategory::Irq,
+        CpuCategory::SoftIrq,
+        CpuCategory::Steal,
+        CpuCategory::Guest,
+        CpuCategory::GuestNice,
+    ];
+
+    /// The column header used in the paper's observer logs.
+    pub fn header(self) -> &'static str {
+        match self {
+            CpuCategory::User => "USER",
+            CpuCategory::Nice => "NICE",
+            CpuCategory::System => "SYSTEM",
+            CpuCategory::Idle => "IDLE",
+            CpuCategory::IoWait => "IO WAIT",
+            CpuCategory::Irq => "IRQ",
+            CpuCategory::SoftIrq => "SOFTIRQ",
+            CpuCategory::Steal => "STEAL",
+            CpuCategory::Guest => "GUEST",
+            CpuCategory::GuestNice => "GUEST NICE",
+        }
+    }
+}
+
+/// Cumulative CPU time of one core, split over the ten categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CpuTimes {
+    /// Normal user-mode time.
+    pub user: Usecs,
+    /// Niced user-mode time.
+    pub nice: Usecs,
+    /// Kernel-mode time.
+    pub system: Usecs,
+    /// Idle time.
+    pub idle: Usecs,
+    /// Block-I/O wait time.
+    pub iowait: Usecs,
+    /// Hard-IRQ time.
+    pub irq: Usecs,
+    /// Soft-IRQ time.
+    pub softirq: Usecs,
+    /// Hypervisor steal time.
+    pub steal: Usecs,
+    /// Guest time.
+    pub guest: Usecs,
+    /// Niced guest time.
+    pub guest_nice: Usecs,
+}
+
+impl CpuTimes {
+    /// Access one category.
+    pub fn get(&self, cat: CpuCategory) -> Usecs {
+        match cat {
+            CpuCategory::User => self.user,
+            CpuCategory::Nice => self.nice,
+            CpuCategory::System => self.system,
+            CpuCategory::Idle => self.idle,
+            CpuCategory::IoWait => self.iowait,
+            CpuCategory::Irq => self.irq,
+            CpuCategory::SoftIrq => self.softirq,
+            CpuCategory::Steal => self.steal,
+            CpuCategory::Guest => self.guest,
+            CpuCategory::GuestNice => self.guest_nice,
+        }
+    }
+
+    /// Mutable access to one category.
+    pub fn get_mut(&mut self, cat: CpuCategory) -> &mut Usecs {
+        match cat {
+            CpuCategory::User => &mut self.user,
+            CpuCategory::Nice => &mut self.nice,
+            CpuCategory::System => &mut self.system,
+            CpuCategory::Idle => &mut self.idle,
+            CpuCategory::IoWait => &mut self.iowait,
+            CpuCategory::Irq => &mut self.irq,
+            CpuCategory::SoftIrq => &mut self.softirq,
+            CpuCategory::Steal => &mut self.steal,
+            CpuCategory::Guest => &mut self.guest,
+            CpuCategory::GuestNice => &mut self.guest_nice,
+        }
+    }
+
+    /// Charge `amount` to `cat`.
+    pub fn charge(&mut self, cat: CpuCategory, amount: Usecs) {
+        *self.get_mut(cat) += amount;
+    }
+
+    /// Sum of all non-idle categories — the paper's `BUSY` column.
+    pub fn busy(&self) -> Usecs {
+        let mut total = Usecs::ZERO;
+        for cat in CpuCategory::ALL {
+            if cat != CpuCategory::Idle {
+                total += self.get(cat);
+            }
+        }
+        total
+    }
+
+    /// Sum over all categories — the paper's `TOTAL` column.
+    pub fn total(&self) -> Usecs {
+        self.busy() + self.idle
+    }
+
+    /// `BUSY / TOTAL` as a percentage — the paper's `PERCENT` column.
+    ///
+    /// Returns `0.0` when no time has been accounted at all.
+    pub fn busy_percent(&self) -> f64 {
+        let total = self.total().as_micros();
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * self.busy().as_micros() as f64 / total as f64
+        }
+    }
+
+    /// Component-wise difference `self - earlier`, saturating at zero.
+    ///
+    /// This mirrors sampling `/proc/stat` twice and diffing, which is how
+    /// every observer-log table in the paper was produced.
+    #[must_use]
+    pub fn since(&self, earlier: &CpuTimes) -> CpuTimes {
+        let mut out = CpuTimes::default();
+        for cat in CpuCategory::ALL {
+            *out.get_mut(cat) = self.get(cat).saturating_sub(earlier.get(cat));
+        }
+        out
+    }
+
+    /// Component-wise sum.
+    #[must_use]
+    pub fn merged(&self, other: &CpuTimes) -> CpuTimes {
+        let mut out = *self;
+        for cat in CpuCategory::ALL {
+            *out.get_mut(cat) += other.get(cat);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CpuTimes {
+        let mut t = CpuTimes::default();
+        t.charge(CpuCategory::User, Usecs(100));
+        t.charge(CpuCategory::System, Usecs(300));
+        t.charge(CpuCategory::Idle, Usecs(500));
+        t.charge(CpuCategory::IoWait, Usecs(60));
+        t.charge(CpuCategory::SoftIrq, Usecs(40));
+        t
+    }
+
+    #[test]
+    fn busy_excludes_only_idle() {
+        let t = sample();
+        assert_eq!(t.busy(), Usecs(500));
+        assert_eq!(t.total(), Usecs(1000));
+    }
+
+    #[test]
+    fn busy_percent_matches_paper_formula() {
+        let t = sample();
+        assert!((t.busy_percent() - 50.0).abs() < 1e-9);
+        assert_eq!(CpuTimes::default().busy_percent(), 0.0);
+    }
+
+    #[test]
+    fn since_diffs_each_category() {
+        let early = sample();
+        let mut late = early;
+        late.charge(CpuCategory::User, Usecs(50));
+        late.charge(CpuCategory::Idle, Usecs(25));
+        let d = late.since(&early);
+        assert_eq!(d.user, Usecs(50));
+        assert_eq!(d.idle, Usecs(25));
+        assert_eq!(d.system, Usecs::ZERO);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let early = sample();
+        let d = CpuTimes::default().since(&early);
+        assert_eq!(d.busy(), Usecs::ZERO);
+    }
+
+    #[test]
+    fn merged_adds() {
+        let a = sample();
+        let b = sample();
+        let m = a.merged(&b);
+        assert_eq!(m.user, Usecs(200));
+        assert_eq!(m.total(), Usecs(2000));
+    }
+
+    #[test]
+    fn get_mut_roundtrip_all_categories() {
+        let mut t = CpuTimes::default();
+        for (i, cat) in CpuCategory::ALL.into_iter().enumerate() {
+            *t.get_mut(cat) = Usecs(i as u64 + 1);
+        }
+        for (i, cat) in CpuCategory::ALL.into_iter().enumerate() {
+            assert_eq!(t.get(cat), Usecs(i as u64 + 1), "category {cat:?}");
+        }
+    }
+
+    #[test]
+    fn headers_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for cat in CpuCategory::ALL {
+            assert!(seen.insert(cat.header()));
+        }
+    }
+}

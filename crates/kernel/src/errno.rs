@@ -1,0 +1,158 @@
+//! Error numbers returned by the simulated syscall interface.
+//!
+//! Only the errnos that the TORPEDO evaluation actually exercises are
+//! modelled, with the same numeric values as Linux/x86-64 so that the
+//! SYZKALLER-style fallback coverage signal (`syscall_nr XOR errno`) produces
+//! realistic values. See Table 4.2 of the paper: the `socket(2)` OOB workload
+//! manifests for errnos 93, 94 and 97.
+
+/// A subset of Linux error numbers, with Linux/x86-64 numeric values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u16)]
+pub enum Errno {
+    /// Operation not permitted.
+    EPERM = 1,
+    /// No such file or directory.
+    ENOENT = 2,
+    /// No such process.
+    ESRCH = 3,
+    /// Interrupted system call.
+    EINTR = 4,
+    /// I/O error.
+    EIO = 5,
+    /// Bad file descriptor.
+    EBADF = 9,
+    /// Resource temporarily unavailable.
+    EAGAIN = 11,
+    /// Out of memory.
+    ENOMEM = 12,
+    /// Permission denied.
+    EACCES = 13,
+    /// Bad address.
+    EFAULT = 14,
+    /// Device or resource busy.
+    EBUSY = 16,
+    /// File exists.
+    EEXIST = 17,
+    /// Not a directory.
+    ENOTDIR = 20,
+    /// Is a directory.
+    EISDIR = 21,
+    /// Invalid argument.
+    EINVAL = 22,
+    /// Too many open files.
+    EMFILE = 24,
+    /// No space left on device.
+    ENOSPC = 28,
+    /// Illegal seek.
+    ESPIPE = 29,
+    /// Broken pipe.
+    EPIPE = 32,
+    /// Numerical result out of range.
+    ERANGE = 34,
+    /// File name too long.
+    ENAMETOOLONG = 36,
+    /// Function not implemented.
+    ENOSYS = 38,
+    /// Too many levels of symbolic links.
+    ELOOP = 40,
+    /// No data available.
+    ENODATA = 61,
+    /// File too large.
+    EFBIG = 27,
+    /// Protocol not supported.
+    EPROTONOSUPPORT = 93,
+    /// Socket type not supported.
+    ESOCKTNOSUPPORT = 94,
+    /// Operation not supported.
+    EOPNOTSUPP = 95,
+    /// Address family not supported by protocol.
+    EAFNOSUPPORT = 97,
+    /// Connection refused.
+    ECONNREFUSED = 111,
+    /// Operation not possible due to RF-kill (used as a catch-all oddball).
+    ERFKILL = 132,
+}
+
+impl Errno {
+    /// The numeric value of this errno, identical to Linux/x86-64.
+    pub fn as_raw(self) -> u16 {
+        self as u16
+    }
+
+    /// The value a syscall returns in `rax` when failing with this errno.
+    pub fn as_retval(self) -> i64 {
+        -(self as u16 as i64)
+    }
+
+    /// The conventional upper-case symbol, e.g. `"ENOENT"`.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Errno::EPERM => "EPERM",
+            Errno::ENOENT => "ENOENT",
+            Errno::ESRCH => "ESRCH",
+            Errno::EINTR => "EINTR",
+            Errno::EIO => "EIO",
+            Errno::EBADF => "EBADF",
+            Errno::EAGAIN => "EAGAIN",
+            Errno::ENOMEM => "ENOMEM",
+            Errno::EACCES => "EACCES",
+            Errno::EFAULT => "EFAULT",
+            Errno::EBUSY => "EBUSY",
+            Errno::EEXIST => "EEXIST",
+            Errno::ENOTDIR => "ENOTDIR",
+            Errno::EISDIR => "EISDIR",
+            Errno::EINVAL => "EINVAL",
+            Errno::EMFILE => "EMFILE",
+            Errno::ENOSPC => "ENOSPC",
+            Errno::ESPIPE => "ESPIPE",
+            Errno::EPIPE => "EPIPE",
+            Errno::ERANGE => "ERANGE",
+            Errno::ENAMETOOLONG => "ENAMETOOLONG",
+            Errno::ENOSYS => "ENOSYS",
+            Errno::ELOOP => "ELOOP",
+            Errno::ENODATA => "ENODATA",
+            Errno::EFBIG => "EFBIG",
+            Errno::EPROTONOSUPPORT => "EPROTONOSUPPORT",
+            Errno::ESOCKTNOSUPPORT => "ESOCKTNOSUPPORT",
+            Errno::EOPNOTSUPP => "EOPNOTSUPP",
+            Errno::EAFNOSUPPORT => "EAFNOSUPPORT",
+            Errno::ECONNREFUSED => "ECONNREFUSED",
+            Errno::ERFKILL => "ERFKILL",
+        }
+    }
+}
+
+impl std::fmt::Display for Errno {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} ({})", self.symbol(), self.as_raw())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_values_match_linux() {
+        assert_eq!(Errno::EPROTONOSUPPORT.as_raw(), 93);
+        assert_eq!(Errno::ESOCKTNOSUPPORT.as_raw(), 94);
+        assert_eq!(Errno::EAFNOSUPPORT.as_raw(), 97);
+        assert_eq!(Errno::ENOSYS.as_raw(), 38);
+        assert_eq!(Errno::EINVAL.as_raw(), 22);
+        assert_eq!(Errno::EFBIG.as_raw(), 27);
+    }
+
+    #[test]
+    fn retval_is_negated() {
+        assert_eq!(Errno::ENOENT.as_retval(), -2);
+        assert_eq!(Errno::EAFNOSUPPORT.as_retval(), -97);
+    }
+
+    #[test]
+    fn display_contains_symbol_and_number() {
+        let shown = Errno::EAFNOSUPPORT.to_string();
+        assert!(shown.contains("EAFNOSUPPORT"));
+        assert!(shown.contains("97"));
+    }
+}

@@ -1,0 +1,182 @@
+//! Information-leak channels and coresidence detection (§2.4.1).
+//!
+//! `/proc/stat` is not namespaced on a default host: a containerized
+//! process reads *host-wide* per-core counters. Gao et al.
+//! ("ContainerLeaks", DSN'17) showed such pseudo-filesystem channels let
+//! two cooperating containers infer coresidence on the same physical
+//! machine — the prerequisite for the synergistic-power and side-channel
+//! attacks the paper reviews. This module implements the classic
+//! beacon/watcher protocol on top of the simulated kernel:
+//!
+//! * the **beacon** container alternates between bursty and idle rounds;
+//! * the **watcher** samples the busy series it can observe through
+//!   `/proc/stat`;
+//! * a point-biserial correlation between the beacon schedule and the
+//!   watcher's series reveals coresidence when the channel leaks (native
+//!   runtimes) and nothing when it is virtualized away (gVisor's sentry
+//!   serves a namespaced `/proc`).
+
+use crate::cpu::CpuTimes;
+
+/// How `/proc/stat` appears to a containerized reader.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProcView {
+    /// The raw host view — the default-runtime leak (§2.4.1).
+    Host,
+    /// A namespaced view restricted to the container's own cpuset, as a
+    /// sandboxed runtime's virtualized procfs presents it.
+    Namespaced,
+}
+
+/// The busy series a reader with `view` extracts from per-round `/proc/stat`
+/// deltas. `own_cores` is the reader's cpuset (used by the namespaced view).
+pub fn observed_busy_series(
+    rounds: &[Vec<CpuTimes>],
+    view: ProcView,
+    own_cores: &[usize],
+) -> Vec<f64> {
+    rounds
+        .iter()
+        .map(|per_core| match view {
+            ProcView::Host => per_core.iter().map(|c| c.busy().as_micros() as f64).sum(),
+            ProcView::Namespaced => per_core
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| own_cores.contains(i))
+                .map(|(_, c)| c.busy().as_micros() as f64)
+                .sum(),
+        })
+        .collect()
+}
+
+/// Pearson correlation between two equal-length series.
+///
+/// Returns `0.0` for degenerate inputs (length < 2 or zero variance).
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    if a.len() != b.len() || a.len() < 2 {
+        return 0.0;
+    }
+    let n = a.len() as f64;
+    let mean_a = a.iter().sum::<f64>() / n;
+    let mean_b = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut var_a = 0.0;
+    let mut var_b = 0.0;
+    for (x, y) in a.iter().zip(b) {
+        cov += (x - mean_a) * (y - mean_b);
+        var_a += (x - mean_a).powi(2);
+        var_b += (y - mean_b).powi(2);
+    }
+    if var_a == 0.0 || var_b == 0.0 {
+        return 0.0;
+    }
+    cov / (var_a.sqrt() * var_b.sqrt())
+}
+
+/// Correlate a boolean beacon schedule with an observed busy series
+/// (point-biserial correlation = Pearson against a 0/1 encoding).
+pub fn beacon_correlation(beacon: &[bool], observed: &[f64]) -> f64 {
+    let encoded: Vec<f64> = beacon.iter().map(|&b| if b { 1.0 } else { 0.0 }).collect();
+    pearson(&encoded, observed)
+}
+
+/// Verdict of a coresidence probe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CoresidenceVerdict {
+    /// The beacon/observation correlation.
+    pub correlation: f64,
+    /// Whether it exceeds the decision threshold.
+    pub coresident: bool,
+}
+
+/// Decide coresidence from a beacon schedule and an observed series.
+///
+/// A threshold of ~0.8 gives a confident verdict over ≥8 rounds under the
+/// default noise model.
+pub fn detect_coresidence(
+    beacon: &[bool],
+    observed: &[f64],
+    threshold: f64,
+) -> CoresidenceVerdict {
+    let correlation = beacon_correlation(beacon, observed);
+    CoresidenceVerdict {
+        correlation,
+        coresident: correlation >= threshold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cpu::CpuCategory;
+    use crate::time::Usecs;
+
+    fn round(busy_us_per_core: &[u64]) -> Vec<CpuTimes> {
+        busy_us_per_core
+            .iter()
+            .map(|&b| {
+                let mut t = CpuTimes::default();
+                t.charge(CpuCategory::System, Usecs(b));
+                t.charge(CpuCategory::Idle, Usecs(1_000_000 - b));
+                t
+            })
+            .collect()
+    }
+
+    #[test]
+    fn pearson_basics() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-9);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[6.0, 4.0, 2.0]) + 1.0).abs() < 1e-9);
+        assert_eq!(pearson(&[1.0], &[1.0]), 0.0);
+        assert_eq!(pearson(&[1.0, 1.0], &[1.0, 2.0]), 0.0, "zero variance");
+        assert_eq!(pearson(&[1.0, 2.0], &[1.0]), 0.0, "length mismatch");
+    }
+
+    #[test]
+    fn host_view_sees_the_beacon_namespaced_does_not() {
+        // Beacon on core 2 bursts on rounds 0, 2, 4…; watcher pinned to
+        // core 0 with a flat load.
+        let beacon: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
+        let rounds: Vec<Vec<CpuTimes>> = beacon
+            .iter()
+            .map(|&on| {
+                let burst = if on { 800_000 } else { 50_000 };
+                round(&[300_000, 20_000, burst, 30_000])
+            })
+            .collect();
+        let host = observed_busy_series(&rounds, ProcView::Host, &[0]);
+        let namespaced = observed_busy_series(&rounds, ProcView::Namespaced, &[0]);
+        let v_host = detect_coresidence(&beacon, &host, 0.8);
+        let v_ns = detect_coresidence(&beacon, &namespaced, 0.8);
+        assert!(v_host.coresident, "host view leaks: {:.3}", v_host.correlation);
+        assert!(
+            !v_ns.coresident,
+            "namespaced view must hide the beacon: {:.3}",
+            v_ns.correlation
+        );
+    }
+
+    #[test]
+    fn uncorrelated_hosts_are_not_coresident() {
+        let beacon: Vec<bool> = (0..10).map(|i| i % 2 == 0).collect();
+        // The "other host" has its own unrelated rhythm (period 3).
+        let rounds: Vec<Vec<CpuTimes>> = (0..10)
+            .map(|i| {
+                let load = if i % 3 == 0 { 700_000 } else { 100_000 };
+                round(&[load, load / 2])
+            })
+            .collect();
+        let series = observed_busy_series(&rounds, ProcView::Host, &[0]);
+        let verdict = detect_coresidence(&beacon, &series, 0.8);
+        assert!(!verdict.coresident, "got {:.3}", verdict.correlation);
+    }
+
+    #[test]
+    fn beacon_correlation_is_symmetric_in_sign() {
+        let beacon = [true, false, true, false];
+        let inverted = [false, true, false, true];
+        let series = [10.0, 1.0, 9.0, 2.0];
+        assert!(beacon_correlation(&beacon, &series) > 0.9);
+        assert!(beacon_correlation(&inverted, &series) < -0.9);
+    }
+}

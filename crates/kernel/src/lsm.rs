@@ -1,0 +1,156 @@
+//! Linux Security Modules: AppArmor-style mandatory access control
+//! (§2.2.3).
+//!
+//! "By adding an enforcement policy, containerized processes can be
+//! constrained using an explicit allow-list that specifies which areas of
+//! the disk are within limits." Profiles are path-prefix rule lists,
+//! evaluated most-specific-first, with a default decision — the shape of
+//! an AppArmor profile document (§2.2.3's "allow and deny lists for file
+//! paths").
+
+/// The decision a rule or profile renders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MacDecision {
+    /// Access permitted.
+    Allow,
+    /// Access denied (surfaces as `EACCES`).
+    Deny,
+}
+
+/// One path rule: a prefix and its decision.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MacRule {
+    /// Path prefix the rule covers (longest prefix wins).
+    pub prefix: String,
+    /// Decision for covered paths.
+    pub decision: MacDecision,
+}
+
+/// An AppArmor-style profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MacProfile {
+    name: String,
+    default: MacDecision,
+    rules: Vec<MacRule>,
+}
+
+impl MacProfile {
+    /// The permissive profile (MAC disabled — Docker without
+    /// `--security-opt apparmor=…` on a non-AppArmor host).
+    pub fn unconfined() -> MacProfile {
+        MacProfile {
+            name: "unconfined".to_string(),
+            default: MacDecision::Allow,
+            rules: Vec::new(),
+        }
+    }
+
+    /// A model of the `docker-default` AppArmor profile: allow the
+    /// container filesystem, deny writes into the host's sensitive
+    /// pseudo-filesystem areas.
+    pub fn docker_default() -> MacProfile {
+        MacProfile {
+            name: "docker-default".to_string(),
+            default: MacDecision::Allow,
+            rules: vec![
+                MacRule {
+                    prefix: "/proc/sys".to_string(),
+                    decision: MacDecision::Deny,
+                },
+                MacRule {
+                    prefix: "/sys".to_string(),
+                    decision: MacDecision::Deny,
+                },
+            ],
+        }
+    }
+
+    /// A strict allow-list profile: deny everything outside `allowed`.
+    pub fn allow_list<I, S>(name: &str, allowed: I) -> MacProfile
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        MacProfile {
+            name: name.to_string(),
+            default: MacDecision::Deny,
+            rules: allowed
+                .into_iter()
+                .map(|p| MacRule {
+                    prefix: p.into(),
+                    decision: MacDecision::Allow,
+                })
+                .collect(),
+        }
+    }
+
+    /// Add a rule (builder style). Later rules with longer prefixes win.
+    #[must_use]
+    pub fn rule(mut self, prefix: &str, decision: MacDecision) -> MacProfile {
+        self.rules.push(MacRule {
+            prefix: prefix.to_string(),
+            decision,
+        });
+        self
+    }
+
+    /// Profile name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Decide access to `path`: the matching rule with the longest prefix
+    /// wins; otherwise the default applies.
+    pub fn check_path(&self, path: &str) -> MacDecision {
+        self.rules
+            .iter()
+            .filter(|r| path.starts_with(r.prefix.as_str()))
+            .max_by_key(|r| r.prefix.len())
+            .map_or(self.default, |r| r.decision)
+    }
+
+    /// Whether the profile denies `path`.
+    pub fn denies(&self, path: &str) -> bool {
+        self.check_path(path) == MacDecision::Deny
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconfined_allows_everything() {
+        let p = MacProfile::unconfined();
+        assert!(!p.denies("/proc/sys/kernel/hostname"));
+        assert!(!p.denies("anything"));
+    }
+
+    #[test]
+    fn docker_default_denies_host_pseudofs() {
+        let p = MacProfile::docker_default();
+        assert!(p.denies("/proc/sys/fs/mqueue/msg_max"));
+        assert!(p.denies("/sys/devices/system/cpu"));
+        assert!(!p.denies("/etc/passwd"));
+        assert!(!p.denies("workfile-0"));
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        let p = MacProfile::unconfined()
+            .rule("/data", MacDecision::Deny)
+            .rule("/data/public", MacDecision::Allow);
+        assert!(p.denies("/data/secret"));
+        assert!(!p.denies("/data/public/readme"));
+        assert!(!p.denies("/other"));
+    }
+
+    #[test]
+    fn allow_list_denies_by_default() {
+        let p = MacProfile::allow_list("app", ["/app", "/tmp"]);
+        assert!(!p.denies("/app/bin"));
+        assert!(!p.denies("/tmp/scratch"));
+        assert!(p.denies("/etc/passwd"));
+        assert_eq!(p.name(), "app");
+    }
+}

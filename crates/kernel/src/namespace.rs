@@ -1,0 +1,222 @@
+//! Namespaces: the visibility half of container isolation (§2.2.2).
+//!
+//! The model keeps a namespace set per container with PID translation for
+//! the user namespace (`subuid`-style remapping, §2.4.2) and a small list of
+//! *non-namespaced* kernel interfaces that leak host information — the
+//! `ContainerLeaks`-style channels the paper reviews in §2.4.1.
+
+use std::collections::HashMap;
+
+/// A namespace kind, per `namespaces(7)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NamespaceKind {
+    /// Process-id visibility.
+    Pid,
+    /// Network devices, addresses, ports.
+    Net,
+    /// Mount points.
+    Mount,
+    /// UID/GID mappings.
+    User,
+    /// Hostname.
+    Uts,
+    /// System V IPC.
+    Ipc,
+    /// cgroup root visibility.
+    Cgroup,
+}
+
+impl NamespaceKind {
+    /// All modelled namespace kinds.
+    pub const ALL: [NamespaceKind; 7] = [
+        NamespaceKind::Pid,
+        NamespaceKind::Net,
+        NamespaceKind::Mount,
+        NamespaceKind::User,
+        NamespaceKind::Uts,
+        NamespaceKind::Ipc,
+        NamespaceKind::Cgroup,
+    ];
+}
+
+/// Identifier of a concrete namespace instance. The host (initial) namespace
+/// of every kind is id 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct NsId(pub u32);
+
+/// The set of namespaces a process lives in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NamespaceSet {
+    spaces: HashMap<NamespaceKind, NsId>,
+}
+
+impl NamespaceSet {
+    /// The host namespace set (all kinds mapped to instance 0).
+    pub fn host() -> NamespaceSet {
+        let mut spaces = HashMap::new();
+        for kind in NamespaceKind::ALL {
+            spaces.insert(kind, NsId(0));
+        }
+        NamespaceSet { spaces }
+    }
+
+    /// The namespace instance for `kind`.
+    pub fn get(&self, kind: NamespaceKind) -> NsId {
+        *self.spaces.get(&kind).expect("all kinds populated")
+    }
+
+    /// Replace the instance for `kind` (i.e. `unshare`/`setns`).
+    pub fn set(&mut self, kind: NamespaceKind, id: NsId) {
+        self.spaces.insert(kind, id);
+    }
+
+    /// Whether this set shares `kind` with `other` — the visibility question
+    /// namespaces exist to answer.
+    pub fn shares(&self, other: &NamespaceSet, kind: NamespaceKind) -> bool {
+        self.get(kind) == other.get(kind)
+    }
+
+    /// Whether this is the full host set.
+    pub fn is_host(&self) -> bool {
+        NamespaceKind::ALL.iter().all(|&k| self.get(k) == NsId(0))
+    }
+}
+
+impl Default for NamespaceSet {
+    fn default() -> Self {
+        Self::host()
+    }
+}
+
+/// `subuid`-style UID translation for the user namespace (§2.4.2).
+///
+/// With remapping enabled, in-container root (UID 0) is translated to an
+/// unprivileged high "machine" UID on the host; without it the mapping is
+/// 1:1 and in-container root *is* host root — the privilege-escalation
+/// hazard the paper describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UidMapping {
+    /// First host UID of the subordinate range (e.g. 100000).
+    pub host_base: u32,
+    /// Length of the range.
+    pub range: u32,
+    /// Whether remapping is active (Docker `userns-remap`).
+    pub enabled: bool,
+}
+
+impl UidMapping {
+    /// Docker's default: remapping disabled (1:1 translation).
+    pub fn identity() -> UidMapping {
+        UidMapping {
+            host_base: 0,
+            range: u32::MAX,
+            enabled: false,
+        }
+    }
+
+    /// A typical `subuid` range starting at 100000.
+    pub fn subuid() -> UidMapping {
+        UidMapping {
+            host_base: 100_000,
+            range: 65_536,
+            enabled: true,
+        }
+    }
+
+    /// Translate a container UID to the host UID, or `None` if outside the
+    /// subordinate range.
+    pub fn to_host(&self, container_uid: u32) -> Option<u32> {
+        if !self.enabled {
+            return Some(container_uid);
+        }
+        if container_uid < self.range {
+            Some(self.host_base + container_uid)
+        } else {
+            None
+        }
+    }
+
+    /// Whether container-root maps onto host-root — true only for the unsafe
+    /// identity mapping.
+    pub fn container_root_is_host_root(&self) -> bool {
+        self.to_host(0) == Some(0)
+    }
+}
+
+/// Host interfaces that are *not* namespaced and therefore leak information
+/// into containers (§2.4.1). Used by the evaluation's information-leak
+/// checks and by the gVisor model (which hides them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LeakChannel {
+    /// `/proc/stat` exposes host-wide per-core counters.
+    ProcStat,
+    /// `/proc/meminfo` exposes host memory.
+    ProcMeminfo,
+    /// `/sys/devices/.../cache` exposes physical cache topology.
+    SysCache,
+    /// `/proc/loadavg` exposes host load.
+    ProcLoadavg,
+}
+
+impl LeakChannel {
+    /// All modelled leak channels.
+    pub const ALL: [LeakChannel; 4] = [
+        LeakChannel::ProcStat,
+        LeakChannel::ProcMeminfo,
+        LeakChannel::SysCache,
+        LeakChannel::ProcLoadavg,
+    ];
+
+    /// The pseudo-filesystem path of this channel.
+    pub fn path(self) -> &'static str {
+        match self {
+            LeakChannel::ProcStat => "/proc/stat",
+            LeakChannel::ProcMeminfo => "/proc/meminfo",
+            LeakChannel::SysCache => "/sys/devices/system/cpu/cpu0/cache",
+            LeakChannel::ProcLoadavg => "/proc/loadavg",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn host_set_is_host() {
+        assert!(NamespaceSet::host().is_host());
+    }
+
+    #[test]
+    fn unshare_separates_visibility() {
+        let host = NamespaceSet::host();
+        let mut container = NamespaceSet::host();
+        container.set(NamespaceKind::Pid, NsId(7));
+        assert!(!container.is_host());
+        assert!(!container.shares(&host, NamespaceKind::Pid));
+        assert!(container.shares(&host, NamespaceKind::Net));
+    }
+
+    #[test]
+    fn identity_mapping_is_dangerous() {
+        let m = UidMapping::identity();
+        assert!(m.container_root_is_host_root());
+        assert_eq!(m.to_host(42), Some(42));
+    }
+
+    #[test]
+    fn subuid_mapping_remaps_root() {
+        let m = UidMapping::subuid();
+        assert!(!m.container_root_is_host_root());
+        assert_eq!(m.to_host(0), Some(100_000));
+        assert_eq!(m.to_host(65_535), Some(165_535));
+        assert_eq!(m.to_host(70_000), None);
+    }
+
+    #[test]
+    fn leak_channels_have_paths() {
+        for ch in LeakChannel::ALL {
+            assert!(ch.path().starts_with('/'));
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! `/proc/stat`-style snapshots and the observer-log table renderer.
+//!
+//! The appendix tables of the paper (A.1–A.4) are "constructed by sampling
+//! the contents of /proc/stat at two different intervals and computing the
+//! difference"; this module provides exactly that workflow plus a renderer
+//! producing the same columns (`CORE`, `BUSY`, `TOTAL`, `PERCENT`, then the
+//! ten categories) and the aggregate `CPU` row.
+
+use crate::cpu::{CpuCategory, CpuTimes};
+use crate::kernel::Kernel;
+
+/// A point-in-time copy of the cumulative per-core counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcStatSnapshot {
+    per_core: Vec<CpuTimes>,
+}
+
+impl ProcStatSnapshot {
+    /// Capture the current cumulative counters of `kernel`.
+    pub fn capture(kernel: &Kernel) -> ProcStatSnapshot {
+        ProcStatSnapshot {
+            per_core: kernel.proc_stat().to_vec(),
+        }
+    }
+
+    /// Per-core counters.
+    pub fn per_core(&self) -> &[CpuTimes] {
+        &self.per_core
+    }
+
+    /// The per-core difference `self - earlier` — the quantity every
+    /// observer-log table in the paper reports.
+    ///
+    /// # Panics
+    /// Panics if the snapshots have different core counts.
+    pub fn since(&self, earlier: &ProcStatSnapshot) -> Vec<CpuTimes> {
+        assert_eq!(
+            self.per_core.len(),
+            earlier.per_core.len(),
+            "snapshots from different machines"
+        );
+        self.per_core
+            .iter()
+            .zip(&earlier.per_core)
+            .map(|(late, early)| late.since(early))
+            .collect()
+    }
+}
+
+/// Sum per-core deltas into the aggregate `CPU` row.
+pub fn aggregate(rows: &[CpuTimes]) -> CpuTimes {
+    rows.iter()
+        .fold(CpuTimes::default(), |acc, row| acc.merged(row))
+}
+
+/// Render per-core deltas in the paper's observer-log format.
+///
+/// Values are printed in the paper's unit: `/proc/stat` ticks (10 ms), so a
+/// 5-second round shows totals near 500 per core — directly comparable to
+/// Tables A.1–A.4.
+pub fn render_table(rows: &[CpuTimes]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<6} {:>6} {:>6} {:>8} {:>6} {:>5} {:>7} {:>6} {:>8} {:>4} {:>8} {:>6} {:>6} {:>11}\n",
+        "CORE",
+        "BUSY",
+        "TOTAL",
+        "PERCENT",
+        "USER",
+        "NICE",
+        "SYSTEM",
+        "IDLE",
+        "IO WAIT",
+        "IRQ",
+        "SOFTIRQ",
+        "STEAL",
+        "GUEST",
+        "GUEST NICE"
+    ));
+    for (core, row) in rows.iter().enumerate() {
+        out.push_str(&render_row(&format!("cpu{core}"), row));
+    }
+    out.push_str(&render_row("CPU", &aggregate(rows)));
+    out
+}
+
+fn ticks(us: crate::time::Usecs) -> u64 {
+    us.as_micros() / 10_000
+}
+
+fn render_row(label: &str, row: &CpuTimes) -> String {
+    format!(
+        "{:<6} {:>6} {:>6} {:>8.2} {:>6} {:>5} {:>7} {:>6} {:>8} {:>4} {:>8} {:>6} {:>6} {:>11}\n",
+        label,
+        ticks(row.busy()),
+        ticks(row.total()),
+        row.busy_percent(),
+        ticks(row.get(CpuCategory::User)),
+        ticks(row.get(CpuCategory::Nice)),
+        ticks(row.get(CpuCategory::System)),
+        ticks(row.get(CpuCategory::Idle)),
+        ticks(row.get(CpuCategory::IoWait)),
+        ticks(row.get(CpuCategory::Irq)),
+        ticks(row.get(CpuCategory::SoftIrq)),
+        ticks(row.get(CpuCategory::Steal)),
+        ticks(row.get(CpuCategory::Guest)),
+        ticks(row.get(CpuCategory::GuestNice)),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::Usecs;
+
+    #[test]
+    fn snapshot_diff_matches_round() {
+        let mut k = Kernel::with_defaults();
+        let before = ProcStatSnapshot::capture(&k);
+        k.begin_round(Usecs::from_secs(2));
+        k.finish_round(&[0]);
+        let after = ProcStatSnapshot::capture(&k);
+        let delta = after.since(&before);
+        assert_eq!(delta.len(), 12);
+        for row in &delta {
+            assert_eq!(row.total(), Usecs::from_secs(2));
+        }
+    }
+
+    #[test]
+    fn aggregate_sums_cores() {
+        let mut a = CpuTimes::default();
+        a.charge(CpuCategory::User, Usecs(100));
+        let mut b = CpuTimes::default();
+        b.charge(CpuCategory::User, Usecs(50));
+        b.charge(CpuCategory::Idle, Usecs(10));
+        let agg = aggregate(&[a, b]);
+        assert_eq!(agg.user, Usecs(150));
+        assert_eq!(agg.idle, Usecs(10));
+    }
+
+    #[test]
+    fn render_contains_all_cores_and_aggregate() {
+        let rows = vec![CpuTimes::default(); 3];
+        let table = render_table(&rows);
+        assert!(table.contains("cpu0"));
+        assert!(table.contains("cpu2"));
+        assert!(table.lines().last().unwrap().starts_with("CPU"));
+        assert!(table.contains("IO WAIT"));
+    }
+
+    #[test]
+    fn render_uses_proc_stat_ticks() {
+        let mut row = CpuTimes::default();
+        row.charge(CpuCategory::User, Usecs::from_secs(1));
+        let table = render_table(&[row]);
+        // 1 second = 100 ticks.
+        assert!(table.lines().nth(1).unwrap().contains("100"));
+    }
+
+    #[test]
+    #[should_panic(expected = "different machines")]
+    fn mismatched_snapshots_panic() {
+        let a = ProcStatSnapshot {
+            per_core: vec![CpuTimes::default(); 2],
+        };
+        let b = ProcStatSnapshot {
+            per_core: vec![CpuTimes::default(); 3],
+        };
+        let _ = b.since(&a);
+    }
+}

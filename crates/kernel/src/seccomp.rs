@@ -1,0 +1,138 @@
+//! Seccomp profiles (§2.2.4): per-container syscall deny/allow lists.
+//!
+//! Docker enforces a default profile; TORPEDO runs its containers with the
+//! profile relaxed enough to fuzz, but the model keeps the full mechanism so
+//! that the engine can express the default profile and tests can verify
+//! filter semantics (warn vs kill enforcement modes).
+
+use std::collections::HashSet;
+
+/// What happens when a filtered syscall is attempted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SeccompAction {
+    /// Allow the call.
+    Allow,
+    /// Deny with `EPERM` (Docker's default for denied calls).
+    Errno,
+    /// Log and allow (audit mode).
+    Log,
+    /// Kill the calling process.
+    KillProcess,
+}
+
+/// A seccomp profile: a default action plus per-syscall overrides.
+#[derive(Debug, Clone)]
+pub struct SeccompProfile {
+    name: String,
+    default_action: SeccompAction,
+    /// Syscall names with an explicit non-default action.
+    overrides: HashSet<String>,
+    override_action: SeccompAction,
+}
+
+impl SeccompProfile {
+    /// An allow-everything profile (what `--security-opt seccomp=unconfined`
+    /// gives you; TORPEDO fuzzes with this so programs are not censored).
+    pub fn unconfined() -> SeccompProfile {
+        SeccompProfile {
+            name: "unconfined".to_string(),
+            default_action: SeccompAction::Allow,
+            overrides: HashSet::new(),
+            override_action: SeccompAction::Errno,
+        }
+    }
+
+    /// A model of Docker's default profile: allow by default, deny a list of
+    /// dangerous administrative syscalls with `EPERM`.
+    pub fn docker_default() -> SeccompProfile {
+        let denied = [
+            "reboot",
+            "swapon",
+            "swapoff",
+            "mount",
+            "umount2",
+            "kexec_load",
+            "init_module",
+            "finit_module",
+            "delete_module",
+            "iopl",
+            "ioperm",
+            "settimeofday",
+            "clock_settime",
+            "ptrace",
+        ];
+        SeccompProfile {
+            name: "docker-default".to_string(),
+            default_action: SeccompAction::Allow,
+            overrides: denied.iter().map(|s| s.to_string()).collect(),
+            override_action: SeccompAction::Errno,
+        }
+    }
+
+    /// A strict allow-list profile: deny by default, allow the given calls.
+    pub fn allow_list<I, S>(name: &str, allowed: I) -> SeccompProfile
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        SeccompProfile {
+            name: name.to_string(),
+            default_action: SeccompAction::Errno,
+            overrides: allowed.into_iter().map(Into::into).collect(),
+            override_action: SeccompAction::Allow,
+        }
+    }
+
+    /// Profile name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Decide the action for `syscall`.
+    pub fn check(&self, syscall: &str) -> SeccompAction {
+        if self.overrides.contains(syscall) {
+            self.override_action
+        } else {
+            self.default_action
+        }
+    }
+
+    /// Whether the profile blocks `syscall` (any action other than
+    /// `Allow`/`Log`).
+    pub fn blocks(&self, syscall: &str) -> bool {
+        matches!(
+            self.check(syscall),
+            SeccompAction::Errno | SeccompAction::KillProcess
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconfined_allows_everything() {
+        let p = SeccompProfile::unconfined();
+        assert_eq!(p.check("reboot"), SeccompAction::Allow);
+        assert!(!p.blocks("mount"));
+    }
+
+    #[test]
+    fn docker_default_denies_dangerous_calls() {
+        let p = SeccompProfile::docker_default();
+        assert!(p.blocks("reboot"));
+        assert!(p.blocks("init_module"));
+        assert!(!p.blocks("open"));
+        assert!(!p.blocks("socket"));
+        assert_eq!(p.check("mount"), SeccompAction::Errno);
+    }
+
+    #[test]
+    fn allow_list_denies_by_default() {
+        let p = SeccompProfile::allow_list("app", ["read", "write", "exit_group"]);
+        assert!(!p.blocks("read"));
+        assert!(p.blocks("open"));
+        assert_eq!(p.name(), "app");
+    }
+}

@@ -1,0 +1,149 @@
+//! Signals, with the coredump-producing set that drives the Table 4.2
+//! `rt_sigreturn`/`rseq`/`fallocate`/`ftruncate` adversarial vectors.
+//!
+//! §4.3.2 of the paper: "any signal which triggers a core dump would have
+//! the same effect. Namely, this includes SIGABRT/SIGIOT, SIGBUS, SIGFPE,
+//! SIGILL, SIGSEGV, SIGQUIT, SIGSYS/SIGUNUSED, SIGTRAP, SIGXCPU and SIGXFSZ
+//! by default." The kernel model spawns a usermodehelper coredump for every
+//! delivered member of this set.
+
+/// A subset of POSIX signals, with Linux numeric values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum Signal {
+    /// Hangup.
+    SIGHUP = 1,
+    /// Interrupt.
+    SIGINT = 2,
+    /// Quit — dumps core.
+    SIGQUIT = 3,
+    /// Illegal instruction — dumps core.
+    SIGILL = 4,
+    /// Trace trap — dumps core.
+    SIGTRAP = 5,
+    /// Abort (a.k.a. SIGIOT) — dumps core.
+    SIGABRT = 6,
+    /// Bus error — dumps core.
+    SIGBUS = 7,
+    /// Floating-point exception — dumps core.
+    SIGFPE = 8,
+    /// Kill.
+    SIGKILL = 9,
+    /// Segmentation violation — dumps core.
+    SIGSEGV = 11,
+    /// Broken pipe.
+    SIGPIPE = 13,
+    /// Alarm clock.
+    SIGALRM = 14,
+    /// Termination.
+    SIGTERM = 15,
+    /// Child status change.
+    SIGCHLD = 17,
+    /// Bad system call (a.k.a. SIGUNUSED) — dumps core.
+    SIGSYS = 31,
+    /// CPU time limit exceeded — dumps core.
+    SIGXCPU = 24,
+    /// File size limit exceeded — dumps core.
+    SIGXFSZ = 25,
+}
+
+impl Signal {
+    /// The Linux signal number.
+    pub fn number(self) -> u8 {
+        self as u8
+    }
+
+    /// Whether the default disposition of this signal produces a core dump —
+    /// and therefore, on a default-configured host, an out-of-band
+    /// usermodehelper workload (§2.4.3).
+    pub fn dumps_core(self) -> bool {
+        matches!(
+            self,
+            Signal::SIGQUIT
+                | Signal::SIGILL
+                | Signal::SIGTRAP
+                | Signal::SIGABRT
+                | Signal::SIGBUS
+                | Signal::SIGFPE
+                | Signal::SIGSEGV
+                | Signal::SIGSYS
+                | Signal::SIGXCPU
+                | Signal::SIGXFSZ
+        )
+    }
+
+    /// Whether the default disposition terminates the receiving process.
+    pub fn fatal_by_default(self) -> bool {
+        !matches!(self, Signal::SIGCHLD)
+    }
+
+    /// The full coredump set of §4.3.2, in signal-number order.
+    pub fn coredump_set() -> [Signal; 10] {
+        [
+            Signal::SIGQUIT,
+            Signal::SIGILL,
+            Signal::SIGTRAP,
+            Signal::SIGABRT,
+            Signal::SIGBUS,
+            Signal::SIGFPE,
+            Signal::SIGSEGV,
+            Signal::SIGXCPU,
+            Signal::SIGXFSZ,
+            Signal::SIGSYS,
+        ]
+    }
+}
+
+impl std::fmt::Display for Signal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Signal names are already their conventional upper-case symbols.
+        write!(f, "{self:?}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coredump_set_matches_paper_list() {
+        let set = Signal::coredump_set();
+        assert_eq!(set.len(), 10);
+        for sig in set {
+            assert!(sig.dumps_core(), "{sig} must dump core");
+            assert!(sig.fatal_by_default());
+        }
+    }
+
+    #[test]
+    fn non_dumping_signals() {
+        for sig in [
+            Signal::SIGHUP,
+            Signal::SIGINT,
+            Signal::SIGKILL,
+            Signal::SIGPIPE,
+            Signal::SIGALRM,
+            Signal::SIGTERM,
+            Signal::SIGCHLD,
+        ] {
+            assert!(!sig.dumps_core(), "{sig} must not dump core");
+        }
+    }
+
+    #[test]
+    fn numbers_match_linux() {
+        assert_eq!(Signal::SIGSEGV.number(), 11);
+        assert_eq!(Signal::SIGXFSZ.number(), 25);
+        assert_eq!(Signal::SIGSYS.number(), 31);
+    }
+
+    #[test]
+    fn sigchld_is_ignored_by_default() {
+        assert!(!Signal::SIGCHLD.fatal_by_default());
+    }
+
+    #[test]
+    fn display_is_symbol() {
+        assert_eq!(Signal::SIGSEGV.to_string(), "SIGSEGV");
+    }
+}

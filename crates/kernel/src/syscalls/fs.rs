@@ -1,0 +1,385 @@
+//! Filesystem syscall semantics.
+//!
+//! Hosts three of the Table 4.2 adversarial vectors: the `sync` family
+//! (kworker flush deferral), `fallocate`/`ftruncate` beyond `RLIMIT_FSIZE`
+//! (SIGXFSZ → coredump), and ordinary `write` beyond the limit.
+
+use crate::errno::Errno;
+use crate::kernel::Kernel;
+use crate::signal::Signal;
+use crate::time::Usecs;
+use crate::vfs::{Fd, FdObject};
+
+use super::{ExecContext, Sem, SyscallRequest};
+
+/// Largest buffer length honoured per call (fuzzers pass wild lengths).
+const MAX_XFER: u64 = 1 << 20;
+
+pub(crate) fn handle(
+    k: &mut Kernel,
+    ctx: &ExecContext,
+    name: &str,
+    req: &SyscallRequest<'_>,
+) -> Option<Sem> {
+    let args = req.args;
+    Some(match name {
+        "open" | "openat" => {
+            let path_idx = if name == "openat" { 1 } else { 0 };
+            let flags = args[path_idx + 1];
+            match req.paths[path_idx] {
+                None => Sem::err(Errno::EFAULT).cost(1, 4).branch("open_efault"),
+                Some(path) => match k.vfs.resolve(path) {
+                    Ok(meta) => {
+                        let ino = meta.ino;
+                        let limit = proc_nofile(k, ctx);
+                        match k
+                            .fd_table(ctx.pid)
+                            .alloc(FdObject::File { ino, offset: 0 }, limit)
+                        {
+                            Ok(fd) => Sem::ok(fd.0 as i64).cost(3, 12).branch("open_ok"),
+                            Err(e) => Sem::err(e).cost(2, 8).branch("open_emfile"),
+                        }
+                    }
+                    Err(Errno::ENOENT) if flags & 0x40 != 0 => {
+                        // O_CREAT
+                        let ino = k.vfs.create(path, args[path_idx + 2] as u32 & 0o7777);
+                        let limit = proc_nofile(k, ctx);
+                        match k
+                            .fd_table(ctx.pid)
+                            .alloc(FdObject::File { ino, offset: 0 }, limit)
+                        {
+                            Ok(fd) => Sem::ok(fd.0 as i64).cost(4, 18).branch("open_creat"),
+                            Err(e) => Sem::err(e).cost(2, 8).branch("open_emfile"),
+                        }
+                    }
+                    Err(e) => Sem::err(e).cost(2, 9).branch("open_err"),
+                },
+            }
+        }
+        "creat" => match req.paths[0] {
+            None => Sem::err(Errno::EFAULT).cost(1, 4).branch("creat_efault"),
+            Some(path) => {
+                let ino = k.vfs.create(path, args[1] as u32 & 0o7777);
+                k.vfs.dirty(512);
+                k.note_io_activity(ctx.pid, ctx.core);
+                let limit = proc_nofile(k, ctx);
+                match k
+                    .fd_table(ctx.pid)
+                    .alloc(FdObject::File { ino, offset: 0 }, limit)
+                {
+                    Ok(fd) => Sem::ok(fd.0 as i64).cost(4, 20).branch("creat_ok"),
+                    Err(e) => Sem::err(e).cost(2, 8).branch("creat_emfile"),
+                }
+            }
+        },
+        "close" => match k.fd_table(ctx.pid).close(Fd(args[0] as i32)) {
+            Ok(()) => Sem::ok(0).cost(1, 3).branch("close_ok"),
+            Err(e) => Sem::err(e).cost(1, 2).branch("close_ebadf"),
+        },
+        "read" | "pread64" => {
+            let len = args[2].min(MAX_XFER);
+            match k.fd_table(ctx.pid).get(Fd(args[0] as i32)) {
+                Some(FdObject::File { .. }) => Sem::ok(len.min(64) as i64)
+                    .cost(2, 6 + len / 65536)
+                    .branch("read_file"),
+                Some(FdObject::Inotify) => {
+                    // No events pending: block briefly, then nothing.
+                    Sem::err(Errno::EAGAIN)
+                        .cost(1, 4)
+                        .block(Usecs::from_millis(10))
+                        .branch("read_inotify")
+                }
+                Some(_) => Sem::ok(0).cost(1, 5).branch("read_other"),
+                None => Sem::err(Errno::EBADF).cost(1, 2).branch("read_ebadf"),
+            }
+        }
+        "write" | "pwrite64" => {
+            let len = args[2].min(MAX_XFER);
+            match k.fd_table(ctx.pid).get(Fd(args[0] as i32)).cloned() {
+                Some(FdObject::File { ino, offset }) => {
+                    let fsize_limit = proc_fsize(k, ctx);
+                    if offset + len > fsize_limit {
+                        // SIGXFSZ: default action terminates with coredump.
+                        Sem::err(Errno::EFBIG)
+                            .cost(2, 6)
+                            .fatal(Signal::SIGXFSZ)
+                            .branch("write_sigxfsz")
+                    } else {
+                        if let Some(meta) = k.vfs.by_ino_mut(ino) {
+                            meta.size = meta.size.max(offset + len);
+                        }
+                        if let Some(FdObject::File { offset, .. }) =
+                            k.fd_table(ctx.pid).get_mut(Fd(args[0] as i32))
+                        {
+                            *offset += len;
+                        }
+                        k.vfs.dirty(len);
+                        k.note_io_activity(ctx.pid, ctx.core);
+                        k.cgroups.charge_io(ctx.cgroup, len);
+                        Sem::ok(len as i64)
+                            .cost(3, 8 + len / 32768)
+                            .branch("write_ok")
+                    }
+                }
+                Some(_) => Sem::ok(len.min(4096) as i64).cost(2, 7).branch("write_other"),
+                None => Sem::err(Errno::EBADF).cost(1, 2).branch("write_ebadf"),
+            }
+        }
+        "lseek" => match k.fd_table(ctx.pid).get_mut(Fd(args[0] as i32)) {
+            Some(FdObject::File { offset, .. }) => {
+                let whence = args[2];
+                if whence > 4 {
+                    Sem::err(Errno::EINVAL).cost(1, 2).branch("lseek_einval")
+                } else {
+                    *offset = match whence {
+                        0 => args[1],
+                        1 => offset.wrapping_add(args[1]),
+                        _ => args[1],
+                    };
+                    Sem::ok(*offset as i64).cost(1, 3).branch("lseek_ok")
+                }
+            }
+            Some(_) => Sem::err(Errno::ESPIPE).cost(1, 2).branch("lseek_espipe"),
+            None => Sem::err(Errno::EBADF).cost(1, 2).branch("lseek_ebadf"),
+        },
+        "fallocate" => match k.fd_table(ctx.pid).get(Fd(args[0] as i32)).cloned() {
+            Some(FdObject::File { ino, .. }) => {
+                let offset = args[2];
+                let len = args[3];
+                let fsize_limit = proc_fsize(k, ctx);
+                if len == 0 {
+                    Sem::err(Errno::EINVAL).cost(1, 3).branch("fallocate_einval")
+                } else if offset.saturating_add(len) > fsize_limit {
+                    // "argument exceeds max" → SIGXFSZ → coredump (Table 4.2).
+                    Sem::err(Errno::EFBIG)
+                        .cost(2, 5)
+                        .fatal(Signal::SIGXFSZ)
+                        .branch("fallocate_sigxfsz")
+                } else {
+                    if let Some(meta) = k.vfs.by_ino_mut(ino) {
+                        meta.size = meta.size.max(offset + len);
+                    }
+                    k.vfs.dirty(len.min(MAX_XFER));
+                    k.note_io_activity(ctx.pid, ctx.core);
+                    Sem::ok(0).cost(3, 15).branch("fallocate_ok")
+                }
+            }
+            Some(_) => Sem::err(Errno::ESPIPE).cost(1, 3).branch("fallocate_espipe"),
+            None => Sem::err(Errno::EBADF).cost(1, 2).branch("fallocate_ebadf"),
+        },
+        "ftruncate" | "truncate" => {
+            let len = args[1];
+            let fsize_limit = proc_fsize(k, ctx);
+            if len > fsize_limit {
+                Sem::err(Errno::EFBIG)
+                    .cost(2, 5)
+                    .fatal(Signal::SIGXFSZ)
+                    .branch("truncate_sigxfsz")
+            } else if name == "ftruncate" {
+                match k.fd_table(ctx.pid).get(Fd(args[0] as i32)) {
+                    Some(FdObject::File { .. }) => {
+                        k.vfs.dirty(4096);
+                        k.note_io_activity(ctx.pid, ctx.core);
+                        Sem::ok(0).cost(2, 10).branch("ftruncate_ok")
+                    }
+                    Some(_) => Sem::err(Errno::EINVAL).cost(1, 3).branch("ftruncate_einval"),
+                    None => Sem::err(Errno::EBADF).cost(1, 2).branch("ftruncate_ebadf"),
+                }
+            } else {
+                match req.paths[0] {
+                    Some(path) if k.vfs.lookup(path).is_some() => {
+                        k.vfs.dirty(4096);
+                        Sem::ok(0).cost(2, 10).branch("truncate_ok")
+                    }
+                    Some(_) => Sem::err(Errno::ENOENT).cost(1, 4).branch("truncate_enoent"),
+                    None => Sem::err(Errno::EFAULT).cost(1, 2).branch("truncate_efault"),
+                }
+            }
+        }
+        "sync" | "syncfs" => {
+            let blocked = k.sync_flush(ctx.pid, ctx.cgroup, &ctx.cpuset, 1.0, ctx.policy.host_deferrals);
+            Sem::ok(0).cost(2, 12).block(blocked).branch("sync")
+        }
+        "fsync" | "fdatasync" | "msync" => {
+            let valid = name == "msync"
+                || matches!(
+                    k.fd_table(ctx.pid).get(Fd(args[0] as i32)),
+                    Some(FdObject::File { .. })
+                );
+            if valid {
+                let blocked =
+                    k.sync_flush(ctx.pid, ctx.cgroup, &ctx.cpuset, 0.15, ctx.policy.host_deferrals);
+                Sem::ok(0).cost(2, 10).block(blocked).branch("fsync_ok")
+            } else {
+                Sem::err(Errno::EBADF).cost(1, 2).branch("fsync_ebadf")
+            }
+        }
+        "readlink" => match req.paths[0] {
+            None => Sem::err(Errno::EFAULT).cost(1, 3).branch("readlink_efault"),
+            Some(path) => match k.vfs.resolve(path) {
+                Ok(meta) if meta.symlink => Sem::ok(path.len() as i64)
+                    .cost(2, 8)
+                    .branch("readlink_ok"),
+                Ok(_) => Sem::err(Errno::EINVAL).cost(1, 5).branch("readlink_notlink"),
+                Err(e) => Sem::err(e)
+                    .cost(1, 6 + path.len() as u64 / 64)
+                    .branch("readlink_err"),
+            },
+        },
+        "chmod" | "fchmod" => {
+            let ok = if name == "chmod" {
+                req.paths[0].is_some_and(|p| k.vfs.lookup(p).is_some())
+            } else {
+                matches!(
+                    k.fd_table(ctx.pid).get(Fd(args[0] as i32)),
+                    Some(FdObject::File { .. })
+                )
+            };
+            if ok {
+                Sem::ok(0).cost(2, 7).branch("chmod_ok")
+            } else if name == "chmod" {
+                Sem::err(Errno::ENOENT).cost(1, 4).branch("chmod_enoent")
+            } else {
+                Sem::err(Errno::EBADF).cost(1, 2).branch("chmod_ebadf")
+            }
+        }
+        "setxattr" => match req.paths[0] {
+            Some(path) => match req.paths[1] {
+                Some(key) => {
+                    if let Some(meta) = k.vfs.lookup_mut(path) {
+                        meta.xattrs
+                            .insert(key.to_string(), vec![0u8; args[3].min(256) as usize]);
+                        k.vfs.dirty(256);
+                        Sem::ok(0).cost(3, 11).branch("setxattr_ok")
+                    } else {
+                        Sem::err(Errno::ENOENT).cost(1, 5).branch("setxattr_enoent")
+                    }
+                }
+                None => Sem::err(Errno::EFAULT).cost(1, 2).branch("setxattr_efault"),
+            },
+            None => Sem::err(Errno::EFAULT).cost(1, 2).branch("setxattr_efault"),
+        },
+        "getxattr" => match (req.paths[0], req.paths[1]) {
+            (Some(path), Some(key)) => match k.vfs.lookup(path) {
+                Some(meta) => match meta.xattrs.get(key) {
+                    Some(v) if args[3] == 0 => {
+                        Sem::ok(v.len() as i64).cost(2, 7).branch("getxattr_size")
+                    }
+                    Some(v) if (args[3] as usize) < v.len() => {
+                        Sem::err(Errno::ERANGE).cost(2, 7).branch("getxattr_erange")
+                    }
+                    Some(v) => Sem::ok(v.len() as i64).cost(2, 8).branch("getxattr_ok"),
+                    None => Sem::err(Errno::ENODATA).cost(1, 6).branch("getxattr_enodata"),
+                },
+                None => Sem::err(Errno::ENOENT).cost(1, 5).branch("getxattr_enoent"),
+            },
+            _ => Sem::err(Errno::EFAULT).cost(1, 2).branch("getxattr_efault"),
+        },
+        "listxattr" | "removexattr" => match req.paths[0] {
+            Some(path) if k.vfs.lookup(path).is_some() => {
+                Sem::ok(0).cost(2, 7).branch("xattr_list_ok")
+            }
+            Some(_) => Sem::err(Errno::ENOENT).cost(1, 4).branch("xattr_list_enoent"),
+            None => Sem::err(Errno::EFAULT).cost(1, 2).branch("xattr_list_efault"),
+        },
+        "inotify_init" => {
+            let limit = proc_nofile(k, ctx);
+            match k.fd_table(ctx.pid).alloc(FdObject::Inotify, limit) {
+                Ok(fd) => Sem::ok(fd.0 as i64).cost(2, 9).branch("inotify_ok"),
+                Err(e) => Sem::err(e).cost(1, 4).branch("inotify_emfile"),
+            }
+        }
+        "inotify_add_watch" => match k.fd_table(ctx.pid).get(Fd(args[0] as i32)) {
+            Some(FdObject::Inotify) => Sem::ok(1).cost(2, 8).branch("inotify_watch_ok"),
+            Some(_) => Sem::err(Errno::EINVAL).cost(1, 3).branch("inotify_watch_einval"),
+            None => Sem::err(Errno::EBADF).cost(1, 2).branch("inotify_watch_ebadf"),
+        },
+        "ioctl" => match k.fd_table(ctx.pid).get(Fd(args[0] as i32)) {
+            Some(FdObject::File { .. }) => match args[1] {
+                0x8008_7601 => Sem::ok(0).cost(2, 8).branch("ioctl_getversion"),
+                _ => Sem::err(Errno::EINVAL).cost(1, 6).branch("ioctl_einval"),
+            },
+            Some(_) => Sem::err(Errno::EINVAL).cost(1, 4).branch("ioctl_notty"),
+            None => Sem::err(Errno::EBADF).cost(1, 2).branch("ioctl_ebadf"),
+        },
+        "dup" | "dup2" | "dup3" => {
+            let obj = k.fd_table(ctx.pid).get(Fd(args[0] as i32)).cloned();
+            match obj {
+                Some(obj) => {
+                    let limit = proc_nofile(k, ctx);
+                    match k.fd_table(ctx.pid).alloc(obj, limit) {
+                        Ok(fd) => Sem::ok(fd.0 as i64).cost(1, 4).branch("dup_ok"),
+                        Err(e) => Sem::err(e).cost(1, 3).branch("dup_emfile"),
+                    }
+                }
+                None => Sem::err(Errno::EBADF).cost(1, 2).branch("dup_ebadf"),
+            }
+        }
+        "stat" | "access" => match req.paths[0] {
+            Some(path) if k.vfs.lookup(path).is_some() => Sem::ok(0).cost(2, 7).branch("stat_ok"),
+            Some(_) => Sem::err(Errno::ENOENT).cost(1, 5).branch("stat_enoent"),
+            None => Sem::err(Errno::EFAULT).cost(1, 2).branch("stat_efault"),
+        },
+        "fstat" => match k.fd_table(ctx.pid).get(Fd(args[0] as i32)) {
+            Some(_) => Sem::ok(0).cost(1, 4).branch("fstat_ok"),
+            None => Sem::err(Errno::EBADF).cost(1, 2).branch("fstat_ebadf"),
+        },
+        "mkdir" => match req.paths[0] {
+            Some(path) => {
+                if k.vfs.lookup(path).is_some() {
+                    Sem::err(Errno::EEXIST).cost(1, 5).branch("mkdir_eexist")
+                } else {
+                    k.vfs.create(path, 0o755 | 0o40000);
+                    k.vfs.dirty(512);
+                    Sem::ok(0).cost(2, 11).branch("mkdir_ok")
+                }
+            }
+            None => Sem::err(Errno::EFAULT).cost(1, 2).branch("mkdir_efault"),
+        },
+        "rmdir" | "unlink" => match req.paths[0] {
+            Some(path) if k.vfs.lookup(path).is_some() => {
+                k.vfs.dirty(512);
+                Sem::ok(0).cost(2, 10).branch("unlink_ok")
+            }
+            Some(_) => Sem::err(Errno::ENOENT).cost(1, 5).branch("unlink_enoent"),
+            None => Sem::err(Errno::EFAULT).cost(1, 2).branch("unlink_efault"),
+        },
+        "rename" => match (req.paths[0], req.paths[1]) {
+            (Some(from), Some(_to)) if k.vfs.lookup(from).is_some() => {
+                k.vfs.dirty(1024);
+                Sem::ok(0).cost(3, 12).branch("rename_ok")
+            }
+            (Some(_), Some(_)) => Sem::err(Errno::ENOENT).cost(1, 5).branch("rename_enoent"),
+            _ => Sem::err(Errno::EFAULT).cost(1, 2).branch("rename_efault"),
+        },
+        "getdents" => match k.fd_table(ctx.pid).get(Fd(args[0] as i32)) {
+            Some(FdObject::File { .. }) => Sem::ok(0).cost(2, 9).branch("getdents_ok"),
+            Some(_) => Sem::err(Errno::ENOTDIR).cost(1, 3).branch("getdents_enotdir"),
+            None => Sem::err(Errno::EBADF).cost(1, 2).branch("getdents_ebadf"),
+        },
+        "flock" | "fcntl" => match k.fd_table(ctx.pid).get(Fd(args[0] as i32)) {
+            Some(_) => Sem::ok(0).cost(1, 4).branch("fcntl_ok"),
+            None => Sem::err(Errno::EBADF).cost(1, 2).branch("fcntl_ebadf"),
+        },
+        "memfd_create" => {
+            let ino = k.vfs.create(&format!("memfd:{}", args[0]), 0o600);
+            let limit = proc_nofile(k, ctx);
+            match k
+                .fd_table(ctx.pid)
+                .alloc(FdObject::File { ino, offset: 0 }, limit)
+            {
+                Ok(fd) => Sem::ok(fd.0 as i64).cost(3, 10).branch("memfd_ok"),
+                Err(e) => Sem::err(e).cost(1, 4).branch("memfd_emfile"),
+            }
+        }
+        _ => return None,
+    })
+}
+
+fn proc_nofile(k: &Kernel, ctx: &ExecContext) -> u32 {
+    k.procs.get(ctx.pid).map_or(1024, |p| p.rlimits().nofile)
+}
+
+fn proc_fsize(k: &Kernel, ctx: &ExecContext) -> u64 {
+    k.procs.get(ctx.pid).map_or(1 << 30, |p| p.rlimits().fsize)
+}

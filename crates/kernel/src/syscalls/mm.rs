@@ -1,0 +1,103 @@
+//! Memory-management syscall semantics.
+//!
+//! Memory charges go through the cgroup memory controller, so the memory
+//! oracle (future work §5.1 of the paper, implemented in `torpedo-oracle`)
+//! has real limits to observe.
+
+use crate::errno::Errno;
+use crate::kernel::Kernel;
+use crate::time::Usecs;
+
+use super::{ExecContext, Sem, SyscallRequest};
+
+/// Largest mapping honoured per call.
+const MAX_MAP: u64 = 64 << 20;
+
+pub(crate) fn handle(
+    k: &mut Kernel,
+    ctx: &ExecContext,
+    name: &str,
+    req: &SyscallRequest<'_>,
+) -> Option<Sem> {
+    let args = req.args;
+    Some(match name {
+        "mmap" => {
+            let len = args[1];
+            if len == 0 {
+                return Some(Sem::err(Errno::EINVAL).cost(1, 3).branch("mmap_einval"));
+            }
+            let len = len.min(MAX_MAP);
+            match k.cgroups.charge_memory(ctx.cgroup, len as i64) {
+                Ok(()) => Sem::ok(0x7f00_0000_0000u64 as i64)
+                    .cost(2, 9 + len / (4 << 20))
+                    .branch("mmap_ok"),
+                Err(_) => Sem::err(Errno::ENOMEM).cost(2, 7).branch("mmap_enomem"),
+            }
+        }
+        "munmap" => {
+            let len = args[1].min(MAX_MAP);
+            if len == 0 {
+                Sem::err(Errno::EINVAL).cost(1, 2).branch("munmap_einval")
+            } else {
+                let _ = k.cgroups.charge_memory(ctx.cgroup, -(len as i64));
+                Sem::ok(0).cost(1, 6).branch("munmap_ok")
+            }
+        }
+        "mprotect" => {
+            if args[0] % 4096 != 0 {
+                Sem::err(Errno::EINVAL).cost(1, 2).branch("mprotect_unaligned")
+            } else {
+                Sem::ok(0).cost(1, 5).branch("mprotect_ok")
+            }
+        }
+        "brk" => Sem::ok(args[0] as i64).cost(1, 4).branch("brk"),
+        "mremap" => {
+            let new_len = args[2].min(MAX_MAP);
+            if new_len == 0 {
+                Sem::err(Errno::EINVAL).cost(1, 2).branch("mremap_einval")
+            } else {
+                match k.cgroups.charge_memory(ctx.cgroup, new_len as i64 / 4) {
+                    Ok(()) => Sem::ok(args[0] as i64).cost(2, 8).branch("mremap_ok"),
+                    Err(_) => Sem::err(Errno::ENOMEM).cost(1, 5).branch("mremap_enomem"),
+                }
+            }
+        }
+        "madvise" => {
+            if args[2] > 25 {
+                Sem::err(Errno::EINVAL).cost(1, 2).branch("madvise_einval")
+            } else {
+                Sem::ok(0).cost(1, 4).branch("madvise_ok")
+            }
+        }
+        "mlock" => {
+            let len = args[1].min(MAX_MAP);
+            match k.cgroups.charge_memory(ctx.cgroup, len as i64) {
+                Ok(()) => Sem::ok(0).cost(2, 10 + len / (8 << 20)).branch("mlock_ok"),
+                Err(_) => Sem::err(Errno::ENOMEM).cost(1, 5).branch("mlock_enomem"),
+            }
+        }
+        "munlock" => {
+            let len = args[1].min(MAX_MAP);
+            let _ = k.cgroups.charge_memory(ctx.cgroup, -(len as i64));
+            Sem::ok(0).cost(1, 5).branch("munlock_ok")
+        }
+        "getrandom" => {
+            let len = args[1].min(1 << 16);
+            Sem::ok(len as i64)
+                .cost(1, 3 + len / 4096)
+                .branch("getrandom")
+        }
+        "futex" => {
+            // FUTEX_WAIT on a value that never changes: brief block, EAGAIN.
+            if args[1] & 0x7f == 0 {
+                Sem::err(Errno::EAGAIN)
+                    .cost(1, 4)
+                    .block(Usecs::from_millis(5))
+                    .branch("futex_wait")
+            } else {
+                Sem::ok(0).cost(1, 4).branch("futex_wake")
+            }
+        }
+        _ => return None,
+    })
+}

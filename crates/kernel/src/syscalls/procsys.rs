@@ -1,0 +1,174 @@
+//! Process, signal and identity syscall semantics.
+//!
+//! Hosts the coredump vectors of Table 4.2 — `rt_sigreturn` (any usage →
+//! SIGSEGV) and `rseq` (invalid arguments → SIGSEGV) — plus the audit
+//! channel triggered by credential changes, and the blocking calls the
+//! paper adds to its generation denylist (`pause`, `nanosleep`, `poll`).
+
+use crate::errno::Errno;
+use crate::kernel::Kernel;
+use crate::process::Pid;
+use crate::signal::Signal;
+use crate::time::Usecs;
+
+use super::{ExecContext, Sem, SyscallRequest};
+
+/// How long "forever" blocks within a round: longer than any sane window.
+const FOREVER: Usecs = Usecs::from_secs(3600);
+
+pub(crate) fn handle(
+    k: &mut Kernel,
+    ctx: &ExecContext,
+    name: &str,
+    req: &SyscallRequest<'_>,
+) -> Option<Sem> {
+    let args = req.args;
+    Some(match name {
+        "getpid" => Sem::ok(ctx.pid.0 as i64).cost(1, 2).branch("getpid"),
+        "getppid" | "gettid" | "getuid" | "geteuid" => {
+            Sem::ok(0).cost(1, 2).branch("identity")
+        }
+        "setuid" | "setgid" => {
+            // Credential changes are audited; the audit daemons do the work
+            // in their own cgroups (§2.4.3 "deferring work to other process
+            // cgroups").
+            if ctx.policy.host_deferrals {
+                k.audit_event(ctx.pid, ctx.cgroup, &ctx.cpuset, "setuid");
+            }
+            if args[0] != 0 && args[0] < 0x10000 {
+                Sem::ok(0).cost(2, 6).branch("setuid_ok")
+            } else {
+                Sem::err(Errno::EPERM).cost(1, 4).branch("setuid_eperm")
+            }
+        }
+        "getrlimit" => {
+            if args[0] > 16 {
+                Sem::err(Errno::EINVAL).cost(1, 2).branch("getrlimit_einval")
+            } else {
+                Sem::ok(0).cost(1, 3).branch("getrlimit_ok")
+            }
+        }
+        "setrlimit" | "prlimit64" => {
+            let resource = args[if name == "prlimit64" { 1 } else { 0 }];
+            if resource > 16 {
+                Sem::err(Errno::EINVAL).cost(1, 2).branch("setrlimit_einval")
+            } else {
+                // RLIMIT_FSIZE = 1 on Linux.
+                if resource == 1 {
+                    let new_limit = args[if name == "prlimit64" { 2 } else { 1 }];
+                    if let Some(p) = k.procs.get_mut(ctx.pid) {
+                        p.rlimits_mut().fsize = new_limit.max(4096);
+                    }
+                }
+                Sem::ok(0).cost(1, 4).branch("setrlimit_ok")
+            }
+        }
+        "alarm" => Sem::ok(0).cost(1, 2).branch("alarm"),
+        "pause" => Sem::err(Errno::EINTR)
+            .cost(1, 2)
+            .block(FOREVER)
+            .branch("pause"),
+        "nanosleep" | "clock_nanosleep" => Sem::ok(0)
+            .cost(1, 3)
+            .block(Usecs::from_millis(50))
+            .branch("nanosleep"),
+        "sched_yield" => Sem::ok(0).cost(0, 2).branch("sched_yield"),
+        "kill" | "tgkill" => {
+            let target = args[0] as u32;
+            let signum = args[if name == "tgkill" { 2 } else { 1 }] as u8;
+            if target == ctx.pid.0 || target == 0 {
+                match decode_signal(signum) {
+                    Some(sig) if sig.fatal_by_default() => Sem::ok(0)
+                        .cost(1, 5)
+                        .fatal(sig)
+                        .branch("kill_self_fatal"),
+                    Some(_) => Sem::ok(0).cost(1, 4).branch("kill_self_ignored"),
+                    None => Sem::err(Errno::EINVAL).cost(1, 2).branch("kill_einval"),
+                }
+            } else if k.procs.get(Pid(target)).is_some() {
+                // Cross-process signalling is namespaced away.
+                Sem::err(Errno::EPERM).cost(1, 4).branch("kill_eperm")
+            } else {
+                Sem::err(Errno::ESRCH).cost(1, 3).branch("kill_esrch")
+            }
+        }
+        "rt_sigaction" | "rt_sigprocmask" => {
+            if args[0] == 0 || args[0] > 64 {
+                Sem::err(Errno::EINVAL).cost(1, 2).branch("sigaction_einval")
+            } else {
+                Sem::ok(0).cost(1, 3).branch("sigaction_ok")
+            }
+        }
+        "rt_sigreturn" => {
+            // Called outside a signal frame, the restored context is garbage:
+            // the kernel delivers SIGSEGV → coredump (Table 4.2 "any usage").
+            Sem::ok(0)
+                .cost(1, 4)
+                .fatal(Signal::SIGSEGV)
+                .branch("rt_sigreturn_segv")
+        }
+        "rseq" => {
+            // Invalid arguments (unaligned struct or unknown flags) kill the
+            // caller with SIGSEGV (Table 4.2).
+            if args[0] % 32 != 0 || args[2] > 1 {
+                Sem::ok(0)
+                    .cost(1, 4)
+                    .fatal(Signal::SIGSEGV)
+                    .branch("rseq_segv")
+            } else {
+                Sem::ok(0).cost(1, 4).branch("rseq_ok")
+            }
+        }
+        "exit" | "exit_group" => {
+            // Graceful exit: no coredump; the executor restarts the process.
+            k.procs.exit(ctx.pid);
+            Sem::ok(0).cost(1, 3).branch("exit")
+        }
+        "kcmp" => {
+            let pid1 = args[0] as u32;
+            let pid2 = args[1] as u32;
+            if args[2] > 8 {
+                Sem::err(Errno::EINVAL).cost(1, 2).branch("kcmp_einval")
+            } else if k.procs.get(Pid(pid1)).is_none() || k.procs.get(Pid(pid2)).is_none() {
+                Sem::err(Errno::ESRCH).cost(1, 3).branch("kcmp_esrch")
+            } else {
+                Sem::ok(0).cost(1, 4).branch("kcmp_ok")
+            }
+        }
+        "capget" | "capset" | "prctl" | "personality" => {
+            Sem::ok(0).cost(1, 3).branch("cred_misc")
+        }
+        "ptrace" => Sem::err(Errno::EPERM).cost(1, 3).branch("ptrace_eperm"),
+        "uname" | "sysinfo" | "times" | "getcpu" | "gettimeofday" | "clock_gettime"
+        | "getitimer" => Sem::ok(0).cost(1, 2).branch("info"),
+        "fork" => {
+            // Fork inside the container: allowed, cheap model (no new
+            // schedulable entity — the executor is single-threaded here).
+            Sem::ok((ctx.pid.0 + 1000) as i64).cost(4, 20).branch("fork")
+        }
+        _ => return None,
+    })
+}
+
+fn decode_signal(signum: u8) -> Option<Signal> {
+    Some(match signum {
+        1 => Signal::SIGHUP,
+        2 => Signal::SIGINT,
+        3 => Signal::SIGQUIT,
+        4 => Signal::SIGILL,
+        5 => Signal::SIGTRAP,
+        6 => Signal::SIGABRT,
+        7 => Signal::SIGBUS,
+        8 => Signal::SIGFPE,
+        9 => Signal::SIGKILL,
+        11 => Signal::SIGSEGV,
+        13 => Signal::SIGPIPE,
+        14 => Signal::SIGALRM,
+        15 => Signal::SIGTERM,
+        17 => Signal::SIGCHLD,
+        24 => Signal::SIGXCPU,
+        25 => Signal::SIGXFSZ,
+        31 => Signal::SIGSYS,
+        _ => return None,
+    })
+}

@@ -1,0 +1,231 @@
+//! A `top(1)`-style per-process CPU sampler, with the real tool's quirks.
+//!
+//! §3.4 of the paper forks a Golang `top` wrapper and works around two
+//! idiosyncrasies, both reproduced here:
+//!
+//! 1. **Warm-up frames.** top's first frame after startup is inaccurate; the
+//!    wrapper discards it. [`TopSampler::sample`] returns `None` for the
+//!    first frame.
+//! 2. **Short-lived blindness.** top cannot report CPU for processes that
+//!    begin or end between frames — so a `modprobe` storm is invisible to
+//!    the per-process view while remaining visible in `/proc/stat`. The
+//!    sampler skips short-lived helpers and anything born this round.
+
+use crate::kernel::Kernel;
+use crate::process::{DaemonKind, KthreadKind, ProcessKind};
+use crate::time::Usecs;
+
+/// The filter categories the paper's wrapper selects (§3.4: "docker,
+/// kworker threads, kauditd, systemd-journal, and miscellaneous kernel
+/// threads"), plus the executors themselves.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TopCategory {
+    /// Docker engine components (dockerd, containerd, shims).
+    Docker,
+    /// kworker threads.
+    Kworker,
+    /// The kernel audit daemon.
+    Kauditd,
+    /// systemd-journald.
+    Journald,
+    /// Miscellaneous kernel threads (ksoftirqd, kthreadd, …).
+    KernelMisc,
+    /// Fuzzing executor processes.
+    Executor,
+    /// The gVisor sentry.
+    Sentry,
+    /// Everything else.
+    Other,
+}
+
+/// One row of a top frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopEntry {
+    /// Process id.
+    pub pid: u32,
+    /// Process name.
+    pub name: String,
+    /// Filter category.
+    pub category: TopCategory,
+    /// CPU consumed during the frame, in percent of one core.
+    pub cpu_percent: f64,
+}
+
+/// One complete top frame.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TopSample {
+    /// Rows, sorted by descending CPU.
+    pub entries: Vec<TopEntry>,
+}
+
+impl TopSample {
+    /// Total CPU percent attributed to `category`.
+    pub fn category_percent(&self, category: TopCategory) -> f64 {
+        self.entries
+            .iter()
+            .filter(|e| e.category == category)
+            .map(|e| e.cpu_percent)
+            .sum()
+    }
+
+    /// The entry for a specific pid, if visible.
+    pub fn entry(&self, pid: u32) -> Option<&TopEntry> {
+        self.entries.iter().find(|e| e.pid == pid)
+    }
+}
+
+/// Stateful sampler wrapping the simulated process table.
+#[derive(Debug, Clone, Default)]
+pub struct TopSampler {
+    warmed_up: bool,
+}
+
+impl TopSampler {
+    /// A fresh sampler (its first frame will be discarded).
+    pub fn new() -> TopSampler {
+        TopSampler { warmed_up: false }
+    }
+
+    /// Sample per-process CPU for a frame of length `window`.
+    ///
+    /// Returns `None` for the warm-up frame, mirroring the modified wrapper
+    /// of §3.4. Short-lived processes (usermodehelper children) and
+    /// processes spawned during this frame are not reported.
+    pub fn sample(&mut self, kernel: &Kernel, window: Usecs) -> Option<TopSample> {
+        if !self.warmed_up {
+            self.warmed_up = true;
+            return None;
+        }
+        let mut entries: Vec<TopEntry> = kernel
+            .procs
+            .iter()
+            .filter(|p| p.kind().long_lived() && !p.born_this_round())
+            .map(|p| TopEntry {
+                pid: p.pid().0,
+                name: p.name().to_string(),
+                category: categorize(p.kind()),
+                cpu_percent: 100.0 * p.round_cpu().as_micros() as f64
+                    / window.as_micros().max(1) as f64,
+            })
+            .collect();
+        entries.sort_by(|a, b| {
+            b.cpu_percent
+                .partial_cmp(&a.cpu_percent)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.pid.cmp(&b.pid))
+        });
+        Some(TopSample { entries })
+    }
+}
+
+fn categorize(kind: &ProcessKind) -> TopCategory {
+    match kind {
+        ProcessKind::Daemon(DaemonKind::Dockerd)
+        | ProcessKind::Daemon(DaemonKind::Containerd)
+        | ProcessKind::Daemon(DaemonKind::ContainerdShim) => TopCategory::Docker,
+        ProcessKind::Daemon(DaemonKind::Kauditd) | ProcessKind::Daemon(DaemonKind::Auditd) => {
+            TopCategory::Kauditd
+        }
+        ProcessKind::Daemon(DaemonKind::Journald) => TopCategory::Journald,
+        ProcessKind::Daemon(DaemonKind::GvisorSentry) => TopCategory::Sentry,
+        ProcessKind::KernelThread(KthreadKind::Kworker) => TopCategory::Kworker,
+        ProcessKind::KernelThread(_) => TopCategory::KernelMisc,
+        ProcessKind::Executor { .. } => TopCategory::Executor,
+        ProcessKind::Daemon(DaemonKind::Cron) | ProcessKind::Noise => TopCategory::Other,
+        ProcessKind::Helper(_) => TopCategory::Other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cgroup::CgroupTree;
+    use crate::process::HelperKind;
+
+    #[test]
+    fn first_frame_is_warmup() {
+        let mut k = Kernel::with_defaults();
+        k.begin_round(Usecs::from_secs(1));
+        k.finish_round(&[0]);
+        let mut sampler = TopSampler::new();
+        assert!(sampler.sample(&k, Usecs::from_secs(1)).is_none());
+        assert!(sampler.sample(&k, Usecs::from_secs(1)).is_some());
+    }
+
+    #[test]
+    fn short_lived_helpers_are_invisible() {
+        let mut k = Kernel::with_defaults();
+        k.begin_round(Usecs::from_secs(1));
+        // Advance one round so boot daemons are no longer "born this round".
+        k.finish_round(&[0]);
+        k.begin_round(Usecs::from_secs(1));
+        let helper = k.procs.spawn(
+            "modprobe",
+            ProcessKind::Helper(HelperKind::Modprobe),
+            CgroupTree::ROOT,
+        );
+        k.procs.charge_cpu(helper, Usecs(900_000));
+        let mut sampler = TopSampler::new();
+        let _ = sampler.sample(&k, Usecs::from_secs(1));
+        let frame = sampler.sample(&k, Usecs::from_secs(1)).unwrap();
+        assert!(frame.entry(helper.0).is_none(), "modprobe must be invisible");
+    }
+
+    #[test]
+    fn daemons_are_visible_with_percentages() {
+        let mut k = Kernel::with_defaults();
+        k.begin_round(Usecs::from_secs(1));
+        k.finish_round(&[0]);
+        k.begin_round(Usecs::from_secs(1));
+        let kauditd = k.boot.kauditd;
+        k.procs.charge_cpu(kauditd, Usecs(250_000));
+        let mut sampler = TopSampler::new();
+        let _ = sampler.sample(&k, Usecs::from_secs(1));
+        let frame = sampler.sample(&k, Usecs::from_secs(1)).unwrap();
+        let entry = frame.entry(kauditd.0).expect("kauditd visible");
+        assert!((entry.cpu_percent - 25.0).abs() < 0.1);
+        assert_eq!(entry.category, TopCategory::Kauditd);
+        assert!(frame.category_percent(TopCategory::Kauditd) >= 25.0);
+    }
+
+    #[test]
+    fn entries_sorted_by_cpu_desc() {
+        let mut k = Kernel::with_defaults();
+        k.begin_round(Usecs::from_secs(1));
+        k.finish_round(&[0]);
+        k.begin_round(Usecs::from_secs(1));
+        k.procs.charge_cpu(k.boot.journald, Usecs(100_000));
+        k.procs.charge_cpu(k.boot.dockerd, Usecs(300_000));
+        let mut sampler = TopSampler::new();
+        let _ = sampler.sample(&k, Usecs::from_secs(1));
+        let frame = sampler.sample(&k, Usecs::from_secs(1)).unwrap();
+        let dockerd_pos = frame
+            .entries
+            .iter()
+            .position(|e| e.pid == k.boot.dockerd.0)
+            .unwrap();
+        let journald_pos = frame
+            .entries
+            .iter()
+            .position(|e| e.pid == k.boot.journald.0)
+            .unwrap();
+        assert!(dockerd_pos < journald_pos);
+    }
+
+    #[test]
+    fn processes_born_this_round_are_invisible() {
+        let mut k = Kernel::with_defaults();
+        k.begin_round(Usecs::from_secs(1));
+        k.finish_round(&[0]);
+        k.begin_round(Usecs::from_secs(1));
+        let newborn = k.procs.spawn(
+            "fresh-daemon",
+            ProcessKind::Daemon(DaemonKind::Cron),
+            CgroupTree::ROOT,
+        );
+        let mut sampler = TopSampler::new();
+        let _ = sampler.sample(&k, Usecs::from_secs(1));
+        let frame = sampler.sample(&k, Usecs::from_secs(1)).unwrap();
+        assert!(frame.entry(newborn.0).is_none());
+    }
+}

@@ -1,0 +1,72 @@
+//! The verbatim seed programs from the paper's Appendix A, transcribed
+//! into the serialization format (pointer arguments become arena offsets;
+//! path strings become `&'…'` payloads).
+
+/// Appendix A programs, in order of appearance.
+pub const APPENDIX_SEEDS: &[&str] = &[
+    // A.1.1 program 0: mmap + creat under mntpoint.
+    "mmap(0x7f0000000000, 0x1000, 0x3, 0x32, 0xffffffffffffffff, 0x0)\n\
+     creat(&'mntpoint/tmp', 0x124)\n",
+    // A.1.1 program 1: inotify + mqueue msg_max read/write cycle + DRM ioctl.
+    "r0 = inotify_init()\n\
+     ioctl(r0, 0x80087601, 0x7f0000000100)\n\
+     alarm(0x4)\n\
+     r3 = open(&'/proc/sys/fs/mqueue/msg_max', 0x2, 0x0)\n\
+     lseek(r3, 0xfffffffffffffffb, 0x1)\n\
+     lseek(r3, 0x0, 0x0)\n\
+     read(r3, 0x7f00000000e5, 0x7)\n\
+     write(r3, 0x7f00000000ec, 0x6)\n\
+     ioctl(r3, 0xc02064a5, 0x7f00000000c0)\n",
+    // A.1.1 program 2: mmap + getrlimit with an invalid resource.
+    "mmap(0x7f0000000000, 0x4000, 0x3, 0x20010, 0xffffffffffffffff, 0x0)\n\
+     getrlimit(0x3e8, 0x7f0000000000)\n",
+    // A.1.2 program 0: bare sync.
+    "sync()\n",
+    // A.1.2 program 1: getpid + kcmp with a bogus first pid.
+    "r0 = getpid()\n\
+     kcmp(0x1586, r0, 0x9, 0x0, 0x0)\n",
+    // A.1.2 program 2: mmap + the test_eloop readlink chain.
+    "mmap(0x7f0000000000, 0x1000, 0x3, 0x32, 0xffffffffffffffff, 0x0)\n\
+     readlink(&'./test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop/test_eloop', 0x7f00000001db, 0x0)\n",
+    // A.1.3 program 1: the netlink audit record sender.
+    "r0 = socket(0x10, 0x3, 0x9)\n\
+     socketpair(0x4, 0x3, 0x7, 0x7f0000000100)\n\
+     sendto(r0, 0x7f0000000000, 0x24, 0x0, 0x0, 0xc)\n",
+    // A.2.1 program 0: chmod on testdir.
+    "mmap(0x7f0000000000, 0x1000, 0x3, 0x32, 0xffffffffffffffff, 0x0)\n\
+     chmod(&'testdir_1', 0x1ff)\n",
+    // A.2.1 program 1: setuid to the nobody-ish uid.
+    "setuid(0xfffe)\n",
+    // A.2.1 program 2: the getxattr01 ltp trace.
+    "mmap(0x7f0000000000, 0x1000, 0x3, 0x32, 0xffffffffffffffff, 0x0)\n\
+     creat(&'getxattr01testfile', 0x1a4)\n\
+     setxattr(&'getxattr01testfile', @'system.posix_acl_access', 0x7f0000000033, 0x15, 0x1)\n\
+     getxattr(&'getxattr01testfile', @'system.posix_acl_access', 0x7f000000006a, 0x0)\n\
+     getxattr(&'getxattr01testfile', @'system.posix_acl_access', 0x7f000000008a, 0x0)\n\
+     getxattr(&'getxattr01testfile', @'system.posix_acl_access', 0x7f00000000aa, 0x15)\n",
+    // A.2.2: the gVisor-crashing open (original syzkaller trace).
+    "open(&'/lib/x86_64-Linux-gnu/libc.so.6', 0x680002, 0x20)\n",
+];
+
+#[cfg(test)]
+mod tests {
+    use torpedo_prog::{build_table, deserialize};
+
+    #[test]
+    fn appendix_seeds_parse_and_validate() {
+        let table = build_table();
+        for (i, text) in super::APPENDIX_SEEDS.iter().enumerate() {
+            let prog = deserialize(text, &table)
+                .unwrap_or_else(|e| panic!("appendix seed {i}: {e}\n{text}"));
+            prog.validate(&table)
+                .unwrap_or_else(|e| panic!("appendix seed {i} invalid: {e}"));
+        }
+    }
+
+    #[test]
+    fn crash_seed_is_the_paper_reproducer() {
+        let last = super::APPENDIX_SEEDS.last().unwrap();
+        assert!(last.contains("0x680002"));
+        assert!(last.contains("libc.so.6"));
+    }
+}

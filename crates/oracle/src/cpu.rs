@@ -1,0 +1,272 @@
+//! The CPU oracle — the oracle the paper's evaluation runs with.
+//!
+//! Its flagging heuristics are exactly Table 4.1:
+//!
+//! | heuristic                         | expectation            |
+//! |-----------------------------------|------------------------|
+//! | fuzzing core CPU utilization      | above some threshold   |
+//! | idle core CPU utilization         | below some threshold   |
+//! | total CPU utilization             | below some threshold   |
+//! | system process CPU utilization    | below some threshold   |
+//!
+//! The score is machine-wide CPU utilization (§4.2: "CPU Utilization was
+//! used as the Oracle score"). The known framework sidecar core is excluded
+//! from the idle-core heuristic, per the Appendix A note.
+
+use torpedo_kernel::top::TopCategory;
+
+use crate::observation::Observation;
+use crate::violation::{HeuristicKind, Violation};
+use crate::Oracle;
+
+/// Thresholds for the Table 4.1 heuristics, in percent.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CpuThresholds {
+    /// A fuzzing core should stay above this busy percentage (workloads run
+    /// flat out in the LoopUntilTime loop).
+    pub fuzz_core_min: f64,
+    /// A non-fuzzing core should stay below this busy percentage.
+    pub idle_core_max: f64,
+    /// Margin (in percentage points) added to the quota-derived total
+    /// expectation before the total heuristic fires.
+    pub total_margin: f64,
+    /// Any tracked system-process category (docker, kworker, kauditd,
+    /// journald) should stay below this percent of one core.
+    pub sysproc_max: f64,
+}
+
+impl Default for CpuThresholds {
+    fn default() -> Self {
+        // Tuned exactly as §4.1 describes: by running the known-vulnerable
+        // seed recreations and adjusting until baseline rounds are quiet.
+        CpuThresholds {
+            fuzz_core_min: 40.0,
+            idle_core_max: 16.0,
+            total_margin: 8.0,
+            sysproc_max: 5.0,
+        }
+    }
+}
+
+/// The CPU oracle.
+#[derive(Debug, Clone, Default)]
+pub struct CpuOracle {
+    thresholds: CpuThresholds,
+}
+
+impl CpuOracle {
+    /// An oracle with the default (paper-tuned) thresholds.
+    pub fn new() -> CpuOracle {
+        CpuOracle::default()
+    }
+
+    /// An oracle with custom thresholds.
+    pub fn with_thresholds(thresholds: CpuThresholds) -> CpuOracle {
+        CpuOracle { thresholds }
+    }
+
+    /// The active thresholds.
+    pub fn thresholds(&self) -> &CpuThresholds {
+        &self.thresholds
+    }
+}
+
+impl Oracle for CpuOracle {
+    fn name(&self) -> &'static str {
+        "cpu"
+    }
+
+    fn score(&self, obs: &Observation) -> f64 {
+        obs.total_busy_percent()
+    }
+
+    fn flag(&self, obs: &Observation) -> Vec<Violation> {
+        let t = &self.thresholds;
+        let mut violations = Vec::new();
+
+        // Heuristic 1: fuzzing cores should be busy.
+        for core in obs.fuzz_cores() {
+            let busy = obs.busy_percent(core);
+            if busy < t.fuzz_core_min {
+                violations.push(Violation {
+                    heuristic: HeuristicKind::FuzzCoreBelowFloor,
+                    core: Some(core),
+                    measured: busy,
+                    threshold: t.fuzz_core_min,
+                });
+            }
+        }
+
+        // Heuristic 2: everything else should be near idle.
+        for core in obs.idle_cores() {
+            let busy = obs.busy_percent(core);
+            if busy > t.idle_core_max {
+                violations.push(Violation {
+                    heuristic: HeuristicKind::IdleCoreAboveCeiling,
+                    core: Some(core),
+                    measured: busy,
+                    threshold: t.idle_core_max,
+                });
+            }
+        }
+
+        // Heuristic 3: the machine should not be busier than the configured
+        // caps plus noise allow.
+        let total = obs.total_busy_percent();
+        let expected = obs.expected_total_percent(t.total_margin);
+        if total > expected {
+            violations.push(Violation {
+                heuristic: HeuristicKind::TotalAboveExpected,
+                core: None,
+                measured: total,
+                threshold: expected,
+            });
+        }
+
+        // Heuristic 4: tracked system processes should be quiet.
+        if let Some(top) = &obs.top {
+            for category in [
+                TopCategory::Docker,
+                TopCategory::Kworker,
+                TopCategory::Kauditd,
+                TopCategory::Journald,
+                TopCategory::KernelMisc,
+            ] {
+                let pct = top.category_percent(category);
+                if pct > t.sysproc_max {
+                    violations.push(Violation {
+                        heuristic: HeuristicKind::SystemProcessAboveBaseline,
+                        core: None,
+                        measured: pct,
+                        threshold: t.sysproc_max,
+                    });
+                }
+            }
+        }
+
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::ContainerInfo;
+    use torpedo_kernel::cpu::{CpuCategory, CpuTimes};
+    use torpedo_kernel::time::Usecs;
+
+    /// Build an observation: (core busy fractions, fuzz cores, quota sum).
+    fn obs(busy: &[f64], fuzz_cores: &[usize]) -> Observation {
+        let window = Usecs::from_secs(5);
+        let per_core = busy
+            .iter()
+            .map(|r| {
+                let mut t = CpuTimes::default();
+                let b = window.scale(*r);
+                t.charge(CpuCategory::System, b.scale(0.7));
+                t.charge(CpuCategory::User, b.scale(0.3));
+                t.charge(CpuCategory::Idle, window.saturating_sub(b));
+                t
+            })
+            .collect();
+        let containers = fuzz_cores
+            .iter()
+            .map(|&c| ContainerInfo {
+                name: format!("fuzz-{c}"),
+                cpuset: vec![c],
+                cpu_quota: Some(1.0),
+                memory_limit: None,
+                memory_used: 0,
+                io_bytes: 0,
+                oom_events: 0,
+            })
+            .collect();
+        Observation {
+            window,
+            per_core,
+            top: None,
+            containers,
+            sidecar_core: fuzz_cores.iter().max().map(|m| m + 1),
+            startup_times: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn quiet_baseline_produces_no_violations() {
+        // 3 fuzz cores ~85%, sidecar 20%, rest ~4%: the Table A.1 shape.
+        let busy = [0.85, 0.84, 0.87, 0.20, 0.04, 0.04, 0.06, 0.06, 0.04, 0.06, 0.06, 0.05];
+        let o = obs(&busy, &[0, 1, 2]);
+        let oracle = CpuOracle::new();
+        let violations = oracle.flag(&o);
+        assert!(violations.is_empty(), "unexpected: {violations:?}");
+    }
+
+    #[test]
+    fn sidecar_core_is_ignored() {
+        let mut busy = vec![0.85, 0.85, 0.85];
+        busy.push(0.50); // heavy sidecar softirq — must NOT flag
+        busy.extend(vec![0.04; 8]);
+        let o = obs(&busy, &[0, 1, 2]);
+        let violations = CpuOracle::new().flag(&o);
+        assert!(
+            !violations
+                .iter()
+                .any(|v| v.core == Some(3) && v.heuristic == HeuristicKind::IdleCoreAboveCeiling),
+            "sidecar flagged: {violations:?}"
+        );
+    }
+
+    #[test]
+    fn blocked_fuzzer_flags_fuzz_core_floor() {
+        // Program went to sleep: fuzz core 0 nearly idle (the §4.1.2
+        // 'pause/nanosleep' pattern).
+        let busy = [0.05, 0.85, 0.85, 0.2, 0.04, 0.04, 0.04, 0.04, 0.04, 0.04, 0.04, 0.04];
+        let o = obs(&busy, &[0, 1, 2]);
+        let violations = CpuOracle::new().flag(&o);
+        assert!(violations
+            .iter()
+            .any(|v| v.heuristic == HeuristicKind::FuzzCoreBelowFloor && v.core == Some(0)));
+    }
+
+    #[test]
+    fn oob_workload_flags_idle_cores_and_total() {
+        // The Table A.3 socket-modprobe shape: work everywhere.
+        let busy = [0.10, 0.67, 0.35, 0.30, 0.45, 0.40, 0.40, 0.35, 0.35, 0.40, 0.40, 0.40];
+        let o = obs(&busy, &[0, 1, 2]);
+        let violations = CpuOracle::new().flag(&o);
+        assert!(violations
+            .iter()
+            .any(|v| v.heuristic == HeuristicKind::IdleCoreAboveCeiling));
+        assert!(violations
+            .iter()
+            .any(|v| v.heuristic == HeuristicKind::TotalAboveExpected));
+    }
+
+    #[test]
+    fn score_is_total_utilization() {
+        let o = obs(&[0.5, 0.5], &[0]);
+        let s = CpuOracle::new().score(&o);
+        assert!((s - 50.0).abs() < 0.5);
+    }
+
+    #[test]
+    fn top_frame_feeds_sysproc_heuristic() {
+        use torpedo_kernel::top::{TopEntry, TopSample};
+        let mut o = obs(
+            &[0.85, 0.2, 0.04, 0.04, 0.04, 0.04, 0.04, 0.04, 0.04, 0.04, 0.04, 0.04],
+            &[0],
+        );
+        o.top = Some(TopSample {
+            entries: vec![TopEntry {
+                pid: 3,
+                name: "kauditd".into(),
+                category: TopCategory::Kauditd,
+                cpu_percent: 22.0,
+            }],
+        });
+        let violations = CpuOracle::new().flag(&o);
+        assert!(violations
+            .iter()
+            .any(|v| v.heuristic == HeuristicKind::SystemProcessAboveBaseline));
+    }
+}

@@ -1,0 +1,158 @@
+//! The I/O-bandwidth oracle — the first of the §5.1 future-work oracles.
+//!
+//! Detects the `sync(2)` family of escapes directly: I/O-wait appearing on
+//! cores *outside* the fuzzing cpuset means processes unrelated to the
+//! fuzzed containers are stalled on the disk, while the `blkio` controller
+//! shows the containers were never charged for the traffic (the §4.3.1
+//! accounting gap).
+
+use crate::observation::Observation;
+use crate::violation::{HeuristicKind, Violation};
+use crate::Oracle;
+
+/// Thresholds for the I/O oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IoThresholds {
+    /// Maximum tolerated I/O-wait percentage on any non-fuzzing core.
+    pub foreign_iowait_max: f64,
+    /// Maximum tolerated machine-wide I/O-wait percentage.
+    pub total_iowait_max: f64,
+}
+
+impl Default for IoThresholds {
+    fn default() -> Self {
+        IoThresholds {
+            foreign_iowait_max: 8.0,
+            total_iowait_max: 3.0,
+        }
+    }
+}
+
+/// The I/O oracle.
+#[derive(Debug, Clone, Default)]
+pub struct IoOracle {
+    thresholds: IoThresholds,
+}
+
+impl IoOracle {
+    /// An oracle with default thresholds.
+    pub fn new() -> IoOracle {
+        IoOracle::default()
+    }
+
+    /// An oracle with custom thresholds.
+    pub fn with_thresholds(thresholds: IoThresholds) -> IoOracle {
+        IoOracle { thresholds }
+    }
+}
+
+impl Oracle for IoOracle {
+    fn name(&self) -> &'static str {
+        "io"
+    }
+
+    /// Score: machine-wide I/O-wait percentage — more stalled disk time is
+    /// more indicative of flush-deferral behaviour.
+    fn score(&self, obs: &Observation) -> f64 {
+        obs.total_iowait_percent()
+    }
+
+    fn flag(&self, obs: &Observation) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        let fuzz = obs.fuzz_cores();
+        for core in 0..obs.per_core.len() {
+            if fuzz.contains(&core) || Some(core) == obs.sidecar_core {
+                continue;
+            }
+            let row = &obs.per_core[core];
+            let total = row.total().as_micros().max(1);
+            let iowait_pct = 100.0 * row.iowait.as_micros() as f64 / total as f64;
+            if iowait_pct > self.thresholds.foreign_iowait_max {
+                violations.push(Violation {
+                    heuristic: HeuristicKind::IoWaitOutsideCpuset,
+                    core: Some(core),
+                    measured: iowait_pct,
+                    threshold: self.thresholds.foreign_iowait_max,
+                });
+            }
+        }
+        let total = obs.total_iowait_percent();
+        if total > self.thresholds.total_iowait_max {
+            violations.push(Violation {
+                heuristic: HeuristicKind::IoWaitOutsideCpuset,
+                core: None,
+                measured: total,
+                threshold: self.thresholds.total_iowait_max,
+            });
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::ContainerInfo;
+    use torpedo_kernel::cpu::{CpuCategory, CpuTimes};
+    use torpedo_kernel::time::Usecs;
+
+    fn obs(iowait_frac: &[f64]) -> Observation {
+        let window = Usecs::from_secs(5);
+        let per_core = iowait_frac
+            .iter()
+            .map(|r| {
+                let mut t = CpuTimes::default();
+                let wait = window.scale(*r);
+                t.charge(CpuCategory::IoWait, wait);
+                t.charge(CpuCategory::Idle, window.saturating_sub(wait));
+                t
+            })
+            .collect();
+        Observation {
+            window,
+            per_core,
+            top: None,
+            containers: vec![ContainerInfo {
+                name: "fuzz-0".into(),
+                cpuset: vec![0],
+                cpu_quota: Some(1.0),
+                memory_limit: None,
+                memory_used: 0,
+                io_bytes: 0,
+                oom_events: 0,
+            }],
+            sidecar_core: Some(1),
+            startup_times: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn quiet_disk_no_violations() {
+        let o = obs(&[0.01, 0.0, 0.005, 0.0]);
+        assert!(IoOracle::new().flag(&o).is_empty());
+    }
+
+    #[test]
+    fn sync_pattern_flags_foreign_iowait() {
+        // Table A.2 shape: heavy iowait on cores 6 and 7.
+        let o = obs(&[0.05, 0.0, 0.0, 0.0, 0.0, 0.0, 0.10, 0.33]);
+        let violations = IoOracle::new().flag(&o);
+        assert!(violations
+            .iter()
+            .any(|v| v.core == Some(7) && v.heuristic == HeuristicKind::IoWaitOutsideCpuset));
+        assert!(violations.iter().any(|v| v.core.is_none()), "total fires too");
+    }
+
+    #[test]
+    fn fuzz_core_iowait_does_not_flag_core_heuristic() {
+        let o = obs(&[0.30, 0.0, 0.0, 0.0]);
+        let violations = IoOracle::new().flag(&o);
+        assert!(!violations.iter().any(|v| v.core == Some(0)));
+    }
+
+    #[test]
+    fn score_tracks_total_iowait() {
+        let o = obs(&[0.2, 0.2]);
+        assert!((IoOracle::new().score(&o) - 20.0).abs() < 0.5);
+    }
+}

@@ -1,0 +1,57 @@
+//! `torpedo-oracle`: the Oracle library (§3.5.1).
+//!
+//! "We conceive of a library, known as an 'Oracle', that contains the
+//! necessary logic for both of these tasks with respect to a particular
+//! resource": **scoring** a round's observation (higher = more indicative
+//! of adversarial behaviour, used to steer mutation) and **flagging** it
+//! (the oracle believes one or more resource isolation boundaries were
+//! violated).
+//!
+//! [`cpu::CpuOracle`] implements the Table 4.1 heuristics the evaluation
+//! ran with; [`io::IoOracle`], [`memory::MemOracle`] and
+//! [`startup::StartupOracle`] implement the §5.1 future-work oracles.
+//!
+//! # Examples
+//! ```
+//! use torpedo_oracle::{CpuOracle, Oracle};
+//! # use torpedo_kernel::{Usecs};
+//! # use torpedo_oracle::observation::Observation;
+//! let oracle = CpuOracle::new();
+//! let obs = Observation {
+//!     window: Usecs::from_secs(5),
+//!     per_core: Vec::new(),
+//!     top: None,
+//!     containers: Vec::new(),
+//!     sidecar_core: None,
+//!     startup_times: Vec::new(),
+//! };
+//! assert_eq!(oracle.score(&obs), 0.0);
+//! assert!(oracle.flag(&obs).is_empty());
+//! ```
+
+pub mod cpu;
+pub mod io;
+pub mod memory;
+pub mod observation;
+pub mod startup;
+pub mod violation;
+
+pub use cpu::{CpuOracle, CpuThresholds};
+pub use io::{IoOracle, IoThresholds};
+pub use memory::{MemOracle, MemThresholds};
+pub use observation::{ContainerInfo, Observation};
+pub use startup::{StartupConfig, StartupOracle};
+pub use violation::{violation_kinds, HeuristicKind, Violation};
+
+/// A resource oracle: scores and flags round observations (§3.5.1).
+pub trait Oracle: std::fmt::Debug {
+    /// Short name of the resource this oracle watches.
+    fn name(&self) -> &'static str;
+
+    /// Rank the observation: a higher score indicates the workload is more
+    /// indicative of adversarial behaviour.
+    fn score(&self, obs: &observation::Observation) -> f64;
+
+    /// Flag isolation-boundary violations in the observation.
+    fn flag(&self, obs: &observation::Observation) -> Vec<violation::Violation>;
+}

@@ -1,0 +1,183 @@
+//! The measurement an oracle judges: one round's resource snapshot.
+//!
+//! Oracles see exactly what the real TORPEDO observer sees (§3.4): the
+//! `/proc/stat` per-core diff and the filtered `top` frame — never the
+//! kernel's ground-truth deferral ledger (that is reserved for the offline
+//! confirmation stage).
+
+use torpedo_kernel::cpu::CpuTimes;
+use torpedo_kernel::time::Usecs;
+use torpedo_kernel::top::TopSample;
+
+/// Per-container configuration the oracle may assume known (TORPEDO set the
+/// restrictions itself when deploying the containers, §3.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ContainerInfo {
+    /// Container name.
+    pub name: String,
+    /// Core(s) the container is pinned to.
+    pub cpuset: Vec<usize>,
+    /// Configured CPU cap in cores, if any.
+    pub cpu_quota: Option<f64>,
+    /// Configured memory limit, if any.
+    pub memory_limit: Option<u64>,
+    /// Memory charged to the container this round.
+    pub memory_used: u64,
+    /// Block-I/O bytes charged this round.
+    pub io_bytes: u64,
+    /// Lifetime OOM events recorded by the memory controller.
+    pub oom_events: u64,
+}
+
+/// One round's observation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Observation {
+    /// Round window length.
+    pub window: Usecs,
+    /// Per-core `/proc/stat` deltas for the round.
+    pub per_core: Vec<CpuTimes>,
+    /// The `top` frame, if the sampler was past warm-up.
+    pub top: Option<TopSample>,
+    /// Containers under observation.
+    pub containers: Vec<ContainerInfo>,
+    /// The known framework side-effect core (persistent SOFTIRQ on the core
+    /// after the last fuzzing core) — heuristics must ignore it, per the
+    /// Appendix A note.
+    pub sidecar_core: Option<usize>,
+    /// Container startup times measured this round (for the startup oracle).
+    pub startup_times: Vec<Usecs>,
+}
+
+impl Observation {
+    /// Cores hosting fuzzing containers.
+    pub fn fuzz_cores(&self) -> Vec<usize> {
+        let mut cores: Vec<usize> = self
+            .containers
+            .iter()
+            .flat_map(|c| c.cpuset.iter().copied())
+            .collect();
+        cores.sort_unstable();
+        cores.dedup();
+        cores
+    }
+
+    /// Cores that are neither fuzzing cores nor the sidecar.
+    pub fn idle_cores(&self) -> Vec<usize> {
+        let fuzz = self.fuzz_cores();
+        (0..self.per_core.len())
+            .filter(|c| !fuzz.contains(c) && Some(*c) != self.sidecar_core)
+            .collect()
+    }
+
+    /// Busy percentage of one core.
+    pub fn busy_percent(&self, core: usize) -> f64 {
+        self.per_core
+            .get(core)
+            .map_or(0.0, |row| row.busy_percent())
+    }
+
+    /// Machine-wide busy percentage (the paper's aggregate `CPU` row).
+    pub fn total_busy_percent(&self) -> f64 {
+        if self.per_core.is_empty() {
+            return 0.0;
+        }
+        let busy: u64 = self.per_core.iter().map(|c| c.busy().as_micros()).sum();
+        let total: u64 = self.per_core.iter().map(|c| c.total().as_micros()).sum();
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * busy as f64 / total as f64
+        }
+    }
+
+    /// The machine-wide busy percentage *expected* from the configured
+    /// quotas plus a noise margin: quota cores fully used, everything else
+    /// near idle.
+    pub fn expected_total_percent(&self, noise_margin: f64) -> f64 {
+        let quota_cores: f64 = self
+            .containers
+            .iter()
+            .map(|c| c.cpu_quota.unwrap_or(c.cpuset.len().max(1) as f64))
+            .sum();
+        let cores = self.per_core.len().max(1) as f64;
+        (100.0 * quota_cores / cores) + noise_margin
+    }
+
+    /// Machine-wide I/O-wait percentage.
+    pub fn total_iowait_percent(&self) -> f64 {
+        if self.per_core.is_empty() {
+            return 0.0;
+        }
+        let iowait: u64 = self.per_core.iter().map(|c| c.iowait.as_micros()).sum();
+        let total: u64 = self.per_core.iter().map(|c| c.total().as_micros()).sum();
+        if total == 0 {
+            0.0
+        } else {
+            100.0 * iowait as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use torpedo_kernel::cpu::CpuCategory;
+
+    pub(crate) fn obs_with(busy_ratio: &[f64]) -> Observation {
+        let window = Usecs::from_secs(5);
+        let per_core = busy_ratio
+            .iter()
+            .map(|r| {
+                let mut t = CpuTimes::default();
+                let busy = window.scale(*r);
+                t.charge(CpuCategory::System, busy);
+                t.charge(CpuCategory::Idle, window.saturating_sub(busy));
+                t
+            })
+            .collect();
+        Observation {
+            window,
+            per_core,
+            top: None,
+            containers: vec![ContainerInfo {
+                name: "fuzz-0".into(),
+                cpuset: vec![0],
+                cpu_quota: Some(1.0),
+                memory_limit: None,
+                memory_used: 0,
+                io_bytes: 0,
+                oom_events: 0,
+            }],
+            sidecar_core: Some(1),
+            startup_times: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn core_partitioning() {
+        let obs = obs_with(&[0.9, 0.2, 0.05, 0.05]);
+        assert_eq!(obs.fuzz_cores(), vec![0]);
+        assert_eq!(obs.idle_cores(), vec![2, 3]);
+    }
+
+    #[test]
+    fn busy_percentages() {
+        let obs = obs_with(&[0.5, 0.5]);
+        assert!((obs.busy_percent(0) - 50.0).abs() < 0.1);
+        assert!((obs.total_busy_percent() - 50.0).abs() < 0.1);
+        assert_eq!(obs.busy_percent(99), 0.0);
+    }
+
+    #[test]
+    fn expected_total_uses_quotas() {
+        let obs = obs_with(&[0.9, 0.0, 0.0, 0.0]);
+        // 1 quota core of 4 cores = 25% + 5 margin.
+        assert!((obs.expected_total_percent(5.0) - 30.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn iowait_percent_zero_without_iowait() {
+        let obs = obs_with(&[0.9, 0.1]);
+        assert_eq!(obs.total_iowait_percent(), 0.0);
+    }
+}

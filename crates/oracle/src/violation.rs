@@ -1,0 +1,150 @@
+//! Violations: the structured output of an oracle's flagging function.
+
+/// Which heuristic fired (superset of Table 4.1, covering the future-work
+/// oracles of §5.1 as well).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum HeuristicKind {
+    /// A fuzzing core's utilization fell below its expected floor.
+    FuzzCoreBelowFloor,
+    /// A non-fuzzing, non-sidecar core rose above the idle ceiling.
+    IdleCoreAboveCeiling,
+    /// Machine-wide utilization exceeded the quota-derived expectation.
+    TotalAboveExpected,
+    /// A tracked system process (docker/kworker/kauditd/journald) consumed
+    /// more CPU than its baseline allowance.
+    SystemProcessAboveBaseline,
+    /// I/O-wait concentrated outside the fuzzing cpuset.
+    IoWaitOutsideCpuset,
+    /// Host memory consumption beyond the sum of container limits.
+    MemoryBeyondLimits,
+    /// Container startup time degraded beyond the cold-start allowance.
+    StartupDegraded,
+}
+
+impl HeuristicKind {
+    /// Human-readable description.
+    pub fn describe(self) -> &'static str {
+        match self {
+            HeuristicKind::FuzzCoreBelowFloor => "fuzzing core CPU utilization below threshold",
+            HeuristicKind::IdleCoreAboveCeiling => "idle core CPU utilization above threshold",
+            HeuristicKind::TotalAboveExpected => "total CPU utilization above threshold",
+            HeuristicKind::SystemProcessAboveBaseline => {
+                "system process CPU utilization above threshold"
+            }
+            HeuristicKind::IoWaitOutsideCpuset => "I/O wait outside fuzzing cpuset",
+            HeuristicKind::MemoryBeyondLimits => "memory consumption beyond container limits",
+            HeuristicKind::StartupDegraded => "container startup time degraded",
+        }
+    }
+}
+
+/// One heuristic violation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Violation {
+    /// Which heuristic fired.
+    pub heuristic: HeuristicKind,
+    /// The core involved, if core-specific.
+    pub core: Option<usize>,
+    /// The measured value (percent or ratio, heuristic-specific).
+    pub measured: f64,
+    /// The threshold it crossed.
+    pub threshold: f64,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.core {
+            Some(core) => write!(
+                f,
+                "{} (core {}): measured {:.1} vs threshold {:.1}",
+                self.heuristic.describe(),
+                core,
+                self.measured,
+                self.threshold
+            ),
+            None => write!(
+                f,
+                "{}: measured {:.1} vs threshold {:.1}",
+                self.heuristic.describe(),
+                self.measured,
+                self.threshold
+            ),
+        }
+    }
+}
+
+/// The set of heuristic kinds present in a violation list, order-insensitive
+/// — Algorithm 3 minimizes while the *kinds* of violations stay equal.
+pub fn violation_kinds(violations: &[Violation]) -> Vec<HeuristicKind> {
+    let mut kinds: Vec<HeuristicKind> = violations.iter().map(|v| v.heuristic).collect();
+    kinds.sort_by_key(|k| *k as u8);
+    kinds.dedup();
+    kinds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_core_when_present() {
+        let v = Violation {
+            heuristic: HeuristicKind::IdleCoreAboveCeiling,
+            core: Some(7),
+            measured: 37.4,
+            threshold: 15.0,
+        };
+        let s = v.to_string();
+        assert!(s.contains("core 7"));
+        assert!(s.contains("37.4"));
+    }
+
+    #[test]
+    fn kinds_dedup_and_sort() {
+        let vs = vec![
+            Violation {
+                heuristic: HeuristicKind::TotalAboveExpected,
+                core: None,
+                measured: 0.0,
+                threshold: 0.0,
+            },
+            Violation {
+                heuristic: HeuristicKind::IdleCoreAboveCeiling,
+                core: Some(4),
+                measured: 0.0,
+                threshold: 0.0,
+            },
+            Violation {
+                heuristic: HeuristicKind::IdleCoreAboveCeiling,
+                core: Some(5),
+                measured: 0.0,
+                threshold: 0.0,
+            },
+        ];
+        let kinds = violation_kinds(&vs);
+        assert_eq!(
+            kinds,
+            vec![
+                HeuristicKind::IdleCoreAboveCeiling,
+                HeuristicKind::TotalAboveExpected
+            ]
+        );
+    }
+
+    #[test]
+    fn descriptions_are_distinct() {
+        let all = [
+            HeuristicKind::FuzzCoreBelowFloor,
+            HeuristicKind::IdleCoreAboveCeiling,
+            HeuristicKind::TotalAboveExpected,
+            HeuristicKind::SystemProcessAboveBaseline,
+            HeuristicKind::IoWaitOutsideCpuset,
+            HeuristicKind::MemoryBeyondLimits,
+            HeuristicKind::StartupDegraded,
+        ];
+        let mut seen = std::collections::HashSet::new();
+        for k in all {
+            assert!(seen.insert(k.describe()));
+        }
+    }
+}

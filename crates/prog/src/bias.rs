@@ -1,0 +1,154 @@
+//! Call-selection bias: SYZKALLER "computes a 'bias' score across the
+//! syscalls already present in the program to select a syscall that is
+//! likely to interact with the calls already present" (§2.6.1, item 2).
+//!
+//! A candidate scores higher when it shares an interface group with an
+//! existing call, consumes a resource the program already produces, or
+//! produces a resource the program already consumes.
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::desc::{ArgType, SyscallDesc};
+use crate::program::Program;
+
+/// Relative selection weights for one candidate syscall against the current
+/// program.
+pub fn bias_weight(table: &[SyscallDesc], program: &Program, candidate: usize) -> f64 {
+    let cand = &table[candidate];
+    let mut weight = 1.0;
+    for call in &program.calls {
+        let present = &table[call.desc];
+        if present.group == cand.group {
+            weight += 1.5;
+        }
+        // candidate consumes something present produces
+        if let Some(produced) = present.produces {
+            if cand
+                .args
+                .iter()
+                .any(|a| matches!(a.ty, ArgType::Res(wanted) if wanted.accepts(produced)))
+            {
+                weight += 3.0;
+            }
+        }
+        // candidate produces something present consumes
+        if let Some(produced) = cand.produces {
+            if present
+                .args
+                .iter()
+                .any(|a| matches!(a.ty, ArgType::Res(wanted) if wanted.accepts(produced)))
+            {
+                weight += 2.0;
+            }
+        }
+    }
+    weight
+}
+
+/// Pick a syscall description index, weighted by [`bias_weight`], skipping
+/// names in `denylist`. Returns `None` when everything is denied.
+pub fn pick_biased(
+    table: &[SyscallDesc],
+    program: &Program,
+    denylist: &HashSet<String>,
+    rng: &mut StdRng,
+) -> Option<usize> {
+    let candidates: Vec<usize> = (0..table.len())
+        .filter(|&i| !denylist.contains(table[i].name))
+        .collect();
+    if candidates.is_empty() {
+        return None;
+    }
+    let weights: Vec<f64> = candidates
+        .iter()
+        .map(|&i| bias_weight(table, program, i))
+        .collect();
+    let total: f64 = weights.iter().sum();
+    let mut pick = rng.gen_range(0.0..total);
+    for (idx, w) in candidates.iter().zip(&weights) {
+        if pick < *w {
+            return Some(*idx);
+        }
+        pick -= w;
+    }
+    candidates.last().copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{ArgValue, Call};
+    use crate::table::{build_table, find};
+    use rand::SeedableRng;
+
+    #[test]
+    fn consumers_of_produced_resources_score_higher() {
+        let table = build_table();
+        let socket = find(&table, "socket").unwrap();
+        let sendto = find(&table, "sendto").unwrap();
+        let alarm = find(&table, "alarm").unwrap();
+        let prog = Program {
+            calls: vec![Call {
+                desc: socket,
+                args: vec![ArgValue::Int(2), ArgValue::Int(1), ArgValue::Int(0)],
+            }],
+        };
+        let w_sendto = bias_weight(&table, &prog, sendto);
+        let w_alarm = bias_weight(&table, &prog, alarm);
+        assert!(
+            w_sendto > w_alarm,
+            "sendto ({w_sendto}) should outweigh alarm ({w_alarm})"
+        );
+    }
+
+    #[test]
+    fn empty_program_is_uniform() {
+        let table = build_table();
+        let prog = Program::new();
+        for i in 0..table.len() {
+            assert_eq!(bias_weight(&table, &prog, i), 1.0);
+        }
+    }
+
+    #[test]
+    fn full_denylist_yields_none() {
+        let table = build_table();
+        let deny: HashSet<String> = table.iter().map(|d| d.name.to_string()).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(pick_biased(&table, &Program::new(), &deny, &mut rng), None);
+    }
+
+    #[test]
+    fn pick_biased_prefers_related_calls_statistically() {
+        let table = build_table();
+        let socket = find(&table, "socket").unwrap();
+        let prog = Program {
+            calls: vec![Call {
+                desc: socket,
+                args: vec![ArgValue::Int(2), ArgValue::Int(1), ArgValue::Int(0)],
+            }],
+        };
+        let deny = HashSet::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut net_hits = 0;
+        let trials = 2000;
+        for _ in 0..trials {
+            let idx = pick_biased(&table, &prog, &deny, &mut rng).unwrap();
+            if table[idx].group == crate::desc::InterfaceGroup::Net {
+                net_hits += 1;
+            }
+        }
+        let net_count = table
+            .iter()
+            .filter(|d| d.group == crate::desc::InterfaceGroup::Net)
+            .count();
+        let uniform_expectation = trials * net_count / table.len();
+        assert!(
+            net_hits > uniform_expectation,
+            "net picked {net_hits} <= uniform {uniform_expectation}"
+        );
+    }
+}

@@ -1,0 +1,210 @@
+//! Typed syscall descriptions — the syzlang-lite layer (§2.6.1).
+//!
+//! SYZKALLER's supporting libraries "define the syntax for each syscall" and
+//! introduce an intermediate representation handling pointers, resource
+//! reuse between calls, and protocol variants. This module provides the
+//! equivalent: every fuzzable syscall is described by its argument types,
+//! the resource kind it produces (if any), and the kernel interface group
+//! it belongs to (used by the add-call bias, §2.6.1 item 2).
+
+/// Kinds of kernel resources that flow between calls (`r0 = socket(…)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ResKind {
+    /// A regular-file descriptor.
+    FileFd,
+    /// A socket descriptor.
+    SockFd,
+    /// An inotify instance descriptor.
+    InotifyFd,
+    /// A pipe/eventfd/epoll descriptor.
+    PipeFd,
+    /// Any descriptor at all.
+    AnyFd,
+    /// A process id.
+    Pid,
+}
+
+impl ResKind {
+    /// Whether a produced resource of kind `produced` satisfies a consumer
+    /// expecting `self`. `AnyFd` accepts every descriptor kind.
+    pub fn accepts(self, produced: ResKind) -> bool {
+        if self == produced {
+            return true;
+        }
+        matches!(
+            (self, produced),
+            (
+                ResKind::AnyFd,
+                ResKind::FileFd | ResKind::SockFd | ResKind::InotifyFd | ResKind::PipeFd
+            )
+        )
+    }
+}
+
+/// Kernel interface groups, used to bias related-call selection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum InterfaceGroup {
+    /// File and directory operations.
+    File,
+    /// Memory management.
+    Memory,
+    /// Sockets and networking.
+    Net,
+    /// Signals and process control.
+    Signal,
+    /// Process identity and limits.
+    Process,
+    /// Timers and sleeping.
+    Time,
+    /// Extended attributes.
+    Xattr,
+    /// Synchronisation (sync family).
+    Sync,
+}
+
+/// The type of one syscall argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgType {
+    /// A constant the call always receives.
+    Const(u64),
+    /// An integer drawn from a range (inclusive).
+    IntRange {
+        /// Lower bound.
+        min: u64,
+        /// Upper bound.
+        max: u64,
+    },
+    /// A bitset built from these flag values.
+    Flags(&'static [u64]),
+    /// One of an enumerated set of values.
+    OneOf(&'static [u64]),
+    /// A resource consumed from an earlier call.
+    Res(ResKind),
+    /// A buffer length.
+    Len,
+    /// A pointer into (pretend) user memory.
+    Ptr,
+    /// A filesystem path drawn from these options.
+    Path(&'static [&'static str]),
+    /// An extended-attribute name.
+    XattrName,
+    /// A signal number.
+    SignalNum,
+}
+
+/// One named argument.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgSpec {
+    /// Argument name, for rendering.
+    pub name: &'static str,
+    /// Argument type.
+    pub ty: ArgType,
+}
+
+/// A complete syscall description.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyscallDesc {
+    /// Syscall name (must exist in `torpedo_kernel::SYSCALL_TABLE`).
+    pub name: &'static str,
+    /// x86-64 syscall number.
+    pub nr: u32,
+    /// Argument specifications, in order.
+    pub args: Vec<ArgSpec>,
+    /// The resource kind the return value carries, if any.
+    pub produces: Option<ResKind>,
+    /// Interface group for bias computation.
+    pub group: InterfaceGroup,
+    /// Whether the call tends to block indefinitely — candidates for the
+    /// §4.1.2 generation denylist.
+    pub blocking: bool,
+}
+
+impl SyscallDesc {
+    /// Indexes of arguments that consume a resource, with their kinds.
+    pub fn res_args(&self) -> Vec<(usize, ResKind)> {
+        self.args
+            .iter()
+            .enumerate()
+            .filter_map(|(i, a)| match a.ty {
+                ArgType::Res(kind) => Some((i, kind)),
+                _ => None,
+            })
+            .collect()
+    }
+}
+
+/// Interesting integer values SYZKALLER's mutator prefers: NULL, all-ones
+/// bitfields, powers of two, off-by-ones (§2.6.1 item 4).
+pub const INTERESTING: &[u64] = &[
+    0,
+    1,
+    2,
+    3,
+    7,
+    8,
+    0xf,
+    0x20,
+    0x40,
+    0xff,
+    0x100,
+    0xfff,
+    0x1000,
+    0xffff,
+    0x8000_0000,
+    0xffff_ffff,
+    u64::MAX,
+    u64::MAX - 1,
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn anyfd_accepts_all_descriptor_kinds() {
+        for kind in [
+            ResKind::FileFd,
+            ResKind::SockFd,
+            ResKind::InotifyFd,
+            ResKind::PipeFd,
+        ] {
+            assert!(ResKind::AnyFd.accepts(kind), "{kind:?}");
+        }
+        assert!(!ResKind::AnyFd.accepts(ResKind::Pid));
+        assert!(!ResKind::FileFd.accepts(ResKind::SockFd));
+        assert!(ResKind::SockFd.accepts(ResKind::SockFd));
+    }
+
+    #[test]
+    fn res_args_finds_resource_positions() {
+        let desc = SyscallDesc {
+            name: "sendto",
+            nr: 44,
+            args: vec![
+                ArgSpec {
+                    name: "fd",
+                    ty: ArgType::Res(ResKind::SockFd),
+                },
+                ArgSpec {
+                    name: "buf",
+                    ty: ArgType::Ptr,
+                },
+                ArgSpec {
+                    name: "len",
+                    ty: ArgType::Len,
+                },
+            ],
+            produces: None,
+            group: InterfaceGroup::Net,
+            blocking: false,
+        };
+        assert_eq!(desc.res_args(), vec![(0, ResKind::SockFd)]);
+    }
+
+    #[test]
+    fn interesting_values_include_extremes() {
+        assert!(INTERESTING.contains(&0));
+        assert!(INTERESTING.contains(&u64::MAX));
+        assert!(INTERESTING.len() > 10);
+    }
+}

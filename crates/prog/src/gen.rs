@@ -1,0 +1,229 @@
+//! Program generation: producing new candidate programs from scratch.
+//!
+//! Mirrors SYZKALLER's generation path: syscalls are chosen with the bias
+//! of [`crate::bias`], arguments are drawn from their typed descriptions
+//! with a preference for "interesting" values, and resource arguments are
+//! wired to earlier producing calls when possible (§2.6.1).
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::bias::pick_biased;
+use crate::desc::{ArgType, ResKind, SyscallDesc, INTERESTING};
+use crate::program::{ArgValue, Call, Program};
+use crate::table::XATTR_NAMES;
+
+/// Indexes of calls before `position` that produce a resource `wanted`
+/// accepts.
+pub fn producers_before(
+    program: &Program,
+    table: &[SyscallDesc],
+    position: usize,
+    wanted: ResKind,
+) -> Vec<usize> {
+    program.calls[..position.min(program.calls.len())]
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| {
+            table[c.desc]
+                .produces
+                .is_some_and(|produced| wanted.accepts(produced))
+        })
+        .map(|(i, _)| i)
+        .collect()
+}
+
+/// Generate one argument value for `ty`, wiring resources to earlier calls
+/// in `program` (which has `position` calls so far).
+pub fn gen_arg(
+    ty: &ArgType,
+    table: &[SyscallDesc],
+    program: &Program,
+    position: usize,
+    rng: &mut StdRng,
+) -> ArgValue {
+    match ty {
+        ArgType::Const(v) => ArgValue::Int(*v),
+        ArgType::IntRange { min, max } => {
+            if rng.gen_bool(0.3) {
+                let interesting: Vec<u64> = INTERESTING
+                    .iter()
+                    .copied()
+                    .filter(|v| v >= min && v <= max)
+                    .collect();
+                if let Some(v) = interesting.choose(rng) {
+                    return ArgValue::Int(*v);
+                }
+            }
+            ArgValue::Int(rng.gen_range(*min..=*max))
+        }
+        ArgType::Flags(bits) => {
+            let mut value = 0u64;
+            for bit in bits.iter() {
+                if rng.gen_bool(0.3) {
+                    value |= bit;
+                }
+            }
+            ArgValue::Int(value)
+        }
+        ArgType::OneOf(values) => ArgValue::Int(*values.choose(rng).unwrap_or(&0)),
+        ArgType::Res(wanted) => {
+            let producers = producers_before(program, table, position, *wanted);
+            if let Some(target) = producers.choose(rng) {
+                ArgValue::Ref(*target)
+            } else if rng.gen_bool(0.5) {
+                // A plausible raw fd.
+                ArgValue::Int(rng.gen_range(0..8))
+            } else {
+                ArgValue::Int(u64::MAX)
+            }
+        }
+        ArgType::Len => {
+            let lens = [0u64, 1, 7, 0x20, 0x100, 0x1000, 0x10000, 1 << 20];
+            ArgValue::Int(*lens.choose(rng).unwrap())
+        }
+        ArgType::Ptr => {
+            // SYZKALLER allocates pointer targets in a fixed arena window.
+            let offsets = [0u64, 0x40, 0x100, 0x1000, 0x4000];
+            ArgValue::Int(0x7f00_0000_0000 + offsets.choose(rng).unwrap())
+        }
+        ArgType::Path(options) => {
+            ArgValue::Path((*options.choose(rng).unwrap_or(&"/dev/null")).to_string())
+        }
+        ArgType::XattrName => {
+            ArgValue::Name((*XATTR_NAMES.choose(rng).unwrap()).to_string())
+        }
+        ArgType::SignalNum => {
+            let sigs = [0u64, 1, 2, 9, 10, 11, 14, 15, 17, 25, 31, 64];
+            ArgValue::Int(*sigs.choose(rng).unwrap())
+        }
+    }
+}
+
+/// Generate a complete call of `desc_idx`, appended logically at `position`.
+pub fn gen_call(
+    table: &[SyscallDesc],
+    desc_idx: usize,
+    program: &Program,
+    position: usize,
+    rng: &mut StdRng,
+) -> Call {
+    let desc = &table[desc_idx];
+    let args = desc
+        .args
+        .iter()
+        .map(|spec| gen_arg(&spec.ty, table, program, position, rng))
+        .collect();
+    Call {
+        desc: desc_idx,
+        args,
+    }
+}
+
+/// Generate a fresh program of up to `max_len` calls, avoiding syscalls in
+/// `denylist` (the §4.1.2 blocking-call filter).
+pub fn gen_program(
+    table: &[SyscallDesc],
+    max_len: usize,
+    denylist: &HashSet<String>,
+    rng: &mut StdRng,
+) -> Program {
+    let len = rng.gen_range(1..=max_len.max(1));
+    let mut program = Program::new();
+    for i in 0..len {
+        let Some(desc_idx) = pick_biased(table, &program, denylist, rng) else {
+            break;
+        };
+        let call = gen_call(table, desc_idx, &program, i, rng);
+        program.calls.push(call);
+    }
+    program
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::build_table;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn generated_programs_validate() {
+        let table = build_table();
+        let deny = HashSet::new();
+        let mut r = rng();
+        for _ in 0..200 {
+            let prog = gen_program(&table, 8, &deny, &mut r);
+            assert!(!prog.is_empty());
+            prog.validate(&table).unwrap();
+        }
+    }
+
+    #[test]
+    fn denylist_is_respected() {
+        let table = build_table();
+        let deny: HashSet<String> = ["pause", "nanosleep", "poll", "recvfrom", "accept"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let mut r = rng();
+        for _ in 0..100 {
+            let prog = gen_program(&table, 10, &deny, &mut r);
+            for name in prog.call_names(&table) {
+                assert!(!deny.contains(name), "{name} should be denied");
+            }
+        }
+    }
+
+    #[test]
+    fn resource_args_wire_to_producers() {
+        let table = build_table();
+        let deny = HashSet::new();
+        let mut r = rng();
+        let mut wired = 0;
+        for _ in 0..300 {
+            let prog = gen_program(&table, 10, &deny, &mut r);
+            for call in &prog.calls {
+                for arg in &call.args {
+                    if matches!(arg, ArgValue::Ref(_)) {
+                        wired += 1;
+                    }
+                }
+            }
+        }
+        assert!(wired > 50, "only {wired} wired references in 300 programs");
+    }
+
+    #[test]
+    fn generation_is_deterministic_per_seed() {
+        let table = build_table();
+        let deny = HashSet::new();
+        let a = gen_program(&table, 6, &deny, &mut StdRng::seed_from_u64(7));
+        let b = gen_program(&table, 6, &deny, &mut StdRng::seed_from_u64(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn gen_arg_respects_ranges() {
+        let table = build_table();
+        let prog = Program::new();
+        let mut r = rng();
+        for _ in 0..100 {
+            let v = gen_arg(
+                &ArgType::IntRange { min: 5, max: 10 },
+                &table,
+                &prog,
+                0,
+                &mut r,
+            );
+            let v = v.as_int().unwrap();
+            assert!((5..=10).contains(&v));
+        }
+    }
+}

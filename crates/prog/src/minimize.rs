@@ -1,0 +1,123 @@
+//! Coverage-preserving minimization (the "minimization" stage of
+//! Figure 3.2): procedurally remove calls to find the smallest program that
+//! still produces the property of interest.
+//!
+//! The property is abstracted as a predicate so the same engine serves both
+//! SYZKALLER-style coverage minimization and TORPEDO's oracle-violation
+//! minimization (Algorithm 3, implemented on top of this in
+//! `torpedo-core`).
+
+use crate::program::Program;
+
+/// Statistics from one minimization run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MinimizeStats {
+    /// Calls removed.
+    pub removed: usize,
+    /// Predicate evaluations performed.
+    pub evaluations: usize,
+}
+
+/// Shrink `program` to a minimal subsequence for which `still_interesting`
+/// holds, scanning back-to-front exactly like Algorithm 3 of the paper.
+///
+/// `still_interesting` receives each candidate program; it must return
+/// `true` when the candidate still exhibits the original behaviour. The
+/// input program is assumed interesting (callers verify first).
+pub fn minimize<F>(program: &mut Program, mut still_interesting: F) -> MinimizeStats
+where
+    F: FnMut(&Program) -> bool,
+{
+    let mut stats = MinimizeStats::default();
+    let mut idx = program.len();
+    while idx > 0 {
+        idx -= 1;
+        if program.len() <= 1 {
+            break;
+        }
+        let mut candidate = program.clone();
+        candidate.remove_call(idx);
+        stats.evaluations += 1;
+        if still_interesting(&candidate) {
+            *program = candidate;
+            stats.removed += 1;
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::program::{ArgValue, Call};
+    use crate::table::{build_table, find};
+
+    /// Build a program of `names`, with no resource refs.
+    fn prog_of(names: &[&str]) -> Program {
+        let table = build_table();
+        Program {
+            calls: names
+                .iter()
+                .map(|n| {
+                    let desc = find(&table, n).unwrap();
+                    let args = table[desc]
+                        .args
+                        .iter()
+                        .map(|_| ArgValue::Int(0))
+                        .collect();
+                    Call { desc, args }
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn minimize_keeps_only_needed_call() {
+        let table = build_table();
+        let sync_idx = find(&table, "sync").unwrap();
+        let mut prog = prog_of(&["getpid", "sync", "alarm", "uname"]);
+        let stats = minimize(&mut prog, |p| p.calls.iter().any(|c| c.desc == sync_idx));
+        assert_eq!(prog.len(), 1);
+        assert_eq!(prog.calls[0].desc, sync_idx);
+        assert_eq!(stats.removed, 3);
+    }
+
+    #[test]
+    fn minimize_preserves_pairs() {
+        let table = build_table();
+        let socket = find(&table, "socket").unwrap();
+        let sendto = find(&table, "sendto").unwrap();
+        let mut prog = prog_of(&["getpid", "socket", "uname", "sendto", "alarm"]);
+        let needs_both = |p: &Program| {
+            p.calls.iter().any(|c| c.desc == socket) && p.calls.iter().any(|c| c.desc == sendto)
+        };
+        minimize(&mut prog, needs_both);
+        assert_eq!(prog.len(), 2);
+        assert!(needs_both(&prog));
+    }
+
+    #[test]
+    fn never_shrinks_below_one_call() {
+        let mut prog = prog_of(&["sync"]);
+        // A pathological predicate that accepts everything.
+        minimize(&mut prog, |_| true);
+        assert_eq!(prog.len(), 1);
+    }
+
+    #[test]
+    fn uninteresting_removals_are_rolled_back() {
+        let mut prog = prog_of(&["getpid", "sync", "alarm"]);
+        let original = prog.clone();
+        let stats = minimize(&mut prog, |_| false);
+        assert_eq!(prog, original);
+        assert_eq!(stats.removed, 0);
+        assert!(stats.evaluations > 0);
+    }
+
+    #[test]
+    fn evaluation_count_bounded_by_length() {
+        let mut prog = prog_of(&["getpid", "sync", "alarm", "uname", "times"]);
+        let stats = minimize(&mut prog, |_| false);
+        assert!(stats.evaluations <= 5);
+    }
+}

@@ -1,0 +1,334 @@
+//! The genetic operators of §2.6.1: splice, add-call (biased), remove-call,
+//! and mutate-argument — with the SYZKALLER weighting (argument mutation is
+//! the most common operation; add is less likely near the length cap;
+//! remove is less likely on tiny programs).
+
+use std::collections::HashSet;
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::bias::pick_biased;
+use crate::desc::{ArgType, SyscallDesc, INTERESTING};
+use crate::gen::{gen_arg, gen_call, producers_before};
+use crate::program::{ArgValue, Program};
+
+/// Which operator a mutation applied (for logs and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MutationOp {
+    /// Spliced a run of calls from another corpus program.
+    Splice,
+    /// Added a biased call.
+    AddCall,
+    /// Removed a call.
+    RemoveCall,
+    /// Randomized one argument of one call.
+    MutateArg,
+}
+
+/// Tunable mutation policy.
+///
+/// The paper (§5.3) notes SYZKALLER's operator constants "are not grounded
+/// in any legitimate research"; they are exposed here so the ablation
+/// benches can sweep them.
+#[derive(Debug, Clone)]
+pub struct MutatePolicy {
+    /// Maximum program length.
+    pub max_len: usize,
+    /// Relative weight of splice (needs a corpus donor).
+    pub w_splice: f64,
+    /// Relative weight of add-call.
+    pub w_add: f64,
+    /// Relative weight of remove-call.
+    pub w_remove: f64,
+    /// Relative weight of argument mutation.
+    pub w_mutate_arg: f64,
+    /// Syscall names never generated (the blocking denylist, §4.1.2).
+    pub denylist: HashSet<String>,
+}
+
+impl Default for MutatePolicy {
+    fn default() -> Self {
+        MutatePolicy {
+            max_len: 12,
+            w_splice: 0.12,
+            w_add: 0.25,
+            w_remove: 0.13,
+            w_mutate_arg: 0.50,
+            denylist: HashSet::new(),
+        }
+    }
+}
+
+/// The mutation engine.
+#[derive(Debug, Clone)]
+pub struct Mutator {
+    policy: MutatePolicy,
+}
+
+impl Mutator {
+    /// A mutator with the given policy.
+    pub fn new(policy: MutatePolicy) -> Mutator {
+        Mutator { policy }
+    }
+
+    /// The active policy.
+    pub fn policy(&self) -> &MutatePolicy {
+        &self.policy
+    }
+
+    /// Mutate `program` in place; `donor` is a random corpus program used
+    /// for splicing (splice is skipped when absent). Returns the operator
+    /// applied.
+    pub fn mutate(
+        &self,
+        program: &mut Program,
+        table: &[SyscallDesc],
+        donor: Option<&Program>,
+        rng: &mut StdRng,
+    ) -> MutationOp {
+        let p = &self.policy;
+        // Dynamic re-weighting per §2.6.1: add is less likely near max
+        // length, remove less likely when the program is small.
+        let len = program.len();
+        let w_add = if len >= p.max_len { 0.0 } else { p.w_add };
+        let w_remove = if len <= 1 {
+            0.0
+        } else {
+            p.w_remove * (len as f64 / p.max_len as f64 + 0.5)
+        };
+        let w_splice = if donor.is_some() { p.w_splice } else { 0.0 };
+        let w_arg = if len == 0 { 0.0 } else { p.w_mutate_arg };
+        let total = w_add + w_remove + w_splice + w_arg;
+        if total <= 0.0 {
+            // Degenerate: force an add.
+            self.add_call(program, table, rng);
+            return MutationOp::AddCall;
+        }
+        let mut pick = rng.gen_range(0.0..total);
+        if pick < w_splice {
+            self.splice(program, donor.expect("weight>0 implies donor"), table, rng);
+            return MutationOp::Splice;
+        }
+        pick -= w_splice;
+        if pick < w_add {
+            self.add_call(program, table, rng);
+            return MutationOp::AddCall;
+        }
+        pick -= w_add;
+        if pick < w_remove {
+            self.remove_call(program, rng);
+            return MutationOp::RemoveCall;
+        }
+        self.mutate_arg(program, table, rng);
+        MutationOp::MutateArg
+    }
+
+    /// Splice: replace a suffix of `program` with a random run of calls
+    /// from `donor` (§2.6.1 item 1), degrading dangling or type-incompatible
+    /// references.
+    pub fn splice(
+        &self,
+        program: &mut Program,
+        donor: &Program,
+        table: &[SyscallDesc],
+        rng: &mut StdRng,
+    ) {
+        if donor.is_empty() {
+            return;
+        }
+        let keep = rng.gen_range(0..=program.len().min(self.policy.max_len - 1));
+        program.calls.truncate(keep);
+        let start = rng.gen_range(0..donor.len());
+        let take = rng
+            .gen_range(1..=donor.len() - start)
+            .min(self.policy.max_len - keep);
+        for call in &donor.calls[start..start + take] {
+            let mut call = call.clone();
+            let desc = &table[call.desc];
+            // Donor references point into the donor program; remap anything
+            // that now dangles or lands on an incompatible producer.
+            for (arg_idx, arg) in call.args.iter_mut().enumerate() {
+                if let ArgValue::Ref(target) = arg {
+                    let remapped = *target as i64 - start as i64 + keep as i64;
+                    let compatible = remapped >= 0
+                        && (remapped as usize) < program.len()
+                        && match desc.args.get(arg_idx).map(|a| &a.ty) {
+                            Some(ArgType::Res(wanted)) => table
+                                [program.calls[remapped as usize].desc]
+                                .produces
+                                .is_some_and(|p| wanted.accepts(p)),
+                            _ => true,
+                        };
+                    if compatible {
+                        *arg = ArgValue::Ref(remapped as usize);
+                    } else {
+                        *arg = ArgValue::Int(u64::MAX);
+                    }
+                }
+            }
+            program.calls.push(call);
+        }
+    }
+
+    /// Add one biased call at a random position (§2.6.1 item 2).
+    pub fn add_call(&self, program: &mut Program, table: &[SyscallDesc], rng: &mut StdRng) {
+        let Some(desc_idx) = pick_biased(table, program, &self.policy.denylist, rng) else {
+            return;
+        };
+        let position = rng.gen_range(0..=program.len());
+        let call = gen_call(table, desc_idx, program, position, rng);
+        program.insert_call(position, call);
+    }
+
+    /// Remove one call (§2.6.1 item 3). No-op on empty programs.
+    pub fn remove_call(&self, program: &mut Program, rng: &mut StdRng) {
+        if program.is_empty() {
+            return;
+        }
+        let victim = rng.gen_range(0..program.len());
+        program.remove_call(victim);
+    }
+
+    /// Randomize one argument of one call, honouring its type semantics and
+    /// preferring known-interesting values (§2.6.1 item 4).
+    pub fn mutate_arg(&self, program: &mut Program, table: &[SyscallDesc], rng: &mut StdRng) {
+        if program.is_empty() {
+            return;
+        }
+        let call_idx = rng.gen_range(0..program.len());
+        let desc = &table[program.calls[call_idx].desc];
+        if desc.args.is_empty() {
+            return;
+        }
+        let arg_idx = rng.gen_range(0..desc.args.len());
+        let ty = &desc.args[arg_idx].ty;
+        let new_value = match ty {
+            // Resource args re-wire to another producer or degrade.
+            ArgType::Res(wanted) => {
+                let producers = producers_before(program, table, call_idx, *wanted);
+                if let Some(target) = producers.choose(rng) {
+                    ArgValue::Ref(*target)
+                } else {
+                    ArgValue::Int(*INTERESTING.choose(rng).unwrap())
+                }
+            }
+            other => gen_arg(other, table, program, call_idx, rng),
+        };
+        program.calls[call_idx].args[arg_idx] = new_value;
+    }
+}
+
+impl Default for Mutator {
+    fn default() -> Self {
+        Mutator::new(MutatePolicy::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::gen_program;
+    use crate::table::build_table;
+    use rand::SeedableRng;
+
+    fn setup() -> (Vec<SyscallDesc>, Mutator, StdRng) {
+        (
+            build_table(),
+            Mutator::default(),
+            StdRng::seed_from_u64(99),
+        )
+    }
+
+    #[test]
+    fn mutations_preserve_validity() {
+        let (table, mutator, mut rng) = setup();
+        let deny = HashSet::new();
+        let donor = gen_program(&table, 8, &deny, &mut rng);
+        for _ in 0..500 {
+            let mut prog = gen_program(&table, 8, &deny, &mut rng);
+            mutator.mutate(&mut prog, &table, Some(&donor), &mut rng);
+            prog.validate(&table)
+                .unwrap_or_else(|e| panic!("invalid after mutation: {e}\n{prog:?}"));
+        }
+    }
+
+    #[test]
+    fn length_never_exceeds_cap_via_add() {
+        let (table, mutator, mut rng) = setup();
+        let deny = HashSet::new();
+        let mut prog = gen_program(&table, 12, &deny, &mut rng);
+        for _ in 0..300 {
+            mutator.mutate(&mut prog, &table, None, &mut rng);
+            assert!(
+                prog.len() <= mutator.policy().max_len + 1,
+                "len {} exceeded cap",
+                prog.len()
+            );
+        }
+    }
+
+    #[test]
+    fn all_operators_fire_over_many_mutations() {
+        let (table, mutator, mut rng) = setup();
+        let deny = HashSet::new();
+        let donor = gen_program(&table, 8, &deny, &mut rng);
+        let mut seen = HashSet::new();
+        for _ in 0..400 {
+            let mut prog = gen_program(&table, 6, &deny, &mut rng);
+            seen.insert(mutator.mutate(&mut prog, &table, Some(&donor), &mut rng));
+        }
+        for op in [
+            MutationOp::Splice,
+            MutationOp::AddCall,
+            MutationOp::RemoveCall,
+            MutationOp::MutateArg,
+        ] {
+            assert!(seen.contains(&op), "{op:?} never fired");
+        }
+    }
+
+    #[test]
+    fn splice_skipped_without_donor() {
+        let (table, mutator, mut rng) = setup();
+        let deny = HashSet::new();
+        for _ in 0..300 {
+            let mut prog = gen_program(&table, 6, &deny, &mut rng);
+            let op = mutator.mutate(&mut prog, &table, None, &mut rng);
+            assert_ne!(op, MutationOp::Splice);
+        }
+    }
+
+    #[test]
+    fn empty_program_gets_a_call() {
+        let (table, mutator, mut rng) = setup();
+        let mut prog = Program::new();
+        let op = mutator.mutate(&mut prog, &table, None, &mut rng);
+        assert_eq!(op, MutationOp::AddCall);
+        assert_eq!(prog.len(), 1);
+        prog.validate(&table).unwrap();
+    }
+
+    #[test]
+    fn denylist_respected_by_add() {
+        let table = build_table();
+        let deny: HashSet<String> = table
+            .iter()
+            .filter(|d| d.name != "sync")
+            .map(|d| d.name.to_string())
+            .collect();
+        let mutator = Mutator::new(MutatePolicy {
+            denylist: deny,
+            ..MutatePolicy::default()
+        });
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut prog = Program::new();
+        for _ in 0..20 {
+            mutator.add_call(&mut prog, &table, &mut rng);
+        }
+        for name in prog.call_names(&table) {
+            assert_eq!(name, "sync");
+        }
+    }
+}

@@ -1,0 +1,382 @@
+//! The program intermediate representation: a sequence of typed calls with
+//! resource flow between them (`r0 = socket(…); sendto(r0, …)`).
+
+use crate::desc::{ArgType, ResKind, SyscallDesc};
+
+/// One argument value in a concrete call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgValue {
+    /// A literal integer.
+    Int(u64),
+    /// The result of an earlier call in the same program (by call index).
+    Ref(usize),
+    /// A path string payload.
+    Path(String),
+    /// An xattr-name string payload.
+    Name(String),
+}
+
+impl ArgValue {
+    /// The literal value, if this is an `Int`.
+    pub fn as_int(&self) -> Option<u64> {
+        match self {
+            ArgValue::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            ArgValue::Path(s) | ArgValue::Name(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// One concrete call: a description index plus argument values.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Call {
+    /// Index into the description table.
+    pub desc: usize,
+    /// Argument values, one per [`SyscallDesc::args`] entry.
+    pub args: Vec<ArgValue>,
+}
+
+/// A program: an ordered sequence of calls.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Program {
+    /// The calls, executed in order.
+    pub calls: Vec<Call>,
+}
+
+/// A structural validity problem found by [`Program::validate`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// A call references a description index outside the table.
+    BadDescIndex {
+        /// Offending call position.
+        call: usize,
+    },
+    /// A call has the wrong number of arguments.
+    Arity {
+        /// Offending call position.
+        call: usize,
+        /// Expected count.
+        expected: usize,
+        /// Actual count.
+        actual: usize,
+    },
+    /// A resource reference points forward or at itself.
+    ForwardRef {
+        /// Offending call position.
+        call: usize,
+        /// The referenced call.
+        target: usize,
+    },
+    /// A resource reference points at a call that produces nothing or an
+    /// incompatible resource kind.
+    KindMismatch {
+        /// Offending call position.
+        call: usize,
+        /// The referenced call.
+        target: usize,
+        /// What the argument wanted.
+        wanted: ResKind,
+    },
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::BadDescIndex { call } => {
+                write!(f, "call {call}: description index out of range")
+            }
+            ValidationError::Arity {
+                call,
+                expected,
+                actual,
+            } => write!(f, "call {call}: expected {expected} args, got {actual}"),
+            ValidationError::ForwardRef { call, target } => {
+                write!(f, "call {call}: forward reference to call {target}")
+            }
+            ValidationError::KindMismatch {
+                call,
+                target,
+                wanted,
+            } => write!(
+                f,
+                "call {call}: reference to call {target} does not produce {wanted:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+impl Program {
+    /// An empty program.
+    pub fn new() -> Program {
+        Program { calls: Vec::new() }
+    }
+
+    /// Number of calls.
+    pub fn len(&self) -> usize {
+        self.calls.len()
+    }
+
+    /// Whether the program has no calls.
+    pub fn is_empty(&self) -> bool {
+        self.calls.is_empty()
+    }
+
+    /// Structural validation against `table`.
+    ///
+    /// # Errors
+    /// The first problem found, if any.
+    pub fn validate(&self, table: &[SyscallDesc]) -> Result<(), ValidationError> {
+        for (i, call) in self.calls.iter().enumerate() {
+            let desc = table
+                .get(call.desc)
+                .ok_or(ValidationError::BadDescIndex { call: i })?;
+            if call.args.len() != desc.args.len() {
+                return Err(ValidationError::Arity {
+                    call: i,
+                    expected: desc.args.len(),
+                    actual: call.args.len(),
+                });
+            }
+            for (arg_idx, value) in call.args.iter().enumerate() {
+                if let ArgValue::Ref(target) = value {
+                    if *target >= i {
+                        return Err(ValidationError::ForwardRef {
+                            call: i,
+                            target: *target,
+                        });
+                    }
+                    if let ArgType::Res(wanted) = desc.args[arg_idx].ty {
+                        let produced = table[self.calls[*target].desc].produces;
+                        let ok = produced.is_some_and(|p| wanted.accepts(p));
+                        if !ok {
+                            return Err(ValidationError::KindMismatch {
+                                call: i,
+                                target: *target,
+                                wanted,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Rewrite all `Ref` arguments after removing the call at `removed`,
+    /// dropping the removed call and re-pointing or degrading references.
+    ///
+    /// References to the removed call become `Int(u64::MAX)` (an invalid
+    /// fd), matching SYZKALLER's minimizer behaviour; references to later
+    /// calls shift down by one.
+    pub fn remove_call(&mut self, removed: usize) -> Call {
+        let call = self.calls.remove(removed);
+        for c in &mut self.calls {
+            for arg in &mut c.args {
+                if let ArgValue::Ref(target) = arg {
+                    if *target == removed {
+                        *arg = ArgValue::Int(u64::MAX);
+                    } else if *target > removed {
+                        *target -= 1;
+                    }
+                }
+            }
+        }
+        call
+    }
+
+    /// Insert `call` at `index`, shifting later references up by one.
+    ///
+    /// # Panics
+    /// Panics if `index > len()`.
+    pub fn insert_call(&mut self, index: usize, call: Call) {
+        let start = index.min(self.calls.len());
+        for c in &mut self.calls[start..] {
+            for arg in &mut c.args {
+                if let ArgValue::Ref(target) = arg {
+                    if *target >= index {
+                        *target += 1;
+                    }
+                }
+            }
+        }
+        self.calls.insert(index, call);
+    }
+
+    /// The set of call indexes whose results are referenced later.
+    pub fn referenced_calls(&self) -> Vec<usize> {
+        let mut refs: Vec<usize> = self
+            .calls
+            .iter()
+            .flat_map(|c| c.args.iter())
+            .filter_map(|a| match a {
+                ArgValue::Ref(t) => Some(*t),
+                _ => None,
+            })
+            .collect();
+        refs.sort_unstable();
+        refs.dedup();
+        refs
+    }
+
+    /// Names of the calls, resolved through `table` (diagnostics).
+    pub fn call_names<'t>(&self, table: &'t [SyscallDesc]) -> Vec<&'t str> {
+        self.calls
+            .iter()
+            .map(|c| table.get(c.desc).map_or("?", |d| d.name))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{build_table, find};
+
+    fn socket_sendto() -> (Vec<SyscallDesc>, Program) {
+        let table = build_table();
+        let socket = find(&table, "socket").unwrap();
+        let sendto = find(&table, "sendto").unwrap();
+        let prog = Program {
+            calls: vec![
+                Call {
+                    desc: socket,
+                    args: vec![ArgValue::Int(16), ArgValue::Int(3), ArgValue::Int(9)],
+                },
+                Call {
+                    desc: sendto,
+                    args: vec![
+                        ArgValue::Ref(0),
+                        ArgValue::Int(0x7f00_0000),
+                        ArgValue::Int(0x24),
+                        ArgValue::Int(0),
+                        ArgValue::Int(0),
+                        ArgValue::Int(0xc),
+                    ],
+                },
+            ],
+        };
+        (table, prog)
+    }
+
+    #[test]
+    fn valid_program_validates() {
+        let (table, prog) = socket_sendto();
+        prog.validate(&table).unwrap();
+    }
+
+    #[test]
+    fn forward_ref_is_rejected() {
+        let (table, mut prog) = socket_sendto();
+        prog.calls[1].args[0] = ArgValue::Ref(1);
+        assert!(matches!(
+            prog.validate(&table),
+            Err(ValidationError::ForwardRef { call: 1, target: 1 })
+        ));
+    }
+
+    #[test]
+    fn kind_mismatch_is_rejected() {
+        let table = build_table();
+        let getpid = find(&table, "getpid").unwrap();
+        let sendto = find(&table, "sendto").unwrap();
+        let prog = Program {
+            calls: vec![
+                Call {
+                    desc: getpid,
+                    args: vec![],
+                },
+                Call {
+                    desc: sendto,
+                    args: vec![
+                        ArgValue::Ref(0), // a Pid where a SockFd is wanted
+                        ArgValue::Int(0),
+                        ArgValue::Int(0),
+                        ArgValue::Int(0),
+                        ArgValue::Int(0),
+                        ArgValue::Int(0),
+                    ],
+                },
+            ],
+        };
+        assert!(matches!(
+            prog.validate(&table),
+            Err(ValidationError::KindMismatch { wanted: ResKind::SockFd, .. })
+        ));
+    }
+
+    #[test]
+    fn arity_is_checked() {
+        let (table, mut prog) = socket_sendto();
+        prog.calls[0].args.pop();
+        assert!(matches!(
+            prog.validate(&table),
+            Err(ValidationError::Arity { call: 0, expected: 3, actual: 2 })
+        ));
+    }
+
+    #[test]
+    fn remove_call_degrades_refs() {
+        let (table, mut prog) = socket_sendto();
+        prog.remove_call(0);
+        assert_eq!(prog.len(), 1);
+        assert_eq!(prog.calls[0].args[0], ArgValue::Int(u64::MAX));
+        prog.validate(&table).unwrap();
+    }
+
+    #[test]
+    fn remove_call_shifts_later_refs() {
+        let (table, mut prog) = socket_sendto();
+        let getpid = find(&table, "getpid").unwrap();
+        prog.insert_call(
+            0,
+            Call {
+                desc: getpid,
+                args: vec![],
+            },
+        );
+        // Now: [getpid, socket, sendto(Ref(1))]
+        assert_eq!(prog.calls[2].args[0], ArgValue::Ref(1));
+        prog.remove_call(0);
+        assert_eq!(prog.calls[1].args[0], ArgValue::Ref(0));
+        prog.validate(&table).unwrap();
+    }
+
+    #[test]
+    fn insert_shifts_refs_up() {
+        let (table, mut prog) = socket_sendto();
+        let getpid = find(&table, "getpid").unwrap();
+        prog.insert_call(
+            1,
+            Call {
+                desc: getpid,
+                args: vec![],
+            },
+        );
+        assert_eq!(prog.calls[2].args[0], ArgValue::Ref(0));
+        prog.validate(&table).unwrap();
+        prog.insert_call(
+            0,
+            Call {
+                desc: getpid,
+                args: vec![],
+            },
+        );
+        assert_eq!(prog.calls[3].args[0], ArgValue::Ref(1));
+        prog.validate(&table).unwrap();
+    }
+
+    #[test]
+    fn referenced_calls_lists_targets() {
+        let (_, prog) = socket_sendto();
+        assert_eq!(prog.referenced_calls(), vec![0]);
+    }
+}

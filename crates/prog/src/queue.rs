@@ -1,0 +1,171 @@
+//! The prioritized work queue shared by executors (§2.6.3): "the queue
+//! itself prioritizes among the different type of work items; for example,
+//! a 'triage' item is more likely to be selected than a 'candidate' item."
+
+use std::collections::VecDeque;
+
+use crate::program::Program;
+
+/// The lifecycle stage a work item is in (Figure 3.2's program states).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum WorkKind {
+    /// Run once to see whether it produces new coverage.
+    Candidate,
+    /// Re-run to verify the new coverage is stable.
+    Triage,
+    /// Shrink while preserving the new coverage.
+    Minimize,
+    /// Repeatedly mutate / inject faults for variants.
+    Smash,
+}
+
+impl WorkKind {
+    /// Selection priority: higher drains first.
+    pub fn priority(self) -> u8 {
+        match self {
+            WorkKind::Triage => 3,
+            WorkKind::Minimize => 2,
+            WorkKind::Smash => 1,
+            WorkKind::Candidate => 0,
+        }
+    }
+}
+
+/// One queued unit of work.
+#[derive(Debug, Clone)]
+pub struct WorkItem {
+    /// Stage.
+    pub kind: WorkKind,
+    /// The program to operate on.
+    pub program: Program,
+    /// For triage/minimize: the call index whose coverage is of interest.
+    pub call_of_interest: Option<usize>,
+}
+
+/// A priority work queue.
+#[derive(Debug, Clone, Default)]
+pub struct WorkQueue {
+    triage: VecDeque<WorkItem>,
+    minimize: VecDeque<WorkItem>,
+    smash: VecDeque<WorkItem>,
+    candidate: VecDeque<WorkItem>,
+}
+
+impl WorkQueue {
+    /// An empty queue.
+    pub fn new() -> WorkQueue {
+        WorkQueue::default()
+    }
+
+    /// Enqueue an item into its stage's lane.
+    pub fn push(&mut self, item: WorkItem) {
+        match item.kind {
+            WorkKind::Triage => self.triage.push_back(item),
+            WorkKind::Minimize => self.minimize.push_back(item),
+            WorkKind::Smash => self.smash.push_back(item),
+            WorkKind::Candidate => self.candidate.push_back(item),
+        }
+    }
+
+    /// Dequeue the highest-priority available item.
+    pub fn pop(&mut self) -> Option<WorkItem> {
+        self.triage
+            .pop_front()
+            .or_else(|| self.minimize.pop_front())
+            .or_else(|| self.smash.pop_front())
+            .or_else(|| self.candidate.pop_front())
+    }
+
+    /// Total queued items.
+    pub fn len(&self) -> usize {
+        self.triage.len() + self.minimize.len() + self.smash.len() + self.candidate.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Items queued for `kind`.
+    pub fn len_of(&self, kind: WorkKind) -> usize {
+        match kind {
+            WorkKind::Triage => self.triage.len(),
+            WorkKind::Minimize => self.minimize.len(),
+            WorkKind::Smash => self.smash.len(),
+            WorkKind::Candidate => self.candidate.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn item(kind: WorkKind) -> WorkItem {
+        WorkItem {
+            kind,
+            program: Program::new(),
+            call_of_interest: None,
+        }
+    }
+
+    #[test]
+    fn priority_order_is_triage_minimize_smash_candidate() {
+        let mut q = WorkQueue::new();
+        q.push(item(WorkKind::Candidate));
+        q.push(item(WorkKind::Smash));
+        q.push(item(WorkKind::Minimize));
+        q.push(item(WorkKind::Triage));
+        let order: Vec<WorkKind> = std::iter::from_fn(|| q.pop()).map(|i| i.kind).collect();
+        assert_eq!(
+            order,
+            vec![
+                WorkKind::Triage,
+                WorkKind::Minimize,
+                WorkKind::Smash,
+                WorkKind::Candidate
+            ]
+        );
+    }
+
+    #[test]
+    fn fifo_within_a_lane() {
+        let mut q = WorkQueue::new();
+        let mut a = item(WorkKind::Triage);
+        a.call_of_interest = Some(1);
+        let mut b = item(WorkKind::Triage);
+        b.call_of_interest = Some(2);
+        q.push(a);
+        q.push(b);
+        assert_eq!(q.pop().unwrap().call_of_interest, Some(1));
+        assert_eq!(q.pop().unwrap().call_of_interest, Some(2));
+    }
+
+    #[test]
+    fn len_accounting() {
+        let mut q = WorkQueue::new();
+        assert!(q.is_empty());
+        q.push(item(WorkKind::Candidate));
+        q.push(item(WorkKind::Candidate));
+        q.push(item(WorkKind::Smash));
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.len_of(WorkKind::Candidate), 2);
+        assert_eq!(q.len_of(WorkKind::Triage), 0);
+        q.pop();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn priorities_are_distinct() {
+        let kinds = [
+            WorkKind::Candidate,
+            WorkKind::Triage,
+            WorkKind::Minimize,
+            WorkKind::Smash,
+        ];
+        let mut ps: Vec<u8> = kinds.iter().map(|k| k.priority()).collect();
+        ps.sort_unstable();
+        ps.dedup();
+        assert_eq!(ps.len(), 4);
+    }
+}

@@ -1,0 +1,311 @@
+//! Text (de)serialization of programs, in a simplified SYZKALLER syntax.
+//!
+//! The seed-ingestion workflow of §3 ("Adding Seed Ingestion and
+//! Minimization") needs programs on disk. The format is line-oriented:
+//!
+//! ```text
+//! r0 = socket(0x10, 0x3, 0x9)
+//! sendto(r0, 0x7f0000000000, 0x24, 0x0, 0x0, 0xc)
+//! creat(&'mntpoint/tmp', 0x124)
+//! setxattr(&'f', @'system.posix_acl_access', 0x0, 0x15, 0x1)
+//! ```
+//!
+//! `rN` names the result of the N-th call; `&'…'` is a path payload; `@'…'`
+//! an xattr-name payload. Lines starting with `#` are comments.
+
+use crate::desc::SyscallDesc;
+use crate::program::{ArgValue, Call, Program};
+use crate::table::find;
+
+/// A deserialization failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// The line does not look like `name(args)`.
+    Malformed {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// Unknown syscall name.
+    UnknownSyscall {
+        /// 1-based line number.
+        line: usize,
+        /// The name that failed to resolve.
+        name: String,
+    },
+    /// Wrong number of arguments for the named syscall.
+    Arity {
+        /// 1-based line number.
+        line: usize,
+        /// Expected count.
+        expected: usize,
+        /// Actual count.
+        actual: usize,
+    },
+    /// An argument token could not be parsed.
+    BadArg {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+    /// An `rN` reference points at a call that does not exist (yet).
+    BadRef {
+        /// 1-based line number.
+        line: usize,
+        /// The reference index.
+        target: usize,
+    },
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Malformed { line } => write!(f, "line {line}: malformed call"),
+            ParseError::UnknownSyscall { line, name } => {
+                write!(f, "line {line}: unknown syscall '{name}'")
+            }
+            ParseError::Arity {
+                line,
+                expected,
+                actual,
+            } => write!(f, "line {line}: expected {expected} args, got {actual}"),
+            ParseError::BadArg { line, token } => {
+                write!(f, "line {line}: unparseable argument '{token}'")
+            }
+            ParseError::BadRef { line, target } => {
+                write!(f, "line {line}: reference r{target} out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serialize `program` to the text format.
+pub fn serialize(program: &Program, table: &[SyscallDesc]) -> String {
+    let referenced = program.referenced_calls();
+    let mut out = String::new();
+    for (i, call) in program.calls.iter().enumerate() {
+        let desc = &table[call.desc];
+        if referenced.contains(&i) {
+            out.push_str(&format!("r{i} = "));
+        }
+        out.push_str(desc.name);
+        out.push('(');
+        let rendered: Vec<String> = call.args.iter().map(render_arg).collect();
+        out.push_str(&rendered.join(", "));
+        out.push_str(")\n");
+    }
+    out
+}
+
+fn render_arg(arg: &ArgValue) -> String {
+    match arg {
+        ArgValue::Int(v) => format!("{v:#x}"),
+        ArgValue::Ref(i) => format!("r{i}"),
+        ArgValue::Path(p) => format!("&'{p}'"),
+        ArgValue::Name(n) => format!("@'{n}'"),
+    }
+}
+
+/// Parse the text format back into a [`Program`].
+///
+/// # Errors
+/// Any [`ParseError`]; the first problem encountered is reported.
+pub fn deserialize(text: &str, table: &[SyscallDesc]) -> Result<Program, ParseError> {
+    let mut program = Program::new();
+    let mut lineno = 0usize;
+    for raw in text.lines() {
+        lineno += 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // Strip an optional "rN = " prefix.
+        let body = match line.split_once('=') {
+            Some((lhs, rhs)) if lhs.trim().starts_with('r') && !lhs.contains('(') => rhs.trim(),
+            _ => line,
+        };
+        let open = body.find('(').ok_or(ParseError::Malformed { line: lineno })?;
+        let close = body.rfind(')').ok_or(ParseError::Malformed { line: lineno })?;
+        if close < open {
+            return Err(ParseError::Malformed { line: lineno });
+        }
+        let name = body[..open].trim();
+        let desc_idx = find(table, name).ok_or_else(|| ParseError::UnknownSyscall {
+            line: lineno,
+            name: name.to_string(),
+        })?;
+        let args_str = &body[open + 1..close];
+        let tokens = split_args(args_str);
+        let expected = table[desc_idx].args.len();
+        if tokens.len() != expected {
+            return Err(ParseError::Arity {
+                line: lineno,
+                expected,
+                actual: tokens.len(),
+            });
+        }
+        let mut args = Vec::with_capacity(tokens.len());
+        for token in tokens {
+            args.push(parse_arg(&token, lineno, program.len())?);
+        }
+        program.calls.push(Call {
+            desc: desc_idx,
+            args,
+        });
+    }
+    Ok(program)
+}
+
+/// Split a comma-separated argument list, respecting quoted strings.
+fn split_args(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut cur = String::new();
+    let mut in_quote = false;
+    for ch in s.chars() {
+        match ch {
+            '\'' => {
+                in_quote = !in_quote;
+                cur.push(ch);
+            }
+            ',' if !in_quote => {
+                if !cur.trim().is_empty() {
+                    out.push(cur.trim().to_string());
+                }
+                cur.clear();
+            }
+            _ => cur.push(ch),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_string());
+    }
+    out
+}
+
+fn parse_arg(token: &str, line: usize, current_call: usize) -> Result<ArgValue, ParseError> {
+    if let Some(rest) = token.strip_prefix("&'") {
+        let path = rest.strip_suffix('\'').ok_or_else(|| ParseError::BadArg {
+            line,
+            token: token.to_string(),
+        })?;
+        return Ok(ArgValue::Path(path.to_string()));
+    }
+    if let Some(rest) = token.strip_prefix("@'") {
+        let name = rest.strip_suffix('\'').ok_or_else(|| ParseError::BadArg {
+            line,
+            token: token.to_string(),
+        })?;
+        return Ok(ArgValue::Name(name.to_string()));
+    }
+    if let Some(rest) = token.strip_prefix('r') {
+        if let Ok(target) = rest.parse::<usize>() {
+            if target >= current_call {
+                return Err(ParseError::BadRef { line, target });
+            }
+            return Ok(ArgValue::Ref(target));
+        }
+    }
+    let value = if let Some(hex) = token.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        token.parse::<u64>().ok()
+    };
+    value.map(ArgValue::Int).ok_or_else(|| ParseError::BadArg {
+        line,
+        token: token.to_string(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::build_table;
+
+    #[test]
+    fn round_trip_socket_sendto() {
+        let table = build_table();
+        let text = "\
+r0 = socket(0x10, 0x3, 0x9)
+sendto(r0, 0x7f0000000000, 0x24, 0x0, 0x0, 0xc)
+";
+        let prog = deserialize(text, &table).unwrap();
+        prog.validate(&table).unwrap();
+        let rendered = serialize(&prog, &table);
+        let reparsed = deserialize(&rendered, &table).unwrap();
+        assert_eq!(prog, reparsed);
+        assert!(rendered.contains("r0 = socket"));
+    }
+
+    #[test]
+    fn paths_and_names_round_trip() {
+        let table = build_table();
+        let text = "\
+creat(&'mntpoint/tmp', 0x124)
+setxattr(&'getxattr01testfile', @'system.posix_acl_access', 0x0, 0x15, 0x1)
+";
+        let prog = deserialize(text, &table).unwrap();
+        assert_eq!(
+            prog.calls[0].args[0],
+            ArgValue::Path("mntpoint/tmp".into())
+        );
+        assert_eq!(
+            prog.calls[1].args[1],
+            ArgValue::Name("system.posix_acl_access".into())
+        );
+        let rendered = serialize(&prog, &table);
+        assert_eq!(deserialize(&rendered, &table).unwrap(), prog);
+    }
+
+    #[test]
+    fn comments_and_blanks_skipped() {
+        let table = build_table();
+        let text = "# a seed\n\nsync()\n";
+        let prog = deserialize(text, &table).unwrap();
+        assert_eq!(prog.len(), 1);
+    }
+
+    #[test]
+    fn unknown_syscall_reports_line() {
+        let table = build_table();
+        let err = deserialize("sync()\nfrobnicate(0x1)\n", &table).unwrap_err();
+        assert_eq!(
+            err,
+            ParseError::UnknownSyscall {
+                line: 2,
+                name: "frobnicate".into()
+            }
+        );
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let table = build_table();
+        let err = deserialize("socket(0x1)\n", &table).unwrap_err();
+        assert!(matches!(err, ParseError::Arity { expected: 3, actual: 1, .. }));
+    }
+
+    #[test]
+    fn forward_ref_rejected_at_parse() {
+        let table = build_table();
+        let err = deserialize("close(r5)\n", &table).unwrap_err();
+        assert!(matches!(err, ParseError::BadRef { target: 5, .. }));
+    }
+
+    #[test]
+    fn bad_tokens_rejected() {
+        let table = build_table();
+        let err = deserialize("alarm(xyz)\n", &table).unwrap_err();
+        assert!(matches!(err, ParseError::BadArg { .. }));
+        let err = deserialize("creat(&'unterminated, 0x0)\n", &table).unwrap_err();
+        assert!(matches!(err, ParseError::Malformed { .. } | ParseError::Arity { .. } | ParseError::BadArg { .. }));
+    }
+
+    #[test]
+    fn decimal_ints_accepted() {
+        let table = build_table();
+        let prog = deserialize("alarm(4)\n", &table).unwrap();
+        assert_eq!(prog.calls[0].args[0], ArgValue::Int(4));
+    }
+}

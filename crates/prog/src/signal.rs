@@ -1,0 +1,129 @@
+//! Coverage-signal bookkeeping.
+//!
+//! TORPEDO's evaluation runs with SYZKALLER's fallback signal (syscall
+//! number XOR error code, §3.1.2); the tracker is agnostic to how signals
+//! are produced and simply answers "did this execution contribute anything
+//! new" — the binary half of the two-level feedback design (§3.5).
+
+use std::collections::HashSet;
+
+/// A cumulative set of observed coverage signals.
+#[derive(Debug, Clone, Default)]
+pub struct CoverageSet {
+    seen: HashSet<u64>,
+}
+
+impl CoverageSet {
+    /// An empty set.
+    pub fn new() -> CoverageSet {
+        CoverageSet {
+            seen: HashSet::new(),
+        }
+    }
+
+    /// Merge `signals`, returning how many were new.
+    pub fn merge(&mut self, signals: &[u64]) -> usize {
+        let mut new = 0;
+        for &sig in signals {
+            if self.seen.insert(sig) {
+                new += 1;
+            }
+        }
+        new
+    }
+
+    /// Whether `signals` would contribute anything new, without merging.
+    pub fn has_new(&self, signals: &[u64]) -> bool {
+        signals.iter().any(|sig| !self.seen.contains(sig))
+    }
+
+    /// Only the signals from `signals` that are new, without merging.
+    pub fn new_signals(&self, signals: &[u64]) -> Vec<u64> {
+        signals
+            .iter()
+            .copied()
+            .filter(|sig| !self.seen.contains(sig))
+            .collect()
+    }
+
+    /// Number of distinct signals seen.
+    pub fn len(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Whether nothing has been seen.
+    pub fn is_empty(&self) -> bool {
+        self.seen.is_empty()
+    }
+
+    /// Whether `sig` has been seen.
+    pub fn contains(&self, sig: u64) -> bool {
+        self.seen.contains(&sig)
+    }
+}
+
+/// Per-call coverage from executing one whole program: one signal vector
+/// per call, in call order.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ProgramCoverage {
+    /// Signals per call.
+    pub per_call: Vec<Vec<u64>>,
+}
+
+impl ProgramCoverage {
+    /// All signals flattened.
+    pub fn flat(&self) -> Vec<u64> {
+        self.per_call.iter().flatten().copied().collect()
+    }
+
+    /// Indexes of calls that produced at least one signal not in `seen` —
+    /// these become triage items in the SYZKALLER state machine (§2.6.3).
+    pub fn new_cover_calls(&self, seen: &CoverageSet) -> Vec<usize> {
+        self.per_call
+            .iter()
+            .enumerate()
+            .filter(|(_, sigs)| seen.has_new(sigs))
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_counts_new_only() {
+        let mut set = CoverageSet::new();
+        assert_eq!(set.merge(&[1, 2, 3]), 3);
+        assert_eq!(set.merge(&[2, 3, 4]), 1);
+        assert_eq!(set.len(), 4);
+    }
+
+    #[test]
+    fn has_new_without_merging() {
+        let mut set = CoverageSet::new();
+        set.merge(&[10]);
+        assert!(set.has_new(&[10, 11]));
+        assert!(!set.has_new(&[10]));
+        assert_eq!(set.len(), 1, "has_new must not merge");
+    }
+
+    #[test]
+    fn new_signals_filters() {
+        let mut set = CoverageSet::new();
+        set.merge(&[1, 2]);
+        assert_eq!(set.new_signals(&[1, 2, 3, 4]), vec![3, 4]);
+    }
+
+    #[test]
+    fn new_cover_calls_finds_triage_candidates() {
+        let mut seen = CoverageSet::new();
+        seen.merge(&[100, 200]);
+        let cov = ProgramCoverage {
+            per_call: vec![vec![100], vec![200, 300], vec![400]],
+        };
+        assert_eq!(cov.new_cover_calls(&seen), vec![1, 2]);
+        assert_eq!(cov.flat(), vec![100, 200, 300, 400]);
+    }
+}

@@ -1,0 +1,635 @@
+//! The fuzzable syscall description table.
+//!
+//! Each entry pairs a kernel syscall with typed argument specifications so
+//! the generator and mutator produce semantically plausible calls (§2.6.1).
+//! The numbers come from `torpedo_kernel::SYSCALL_TABLE`; a unit test pins
+//! the two tables consistent.
+
+use crate::desc::{ArgSpec, ArgType, InterfaceGroup, ResKind, SyscallDesc};
+
+/// Paths the generator may reference (all resolvable in the simulated VFS,
+/// plus a few that are deliberately absent or ELOOP-y).
+pub const PATHS: &[&str] = &[
+    "/lib/x86_64-Linux-gnu/libc.so.6",
+    "/proc/sys/fs/mqueue/msg_max",
+    "/etc/passwd",
+    "/dev/null",
+    "mntpoint/tmp",
+    "testdir_1",
+    "getxattr01testfile",
+    "./test_eloop",
+    "/no/such/file",
+    "workfile-0",
+    "workfile-1",
+];
+
+/// Extended-attribute names seen in the Moonshine-style seeds.
+pub const XATTR_NAMES: &[&str] = &[
+    "system.posix_acl_access",
+    "user.torpedo",
+    "security.selinux",
+];
+
+/// Socket families offered to the generator: the built-ins, several *valid
+/// but modular* families (the Table 4.2 modprobe trigger), and one invalid.
+pub const SOCKET_FAMILIES: &[u64] = &[1, 2, 10, 16, 17, 5, 9, 21, 40, 4096];
+
+fn a(name: &'static str, ty: ArgType) -> ArgSpec {
+    ArgSpec { name, ty }
+}
+
+fn d(
+    name: &'static str,
+    args: Vec<ArgSpec>,
+    produces: Option<ResKind>,
+    group: InterfaceGroup,
+    blocking: bool,
+) -> SyscallDesc {
+    let nr = torpedo_kernel::nr_of(name)
+        .unwrap_or_else(|| panic!("{name} missing from kernel syscall table"));
+    SyscallDesc {
+        name,
+        nr,
+        args,
+        produces,
+        group,
+        blocking,
+    }
+}
+
+/// Build the full description table.
+pub fn build_table() -> Vec<SyscallDesc> {
+    use ArgType::*;
+    use InterfaceGroup::*;
+    vec![
+        // ---------------- file ----------------
+        d(
+            "open",
+            vec![
+                a("path", Path(PATHS)),
+                a("flags", Flags(&[0, 0x1, 0x2, 0x40, 0x80, 0x200, 0x400, 0x8000, 0x80000, 0x200000, 0x680002])),
+                a("mode", OneOf(&[0, 0o600, 0o644, 0o777, 0x20, 0x124])),
+            ],
+            Some(ResKind::FileFd),
+            File,
+            false,
+        ),
+        d(
+            "creat",
+            vec![a("path", Path(PATHS)), a("mode", OneOf(&[0o600, 0o644, 0x124, 0x1a4, 0o777]))],
+            Some(ResKind::FileFd),
+            File,
+            false,
+        ),
+        d(
+            "close",
+            vec![a("fd", Res(ResKind::AnyFd))],
+            None,
+            File,
+            false,
+        ),
+        d(
+            "read",
+            vec![a("fd", Res(ResKind::AnyFd)), a("buf", Ptr), a("count", Len)],
+            None,
+            File,
+            false,
+        ),
+        d(
+            "write",
+            vec![a("fd", Res(ResKind::FileFd)), a("buf", Ptr), a("count", Len)],
+            None,
+            File,
+            false,
+        ),
+        d(
+            "lseek",
+            vec![
+                a("fd", Res(ResKind::FileFd)),
+                a("offset", IntRange { min: 0, max: u64::MAX }),
+                a("whence", OneOf(&[0, 1, 2, 3, 4, 9])),
+            ],
+            None,
+            File,
+            false,
+        ),
+        d(
+            "readlink",
+            vec![a("path", Path(PATHS)), a("buf", Ptr), a("bufsiz", Len)],
+            None,
+            File,
+            false,
+        ),
+        d(
+            "chmod",
+            vec![a("path", Path(PATHS)), a("mode", OneOf(&[0o600, 0o644, 0o755, 0x1ff, 0o777]))],
+            None,
+            File,
+            false,
+        ),
+        d(
+            "fallocate",
+            vec![
+                a("fd", Res(ResKind::FileFd)),
+                a("mode", OneOf(&[0, 1, 2, 3])),
+                a("offset", IntRange { min: 0, max: 1 << 40 }),
+                a("len", IntRange { min: 0, max: 1 << 40 }),
+            ],
+            None,
+            File,
+            false,
+        ),
+        d(
+            "ftruncate",
+            vec![
+                a("fd", Res(ResKind::FileFd)),
+                a("length", IntRange { min: 0, max: 1 << 40 }),
+            ],
+            None,
+            File,
+            false,
+        ),
+        d("fsync", vec![a("fd", Res(ResKind::FileFd))], None, Sync, false),
+        d("fdatasync", vec![a("fd", Res(ResKind::FileFd))], None, Sync, false),
+        d("sync", vec![], None, Sync, false),
+        d("syncfs", vec![a("fd", Res(ResKind::FileFd))], None, Sync, false),
+        d(
+            "openat",
+            vec![
+                a("dirfd", OneOf(&[0xffffff9c, 3, 0])),
+                a("path", Path(PATHS)),
+                a("flags", Flags(&[0, 0x1, 0x2, 0x40, 0x200, 0x8000])),
+                a("mode", OneOf(&[0, 0o600, 0o644])),
+            ],
+            Some(ResKind::FileFd),
+            File,
+            false,
+        ),
+        d(
+            "pread64",
+            vec![
+                a("fd", Res(ResKind::FileFd)),
+                a("buf", Ptr),
+                a("count", Len),
+                a("offset", IntRange { min: 0, max: 1 << 20 }),
+            ],
+            None,
+            File,
+            false,
+        ),
+        d(
+            "pwrite64",
+            vec![
+                a("fd", Res(ResKind::FileFd)),
+                a("buf", Ptr),
+                a("count", Len),
+                a("offset", IntRange { min: 0, max: 1 << 20 }),
+            ],
+            None,
+            File,
+            false,
+        ),
+        d(
+            "truncate",
+            vec![a("path", Path(PATHS)), a("length", IntRange { min: 0, max: 1 << 40 })],
+            None,
+            File,
+            false,
+        ),
+        d(
+            "fchmod",
+            vec![a("fd", Res(ResKind::FileFd)), a("mode", OneOf(&[0o600, 0o644, 0o777]))],
+            None,
+            File,
+            false,
+        ),
+        d("fstat", vec![a("fd", Res(ResKind::AnyFd)), a("statbuf", Ptr)], None, File, false),
+        d("dup3", vec![a("oldfd", Res(ResKind::AnyFd)), a("newfd", IntRange { min: 3, max: 64 }), a("flags", OneOf(&[0, 0x80000]))], Some(ResKind::FileFd), File, false),
+        d("eventfd2", vec![a("initval", IntRange { min: 0, max: 16 }), a("flags", OneOf(&[0, 1, 0x80000]))], Some(ResKind::PipeFd), Net, false),
+        d("stat", vec![a("path", Path(PATHS)), a("statbuf", Ptr)], None, File, false),
+        d("access", vec![a("path", Path(PATHS)), a("mode", OneOf(&[0, 1, 2, 4]))], None, File, false),
+        d("mkdir", vec![a("path", Path(PATHS)), a("mode", OneOf(&[0o700, 0o755]))], None, File, false),
+        d("unlink", vec![a("path", Path(PATHS))], None, File, false),
+        d(
+            "rename",
+            vec![a("oldpath", Path(PATHS)), a("newpath", Path(PATHS))],
+            None,
+            File,
+            false,
+        ),
+        d("dup", vec![a("fd", Res(ResKind::AnyFd))], Some(ResKind::FileFd), File, false),
+        d(
+            "ioctl",
+            vec![
+                a("fd", Res(ResKind::AnyFd)),
+                a("request", OneOf(&[0x8008_7601, 0xc020_64a5, 0x5401, 0x1234])),
+                a("argp", Ptr),
+            ],
+            None,
+            File,
+            false,
+        ),
+        d("inotify_init", vec![], Some(ResKind::InotifyFd), File, false),
+        d(
+            "inotify_add_watch",
+            vec![
+                a("fd", Res(ResKind::InotifyFd)),
+                a("path", Path(PATHS)),
+                a("mask", Flags(&[1, 2, 4, 8, 0x100, 0xfff])),
+            ],
+            None,
+            File,
+            false,
+        ),
+        d("getdents", vec![a("fd", Res(ResKind::FileFd)), a("dirp", Ptr), a("count", Len)], None, File, false),
+        d("flock", vec![a("fd", Res(ResKind::AnyFd)), a("operation", OneOf(&[1, 2, 4, 8]))], None, File, false),
+        d(
+            "memfd_create",
+            vec![a("name", Ptr), a("flags", Flags(&[0, 1, 2]))],
+            Some(ResKind::FileFd),
+            File,
+            false,
+        ),
+        // ---------------- xattr ----------------
+        d(
+            "setxattr",
+            vec![
+                a("path", Path(PATHS)),
+                a("name", XattrName),
+                a("value", Ptr),
+                a("size", IntRange { min: 0, max: 0x100 }),
+                a("flags", OneOf(&[0, 1, 2])),
+            ],
+            None,
+            Xattr,
+            false,
+        ),
+        d(
+            "getxattr",
+            vec![
+                a("path", Path(PATHS)),
+                a("name", XattrName),
+                a("value", Ptr),
+                a("size", IntRange { min: 0, max: 0x100 }),
+            ],
+            None,
+            Xattr,
+            false,
+        ),
+        d(
+            "listxattr",
+            vec![a("path", Path(PATHS)), a("list", Ptr), a("size", Len)],
+            None,
+            Xattr,
+            false,
+        ),
+        d(
+            "removexattr",
+            vec![a("path", Path(PATHS)), a("name", XattrName)],
+            None,
+            Xattr,
+            false,
+        ),
+        // ---------------- memory ----------------
+        d(
+            "mmap",
+            vec![
+                a("addr", Ptr),
+                a("length", IntRange { min: 0, max: 1 << 26 }),
+                a("prot", Flags(&[0, 1, 2, 4])),
+                a("flags", Flags(&[0x2, 0x10, 0x20, 0x4000, 0x20010, 0x32])),
+                a("fd", OneOf(&[u64::MAX, 0, 3])),
+                a("offset", OneOf(&[0, 0x1000])),
+            ],
+            None,
+            Memory,
+            false,
+        ),
+        d(
+            "munmap",
+            vec![a("addr", Ptr), a("length", IntRange { min: 0, max: 1 << 26 })],
+            None,
+            Memory,
+            false,
+        ),
+        d(
+            "mprotect",
+            vec![
+                a("addr", Ptr),
+                a("len", IntRange { min: 0, max: 1 << 20 }),
+                a("prot", Flags(&[0, 1, 2, 4])),
+            ],
+            None,
+            Memory,
+            false,
+        ),
+        d("brk", vec![a("addr", Ptr)], None, Memory, false),
+        d(
+            "mremap",
+            vec![
+                a("old", Ptr),
+                a("old_size", IntRange { min: 0, max: 1 << 24 }),
+                a("new_size", IntRange { min: 0, max: 1 << 24 }),
+                a("flags", OneOf(&[0, 1, 2])),
+            ],
+            None,
+            Memory,
+            false,
+        ),
+        d(
+            "madvise",
+            vec![
+                a("addr", Ptr),
+                a("length", Len),
+                a("advice", IntRange { min: 0, max: 30 }),
+            ],
+            None,
+            Memory,
+            false,
+        ),
+        d("mlock", vec![a("addr", Ptr), a("len", IntRange { min: 0, max: 1 << 24 })], None, Memory, false),
+        d("munlock", vec![a("addr", Ptr), a("len", IntRange { min: 0, max: 1 << 24 })], None, Memory, false),
+        d("getrandom", vec![a("buf", Ptr), a("count", Len), a("flags", OneOf(&[0, 1, 2]))], None, Memory, false),
+        d(
+            "futex",
+            vec![
+                a("uaddr", Ptr),
+                a("op", OneOf(&[0, 1, 0x80, 0x81])),
+                a("val", IntRange { min: 0, max: 16 }),
+            ],
+            None,
+            Memory,
+            true,
+        ),
+        d("msync", vec![a("addr", Ptr), a("length", Len), a("flags", OneOf(&[1, 2, 4]))], None, Sync, false),
+        // ---------------- network ----------------
+        d(
+            "socket",
+            vec![
+                a("domain", OneOf(SOCKET_FAMILIES)),
+                a("type", OneOf(&[1, 2, 3, 5, 0, 11])),
+                a("protocol", OneOf(&[0, 1, 6, 9, 17, 99, 255])),
+            ],
+            Some(ResKind::SockFd),
+            Net,
+            false,
+        ),
+        d(
+            "socketpair",
+            vec![
+                a("domain", OneOf(&[1, 4])),
+                a("type", OneOf(&[1, 2, 3])),
+                a("protocol", OneOf(&[0, 7])),
+                a("sv", Ptr),
+            ],
+            Some(ResKind::PipeFd),
+            Net,
+            false,
+        ),
+        d(
+            "bind",
+            vec![a("fd", Res(ResKind::SockFd)), a("addr", Ptr), a("addrlen", Len)],
+            None,
+            Net,
+            false,
+        ),
+        d(
+            "connect",
+            vec![a("fd", Res(ResKind::SockFd)), a("addr", Ptr), a("addrlen", Len)],
+            None,
+            Net,
+            false,
+        ),
+        d(
+            "listen",
+            vec![a("fd", Res(ResKind::SockFd)), a("backlog", IntRange { min: 0, max: 128 })],
+            None,
+            Net,
+            false,
+        ),
+        d(
+            "accept",
+            vec![a("fd", Res(ResKind::SockFd)), a("addr", Ptr), a("addrlen", Ptr)],
+            Some(ResKind::SockFd),
+            Net,
+            true,
+        ),
+        d(
+            "sendto",
+            vec![
+                a("fd", Res(ResKind::SockFd)),
+                a("buf", Ptr),
+                a("len", Len),
+                a("flags", OneOf(&[0, 0x40, 0x4000])),
+                a("addr", Ptr),
+                a("addrlen", OneOf(&[0, 0xc, 0x10])),
+            ],
+            None,
+            Net,
+            false,
+        ),
+        d(
+            "recvfrom",
+            vec![
+                a("fd", Res(ResKind::SockFd)),
+                a("buf", Ptr),
+                a("len", Len),
+                a("flags", OneOf(&[0, 0x40])),
+                a("addr", Ptr),
+                a("addrlen", Ptr),
+            ],
+            None,
+            Net,
+            true,
+        ),
+        d(
+            "setsockopt",
+            vec![
+                a("fd", Res(ResKind::SockFd)),
+                a("level", OneOf(&[0, 1, 6, 41])),
+                a("optname", IntRange { min: 0, max: 64 }),
+                a("optval", Ptr),
+                a("optlen", Len),
+            ],
+            None,
+            Net,
+            false,
+        ),
+        d(
+            "shutdown",
+            vec![a("fd", Res(ResKind::SockFd)), a("how", OneOf(&[0, 1, 2]))],
+            None,
+            Net,
+            false,
+        ),
+        d("pipe", vec![a("pipefd", Ptr)], Some(ResKind::PipeFd), Net, false),
+        d("epoll_create1", vec![a("flags", OneOf(&[0, 0x80000]))], Some(ResKind::PipeFd), Net, false),
+        d(
+            "epoll_ctl",
+            vec![
+                a("epfd", Res(ResKind::PipeFd)),
+                a("op", OneOf(&[1, 2, 3])),
+                a("fd", Res(ResKind::AnyFd)),
+                a("event", Ptr),
+            ],
+            None,
+            Net,
+            false,
+        ),
+        d(
+            "poll",
+            vec![
+                a("fds", Ptr),
+                a("nfds", IntRange { min: 0, max: 8 }),
+                a("timeout", OneOf(&[0, 10, 100, 5000, u64::MAX])),
+            ],
+            None,
+            Net,
+            true,
+        ),
+        // ---------------- process / signal ----------------
+        d("getpid", vec![], Some(ResKind::Pid), Process, false),
+        d("getuid", vec![], None, Process, false),
+        d(
+            "setuid",
+            vec![a("uid", OneOf(&[0, 1000, 0xfffe, 0xffff_ffff]))],
+            None,
+            Process,
+            false,
+        ),
+        d(
+            "getrlimit",
+            vec![a("resource", OneOf(&[0, 1, 3, 7, 0x3e8])), a("rlim", Ptr)],
+            None,
+            Process,
+            false,
+        ),
+        d(
+            "setrlimit",
+            vec![
+                a("resource", OneOf(&[0, 1, 3, 7])),
+                a("rlim", IntRange { min: 4096, max: 1 << 34 }),
+            ],
+            None,
+            Process,
+            false,
+        ),
+        d("alarm", vec![a("seconds", OneOf(&[0, 1, 4, 60]))], None, Time, false),
+        d("pause", vec![], None, Time, true),
+        d("nanosleep", vec![a("req", Ptr), a("rem", Ptr)], None, Time, true),
+        d("sched_yield", vec![], None, Time, false),
+        d(
+            "kill",
+            vec![
+                a("pid", Res(ResKind::Pid)),
+                a("sig", SignalNum),
+            ],
+            None,
+            Signal,
+            false,
+        ),
+        d(
+            "rt_sigaction",
+            vec![
+                a("signum", SignalNum),
+                a("act", Ptr),
+                a("oldact", Ptr),
+            ],
+            None,
+            Signal,
+            false,
+        ),
+        d("rt_sigreturn", vec![], None, Signal, false),
+        d(
+            "rseq",
+            vec![
+                a("rseq", Ptr),
+                a("rseq_len", OneOf(&[0x20, 0x1000])),
+                a("flags", OneOf(&[0, 1, 3])),
+                a("sig", IntRange { min: 0, max: u32::MAX as u64 }),
+            ],
+            None,
+            Signal,
+            false,
+        ),
+        d(
+            "kcmp",
+            vec![
+                a("pid1", IntRange { min: 0, max: 0x2000 }),
+                a("pid2", Res(ResKind::Pid)),
+                a("type", IntRange { min: 0, max: 10 }),
+                a("idx1", Ptr),
+                a("idx2", Ptr),
+            ],
+            None,
+            Process,
+            false,
+        ),
+        d("capget", vec![a("hdr", Ptr), a("data", Ptr)], None, Process, false),
+        d("prctl", vec![a("option", IntRange { min: 0, max: 64 }), a("arg2", Ptr)], None, Process, false),
+        d("uname", vec![a("buf", Ptr)], None, Process, false),
+        d("sysinfo", vec![a("info", Ptr)], None, Process, false),
+        d("times", vec![a("buf", Ptr)], None, Process, false),
+        d("getcpu", vec![a("cpu", Ptr), a("node", Ptr)], None, Process, false),
+        d("clock_gettime", vec![a("clockid", OneOf(&[0, 1, 4])), a("tp", Ptr)], None, Time, false),
+    ]
+}
+
+/// Look up a description index by name.
+pub fn find(table: &[SyscallDesc], name: &str) -> Option<usize> {
+    table.iter().position(|desc| desc.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_consistent_with_kernel() {
+        let table = build_table();
+        assert!(table.len() >= 70, "only {} descriptions", table.len());
+        for desc in &table {
+            assert_eq!(
+                torpedo_kernel::nr_of(desc.name),
+                Some(desc.nr),
+                "{} number mismatch",
+                desc.name
+            );
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let table = build_table();
+        let mut seen = std::collections::HashSet::new();
+        for desc in &table {
+            assert!(seen.insert(desc.name), "duplicate {}", desc.name);
+        }
+    }
+
+    #[test]
+    fn blocking_calls_match_paper_denylist() {
+        let table = build_table();
+        for name in ["pause", "nanosleep", "poll", "recvfrom", "accept"] {
+            let idx = find(&table, name).unwrap_or_else(|| panic!("{name} missing"));
+            assert!(table[idx].blocking, "{name} must be marked blocking");
+        }
+        assert!(!table[find(&table, "sync").unwrap()].blocking);
+    }
+
+    #[test]
+    fn socket_produces_sockfd_and_offers_modular_families() {
+        let table = build_table();
+        let socket = &table[find(&table, "socket").unwrap()];
+        assert_eq!(socket.produces, Some(ResKind::SockFd));
+        assert!(SOCKET_FAMILIES.contains(&9), "modular family present");
+        assert!(SOCKET_FAMILIES.contains(&4096), "invalid family present");
+    }
+
+    #[test]
+    fn find_works() {
+        let table = build_table();
+        assert!(find(&table, "sync").is_some());
+        assert!(find(&table, "bogus").is_none());
+    }
+}

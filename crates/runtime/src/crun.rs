@@ -1,0 +1,125 @@
+//! Red Hat's `crun` (§5.2): "another example of a baremetal container
+//! runtime" and the paper's first suggested extension target.
+//!
+//! crun is a native runtime like runC but implemented in C rather than Go:
+//! container *setup* is faster and the memory footprint smaller, while the
+//! post-setup behaviour is identical — the containerized process shares
+//! the host kernel, so every work-deferral channel remains reachable.
+//! "Switching TORPEDO to use these runtimes … would require minimal
+//! adjustments" — here it is one [`Runtime`] impl plus a registry call.
+
+use torpedo_kernel::kernel::Kernel;
+use torpedo_kernel::syscalls::{self, ExecContext, ExecPolicy, SyscallRequest};
+
+use crate::spec::RuntimeKind;
+use crate::{completed, ExecEnv, Runtime, RuntimeExec};
+
+/// The crun runtime model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Crun;
+
+impl Crun {
+    /// A crun instance.
+    pub fn new() -> Crun {
+        Crun
+    }
+
+    /// Relative container startup cost vs runC (crun's headline number is
+    /// roughly 2x faster creation). Consumed by the startup-time oracle's
+    /// experiments.
+    pub fn startup_factor(&self) -> f64 {
+        0.5
+    }
+}
+
+impl Runtime for Crun {
+    fn name(&self) -> &'static str {
+        "crun"
+    }
+
+    fn kind(&self) -> RuntimeKind {
+        RuntimeKind::Native
+    }
+
+    fn policy(&self) -> ExecPolicy {
+        ExecPolicy {
+            host_deferrals: true,
+            overhead: 1.0,
+            kcov_available: true,
+        }
+    }
+
+    fn execute(
+        &self,
+        kernel: &mut Kernel,
+        ctx: &ExecContext,
+        req: SyscallRequest<'_>,
+        _env: ExecEnv,
+    ) -> RuntimeExec {
+        completed(syscalls::dispatch(kernel, ctx, req))
+    }
+
+    fn startup_cost(&self, cold: bool) -> torpedo_kernel::Usecs {
+        let warm = torpedo_kernel::Usecs::from_millis(150);
+        if cold {
+            warm.scale(3.0)
+        } else {
+            warm
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use torpedo_kernel::cgroup::CgroupTree;
+    use torpedo_kernel::process::ProcessKind;
+    use torpedo_kernel::{DeferralChannel, Usecs};
+
+    #[test]
+    fn crun_behaves_like_a_native_runtime() {
+        let mut kernel = Kernel::with_defaults();
+        let cg = kernel
+            .cgroups
+            .create(CgroupTree::ROOT, "docker/c", Default::default())
+            .unwrap();
+        let pid = kernel.procs.spawn(
+            "syz-executor-0",
+            ProcessKind::Executor {
+                container: "c".into(),
+            },
+            cg,
+        );
+        let ctx = ExecContext {
+            pid,
+            cgroup: cg,
+            core: 0,
+            cpuset: vec![0],
+            policy: Crun.policy(),
+        };
+        kernel.begin_round(Usecs::from_secs(2));
+        // The modprobe storm must be reachable, exactly as under runC.
+        let exec = Crun.execute(
+            &mut kernel,
+            &ctx,
+            SyscallRequest::new("socket", [9, 3, 0, 0, 0, 0]),
+            ExecEnv::default(),
+        );
+        assert_eq!(exec.outcome.retval, -97);
+        let out = kernel.finish_round(&[0]);
+        assert!(out
+            .deferrals
+            .iter()
+            .any(|e| matches!(e.channel, DeferralChannel::UserModeHelper(_))));
+    }
+
+    #[test]
+    fn identity_and_startup() {
+        let crun = Crun::new();
+        assert_eq!(crun.name(), "crun");
+        assert_eq!(crun.kind(), RuntimeKind::Native);
+        assert_eq!(crun.policy().overhead, 1.0);
+        assert!(crun.startup_factor() < 1.0);
+        assert!(crun.supports_kcov());
+    }
+}

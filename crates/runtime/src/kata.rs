@@ -1,0 +1,129 @@
+//! The virtualized runtime: a model of Kata Containers (§2.3.2, §5.2).
+//!
+//! Kata boxes the container in a lightweight VM with its own guest kernel.
+//! Host work-deferral channels are unreachable (the guest kernel defers to
+//! *guest* kworkers, inside the VM's cgroup), syscall overhead sits between
+//! runC and gVisor, and the VMM itself consumes a standing slice — the
+//! "non-trivial performance overhead" the paper attributes to VM-based
+//! runtimes.
+//!
+//! This runtime is the §5.2 future-work target, implemented here so the
+//! ablation benches can compare all three designs.
+
+use torpedo_kernel::kernel::Kernel;
+use torpedo_kernel::syscalls::{self, ExecContext, ExecPolicy, SyscallRequest};
+
+use crate::spec::RuntimeKind;
+use crate::{completed, ExecEnv, Runtime, RuntimeExec};
+
+/// The Kata runtime model.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Kata;
+
+impl Kata {
+    /// A Kata instance.
+    pub fn new() -> Kata {
+        Kata
+    }
+}
+
+impl Runtime for Kata {
+    fn name(&self) -> &'static str {
+        "kata"
+    }
+
+    fn kind(&self) -> RuntimeKind {
+        RuntimeKind::Virtualized
+    }
+
+    fn policy(&self) -> ExecPolicy {
+        ExecPolicy {
+            host_deferrals: false,
+            // VM exits are cheaper than ptrace interception but not free.
+            overhead: 1.35,
+            kcov_available: false,
+        }
+    }
+
+    fn execute(
+        &self,
+        kernel: &mut Kernel,
+        ctx: &ExecContext,
+        req: SyscallRequest<'_>,
+        _env: ExecEnv,
+    ) -> RuntimeExec {
+        completed(syscalls::dispatch(kernel, ctx, req))
+    }
+
+    fn standing_overhead(&self) -> f64 {
+        // VMM + guest-kernel housekeeping: the ~10% VM tax of §2.1.
+        0.08
+    }
+
+    fn startup_cost(&self, cold: bool) -> torpedo_kernel::Usecs {
+        // A full guest VM boot; Firecracker-style optimizations keep the
+        // warm path acceptable (§2.3.2).
+        let warm = torpedo_kernel::Usecs::from_millis(1800);
+        if cold {
+            warm.scale(4.0)
+        } else {
+            warm
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use torpedo_kernel::cgroup::CgroupTree;
+    use torpedo_kernel::process::ProcessKind;
+    use torpedo_kernel::Usecs;
+
+    #[test]
+    fn identity_and_overhead_ordering() {
+        let kata = Kata::new();
+        assert_eq!(kata.name(), "kata");
+        assert_eq!(kata.kind(), RuntimeKind::Virtualized);
+        // runC < Kata < gVisor on per-syscall overhead.
+        assert!(kata.policy().overhead > 1.0);
+        assert!(kata.policy().overhead < crate::GVisor::new().policy().overhead);
+        // Kata's standing VMM tax exceeds gVisor's sentry housekeeping.
+        assert!(kata.standing_overhead() > crate::GVisor::new().standing_overhead());
+    }
+
+    #[test]
+    fn no_host_deferrals_through_the_vm() {
+        let mut kernel = Kernel::with_defaults();
+        let cg = kernel
+            .cgroups
+            .create(CgroupTree::ROOT, "docker/k", Default::default())
+            .unwrap();
+        let pid = kernel.procs.spawn(
+            "syz-executor-0",
+            ProcessKind::Executor {
+                container: "k".into(),
+            },
+            cg,
+        );
+        let ctx = ExecContext {
+            pid,
+            cgroup: cg,
+            core: 0,
+            cpuset: vec![0],
+            policy: Kata.policy(),
+        };
+        kernel.begin_round(Usecs::from_secs(5));
+        let exec = Kata.execute(
+            &mut kernel,
+            &ctx,
+            SyscallRequest::new("sync", [0; 6]),
+            ExecEnv::default(),
+        );
+        assert!(exec.crash.is_none());
+        let out = kernel.finish_round(&[0]);
+        assert!(
+            out.deferrals.is_empty(),
+            "guest kworkers stay inside the VM"
+        );
+    }
+}

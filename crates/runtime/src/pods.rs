@@ -1,0 +1,284 @@
+//! A minimal Kubernetes-style orchestration layer (§5.2).
+//!
+//! "Adapting TORPEDO to use a different container engine than Docker would
+//! be highly desirable. Kubernetes commanded an impressive 77% of the
+//! container orchestration market in 2019 … Kubernetes can be configured to
+//! use practically any of the OCI runtimes that we have fuzzed via the
+//! Docker engine." This module provides that adaptation surface: pods group
+//! containers (§2.3.3), a kubelet deploys them through the existing
+//! [`Engine`] and OCI runtime registry, applies the restart policy, and
+//! reports status — so a fuzzing campaign can target pods instead of bare
+//! containers with no changes below the engine.
+
+use torpedo_kernel::kernel::Kernel;
+
+use crate::engine::{ContainerId, ContainerState, Engine, EngineError};
+use crate::spec::ContainerSpec;
+
+/// Pod-level restart policy (the Kubernetes `restartPolicy` field).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RestartPolicy {
+    /// Restart crashed containers on every sync (Kubernetes default).
+    #[default]
+    Always,
+    /// Never restart; the pod degrades to `Failed`.
+    Never,
+}
+
+/// A pod specification: one or more containers scheduled together.
+#[derive(Debug, Clone)]
+pub struct PodSpec {
+    /// Pod name; container names are derived as `<pod>-<container>`.
+    pub name: String,
+    /// Container templates.
+    pub containers: Vec<ContainerSpec>,
+    /// Restart policy.
+    pub restart_policy: RestartPolicy,
+}
+
+impl PodSpec {
+    /// A pod with the given name and no containers yet.
+    pub fn new(name: &str) -> PodSpec {
+        PodSpec {
+            name: name.to_string(),
+            containers: Vec::new(),
+            restart_policy: RestartPolicy::Always,
+        }
+    }
+
+    /// Add a container template.
+    #[must_use]
+    pub fn container(mut self, spec: ContainerSpec) -> PodSpec {
+        self.containers.push(spec);
+        self
+    }
+
+    /// Set the restart policy.
+    #[must_use]
+    pub fn restart_policy(mut self, policy: RestartPolicy) -> PodSpec {
+        self.restart_policy = policy;
+        self
+    }
+}
+
+/// Aggregate pod phase (the Kubernetes `status.phase`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PodPhase {
+    /// All containers running.
+    Running,
+    /// At least one container crashed and the policy is `Never`.
+    Failed,
+}
+
+/// A deployed pod.
+#[derive(Debug)]
+pub struct Pod {
+    spec: PodSpec,
+    containers: Vec<ContainerId>,
+    restarts: u32,
+}
+
+impl Pod {
+    /// The pod's spec.
+    pub fn spec(&self) -> &PodSpec {
+        &self.spec
+    }
+
+    /// Deployed container ids, in spec order.
+    pub fn containers(&self) -> &[ContainerId] {
+        &self.containers
+    }
+
+    /// Containers restarted by the kubelet so far (the Kubernetes
+    /// `restartCount`).
+    pub fn restarts(&self) -> u32 {
+        self.restarts
+    }
+}
+
+/// The node agent: deploys pods through the engine and enforces restart
+/// policies — the piece §5.4 calls an "interesting component" to fuzz.
+#[derive(Debug, Default)]
+pub struct Kubelet {
+    pods: Vec<Pod>,
+}
+
+impl Kubelet {
+    /// An empty kubelet.
+    pub fn new() -> Kubelet {
+        Kubelet::default()
+    }
+
+    /// Deploy a pod: every container is created through `engine` with the
+    /// pod name prefixed (so specs can be reused across replicas).
+    ///
+    /// # Errors
+    /// Engine errors; on failure, containers created so far are removed
+    /// (pods are atomic units).
+    pub fn deploy(
+        &mut self,
+        kernel: &mut Kernel,
+        engine: &mut Engine,
+        spec: PodSpec,
+    ) -> Result<usize, EngineError> {
+        let mut created: Vec<ContainerId> = Vec::new();
+        for template in &spec.containers {
+            let mut spec_named = template.clone();
+            spec_named.name = format!("{}-{}", spec.name, template.name);
+            match engine.create(kernel, spec_named) {
+                Ok(id) => created.push(id),
+                Err(e) => {
+                    for id in &created {
+                        let _ = engine.remove(kernel, id);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        self.pods.push(Pod {
+            spec,
+            containers: created,
+            restarts: 0,
+        });
+        Ok(self.pods.len() - 1)
+    }
+
+    /// The deployed pods.
+    pub fn pods(&self) -> &[Pod] {
+        &self.pods
+    }
+
+    /// Phase of pod `index`.
+    pub fn phase(&self, engine: &Engine, index: usize) -> Option<PodPhase> {
+        let pod = self.pods.get(index)?;
+        let any_crashed = pod.containers.iter().any(|id| {
+            matches!(
+                engine.container(id).map(|c| c.state()),
+                Some(ContainerState::Crashed(_))
+            )
+        });
+        Some(if any_crashed && pod.spec.restart_policy == RestartPolicy::Never {
+            PodPhase::Failed
+        } else {
+            PodPhase::Running
+        })
+    }
+
+    /// One control-loop pass: restart crashed containers per policy.
+    /// Returns the number of restarts performed.
+    ///
+    /// # Errors
+    /// Engine restart failures.
+    pub fn sync(&mut self, kernel: &mut Kernel, engine: &mut Engine) -> Result<u32, EngineError> {
+        let mut performed = 0;
+        for pod in &mut self.pods {
+            if pod.spec.restart_policy != RestartPolicy::Always {
+                continue;
+            }
+            for id in &pod.containers {
+                let crashed = matches!(
+                    engine.container(id).map(|c| c.state()),
+                    Some(ContainerState::Crashed(_))
+                );
+                if crashed {
+                    engine.restart(kernel, id)?;
+                    pod.restarts += 1;
+                    performed += 1;
+                }
+            }
+        }
+        Ok(performed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use torpedo_kernel::{SyscallRequest, Usecs};
+
+    fn setup() -> (Kernel, Engine, Kubelet) {
+        let mut kernel = Kernel::with_defaults();
+        let engine = Engine::new(&mut kernel);
+        (kernel, engine, Kubelet::new())
+    }
+
+    fn fuzz_pod(runtime: &str) -> PodSpec {
+        PodSpec::new("fuzzer")
+            .container(ContainerSpec::new("exec").runtime_name(runtime).cpuset_cpus(&[0]))
+            .container(ContainerSpec::new("sidecar").runtime_name(runtime).cpuset_cpus(&[1]))
+    }
+
+    #[test]
+    fn deploy_names_containers_by_pod() {
+        let (mut kernel, mut engine, mut kubelet) = setup();
+        let idx = kubelet.deploy(&mut kernel, &mut engine, fuzz_pod("runc")).unwrap();
+        let pod = &kubelet.pods()[idx];
+        assert_eq!(pod.containers().len(), 2);
+        assert_eq!(pod.containers()[0].name(), "fuzzer-exec");
+        assert_eq!(pod.containers()[1].name(), "fuzzer-sidecar");
+        assert_eq!(kubelet.phase(&engine, idx), Some(PodPhase::Running));
+    }
+
+    #[test]
+    fn failed_deploy_rolls_back_atomically() {
+        let (mut kernel, mut engine, mut kubelet) = setup();
+        let bad = PodSpec::new("broken")
+            .container(ContainerSpec::new("ok"))
+            .container(ContainerSpec::new("bad").runtime_name("nonexistent"));
+        assert!(kubelet.deploy(&mut kernel, &mut engine, bad).is_err());
+        assert!(kubelet.pods().is_empty());
+        // The first container must have been cleaned up.
+        assert!(engine.container_ids().is_empty());
+    }
+
+    #[test]
+    fn restart_policy_always_recovers_crashes() {
+        let (mut kernel, mut engine, mut kubelet) = setup();
+        let idx = kubelet.deploy(&mut kernel, &mut engine, fuzz_pod("runsc")).unwrap();
+        kernel.begin_round(Usecs::from_secs(1));
+        let crasher = kubelet.pods()[idx].containers()[0].clone();
+        let req = SyscallRequest::new("open", [0, 0x680002, 0x20, 0, 0, 0])
+            .with_path(0, "/lib/x86_64-Linux-gnu/libc.so.6");
+        let exec = engine.exec(&mut kernel, &crasher, req).unwrap();
+        assert!(exec.crash.is_some());
+        assert_eq!(kubelet.sync(&mut kernel, &mut engine).unwrap(), 1);
+        assert_eq!(kubelet.pods()[idx].restarts(), 1);
+        assert_eq!(kubelet.phase(&engine, idx), Some(PodPhase::Running));
+        // Container accepts work again.
+        let ok = engine
+            .exec(&mut kernel, &crasher, SyscallRequest::new("getpid", [0; 6]))
+            .unwrap();
+        assert!(ok.crash.is_none());
+    }
+
+    #[test]
+    fn restart_policy_never_fails_the_pod() {
+        let (mut kernel, mut engine, mut kubelet) = setup();
+        let spec = fuzz_pod("runsc").restart_policy(RestartPolicy::Never);
+        let idx = kubelet.deploy(&mut kernel, &mut engine, spec).unwrap();
+        kernel.begin_round(Usecs::from_secs(1));
+        let crasher = kubelet.pods()[idx].containers()[0].clone();
+        let req = SyscallRequest::new("open", [0, 0x680002, 0x20, 0, 0, 0])
+            .with_path(0, "/lib/x86_64-Linux-gnu/libc.so.6");
+        engine.exec(&mut kernel, &crasher, req).unwrap();
+        assert_eq!(kubelet.sync(&mut kernel, &mut engine).unwrap(), 0);
+        assert_eq!(kubelet.phase(&engine, idx), Some(PodPhase::Failed));
+        assert_eq!(kubelet.pods()[idx].restarts(), 0);
+    }
+
+    #[test]
+    fn pods_work_on_every_registered_runtime() {
+        for runtime in ["runc", "crun", "runsc", "kata"] {
+            let (mut kernel, mut engine, mut kubelet) = setup();
+            let idx = kubelet
+                .deploy(&mut kernel, &mut engine, fuzz_pod(runtime))
+                .unwrap_or_else(|e| panic!("{runtime}: {e}"));
+            kernel.begin_round(Usecs::from_secs(1));
+            let id = kubelet.pods()[idx].containers()[0].clone();
+            let out = engine
+                .exec(&mut kernel, &id, SyscallRequest::new("getpid", [0; 6]))
+                .unwrap();
+            assert!(out.outcome.retval > 0, "{runtime}");
+        }
+    }
+}

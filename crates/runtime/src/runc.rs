@@ -1,0 +1,109 @@
+//! The native runtime: a model of runC (§2.3.1).
+//!
+//! A native runtime performs container setup and exits, leaving the
+//! containerized process sharing the host kernel directly. Every host
+//! work-deferral channel is therefore reachable — which is why all five
+//! Table 4.2 adversarial families manifest under runC.
+
+use torpedo_kernel::kernel::Kernel;
+use torpedo_kernel::syscalls::{self, ExecContext, ExecPolicy, SyscallRequest};
+
+use crate::spec::RuntimeKind;
+use crate::{completed, ExecEnv, Runtime, RuntimeExec};
+
+/// The default Docker runtime: direct host-kernel passthrough.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RunC;
+
+impl RunC {
+    /// A runC instance.
+    pub fn new() -> RunC {
+        RunC
+    }
+}
+
+impl Runtime for RunC {
+    fn name(&self) -> &'static str {
+        "runc"
+    }
+
+    fn kind(&self) -> RuntimeKind {
+        RuntimeKind::Native
+    }
+
+    fn policy(&self) -> ExecPolicy {
+        ExecPolicy {
+            host_deferrals: true,
+            overhead: 1.0,
+            kcov_available: true,
+        }
+    }
+
+    fn execute(
+        &self,
+        kernel: &mut Kernel,
+        ctx: &ExecContext,
+        req: SyscallRequest<'_>,
+        _env: ExecEnv,
+    ) -> RuntimeExec {
+        completed(syscalls::dispatch(kernel, ctx, req))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use torpedo_kernel::cgroup::CgroupTree;
+    use torpedo_kernel::process::ProcessKind;
+    use torpedo_kernel::{DeferralChannel, Usecs};
+
+    fn ctx(kernel: &mut Kernel) -> ExecContext {
+        let cg = kernel
+            .cgroups
+            .create(CgroupTree::ROOT, "docker/t", Default::default())
+            .unwrap();
+        let pid = kernel.procs.spawn(
+            "syz-executor-0",
+            ProcessKind::Executor {
+                container: "t".into(),
+            },
+            cg,
+        );
+        ExecContext {
+            pid,
+            cgroup: cg,
+            core: 0,
+            cpuset: vec![0],
+            policy: RunC.policy(),
+        }
+    }
+
+    #[test]
+    fn passthrough_reaches_host_deferral_channels() {
+        let mut kernel = Kernel::with_defaults();
+        let ctx = ctx(&mut kernel);
+        kernel.begin_round(Usecs::from_secs(5));
+        // socket() with a modular family: the modprobe storm must fire.
+        let exec = RunC.execute(
+            &mut kernel,
+            &ctx,
+            SyscallRequest::new("socket", [9, 3, 0, 0, 0, 0]),
+            ExecEnv::default(),
+        );
+        assert!(exec.crash.is_none());
+        assert_eq!(exec.outcome.retval, -97);
+        let out = kernel.finish_round(&[0]);
+        assert!(out
+            .deferrals
+            .iter()
+            .any(|e| matches!(e.channel, DeferralChannel::UserModeHelper(_))));
+    }
+
+    #[test]
+    fn identity() {
+        assert_eq!(RunC.name(), "runc");
+        assert_eq!(RunC.kind(), RuntimeKind::Native);
+        assert!(RunC.supports_kcov());
+        assert_eq!(RunC.standing_overhead(), 0.0);
+    }
+}

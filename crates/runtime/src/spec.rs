@@ -1,0 +1,181 @@
+//! Container specifications: the Docker-facing resource-restriction surface
+//! TORPEDO supports (Table 3.1 of the paper: `runtime`, `cpuset-cpus`,
+//! `cpus`), plus the memory limit and seccomp/LSM knobs of §2.2.
+
+use torpedo_kernel::lsm::MacProfile;
+use torpedo_kernel::seccomp::SeccompProfile;
+
+/// Which container runtime backs a container (§2.3.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RuntimeKind {
+    /// Native: shares the host kernel directly (runC, crun).
+    #[default]
+    Native,
+    /// Sandboxed: a userspace kernel proxy (gVisor).
+    Sandboxed,
+    /// Virtualized: a full VM boundary (Kata, Firecracker).
+    Virtualized,
+}
+
+/// A Docker-style container specification.
+///
+/// Build one with [`ContainerSpec::new`] and the chained setters:
+///
+/// ```
+/// use torpedo_runtime::spec::ContainerSpec;
+///
+/// let spec = ContainerSpec::new("fuzz-0")
+///     .runtime_name("runc")
+///     .cpuset_cpus(&[0])
+///     .cpus(1.0);
+/// assert_eq!(spec.cpuset, vec![0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ContainerSpec {
+    /// Container name.
+    pub name: String,
+    /// Runtime to use (`--runtime`), by registered name: `"runc"`,
+    /// `"runsc"` (gVisor), `"kata"`.
+    pub runtime: String,
+    /// Physical cores the container may use (`--cpuset-cpus`).
+    pub cpuset: Vec<usize>,
+    /// CPU utilization cap in cores (`--cpus`).
+    pub cpus: Option<f64>,
+    /// Memory limit in bytes (`--memory`).
+    pub memory_bytes: Option<u64>,
+    /// Seccomp profile (`--security-opt seccomp=…`).
+    pub seccomp: SeccompProfile,
+    /// AppArmor-style MAC profile (`--security-opt apparmor=…`, §2.2.3).
+    pub apparmor: MacProfile,
+    /// Enable subuid-based user-namespace remapping (Docker
+    /// `userns-remap`, §2.4.2) — off by default, as in Docker.
+    pub userns_remap: bool,
+    /// Image name (informational).
+    pub image: String,
+}
+
+impl ContainerSpec {
+    /// A spec with TORPEDO's defaults: runC, unconfined seccomp (so fuzzing
+    /// is not censored), no limits, the packaged executor image.
+    pub fn new(name: &str) -> ContainerSpec {
+        ContainerSpec {
+            name: name.to_string(),
+            runtime: "runc".to_string(),
+            cpuset: Vec::new(),
+            cpus: None,
+            memory_bytes: None,
+            seccomp: SeccompProfile::unconfined(),
+            apparmor: MacProfile::unconfined(),
+            userns_remap: false,
+            image: "torpedo/executor:latest".to_string(),
+        }
+    }
+
+    /// Set the runtime by name.
+    #[must_use]
+    pub fn runtime_name(mut self, runtime: &str) -> ContainerSpec {
+        self.runtime = runtime.to_string();
+        self
+    }
+
+    /// Set `--cpuset-cpus`.
+    #[must_use]
+    pub fn cpuset_cpus(mut self, cores: &[usize]) -> ContainerSpec {
+        self.cpuset = cores.to_vec();
+        self
+    }
+
+    /// Set `--cpus`.
+    #[must_use]
+    pub fn cpus(mut self, cores: f64) -> ContainerSpec {
+        self.cpus = Some(cores);
+        self
+    }
+
+    /// Set `--memory`.
+    #[must_use]
+    pub fn memory(mut self, bytes: u64) -> ContainerSpec {
+        self.memory_bytes = Some(bytes);
+        self
+    }
+
+    /// Set the seccomp profile.
+    #[must_use]
+    pub fn seccomp(mut self, profile: SeccompProfile) -> ContainerSpec {
+        self.seccomp = profile;
+        self
+    }
+
+    /// Set the AppArmor profile.
+    #[must_use]
+    pub fn apparmor(mut self, profile: MacProfile) -> ContainerSpec {
+        self.apparmor = profile;
+        self
+    }
+
+    /// Enable user-namespace remapping (`--userns-remap`).
+    #[must_use]
+    pub fn userns_remap(mut self, enabled: bool) -> ContainerSpec {
+        self.userns_remap = enabled;
+        self
+    }
+
+    /// Render the equivalent `docker run` command line (diagnostics; TORPEDO
+    /// drives Docker through the CLI, §3.2).
+    pub fn to_cli(&self) -> String {
+        let mut cmd = format!("docker run --name {} --runtime {}", self.name, self.runtime);
+        if !self.cpuset.is_empty() {
+            let cores: Vec<String> = self.cpuset.iter().map(|c| c.to_string()).collect();
+            cmd.push_str(&format!(" --cpuset-cpus {}", cores.join(",")));
+        }
+        if let Some(cpus) = self.cpus {
+            cmd.push_str(&format!(" --cpus {cpus}"));
+        }
+        if let Some(mem) = self.memory_bytes {
+            cmd.push_str(&format!(" --memory {mem}"));
+        }
+        cmd.push(' ');
+        cmd.push_str(&self.image);
+        cmd
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_torpedo_defaults() {
+        let spec = ContainerSpec::new("fuzz-1");
+        assert_eq!(spec.runtime, "runc");
+        assert!(spec.cpuset.is_empty());
+        assert_eq!(spec.cpus, None);
+        assert_eq!(spec.seccomp.name(), "unconfined");
+    }
+
+    #[test]
+    fn builder_chains() {
+        let spec = ContainerSpec::new("f")
+            .runtime_name("runsc")
+            .cpuset_cpus(&[2, 3])
+            .cpus(1.5)
+            .memory(1 << 30);
+        assert_eq!(spec.runtime, "runsc");
+        assert_eq!(spec.cpuset, vec![2, 3]);
+        assert_eq!(spec.cpus, Some(1.5));
+        assert_eq!(spec.memory_bytes, Some(1 << 30));
+    }
+
+    #[test]
+    fn cli_rendering_includes_table_3_1_options() {
+        let cli = ContainerSpec::new("f")
+            .runtime_name("runsc")
+            .cpuset_cpus(&[0, 1])
+            .cpus(2.0)
+            .to_cli();
+        assert!(cli.contains("--runtime runsc"));
+        assert!(cli.contains("--cpuset-cpus 0,1"));
+        assert!(cli.contains("--cpus 2"));
+        assert!(cli.starts_with("docker run"));
+    }
+}

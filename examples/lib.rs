@@ -1,0 +1,32 @@
+//! Shared helpers for the TORPEDO examples.
+
+use torpedo_core::campaign::FlaggedFinding;
+use torpedo_prog::{serialize, SyscallDesc};
+
+/// Print a flagged finding in a compact human-readable block.
+pub fn print_finding(index: usize, finding: &FlaggedFinding, table: &[SyscallDesc]) {
+    println!(
+        "── finding #{index} (batch {}, round {}, score {:.1}) ──",
+        finding.batch, finding.round, finding.score
+    );
+    for violation in &finding.violations {
+        println!("   violation: {violation}");
+    }
+    print!("{}", indent(&serialize(&finding.program, table), "   | "));
+}
+
+/// Indent every line of `text` with `prefix`.
+pub fn indent(text: &str, prefix: &str) -> String {
+    text.lines()
+        .map(|line| format!("{prefix}{line}\n"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn indent_prefixes_every_line() {
+        let out = super::indent("a\nb\n", "> ");
+        assert_eq!(out, "> a\n> b\n");
+    }
+}

@@ -1,0 +1,73 @@
+//! Tool-assisted minimization (§4.1.3, Algorithm 3): take a noisy trace
+//! that hides an adversarial call, shrink it while preserving the observed
+//! oracle violations, and confirm the root cause against the (simulated)
+//! kernel function-graph trace — the full workflow a human operator runs
+//! on a flagged program.
+//!
+//! Run with: `cargo run --release -p torpedo-examples --bin minimize_trace`
+
+use torpedo_core::confirm::confirm;
+use torpedo_core::minimize::{minimize_with_oracle, ViolationHarness};
+use torpedo_kernel::{KernelConfig, Usecs};
+use torpedo_oracle::{CpuOracle, IoOracle, Oracle};
+use torpedo_prog::{build_table, deserialize, serialize};
+
+/// A Moonshine-ish trace padded with benign calls around the adversarial
+/// `socket(0x9, …)` (valid-but-modular family → modprobe storm).
+const NOISY: &str = "\
+mmap(0x7f0000000000, 0x1000, 0x3, 0x32, 0xffffffffffffffff, 0x0)
+getuid()
+r2 = socket(0x9, 0x3, 0x0)
+uname(0x7f0000000100)
+stat(&'/etc/passwd', 0x7f0000000200)
+clock_gettime(0x0, 0x7f0000000300)
+";
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let table = build_table();
+    let program = deserialize(NOISY, &table)?;
+    println!("original program ({} calls):", program.len());
+    print!("{}", serialize(&program, &table));
+
+    for oracle in [&CpuOracle::new() as &dyn Oracle, &IoOracle::new()] {
+        println!("\n== minimizing against the {} oracle ==", oracle.name());
+        let harness = ViolationHarness::new(KernelConfig::default(), "runc");
+        match minimize_with_oracle(&program, &table, oracle, &harness) {
+            Some(result) => {
+                println!(
+                    "violations preserved: {:?}",
+                    result.kinds.iter().map(|k| k.describe()).collect::<Vec<_>>()
+                );
+                println!(
+                    "minimized to {} call(s) in {} evaluations ({} removed):",
+                    result.program.len(),
+                    result.stats.evaluations,
+                    result.stats.removed
+                );
+                print!("{}", serialize(&result.program, &table));
+                let conf = confirm(
+                    &result.program,
+                    &table,
+                    KernelConfig::default(),
+                    "runc",
+                    Usecs::from_secs(3),
+                );
+                println!(
+                    "confirmation: charged {}, out-of-band {}, amplification {:.1}x",
+                    conf.charged, conf.oob_total, conf.amplification
+                );
+                for cause in &conf.causes {
+                    println!(
+                        "  cause: {} via {}() — {} events{}",
+                        cause.cause,
+                        cause.syscall,
+                        cause.events,
+                        if cause.known { "" } else { "  [NEW FINDING]" }
+                    );
+                }
+            }
+            None => println!("no violations observed for this oracle"),
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,101 @@
+//! Oracle tuning (§4.1): "we use these observations to tune the
+//! implementation of our CPU Oracle." This example sweeps the Table 4.1
+//! thresholds over labelled rounds — benign baselines vs known-adversarial
+//! recreations — and reports false-positive / false-negative rates so a
+//! user can pick thresholds for their own host model.
+//!
+//! Run with: `cargo run --release -p torpedo-examples --bin oracle_tuning`
+
+use torpedo_core::observer::{Observer, ObserverConfig};
+use torpedo_kernel::{KernelConfig, Usecs};
+use torpedo_oracle::observation::Observation;
+use torpedo_oracle::{CpuOracle, CpuThresholds, Oracle};
+use torpedo_prog::{build_table, deserialize, Program, SyscallDesc};
+
+fn collect_rounds(
+    table: &[SyscallDesc],
+    programs: &[Program],
+    rounds: usize,
+) -> Vec<Observation> {
+    let mut observer = Observer::new(
+        KernelConfig::default(),
+        ObserverConfig {
+            window: Usecs::from_secs(2),
+            executors: programs.len(),
+            runtime: "runc".to_string(),
+            ..ObserverConfig::default()
+        },
+    )
+    .expect("observer boots");
+    let mut out = Vec::new();
+    for _ in 0..=rounds {
+        let record = observer.round(table, programs).expect("round runs");
+        out.push(record.observation);
+    }
+    out.remove(0); // top warm-up round
+    out
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let table = build_table();
+    let benign = vec![
+        deserialize("getpid()\nuname(0x0)\n", &table)?,
+        deserialize("stat(&'/etc/passwd', 0x0)\n", &table)?,
+        deserialize("getuid()\ntimes(0x0)\n", &table)?,
+    ];
+    let adversarial = vec![
+        deserialize("sync()\n", &table)?,
+        deserialize("socket(0x9, 0x3, 0x0)\n", &table)?,
+        deserialize("rt_sigreturn()\n", &table)?,
+    ];
+
+    let benign_obs = collect_rounds(&table, &benign, 8);
+    let adv_obs = collect_rounds(&table, &adversarial, 8);
+
+    println!("sweeping idle-core ceiling (other thresholds at defaults)\n");
+    println!(
+        "{:<18} {:>14} {:>14}",
+        "idle_core_max", "false-pos rate", "false-neg rate"
+    );
+    for idle_max in [6.0, 10.0, 16.0, 25.0, 40.0, 60.0] {
+        let oracle = CpuOracle::with_thresholds(CpuThresholds {
+            idle_core_max: idle_max,
+            ..CpuThresholds::default()
+        });
+        let fp = benign_obs
+            .iter()
+            .filter(|o| !oracle.flag(o).is_empty())
+            .count() as f64
+            / benign_obs.len() as f64;
+        let fn_ = adv_obs.iter().filter(|o| oracle.flag(o).is_empty()).count() as f64
+            / adv_obs.len() as f64;
+        println!("{idle_max:<18.1} {:>13.0}% {:>13.0}%", fp * 100.0, fn_ * 100.0);
+    }
+
+    println!("\nsweeping fuzz-core floor\n");
+    println!(
+        "{:<18} {:>14} {:>14}",
+        "fuzz_core_min", "false-pos rate", "false-neg rate"
+    );
+    for fuzz_min in [10.0, 25.0, 40.0, 60.0, 80.0] {
+        let oracle = CpuOracle::with_thresholds(CpuThresholds {
+            fuzz_core_min: fuzz_min,
+            ..CpuThresholds::default()
+        });
+        let fp = benign_obs
+            .iter()
+            .filter(|o| !oracle.flag(o).is_empty())
+            .count() as f64
+            / benign_obs.len() as f64;
+        let fn_ = adv_obs.iter().filter(|o| oracle.flag(o).is_empty()).count() as f64
+            / adv_obs.len() as f64;
+        println!("{fuzz_min:<18.1} {:>13.0}% {:>13.0}%", fp * 100.0, fn_ * 100.0);
+    }
+
+    let default = CpuThresholds::default();
+    println!(
+        "\npaper-style defaults: fuzz_core_min={}, idle_core_max={}, total_margin={}, sysproc_max={}",
+        default.fuzz_core_min, default.idle_core_max, default.total_margin, default.sysproc_max
+    );
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Quickstart: boot the simulated host, deploy three fuzzing containers,
+//! run one observation round with the paper's Appendix A.1.1 baseline
+//! programs, and print the observer log table (compare with Table A.1).
+//!
+//! Run with: `cargo run -p torpedo-examples --bin quickstart`
+
+use torpedo_core::observer::{Observer, ObserverConfig};
+use torpedo_kernel::{procfs, KernelConfig, Usecs};
+use torpedo_moonshine::APPENDIX_SEEDS;
+use torpedo_oracle::{CpuOracle, Oracle};
+use torpedo_prog::{build_table, deserialize};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let table = build_table();
+
+    // The three baseline programs of Appendix A.1.1.
+    let programs = vec![
+        deserialize(APPENDIX_SEEDS[0], &table)?,
+        deserialize(APPENDIX_SEEDS[1], &table)?,
+        deserialize(APPENDIX_SEEDS[2], &table)?,
+    ];
+
+    let mut observer = Observer::new(
+        KernelConfig::default(),
+        ObserverConfig {
+            window: Usecs::from_secs(5),
+            executors: 3,
+            runtime: "runc".to_string(),
+            ..ObserverConfig::default()
+        },
+    )?;
+
+    println!("TORPEDO quickstart: 3 executors on runC, T = 5 s\n");
+    // Round 1 warms the top sampler (it discards its first frame).
+    observer.round(&table, &programs)?;
+    let record = observer.round(&table, &programs)?;
+
+    println!("Observer log (compare with Table A.1 of the paper):\n");
+    print!("{}", procfs::render_table(&record.observation.per_core));
+
+    let oracle = CpuOracle::new();
+    let score = oracle.score(&record.observation);
+    let violations = oracle.flag(&record.observation);
+    println!("\nCPU oracle score (total utilization): {score:.2}%");
+    if violations.is_empty() {
+        println!("CPU oracle: no isolation-boundary violations (expected for baseline).");
+    } else {
+        for violation in &violations {
+            println!("CPU oracle violation: {violation}");
+        }
+    }
+
+    if let Some(top) = &record.observation.top {
+        println!("\nTop daemon CPU (filtered categories, % of one core):");
+        for entry in top.entries.iter().take(8) {
+            println!("  {:<24} {:>6.2}%", entry.name, entry.cpu_percent);
+        }
+    }
+    for (i, report) in record.reports.iter().enumerate() {
+        println!(
+            "executor {i}: {} executions, avg {} per execution",
+            report.executions, report.avg_exec_time
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,47 @@
+//! Shared helpers for the TORPEDO integration-test suite.
+
+use torpedo_core::observer::{Observer, ObserverConfig};
+use torpedo_kernel::{KernelConfig, Usecs};
+use torpedo_prog::{build_table, deserialize, Program, SyscallDesc};
+
+/// Build the standard syscall table.
+pub fn table() -> Vec<SyscallDesc> {
+    build_table()
+}
+
+/// Parse a list of seed texts into programs, panicking on bad fixtures.
+pub fn programs(texts: &[&str], table: &[SyscallDesc]) -> Vec<Program> {
+    texts
+        .iter()
+        .map(|t| deserialize(t, table).expect("fixture parses"))
+        .collect()
+}
+
+/// An observer with `n` executors on `runtime` and a `window`-second round.
+pub fn observer(n: usize, runtime: &str, window_secs: u64) -> Observer {
+    Observer::new(
+        KernelConfig::default(),
+        ObserverConfig {
+            window: Usecs::from_secs(window_secs),
+            executors: n,
+            runtime: runtime.to_string(),
+            ..ObserverConfig::default()
+        },
+    )
+    .expect("observer boots")
+}
+
+/// Run `rounds` rounds (plus one warm-up for the top sampler) and return
+/// the final record.
+pub fn settled_round(
+    observer: &mut Observer,
+    table: &[SyscallDesc],
+    programs: &[Program],
+    rounds: usize,
+) -> torpedo_core::observer::RoundRecord {
+    let mut last = None;
+    for _ in 0..=rounds.max(1) {
+        last = Some(observer.round(table, programs).expect("round runs"));
+    }
+    last.expect("at least one round")
+}

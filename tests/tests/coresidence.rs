@@ -1,0 +1,110 @@
+//! End-to-end §2.4.1 reproduction: the `/proc/stat` leak lets two
+//! containers under a native runtime confirm coresidence with a
+//! beacon/watcher protocol, and a namespaced (sandboxed-runtime) view of
+//! the same rounds hides it.
+
+use torpedo_integration_tests::{observer, table};
+use torpedo_kernel::leakcheck::{detect_coresidence, observed_busy_series, ProcView};
+use torpedo_prog::deserialize;
+
+#[test]
+fn proc_stat_leak_reveals_coresidence_and_namespacing_hides_it() {
+    let t = table();
+    let busy = deserialize("getpid()\nuname(0x0)\ngetuid()\n", &t).unwrap();
+    let idle = deserialize("pause()\n", &t).unwrap();
+    let watcher = deserialize("clock_gettime(0x0, 0x0)\n", &t).unwrap();
+
+    // Executor 0 = watcher (constant light load), executor 1 = beacon.
+    let mut obs = observer(2, "runc", 1);
+    let beacon_schedule: Vec<bool> = (0..12).map(|i| i % 2 == 0).collect();
+    let mut rounds = Vec::new();
+    for &on in &beacon_schedule {
+        let programs = vec![
+            watcher.clone(),
+            if on { busy.clone() } else { idle.clone() },
+        ];
+        let rec = obs.round(&t, &programs).unwrap();
+        rounds.push(rec.observation.per_core.clone());
+    }
+
+    // The watcher reads host-wide /proc/stat (the leak): beacon visible.
+    let host_series = observed_busy_series(&rounds, ProcView::Host, &[0]);
+    let host_verdict = detect_coresidence(&beacon_schedule, &host_series, 0.8);
+    assert!(
+        host_verdict.coresident,
+        "host /proc/stat must leak the beacon (corr {:.3})",
+        host_verdict.correlation
+    );
+
+    // A virtualized procfs shows the watcher only its own core: no beacon.
+    let ns_series = observed_busy_series(&rounds, ProcView::Namespaced, &[0]);
+    let ns_verdict = detect_coresidence(&beacon_schedule, &ns_series, 0.8);
+    assert!(
+        !ns_verdict.coresident,
+        "namespaced procfs must hide the beacon (corr {:.3})",
+        ns_verdict.correlation
+    );
+}
+
+#[test]
+fn watcher_on_a_different_host_sees_nothing() {
+    let t = table();
+    let beacon_schedule: Vec<bool> = (0..12).map(|i| i % 2 == 0).collect();
+    // The "other host": an unrelated machine running its own flat workload
+    // (different noise seed via a fresh observer; no beacon at all).
+    let mut other = observer(1, "runc", 1);
+    let flat = deserialize("getpid()\n", &t).unwrap();
+    let mut rounds = Vec::new();
+    for _ in &beacon_schedule {
+        let rec = other.round(&t, std::slice::from_ref(&flat)).unwrap();
+        rounds.push(rec.observation.per_core.clone());
+    }
+    let series = observed_busy_series(&rounds, ProcView::Host, &[0]);
+    let verdict = detect_coresidence(&beacon_schedule, &series, 0.8);
+    assert!(
+        !verdict.coresident,
+        "different host must not correlate (corr {:.3})",
+        verdict.correlation
+    );
+}
+
+#[test]
+fn startup_times_feed_the_startup_oracle() {
+    use torpedo_oracle::startup::StartupOracle;
+    let t = table();
+    let flat = deserialize("getpid()\n", &t).unwrap();
+    let mut obs = observer(2, "runc", 1);
+    // The creation startups are drained by the first round.
+    let rec = obs.round(&t, std::slice::from_ref(&flat)).unwrap();
+    assert_eq!(
+        rec.observation.startup_times.len(),
+        2,
+        "two container creations measured"
+    );
+    // First creation of the runtime is a cold start (3x warm).
+    let cold = rec.observation.startup_times[0];
+    let warm = rec.observation.startup_times[1];
+    assert!(cold > warm, "cold {cold} vs warm {warm}");
+    // Feed the oracle: cold start must not flag, a later degraded warm
+    // start must.
+    let mut oracle = StartupOracle::new();
+    assert!(oracle.ingest(&rec.observation.startup_times).is_empty());
+    let degraded = warm.scale(4.0);
+    let violations = oracle.ingest(&[warm, warm, degraded]);
+    assert_eq!(violations.len(), 1);
+}
+
+#[test]
+fn runtime_startup_ordering_matches_designs() {
+    use torpedo_runtime::{Crun, GVisor, Kata, RunC, Runtime};
+    let crun = Crun::new().startup_cost(false);
+    let runc = RunC::new().startup_cost(false);
+    let gvisor = GVisor::new().startup_cost(false);
+    let kata = Kata::new().startup_cost(false);
+    assert!(crun < runc, "crun is the fast native runtime");
+    assert!(runc < gvisor, "sentry boot beats VM boot but loses to native");
+    assert!(gvisor < kata, "full VM boot is slowest");
+    for rt in [&RunC::new() as &dyn Runtime] {
+        assert!(rt.startup_cost(true) > rt.startup_cost(false), "cold start dominates");
+    }
+}

@@ -1,0 +1,141 @@
+//! End-to-end gVisor reproduction of the Table 4.3 findings and the §4.4
+//! negative results: the open(2) container crashes are found, and none of
+//! the runC adversarial patterns survive the sandbox.
+
+use torpedo_core::campaign::{Campaign, CampaignConfig};
+use torpedo_core::confirm::confirm;
+use torpedo_core::observer::ObserverConfig;
+use torpedo_core::seeds::{default_denylist, SeedCorpus};
+use torpedo_kernel::{KernelConfig, Usecs};
+use torpedo_oracle::CpuOracle;
+use torpedo_prog::{deserialize, MutatePolicy};
+use torpedo_integration_tests::{observer, programs, settled_round, table};
+
+fn gvisor_config() -> CampaignConfig {
+    CampaignConfig {
+        observer: ObserverConfig {
+            window: Usecs::from_secs(2),
+            executors: 3,
+            runtime: "runsc".into(),
+            ..ObserverConfig::default()
+        },
+        mutate: MutatePolicy {
+            denylist: default_denylist(),
+            ..MutatePolicy::default()
+        },
+        max_rounds_per_batch: 6,
+        ..CampaignConfig::default()
+    }
+}
+
+#[test]
+fn open_flag_crash_is_found_reproduced_and_minimized() {
+    let t = table();
+    let seeds = SeedCorpus::load(
+        &[
+            "getpid()\nopen(&'/lib/x86_64-Linux-gnu/libc.so.6', 0x680002, 0x20)\n",
+            "getuid()\n",
+            "uname(0x0)\n",
+        ],
+        &t,
+        &default_denylist(),
+    )
+    .unwrap();
+    let report = Campaign::new(gvisor_config(), t.clone())
+        .run(&seeds, &CpuOracle::new())
+        .unwrap();
+    assert!(!report.crashes.is_empty());
+    let crash = report
+        .crashes
+        .iter()
+        .find(|c| c.crash.reason == "sentry-panic-open-flags")
+        .expect("flag-pattern crash found");
+    assert!(crash.reproduced);
+    let minimized = crash.minimized.as_ref().expect("minimizer ran");
+    assert_eq!(minimized.call_names(&t), vec!["open"]);
+}
+
+#[test]
+fn runc_adversarial_patterns_do_not_reproduce_on_gvisor() {
+    let t = table();
+    // §4.4.2: "none of the adversarial programs identified in Section 4.3
+    // exhibited the same behavior when run on gVisor."
+    for text in [
+        "sync()\n",
+        "socket(0x9, 0x3, 0x0)\n",
+        "rt_sigreturn()\n",
+        "setrlimit(0x1, 0x1000)\nr1 = creat(&'workfile-0', 0x1a4)\nfallocate(r1, 0x0, 0x0, 0x100000)\n",
+    ] {
+        let program = deserialize(text, &t).unwrap();
+        let c = confirm(&program, &t, KernelConfig::default(), "runsc", Usecs::from_secs(2));
+        assert!(
+            c.causes.is_empty(),
+            "{text:?} leaked host causes on gVisor: {:?}",
+            c.causes
+        );
+    }
+}
+
+#[test]
+fn gvisor_utilization_is_lower_than_runc() {
+    let t = table();
+    // §4.4: "gVisor introduces additional overhead on syscall execution and
+    // overall utilization numbers are lower" — compare A.4 with A.1.
+    let progs = programs(
+        &[
+            "mmap(0x7f0000000000, 0x1000, 0x3, 0x32, 0xffffffffffffffff, 0x0)\nchmod(&'testdir_1', 0x1ff)\n",
+            "setuid(0xfffe)\n",
+            "creat(&'getxattr01testfile', 0x1a4)\ngetxattr(&'getxattr01testfile', @'system.posix_acl_access', 0x0, 0x0)\n",
+        ],
+        &t,
+    );
+    let mut runc = observer(3, "runc", 2);
+    let mut gvisor = observer(3, "runsc", 2);
+    let runc_rec = settled_round(&mut runc, &t, &progs, 2);
+    let gvisor_rec = settled_round(&mut gvisor, &t, &progs, 2);
+    let runc_execs: u64 = runc_rec.reports.iter().map(|r| r.executions).sum();
+    let gvisor_execs: u64 = gvisor_rec.reports.iter().map(|r| r.executions).sum();
+    assert!(
+        gvisor_execs < runc_execs,
+        "gVisor should be slower: {gvisor_execs} vs {runc_execs}"
+    );
+}
+
+#[test]
+fn unsupported_syscalls_surface_as_enosys_not_crashes() {
+    let t = table();
+    let seeds = SeedCorpus::load(
+        &["rseq(0x7f0000000000, 0x20, 0x0, 0x0)\nkcmp(0x1, 0x1, 0x0, 0x0, 0x0)\n"],
+        &t,
+        &default_denylist(),
+    )
+    .unwrap();
+    let mut config = gvisor_config();
+    config.observer.executors = 1;
+    config.max_rounds_per_batch = 2;
+    let report = Campaign::new(config, t).run(&seeds, &CpuOracle::new()).unwrap();
+    assert!(report.crashes.is_empty());
+    assert!(report.rounds_total >= 2);
+}
+
+#[test]
+fn patched_sentry_finds_no_crashes() {
+    use torpedo_runtime::gvisor::GVisor;
+    let t = table();
+    let mut kernel = torpedo_kernel::Kernel::with_defaults();
+    let mut engine = torpedo_runtime::engine::Engine::new(&mut kernel);
+    engine.register_runtime(Box::new(GVisor::patched()));
+    let id = engine
+        .create(
+            &mut kernel,
+            torpedo_runtime::spec::ContainerSpec::new("fixed")
+                .runtime_name("runsc")
+                .cpuset_cpus(&[0]),
+        )
+        .unwrap();
+    kernel.begin_round(Usecs::from_secs(1));
+    let req = torpedo_kernel::SyscallRequest::new("open", [0, 0x680002, 0x20, 0, 0, 0])
+        .with_path(0, "/lib/x86_64-Linux-gnu/libc.so.6");
+    let exec = engine.exec(&mut kernel, &id, req).unwrap();
+    assert!(exec.crash.is_none(), "patched sentry must not crash");
+}

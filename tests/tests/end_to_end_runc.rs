@@ -1,0 +1,153 @@
+//! End-to-end runC reproduction of the Table 4.2 findings: every
+//! adversarial family the paper reports must be discoverable by the full
+//! pipeline (campaign → flag → minimize → confirm) on the native runtime.
+
+use torpedo_core::campaign::{Campaign, CampaignConfig};
+use torpedo_core::confirm::confirm;
+use torpedo_core::minimize::{minimize_with_oracle, ViolationHarness};
+use torpedo_core::observer::ObserverConfig;
+use torpedo_core::seeds::{default_denylist, SeedCorpus};
+use torpedo_kernel::process::HelperKind;
+use torpedo_kernel::{DeferralChannel, KernelConfig, Usecs};
+use torpedo_oracle::CpuOracle;
+use torpedo_prog::{deserialize, MutatePolicy};
+use torpedo_integration_tests::table;
+
+fn confirm_cause(text: &str) -> Vec<DeferralChannel> {
+    let t = table();
+    let program = deserialize(text, &t).unwrap();
+    let c = confirm(&program, &t, KernelConfig::default(), "runc", Usecs::from_secs(2));
+    c.causes.iter().map(|x| x.channel).collect()
+}
+
+#[test]
+fn sync_family_is_io_flush_deferral() {
+    for text in ["sync()\n", "r0 = creat(&'workfile-0', 0x1a4)\nwrite(r0, 0x0, 0x8000)\nfsync(r0)\n"] {
+        let channels = confirm_cause(text);
+        assert!(
+            channels.contains(&DeferralChannel::IoFlush),
+            "{text:?} → {channels:?}"
+        );
+    }
+}
+
+#[test]
+fn rt_sigreturn_and_rseq_are_coredump_vectors() {
+    for text in ["rt_sigreturn()\n", "rseq(0x7f0000000001, 0x20, 0x3, 0x0)\n"] {
+        let channels = confirm_cause(text);
+        assert!(
+            channels.contains(&DeferralChannel::UserModeHelper(HelperKind::CoreDumpHelper)),
+            "{text:?} → {channels:?}"
+        );
+    }
+}
+
+#[test]
+fn fallocate_and_ftruncate_beyond_rlimit_dump_core() {
+    // Shrink RLIMIT_FSIZE first so the length argument exceeds it.
+    for text in [
+        "setrlimit(0x1, 0x1000)\nr1 = creat(&'workfile-0', 0x1a4)\nfallocate(r1, 0x0, 0x0, 0x100000)\n",
+        "setrlimit(0x1, 0x1000)\nr1 = creat(&'workfile-0', 0x1a4)\nftruncate(r1, 0x100000)\n",
+    ] {
+        let channels = confirm_cause(text);
+        assert!(
+            channels.contains(&DeferralChannel::UserModeHelper(HelperKind::CoreDumpHelper)),
+            "{text:?} → {channels:?}"
+        );
+    }
+}
+
+#[test]
+fn socket_modprobe_storm_is_the_new_finding() {
+    let t = table();
+    // All three errno variants of Table 4.2: EAFNOSUPPORT (97),
+    // ESOCKTNOSUPPORT (94), EPROTONOSUPPORT (93).
+    for text in [
+        "socket(0x9, 0x3, 0x0)\n",   // modular family
+        "socket(0x2, 0x1, 0x63)\n",  // unknown protocol
+    ] {
+        let program = deserialize(text, &t).unwrap();
+        let c = confirm(&program, &t, KernelConfig::default(), "runc", Usecs::from_secs(2));
+        let modprobe = c
+            .causes
+            .iter()
+            .find(|x| x.channel == DeferralChannel::UserModeHelper(HelperKind::Modprobe))
+            .unwrap_or_else(|| panic!("{text:?}: no modprobe cause: {:?}", c.causes));
+        assert!(!modprobe.known, "modprobe storm must be marked new");
+    }
+}
+
+#[test]
+fn full_pipeline_flags_minimizes_and_confirms_sync() {
+    let t = table();
+    let seeds = SeedCorpus::load(
+        &[
+            "getpid()\nsync()\nuname(0x0)\n",
+            "getuid()\n",
+            "times(0x0)\n",
+        ],
+        &t,
+        &default_denylist(),
+    )
+    .unwrap();
+    let config = CampaignConfig {
+        observer: ObserverConfig {
+            window: Usecs::from_secs(2),
+            executors: 3,
+            runtime: "runc".into(),
+            ..ObserverConfig::default()
+        },
+        mutate: MutatePolicy {
+            denylist: default_denylist(),
+            ..MutatePolicy::default()
+        },
+        max_rounds_per_batch: 6,
+        ..CampaignConfig::default()
+    };
+    let oracle = CpuOracle::new();
+    let report = Campaign::new(config, t.clone()).run(&seeds, &oracle).unwrap();
+    assert!(!report.flagged.is_empty(), "sync batch must flag");
+
+    // At least one flagged program must minimize to something containing
+    // sync and confirm as an I/O flush.
+    let harness = ViolationHarness::new(KernelConfig::default(), "runc");
+    let confirmed = report.flagged.iter().any(|finding| {
+        let Some(min) = minimize_with_oracle(&finding.program, &t, &oracle, &harness) else {
+            return false;
+        };
+        let c = confirm(&min.program, &t, KernelConfig::default(), "runc", Usecs::from_secs(2));
+        c.causes.iter().any(|x| x.channel == DeferralChannel::IoFlush)
+    });
+    assert!(confirmed, "no flagged program confirmed as IoFlush");
+}
+
+#[test]
+fn mitigated_kernel_suppresses_the_storms() {
+    let t = table();
+    let patched = KernelConfig {
+        modprobe_negative_cache: true,
+        usermodehelper_patched: true,
+        ..KernelConfig::default()
+    };
+    // Modprobe storm: first request still execs modprobe once, then the
+    // negative cache absorbs the rest.
+    let program = deserialize("socket(0x9, 0x3, 0x0)\n", &t).unwrap();
+    let c = confirm(&program, &t, patched.clone(), "runc", Usecs::from_secs(2));
+    let modprobe_events: usize = c
+        .causes
+        .iter()
+        .filter(|x| matches!(x.channel, DeferralChannel::UserModeHelper(HelperKind::Modprobe)))
+        .map(|x| x.events)
+        .sum();
+    assert!(modprobe_events <= 1, "negative cache failed: {modprobe_events} execs");
+
+    // Coredump patch: usermodehelper work is charged to the origin cgroup,
+    // so the amplification collapses.
+    let program = deserialize("rt_sigreturn()\n", &t).unwrap();
+    let c = confirm(&program, &t, patched, "runc", Usecs::from_secs(2));
+    assert!(
+        c.amplification < 5.0,
+        "patched usermodehelper still amplifies {:.1}x",
+        c.amplification
+    );
+}

@@ -1,0 +1,153 @@
+//! Cross-crate isolation invariants: properties that must hold for *every*
+//! workload, adversarial or not — the accounting laws the paper's analysis
+//! rests on.
+
+use torpedo_integration_tests::{observer, programs, settled_round, table};
+use torpedo_kernel::cgroup::CgroupTree;
+use torpedo_kernel::Usecs;
+use torpedo_moonshine::generate_corpus;
+use torpedo_prog::deserialize;
+
+/// Per-core accounted time always sums exactly to the round window.
+#[test]
+fn core_time_is_conserved() {
+    let t = table();
+    let progs = programs(&["sync()\n", "socket(0x9, 0x3, 0x0)\n", "rt_sigreturn()\n"], &t);
+    let mut obs = observer(3, "runc", 2);
+    let rec = settled_round(&mut obs, &t, &progs, 3);
+    for (core, row) in rec.observation.per_core.iter().enumerate() {
+        assert_eq!(
+            row.total(),
+            Usecs::from_secs(2),
+            "core {core} accounted {} != window",
+            row.total()
+        );
+    }
+}
+
+/// The cgroup CPU controller's *limitation* function is sound: no container
+/// is ever charged more than quota × window (§2.4.3: only tracking leaks).
+#[test]
+fn quota_limitation_is_sound_for_all_seed_families() {
+    let t = table();
+    let corpus = generate_corpus(16, 99);
+    let mut obs = observer(3, "runc", 2);
+    for chunk in corpus.chunks(3) {
+        let progs: Vec<_> = chunk
+            .iter()
+            .map(|text| deserialize(text, &t).unwrap())
+            .collect();
+        let _ = obs.round(&t, &progs);
+        for c in obs.container_ids() {
+            let cgid = obs.engine().container(&c).unwrap().cgroup();
+            let charged = obs.kernel().cgroups.get(cgid).unwrap().charged_cpu();
+            // quota = 1.0 cores over a 2 s window, +small engine epsilon.
+            assert!(
+                charged <= Usecs::from_secs(2).saturating_add(Usecs::from_millis(100)),
+                "{} charged {charged} beyond quota",
+                c.name()
+            );
+        }
+    }
+}
+
+/// Every deferral event charges the root cgroup (on an unpatched kernel)
+/// and never the originating container.
+#[test]
+fn deferrals_always_escape_to_root() {
+    let t = table();
+    let progs = programs(
+        &["sync()\n", "socket(0x9, 0x3, 0x0)\n", "r0 = socket(0x10, 0x3, 0x9)\nsendto(r0, 0x0, 0x24, 0x0, 0x0, 0xc)\n"],
+        &t,
+    );
+    let mut obs = observer(3, "runc", 2);
+    let rec = settled_round(&mut obs, &t, &progs, 2);
+    assert!(!rec.deferrals.is_empty());
+    for event in &rec.deferrals {
+        assert_eq!(event.charged_cgroup, CgroupTree::ROOT, "{event:?}");
+        assert_ne!(event.origin_cgroup, event.charged_cgroup);
+        assert!(event.cost > Usecs::ZERO);
+    }
+}
+
+/// Deferred usermodehelper work always lands outside the origin cpuset —
+/// the CPUSET escape of §4.3.3.
+#[test]
+fn usermodehelper_work_escapes_the_cpuset() {
+    let t = table();
+    let progs = programs(&["socket(0x9, 0x3, 0x0)\n"], &t);
+    let mut obs = observer(1, "runc", 2);
+    let rec = settled_round(&mut obs, &t, &progs, 1);
+    let modprobe_events: Vec<_> = rec
+        .deferrals
+        .iter()
+        .filter(|e| {
+            matches!(
+                e.channel,
+                torpedo_kernel::DeferralChannel::UserModeHelper(_)
+            )
+        })
+        .collect();
+    assert!(!modprobe_events.is_empty());
+    for event in modprobe_events {
+        assert_ne!(event.core, 0, "modprobe ran inside the cpuset");
+    }
+}
+
+/// The observation handed to oracles never contains the deferral ledger —
+/// oracles see only what a real observer could measure.
+#[test]
+fn observation_type_carries_no_ground_truth() {
+    // Compile-time-ish check: Observation's public fields are exactly the
+    // measurable ones. (If someone adds a deferral field this stops
+    // compiling, which is the point.)
+    let obs = torpedo_oracle::observation::Observation {
+        window: Usecs::from_secs(1),
+        per_core: Vec::new(),
+        top: None,
+        containers: Vec::new(),
+        sidecar_core: None,
+        startup_times: Vec::new(),
+    };
+    assert_eq!(obs.per_core.len(), 0);
+}
+
+/// Crashed containers refuse work until restarted, and restarting brings
+/// them back with a fresh executor pid.
+#[test]
+fn crash_lifecycle_is_clean() {
+    let t = table();
+    let progs = programs(
+        &["open(&'/lib/x86_64-Linux-gnu/libc.so.6', 0x680002, 0x20)\n"],
+        &t,
+    );
+    let mut obs = observer(1, "runsc", 1);
+    let rec = obs.round(&t, &progs).unwrap();
+    assert!(rec.reports[0].crash.is_some());
+    let id = obs.container_ids()[0].clone();
+    let old_pid = obs.engine().container(&id).unwrap().executor_pid();
+    obs.restart_crashed().unwrap();
+    let new_pid = obs.engine().container(&id).unwrap().executor_pid();
+    assert_ne!(old_pid, new_pid, "restart must spawn a fresh executor");
+    // And the container accepts work again.
+    let benign = programs(&["getpid()\n"], &t);
+    let rec = obs.round(&t, &benign).unwrap();
+    assert!(rec.reports[0].crash.is_none());
+}
+
+/// Kernel determinism: identical configuration and programs yield
+/// identical measurements.
+#[test]
+fn rounds_are_deterministic() {
+    let t = table();
+    let progs = programs(&["sync()\n", "getpid()\n"], &t);
+    let mut a = observer(2, "runc", 2);
+    let mut b = observer(2, "runc", 2);
+    let ra = settled_round(&mut a, &t, &progs, 2);
+    let rb = settled_round(&mut b, &t, &progs, 2);
+    assert_eq!(ra.observation.per_core, rb.observation.per_core);
+    assert_eq!(
+        ra.reports.iter().map(|r| r.executions).collect::<Vec<_>>(),
+        rb.reports.iter().map(|r| r.executions).collect::<Vec<_>>()
+    );
+}

@@ -1,0 +1,117 @@
+//! §3.6.1 end-to-end: the offline flagging pass works from *archived* round
+//! logs, not live state — "TORPEDO uses this Oracle functionality to parse
+//! through log files from each round and isolate small numbers of
+//! adversarial programs asynchronously from actual program execution."
+
+use torpedo_core::campaign::{Campaign, CampaignConfig};
+use torpedo_core::logfmt::{parse_log, write_round};
+use torpedo_core::observer::ObserverConfig;
+use torpedo_core::seeds::{default_denylist, SeedCorpus};
+use torpedo_kernel::Usecs;
+use torpedo_oracle::{CpuOracle, Oracle};
+use torpedo_prog::{serialize, MutatePolicy};
+use torpedo_integration_tests::table;
+
+#[test]
+fn archived_logs_reproduce_the_flagging_verdicts() {
+    let t = table();
+    let seeds = SeedCorpus::load(
+        &["socket(0x9, 0x3, 0x0)\n", "getpid()\n", "sync()\n"],
+        &t,
+        &default_denylist(),
+    )
+    .unwrap();
+    let config = CampaignConfig {
+        observer: ObserverConfig {
+            window: Usecs::from_secs(2),
+            executors: 3,
+            runtime: "runc".into(),
+            ..ObserverConfig::default()
+        },
+        mutate: MutatePolicy {
+            denylist: default_denylist(),
+            ..MutatePolicy::default()
+        },
+        max_rounds_per_batch: 5,
+        ..CampaignConfig::default()
+    };
+    let oracle = CpuOracle::new();
+    let report = Campaign::new(config, t.clone()).run(&seeds, &oracle).unwrap();
+    assert!(!report.flagged.is_empty(), "the storm batch must flag live");
+
+    // Archive every round to the on-disk format, then run the flagging
+    // pass over the archive alone.
+    let archive: String = report.logs.iter().map(|l| write_round(l, &t)).collect();
+    let parsed = parse_log(&archive, &t).unwrap();
+    assert_eq!(parsed.len(), report.logs.len());
+
+    let mut offline_flagged: Vec<String> = Vec::new();
+    for round in &parsed {
+        if oracle.flag(&round.observation).is_empty() {
+            continue;
+        }
+        for program in &round.programs {
+            offline_flagged.push(serialize(program, &t));
+        }
+    }
+    offline_flagged.sort();
+    offline_flagged.dedup();
+
+    // Every program the live pass flagged must also be flagged offline
+    // (modulo the top heuristic, which logs do not archive — so offline is
+    // a subset check in the other direction: live ⊇ offline is guaranteed,
+    // and the storm itself must appear offline).
+    assert!(
+        offline_flagged.iter().any(|p| p.contains("socket")),
+        "the socket storm must be recoverable from the archive"
+    );
+    let live: std::collections::HashSet<String> = report
+        .flagged
+        .iter()
+        .map(|f| serialize(&f.program, &t))
+        .collect();
+    for program in &offline_flagged {
+        // Offline flags derive from /proc/stat-only heuristics; anything
+        // they catch, the live pass (with strictly more information) also
+        // caught.
+        assert!(
+            live.contains(program),
+            "offline flagged a program the live pass missed: {program}"
+        );
+    }
+}
+
+#[test]
+fn archive_is_stable_under_round_trip() {
+    let t = table();
+    let seeds = SeedCorpus::load(&["sync()\n"], &t, &default_denylist()).unwrap();
+    let config = CampaignConfig {
+        observer: ObserverConfig {
+            window: Usecs::from_secs(1),
+            executors: 1,
+            ..ObserverConfig::default()
+        },
+        max_rounds_per_batch: 2,
+        ..CampaignConfig::default()
+    };
+    let report = Campaign::new(config, t.clone())
+        .run(&seeds, &CpuOracle::new())
+        .unwrap();
+    let archive: String = report.logs.iter().map(|l| write_round(l, &t)).collect();
+    let parsed = parse_log(&archive, &t).unwrap();
+    // Re-archiving the parsed rounds produces byte-identical program and
+    // proc_stat sections (idempotent persistence).
+    for (orig, round) in report.logs.iter().zip(&parsed) {
+        assert_eq!(orig.round, round.round);
+        assert_eq!(orig.programs, round.programs);
+        for (a, b) in orig
+            .observation
+            .per_core
+            .iter()
+            .zip(&round.observation.per_core)
+        {
+            // Tick rounding: within 10 ms per category.
+            assert!(a.busy().saturating_sub(b.busy()) < torpedo_kernel::Usecs(100_000));
+        }
+    }
+}

@@ -1,0 +1,135 @@
+//! Property-based tests (proptest) over the core data structures and the
+//! invariants the fuzzing loop depends on.
+
+use std::collections::HashSet;
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use torpedo_kernel::cpu::{CpuCategory, CpuTimes};
+use torpedo_kernel::syscalls::fallback_signal;
+use torpedo_kernel::{Errno, Usecs};
+use torpedo_prog::{
+    build_table, deserialize, gen_program, minimize, serialize, Mutator, Program,
+};
+
+proptest! {
+    /// Generated programs always validate, and serialization round-trips.
+    #[test]
+    fn generated_programs_round_trip(seed in any::<u64>(), max_len in 1usize..12) {
+        let table = build_table();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let prog = gen_program(&table, max_len, &HashSet::new(), &mut rng);
+        prop_assert!(prog.validate(&table).is_ok());
+        let text = serialize(&prog, &table);
+        let back = deserialize(&text, &table).unwrap();
+        prop_assert_eq!(prog, back);
+    }
+
+    /// Any sequence of mutations preserves structural validity.
+    #[test]
+    fn mutation_chains_preserve_validity(seed in any::<u64>(), steps in 1usize..30) {
+        let table = build_table();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mutator = Mutator::default();
+        let donor = gen_program(&table, 8, &HashSet::new(), &mut rng);
+        let mut prog = gen_program(&table, 8, &HashSet::new(), &mut rng);
+        for _ in 0..steps {
+            mutator.mutate(&mut prog, &table, Some(&donor), &mut rng);
+            prop_assert!(prog.validate(&table).is_ok(), "after mutation: {:?}", prog);
+        }
+    }
+
+    /// Minimization never grows a program and the result still satisfies
+    /// the predicate (when the original did).
+    #[test]
+    fn minimize_shrinks_and_preserves(seed in any::<u64>()) {
+        let table = build_table();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let prog = gen_program(&table, 10, &HashSet::new(), &mut rng);
+        let target = prog.calls[0].desc;
+        let pred = |p: &Program| p.calls.iter().any(|c| c.desc == target);
+        prop_assume!(pred(&prog));
+        let mut shrunk = prog.clone();
+        minimize(&mut shrunk, pred);
+        prop_assert!(shrunk.len() <= prog.len());
+        prop_assert!(pred(&shrunk));
+        prop_assert!(shrunk.validate(&table).is_ok());
+    }
+
+    /// CpuTimes: busy + idle == total, diff is the inverse of merge.
+    #[test]
+    fn cputimes_algebra(values in proptest::collection::vec(0u64..1_000_000, 10)) {
+        let mut t = CpuTimes::default();
+        for (cat, v) in CpuCategory::ALL.into_iter().zip(&values) {
+            t.charge(cat, Usecs(*v));
+        }
+        prop_assert_eq!(t.busy() + t.idle, t.total());
+        let merged = t.merged(&t);
+        let back = merged.since(&t);
+        prop_assert_eq!(back, t);
+    }
+
+    /// The fallback signal distinguishes syscalls and errnos: distinct
+    /// (nr, errno) pairs from the realistic range never collide.
+    #[test]
+    fn fallback_signal_is_injective_over_realistic_inputs(
+        nrs in proptest::collection::hash_set(0u32..512, 2..20),
+    ) {
+        let errnos = [None, Some(Errno::EINVAL), Some(Errno::ENOSYS), Some(Errno::EAFNOSUPPORT)];
+        let mut seen = std::collections::HashMap::new();
+        for nr in nrs {
+            for e in errnos {
+                let sig = fallback_signal(nr, e);
+                if let Some(prev) = seen.insert(sig, (nr, e)) {
+                    prop_assert_eq!(prev, (nr, e), "collision at {}", sig);
+                }
+            }
+        }
+    }
+
+    /// Usecs scaling is monotone and never panics for sane factors.
+    #[test]
+    fn usecs_scale_monotone(a in 0u64..u32::MAX as u64, f1 in 0.0f64..3.0, f2 in 0.0f64..3.0) {
+        let u = Usecs(a);
+        let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
+        prop_assert!(u.scale(lo) <= u.scale(hi).saturating_add(Usecs(1)));
+    }
+
+    /// remove_call never leaves dangling forward references.
+    #[test]
+    fn remove_call_preserves_invariants(seed in any::<u64>(), removals in 1usize..6) {
+        let table = build_table();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut prog = gen_program(&table, 10, &HashSet::new(), &mut rng);
+        for _ in 0..removals {
+            if prog.len() <= 1 {
+                break;
+            }
+            let idx = (seed as usize) % prog.len();
+            prog.remove_call(idx);
+            prop_assert!(prog.validate(&table).is_ok());
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Kernel rounds conserve core time for arbitrary single-program
+    /// workloads drawn from the seed generator (slow: fewer cases).
+    #[test]
+    fn rounds_conserve_time_for_arbitrary_seeds(seed in any::<u64>()) {
+        let table = build_table();
+        let texts = torpedo_moonshine::generate_corpus(3, seed);
+        let mut observer = torpedo_integration_tests::observer(1, "runc", 1);
+        for text in &texts {
+            let prog = deserialize(text, &table).unwrap();
+            let rec = observer.round(&table, std::slice::from_ref(&prog)).unwrap();
+            for row in &rec.observation.per_core {
+                prop_assert_eq!(row.total(), Usecs::from_secs(1));
+            }
+        }
+    }
+}
