@@ -10,7 +10,11 @@ fn bench_runtimes(c: &mut Criterion) {
     let table = build_table();
     let programs = vec![
         deserialize("getpid()\nuname(0x0)\n", &table).unwrap(),
-        deserialize("r0 = creat(&'workfile-0', 0x1a4)\nwrite(r0, 0x0, 0x1000)\n", &table).unwrap(),
+        deserialize(
+            "r0 = creat(&'workfile-0', 0x1a4)\nwrite(r0, 0x0, 0x1000)\n",
+            &table,
+        )
+        .unwrap(),
         deserialize("stat(&'/etc/passwd', 0x0)\n", &table).unwrap(),
     ];
     let mut group = c.benchmark_group("round_by_runtime");

@@ -27,7 +27,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ------------------------------------------------------------------
     println!("Ablation 1: workload amplification (OOB CPU / charged CPU)");
     println!("{}", "=".repeat(72));
-    println!("{:<16} {:>14} {:>14} {:>12}", "vector", "vulnerable", "patched", "events");
+    println!(
+        "{:<16} {:>14} {:>14} {:>12}",
+        "vector", "vulnerable", "patched", "events"
+    );
     let patched = KernelConfig {
         modprobe_negative_cache: true,
         usermodehelper_patched: true,
@@ -36,7 +39,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for (name, text) in VULNERABILITY_SEEDS {
         let program = seed_program(text, &table);
         let vuln = confirm_on(&program, &table, "runc");
-        let fixed = confirm(&program, &table, patched.clone(), "runc", Usecs::from_secs(2));
+        let fixed = confirm(
+            &program,
+            &table,
+            patched.clone(),
+            "runc",
+            Usecs::from_secs(2),
+        );
         let events: usize = vuln.causes.iter().map(|c| c.events).sum();
         println!(
             "{:<16} {:>13.1}x {:>13.1}x {:>12}",
@@ -45,7 +54,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     // The coredump vector must amplify heavily on the vulnerable kernel.
     let dump = confirm_on(&seed_program("rt_sigreturn()\n", &table), &table, "runc");
-    assert!(dump.amplification > 20.0, "coredump amplification {:.1}", dump.amplification);
+    assert!(
+        dump.amplification > 20.0,
+        "coredump amplification {:.1}",
+        dump.amplification
+    );
 
     // ------------------------------------------------------------------
     println!("\nAblation 2: round length T (noise rejection vs throughput)");
@@ -118,7 +131,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .collect();
 
     // With confirmation.
-    let mut with_confirm = BatchMachine::new(BatchConfig { patience: 1000, ..BatchConfig::default() }, &programs);
+    let mut with_confirm = BatchMachine::new(
+        BatchConfig {
+            patience: 1000,
+            ..BatchConfig::default()
+        },
+        &programs,
+    );
     let mut progs = programs.clone();
     let mut false_baselines_with = 0;
     for (mutate_score, confirm_score) in &spike_trace {
@@ -165,7 +184,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut removed = Vec::new();
     filter_denylisted(&mut filtered, &table, &default_denylist(), &mut removed);
     for (label, program) in [
-        ("unfiltered (pause kept)", deserialize(blocking_seed, &table)?),
+        (
+            "unfiltered (pause kept)",
+            deserialize(blocking_seed, &table)?,
+        ),
         ("filtered (denylist)", filtered),
     ] {
         let mut observer = Observer::new(
@@ -191,7 +213,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", "=".repeat(72));
     use torpedo_kernel::CoverageMode;
     use torpedo_prog::CoverageSet;
-    for (label, mode) in [("fallback (nr^errno)", CoverageMode::Fallback), ("kcov path trace", CoverageMode::Kcov)] {
+    for (label, mode) in [
+        ("fallback (nr^errno)", CoverageMode::Fallback),
+        ("kcov path trace", CoverageMode::Kcov),
+    ] {
         let mut observer = Observer::new(
             KernelConfig {
                 coverage: mode,
@@ -215,19 +240,30 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 coverage.merge(&report.coverage.flat());
             }
         }
-        println!("{:<22} distinct signals after 18 seeds: {}", label, coverage.len());
+        println!(
+            "{:<22} distinct signals after 18 seeds: {}",
+            label,
+            coverage.len()
+        );
         if mode == CoverageMode::Kcov {
             // Richer signal means more distinguishable behaviours (§5.4:
             // "real kernel line coverage feedback would obviously improve
             // the quality of the feedback").
-            assert!(coverage.len() > 40, "kcov signal too weak: {}", coverage.len());
+            assert!(
+                coverage.len() > 40,
+                "kcov signal too weak: {}",
+                coverage.len()
+            );
         }
     }
 
     // ------------------------------------------------------------------
     println!("\nAblation 6: IRON-style softirq credit accounting (§2.4.3)");
     println!("{}", "=".repeat(72));
-    let sender = deserialize("r0 = socket(0x2, 0x2, 0x0)\nsendto(r0, 0x0, 0x8000, 0x0, 0x0, 0x10)\n", &table)?;
+    let sender = deserialize(
+        "r0 = socket(0x2, 0x2, 0x0)\nsendto(r0, 0x0, 0x8000, 0x0, 0x0, 0x10)\n",
+        &table,
+    )?;
     for (label, iron) in [("vanilla kernel", false), ("IRON accounting", true)] {
         let conf = confirm(
             &sender,

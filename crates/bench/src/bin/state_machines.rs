@@ -75,7 +75,10 @@ fn main() {
         RoundVerdict::NoImprovement,
         RoundVerdict::RejectedAsNoise,
     ] {
-        assert!(seen.contains(&expected), "verdict {expected:?} not exercised");
+        assert!(
+            seen.contains(&expected),
+            "verdict {expected:?} not exercised"
+        );
     }
     println!("\nboth state machines traced; every transition exercised ✓");
 }

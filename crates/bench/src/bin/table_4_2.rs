@@ -63,11 +63,7 @@ fn family_of(
             "audit daemon event processing".into(),
             false,
         ),
-        DeferralChannel::SoftIrq => (
-            "sendto".into(),
-            "softirq in victim context".into(),
-            false,
-        ),
+        DeferralChannel::SoftIrq => ("sendto".into(), "softirq in victim context".into(), false),
         DeferralChannel::TtyFlush => ("(framework)".into(), "TTY LDISC flush".into(), false),
     }
 }
@@ -155,7 +151,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nTable 4.2: Collected Results from runC Tests");
     println!("{}", "=".repeat(100));
     let widths = [22, 34, 30, 10];
-    println!("{}", row(&["syscall(s)", "Symptoms", "Cause", "New?"], &widths));
+    println!(
+        "{}",
+        row(&["syscall(s)", "Symptoms", "Cause", "New?"], &widths)
+    );
     println!("{}", "-".repeat(100));
     for (family, (symptoms, cause, new, _count)) in &families {
         println!(

@@ -62,7 +62,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "sentry-race-open-collider" => "multithreaded collision",
             other => other,
         };
-        *rows.entry((crash.crash.syscall.clone(), cause.to_string()))
+        *rows
+            .entry((crash.crash.syscall.clone(), cause.to_string()))
             .or_default() += 1;
     }
 
@@ -71,14 +72,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let widths = [12, 18, 26, 8, 8];
     println!(
         "{}",
-        row(&["syscall(s)", "Symptoms", "Cause", "New?", "count"], &widths)
+        row(
+            &["syscall(s)", "Symptoms", "Cause", "New?", "count"],
+            &widths
+        )
     );
     println!("{}", "-".repeat(84));
     for ((syscall, cause), count) in &rows {
         println!(
             "{}",
             row(
-                &[syscall, "container crash", cause, "likely", &count.to_string()],
+                &[
+                    syscall,
+                    "container crash",
+                    cause,
+                    "likely",
+                    &count.to_string()
+                ],
                 &widths
             )
         );
@@ -100,11 +110,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             if leaked { "LEAKED" } else { "none" }
         );
     }
-    assert!(!any_leak, "gVisor must suppress every host deferral channel");
+    assert!(
+        !any_leak,
+        "gVisor must suppress every host deferral channel"
+    );
 
     // Shape assertions: both open(2) crash modes found.
     assert!(
-        rows.keys().any(|(s, c)| s == "open" && c == "invalid argument"),
+        rows.keys()
+            .any(|(s, c)| s == "open" && c == "invalid argument"),
         "flag-pattern open crash missing"
     );
     assert!(

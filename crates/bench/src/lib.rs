@@ -95,9 +95,7 @@ pub fn derive_symptoms(program: &Program, table: &[SyscallDesc]) -> String {
         for (i, p) in &req_paths {
             req = req.with_path(*i, p);
         }
-        let exec = engine
-            .exec(&mut kernel, &id, req)
-            .expect("probe exec");
+        let exec = engine.exec(&mut kernel, &id, req).expect("probe exec");
         retvals.push(exec.outcome.retval);
         if let Some(sig) = exec.outcome.fatal_signal {
             let trigger = match desc.name {
@@ -149,7 +147,8 @@ mod tests {
         let table = build_table();
         for (name, text) in VULNERABILITY_SEEDS {
             let prog = seed_program(text, &table);
-            prog.validate(&table).unwrap_or_else(|e| panic!("{name}: {e}"));
+            prog.validate(&table)
+                .unwrap_or_else(|e| panic!("{name}: {e}"));
         }
     }
 
@@ -159,7 +158,10 @@ mod tests {
         let cases = [
             ("sync()\n", "any usage"),
             ("rt_sigreturn()\n", "any usage"),
-            ("rseq(0x7f0000000001, 0x20, 0x3, 0x0)\n", "invalid arguments"),
+            (
+                "rseq(0x7f0000000001, 0x20, 0x3, 0x0)\n",
+                "invalid arguments",
+            ),
             ("socket(0x9, 0x3, 0x0)\n", "errno 97"),
             ("socket(0x2, 0x1, 0x63)\n", "errno 93"),
             ("socket(0x2, 0x0, 0x0)\n", "errno 94"),

@@ -140,7 +140,10 @@ impl BatchMachine {
                         candidate_score: score,
                     };
                     programs.shuffle(rng);
-                    (RoundVerdict::CandidateImprovement, BatchAction::ShuffleAndRun)
+                    (
+                        RoundVerdict::CandidateImprovement,
+                        BatchAction::ShuffleAndRun,
+                    )
                 } else {
                     self.rounds_without_improvement += 1;
                     if self.rounds_without_improvement >= self.config.patience {
@@ -240,8 +243,8 @@ mod tests {
         let mut r = rng();
         machine.on_round(10.0, &mut progs, &mut r);
         machine.on_round(10.5, &mut progs, &mut r); // 10.5 < 0 + 1.0? no: best is 0
-        // Note: the first round already confirmed-ish because best=0. Use a
-        // fresh machine with a confirmed baseline instead.
+                                                    // Note: the first round already confirmed-ish because best=0. Use a
+                                                    // fresh machine with a confirmed baseline instead.
         let mut machine = BatchMachine::new(BatchConfig::default(), &progs);
         machine.on_round(10.0, &mut progs, &mut r);
         machine.on_round(10.0, &mut progs, &mut r); // confirm at 10

@@ -10,17 +10,17 @@ use torpedo_kernel::{DeferralEvent, KernelConfig};
 use torpedo_oracle::observation::Observation;
 use torpedo_oracle::violation::Violation;
 use torpedo_oracle::Oracle;
-use torpedo_prog::{
-    Corpus, CorpusItem, CoverageSet, MutatePolicy, Mutator, Program, SyscallDesc,
-};
-use torpedo_runtime::ContainerCrash;
+use torpedo_prog::{Corpus, CorpusItem, CoverageSet, MutatePolicy, Mutator, Program, SyscallDesc};
+use torpedo_runtime::{ContainerCrash, FaultCounters};
 
 use crate::batch::{BatchAction, BatchConfig, BatchMachine};
 use crate::crash::{reproduce_and_minimize, CrashRecord};
+use crate::error::TorpedoError;
 use crate::observer::{Observer, ObserverConfig, RoundRecord};
 use crate::parallel::ParallelObserver;
 use crate::prog_sm::{ProgEvent, ProgramStateMachine};
 use crate::seeds::SeedCorpus;
+use crate::stats::RecoveryStats;
 
 /// Campaign configuration.
 #[derive(Debug, Clone)]
@@ -78,6 +78,8 @@ pub struct RoundLog {
     pub executions: u64,
     /// Fatal signals delivered this round, summed over executors.
     pub fatal_signals: u64,
+    /// Recovery events this round (restarts, hangs, retries, salvages).
+    pub recovery: RecoveryStats,
 }
 
 /// A program flagged adversarial by offline log analysis.
@@ -110,12 +112,18 @@ pub struct CampaignReport {
     pub corpus: Corpus,
     /// Distinct coverage signals observed.
     pub coverage_signals: usize,
+    /// Supervised-recovery event totals for the whole campaign.
+    pub recovery: RecoveryStats,
+    /// Faults the engine's injector took (all zero without fault config).
+    pub faults_injected: FaultCounters,
+    /// Programs quarantined for repeatedly killing executors (serialized).
+    pub quarantined: Vec<String>,
 }
 
 /// Dispatch between the sequential and threaded observers.
 enum Driver {
-    Seq(Observer),
-    Par(ParallelObserver),
+    Seq(Box<Observer>),
+    Par(Box<ParallelObserver>),
 }
 
 impl Driver {
@@ -124,11 +132,15 @@ impl Driver {
         kernel: KernelConfig,
         config: ObserverConfig,
         table: &[SyscallDesc],
-    ) -> Result<Driver, Box<dyn std::error::Error>> {
+    ) -> Result<Driver, TorpedoError> {
         Ok(if parallel {
-            Driver::Par(ParallelObserver::new(kernel, config, table.to_vec())?)
+            Driver::Par(Box::new(ParallelObserver::new(
+                kernel,
+                config,
+                table.to_vec(),
+            )?))
         } else {
-            Driver::Seq(Observer::new(kernel, config)?)
+            Driver::Seq(Box::new(Observer::new(kernel, config)?))
         })
     }
 
@@ -136,17 +148,31 @@ impl Driver {
         &mut self,
         table: &[SyscallDesc],
         programs: &[Program],
-    ) -> Result<RoundRecord, Box<dyn std::error::Error>> {
+    ) -> Result<RoundRecord, TorpedoError> {
         match self {
             Driver::Seq(o) => o.round(table, programs),
             Driver::Par(o) => o.round(programs),
         }
     }
 
-    fn restart_crashed(&mut self) -> Result<(), Box<dyn std::error::Error>> {
+    fn restart_crashed(&mut self) -> Result<(), TorpedoError> {
         match self {
-            Driver::Seq(o) => o.restart_crashed().map_err(Into::into),
+            Driver::Seq(o) => o.restart_crashed(),
             Driver::Par(o) => o.restart_crashed(),
+        }
+    }
+
+    fn recovery(&self) -> RecoveryStats {
+        match self {
+            Driver::Seq(o) => o.recovery(),
+            Driver::Par(o) => o.recovery(),
+        }
+    }
+
+    fn fault_counters(&self) -> FaultCounters {
+        match self {
+            Driver::Seq(o) => o.fault_counters(),
+            Driver::Par(o) => o.fault_counters(),
         }
     }
 }
@@ -171,13 +197,23 @@ impl Campaign {
     /// Run the campaign: every seed batch is fuzzed through the batch state
     /// machine, logs are collected, and flagging runs offline at the end.
     ///
+    /// Supervision rides along: hung or dead executors are restarted by the
+    /// observers (counted in the report's [`RecoveryStats`]), and a program
+    /// whose container crashes [`SupervisorConfig::quarantine_threshold`]
+    /// times is quarantined — swapped out and never re-admitted, so one
+    /// executor-killing workload cannot starve the rest of the campaign.
+    ///
+    /// [`SupervisorConfig::quarantine_threshold`]:
+    /// crate::observer::SupervisorConfig::quarantine_threshold
+    ///
     /// # Errors
-    /// Fails only on observer boot problems; runtime crashes are data.
+    /// Fails only on observer boot problems or exhausted recovery budgets;
+    /// runtime crashes are data.
     pub fn run(
         &self,
         seeds: &SeedCorpus,
         oracle: &dyn Oracle,
-    ) -> Result<CampaignReport, Box<dyn std::error::Error>> {
+    ) -> Result<CampaignReport, TorpedoError> {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mutator = Mutator::new(self.config.mutate.clone());
         let mut observer = Driver::new(
@@ -191,19 +227,28 @@ impl Campaign {
         let mut coverage = CoverageSet::new();
         let mut raw_crashes: Vec<(ContainerCrash, Program)> = Vec::new();
         let mut rounds_total = 0u64;
+        let quarantine_threshold = self.config.observer.supervisor.quarantine_threshold;
+        let mut crash_counts: std::collections::HashMap<String, u32> = Default::default();
+        let mut quarantined: std::collections::BTreeSet<String> = Default::default();
 
-        for (batch_idx, batch_seeds) in seeds.batches(self.config.observer.executors).into_iter().enumerate()
+        for (batch_idx, batch_seeds) in seeds
+            .batches(self.config.observer.executors)
+            .into_iter()
+            .enumerate()
         {
             let mut programs = batch_seeds;
             if programs.is_empty() {
                 continue;
             }
             let mut machine = BatchMachine::new(self.config.batch.clone(), &programs);
-            let mut prog_machines: Vec<ProgramStateMachine> =
-                programs.iter().map(|_| ProgramStateMachine::new()).collect();
+            let mut prog_machines: Vec<ProgramStateMachine> = programs
+                .iter()
+                .map(|_| ProgramStateMachine::new())
+                .collect();
             observer.restart_crashed()?;
 
             for _ in 0..self.config.max_rounds_per_batch {
+                let recovery_before = observer.recovery();
                 let record = observer.round(&self.table, &programs)?;
                 rounds_total += 1;
                 let score = oracle.score(&record.observation);
@@ -241,15 +286,17 @@ impl Campaign {
                     }
 
                     // Crashes: record, restart, and swap in a fresh program.
+                    // A program that keeps killing executors is quarantined.
                     if let Some(crash) = &report.crash {
                         raw_crashes.push((crash.clone(), programs[i].clone()));
+                        let key = torpedo_prog::serialize(&programs[i], &self.table);
+                        let count = crash_counts.entry(key.clone()).or_insert(0);
+                        *count += 1;
+                        if *count >= quarantine_threshold {
+                            quarantined.insert(key);
+                        }
                         observer.restart_crashed()?;
-                        programs[i] = torpedo_prog::gen_program(
-                            &self.table,
-                            self.config.mutate.max_len,
-                            &self.config.mutate.denylist,
-                            &mut rng,
-                        );
+                        programs[i] = self.fresh_program(&quarantined, &mut rng);
                         prog_machines[i] = ProgramStateMachine::new();
                     }
                 }
@@ -263,6 +310,7 @@ impl Campaign {
                     deferrals: record.deferrals,
                     executions: record.reports.iter().map(|r| r.executions).sum(),
                     fatal_signals: record.reports.iter().map(|r| r.fatal_signals).sum(),
+                    recovery: observer.recovery().since(&recovery_before),
                 });
 
                 // Batch machine decides what happens next.
@@ -272,10 +320,15 @@ impl Campaign {
                     BatchAction::ShuffleAndRun => {}
                     BatchAction::MutateAndRun => {
                         for program in &mut programs {
-                            let donor_pick =
-                                rand::Rng::gen_range(&mut rng, 0.0..1.0f64);
+                            let donor_pick = rand::Rng::gen_range(&mut rng, 0.0..1.0f64);
                             let donor = corpus.donor(donor_pick).cloned();
                             mutator.mutate(program, &self.table, donor.as_ref(), &mut rng);
+                            // Mutation must not resurrect a quarantined
+                            // executor-killer.
+                            let key = torpedo_prog::serialize(program, &self.table);
+                            if quarantined.contains(&key) {
+                                *program = self.fresh_program(&quarantined, &mut rng);
+                            }
                         }
                     }
                 }
@@ -304,7 +357,11 @@ impl Campaign {
                 }
             }
         }
-        flagged.sort_by(|a, b| b.score.partial_cmp(&a.score).unwrap_or(std::cmp::Ordering::Equal));
+        flagged.sort_by(|a, b| {
+            b.score
+                .partial_cmp(&a.score)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        });
 
         // Crash reproduction + minimization.
         let crashes = raw_crashes
@@ -321,6 +378,8 @@ impl Campaign {
             })
             .collect();
 
+        let mut recovery = observer.recovery();
+        recovery.quarantined_programs = quarantined.len() as u64;
         Ok(CampaignReport {
             rounds_total,
             logs,
@@ -328,18 +387,44 @@ impl Campaign {
             crashes,
             corpus,
             coverage_signals: coverage.len(),
+            recovery,
+            faults_injected: observer.fault_counters(),
+            quarantined: quarantined.into_iter().collect(),
         })
+    }
+
+    /// Generate a replacement program that is not on the quarantine list
+    /// (bounded attempts; generation rarely reproduces a quarantined
+    /// program exactly).
+    fn fresh_program(
+        &self,
+        quarantined: &std::collections::BTreeSet<String>,
+        rng: &mut StdRng,
+    ) -> Program {
+        let mut program = Program::default();
+        for _ in 0..8 {
+            program = torpedo_prog::gen_program(
+                &self.table,
+                self.config.mutate.max_len,
+                &self.config.mutate.denylist,
+                rng,
+            );
+            if !quarantined.contains(&torpedo_prog::serialize(&program, &self.table)) {
+                break;
+            }
+        }
+        program
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::executor::GlueCost;
+    use crate::seeds::default_denylist;
     use torpedo_kernel::Usecs;
     use torpedo_oracle::CpuOracle;
     use torpedo_prog::build_table;
-    use crate::executor::GlueCost;
-    use crate::seeds::default_denylist;
 
     fn quick_config(runtime: &str) -> CampaignConfig {
         CampaignConfig {
@@ -350,6 +435,7 @@ mod tests {
                 collider: true,
                 glue: GlueCost::fuzzing(),
                 cpus_per_container: 1.0,
+                ..ObserverConfig::default()
             },
             mutate: MutatePolicy {
                 denylist: default_denylist(),
@@ -402,10 +488,14 @@ mod tests {
         config.parallel = true;
         config.max_rounds_per_batch = 4;
         let campaign = Campaign::new(config, build_table());
-        let corpus = seeds(&["socket(0x9, 0x3, 0x0)
-", "getpid()
-", "getuid()
-"]);
+        let corpus = seeds(&[
+            "socket(0x9, 0x3, 0x0)
+",
+            "getpid()
+",
+            "getuid()
+",
+        ]);
         let report = campaign.run(&corpus, &CpuOracle::new()).unwrap();
         assert!(report.rounds_total >= 4);
         assert!(
@@ -426,7 +516,22 @@ mod tests {
         config.mutate.denylist = build_table()
             .iter()
             .map(|d| d.name.to_string())
-            .filter(|n| !["getpid", "getuid", "uname", "stat", "clock_gettime", "times", "sysinfo", "getcpu", "sched_yield", "capget", "access"].contains(&n.as_str()))
+            .filter(|n| {
+                ![
+                    "getpid",
+                    "getuid",
+                    "uname",
+                    "stat",
+                    "clock_gettime",
+                    "times",
+                    "sysinfo",
+                    "getcpu",
+                    "sched_yield",
+                    "capget",
+                    "access",
+                ]
+                .contains(&n.as_str())
+            })
             .collect();
         let campaign = Campaign::new(config, build_table());
         let corpus = seeds(&["getpid()\nuname(0x0)\n", "getuid()\n", "times(0x0)\n"]);

@@ -86,6 +86,7 @@ pub fn confirm(
             collider: false,
             glue: GlueCost::confirmation(),
             cpus_per_container: 1.0,
+            ..ObserverConfig::default()
         },
     )
     .expect("confirmation observer boots");
@@ -132,7 +133,7 @@ pub fn confirm(
             });
         }
     }
-    causes.sort_by(|a, b| b.oob_cost.cmp(&a.oob_cost));
+    causes.sort_by_key(|c| std::cmp::Reverse(c.oob_cost));
 
     let report = &record.reports[0];
     let amplification = if charged.as_micros() == 0 {
@@ -189,7 +190,11 @@ mod tests {
             .find(|x| x.channel == DeferralChannel::UserModeHelper(HelperKind::Modprobe))
             .expect("modprobe cause present");
         assert!(!modprobe.known, "the modprobe storm is the new finding");
-        assert!(modprobe.events > 100, "storm had only {} events", modprobe.events);
+        assert!(
+            modprobe.events > 100,
+            "storm had only {} events",
+            modprobe.events
+        );
         assert!(c.amplification > 1.0, "amplification {}", c.amplification);
     }
 

@@ -46,7 +46,13 @@ pub fn crashes_once(
     let mut executor = Executor::new(id);
     executor.glue = GlueCost::confirmation();
     kernel.begin_round(Usecs::from_secs(1));
-    match executor.run_until(&mut kernel, &mut engine, table, program, Usecs::from_millis(50)) {
+    match executor.run_until(
+        &mut kernel,
+        &mut engine,
+        table,
+        program,
+        Usecs::from_millis(50),
+    ) {
         Ok(report) => report.crash.is_some(),
         Err(_) => false,
     }
@@ -63,8 +69,8 @@ pub fn reproduce_and_minimize(
     runtime: &str,
     attempts: u32,
 ) -> CrashRecord {
-    let reproduced = (0..attempts.max(1))
-        .any(|_| crashes_once(&program, table, kernel_config, runtime));
+    let reproduced =
+        (0..attempts.max(1)).any(|_| crashes_once(&program, table, kernel_config, runtime));
     let minimized = if reproduced {
         let mut candidate = program.clone();
         shrink(&mut candidate, |p| {
@@ -102,14 +108,8 @@ mod tests {
             syscall: "open".into(),
             args: [0, 0x680002, 0x20, 0, 0, 0],
         };
-        let record = reproduce_and_minimize(
-            crash,
-            program,
-            &table,
-            &KernelConfig::default(),
-            "runsc",
-            3,
-        );
+        let record =
+            reproduce_and_minimize(crash, program, &table, &KernelConfig::default(), "runsc", 3);
         assert!(record.reproduced);
         let minimized = record.minimized.unwrap();
         assert_eq!(minimized.len(), 1, "reproducer is a single open call");
@@ -137,14 +137,8 @@ mod tests {
             syscall: "getpid".into(),
             args: [0; 6],
         };
-        let record = reproduce_and_minimize(
-            crash,
-            program,
-            &table,
-            &KernelConfig::default(),
-            "runsc",
-            2,
-        );
+        let record =
+            reproduce_and_minimize(crash, program, &table, &KernelConfig::default(), "runsc", 2);
         assert!(!record.reproduced);
         assert!(record.minimized.is_none());
     }

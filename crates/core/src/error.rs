@@ -1,0 +1,199 @@
+//! The unified error taxonomy for the observer fleet.
+//!
+//! Every fallible path in the round/latch/campaign machinery surfaces a
+//! [`TorpedoError`] instead of a bare `String` or a panic, so supervisors
+//! can decide *mechanically* what to do next: [`TorpedoError::is_retriable`]
+//! errors are transient round damage (a hung or dead worker) the round
+//! supervisor retries; everything else is a hard fault that must propagate.
+
+use crate::latch::LatchError;
+use torpedo_runtime::engine::EngineError;
+
+/// Which stage of the Algorithm 2 round protocol an error occurred in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoundStage {
+    /// Delivering `(program, window)` to the executor.
+    Prime,
+    /// Waiting for the executor's ready signal (first latch).
+    Ready,
+    /// Opening the measurement window (second latch).
+    Release,
+    /// Collecting the executor's report.
+    Collect,
+}
+
+impl std::fmt::Display for RoundStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            RoundStage::Prime => "prime",
+            RoundStage::Ready => "ready",
+            RoundStage::Release => "release",
+            RoundStage::Collect => "collect",
+        };
+        write!(f, "{name}")
+    }
+}
+
+/// Any error the fuzzing framework can surface.
+#[derive(Debug)]
+pub enum TorpedoError {
+    /// A latch protocol violation (would desynchronize the window).
+    Latch(LatchError),
+    /// A container engine failure.
+    Engine(EngineError),
+    /// An executor missed its per-stage watchdog deadline.
+    WorkerTimeout {
+        /// Which executor.
+        executor: usize,
+        /// Which protocol stage it stalled in.
+        stage: RoundStage,
+    },
+    /// An executor's thread or channel died mid-protocol.
+    WorkerDied {
+        /// Which executor.
+        executor: usize,
+        /// Which protocol stage it died in.
+        stage: RoundStage,
+    },
+    /// A worker exceeded its restart budget and cannot be revived.
+    RestartBudget {
+        /// Which executor.
+        executor: usize,
+        /// Restarts consumed.
+        restarts: u32,
+    },
+    /// A round kept failing after every permitted retry.
+    RoundRetriesExhausted {
+        /// Attempts made (initial try + retries).
+        attempts: u32,
+        /// The error the final attempt died with.
+        last: Box<TorpedoError>,
+    },
+    /// An invariant the framework relies on was violated.
+    Internal(String),
+}
+
+impl TorpedoError {
+    /// Whether a round supervisor should retry the round after this error.
+    ///
+    /// Transient worker damage (timeouts, deaths) is retriable once the
+    /// worker is restarted; protocol violations, engine faults and
+    /// exhausted budgets are not.
+    pub fn is_retriable(&self) -> bool {
+        matches!(
+            self,
+            TorpedoError::WorkerTimeout { .. } | TorpedoError::WorkerDied { .. }
+        )
+    }
+}
+
+impl std::fmt::Display for TorpedoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TorpedoError::Latch(e) => write!(f, "{e}"),
+            TorpedoError::Engine(e) => write!(f, "{e}"),
+            TorpedoError::WorkerTimeout { executor, stage } => {
+                write!(f, "executor {executor} missed its {stage} deadline")
+            }
+            TorpedoError::WorkerDied { executor, stage } => {
+                write!(f, "executor {executor} died during {stage}")
+            }
+            TorpedoError::RestartBudget { executor, restarts } => {
+                write!(
+                    f,
+                    "executor {executor} exhausted its restart budget ({restarts} restarts)"
+                )
+            }
+            TorpedoError::RoundRetriesExhausted { attempts, last } => {
+                write!(f, "round failed after {attempts} attempts: {last}")
+            }
+            TorpedoError::Internal(msg) => write!(f, "internal error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TorpedoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TorpedoError::Latch(e) => Some(e),
+            TorpedoError::Engine(e) => Some(e),
+            TorpedoError::RoundRetriesExhausted { last, .. } => Some(last.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl From<LatchError> for TorpedoError {
+    fn from(e: LatchError) -> TorpedoError {
+        TorpedoError::Latch(e)
+    }
+}
+
+impl From<EngineError> for TorpedoError {
+    fn from(e: EngineError) -> TorpedoError {
+        TorpedoError::Engine(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retriable_classification() {
+        assert!(TorpedoError::WorkerTimeout {
+            executor: 0,
+            stage: RoundStage::Ready
+        }
+        .is_retriable());
+        assert!(TorpedoError::WorkerDied {
+            executor: 1,
+            stage: RoundStage::Collect
+        }
+        .is_retriable());
+        assert!(!TorpedoError::RestartBudget {
+            executor: 0,
+            restarts: 16
+        }
+        .is_retriable());
+        assert!(!TorpedoError::Internal("x".into()).is_retriable());
+        assert!(!TorpedoError::Engine(EngineError::StartFailed("fuzz-0".into())).is_retriable());
+    }
+
+    #[test]
+    fn display_names_the_stage() {
+        let e = TorpedoError::WorkerTimeout {
+            executor: 2,
+            stage: RoundStage::Collect,
+        };
+        assert!(e.to_string().contains("executor 2"));
+        assert!(e.to_string().contains("collect"));
+    }
+
+    #[test]
+    fn source_chains_through_retries_exhausted() {
+        use std::error::Error;
+        let inner = TorpedoError::WorkerTimeout {
+            executor: 0,
+            stage: RoundStage::Ready,
+        };
+        let outer = TorpedoError::RoundRetriesExhausted {
+            attempts: 4,
+            last: Box::new(inner),
+        };
+        assert!(outer.source().is_some());
+        assert!(outer.to_string().contains("after 4 attempts"));
+    }
+
+    #[test]
+    fn conversions_wrap_the_taxonomy() {
+        let latch: TorpedoError = LatchError {
+            executor: Some(1),
+            message: "prime requires Idle".into(),
+        }
+        .into();
+        assert!(matches!(latch, TorpedoError::Latch(_)));
+        let engine: TorpedoError = EngineError::NotRunning("fuzz-0".into()).into();
+        assert!(matches!(engine, TorpedoError::Engine(_)));
+    }
+}

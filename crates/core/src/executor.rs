@@ -67,6 +67,23 @@ pub struct ExecReport {
     pub blocked_time: Usecs,
 }
 
+impl ExecReport {
+    /// The report recorded for an executor that missed the round entirely
+    /// (idle assignment, or salvaged after a hang/death): zero executions,
+    /// nothing measured.
+    pub fn missed() -> ExecReport {
+        ExecReport {
+            executions: 0,
+            avg_exec_time: Usecs::ZERO,
+            coverage: ProgramCoverage::default(),
+            crash: None,
+            throttled: false,
+            fatal_signals: 0,
+            blocked_time: Usecs::ZERO,
+        }
+    }
+}
+
 /// One fuzzing executor bound to a container.
 #[derive(Debug, Clone)]
 pub struct Executor {
@@ -113,7 +130,13 @@ impl Executor {
         let mut blocked_time = Usecs::ZERO;
 
         loop {
-            let once = self.step(kernel, engine, table, program, executions == 0)?;
+            let once = match self.step(kernel, engine, table, program, executions == 0) {
+                Ok(once) => once,
+                // A transient runtime exec error ends this executor's window
+                // early; what ran so far is still a valid partial report.
+                Err(EngineError::ExecFault(_)) => break,
+                Err(e) => return Err(e),
+            };
             executions += 1;
             total_exec_time += once.duration;
             blocked_time += once.blocked;
@@ -179,7 +202,13 @@ impl Executor {
         // exits): the wait grows faster than the on-CPU cost, which is why
         // gVisor fuzzing cores in Table A.4 are *less* busy than runC's.
         let ipc_wait = self.glue.ipc_wait.scale(overhead * overhead);
-        kernel.charge(core, torpedo_kernel::CpuCategory::User, glue_user, pid, cgroup);
+        kernel.charge(
+            core,
+            torpedo_kernel::CpuCategory::User,
+            glue_user,
+            pid,
+            cgroup,
+        );
         kernel.charge(
             core,
             torpedo_kernel::CpuCategory::System,
@@ -304,10 +333,7 @@ pub struct StepReport {
 }
 
 /// Lower typed argument values to raw registers plus path payloads.
-fn lower_args(
-    call: &torpedo_prog::Call,
-    retvals: &[i64],
-) -> ([u64; 6], [Option<String>; 6]) {
+fn lower_args(call: &torpedo_prog::Call, retvals: &[i64]) -> ([u64; 6], [Option<String>; 6]) {
     let mut args = [0u64; 6];
     let mut paths: [Option<String>; 6] = Default::default();
     for (i, value) in call.args.iter().take(6).enumerate() {
@@ -357,9 +383,19 @@ mod tests {
         let program = deserialize("getpid()\nuname(0x0)\n", &table).unwrap();
         kernel.begin_round(Usecs::from_secs(2));
         let report = exec
-            .run_until(&mut kernel, &mut engine, &table, &program, Usecs::from_secs(2))
+            .run_until(
+                &mut kernel,
+                &mut engine,
+                &table,
+                &program,
+                Usecs::from_secs(2),
+            )
             .unwrap();
-        assert!(report.executions > 100, "only {} executions", report.executions);
+        assert!(
+            report.executions > 100,
+            "only {} executions",
+            report.executions
+        );
         assert!(report.crash.is_none());
         let out = kernel.finish_round(&[0]);
         let busy = out.per_core[0].busy_percent();
@@ -372,7 +408,13 @@ mod tests {
         let program = deserialize("getpid()\n", &table).unwrap();
         kernel.begin_round(Usecs::from_secs(1));
         let report = exec
-            .run_until(&mut kernel, &mut engine, &table, &program, Usecs::from_secs(1))
+            .run_until(
+                &mut kernel,
+                &mut engine,
+                &table,
+                &program,
+                Usecs::from_secs(1),
+            )
             .unwrap();
         let total = Usecs(report.avg_exec_time.as_micros() * report.executions);
         assert!(
@@ -387,7 +429,13 @@ mod tests {
         let program = deserialize("pause()\n", &table).unwrap();
         kernel.begin_round(Usecs::from_secs(2));
         let report = exec
-            .run_until(&mut kernel, &mut engine, &table, &program, Usecs::from_secs(2))
+            .run_until(
+                &mut kernel,
+                &mut engine,
+                &table,
+                &program,
+                Usecs::from_secs(2),
+            )
             .unwrap();
         assert_eq!(report.executions, 1, "pause blocks the whole window");
         assert!(report.blocked_time > Usecs::from_secs(2));
@@ -401,7 +449,13 @@ mod tests {
         let program = deserialize("rt_sigreturn()\n", &table).unwrap();
         kernel.begin_round(Usecs::from_secs(1));
         let report = exec
-            .run_until(&mut kernel, &mut engine, &table, &program, Usecs::from_secs(1))
+            .run_until(
+                &mut kernel,
+                &mut engine,
+                &table,
+                &program,
+                Usecs::from_secs(1),
+            )
             .unwrap();
         assert!(report.fatal_signals >= report.executions);
         let out = kernel.finish_round(&[0]);
@@ -412,12 +466,20 @@ mod tests {
     #[test]
     fn gvisor_crash_ends_loop() {
         let (mut kernel, mut engine, exec, table) = setup("runsc");
-        let program =
-            deserialize("open(&'/lib/x86_64-Linux-gnu/libc.so.6', 0x680002, 0x20)\n", &table)
-                .unwrap();
+        let program = deserialize(
+            "open(&'/lib/x86_64-Linux-gnu/libc.so.6', 0x680002, 0x20)\n",
+            &table,
+        )
+        .unwrap();
         kernel.begin_round(Usecs::from_secs(5));
         let report = exec
-            .run_until(&mut kernel, &mut engine, &table, &program, Usecs::from_secs(5))
+            .run_until(
+                &mut kernel,
+                &mut engine,
+                &table,
+                &program,
+                Usecs::from_secs(5),
+            )
             .unwrap();
         assert_eq!(report.executions, 1);
         assert!(report.crash.is_some());
@@ -433,7 +495,13 @@ mod tests {
         .unwrap();
         kernel.begin_round(Usecs::from_secs(1));
         let report = exec
-            .run_until(&mut kernel, &mut engine, &table, &program, Usecs::from_millis(100))
+            .run_until(
+                &mut kernel,
+                &mut engine,
+                &table,
+                &program,
+                Usecs::from_millis(100),
+            )
             .unwrap();
         // write to the fresh fd must succeed (retval 0x100), which only
         // happens if the ref lowered correctly: check coverage has no EBADF.
@@ -449,9 +517,7 @@ mod tests {
         let id = engine
             .create(
                 &mut kernel,
-                ContainerSpec::new("tiny")
-                    .cpuset_cpus(&[0])
-                    .cpus(0.001), // 5 ms of CPU in a 5 s window
+                ContainerSpec::new("tiny").cpuset_cpus(&[0]).cpus(0.001), // 5 ms of CPU in a 5 s window
             )
             .unwrap();
         let exec = Executor::new(id);
@@ -459,7 +525,13 @@ mod tests {
         let program = deserialize("getpid()\n", &table).unwrap();
         kernel.begin_round(Usecs::from_secs(5));
         let report = exec
-            .run_until(&mut kernel, &mut engine, &table, &program, Usecs::from_secs(5))
+            .run_until(
+                &mut kernel,
+                &mut engine,
+                &table,
+                &program,
+                Usecs::from_secs(5),
+            )
             .unwrap();
         assert!(report.throttled, "0.001-core quota must throttle");
     }

@@ -100,10 +100,7 @@ impl RoundLatch {
         if !self.all_ready() {
             return Err(LatchError {
                 executor: None,
-                message: format!(
-                    "release with non-ready executors: {:?}",
-                    self.states
-                ),
+                message: format!("release with non-ready executors: {:?}", self.states),
             });
         }
         for s in &mut self.states {
@@ -142,6 +139,18 @@ impl RoundLatch {
             *s = LatchState::Idle;
         }
         Ok(())
+    }
+
+    /// Unconditionally return every executor to `Idle`.
+    ///
+    /// The recovery path after a failed round: when a worker hangs or dies
+    /// mid-protocol the normal [`RoundLatch::reset`] precondition (all
+    /// `Done`) can never be met, so the supervisor abandons the round and
+    /// force-resets before retrying.
+    pub fn force_reset(&mut self) {
+        for s in &mut self.states {
+            *s = LatchState::Idle;
+        }
     }
 
     fn expect(&self, i: usize, want: LatchState, msg: &str) -> Result<(), LatchError> {
@@ -223,6 +232,24 @@ mod tests {
         let mut latch = RoundLatch::new(2);
         latch.prime(0).unwrap();
         assert!(latch.reset().is_err());
+    }
+
+    #[test]
+    fn force_reset_recovers_from_a_wedged_round() {
+        let mut latch = RoundLatch::new(2);
+        latch.prime(0).unwrap();
+        latch.prime(1).unwrap();
+        latch.signal_ready(0).unwrap();
+        // Executor 1 hung before signalling ready: the round is stuck —
+        // release is impossible, and so is a normal reset.
+        assert!(latch.release_all().is_err());
+        assert!(latch.reset().is_err());
+        latch.force_reset();
+        assert_eq!(latch.state(0), LatchState::Idle);
+        assert_eq!(latch.state(1), LatchState::Idle);
+        // The next round can proceed normally.
+        latch.prime(0).unwrap();
+        latch.prime(1).unwrap();
     }
 
     #[test]

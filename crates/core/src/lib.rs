@@ -17,6 +17,10 @@
 //! * [`confirm`] — the §4.1.4 confirmation harness, classifying root
 //!   causes from the kernel's deferral ledger (the ftrace step).
 //! * [`crash`] — container-crash reproduction and minimization.
+//! * [`error`] — the unified [`TorpedoError`] taxonomy the supervised
+//!   recovery machinery dispatches on.
+//! * [`stats`] — campaign counters, including [`RecoveryStats`] for the
+//!   fault-injection / supervision subsystem.
 //!
 //! # Examples
 //! ```
@@ -42,6 +46,7 @@ pub mod batch;
 pub mod campaign;
 pub mod confirm;
 pub mod crash;
+pub mod error;
 pub mod executor;
 pub mod latch;
 pub mod logfmt;
@@ -56,12 +61,13 @@ pub use batch::{BatchAction, BatchConfig, BatchMachine, BatchState, RoundVerdict
 pub use campaign::{Campaign, CampaignConfig, CampaignReport, FlaggedFinding, RoundLog};
 pub use confirm::{classify, confirm, CauseReport, Confirmation};
 pub use crash::{crashes_once, reproduce_and_minimize, CrashRecord};
+pub use error::{RoundStage, TorpedoError};
 pub use executor::{ExecReport, Executor, GlueCost};
 pub use latch::{LatchError, LatchState, RoundLatch};
 pub use logfmt::{parse_log, write_round, LogParseError, ParsedRound};
 pub use minimize::{minimize_with_oracle, OracleMinimized, ViolationHarness};
-pub use observer::{Observer, ObserverConfig, RoundRecord};
+pub use observer::{Observer, ObserverConfig, RoundRecord, SupervisorConfig};
 pub use parallel::ParallelObserver;
 pub use prog_sm::{InvalidTransition, ProgEvent, ProgStage, ProgramStateMachine};
 pub use seeds::{default_denylist, filter_denylisted, SeedCorpus};
-pub use stats::CampaignStats;
+pub use stats::{CampaignStats, RecoveryStats};

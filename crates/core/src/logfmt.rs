@@ -7,6 +7,7 @@
 //!
 //! ```text
 //! === round 17 batch 2 score 31.25 window 5000000 sidecar 3
+//! --- recovery restarts 1 respawned 1 hangs 1 retried 0 salvaged 1 startfail 0 quarantined 0
 //! --- programs
 //! >>> executor 0 cpuset 0 quota 1
 //! sync()
@@ -27,6 +28,7 @@ use torpedo_oracle::observation::{ContainerInfo, Observation};
 use torpedo_prog::{deserialize, serialize, SyscallDesc};
 
 use crate::campaign::RoundLog;
+use crate::stats::RecoveryStats;
 
 /// Serialize one round log block.
 pub fn write_round(log: &RoundLog, table: &[SyscallDesc]) -> String {
@@ -40,6 +42,21 @@ pub fn write_round(log: &RoundLog, table: &[SyscallDesc]) -> String {
         obs.window.as_micros(),
         obs.sidecar_core.map_or(-1i64, |c| c as i64),
     ));
+    // Recovery events are rare; the line is emitted only when one occurred,
+    // so fault-free logs are byte-identical to the original format.
+    if !log.recovery.is_zero() {
+        let r = &log.recovery;
+        out.push_str(&format!(
+            "--- recovery restarts {} respawned {} hangs {} retried {} salvaged {} startfail {} quarantined {}\n",
+            r.worker_restarts,
+            r.containers_respawned,
+            r.hangs_detected,
+            r.rounds_retried,
+            r.rounds_salvaged,
+            r.start_failures,
+            r.quarantined_programs,
+        ));
+    }
     out.push_str("--- programs\n");
     for (i, program) in log.programs.iter().enumerate() {
         let info = obs.containers.get(i);
@@ -104,6 +121,9 @@ pub struct ParsedRound {
     pub observation: Observation,
     /// The programs that ran.
     pub programs: Vec<torpedo_prog::Program>,
+    /// Recovery events recorded for the round (all zero when the log block
+    /// carries no `--- recovery` line).
+    pub recovery: RecoveryStats,
 }
 
 /// Parse a whole log back into round blocks.
@@ -131,6 +151,31 @@ pub fn parse_log(text: &str, table: &[SyscallDesc]) -> Result<Vec<ParsedRound>, 
         let score: f64 = parse_field(fields[4], lineno)?;
         let window = Usecs(parse_field(fields[6], lineno)?);
         let sidecar: i64 = parse_field(fields[8], lineno)?;
+
+        // Optional recovery line (absent in fault-free logs and in logs
+        // written before the supervision subsystem existed).
+        let mut recovery = RecoveryStats::default();
+        if let Some(&(n, peeked)) = lines.peek() {
+            if let Some(rest) = peeked.trim().strip_prefix("--- recovery ") {
+                let parts: Vec<&str> = rest.split_whitespace().collect();
+                match parts.as_slice() {
+                    ["restarts", a, "respawned", b, "hangs", c, "retried", d, "salvaged", e, "startfail", f, "quarantined", g] =>
+                    {
+                        recovery = RecoveryStats {
+                            worker_restarts: parse_field(a, n)?,
+                            containers_respawned: parse_field(b, n)?,
+                            hangs_detected: parse_field(c, n)?,
+                            rounds_retried: parse_field(d, n)?,
+                            rounds_salvaged: parse_field(e, n)?,
+                            start_failures: parse_field(f, n)?,
+                            quarantined_programs: parse_field(g, n)?,
+                        };
+                    }
+                    _ => return Err(err(n, "malformed recovery line")),
+                }
+                lines.next();
+            }
+        }
 
         expect_line(&mut lines, "--- programs")?;
         let mut programs = Vec::new();
@@ -220,10 +265,15 @@ pub fn parse_log(text: &str, table: &[SyscallDesc]) -> Result<Vec<ParsedRound>, 
                 per_core,
                 top: None,
                 containers,
-                sidecar_core: if sidecar < 0 { None } else { Some(sidecar as usize) },
+                sidecar_core: if sidecar < 0 {
+                    None
+                } else {
+                    Some(sidecar as usize)
+                },
                 startup_times: Vec::new(),
             },
             programs,
+            recovery,
         });
     }
     Ok(rounds)
@@ -266,7 +316,11 @@ mod tests {
     fn small_report() -> (Vec<RoundLog>, Vec<SyscallDesc>) {
         let table = build_table();
         let seeds = SeedCorpus::load(
-            &["sync()\n", "getpid()\n", "r0 = socket(0x10, 0x3, 0x9)\nsendto(r0, 0x0, 0x24, 0x0, 0x0, 0xc)\n"],
+            &[
+                "sync()\n",
+                "getpid()\n",
+                "r0 = socket(0x10, 0x3, 0x9)\nsendto(r0, 0x0, 0x24, 0x0, 0x0, 0xc)\n",
+            ],
             &table,
             &default_denylist(),
         )
@@ -305,8 +359,7 @@ mod tests {
                 .flag(&orig.observation)
                 .into_iter()
                 .filter(|v| {
-                    v.heuristic
-                        != torpedo_oracle::HeuristicKind::SystemProcessAboveBaseline
+                    v.heuristic != torpedo_oracle::HeuristicKind::SystemProcessAboveBaseline
                         && (v.measured - v.threshold).abs() > 1.0
                 })
                 .map(|v| (v.heuristic, v.core))
@@ -335,6 +388,29 @@ mod tests {
         let text = write_round(&logs[0], &table);
         let truncated = &text[..text.len() / 2];
         assert!(parse_log(truncated, &table).is_err());
+    }
+
+    #[test]
+    fn recovery_line_round_trips() {
+        let (logs, table) = small_report();
+        let mut log = logs[0].clone();
+        log.recovery = RecoveryStats {
+            worker_restarts: 2,
+            containers_respawned: 2,
+            hangs_detected: 1,
+            rounds_retried: 1,
+            rounds_salvaged: 1,
+            start_failures: 3,
+            quarantined_programs: 1,
+        };
+        let text = write_round(&log, &table);
+        assert!(text.contains("--- recovery restarts 2 "));
+        let parsed = parse_log(&text, &table).unwrap();
+        assert_eq!(parsed[0].recovery, log.recovery);
+        // Fault-free rounds stay byte-compatible: no recovery line at all.
+        let clean = write_round(&logs[0], &table);
+        assert!(!clean.contains("--- recovery"));
+        assert!(parse_log(&clean, &table).unwrap()[0].recovery.is_zero());
     }
 
     #[test]

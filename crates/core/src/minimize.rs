@@ -54,6 +54,7 @@ impl ViolationHarness {
                 collider: false,
                 glue: GlueCost::fuzzing(),
                 cpus_per_container: 1.0,
+                ..ObserverConfig::default()
             },
         )
         .expect("harness observer boots");
@@ -132,10 +133,7 @@ mod tests {
             result.program.len(),
             result.program.call_names(&table)
         );
-        assert!(result
-            .program
-            .call_names(&table)
-            .contains(&"sync"));
+        assert!(result.program.call_names(&table).contains(&"sync"));
         assert!(result.stats.removed >= 2);
     }
 

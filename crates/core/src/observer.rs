@@ -1,10 +1,19 @@
 //! The Observer (§3.4, Algorithm 2): rounds, synchronized execution, and
-//! measurement.
+//! measurement — with supervised recovery.
 //!
 //! The observer delegates workloads to executors, drives the two-stage
 //! latch so every executor's window coincides with the measurement window,
 //! takes the `/proc/stat` and `top` measurements, and logs round results
 //! for offline oracle flagging.
+//!
+//! Robustness: every latch stage runs under a watchdog. An executor that
+//! misses its deadline (e.g. a fault-injected hang) is torn down and its
+//! container respawned; the round is salvaged when at least a quorum of
+//! executors still report, and retried from scratch otherwise. All
+//! recovery events are counted in [`RecoveryStats`].
+
+use std::sync::Arc;
+use std::time::Duration;
 
 use torpedo_kernel::kernel::Kernel;
 use torpedo_kernel::procfs::ProcStatSnapshot;
@@ -14,10 +23,52 @@ use torpedo_kernel::DeferralEvent;
 use torpedo_oracle::observation::{ContainerInfo, Observation};
 use torpedo_prog::{Program, SyscallDesc};
 use torpedo_runtime::engine::{ContainerId, Engine, EngineError};
+use torpedo_runtime::faults::{FaultConfig, FaultInjector, FaultKind, FaultPlan};
 use torpedo_runtime::spec::ContainerSpec;
+use torpedo_runtime::FaultCounters;
 
+use crate::error::{RoundStage, TorpedoError};
 use crate::executor::{ExecReport, Executor, GlueCost};
 use crate::latch::RoundLatch;
+use crate::stats::RecoveryStats;
+
+/// Watchdog, restart and retry policy for the supervised observer fleet.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SupervisorConfig {
+    /// Real-time deadline for each latch stage (prime/ready/release/
+    /// collect) before a worker is declared hung.
+    pub stage_timeout: Duration,
+    /// Restart budget per worker; exceeding it is a hard
+    /// [`TorpedoError::RestartBudget`] failure.
+    pub max_worker_restarts: u32,
+    /// First restart backoff; doubles per consecutive failure.
+    pub backoff_base: Duration,
+    /// Backoff ceiling.
+    pub backoff_cap: Duration,
+    /// How many times a damaged round is retried before
+    /// [`TorpedoError::RoundRetriesExhausted`].
+    pub round_retries: u32,
+    /// Fraction of the fleet that must report for a round to be salvaged
+    /// rather than retried.
+    pub quorum: f64,
+    /// Executor-killing crashes a program may cause before it is
+    /// quarantined by the campaign driver.
+    pub quarantine_threshold: u32,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> SupervisorConfig {
+        SupervisorConfig {
+            stage_timeout: Duration::from_secs(2),
+            max_worker_restarts: 16,
+            backoff_base: Duration::from_millis(2),
+            backoff_cap: Duration::from_millis(50),
+            round_retries: 5,
+            quorum: 0.5,
+            quarantine_threshold: 3,
+        }
+    }
+}
 
 /// Observer configuration.
 #[derive(Debug, Clone)]
@@ -34,6 +85,11 @@ pub struct ObserverConfig {
     pub glue: GlueCost,
     /// `--cpus` quota per container.
     pub cpus_per_container: f64,
+    /// Deterministic fault injection; all-zero rates (the default) install
+    /// no injector and cost nothing.
+    pub faults: FaultConfig,
+    /// Watchdog / restart / retry policy.
+    pub supervisor: SupervisorConfig,
 }
 
 impl Default for ObserverConfig {
@@ -45,6 +101,8 @@ impl Default for ObserverConfig {
             collider: true,
             glue: GlueCost::fuzzing(),
             cpus_per_container: 1.0,
+            faults: FaultConfig::default(),
+            supervisor: SupervisorConfig::default(),
         }
     }
 }
@@ -56,11 +114,60 @@ pub struct RoundRecord {
     pub round: u64,
     /// What the oracles see.
     pub observation: Observation,
-    /// Per-executor execution reports, in executor order.
+    /// Per-executor execution reports, in executor order. An executor that
+    /// missed the round (hang, death) reports [`ExecReport::missed`].
     pub reports: Vec<ExecReport>,
     /// Ground-truth deferral events — for the confirmation stage only,
     /// never handed to oracles.
     pub deferrals: Vec<DeferralEvent>,
+}
+
+/// The spec every executor container is created with.
+pub(crate) fn executor_spec(config: &ObserverConfig, i: usize) -> ContainerSpec {
+    ContainerSpec::new(&format!("fuzz-{i}"))
+        .runtime_name(&config.runtime)
+        .cpuset_cpus(&[i])
+        .cpus(config.cpus_per_container)
+}
+
+/// Create executor container `i`, retrying injected/transient start
+/// failures with exponential backoff up to the restart budget.
+pub(crate) fn boot_container(
+    kernel: &mut Kernel,
+    engine: &mut Engine,
+    config: &ObserverConfig,
+    i: usize,
+    recovery: &mut RecoveryStats,
+) -> Result<ContainerId, TorpedoError> {
+    let mut delay = config.supervisor.backoff_base;
+    let mut attempts = 0u32;
+    loop {
+        match engine.create(kernel, executor_spec(config, i)) {
+            Ok(id) => return Ok(id),
+            Err(EngineError::StartFailed(_)) | Err(EngineError::CgroupWriteFailed(_)) => {
+                recovery.start_failures += 1;
+                attempts += 1;
+                if attempts > config.supervisor.max_worker_restarts {
+                    return Err(TorpedoError::RestartBudget {
+                        executor: i,
+                        restarts: attempts,
+                    });
+                }
+                std::thread::sleep(delay);
+                delay = (delay * 2).min(config.supervisor.backoff_cap);
+            }
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+/// Build the shared fault injector for `config`, if any rate is nonzero.
+pub(crate) fn build_injector(config: &ObserverConfig) -> Option<Arc<dyn FaultInjector>> {
+    if config.faults.is_noop() {
+        None
+    } else {
+        Some(Arc::new(FaultPlan::new(config.faults.clone())))
+    }
 }
 
 /// The observer: owns the kernel, engine, and executor fleet.
@@ -72,29 +179,32 @@ pub struct Observer {
     sampler: TopSampler,
     config: ObserverConfig,
     rounds: u64,
+    faults: Option<Arc<dyn FaultInjector>>,
+    recovery: RecoveryStats,
 }
 
 impl Observer {
     /// Boot a kernel, start an engine, and deploy `config.executors`
     /// containers pinned to cores `0..n` with the Table 3.1 restrictions.
+    /// Injected start failures are retried with backoff.
     ///
     /// # Errors
-    /// Propagates engine errors from container creation.
+    /// Engine errors from container creation; [`TorpedoError::RestartBudget`]
+    /// when a container cannot be started within the restart budget.
     pub fn new(
         kernel_config: torpedo_kernel::KernelConfig,
         config: ObserverConfig,
-    ) -> Result<Observer, EngineError> {
+    ) -> Result<Observer, TorpedoError> {
         let mut kernel = Kernel::new(kernel_config);
         let mut engine = Engine::new(&mut kernel);
+        let faults = build_injector(&config);
+        if let Some(f) = &faults {
+            engine.set_fault_injector(Arc::clone(f));
+        }
+        let mut recovery = RecoveryStats::default();
         let mut executors = Vec::with_capacity(config.executors);
         for i in 0..config.executors {
-            let id = engine.create(
-                &mut kernel,
-                ContainerSpec::new(&format!("fuzz-{i}"))
-                    .runtime_name(&config.runtime)
-                    .cpuset_cpus(&[i])
-                    .cpus(config.cpus_per_container),
-            )?;
+            let id = boot_container(&mut kernel, &mut engine, &config, i, &mut recovery)?;
             let mut executor = Executor::new(id);
             executor.collider = config.collider;
             executor.glue = config.glue;
@@ -107,6 +217,8 @@ impl Observer {
             sampler: TopSampler::new(),
             config,
             rounds: 0,
+            faults,
+            recovery,
         })
     }
 
@@ -140,46 +252,177 @@ impl Observer {
         self.executors.iter().map(|e| e.container.clone()).collect()
     }
 
+    /// Recovery events so far.
+    pub fn recovery(&self) -> RecoveryStats {
+        self.recovery
+    }
+
+    /// Faults the engine's injector has taken so far.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.engine.fault_counters()
+    }
+
+    fn fault(&self, kind: FaultKind, scope: &str) -> bool {
+        match &self.faults {
+            Some(f) => f.roll(kind, scope),
+            None => false,
+        }
+    }
+
     /// Restart any crashed containers (between batches).
     ///
     /// # Errors
-    /// Propagates engine restart failures.
-    pub fn restart_crashed(&mut self) -> Result<(), EngineError> {
-        for executor in &self.executors {
+    /// Propagates engine restart failures; injected start failures are
+    /// retried with backoff up to the restart budget.
+    pub fn restart_crashed(&mut self) -> Result<(), TorpedoError> {
+        for i in 0..self.executors.len() {
             let crashed = matches!(
-                self.engine.container(&executor.container).map(|c| c.state()),
+                self.engine
+                    .container(&self.executors[i].container)
+                    .map(|c| c.state()),
                 Some(torpedo_runtime::engine::ContainerState::Crashed(_))
             );
-            if crashed {
-                self.engine.restart(&mut self.kernel, &executor.container)?;
+            if !crashed {
+                continue;
+            }
+            let id = self.executors[i].container.clone();
+            let mut delay = self.config.supervisor.backoff_base;
+            let mut attempts = 0u32;
+            loop {
+                match self.engine.restart(&mut self.kernel, &id) {
+                    Ok(()) => break,
+                    Err(EngineError::StartFailed(_)) => {
+                        self.recovery.start_failures += 1;
+                        attempts += 1;
+                        if attempts > self.config.supervisor.max_worker_restarts {
+                            return Err(TorpedoError::RestartBudget {
+                                executor: i,
+                                restarts: attempts,
+                            });
+                        }
+                        std::thread::sleep(delay);
+                        delay = (delay * 2).min(self.config.supervisor.backoff_cap);
+                    }
+                    Err(e) => return Err(e.into()),
+                }
             }
         }
         Ok(())
     }
 
-    /// Run one observation round: assign `programs[i]` to executor `i`
-    /// (missing entries idle), drive the latch protocol, execute the
-    /// window, and measure — Algorithm 2's loop body.
+    /// Tear down executor `i`'s container and boot a replacement with the
+    /// same name and spec.
+    fn respawn_executor(&mut self, i: usize) -> Result<(), TorpedoError> {
+        let id = self.executors[i].container.clone();
+        match self.engine.remove(&mut self.kernel, &id) {
+            Ok(()) | Err(EngineError::NoSuchContainer(_)) => {}
+            Err(e) => return Err(e.into()),
+        }
+        let new_id = boot_container(
+            &mut self.kernel,
+            &mut self.engine,
+            &self.config,
+            i,
+            &mut self.recovery,
+        )?;
+        let mut executor = Executor::new(new_id);
+        executor.collider = self.config.collider;
+        executor.glue = self.config.glue;
+        self.executors[i] = executor;
+        self.recovery.worker_restarts += 1;
+        self.recovery.containers_respawned += 1;
+        Ok(())
+    }
+
+    /// Run one observation round under supervision: damaged rounds
+    /// (executor hangs) are retried up to the configured budget.
     ///
     /// # Errors
-    /// Engine/latch failures. A *crash* is not an error; it is reported in
-    /// the record.
+    /// Engine/latch failures, or [`TorpedoError::RoundRetriesExhausted`]
+    /// when retries run out. A container *crash* is not an error; it is
+    /// reported in the record.
     pub fn round(
         &mut self,
         table: &[SyscallDesc],
         programs: &[Program],
-    ) -> Result<RoundRecord, Box<dyn std::error::Error>> {
+    ) -> Result<RoundRecord, TorpedoError> {
+        let mut attempts = 0u32;
+        loop {
+            match self.try_round(table, programs) {
+                Ok(record) => return Ok(record),
+                Err(e) if e.is_retriable() && attempts < self.config.supervisor.round_retries => {
+                    attempts += 1;
+                    self.recovery.rounds_retried += 1;
+                    // An abandoned attempt may leave containers crashed with
+                    // the crash report lost alongside the round; heal them
+                    // before retrying.
+                    self.restart_crashed()?;
+                }
+                Err(e) if e.is_retriable() => {
+                    return Err(TorpedoError::RoundRetriesExhausted {
+                        attempts: attempts + 1,
+                        last: Box::new(e),
+                    })
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// One round attempt: assign `programs[i]` to executor `i` (missing
+    /// entries idle), drive the latch protocol, execute the window, and
+    /// measure — Algorithm 2's loop body.
+    fn try_round(
+        &mut self,
+        table: &[SyscallDesc],
+        programs: &[Program],
+    ) -> Result<RoundRecord, TorpedoError> {
         let window = self.config.window;
         let n = self.executors.len().min(programs.len());
-        let mut latch = RoundLatch::new(n);
+
+        // Watchdog: roll executor-hang faults before the window opens. In
+        // the sequential model a "hang" is an executor that would miss its
+        // ready or report deadline; it is detected here, torn down, and its
+        // container respawned — exactly the threaded observer's recovery.
+        let mut hung = vec![false; n];
+        let mut hangs = 0usize;
+        for (i, flag) in hung.iter_mut().enumerate() {
+            let ready_hang = self.fault(FaultKind::ExecutorHang, &format!("fuzz-{i}/ready"));
+            let report_hang = self.fault(FaultKind::ExecutorHang, &format!("fuzz-{i}/report"));
+            if ready_hang || report_hang {
+                *flag = true;
+                hangs += 1;
+            }
+        }
+        if hangs > 0 {
+            self.recovery.hangs_detected += hangs as u64;
+            for i in (0..n).filter(|i| hung[*i]) {
+                self.respawn_executor(i)?;
+            }
+            let healthy = n - hangs;
+            if healthy == 0 || (healthy as f64) < self.config.supervisor.quorum * n as f64 {
+                // Below quorum: abandon the attempt; the supervisor retries.
+                let loser = hung.iter().position(|h| *h).unwrap_or(0);
+                return Err(TorpedoError::WorkerTimeout {
+                    executor: loser,
+                    stage: RoundStage::Ready,
+                });
+            }
+        }
+
+        // The hung executors never enter the latch group: their slots were
+        // abandoned at the watchdog deadline, before the window opened, so
+        // everyone in the group is still released simultaneously.
+        let group = n - hangs;
+        let mut latch = RoundLatch::new(group);
 
         // Stage 1: deliver programs and prime containers.
-        for i in 0..n {
-            latch.prime(i)?;
+        for slot in 0..group {
+            latch.prime(slot)?;
         }
-        for i in 0..n {
+        for slot in 0..group {
             // Container-side preparation (deserialize request, set timers).
-            latch.signal_ready(i)?;
+            latch.signal_ready(slot)?;
         }
         // Stage 2: open the measurement window for everyone at once.
         latch.release_all()?;
@@ -190,7 +433,12 @@ impl Observer {
         self.kernel.set_reserved_cores(&reserved);
 
         let mut reports = Vec::with_capacity(n);
+        let mut slot = 0usize;
         for i in 0..n {
+            if hung[i] {
+                reports.push(ExecReport::missed());
+                continue;
+            }
             let report = self.executors[i].run_until(
                 &mut self.kernel,
                 &mut self.engine,
@@ -199,9 +447,13 @@ impl Observer {
                 window,
             )?;
             reports.push(report);
-            latch.complete(i)?;
+            latch.complete(slot)?;
+            slot += 1;
         }
         debug_assert!(latch.all_done());
+        if hangs > 0 {
+            self.recovery.rounds_salvaged += 1;
+        }
 
         // Engine/runtime standing overhead for the round.
         self.engine.round_overhead(&mut self.kernel, window);
@@ -212,25 +464,27 @@ impl Observer {
         let per_core = after.since(&before);
         let top = self.sampler.sample(&self.kernel, window);
 
-        let containers: Vec<ContainerInfo> = self
-            .executors
-            .iter()
-            .map(|e| {
-                let c = self.engine.container(&e.container).expect("container exists");
-                let cg = self.kernel.cgroups.get(c.cgroup());
-                ContainerInfo {
-                    name: e.container.name().to_string(),
-                    cpuset: c.spec().cpuset.clone(),
-                    cpu_quota: c.spec().cpus,
-                    memory_limit: c.spec().memory_bytes,
-                    memory_used: cg.map_or(0, |g| g.charged_memory()),
-                    io_bytes: cg.map_or(0, |g| g.charged_io_bytes()),
-                    oom_events: cg.map_or(0, |g| g.oom_events()),
-                }
-            })
-            .collect();
+        let mut containers = Vec::with_capacity(self.executors.len());
+        for e in &self.executors {
+            let c = self.engine.container(&e.container).ok_or_else(|| {
+                TorpedoError::Engine(EngineError::NoSuchContainer(e.container.name().to_string()))
+            })?;
+            let cg = self.kernel.cgroups.get(c.cgroup());
+            containers.push(ContainerInfo {
+                name: e.container.name().to_string(),
+                cpuset: c.spec().cpuset.clone(),
+                cpu_quota: c.spec().cpus,
+                memory_limit: c.spec().memory_bytes,
+                memory_used: cg.map_or(0, |g| g.charged_memory()),
+                io_bytes: cg.map_or(0, |g| g.charged_io_bytes()),
+                oom_events: cg.map_or(0, |g| g.oom_events()),
+            });
+        }
 
-        let sidecar = fuzz_cores.iter().max().map(|m| (m + 1) % self.kernel.cores());
+        let sidecar = fuzz_cores
+            .iter()
+            .max()
+            .map(|m| (m + 1) % self.kernel.cores());
         let startup_times = self.engine.drain_startup_log();
         self.rounds += 1;
         Ok(RoundRecord {
@@ -341,5 +595,72 @@ mod tests {
         let programs = vec![deserialize("getpid()\n", &table).unwrap()];
         assert_eq!(obs.round(&table, &programs).unwrap().round, 1);
         assert_eq!(obs.round(&table, &programs).unwrap().round, 2);
+    }
+
+    #[test]
+    fn boot_retries_injected_start_failures() {
+        let obs = Observer::new(
+            KernelConfig::default(),
+            ObserverConfig {
+                executors: 2,
+                faults: FaultConfig {
+                    seed: 11,
+                    start_fail: 0.5,
+                    ..FaultConfig::default()
+                },
+                supervisor: SupervisorConfig {
+                    backoff_base: Duration::from_micros(50),
+                    backoff_cap: Duration::from_micros(200),
+                    ..SupervisorConfig::default()
+                },
+                ..ObserverConfig::default()
+            },
+        )
+        .unwrap();
+        // Both containers came up despite the 50% start-failure rate.
+        assert_eq!(obs.container_ids().len(), 2);
+    }
+
+    #[test]
+    fn hung_executor_is_respawned_and_round_salvaged() {
+        let table = build_table();
+        let mut obs = Observer::new(
+            KernelConfig::default(),
+            ObserverConfig {
+                window: Usecs::from_secs(1),
+                executors: 3,
+                faults: FaultConfig {
+                    seed: 5,
+                    executor_hang: 0.25,
+                    ..FaultConfig::default()
+                },
+                supervisor: SupervisorConfig {
+                    backoff_base: Duration::from_micros(50),
+                    ..SupervisorConfig::default()
+                },
+                ..ObserverConfig::default()
+            },
+        )
+        .unwrap();
+        let programs = vec![
+            deserialize("getpid()\n", &table).unwrap(),
+            deserialize("getuid()\n", &table).unwrap(),
+            deserialize("uname(0x0)\n", &table).unwrap(),
+        ];
+        let mut salvaged_rounds = 0;
+        for _ in 0..12 {
+            let rec = obs.round(&table, &programs).unwrap();
+            assert_eq!(rec.reports.len(), 3, "salvaged rounds keep fleet shape");
+            if rec.reports.iter().any(|r| r.executions == 0) {
+                salvaged_rounds += 1;
+            }
+        }
+        let rec = obs.recovery();
+        assert!(rec.hangs_detected > 0, "25% hang rate over 12 rounds");
+        assert_eq!(rec.worker_restarts, rec.containers_respawned);
+        assert!(rec.worker_restarts >= rec.hangs_detected.min(1));
+        assert!(salvaged_rounds > 0);
+        // All containers alive and running after all that.
+        assert_eq!(obs.container_ids().len(), 3);
     }
 }

@@ -1,4 +1,4 @@
-//! The parallel observer: Algorithm 2 with real threads.
+//! The parallel observer: Algorithm 2 with real threads, under supervision.
 //!
 //! §1.2's fifth contribution: "To retain SYZKALLER's inherent efficiency, we
 //! introduce a series of synchronization mechanisms that allow for multiple
@@ -9,9 +9,17 @@
 //! 1. **Prime** — the observer delivers `(program, window)` to every worker
 //!    over a crossbeam channel.
 //! 2. **Ready** — each worker acknowledges after preparing its container.
-//! 3. **Release** — a shared barrier opens the measurement window for all
-//!    workers at once; nobody executes a single call before the barrier.
+//! 3. **Release** — a per-worker go signal opens the measurement window for
+//!    all workers at once; nobody executes a single call before it.
 //! 4. **Collect** — workers report; the observer measures.
+//!
+//! Every blocking stage runs under a watchdog
+//! ([`SupervisorConfig::stage_timeout`]): a worker that misses its deadline
+//! is cancelled, joined, and respawned — thread *and* container — with
+//! exponential backoff. The round is salvaged (the dead slot reports
+//! [`ExecReport::missed`]) when at least a quorum of workers still report,
+//! and retried from scratch otherwise, up to
+//! [`SupervisorConfig::round_retries`] times.
 //!
 //! The simulated kernel is shared state, so workers interleave at
 //! *iteration* granularity under a [`parking_lot::Mutex`] — coarse enough
@@ -19,10 +27,11 @@
 //! the way parallel fuzzers do on real hardware.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Barrier};
+use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Duration;
 
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
 use parking_lot::Mutex;
 
 use torpedo_kernel::kernel::Kernel;
@@ -31,22 +40,36 @@ use torpedo_kernel::time::Usecs;
 use torpedo_kernel::top::TopSampler;
 use torpedo_oracle::observation::{ContainerInfo, Observation};
 use torpedo_prog::{Program, ProgramCoverage, SyscallDesc};
-use torpedo_runtime::engine::Engine;
-use torpedo_runtime::spec::ContainerSpec;
+use torpedo_runtime::engine::{ContainerId, Engine, EngineError};
+use torpedo_runtime::faults::{FaultInjector, FaultKind};
+use torpedo_runtime::FaultCounters;
 
+use crate::error::{RoundStage, TorpedoError};
 use crate::executor::{ExecReport, Executor};
-use crate::observer::{ObserverConfig, RoundRecord};
+use crate::observer::{boot_container, build_injector, ObserverConfig, RoundRecord};
+use crate::stats::RecoveryStats;
 
 enum Cmd {
-    Run { program: Program, window: Usecs },
+    Run {
+        program: Program,
+        window: Usecs,
+        /// Fault-injected: stall before signalling ready.
+        hang_ready: bool,
+        /// Fault-injected: stall instead of reporting.
+        hang_report: bool,
+    },
     Shutdown,
 }
 
 struct Worker {
     cmd_tx: Sender<Cmd>,
     ready_rx: Receiver<()>,
-    report_rx: Receiver<ExecReport>,
+    go_tx: Sender<bool>,
+    report_rx: Receiver<Result<ExecReport, EngineError>>,
+    cancel: Arc<AtomicBool>,
+    container: ContainerId,
     handle: Option<JoinHandle<()>>,
+    restarts: u32,
 }
 
 /// Shared simulation state guarded for the worker threads.
@@ -54,18 +77,19 @@ struct Shared {
     kernel: Mutex<Kernel>,
     engine: Mutex<Engine>,
     table: Vec<SyscallDesc>,
-    start_barrier: Barrier,
-    poisoned: AtomicBool,
 }
 
 /// A threaded observer: same protocol and measurements as
-/// [`crate::observer::Observer`], executed by concurrent workers.
+/// [`crate::observer::Observer`], executed by concurrent workers under a
+/// supervising watchdog.
 pub struct ParallelObserver {
     shared: Arc<Shared>,
     workers: Vec<Worker>,
     sampler: TopSampler,
     config: ObserverConfig,
     rounds: u64,
+    faults: Option<Arc<dyn FaultInjector>>,
+    recovery: RecoveryStats,
 }
 
 impl std::fmt::Debug for ParallelObserver {
@@ -73,32 +97,33 @@ impl std::fmt::Debug for ParallelObserver {
         f.debug_struct("ParallelObserver")
             .field("workers", &self.workers.len())
             .field("rounds", &self.rounds)
+            .field("recovery", &self.recovery)
             .finish()
     }
 }
 
 impl ParallelObserver {
     /// Boot the host, deploy containers, and spawn one worker thread per
-    /// executor.
+    /// executor. Injected start failures are retried with backoff.
     ///
     /// # Errors
-    /// Propagates engine errors from container creation.
+    /// Engine errors from container creation; [`TorpedoError::RestartBudget`]
+    /// when a container cannot be started within the restart budget.
     pub fn new(
         kernel_config: torpedo_kernel::KernelConfig,
         config: ObserverConfig,
         table: Vec<SyscallDesc>,
-    ) -> Result<ParallelObserver, Box<dyn std::error::Error>> {
+    ) -> Result<ParallelObserver, TorpedoError> {
         let mut kernel = Kernel::new(kernel_config);
         let mut engine = Engine::new(&mut kernel);
+        let faults = build_injector(&config);
+        if let Some(f) = &faults {
+            engine.set_fault_injector(Arc::clone(f));
+        }
+        let mut recovery = RecoveryStats::default();
         let mut executors = Vec::with_capacity(config.executors);
         for i in 0..config.executors {
-            let id = engine.create(
-                &mut kernel,
-                ContainerSpec::new(&format!("fuzz-{i}"))
-                    .runtime_name(&config.runtime)
-                    .cpuset_cpus(&[i])
-                    .cpus(config.cpus_per_container),
-            )?;
+            let id = boot_container(&mut kernel, &mut engine, &config, i, &mut recovery)?;
             let mut executor = Executor::new(id);
             executor.collider = config.collider;
             executor.glue = config.glue;
@@ -108,8 +133,6 @@ impl ParallelObserver {
             kernel: Mutex::new(kernel),
             engine: Mutex::new(engine),
             table,
-            start_barrier: Barrier::new(config.executors + 1),
-            poisoned: AtomicBool::new(false),
         });
         let workers = executors
             .into_iter()
@@ -121,6 +144,8 @@ impl ParallelObserver {
             sampler: TopSampler::new(),
             config,
             rounds: 0,
+            faults,
+            recovery,
         })
     }
 
@@ -129,12 +154,30 @@ impl ParallelObserver {
         self.workers.len()
     }
 
+    /// Recovery events so far.
+    pub fn recovery(&self) -> RecoveryStats {
+        self.recovery
+    }
+
+    /// Faults the engine's injector has taken so far.
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.shared.engine.lock().fault_counters()
+    }
+
+    fn fault(&self, kind: FaultKind, scope: &str) -> bool {
+        match &self.faults {
+            Some(f) => f.roll(kind, scope),
+            None => false,
+        }
+    }
+
     /// Restart any crashed containers (between batches), as the sequential
-    /// observer does.
+    /// observer does. Injected start failures are retried with backoff.
     ///
     /// # Errors
-    /// Engine restart failures.
-    pub fn restart_crashed(&mut self) -> Result<(), Box<dyn std::error::Error>> {
+    /// Engine restart failures; [`TorpedoError::RestartBudget`] when the
+    /// backoff budget runs out.
+    pub fn restart_crashed(&mut self) -> Result<(), TorpedoError> {
         let mut kernel = self.shared.kernel.lock();
         let mut engine = self.shared.engine.lock();
         let crashed: Vec<_> = engine
@@ -147,28 +190,125 @@ impl ParallelObserver {
                 )
             })
             .collect();
-        for id in crashed {
-            engine.restart(&mut kernel, &id)?;
+        for (i, id) in crashed.into_iter().enumerate() {
+            let mut delay = self.config.supervisor.backoff_base;
+            let mut attempts = 0u32;
+            loop {
+                match engine.restart(&mut kernel, &id) {
+                    Ok(()) => break,
+                    Err(EngineError::StartFailed(_)) => {
+                        self.recovery.start_failures += 1;
+                        attempts += 1;
+                        if attempts > self.config.supervisor.max_worker_restarts {
+                            return Err(TorpedoError::RestartBudget {
+                                executor: i,
+                                restarts: attempts,
+                            });
+                        }
+                        std::thread::sleep(delay);
+                        delay = (delay * 2).min(self.config.supervisor.backoff_cap);
+                    }
+                    Err(e) => return Err(e.into()),
+                }
+            }
         }
         Ok(())
     }
 
-    /// Run one synchronized round across all workers.
+    /// Cancel, join, and respawn worker `i`: fresh thread, fresh container
+    /// with the original name and spec, restart budget enforced.
+    fn restart_worker(&mut self, i: usize) -> Result<(), TorpedoError> {
+        let restarts = self.workers[i].restarts + 1;
+        if restarts > self.config.supervisor.max_worker_restarts {
+            return Err(TorpedoError::RestartBudget {
+                executor: i,
+                restarts,
+            });
+        }
+        // Tear down the old worker. A hung thread polls its cancel flag and
+        // exits; a dead one joins immediately.
+        self.workers[i].cancel.store(true, Ordering::SeqCst);
+        let _ = self.workers[i].cmd_tx.send(Cmd::Shutdown);
+        if let Some(handle) = self.workers[i].handle.take() {
+            let _ = handle.join();
+        }
+        // Replace its container.
+        let executor = {
+            let mut kernel = self.shared.kernel.lock();
+            let mut engine = self.shared.engine.lock();
+            match engine.remove(&mut kernel, &self.workers[i].container) {
+                Ok(()) | Err(EngineError::NoSuchContainer(_)) => {}
+                Err(e) => return Err(e.into()),
+            }
+            let id = boot_container(
+                &mut kernel,
+                &mut engine,
+                &self.config,
+                i,
+                &mut self.recovery,
+            )?;
+            let mut executor = Executor::new(id);
+            executor.collider = self.config.collider;
+            executor.glue = self.config.glue;
+            executor
+        };
+        let mut worker = spawn_worker(Arc::clone(&self.shared), executor);
+        worker.restarts = restarts;
+        self.workers[i] = worker;
+        self.recovery.worker_restarts += 1;
+        self.recovery.containers_respawned += 1;
+        Ok(())
+    }
+
+    /// Run one synchronized round across all workers under supervision:
+    /// damaged rounds (hung or dead workers below quorum) are retried up to
+    /// the configured budget.
     ///
     /// Idle workers (when `programs` is shorter than the fleet) still latch
-    /// through the barrier with an empty assignment, as real executors do.
+    /// through the protocol with an empty assignment, as real executors do.
     ///
     /// # Errors
-    /// Channel failures (a worker died) or poisoned shared state.
-    pub fn round(
-        &mut self,
-        programs: &[Program],
-    ) -> Result<RoundRecord, Box<dyn std::error::Error>> {
-        if self.shared.poisoned.load(Ordering::SeqCst) {
-            return Err("a worker thread panicked in a previous round".into());
+    /// Engine failures, exhausted restart budgets, or
+    /// [`TorpedoError::RoundRetriesExhausted`] when retries run out.
+    pub fn round(&mut self, programs: &[Program]) -> Result<RoundRecord, TorpedoError> {
+        let mut attempts = 0u32;
+        loop {
+            match self.try_round(programs) {
+                Ok(record) => return Ok(record),
+                Err(e) if e.is_retriable() && attempts < self.config.supervisor.round_retries => {
+                    attempts += 1;
+                    self.recovery.rounds_retried += 1;
+                    // An abandoned attempt may leave containers crashed with
+                    // the crash report lost alongside the round; heal them
+                    // before retrying.
+                    self.restart_crashed()?;
+                }
+                Err(e) if e.is_retriable() => {
+                    return Err(TorpedoError::RoundRetriesExhausted {
+                        attempts: attempts + 1,
+                        last: Box::new(e),
+                    })
+                }
+                Err(e) => return Err(e),
+            }
         }
+    }
+
+    fn try_round(&mut self, programs: &[Program]) -> Result<RoundRecord, TorpedoError> {
         let window = self.config.window;
+        let timeout = self.config.supervisor.stage_timeout;
         let n = self.workers.len();
+        let assigned = n.min(programs.len());
+
+        // Roll fault-injected hang decisions up front, on the observer side,
+        // so the schedule is a pure function of the fault seed regardless of
+        // thread interleaving. The scopes match the sequential observer's.
+        let mut hang_ready = vec![false; n];
+        let mut hang_report = vec![false; n];
+        for i in 0..assigned {
+            hang_ready[i] = self.fault(FaultKind::ExecutorHang, &format!("fuzz-{i}/ready"));
+            hang_report[i] = self.fault(FaultKind::ExecutorHang, &format!("fuzz-{i}/report"));
+        }
 
         let before;
         {
@@ -180,22 +320,101 @@ impl ParallelObserver {
         }
 
         // Stage 1: prime every worker.
-        for (i, worker) in self.workers.iter().enumerate() {
+        for i in 0..n {
             let program = programs.get(i).cloned().unwrap_or_default();
-            worker.cmd_tx.send(Cmd::Run { program, window })?;
+            let primed = self.workers[i].cmd_tx.send(Cmd::Run {
+                program,
+                window,
+                hang_ready: hang_ready[i],
+                hang_report: hang_report[i],
+            });
+            if primed.is_err() {
+                // Workers primed so far will park at the release latch;
+                // wave them off before abandoning the attempt.
+                self.wave_off(0..i);
+                self.close_kernel_round();
+                self.handle_worker_failure(i, RoundStage::Prime, false)?;
+                return Err(TorpedoError::WorkerDied {
+                    executor: i,
+                    stage: RoundStage::Prime,
+                });
+            }
         }
-        // Stage 1b: wait for every ready signal.
-        for worker in &self.workers {
-            worker.ready_rx.recv()?;
-        }
-        // Stage 2: open the measurement window for everyone simultaneously.
-        self.shared.start_barrier.wait();
 
-        // Collect reports.
-        let mut reports = Vec::with_capacity(n);
-        for worker in &self.workers {
-            reports.push(worker.report_rx.recv()?);
+        // Stage 1b: wait for every ready signal, under the watchdog.
+        let mut failed = vec![false; n];
+        for (i, slot) in failed.iter_mut().enumerate() {
+            match self.workers[i].ready_rx.recv_timeout(timeout) {
+                Ok(()) => {}
+                Err(RecvTimeoutError::Timeout) => {
+                    *slot = true;
+                    self.handle_worker_failure(i, RoundStage::Ready, true)?;
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    *slot = true;
+                    self.handle_worker_failure(i, RoundStage::Ready, false)?;
+                }
+            }
         }
+        let healthy = failed.iter().filter(|f| !**f).count();
+        if !self.quorum_met(healthy, n) {
+            // Below quorum: the healthy survivors are parked at the release
+            // latch — wave them off, then retry the round.
+            self.wave_off((0..n).filter(|i| !failed[*i]));
+            self.close_kernel_round();
+            let loser = failed.iter().position(|f| *f).unwrap_or(0);
+            return Err(TorpedoError::WorkerTimeout {
+                executor: loser,
+                stage: RoundStage::Ready,
+            });
+        }
+
+        // Stage 2: open the measurement window for every healthy worker at
+        // once. (Restarted workers sat out this round; their replacement
+        // containers idle until the next one.)
+        for (i, slot) in failed.iter_mut().enumerate() {
+            if !*slot && self.workers[i].go_tx.send(true).is_err() {
+                // Worker died between ready and release; its slot is missed.
+                *slot = true;
+                self.handle_worker_failure(i, RoundStage::Release, false)?;
+            }
+        }
+
+        // Collect reports, under the watchdog.
+        let mut reports: Vec<Option<ExecReport>> = (0..n).map(|_| None).collect();
+        for i in 0..n {
+            if failed[i] {
+                continue;
+            }
+            match self.workers[i].report_rx.recv_timeout(timeout) {
+                Ok(Ok(report)) => reports[i] = Some(report),
+                Ok(Err(e)) => return Err(e.into()),
+                Err(RecvTimeoutError::Timeout) => {
+                    failed[i] = true;
+                    self.handle_worker_failure(i, RoundStage::Collect, true)?;
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    failed[i] = true;
+                    self.handle_worker_failure(i, RoundStage::Collect, false)?;
+                }
+            }
+        }
+        let healthy = failed.iter().filter(|f| !**f).count();
+        if !self.quorum_met(healthy, n) {
+            // Nobody is parked at a latch here: survivors already reported
+            // and the failed were respawned. Just close out the attempt.
+            self.close_kernel_round();
+            let loser = failed.iter().position(|f| *f).unwrap_or(0);
+            return Err(TorpedoError::WorkerTimeout {
+                executor: loser,
+                stage: RoundStage::Collect,
+            });
+        }
+        let salvaged = failed.iter().any(|f| *f);
+        let reports: Vec<ExecReport> = reports
+            .into_iter()
+            .map(|r| r.unwrap_or_else(ExecReport::missed))
+            .collect();
 
         // Measure, exactly as the sequential observer does.
         let (per_core, deferrals, containers, top, startup_times) = {
@@ -207,27 +426,29 @@ impl ParallelObserver {
             let after = ProcStatSnapshot::capture(&kernel);
             let per_core = after.since(&before);
             let top = self.sampler.sample(&kernel, window);
-            let containers: Vec<ContainerInfo> = engine
-                .container_ids()
-                .iter()
-                .map(|id| {
-                    let c = engine.container(id).expect("container exists");
-                    let cg = kernel.cgroups.get(c.cgroup());
-                    ContainerInfo {
-                        name: id.name().to_string(),
-                        cpuset: c.spec().cpuset.clone(),
-                        cpu_quota: c.spec().cpus,
-                        memory_limit: c.spec().memory_bytes,
-                        memory_used: cg.map_or(0, |g| g.charged_memory()),
-                        io_bytes: cg.map_or(0, |g| g.charged_io_bytes()),
-                        oom_events: cg.map_or(0, |g| g.oom_events()),
-                    }
-                })
-                .collect();
+            let mut containers = Vec::new();
+            for id in engine.container_ids() {
+                let c = engine
+                    .container(&id)
+                    .ok_or_else(|| EngineError::NoSuchContainer(id.name().to_string()))?;
+                let cg = kernel.cgroups.get(c.cgroup());
+                containers.push(ContainerInfo {
+                    name: id.name().to_string(),
+                    cpuset: c.spec().cpuset.clone(),
+                    cpu_quota: c.spec().cpus,
+                    memory_limit: c.spec().memory_bytes,
+                    memory_used: cg.map_or(0, |g| g.charged_memory()),
+                    io_bytes: cg.map_or(0, |g| g.charged_io_bytes()),
+                    oom_events: cg.map_or(0, |g| g.oom_events()),
+                });
+            }
             let startup_times = engine.drain_startup_log();
             (per_core, out.deferrals, containers, top, startup_times)
         };
 
+        if salvaged {
+            self.recovery.rounds_salvaged += 1;
+        }
         self.rounds += 1;
         let cores = per_core.len();
         Ok(RoundRecord {
@@ -244,11 +465,46 @@ impl ParallelObserver {
             deferrals,
         })
     }
+
+    fn quorum_met(&self, healthy: usize, n: usize) -> bool {
+        n == 0 || (healthy > 0 && healthy as f64 >= self.config.supervisor.quorum * n as f64)
+    }
+
+    /// Wave off workers parked at the release latch (they skip the window
+    /// and wait for the next round's command).
+    fn wave_off(&self, parked: impl Iterator<Item = usize>) {
+        for i in parked {
+            let _ = self.workers[i].go_tx.send(false);
+        }
+    }
+
+    /// Close out an abandoned kernel round so the next attempt starts from
+    /// a clean measurement window.
+    fn close_kernel_round(&self) {
+        let mut kernel = self.shared.kernel.lock();
+        let fuzz_cores: Vec<usize> = (0..self.workers.len()).collect();
+        let _ = kernel.finish_round(&fuzz_cores);
+    }
+
+    /// A worker missed a stage deadline (`hung`) or died: count it and
+    /// respawn thread + container.
+    fn handle_worker_failure(
+        &mut self,
+        i: usize,
+        _stage: RoundStage,
+        hung: bool,
+    ) -> Result<(), TorpedoError> {
+        if hung {
+            self.recovery.hangs_detected += 1;
+        }
+        self.restart_worker(i)
+    }
 }
 
 impl Drop for ParallelObserver {
     fn drop(&mut self) {
         for worker in &self.workers {
+            worker.cancel.store(true, Ordering::SeqCst);
             let _ = worker.cmd_tx.send(Cmd::Shutdown);
         }
         for worker in &mut self.workers {
@@ -259,27 +515,53 @@ impl Drop for ParallelObserver {
     }
 }
 
+/// A fault-injected hang: park until the supervisor cancels us, then let
+/// the thread exit so it can be joined and respawned.
+fn park_until_cancelled(cancel: &AtomicBool) {
+    while !cancel.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_micros(200));
+    }
+}
+
 fn spawn_worker(shared: Arc<Shared>, executor: Executor) -> Worker {
+    let container = executor.container.clone();
     let (cmd_tx, cmd_rx) = bounded::<Cmd>(1);
     let (ready_tx, ready_rx) = bounded::<()>(1);
-    let (report_tx, report_rx) = bounded::<ExecReport>(1);
+    let (go_tx, go_rx) = bounded::<bool>(1);
+    let (report_tx, report_rx) = bounded::<Result<ExecReport, EngineError>>(1);
+    let cancel = Arc::new(AtomicBool::new(false));
+    let thread_cancel = Arc::clone(&cancel);
     let handle = std::thread::spawn(move || {
         while let Ok(cmd) = cmd_rx.recv() {
-            let (program, window) = match cmd {
-                Cmd::Run { program, window } => (program, window),
+            let (program, window, hang_ready, hang_report) = match cmd {
+                Cmd::Run {
+                    program,
+                    window,
+                    hang_ready,
+                    hang_report,
+                } => (program, window, hang_ready, hang_report),
                 Cmd::Shutdown => return,
             };
+            if hang_ready {
+                park_until_cancelled(&thread_cancel);
+                return;
+            }
             // Container-side preparation done; first latch.
             if ready_tx.send(()).is_err() {
                 return;
             }
-            // Second latch: the window opens for everyone at once.
-            shared.start_barrier.wait();
+            // Second latch: the observer releases everyone at once, or
+            // waves the round off (`false`) after a quorum failure.
+            match go_rx.recv() {
+                Ok(true) => {}
+                Ok(false) => continue,
+                Err(_) => return,
+            }
             let report = run_window(&shared, &executor, &program, window);
-            let Some(report) = report else {
-                shared.poisoned.store(true, Ordering::SeqCst);
+            if hang_report {
+                park_until_cancelled(&thread_cancel);
                 return;
-            };
+            }
             if report_tx.send(report).is_err() {
                 return;
             }
@@ -288,19 +570,26 @@ fn spawn_worker(shared: Arc<Shared>, executor: Executor) -> Worker {
     Worker {
         cmd_tx,
         ready_rx,
+        go_tx,
         report_rx,
+        cancel,
+        container,
         handle: Some(handle),
+        restarts: 0,
     }
 }
 
 /// Algorithm 1's loop, interleaving with other workers at iteration
-/// granularity under the shared-kernel lock.
+/// granularity under the shared-kernel lock. Transient injected exec
+/// faults end the window early with a partial report, mirroring
+/// [`Executor::run_until`]; hard engine errors are reported to the
+/// supervisor.
 fn run_window(
     shared: &Shared,
     executor: &Executor,
     program: &Program,
     window: Usecs,
-) -> Option<ExecReport> {
+) -> Result<ExecReport, EngineError> {
     let mut elapsed = Usecs::ZERO;
     let mut total = Usecs::ZERO;
     let mut executions = 0u64;
@@ -311,7 +600,7 @@ fn run_window(
     let mut blocked_time = Usecs::ZERO;
 
     if program.is_empty() {
-        return Some(ExecReport {
+        return Ok(ExecReport {
             executions: 0,
             avg_exec_time: Usecs::ZERO,
             coverage,
@@ -326,9 +615,18 @@ fn run_window(
         let step = {
             let mut kernel = shared.kernel.lock();
             let mut engine = shared.engine.lock();
-            executor
-                .step(&mut kernel, &mut engine, &shared.table, program, executions == 0)
-                .ok()?
+            match executor.step(
+                &mut kernel,
+                &mut engine,
+                &shared.table,
+                program,
+                executions == 0,
+            ) {
+                Ok(step) => step,
+                // Transient injected exec failure: end the window early.
+                Err(EngineError::ExecFault(_)) => break,
+                Err(e) => return Err(e),
+            }
         };
         executions += 1;
         total += step.duration;
@@ -354,7 +652,7 @@ fn run_window(
         std::thread::yield_now();
     }
 
-    Some(ExecReport {
+    Ok(ExecReport {
         executions,
         avg_exec_time: Usecs(total.as_micros() / executions.max(1)),
         coverage,
@@ -368,9 +666,10 @@ fn run_window(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::observer::Observer;
+    use crate::observer::{Observer, SupervisorConfig};
     use torpedo_kernel::KernelConfig;
     use torpedo_prog::{build_table, deserialize};
+    use torpedo_runtime::FaultConfig;
 
     fn config(executors: usize) -> ObserverConfig {
         ObserverConfig {
@@ -438,8 +737,7 @@ mod tests {
     fn multiple_rounds_reuse_the_latch() {
         let table = build_table();
         let programs = vec![deserialize("getpid()\n", &table).unwrap()];
-        let mut obs =
-            ParallelObserver::new(KernelConfig::default(), config(1), table).unwrap();
+        let mut obs = ParallelObserver::new(KernelConfig::default(), config(1), table).unwrap();
         for expected in 1..=3 {
             let rec = obs.round(&programs).unwrap();
             assert_eq!(rec.round, expected);
@@ -450,8 +748,7 @@ mod tests {
     fn idle_workers_still_latch() {
         let table = build_table();
         let programs = vec![deserialize("getpid()\n", &table).unwrap()];
-        let mut obs =
-            ParallelObserver::new(KernelConfig::default(), config(3), table).unwrap();
+        let mut obs = ParallelObserver::new(KernelConfig::default(), config(3), table).unwrap();
         let rec = obs.round(&programs).unwrap();
         assert_eq!(rec.reports.len(), 3);
         assert!(rec.reports[0].executions > 0);
@@ -476,5 +773,63 @@ mod tests {
         let rec = obs.round(&programs).unwrap();
         assert!(rec.reports[0].crash.is_some());
         assert!(rec.reports[1].crash.is_none());
+    }
+
+    /// Satellite (d): a hung worker is detected within the stage deadline,
+    /// restarted (thread + container), and the round still produces an
+    /// observation with the full fleet shape.
+    #[test]
+    fn hung_worker_is_detected_restarted_and_round_salvaged() {
+        let table = build_table();
+        let mut cfg = config(3);
+        cfg.faults = FaultConfig {
+            seed: 5,
+            executor_hang: 0.25,
+            ..FaultConfig::default()
+        };
+        cfg.supervisor = SupervisorConfig {
+            stage_timeout: Duration::from_millis(250),
+            backoff_base: Duration::from_micros(50),
+            ..SupervisorConfig::default()
+        };
+        let programs = vec![
+            deserialize("getpid()\n", &table).unwrap(),
+            deserialize("getuid()\n", &table).unwrap(),
+            deserialize("uname(0x0)\n", &table).unwrap(),
+        ];
+        let mut obs = ParallelObserver::new(KernelConfig::default(), cfg, table).unwrap();
+        let mut salvaged_rounds = 0;
+        for _ in 0..12 {
+            let rec = obs.round(&programs).unwrap();
+            assert_eq!(rec.reports.len(), 3, "salvaged rounds keep fleet shape");
+            if rec.reports.iter().any(|r| r.executions == 0) {
+                salvaged_rounds += 1;
+            }
+        }
+        let rec = obs.recovery();
+        assert!(rec.hangs_detected > 0, "25% hang rate over 12 rounds");
+        assert!(rec.worker_restarts > 0);
+        assert_eq!(rec.worker_restarts, rec.containers_respawned);
+        assert!(salvaged_rounds > 0);
+        // The fleet is whole again: a fault-free round runs to completion
+        // with every slot accounted for. (Under heavy host load a healthy
+        // worker can still miss a deadline and be salvaged — the watchdog
+        // cannot tell slow from hung — so don't demand zero salvage here.)
+        obs.faults = None;
+        let rec = obs.round(&programs).unwrap();
+        assert_eq!(rec.reports.len(), 3);
+        assert_eq!(obs.workers(), 3);
+    }
+
+    /// Parallel and sequential observers roll the same deterministic fault
+    /// schedule: identical hang decisions for identical seeds.
+    #[test]
+    fn fault_free_recovery_counters_are_zero() {
+        let table = build_table();
+        let programs = vec![deserialize("getpid()\n", &table).unwrap()];
+        let mut obs = ParallelObserver::new(KernelConfig::default(), config(1), table).unwrap();
+        obs.round(&programs).unwrap();
+        assert!(obs.recovery().is_zero());
+        assert_eq!(obs.fault_counters().total(), 0);
     }
 }

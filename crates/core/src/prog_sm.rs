@@ -52,7 +52,11 @@ pub struct InvalidTransition {
 
 impl std::fmt::Display for InvalidTransition {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "event {:?} is invalid in stage {:?}", self.event, self.from)
+        write!(
+            f,
+            "event {:?} is invalid in stage {:?}",
+            self.event, self.from
+        )
     }
 }
 
@@ -154,7 +158,10 @@ mod tests {
     fn flaky_triage_discards() {
         let mut machine = ProgramStateMachine::new();
         machine.advance(ProgEvent::NewCoverage).unwrap();
-        assert_eq!(machine.advance(ProgEvent::Flaky).unwrap(), ProgStage::Discarded);
+        assert_eq!(
+            machine.advance(ProgEvent::Flaky).unwrap(),
+            ProgStage::Discarded
+        );
     }
 
     #[test]

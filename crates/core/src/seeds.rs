@@ -11,10 +11,20 @@ use torpedo_prog::{deserialize, ParseError, Program, SyscallDesc};
 /// as 'pause', 'nanosleep', 'poll', and 'recv' send the program into the
 /// blocked state and are thoroughly uninteresting."
 pub fn default_denylist() -> HashSet<String> {
-    ["pause", "nanosleep", "poll", "recvfrom", "recvmsg", "accept", "accept4", "select", "epoll_wait"]
-        .into_iter()
-        .map(str::to_string)
-        .collect()
+    [
+        "pause",
+        "nanosleep",
+        "poll",
+        "recvfrom",
+        "recvmsg",
+        "accept",
+        "accept4",
+        "select",
+        "epoll_wait",
+    ]
+    .into_iter()
+    .map(str::to_string)
+    .collect()
 }
 
 /// A loaded seed corpus.
@@ -94,11 +104,7 @@ mod tests {
     #[test]
     fn load_filters_blocking_calls() {
         let table = build_table();
-        let texts = [
-            "getpid()\npause()\nuname(0x0)\n",
-            "pause()\n",
-            "sync()\n",
-        ];
+        let texts = ["getpid()\npause()\nuname(0x0)\n", "pause()\n", "sync()\n"];
         let corpus = SeedCorpus::load(&texts, &table, &default_denylist()).unwrap();
         // Seed 1 becomes empty and is dropped.
         assert_eq!(corpus.len(), 2);

@@ -5,8 +5,76 @@
 //! text status page.
 
 use torpedo_kernel::time::Usecs;
+use torpedo_runtime::FaultCounters;
 
 use crate::campaign::CampaignReport;
+
+/// Recovery-event counters maintained by the supervised observers and the
+/// campaign driver. Every counter is monotone; per-round deltas are taken
+/// with [`RecoveryStats::since`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Worker threads restarted after a hang or death.
+    pub worker_restarts: u64,
+    /// Containers torn down and recreated for a restarted worker.
+    pub containers_respawned: u64,
+    /// Executor hangs detected by the stage watchdog.
+    pub hangs_detected: u64,
+    /// Rounds abandoned and retried from scratch.
+    pub rounds_retried: u64,
+    /// Rounds completed with a partial fleet (quorum salvage).
+    pub rounds_salvaged: u64,
+    /// Container start attempts that failed (and were retried with backoff).
+    pub start_failures: u64,
+    /// Programs quarantined for repeatedly killing executors.
+    pub quarantined_programs: u64,
+}
+
+impl RecoveryStats {
+    /// Sum of all counters.
+    pub fn total(&self) -> u64 {
+        self.worker_restarts
+            + self.containers_respawned
+            + self.hangs_detected
+            + self.rounds_retried
+            + self.rounds_salvaged
+            + self.start_failures
+            + self.quarantined_programs
+    }
+
+    /// True when nothing was ever recovered.
+    pub fn is_zero(&self) -> bool {
+        self.total() == 0
+    }
+
+    /// Add another counter set into this one.
+    pub fn absorb(&mut self, other: &RecoveryStats) {
+        self.worker_restarts += other.worker_restarts;
+        self.containers_respawned += other.containers_respawned;
+        self.hangs_detected += other.hangs_detected;
+        self.rounds_retried += other.rounds_retried;
+        self.rounds_salvaged += other.rounds_salvaged;
+        self.start_failures += other.start_failures;
+        self.quarantined_programs += other.quarantined_programs;
+    }
+
+    /// The per-counter delta `self - earlier` (saturating).
+    pub fn since(&self, earlier: &RecoveryStats) -> RecoveryStats {
+        RecoveryStats {
+            worker_restarts: self.worker_restarts.saturating_sub(earlier.worker_restarts),
+            containers_respawned: self
+                .containers_respawned
+                .saturating_sub(earlier.containers_respawned),
+            hangs_detected: self.hangs_detected.saturating_sub(earlier.hangs_detected),
+            rounds_retried: self.rounds_retried.saturating_sub(earlier.rounds_retried),
+            rounds_salvaged: self.rounds_salvaged.saturating_sub(earlier.rounds_salvaged),
+            start_failures: self.start_failures.saturating_sub(earlier.start_failures),
+            quarantined_programs: self
+                .quarantined_programs
+                .saturating_sub(earlier.quarantined_programs),
+        }
+    }
+}
 
 /// Aggregated campaign statistics.
 #[derive(Debug, Clone, PartialEq)]
@@ -33,6 +101,10 @@ pub struct CampaignStats {
     pub fatal_signals: u64,
     /// Best oracle score seen in any round.
     pub best_score: f64,
+    /// Supervised-recovery event counters.
+    pub recovery: RecoveryStats,
+    /// Faults injected by the engine's fault plan (all zero without one).
+    pub faults_injected: FaultCounters,
 }
 
 impl CampaignStats {
@@ -65,12 +137,14 @@ impl CampaignStats {
             crashes_reproduced: report.crashes.iter().filter(|c| c.reproduced).count(),
             fatal_signals,
             best_score,
+            recovery: report.recovery,
+            faults_injected: report.faults_injected,
         }
     }
 
     /// Render the status page.
     pub fn render(&self) -> String {
-        format!(
+        let mut page = format!(
             "TORPEDO campaign status\n\
              =======================\n\
              rounds              {}\n\
@@ -94,7 +168,28 @@ impl CampaignStats {
             self.crashes_reproduced,
             self.fatal_signals,
             self.best_score,
-        )
+        );
+        if !self.recovery.is_zero() || self.faults_injected.total() > 0 {
+            let r = &self.recovery;
+            page.push_str(&format!(
+                "faults injected     {}\n\
+                 worker restarts     {}\n\
+                 containers respawned {}\n\
+                 hangs detected      {}\n\
+                 rounds retried      {} ({} salvaged)\n\
+                 start failures      {}\n\
+                 quarantined progs   {}\n",
+                self.faults_injected.total(),
+                r.worker_restarts,
+                r.containers_respawned,
+                r.hangs_detected,
+                r.rounds_retried,
+                r.rounds_salvaged,
+                r.start_failures,
+                r.quarantined_programs,
+            ));
+        }
+        page
     }
 }
 
@@ -110,12 +205,8 @@ mod tests {
     #[test]
     fn stats_from_a_small_campaign() {
         let table = build_table();
-        let seeds = SeedCorpus::load(
-            &["getpid()\n", "sync()\n"],
-            &table,
-            &default_denylist(),
-        )
-        .unwrap();
+        let seeds =
+            SeedCorpus::load(&["getpid()\n", "sync()\n"], &table, &default_denylist()).unwrap();
         let config = CampaignConfig {
             observer: ObserverConfig {
                 window: Usecs::from_secs(1),

@@ -357,7 +357,10 @@ mod tests {
     #[test]
     fn root_cannot_be_removed() {
         let mut t = CgroupTree::new();
-        assert_eq!(t.remove(CgroupTree::ROOT), Err(CgroupError::RootIsImmutable));
+        assert_eq!(
+            t.remove(CgroupTree::ROOT),
+            Err(CgroupError::RootIsImmutable)
+        );
     }
 
     #[test]
@@ -382,7 +385,9 @@ mod tests {
                 },
             )
             .unwrap();
-        let child = t.create(parent, "docker/c1", CgroupLimits::default()).unwrap();
+        let child = t
+            .create(parent, "docker/c1", CgroupLimits::default())
+            .unwrap();
         assert_eq!(t.effective_cpuset(child), Some(vec![0, 1, 2]));
     }
 
@@ -410,7 +415,9 @@ mod tests {
             )
             .unwrap();
         assert_eq!(t.effective_cpu_quota(child), Some(0.5));
-        let loose = t.create(parent, "docker/c2", CgroupLimits::default()).unwrap();
+        let loose = t
+            .create(parent, "docker/c2", CgroupLimits::default())
+            .unwrap();
         assert_eq!(t.effective_cpu_quota(loose), Some(2.0));
     }
 
@@ -421,9 +428,15 @@ mod tests {
             ..CgroupLimits::default()
         });
         let window = Usecs::from_secs(5);
-        assert_eq!(t.remaining_cpu_budget(id, window), Some(Usecs::from_secs(5)));
+        assert_eq!(
+            t.remaining_cpu_budget(id, window),
+            Some(Usecs::from_secs(5))
+        );
         t.charge_cpu(id, Usecs::from_secs(2));
-        assert_eq!(t.remaining_cpu_budget(id, window), Some(Usecs::from_secs(3)));
+        assert_eq!(
+            t.remaining_cpu_budget(id, window),
+            Some(Usecs::from_secs(3))
+        );
         t.charge_cpu(id, Usecs::from_secs(10));
         assert_eq!(t.remaining_cpu_budget(id, window), Some(Usecs::ZERO));
     }

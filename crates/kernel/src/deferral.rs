@@ -112,7 +112,7 @@ impl DeferralLedger {
                 out.push((e.channel, e.cost, 1));
             }
         }
-        out.sort_by(|a, b| b.1.cmp(&a.1));
+        out.sort_by_key(|e| std::cmp::Reverse(e.1));
         out
     }
 

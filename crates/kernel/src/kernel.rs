@@ -14,10 +14,10 @@ use rand::{Rng, SeedableRng};
 use crate::cgroup::{CgroupId, CgroupTree};
 use crate::cpu::{CpuCategory, CpuTimes};
 use crate::deferral::{DeferralChannel, DeferralEvent, DeferralLedger};
+use crate::net::{NetState, Socket};
 use crate::process::{DaemonKind, HelperKind, KthreadKind, Pid, ProcessKind, ProcessTable};
 use crate::time::Usecs;
 use crate::vfs::{FdTable, Vfs};
-use crate::net::{NetState, Socket};
 
 /// How coverage feedback is produced (§3.1.2).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -163,7 +163,11 @@ impl Kernel {
         let system_slice = cgroups
             .create(CgroupTree::ROOT, "system.slice", Default::default())
             .expect("root exists");
-        let dockerd = procs.spawn("dockerd", ProcessKind::Daemon(DaemonKind::Dockerd), system_slice);
+        let dockerd = procs.spawn(
+            "dockerd",
+            ProcessKind::Daemon(DaemonKind::Dockerd),
+            system_slice,
+        );
         let containerd = procs.spawn(
             "containerd",
             ProcessKind::Daemon(DaemonKind::Containerd),
@@ -255,7 +259,7 @@ impl Kernel {
 
     /// The per-process fd table, created on first use.
     pub fn fd_table(&mut self, pid: Pid) -> &mut FdTable {
-        self.fd_tables.entry(pid).or_insert_with(FdTable::new)
+        self.fd_tables.entry(pid).or_default()
     }
 
     /// Drop per-process state at process teardown.
@@ -423,7 +427,10 @@ impl Kernel {
 
     /// Remaining CPU-quota budget for `cgroup` in the current round window.
     pub fn remaining_quota(&self, cgroup: CgroupId) -> Option<Usecs> {
-        let window = self.round.as_ref().map_or(Usecs(u64::MAX / 4), |r| r.window);
+        let window = self
+            .round
+            .as_ref()
+            .map_or(Usecs(u64::MAX / 4), |r| r.window);
         self.cgroups.remaining_cpu_budget(cgroup, window)
     }
 
@@ -490,13 +497,19 @@ impl Kernel {
         // keep landing on the same core for a given origin — the paper's
         // Table A.3 shows the OOB workload concentrated on one core.
         let core = match channel {
-            DeferralChannel::UserModeHelper(_) => self.stable_victim_core(origin_pid, origin_cpuset),
+            DeferralChannel::UserModeHelper(_) => {
+                self.stable_victim_core(origin_pid, origin_cpuset)
+            }
             _ => self.pick_victim_core(origin_cpuset),
         };
         let patched = (self.config.usermodehelper_patched
             && matches!(channel, DeferralChannel::UserModeHelper(_)))
             || (self.config.iron_accounting && channel == DeferralChannel::SoftIrq);
-        let charged_cgroup = if patched { origin_cgroup } else { CgroupTree::ROOT };
+        let charged_cgroup = if patched {
+            origin_cgroup
+        } else {
+            CgroupTree::ROOT
+        };
         let worker_pid = match channel {
             DeferralChannel::IoFlush | DeferralChannel::TtyFlush => self.boot.kworkers[0],
             DeferralChannel::Audit => self.boot.kauditd,
@@ -549,9 +562,24 @@ impl Kernel {
         let journal_cost = Usecs(170);
         let kauditd = self.boot.kauditd;
         let journald = self.boot.journald;
-        let journald_cgroup = self.procs.get(journald).map_or(CgroupTree::ROOT, |p| p.cgroup());
-        let a = self.charge(core, CpuCategory::System, kaudit_cost, kauditd, CgroupTree::ROOT);
-        let b = self.charge(core, CpuCategory::User, journal_cost, journald, journald_cgroup);
+        let journald_cgroup = self
+            .procs
+            .get(journald)
+            .map_or(CgroupTree::ROOT, |p| p.cgroup());
+        let a = self.charge(
+            core,
+            CpuCategory::System,
+            kaudit_cost,
+            kauditd,
+            CgroupTree::ROOT,
+        );
+        let b = self.charge(
+            core,
+            CpuCategory::User,
+            journal_cost,
+            journald,
+            journald_cgroup,
+        );
         self.ledger.record(DeferralEvent {
             channel: DeferralChannel::Audit,
             origin_cgroup,
@@ -617,7 +645,13 @@ impl Kernel {
         if !host_visible {
             // Sandboxed: sentry flushes within the container's own budget.
             let core = origin_cpuset.first().copied().unwrap_or(0);
-            self.charge(core, CpuCategory::System, flush_cost.scale(0.5), origin_pid, origin_cgroup);
+            self.charge(
+                core,
+                CpuCategory::System,
+                flush_cost.scale(0.5),
+                origin_pid,
+                origin_cgroup,
+            );
             return flush_cost.scale(0.5);
         }
         let flush_core = self.defer_work(
@@ -802,13 +836,23 @@ mod tests {
             cg,
         );
         k.begin_round(Usecs::from_secs(5));
-        k.defer_work(DeferralChannel::SoftIrq, pid, cg, &[0], Usecs(500), "sendto");
+        k.defer_work(
+            DeferralChannel::SoftIrq,
+            pid,
+            cg,
+            &[0],
+            Usecs(500),
+            "sendto",
+        );
         assert_eq!(
             k.cgroups.get(cg).unwrap().charged_cpu(),
             Usecs(500),
             "IRON debits the originator"
         );
-        assert_eq!(k.cgroups.get(CgroupTree::ROOT).unwrap().charged_cpu(), Usecs::ZERO);
+        assert_eq!(
+            k.cgroups.get(CgroupTree::ROOT).unwrap().charged_cpu(),
+            Usecs::ZERO
+        );
         // usermodehelper channels are untouched by IRON alone.
         k.defer_work(
             DeferralChannel::UserModeHelper(HelperKind::Modprobe),
@@ -818,7 +862,10 @@ mod tests {
             Usecs(700),
             "socket",
         );
-        assert_eq!(k.cgroups.get(CgroupTree::ROOT).unwrap().charged_cpu(), Usecs(700));
+        assert_eq!(
+            k.cgroups.get(CgroupTree::ROOT).unwrap().charged_cpu(),
+            Usecs(700)
+        );
     }
 
     #[test]
@@ -860,7 +907,10 @@ mod tests {
         );
         k.begin_round(Usecs::from_secs(5));
         let blocked = k.sync_flush(pid, cg, &[0], 1.0, true);
-        assert!(blocked > Usecs::from_millis(50), "caller must wait: {blocked}");
+        assert!(
+            blocked > Usecs::from_millis(50),
+            "caller must wait: {blocked}"
+        );
         let out = k.finish_round(&[0]);
         let total_iowait: u64 = out.per_core.iter().map(|c| c.iowait.as_micros()).sum();
         assert!(total_iowait > 100_000, "iowait {total_iowait} too small");

@@ -93,11 +93,7 @@ pub struct CoresidenceVerdict {
 ///
 /// A threshold of ~0.8 gives a confident verdict over ≥8 rounds under the
 /// default noise model.
-pub fn detect_coresidence(
-    beacon: &[bool],
-    observed: &[f64],
-    threshold: f64,
-) -> CoresidenceVerdict {
+pub fn detect_coresidence(beacon: &[bool], observed: &[f64], threshold: f64) -> CoresidenceVerdict {
     let correlation = beacon_correlation(beacon, observed);
     CoresidenceVerdict {
         correlation,
@@ -148,7 +144,11 @@ mod tests {
         let namespaced = observed_busy_series(&rounds, ProcView::Namespaced, &[0]);
         let v_host = detect_coresidence(&beacon, &host, 0.8);
         let v_ns = detect_coresidence(&beacon, &namespaced, 0.8);
-        assert!(v_host.coresident, "host view leaks: {:.3}", v_host.correlation);
+        assert!(
+            v_host.coresident,
+            "host view leaks: {:.3}",
+            v_host.correlation
+        );
         assert!(
             !v_ns.coresident,
             "namespaced view must hide the beacon: {:.3}",

@@ -45,9 +45,14 @@ pub use cpu::{CpuCategory, CpuTimes};
 pub use deferral::{DeferralChannel, DeferralEvent, DeferralLedger};
 pub use errno::Errno;
 pub use kernel::{CoverageMode, Kernel, KernelConfig, RoundOutput};
-pub use leakcheck::{beacon_correlation, detect_coresidence, pearson, CoresidenceVerdict, ProcView};
+pub use leakcheck::{
+    beacon_correlation, detect_coresidence, pearson, CoresidenceVerdict, ProcView,
+};
 pub use lsm::{MacDecision, MacProfile, MacRule};
 pub use process::{DaemonKind, HelperKind, KthreadKind, Pid, ProcessKind};
 pub use signal::Signal;
-pub use syscalls::{dispatch, fallback_signal, nr_of, ExecContext, ExecPolicy, SyscallOutcome, SyscallRequest, SYSCALL_TABLE};
+pub use syscalls::{
+    dispatch, fallback_signal, nr_of, ExecContext, ExecPolicy, SyscallOutcome, SyscallRequest,
+    SYSCALL_TABLE,
+};
 pub use time::Usecs;

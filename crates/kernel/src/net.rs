@@ -124,7 +124,12 @@ impl NetState {
     /// via usermodehelper, module not found → `EAFNOSUPPORT` (or the type/
     /// protocol variants), *without caching the negative result* unless the
     /// mitigation flag is set.
-    pub fn create_socket(&mut self, family_raw: u64, sock_type: u64, protocol: u64) -> SocketOutcome {
+    pub fn create_socket(
+        &mut self,
+        family_raw: u64,
+        sock_type: u64,
+        protocol: u64,
+    ) -> SocketOutcome {
         let family = AddressFamily::from_raw(family_raw);
         match family {
             AddressFamily::Invalid(_) => SocketOutcome::Failed {

@@ -263,8 +263,7 @@ impl ProcessTable {
     /// born-this-round marker on survivors, and reap dead short-lived
     /// helpers so the table does not grow without bound.
     pub fn begin_round(&mut self) {
-        self.procs
-            .retain(|_, p| p.alive || p.kind.long_lived());
+        self.procs.retain(|_, p| p.alive || p.kind.long_lived());
         for p in self.procs.values_mut() {
             p.round_cpu = Usecs::ZERO;
             p.born_this_round = false;

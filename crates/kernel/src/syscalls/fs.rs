@@ -121,7 +121,9 @@ pub(crate) fn handle(
                             .branch("write_ok")
                     }
                 }
-                Some(_) => Sem::ok(len.min(4096) as i64).cost(2, 7).branch("write_other"),
+                Some(_) => Sem::ok(len.min(4096) as i64)
+                    .cost(2, 7)
+                    .branch("write_other"),
                 None => Sem::err(Errno::EBADF).cost(1, 2).branch("write_ebadf"),
             }
         }
@@ -148,7 +150,9 @@ pub(crate) fn handle(
                 let len = args[3];
                 let fsize_limit = proc_fsize(k, ctx);
                 if len == 0 {
-                    Sem::err(Errno::EINVAL).cost(1, 3).branch("fallocate_einval")
+                    Sem::err(Errno::EINVAL)
+                        .cost(1, 3)
+                        .branch("fallocate_einval")
                 } else if offset.saturating_add(len) > fsize_limit {
                     // "argument exceeds max" → SIGXFSZ → coredump (Table 4.2).
                     Sem::err(Errno::EFBIG)
@@ -164,7 +168,9 @@ pub(crate) fn handle(
                     Sem::ok(0).cost(3, 15).branch("fallocate_ok")
                 }
             }
-            Some(_) => Sem::err(Errno::ESPIPE).cost(1, 3).branch("fallocate_espipe"),
+            Some(_) => Sem::err(Errno::ESPIPE)
+                .cost(1, 3)
+                .branch("fallocate_espipe"),
             None => Sem::err(Errno::EBADF).cost(1, 2).branch("fallocate_ebadf"),
         },
         "ftruncate" | "truncate" => {
@@ -182,7 +188,9 @@ pub(crate) fn handle(
                         k.note_io_activity(ctx.pid, ctx.core);
                         Sem::ok(0).cost(2, 10).branch("ftruncate_ok")
                     }
-                    Some(_) => Sem::err(Errno::EINVAL).cost(1, 3).branch("ftruncate_einval"),
+                    Some(_) => Sem::err(Errno::EINVAL)
+                        .cost(1, 3)
+                        .branch("ftruncate_einval"),
                     None => Sem::err(Errno::EBADF).cost(1, 2).branch("ftruncate_ebadf"),
                 }
             } else {
@@ -197,7 +205,13 @@ pub(crate) fn handle(
             }
         }
         "sync" | "syncfs" => {
-            let blocked = k.sync_flush(ctx.pid, ctx.cgroup, &ctx.cpuset, 1.0, ctx.policy.host_deferrals);
+            let blocked = k.sync_flush(
+                ctx.pid,
+                ctx.cgroup,
+                &ctx.cpuset,
+                1.0,
+                ctx.policy.host_deferrals,
+            );
             Sem::ok(0).cost(2, 12).block(blocked).branch("sync")
         }
         "fsync" | "fdatasync" | "msync" => {
@@ -207,8 +221,13 @@ pub(crate) fn handle(
                     Some(FdObject::File { .. })
                 );
             if valid {
-                let blocked =
-                    k.sync_flush(ctx.pid, ctx.cgroup, &ctx.cpuset, 0.15, ctx.policy.host_deferrals);
+                let blocked = k.sync_flush(
+                    ctx.pid,
+                    ctx.cgroup,
+                    &ctx.cpuset,
+                    0.15,
+                    ctx.policy.host_deferrals,
+                );
                 Sem::ok(0).cost(2, 10).block(blocked).branch("fsync_ok")
             } else {
                 Sem::err(Errno::EBADF).cost(1, 2).branch("fsync_ebadf")
@@ -217,10 +236,12 @@ pub(crate) fn handle(
         "readlink" => match req.paths[0] {
             None => Sem::err(Errno::EFAULT).cost(1, 3).branch("readlink_efault"),
             Some(path) => match k.vfs.resolve(path) {
-                Ok(meta) if meta.symlink => Sem::ok(path.len() as i64)
-                    .cost(2, 8)
-                    .branch("readlink_ok"),
-                Ok(_) => Sem::err(Errno::EINVAL).cost(1, 5).branch("readlink_notlink"),
+                Ok(meta) if meta.symlink => {
+                    Sem::ok(path.len() as i64).cost(2, 8).branch("readlink_ok")
+                }
+                Ok(_) => Sem::err(Errno::EINVAL)
+                    .cost(1, 5)
+                    .branch("readlink_notlink"),
                 Err(e) => Sem::err(e)
                     .cost(1, 6 + path.len() as u64 / 64)
                     .branch("readlink_err"),
@@ -269,7 +290,9 @@ pub(crate) fn handle(
                         Sem::err(Errno::ERANGE).cost(2, 7).branch("getxattr_erange")
                     }
                     Some(v) => Sem::ok(v.len() as i64).cost(2, 8).branch("getxattr_ok"),
-                    None => Sem::err(Errno::ENODATA).cost(1, 6).branch("getxattr_enodata"),
+                    None => Sem::err(Errno::ENODATA)
+                        .cost(1, 6)
+                        .branch("getxattr_enodata"),
                 },
                 None => Sem::err(Errno::ENOENT).cost(1, 5).branch("getxattr_enoent"),
             },
@@ -279,8 +302,12 @@ pub(crate) fn handle(
             Some(path) if k.vfs.lookup(path).is_some() => {
                 Sem::ok(0).cost(2, 7).branch("xattr_list_ok")
             }
-            Some(_) => Sem::err(Errno::ENOENT).cost(1, 4).branch("xattr_list_enoent"),
-            None => Sem::err(Errno::EFAULT).cost(1, 2).branch("xattr_list_efault"),
+            Some(_) => Sem::err(Errno::ENOENT)
+                .cost(1, 4)
+                .branch("xattr_list_enoent"),
+            None => Sem::err(Errno::EFAULT)
+                .cost(1, 2)
+                .branch("xattr_list_efault"),
         },
         "inotify_init" => {
             let limit = proc_nofile(k, ctx);
@@ -291,8 +318,12 @@ pub(crate) fn handle(
         }
         "inotify_add_watch" => match k.fd_table(ctx.pid).get(Fd(args[0] as i32)) {
             Some(FdObject::Inotify) => Sem::ok(1).cost(2, 8).branch("inotify_watch_ok"),
-            Some(_) => Sem::err(Errno::EINVAL).cost(1, 3).branch("inotify_watch_einval"),
-            None => Sem::err(Errno::EBADF).cost(1, 2).branch("inotify_watch_ebadf"),
+            Some(_) => Sem::err(Errno::EINVAL)
+                .cost(1, 3)
+                .branch("inotify_watch_einval"),
+            None => Sem::err(Errno::EBADF)
+                .cost(1, 2)
+                .branch("inotify_watch_ebadf"),
         },
         "ioctl" => match k.fd_table(ctx.pid).get(Fd(args[0] as i32)) {
             Some(FdObject::File { .. }) => match args[1] {
@@ -354,7 +385,9 @@ pub(crate) fn handle(
         },
         "getdents" => match k.fd_table(ctx.pid).get(Fd(args[0] as i32)) {
             Some(FdObject::File { .. }) => Sem::ok(0).cost(2, 9).branch("getdents_ok"),
-            Some(_) => Sem::err(Errno::ENOTDIR).cost(1, 3).branch("getdents_enotdir"),
+            Some(_) => Sem::err(Errno::ENOTDIR)
+                .cost(1, 3)
+                .branch("getdents_enotdir"),
             None => Sem::err(Errno::EBADF).cost(1, 2).branch("getdents_ebadf"),
         },
         "flock" | "fcntl" => match k.fd_table(ctx.pid).get(Fd(args[0] as i32)) {

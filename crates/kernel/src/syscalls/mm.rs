@@ -44,8 +44,10 @@ pub(crate) fn handle(
             }
         }
         "mprotect" => {
-            if args[0] % 4096 != 0 {
-                Sem::err(Errno::EINVAL).cost(1, 2).branch("mprotect_unaligned")
+            if !args[0].is_multiple_of(4096) {
+                Sem::err(Errno::EINVAL)
+                    .cost(1, 2)
+                    .branch("mprotect_unaligned")
             } else {
                 Sem::ok(0).cost(1, 5).branch("mprotect_ok")
             }

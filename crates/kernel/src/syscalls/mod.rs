@@ -269,7 +269,16 @@ pub fn dispatch(kernel: &mut Kernel, ctx: &ExecContext, req: SyscallRequest<'_>)
             let mut sigs: Vec<u64> = sem
                 .trace
                 .iter()
-                .map(|label| fnv1a(&[nr as u64, fnv1a(&[label.len() as u64, label.as_bytes()[0] as u64, *label.as_bytes().last().unwrap_or(&0) as u64])]))
+                .map(|label| {
+                    fnv1a(&[
+                        nr as u64,
+                        fnv1a(&[
+                            label.len() as u64,
+                            label.as_bytes()[0] as u64,
+                            *label.as_bytes().last().unwrap_or(&0) as u64,
+                        ]),
+                    ])
+                })
                 .collect();
             sigs.push(fallback_signal(nr, sem.errno));
             sigs
@@ -479,11 +488,7 @@ mod tests {
     #[test]
     fn unknown_syscall_is_enosys() {
         let (mut k, ctx) = setup();
-        let out = dispatch(
-            &mut k,
-            &ctx,
-            SyscallRequest::new("not_a_syscall", [0; 6]),
-        );
+        let out = dispatch(&mut k, &ctx, SyscallRequest::new("not_a_syscall", [0; 6]));
         assert_eq!(out.errno, Some(Errno::ENOSYS));
         assert_eq!(out.coverage.len(), 1);
     }
@@ -513,11 +518,7 @@ mod tests {
         let (mut k, ctx) = setup();
         // Exhaust the 1-core quota of the 5s window.
         k.cgroups.charge_cpu(ctx.cgroup, Usecs::from_secs(5));
-        let out = dispatch(
-            &mut k,
-            &ctx,
-            SyscallRequest::new("getpid", [0; 6]),
-        );
+        let out = dispatch(&mut k, &ctx, SyscallRequest::new("getpid", [0; 6]));
         assert!(out.throttled);
         assert_eq!(out.user + out.system, Usecs::ZERO);
     }
@@ -525,17 +526,9 @@ mod tests {
     #[test]
     fn overhead_scales_cost() {
         let (mut k, mut ctx) = setup();
-        let base = dispatch(
-            &mut k,
-            &ctx,
-            SyscallRequest::new("getpid", [0; 6]),
-        );
+        let base = dispatch(&mut k, &ctx, SyscallRequest::new("getpid", [0; 6]));
         ctx.policy.overhead = 3.0;
-        let scaled = dispatch(
-            &mut k,
-            &ctx,
-            SyscallRequest::new("getpid", [0; 6]),
-        );
+        let scaled = dispatch(&mut k, &ctx, SyscallRequest::new("getpid", [0; 6]));
         assert!(scaled.user + scaled.system > base.user + base.system);
     }
 

@@ -92,7 +92,9 @@ pub(crate) fn handle(
                 let b = k.fd_table(ctx.pid).alloc(FdObject::PipeEnd, limit);
                 match (a, b) {
                     (Ok(fd), Ok(_)) => Sem::ok(fd.0 as i64).cost(3, 12).branch("socketpair_ok"),
-                    _ => Sem::err(Errno::EMFILE).cost(1, 4).branch("socketpair_emfile"),
+                    _ => Sem::err(Errno::EMFILE)
+                        .cost(1, 4)
+                        .branch("socketpair_emfile"),
                 }
             }
         }
@@ -106,7 +108,9 @@ pub(crate) fn handle(
         "bind" | "listen" | "setsockopt" | "getsockopt" | "shutdown" | "epoll_ctl" => {
             match socket_of(k, ctx, args[0]) {
                 SockRef::Socket => Sem::ok(0).cost(1, 6).branch("sockopt_ok"),
-                SockRef::OtherFd => Sem::err(Errno::EINVAL).cost(1, 3).branch("sockopt_enotsock"),
+                SockRef::OtherFd => Sem::err(Errno::EINVAL)
+                    .cost(1, 3)
+                    .branch("sockopt_enotsock"),
                 SockRef::Bad => Sem::err(Errno::EBADF).cost(1, 2).branch("sockopt_ebadf"),
             }
         }
@@ -115,7 +119,9 @@ pub(crate) fn handle(
                 .cost(2, 9)
                 .block(Usecs::from_millis(1))
                 .branch("connect_refused"),
-            SockRef::OtherFd => Sem::err(Errno::EINVAL).cost(1, 3).branch("connect_enotsock"),
+            SockRef::OtherFd => Sem::err(Errno::EINVAL)
+                .cost(1, 3)
+                .branch("connect_enotsock"),
             SockRef::Bad => Sem::err(Errno::EBADF).cost(1, 2).branch("connect_ebadf"),
         },
         "accept" | "accept4" => match socket_of(k, ctx, args[0]) {
@@ -152,7 +158,11 @@ pub(crate) fn handle(
                     }
                     Sem::ok(len as i64)
                         .cost(3, 10 + len / 16384)
-                        .branch(if is_audit { "sendto_audit" } else { "sendto_ok" })
+                        .branch(if is_audit {
+                            "sendto_audit"
+                        } else {
+                            "sendto_ok"
+                        })
                 }
                 SockRef::OtherFd => Sem::ok(len.min(4096) as i64)
                     .cost(2, 6)

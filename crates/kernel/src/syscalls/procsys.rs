@@ -25,9 +25,7 @@ pub(crate) fn handle(
     let args = req.args;
     Some(match name {
         "getpid" => Sem::ok(ctx.pid.0 as i64).cost(1, 2).branch("getpid"),
-        "getppid" | "gettid" | "getuid" | "geteuid" => {
-            Sem::ok(0).cost(1, 2).branch("identity")
-        }
+        "getppid" | "gettid" | "getuid" | "geteuid" => Sem::ok(0).cost(1, 2).branch("identity"),
         "setuid" | "setgid" => {
             // Credential changes are audited; the audit daemons do the work
             // in their own cgroups (§2.4.3 "deferring work to other process
@@ -43,7 +41,9 @@ pub(crate) fn handle(
         }
         "getrlimit" => {
             if args[0] > 16 {
-                Sem::err(Errno::EINVAL).cost(1, 2).branch("getrlimit_einval")
+                Sem::err(Errno::EINVAL)
+                    .cost(1, 2)
+                    .branch("getrlimit_einval")
             } else {
                 Sem::ok(0).cost(1, 3).branch("getrlimit_ok")
             }
@@ -51,7 +51,9 @@ pub(crate) fn handle(
         "setrlimit" | "prlimit64" => {
             let resource = args[if name == "prlimit64" { 1 } else { 0 }];
             if resource > 16 {
-                Sem::err(Errno::EINVAL).cost(1, 2).branch("setrlimit_einval")
+                Sem::err(Errno::EINVAL)
+                    .cost(1, 2)
+                    .branch("setrlimit_einval")
             } else {
                 // RLIMIT_FSIZE = 1 on Linux.
                 if resource == 1 {
@@ -78,10 +80,9 @@ pub(crate) fn handle(
             let signum = args[if name == "tgkill" { 2 } else { 1 }] as u8;
             if target == ctx.pid.0 || target == 0 {
                 match decode_signal(signum) {
-                    Some(sig) if sig.fatal_by_default() => Sem::ok(0)
-                        .cost(1, 5)
-                        .fatal(sig)
-                        .branch("kill_self_fatal"),
+                    Some(sig) if sig.fatal_by_default() => {
+                        Sem::ok(0).cost(1, 5).fatal(sig).branch("kill_self_fatal")
+                    }
                     Some(_) => Sem::ok(0).cost(1, 4).branch("kill_self_ignored"),
                     None => Sem::err(Errno::EINVAL).cost(1, 2).branch("kill_einval"),
                 }
@@ -94,7 +95,9 @@ pub(crate) fn handle(
         }
         "rt_sigaction" | "rt_sigprocmask" => {
             if args[0] == 0 || args[0] > 64 {
-                Sem::err(Errno::EINVAL).cost(1, 2).branch("sigaction_einval")
+                Sem::err(Errno::EINVAL)
+                    .cost(1, 2)
+                    .branch("sigaction_einval")
             } else {
                 Sem::ok(0).cost(1, 3).branch("sigaction_ok")
             }
@@ -110,7 +113,7 @@ pub(crate) fn handle(
         "rseq" => {
             // Invalid arguments (unaligned struct or unknown flags) kill the
             // caller with SIGSEGV (Table 4.2).
-            if args[0] % 32 != 0 || args[2] > 1 {
+            if !args[0].is_multiple_of(32) || args[2] > 1 {
                 Sem::ok(0)
                     .cost(1, 4)
                     .fatal(Signal::SIGSEGV)
@@ -135,16 +138,16 @@ pub(crate) fn handle(
                 Sem::ok(0).cost(1, 4).branch("kcmp_ok")
             }
         }
-        "capget" | "capset" | "prctl" | "personality" => {
-            Sem::ok(0).cost(1, 3).branch("cred_misc")
-        }
+        "capget" | "capset" | "prctl" | "personality" => Sem::ok(0).cost(1, 3).branch("cred_misc"),
         "ptrace" => Sem::err(Errno::EPERM).cost(1, 3).branch("ptrace_eperm"),
         "uname" | "sysinfo" | "times" | "getcpu" | "gettimeofday" | "clock_gettime"
         | "getitimer" => Sem::ok(0).cost(1, 2).branch("info"),
         "fork" => {
             // Fork inside the container: allowed, cheap model (no new
             // schedulable entity — the executor is single-threaded here).
-            Sem::ok((ctx.pid.0 + 1000) as i64).cost(4, 20).branch("fork")
+            Sem::ok((ctx.pid.0 + 1000) as i64)
+                .cost(4, 20)
+                .branch("fork")
         }
         _ => return None,
     })

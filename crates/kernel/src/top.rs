@@ -168,7 +168,10 @@ mod tests {
         let mut sampler = TopSampler::new();
         let _ = sampler.sample(&k, Usecs::from_secs(1));
         let frame = sampler.sample(&k, Usecs::from_secs(1)).unwrap();
-        assert!(frame.entry(helper.0).is_none(), "modprobe must be invisible");
+        assert!(
+            frame.entry(helper.0).is_none(),
+            "modprobe must be invisible"
+        );
     }
 
     #[test]

@@ -174,10 +174,16 @@ impl Default for Vfs {
 }
 
 /// Per-process file-descriptor table.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct FdTable {
     entries: HashMap<Fd, FdObject>,
     next_fd: i32,
+}
+
+impl Default for FdTable {
+    fn default() -> FdTable {
+        FdTable::new()
+    }
 }
 
 impl FdTable {

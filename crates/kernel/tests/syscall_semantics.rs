@@ -64,7 +64,9 @@ impl Host {
 #[test]
 fn open_close_lifecycle() {
     let mut h = Host::new();
-    let fd = h.call_path("open", [0, 0, 0, 0, 0, 0], "/etc/passwd").retval;
+    let fd = h
+        .call_path("open", [0, 0, 0, 0, 0, 0], "/etc/passwd")
+        .retval;
     assert!(fd >= 3, "got {fd}");
     assert_eq!(h.call("close", [fd as u64, 0, 0, 0, 0, 0]).retval, 0);
     assert_eq!(
@@ -120,10 +122,18 @@ fn write_past_rlimit_fsize_delivers_sigxfsz() {
 #[test]
 fn lseek_whence_validation() {
     let mut h = Host::new();
-    let fd = h.call_path("creat", [0, 0o644, 0, 0, 0, 0], "seekme").retval as u64;
+    let fd = h
+        .call_path("creat", [0, 0o644, 0, 0, 0, 0], "seekme")
+        .retval as u64;
     assert_eq!(h.call("lseek", [fd, 100, 0, 0, 0, 0]).retval, 100);
-    assert_eq!(h.call("lseek", [fd, 0, 9, 0, 0, 0]).errno, Some(Errno::EINVAL));
-    assert_eq!(h.call("lseek", [999, 0, 0, 0, 0, 0]).errno, Some(Errno::EBADF));
+    assert_eq!(
+        h.call("lseek", [fd, 0, 9, 0, 0, 0]).errno,
+        Some(Errno::EINVAL)
+    );
+    assert_eq!(
+        h.call("lseek", [999, 0, 0, 0, 0, 0]).errno,
+        Some(Errno::EBADF)
+    );
 }
 
 #[test]
@@ -186,11 +196,14 @@ fn inotify_and_ioctl() {
     let watch = dispatch(
         &mut h.kernel,
         &h.ctx,
-        SyscallRequest::new("inotify_add_watch", [ifd, 0, 0xfff, 0, 0, 0]).with_path(1, "/etc/passwd"),
+        SyscallRequest::new("inotify_add_watch", [ifd, 0, 0xfff, 0, 0, 0])
+            .with_path(1, "/etc/passwd"),
     );
     assert_eq!(watch.retval, 1);
     // FS_IOC_GETVERSION on a file fd succeeds; on inotify it is EINVAL.
-    let file = h.call_path("open", [0, 0, 0, 0, 0, 0], "/etc/passwd").retval as u64;
+    let file = h
+        .call_path("open", [0, 0, 0, 0, 0, 0], "/etc/passwd")
+        .retval as u64;
     assert_eq!(h.call("ioctl", [file, 0x8008_7601, 0, 0, 0, 0]).retval, 0);
     assert_eq!(
         h.call("ioctl", [ifd, 0x8008_7601, 0, 0, 0, 0]).errno,
@@ -201,7 +214,11 @@ fn inotify_and_ioctl() {
 #[test]
 fn mkdir_eexist_and_unlink_enoent() {
     let mut h = Host::new();
-    assert_eq!(h.call_path("mkdir", [0, 0o755, 0, 0, 0, 0], "newdir").retval, 0);
+    assert_eq!(
+        h.call_path("mkdir", [0, 0o755, 0, 0, 0, 0], "newdir")
+            .retval,
+        0
+    );
     assert_eq!(
         h.call_path("mkdir", [0, 0o755, 0, 0, 0, 0], "newdir").errno,
         Some(Errno::EEXIST)
@@ -219,7 +236,10 @@ fn dup_clones_the_descriptor() {
     let fd = h.call_path("creat", [0, 0o644, 0, 0, 0, 0], "duped").retval as u64;
     let dup = h.call("dup", [fd, 0, 0, 0, 0, 0]).retval;
     assert!(dup > fd as i64);
-    assert_eq!(h.call("dup", [4242, 0, 0, 0, 0, 0]).errno, Some(Errno::EBADF));
+    assert_eq!(
+        h.call("dup", [4242, 0, 0, 0, 0, 0]).errno,
+        Some(Errno::EBADF)
+    );
 }
 
 // ---------------------------------------------------------------- mm
@@ -292,7 +312,9 @@ fn mprotect_alignment() {
 #[test]
 fn identity_calls_are_cheap_and_infallible() {
     let mut h = Host::new();
-    for name in ["getpid", "getuid", "geteuid", "gettid", "getppid", "uname", "sysinfo", "times", "getcpu"] {
+    for name in [
+        "getpid", "getuid", "geteuid", "gettid", "getppid", "uname", "sysinfo", "times", "getcpu",
+    ] {
         let out = h.call(name, [0; 6]);
         assert!(out.errno.is_none(), "{name}: {:?}", out.errno);
         assert!(out.user + out.system < Usecs(20), "{name} too expensive");
@@ -306,10 +328,10 @@ fn kill_self_with_dumping_signal_spawns_helper() {
     let out = h.call("kill", [pid, 11, 0, 0, 0, 0]); // SIGSEGV
     assert_eq!(out.fatal_signal, Some(Signal::SIGSEGV));
     let round = h.kernel.finish_round(&[0]);
-    assert!(round
-        .deferrals
-        .iter()
-        .any(|e| matches!(e.channel, torpedo_kernel::DeferralChannel::UserModeHelper(_))));
+    assert!(round.deferrals.iter().any(|e| matches!(
+        e.channel,
+        torpedo_kernel::DeferralChannel::UserModeHelper(_)
+    )));
 }
 
 #[test]
@@ -325,8 +347,14 @@ fn kill_ignored_signal_is_harmless() {
 fn kill_other_processes_is_denied_or_esrch() {
     let mut h = Host::new();
     let dockerd = h.kernel.boot.dockerd.0 as u64;
-    assert_eq!(h.call("kill", [dockerd, 9, 0, 0, 0, 0]).errno, Some(Errno::EPERM));
-    assert_eq!(h.call("kill", [99999, 9, 0, 0, 0, 0]).errno, Some(Errno::ESRCH));
+    assert_eq!(
+        h.call("kill", [dockerd, 9, 0, 0, 0, 0]).errno,
+        Some(Errno::EPERM)
+    );
+    assert_eq!(
+        h.call("kill", [99999, 9, 0, 0, 0, 0]).errno,
+        Some(Errno::ESRCH)
+    );
 }
 
 #[test]
@@ -353,8 +381,14 @@ fn kcmp_validates_pids_and_type() {
     let mut h = Host::new();
     let me = h.ctx.pid.0 as u64;
     assert_eq!(h.call("kcmp", [me, me, 0, 0, 0, 0]).retval, 0);
-    assert_eq!(h.call("kcmp", [0x1586, me, 5, 0, 0, 0]).errno, Some(Errno::ESRCH));
-    assert_eq!(h.call("kcmp", [me, me, 99, 0, 0, 0]).errno, Some(Errno::EINVAL));
+    assert_eq!(
+        h.call("kcmp", [0x1586, me, 5, 0, 0, 0]).errno,
+        Some(Errno::ESRCH)
+    );
+    assert_eq!(
+        h.call("kcmp", [me, me, 99, 0, 0, 0]).errno,
+        Some(Errno::EINVAL)
+    );
 }
 
 #[test]
@@ -378,11 +412,16 @@ fn socketpair_allocates_two_fds() {
 #[test]
 fn sendto_on_non_socket_fd() {
     let mut h = Host::new();
-    let file = h.call_path("creat", [0, 0o644, 0, 0, 0, 0], "notasock").retval as u64;
+    let file = h
+        .call_path("creat", [0, 0o644, 0, 0, 0, 0], "notasock")
+        .retval as u64;
     // Linux: write-like behaviour on some fds; our model returns short ok.
     let out = h.call("sendto", [file, 0, 64, 0, 0, 0]);
     assert!(out.retval >= 0);
-    assert_eq!(h.call("sendto", [777, 0, 64, 0, 0, 0]).errno, Some(Errno::EBADF));
+    assert_eq!(
+        h.call("sendto", [777, 0, 64, 0, 0, 0]).errno,
+        Some(Errno::EBADF)
+    );
 }
 
 #[test]

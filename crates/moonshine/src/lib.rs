@@ -78,9 +78,15 @@ pub fn generate_trace(family: TraceFamily, rng: &mut StdRng) -> String {
             // open(2) is the most common call in the distilled traces
             // (§4.4.2 notes its "relative prevalence" in the Moonshine
             // seeds); flags vary, including O_CREAT and large-file bits.
-            let flags = [0x42u64, 0x8042, 0x442, 0x242].choose(rng).copied().unwrap();
+            let flags = [0x42u64, 0x8042, 0x442, 0x242]
+                .choose(rng)
+                .copied()
+                .unwrap();
             let mode = [0x1a4u64, 0x124, 0o600].choose(rng).copied().unwrap();
-            let len = [0x40u64, 0x100, 0x1000, 0x8000].choose(rng).copied().unwrap();
+            let len = [0x40u64, 0x100, 0x1000, 0x8000]
+                .choose(rng)
+                .copied()
+                .unwrap();
             let file = rng.gen_range(0..2);
             format!(
                 "r0 = open(&'workfile-{file}', {flags:#x}, {mode:#x})\n\
@@ -134,7 +140,10 @@ pub fn generate_trace(family: TraceFamily, rng: &mut StdRng) -> String {
             )
         }
         TraceFamily::Inotify => {
-            let offset = [0xfffffffffffffffbu64, 0x0, 0x10].choose(rng).copied().unwrap();
+            let offset = [0xfffffffffffffffbu64, 0x0, 0x10]
+                .choose(rng)
+                .copied()
+                .unwrap();
             format!(
                 "r0 = inotify_init()\n\
                  ioctl(r0, 0x80087601, 0x7f0000000100)\n\
@@ -168,7 +177,10 @@ pub fn generate_trace(family: TraceFamily, rng: &mut StdRng) -> String {
             )
         }
         TraceFamily::Rlimit => {
-            let limit = [0x1000u64, 0x100000, 0x40000000].choose(rng).copied().unwrap();
+            let limit = [0x1000u64, 0x100000, 0x40000000]
+                .choose(rng)
+                .copied()
+                .unwrap();
             let len = [0x800u64, 0x4000, 0x200000].choose(rng).copied().unwrap();
             format!(
                 "getrlimit(0x1, 0x7f0000000000)\n\
@@ -180,7 +192,11 @@ pub fn generate_trace(family: TraceFamily, rng: &mut StdRng) -> String {
         }
         TraceFamily::Writeback => {
             let len = [0x2000u64, 0x10000, 0x80000].choose(rng).copied().unwrap();
-            let tail = if rng.gen_bool(0.5) { "fsync(r0)" } else { "sync()" };
+            let tail = if rng.gen_bool(0.5) {
+                "fsync(r0)"
+            } else {
+                "sync()"
+            };
             format!(
                 "r0 = creat(&'workfile-1', 0x1a4)\n\
                  write(r0, 0x7f0000000000, {len:#x})\n\

@@ -194,7 +194,9 @@ mod tests {
     #[test]
     fn quiet_baseline_produces_no_violations() {
         // 3 fuzz cores ~85%, sidecar 20%, rest ~4%: the Table A.1 shape.
-        let busy = [0.85, 0.84, 0.87, 0.20, 0.04, 0.04, 0.06, 0.06, 0.04, 0.06, 0.06, 0.05];
+        let busy = [
+            0.85, 0.84, 0.87, 0.20, 0.04, 0.04, 0.06, 0.06, 0.04, 0.06, 0.06, 0.05,
+        ];
         let o = obs(&busy, &[0, 1, 2]);
         let oracle = CpuOracle::new();
         let violations = oracle.flag(&o);
@@ -220,7 +222,9 @@ mod tests {
     fn blocked_fuzzer_flags_fuzz_core_floor() {
         // Program went to sleep: fuzz core 0 nearly idle (the §4.1.2
         // 'pause/nanosleep' pattern).
-        let busy = [0.05, 0.85, 0.85, 0.2, 0.04, 0.04, 0.04, 0.04, 0.04, 0.04, 0.04, 0.04];
+        let busy = [
+            0.05, 0.85, 0.85, 0.2, 0.04, 0.04, 0.04, 0.04, 0.04, 0.04, 0.04, 0.04,
+        ];
         let o = obs(&busy, &[0, 1, 2]);
         let violations = CpuOracle::new().flag(&o);
         assert!(violations
@@ -231,7 +235,9 @@ mod tests {
     #[test]
     fn oob_workload_flags_idle_cores_and_total() {
         // The Table A.3 socket-modprobe shape: work everywhere.
-        let busy = [0.10, 0.67, 0.35, 0.30, 0.45, 0.40, 0.40, 0.35, 0.35, 0.40, 0.40, 0.40];
+        let busy = [
+            0.10, 0.67, 0.35, 0.30, 0.45, 0.40, 0.40, 0.35, 0.35, 0.40, 0.40, 0.40,
+        ];
         let o = obs(&busy, &[0, 1, 2]);
         let violations = CpuOracle::new().flag(&o);
         assert!(violations
@@ -253,7 +259,9 @@ mod tests {
     fn top_frame_feeds_sysproc_heuristic() {
         use torpedo_kernel::top::{TopEntry, TopSample};
         let mut o = obs(
-            &[0.85, 0.2, 0.04, 0.04, 0.04, 0.04, 0.04, 0.04, 0.04, 0.04, 0.04, 0.04],
+            &[
+                0.85, 0.2, 0.04, 0.04, 0.04, 0.04, 0.04, 0.04, 0.04, 0.04, 0.04, 0.04,
+            ],
             &[0],
         );
         o.top = Some(TopSample {

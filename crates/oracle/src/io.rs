@@ -140,7 +140,10 @@ mod tests {
         assert!(violations
             .iter()
             .any(|v| v.core == Some(7) && v.heuristic == HeuristicKind::IoWaitOutsideCpuset));
-        assert!(violations.iter().any(|v| v.core.is_none()), "total fires too");
+        assert!(
+            violations.iter().any(|v| v.core.is_none()),
+            "total fires too"
+        );
     }
 
     #[test]

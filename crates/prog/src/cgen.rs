@@ -55,7 +55,11 @@ pub fn generate_c(program: &Program, table: &[SyscallDesc], options: &CGenOption
     let (loop_open, indent, loop_close) = if options.iterations == 1 {
         (String::new(), "    ", String::new())
     } else if options.iterations == 0 {
-        ("    for (;;) {\n".to_string(), "        ", "    }\n".to_string())
+        (
+            "    for (;;) {\n".to_string(),
+            "        ",
+            "    }\n".to_string(),
+        )
     } else {
         (
             format!("    for (int i = 0; i < {}; i++) {{\n", options.iterations),
@@ -122,7 +126,9 @@ mod tests {
         );
         // The shape of the paper's A.2.2 listing.
         assert!(c.contains("#include <sys/syscall.h>"));
-        assert!(c.contains("syscall(SYS_open, \"/lib/x86_64-Linux-gnu/libc.so.6\", 0x680002ul, 0x20ul)"));
+        assert!(c.contains(
+            "syscall(SYS_open, \"/lib/x86_64-Linux-gnu/libc.so.6\", 0x680002ul, 0x20ul)"
+        ));
         assert!(c.contains("printf"));
         assert!(c.contains("//   open(&'/lib/x86_64-Linux-gnu/libc.so.6'"));
         assert!(c.contains("int main(void)"));

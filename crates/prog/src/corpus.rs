@@ -129,8 +129,7 @@ impl Corpus {
                     body.push('\n');
                 }
             }
-            let program =
-                crate::serialize::deserialize(&body, table).map_err(|e| (idx, e))?;
+            let program = crate::serialize::deserialize(&body, table).map_err(|e| (idx, e))?;
             corpus.add(CorpusItem {
                 program,
                 new_signals,
@@ -190,9 +189,11 @@ mod tests {
         use crate::table::build_table;
         let table = build_table();
         let mut corpus = Corpus::new();
-        let program =
-            crate::serialize::deserialize("r0 = socket(0x10, 0x3, 0x9)\nsendto(r0, 0x0, 0x24, 0x0, 0x0, 0xc)\n", &table)
-                .unwrap();
+        let program = crate::serialize::deserialize(
+            "r0 = socket(0x10, 0x3, 0x9)\nsendto(r0, 0x0, 0x24, 0x0, 0x0, 0xc)\n",
+            &table,
+        )
+        .unwrap();
         corpus.add(CorpusItem {
             program,
             new_signals: 4,

@@ -93,9 +93,7 @@ pub fn gen_arg(
         ArgType::Path(options) => {
             ArgValue::Path((*options.choose(rng).unwrap_or(&"/dev/null")).to_string())
         }
-        ArgType::XattrName => {
-            ArgValue::Name((*XATTR_NAMES.choose(rng).unwrap()).to_string())
-        }
+        ArgType::XattrName => ArgValue::Name((*XATTR_NAMES.choose(rng).unwrap()).to_string()),
         ArgType::SignalNum => {
             let sigs = [0u64, 1, 2, 9, 10, 11, 14, 15, 17, 25, 31, 64];
             ArgValue::Int(*sigs.choose(rng).unwrap())

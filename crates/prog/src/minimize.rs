@@ -60,11 +60,7 @@ mod tests {
                 .iter()
                 .map(|n| {
                     let desc = find(&table, n).unwrap();
-                    let args = table[desc]
-                        .args
-                        .iter()
-                        .map(|_| ArgValue::Int(0))
-                        .collect();
+                    let args = table[desc].args.iter().map(|_| ArgValue::Int(0)).collect();
                     Call { desc, args }
                 })
                 .collect(),

@@ -234,11 +234,7 @@ mod tests {
     use rand::SeedableRng;
 
     fn setup() -> (Vec<SyscallDesc>, Mutator, StdRng) {
-        (
-            build_table(),
-            Mutator::default(),
-            StdRng::seed_from_u64(99),
-        )
+        (build_table(), Mutator::default(), StdRng::seed_from_u64(99))
     }
 
     #[test]

@@ -309,7 +309,10 @@ mod tests {
         };
         assert!(matches!(
             prog.validate(&table),
-            Err(ValidationError::KindMismatch { wanted: ResKind::SockFd, .. })
+            Err(ValidationError::KindMismatch {
+                wanted: ResKind::SockFd,
+                ..
+            })
         ));
     }
 
@@ -319,7 +322,11 @@ mod tests {
         prog.calls[0].args.pop();
         assert!(matches!(
             prog.validate(&table),
-            Err(ValidationError::Arity { call: 0, expected: 3, actual: 2 })
+            Err(ValidationError::Arity {
+                call: 0,
+                expected: 3,
+                actual: 2
+            })
         ));
     }
 

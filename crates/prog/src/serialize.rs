@@ -126,8 +126,12 @@ pub fn deserialize(text: &str, table: &[SyscallDesc]) -> Result<Program, ParseEr
             Some((lhs, rhs)) if lhs.trim().starts_with('r') && !lhs.contains('(') => rhs.trim(),
             _ => line,
         };
-        let open = body.find('(').ok_or(ParseError::Malformed { line: lineno })?;
-        let close = body.rfind(')').ok_or(ParseError::Malformed { line: lineno })?;
+        let open = body
+            .find('(')
+            .ok_or(ParseError::Malformed { line: lineno })?;
+        let close = body
+            .rfind(')')
+            .ok_or(ParseError::Malformed { line: lineno })?;
         if close < open {
             return Err(ParseError::Malformed { line: lineno });
         }
@@ -246,10 +250,7 @@ creat(&'mntpoint/tmp', 0x124)
 setxattr(&'getxattr01testfile', @'system.posix_acl_access', 0x0, 0x15, 0x1)
 ";
         let prog = deserialize(text, &table).unwrap();
-        assert_eq!(
-            prog.calls[0].args[0],
-            ArgValue::Path("mntpoint/tmp".into())
-        );
+        assert_eq!(prog.calls[0].args[0], ArgValue::Path("mntpoint/tmp".into()));
         assert_eq!(
             prog.calls[1].args[1],
             ArgValue::Name("system.posix_acl_access".into())
@@ -283,7 +284,14 @@ setxattr(&'getxattr01testfile', @'system.posix_acl_access', 0x0, 0x15, 0x1)
     fn arity_mismatch_rejected() {
         let table = build_table();
         let err = deserialize("socket(0x1)\n", &table).unwrap_err();
-        assert!(matches!(err, ParseError::Arity { expected: 3, actual: 1, .. }));
+        assert!(matches!(
+            err,
+            ParseError::Arity {
+                expected: 3,
+                actual: 1,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -299,7 +307,10 @@ setxattr(&'getxattr01testfile', @'system.posix_acl_access', 0x0, 0x15, 0x1)
         let err = deserialize("alarm(xyz)\n", &table).unwrap_err();
         assert!(matches!(err, ParseError::BadArg { .. }));
         let err = deserialize("creat(&'unterminated, 0x0)\n", &table).unwrap_err();
-        assert!(matches!(err, ParseError::Malformed { .. } | ParseError::Arity { .. } | ParseError::BadArg { .. }));
+        assert!(matches!(
+            err,
+            ParseError::Malformed { .. } | ParseError::Arity { .. } | ParseError::BadArg { .. }
+        ));
     }
 
     #[test]

@@ -67,7 +67,12 @@ pub fn build_table() -> Vec<SyscallDesc> {
             "open",
             vec![
                 a("path", Path(PATHS)),
-                a("flags", Flags(&[0, 0x1, 0x2, 0x40, 0x80, 0x200, 0x400, 0x8000, 0x80000, 0x200000, 0x680002])),
+                a(
+                    "flags",
+                    Flags(&[
+                        0, 0x1, 0x2, 0x40, 0x80, 0x200, 0x400, 0x8000, 0x80000, 0x200000, 0x680002,
+                    ]),
+                ),
                 a("mode", OneOf(&[0, 0o600, 0o644, 0o777, 0x20, 0x124])),
             ],
             Some(ResKind::FileFd),
@@ -76,7 +81,10 @@ pub fn build_table() -> Vec<SyscallDesc> {
         ),
         d(
             "creat",
-            vec![a("path", Path(PATHS)), a("mode", OneOf(&[0o600, 0o644, 0x124, 0x1a4, 0o777]))],
+            vec![
+                a("path", Path(PATHS)),
+                a("mode", OneOf(&[0o600, 0o644, 0x124, 0x1a4, 0o777])),
+            ],
             Some(ResKind::FileFd),
             File,
             false,
@@ -97,7 +105,11 @@ pub fn build_table() -> Vec<SyscallDesc> {
         ),
         d(
             "write",
-            vec![a("fd", Res(ResKind::FileFd)), a("buf", Ptr), a("count", Len)],
+            vec![
+                a("fd", Res(ResKind::FileFd)),
+                a("buf", Ptr),
+                a("count", Len),
+            ],
             None,
             File,
             false,
@@ -106,7 +118,13 @@ pub fn build_table() -> Vec<SyscallDesc> {
             "lseek",
             vec![
                 a("fd", Res(ResKind::FileFd)),
-                a("offset", IntRange { min: 0, max: u64::MAX }),
+                a(
+                    "offset",
+                    IntRange {
+                        min: 0,
+                        max: u64::MAX,
+                    },
+                ),
                 a("whence", OneOf(&[0, 1, 2, 3, 4, 9])),
             ],
             None,
@@ -122,7 +140,10 @@ pub fn build_table() -> Vec<SyscallDesc> {
         ),
         d(
             "chmod",
-            vec![a("path", Path(PATHS)), a("mode", OneOf(&[0o600, 0o644, 0o755, 0x1ff, 0o777]))],
+            vec![
+                a("path", Path(PATHS)),
+                a("mode", OneOf(&[0o600, 0o644, 0o755, 0x1ff, 0o777])),
+            ],
             None,
             File,
             false,
@@ -132,8 +153,20 @@ pub fn build_table() -> Vec<SyscallDesc> {
             vec![
                 a("fd", Res(ResKind::FileFd)),
                 a("mode", OneOf(&[0, 1, 2, 3])),
-                a("offset", IntRange { min: 0, max: 1 << 40 }),
-                a("len", IntRange { min: 0, max: 1 << 40 }),
+                a(
+                    "offset",
+                    IntRange {
+                        min: 0,
+                        max: 1 << 40,
+                    },
+                ),
+                a(
+                    "len",
+                    IntRange {
+                        min: 0,
+                        max: 1 << 40,
+                    },
+                ),
             ],
             None,
             File,
@@ -143,16 +176,40 @@ pub fn build_table() -> Vec<SyscallDesc> {
             "ftruncate",
             vec![
                 a("fd", Res(ResKind::FileFd)),
-                a("length", IntRange { min: 0, max: 1 << 40 }),
+                a(
+                    "length",
+                    IntRange {
+                        min: 0,
+                        max: 1 << 40,
+                    },
+                ),
             ],
             None,
             File,
             false,
         ),
-        d("fsync", vec![a("fd", Res(ResKind::FileFd))], None, Sync, false),
-        d("fdatasync", vec![a("fd", Res(ResKind::FileFd))], None, Sync, false),
+        d(
+            "fsync",
+            vec![a("fd", Res(ResKind::FileFd))],
+            None,
+            Sync,
+            false,
+        ),
+        d(
+            "fdatasync",
+            vec![a("fd", Res(ResKind::FileFd))],
+            None,
+            Sync,
+            false,
+        ),
         d("sync", vec![], None, Sync, false),
-        d("syncfs", vec![a("fd", Res(ResKind::FileFd))], None, Sync, false),
+        d(
+            "syncfs",
+            vec![a("fd", Res(ResKind::FileFd))],
+            None,
+            Sync,
+            false,
+        ),
         d(
             "openat",
             vec![
@@ -171,7 +228,13 @@ pub fn build_table() -> Vec<SyscallDesc> {
                 a("fd", Res(ResKind::FileFd)),
                 a("buf", Ptr),
                 a("count", Len),
-                a("offset", IntRange { min: 0, max: 1 << 20 }),
+                a(
+                    "offset",
+                    IntRange {
+                        min: 0,
+                        max: 1 << 20,
+                    },
+                ),
             ],
             None,
             File,
@@ -183,7 +246,13 @@ pub fn build_table() -> Vec<SyscallDesc> {
                 a("fd", Res(ResKind::FileFd)),
                 a("buf", Ptr),
                 a("count", Len),
-                a("offset", IntRange { min: 0, max: 1 << 20 }),
+                a(
+                    "offset",
+                    IntRange {
+                        min: 0,
+                        max: 1 << 20,
+                    },
+                ),
             ],
             None,
             File,
@@ -191,24 +260,79 @@ pub fn build_table() -> Vec<SyscallDesc> {
         ),
         d(
             "truncate",
-            vec![a("path", Path(PATHS)), a("length", IntRange { min: 0, max: 1 << 40 })],
+            vec![
+                a("path", Path(PATHS)),
+                a(
+                    "length",
+                    IntRange {
+                        min: 0,
+                        max: 1 << 40,
+                    },
+                ),
+            ],
             None,
             File,
             false,
         ),
         d(
             "fchmod",
-            vec![a("fd", Res(ResKind::FileFd)), a("mode", OneOf(&[0o600, 0o644, 0o777]))],
+            vec![
+                a("fd", Res(ResKind::FileFd)),
+                a("mode", OneOf(&[0o600, 0o644, 0o777])),
+            ],
             None,
             File,
             false,
         ),
-        d("fstat", vec![a("fd", Res(ResKind::AnyFd)), a("statbuf", Ptr)], None, File, false),
-        d("dup3", vec![a("oldfd", Res(ResKind::AnyFd)), a("newfd", IntRange { min: 3, max: 64 }), a("flags", OneOf(&[0, 0x80000]))], Some(ResKind::FileFd), File, false),
-        d("eventfd2", vec![a("initval", IntRange { min: 0, max: 16 }), a("flags", OneOf(&[0, 1, 0x80000]))], Some(ResKind::PipeFd), Net, false),
-        d("stat", vec![a("path", Path(PATHS)), a("statbuf", Ptr)], None, File, false),
-        d("access", vec![a("path", Path(PATHS)), a("mode", OneOf(&[0, 1, 2, 4]))], None, File, false),
-        d("mkdir", vec![a("path", Path(PATHS)), a("mode", OneOf(&[0o700, 0o755]))], None, File, false),
+        d(
+            "fstat",
+            vec![a("fd", Res(ResKind::AnyFd)), a("statbuf", Ptr)],
+            None,
+            File,
+            false,
+        ),
+        d(
+            "dup3",
+            vec![
+                a("oldfd", Res(ResKind::AnyFd)),
+                a("newfd", IntRange { min: 3, max: 64 }),
+                a("flags", OneOf(&[0, 0x80000])),
+            ],
+            Some(ResKind::FileFd),
+            File,
+            false,
+        ),
+        d(
+            "eventfd2",
+            vec![
+                a("initval", IntRange { min: 0, max: 16 }),
+                a("flags", OneOf(&[0, 1, 0x80000])),
+            ],
+            Some(ResKind::PipeFd),
+            Net,
+            false,
+        ),
+        d(
+            "stat",
+            vec![a("path", Path(PATHS)), a("statbuf", Ptr)],
+            None,
+            File,
+            false,
+        ),
+        d(
+            "access",
+            vec![a("path", Path(PATHS)), a("mode", OneOf(&[0, 1, 2, 4]))],
+            None,
+            File,
+            false,
+        ),
+        d(
+            "mkdir",
+            vec![a("path", Path(PATHS)), a("mode", OneOf(&[0o700, 0o755]))],
+            None,
+            File,
+            false,
+        ),
         d("unlink", vec![a("path", Path(PATHS))], None, File, false),
         d(
             "rename",
@@ -217,19 +341,34 @@ pub fn build_table() -> Vec<SyscallDesc> {
             File,
             false,
         ),
-        d("dup", vec![a("fd", Res(ResKind::AnyFd))], Some(ResKind::FileFd), File, false),
+        d(
+            "dup",
+            vec![a("fd", Res(ResKind::AnyFd))],
+            Some(ResKind::FileFd),
+            File,
+            false,
+        ),
         d(
             "ioctl",
             vec![
                 a("fd", Res(ResKind::AnyFd)),
-                a("request", OneOf(&[0x8008_7601, 0xc020_64a5, 0x5401, 0x1234])),
+                a(
+                    "request",
+                    OneOf(&[0x8008_7601, 0xc020_64a5, 0x5401, 0x1234]),
+                ),
                 a("argp", Ptr),
             ],
             None,
             File,
             false,
         ),
-        d("inotify_init", vec![], Some(ResKind::InotifyFd), File, false),
+        d(
+            "inotify_init",
+            vec![],
+            Some(ResKind::InotifyFd),
+            File,
+            false,
+        ),
         d(
             "inotify_add_watch",
             vec![
@@ -241,8 +380,27 @@ pub fn build_table() -> Vec<SyscallDesc> {
             File,
             false,
         ),
-        d("getdents", vec![a("fd", Res(ResKind::FileFd)), a("dirp", Ptr), a("count", Len)], None, File, false),
-        d("flock", vec![a("fd", Res(ResKind::AnyFd)), a("operation", OneOf(&[1, 2, 4, 8]))], None, File, false),
+        d(
+            "getdents",
+            vec![
+                a("fd", Res(ResKind::FileFd)),
+                a("dirp", Ptr),
+                a("count", Len),
+            ],
+            None,
+            File,
+            false,
+        ),
+        d(
+            "flock",
+            vec![
+                a("fd", Res(ResKind::AnyFd)),
+                a("operation", OneOf(&[1, 2, 4, 8])),
+            ],
+            None,
+            File,
+            false,
+        ),
         d(
             "memfd_create",
             vec![a("name", Ptr), a("flags", Flags(&[0, 1, 2]))],
@@ -295,7 +453,13 @@ pub fn build_table() -> Vec<SyscallDesc> {
             "mmap",
             vec![
                 a("addr", Ptr),
-                a("length", IntRange { min: 0, max: 1 << 26 }),
+                a(
+                    "length",
+                    IntRange {
+                        min: 0,
+                        max: 1 << 26,
+                    },
+                ),
                 a("prot", Flags(&[0, 1, 2, 4])),
                 a("flags", Flags(&[0x2, 0x10, 0x20, 0x4000, 0x20010, 0x32])),
                 a("fd", OneOf(&[u64::MAX, 0, 3])),
@@ -307,7 +471,16 @@ pub fn build_table() -> Vec<SyscallDesc> {
         ),
         d(
             "munmap",
-            vec![a("addr", Ptr), a("length", IntRange { min: 0, max: 1 << 26 })],
+            vec![
+                a("addr", Ptr),
+                a(
+                    "length",
+                    IntRange {
+                        min: 0,
+                        max: 1 << 26,
+                    },
+                ),
+            ],
             None,
             Memory,
             false,
@@ -316,7 +489,13 @@ pub fn build_table() -> Vec<SyscallDesc> {
             "mprotect",
             vec![
                 a("addr", Ptr),
-                a("len", IntRange { min: 0, max: 1 << 20 }),
+                a(
+                    "len",
+                    IntRange {
+                        min: 0,
+                        max: 1 << 20,
+                    },
+                ),
                 a("prot", Flags(&[0, 1, 2, 4])),
             ],
             None,
@@ -328,8 +507,20 @@ pub fn build_table() -> Vec<SyscallDesc> {
             "mremap",
             vec![
                 a("old", Ptr),
-                a("old_size", IntRange { min: 0, max: 1 << 24 }),
-                a("new_size", IntRange { min: 0, max: 1 << 24 }),
+                a(
+                    "old_size",
+                    IntRange {
+                        min: 0,
+                        max: 1 << 24,
+                    },
+                ),
+                a(
+                    "new_size",
+                    IntRange {
+                        min: 0,
+                        max: 1 << 24,
+                    },
+                ),
                 a("flags", OneOf(&[0, 1, 2])),
             ],
             None,
@@ -347,9 +538,49 @@ pub fn build_table() -> Vec<SyscallDesc> {
             Memory,
             false,
         ),
-        d("mlock", vec![a("addr", Ptr), a("len", IntRange { min: 0, max: 1 << 24 })], None, Memory, false),
-        d("munlock", vec![a("addr", Ptr), a("len", IntRange { min: 0, max: 1 << 24 })], None, Memory, false),
-        d("getrandom", vec![a("buf", Ptr), a("count", Len), a("flags", OneOf(&[0, 1, 2]))], None, Memory, false),
+        d(
+            "mlock",
+            vec![
+                a("addr", Ptr),
+                a(
+                    "len",
+                    IntRange {
+                        min: 0,
+                        max: 1 << 24,
+                    },
+                ),
+            ],
+            None,
+            Memory,
+            false,
+        ),
+        d(
+            "munlock",
+            vec![
+                a("addr", Ptr),
+                a(
+                    "len",
+                    IntRange {
+                        min: 0,
+                        max: 1 << 24,
+                    },
+                ),
+            ],
+            None,
+            Memory,
+            false,
+        ),
+        d(
+            "getrandom",
+            vec![
+                a("buf", Ptr),
+                a("count", Len),
+                a("flags", OneOf(&[0, 1, 2])),
+            ],
+            None,
+            Memory,
+            false,
+        ),
         d(
             "futex",
             vec![
@@ -361,7 +592,17 @@ pub fn build_table() -> Vec<SyscallDesc> {
             Memory,
             true,
         ),
-        d("msync", vec![a("addr", Ptr), a("length", Len), a("flags", OneOf(&[1, 2, 4]))], None, Sync, false),
+        d(
+            "msync",
+            vec![
+                a("addr", Ptr),
+                a("length", Len),
+                a("flags", OneOf(&[1, 2, 4])),
+            ],
+            None,
+            Sync,
+            false,
+        ),
         // ---------------- network ----------------
         d(
             "socket",
@@ -388,28 +629,43 @@ pub fn build_table() -> Vec<SyscallDesc> {
         ),
         d(
             "bind",
-            vec![a("fd", Res(ResKind::SockFd)), a("addr", Ptr), a("addrlen", Len)],
+            vec![
+                a("fd", Res(ResKind::SockFd)),
+                a("addr", Ptr),
+                a("addrlen", Len),
+            ],
             None,
             Net,
             false,
         ),
         d(
             "connect",
-            vec![a("fd", Res(ResKind::SockFd)), a("addr", Ptr), a("addrlen", Len)],
+            vec![
+                a("fd", Res(ResKind::SockFd)),
+                a("addr", Ptr),
+                a("addrlen", Len),
+            ],
             None,
             Net,
             false,
         ),
         d(
             "listen",
-            vec![a("fd", Res(ResKind::SockFd)), a("backlog", IntRange { min: 0, max: 128 })],
+            vec![
+                a("fd", Res(ResKind::SockFd)),
+                a("backlog", IntRange { min: 0, max: 128 }),
+            ],
             None,
             Net,
             false,
         ),
         d(
             "accept",
-            vec![a("fd", Res(ResKind::SockFd)), a("addr", Ptr), a("addrlen", Ptr)],
+            vec![
+                a("fd", Res(ResKind::SockFd)),
+                a("addr", Ptr),
+                a("addrlen", Ptr),
+            ],
             Some(ResKind::SockFd),
             Net,
             true,
@@ -462,8 +718,20 @@ pub fn build_table() -> Vec<SyscallDesc> {
             Net,
             false,
         ),
-        d("pipe", vec![a("pipefd", Ptr)], Some(ResKind::PipeFd), Net, false),
-        d("epoll_create1", vec![a("flags", OneOf(&[0, 0x80000]))], Some(ResKind::PipeFd), Net, false),
+        d(
+            "pipe",
+            vec![a("pipefd", Ptr)],
+            Some(ResKind::PipeFd),
+            Net,
+            false,
+        ),
+        d(
+            "epoll_create1",
+            vec![a("flags", OneOf(&[0, 0x80000]))],
+            Some(ResKind::PipeFd),
+            Net,
+            false,
+        ),
         d(
             "epoll_ctl",
             vec![
@@ -508,33 +776,44 @@ pub fn build_table() -> Vec<SyscallDesc> {
             "setrlimit",
             vec![
                 a("resource", OneOf(&[0, 1, 3, 7])),
-                a("rlim", IntRange { min: 4096, max: 1 << 34 }),
+                a(
+                    "rlim",
+                    IntRange {
+                        min: 4096,
+                        max: 1 << 34,
+                    },
+                ),
             ],
             None,
             Process,
             false,
         ),
-        d("alarm", vec![a("seconds", OneOf(&[0, 1, 4, 60]))], None, Time, false),
+        d(
+            "alarm",
+            vec![a("seconds", OneOf(&[0, 1, 4, 60]))],
+            None,
+            Time,
+            false,
+        ),
         d("pause", vec![], None, Time, true),
-        d("nanosleep", vec![a("req", Ptr), a("rem", Ptr)], None, Time, true),
+        d(
+            "nanosleep",
+            vec![a("req", Ptr), a("rem", Ptr)],
+            None,
+            Time,
+            true,
+        ),
         d("sched_yield", vec![], None, Time, false),
         d(
             "kill",
-            vec![
-                a("pid", Res(ResKind::Pid)),
-                a("sig", SignalNum),
-            ],
+            vec![a("pid", Res(ResKind::Pid)), a("sig", SignalNum)],
             None,
             Signal,
             false,
         ),
         d(
             "rt_sigaction",
-            vec![
-                a("signum", SignalNum),
-                a("act", Ptr),
-                a("oldact", Ptr),
-            ],
+            vec![a("signum", SignalNum), a("act", Ptr), a("oldact", Ptr)],
             None,
             Signal,
             false,
@@ -546,7 +825,13 @@ pub fn build_table() -> Vec<SyscallDesc> {
                 a("rseq", Ptr),
                 a("rseq_len", OneOf(&[0x20, 0x1000])),
                 a("flags", OneOf(&[0, 1, 3])),
-                a("sig", IntRange { min: 0, max: u32::MAX as u64 }),
+                a(
+                    "sig",
+                    IntRange {
+                        min: 0,
+                        max: u32::MAX as u64,
+                    },
+                ),
             ],
             None,
             Signal,
@@ -555,7 +840,13 @@ pub fn build_table() -> Vec<SyscallDesc> {
         d(
             "kcmp",
             vec![
-                a("pid1", IntRange { min: 0, max: 0x2000 }),
+                a(
+                    "pid1",
+                    IntRange {
+                        min: 0,
+                        max: 0x2000,
+                    },
+                ),
                 a("pid2", Res(ResKind::Pid)),
                 a("type", IntRange { min: 0, max: 10 }),
                 a("idx1", Ptr),
@@ -565,13 +856,37 @@ pub fn build_table() -> Vec<SyscallDesc> {
             Process,
             false,
         ),
-        d("capget", vec![a("hdr", Ptr), a("data", Ptr)], None, Process, false),
-        d("prctl", vec![a("option", IntRange { min: 0, max: 64 }), a("arg2", Ptr)], None, Process, false),
+        d(
+            "capget",
+            vec![a("hdr", Ptr), a("data", Ptr)],
+            None,
+            Process,
+            false,
+        ),
+        d(
+            "prctl",
+            vec![a("option", IntRange { min: 0, max: 64 }), a("arg2", Ptr)],
+            None,
+            Process,
+            false,
+        ),
         d("uname", vec![a("buf", Ptr)], None, Process, false),
         d("sysinfo", vec![a("info", Ptr)], None, Process, false),
         d("times", vec![a("buf", Ptr)], None, Process, false),
-        d("getcpu", vec![a("cpu", Ptr), a("node", Ptr)], None, Process, false),
-        d("clock_gettime", vec![a("clockid", OneOf(&[0, 1, 4])), a("tp", Ptr)], None, Time, false),
+        d(
+            "getcpu",
+            vec![a("cpu", Ptr), a("node", Ptr)],
+            None,
+            Process,
+            false,
+        ),
+        d(
+            "clock_gettime",
+            vec![a("clockid", OneOf(&[0, 1, 4])), a("tp", Ptr)],
+            None,
+            Time,
+            false,
+        ),
     ]
 }
 

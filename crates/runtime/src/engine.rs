@@ -18,10 +18,15 @@ use torpedo_kernel::deferral::DeferralChannel;
 use torpedo_kernel::errno::Errno;
 use torpedo_kernel::kernel::Kernel;
 use torpedo_kernel::process::{DaemonKind, Pid, ProcessKind};
-use torpedo_kernel::syscalls::{fallback_signal, nr_of, ExecContext, SyscallOutcome, SyscallRequest};
+use torpedo_kernel::syscalls::{
+    fallback_signal, nr_of, ExecContext, SyscallOutcome, SyscallRequest,
+};
 use torpedo_kernel::time::Usecs;
 
+use std::sync::Arc;
+
 use crate::crun::Crun;
+use crate::faults::{FaultCounters, FaultInjector, FaultKind};
 use crate::gvisor::GVisor;
 use crate::kata::Kata;
 use crate::runc::RunC;
@@ -132,6 +137,13 @@ pub enum EngineError {
     NotRunning(String),
     /// cgroup setup failed.
     Cgroup(CgroupError),
+    /// Container start failed before the executor spawned (fault-injected
+    /// or a runtime setup error).
+    StartFailed(String),
+    /// Writing the container's cgroup limits failed.
+    CgroupWriteFailed(String),
+    /// The runtime hit a transient error executing a syscall.
+    ExecFault(String),
 }
 
 impl std::fmt::Display for EngineError {
@@ -142,6 +154,13 @@ impl std::fmt::Display for EngineError {
             EngineError::NoSuchContainer(name) => write!(f, "no such container: {name}"),
             EngineError::NotRunning(name) => write!(f, "container not running: {name}"),
             EngineError::Cgroup(err) => write!(f, "cgroup setup failed: {err}"),
+            EngineError::StartFailed(name) => write!(f, "container start failed: {name}"),
+            EngineError::CgroupWriteFailed(name) => {
+                write!(f, "cgroup write failed for container: {name}")
+            }
+            EngineError::ExecFault(name) => {
+                write!(f, "transient runtime exec error in container: {name}")
+            }
         }
     }
 }
@@ -163,6 +182,9 @@ pub struct Engine {
     warmed_runtimes: std::collections::HashSet<&'static str>,
     /// Startup latencies measured since the last drain (startup oracle feed).
     startup_log: Vec<Usecs>,
+    /// Fault injector for robustness testing; `None` (the default) means
+    /// every fault check is a single branch on an empty `Option`.
+    faults: Option<Arc<dyn FaultInjector>>,
 }
 
 impl std::fmt::Debug for Engine {
@@ -191,6 +213,7 @@ impl Engine {
             docker_cgroup,
             warmed_runtimes: std::collections::HashSet::new(),
             startup_log: Vec::new(),
+            faults: None,
         };
         engine.register_runtime(Box::new(RunC::new()));
         engine.register_runtime(Box::new(Crun::new()));
@@ -203,6 +226,32 @@ impl Engine {
     /// point for `crun`, patched Sentries, etc.
     pub fn register_runtime(&mut self, runtime: Box<dyn Runtime>) {
         self.runtimes.insert(runtime.name(), runtime);
+    }
+
+    /// Install a fault injector; subsequent engine I/O rolls against it.
+    pub fn set_fault_injector(&mut self, injector: Arc<dyn FaultInjector>) {
+        self.faults = Some(injector);
+    }
+
+    /// Remove the fault injector (back to the zero-cost production path).
+    pub fn clear_fault_injector(&mut self) {
+        self.faults = None;
+    }
+
+    /// Faults injected so far (all-zero when no injector is installed).
+    pub fn fault_counters(&self) -> FaultCounters {
+        self.faults
+            .as_ref()
+            .map(|f| f.counters())
+            .unwrap_or_default()
+    }
+
+    /// Roll the installed injector, if any.
+    fn fault(&self, kind: FaultKind, scope: &str) -> bool {
+        match &self.faults {
+            Some(f) => f.roll(kind, scope),
+            None => false,
+        }
     }
 
     /// Registered runtime names.
@@ -227,6 +276,12 @@ impl Engine {
         }
         if self.containers.contains_key(&spec.name) {
             return Err(EngineError::DuplicateName(spec.name.clone()));
+        }
+        if self.fault(FaultKind::StartFail, &spec.name) {
+            return Err(EngineError::StartFailed(spec.name.clone()));
+        }
+        if self.fault(FaultKind::CgroupWriteFail, &spec.name) {
+            return Err(EngineError::CgroupWriteFailed(spec.name.clone()));
         }
         let cgroup = kernel.cgroups.create(
             self.docker_cgroup,
@@ -376,6 +431,9 @@ impl Engine {
         if container.state != ContainerState::Running {
             return Err(EngineError::NotRunning(id.0.clone()));
         }
+        if self.fault(FaultKind::ExecError, &id.0) {
+            return Err(EngineError::ExecFault(id.0.clone()));
+        }
         if container.spec.seccomp.blocks(req.name) {
             return Ok(RuntimeExec {
                 outcome: seccomp_denied(req.name),
@@ -396,8 +454,21 @@ impl Engine {
             });
         }
         let ctx = self.exec_context(kernel, container);
-        let runtime = &self.runtimes[container.spec.runtime.as_str()];
-        let exec = runtime.execute(kernel, &ctx, req, env);
+        let exec = if self.fault(FaultKind::ContainerCrash, &id.0) {
+            // Synthesize a runtime-bug crash; the shared crash path below
+            // transitions the container and reaps its processes.
+            RuntimeExec {
+                outcome: fault_crash_outcome(req.name),
+                crash: Some(ContainerCrash {
+                    reason: "fault-injected-crash".into(),
+                    syscall: req.name.to_string(),
+                    args: req.args,
+                }),
+            }
+        } else {
+            let runtime = &self.runtimes[container.spec.runtime.as_str()];
+            runtime.execute(kernel, &ctx, req, env)
+        };
         if let Some(crash) = &exec.crash {
             let container = self.containers.get_mut(&id.0).expect("checked above");
             container.state = ContainerState::Crashed(crash.clone());
@@ -424,6 +495,9 @@ impl Engine {
     /// # Errors
     /// [`EngineError::NoSuchContainer`] if absent.
     pub fn restart(&mut self, kernel: &mut Kernel, id: &ContainerId) -> Result<(), EngineError> {
+        if self.fault(FaultKind::StartFail, &id.0) {
+            return Err(EngineError::StartFailed(id.0.clone()));
+        }
         let container = self
             .containers
             .get_mut(&id.0)
@@ -571,6 +645,23 @@ impl Engine {
     }
 }
 
+/// The outcome a program observes when a fault kills its container mid-call.
+fn fault_crash_outcome(name: &str) -> SyscallOutcome {
+    SyscallOutcome {
+        retval: Errno::EIO.as_retval(),
+        errno: Some(Errno::EIO),
+        fatal_signal: None,
+        user: Usecs(1),
+        system: Usecs(4),
+        blocked: Usecs::ZERO,
+        coverage: vec![fallback_signal(
+            nr_of(name).unwrap_or(u32::MAX),
+            Some(Errno::EIO),
+        )],
+        throttled: false,
+    }
+}
+
 fn mac_denied(name: &str) -> SyscallOutcome {
     SyscallOutcome {
         retval: Errno::EACCES.as_retval(),
@@ -617,7 +708,10 @@ mod tests {
     #[test]
     fn registry_has_all_runtimes() {
         let (_, engine) = setup();
-        assert_eq!(engine.runtime_names(), vec!["crun", "kata", "runc", "runsc"]);
+        assert_eq!(
+            engine.runtime_names(),
+            vec!["crun", "kata", "runc", "runsc"]
+        );
     }
 
     #[test]
@@ -689,7 +783,9 @@ mod tests {
         let id = engine
             .create(
                 &mut kernel,
-                ContainerSpec::new("g").runtime_name("runsc").cpuset_cpus(&[1]),
+                ContainerSpec::new("g")
+                    .runtime_name("runsc")
+                    .cpuset_cpus(&[1]),
             )
             .unwrap();
         kernel.begin_round(Usecs::from_secs(5));
@@ -725,7 +821,11 @@ mod tests {
             .unwrap();
         kernel.begin_round(Usecs::from_secs(5));
         let exec = engine
-            .exec(&mut kernel, &id, SyscallRequest::new("rt_sigreturn", [0; 6]))
+            .exec(
+                &mut kernel,
+                &id,
+                SyscallRequest::new("rt_sigreturn", [0; 6]),
+            )
             .unwrap();
         assert!(exec.outcome.fatal_signal.is_some());
         let pid = engine.container(&id).unwrap().executor_pid();
@@ -769,8 +869,7 @@ mod tests {
             .with_path(0, "/proc/sys/fs/mqueue/msg_max");
         let exec = engine.exec(&mut kernel, &id, denied).unwrap();
         assert_eq!(exec.outcome.errno, Some(Errno::EACCES));
-        let allowed = SyscallRequest::new("open", [0, 0, 0, 0, 0, 0])
-            .with_path(0, "/etc/passwd");
+        let allowed = SyscallRequest::new("open", [0, 0, 0, 0, 0, 0]).with_path(0, "/etc/passwd");
         let exec = engine.exec(&mut kernel, &id, allowed).unwrap();
         assert!(exec.outcome.retval >= 3);
     }
@@ -779,8 +878,12 @@ mod tests {
     fn namespaces_isolate_containers_from_host_and_each_other() {
         use torpedo_kernel::namespace::NamespaceKind;
         let (mut kernel, mut engine) = setup();
-        let a = engine.create(&mut kernel, ContainerSpec::new("nsa")).unwrap();
-        let b = engine.create(&mut kernel, ContainerSpec::new("nsb")).unwrap();
+        let a = engine
+            .create(&mut kernel, ContainerSpec::new("nsa"))
+            .unwrap();
+        let b = engine
+            .create(&mut kernel, ContainerSpec::new("nsb"))
+            .unwrap();
         let na = engine.container(&a).unwrap().namespaces().clone();
         let nb = engine.container(&b).unwrap().namespaces().clone();
         assert!(!na.is_host());
@@ -795,9 +898,14 @@ mod tests {
     #[test]
     fn userns_remap_controls_root_translation() {
         let (mut kernel, mut engine) = setup();
-        let plain = engine.create(&mut kernel, ContainerSpec::new("plain")).unwrap();
+        let plain = engine
+            .create(&mut kernel, ContainerSpec::new("plain"))
+            .unwrap();
         let remapped = engine
-            .create(&mut kernel, ContainerSpec::new("remapped").userns_remap(true))
+            .create(
+                &mut kernel,
+                ContainerSpec::new("remapped").userns_remap(true),
+            )
             .unwrap();
         assert!(
             engine
@@ -831,14 +939,20 @@ mod tests {
         kernel.begin_round(Usecs::from_secs(2));
         // A too-large mmap trips the memory controller → OOM event.
         let exec = engine
-            .exec(&mut kernel, &id, SyscallRequest::new("mmap", [0, 8 << 20, 3, 0x32, u64::MAX, 0]))
+            .exec(
+                &mut kernel,
+                &id,
+                SyscallRequest::new("mmap", [0, 8 << 20, 3, 0x32, u64::MAX, 0]),
+            )
             .unwrap();
         assert_eq!(exec.outcome.errno, Some(Errno::ENOMEM));
         let m = engine.metrics(&kernel, &id).unwrap();
         assert_eq!(m.oom_events, 1);
         assert!(m.cpu_charged > Usecs::ZERO);
         assert_eq!(m.state, ContainerState::Running);
-        assert!(engine.metrics(&kernel, &ContainerId("ghost".into())).is_none());
+        assert!(engine
+            .metrics(&kernel, &ContainerId("ghost".into()))
+            .is_none());
     }
 
     #[test]
@@ -855,5 +969,116 @@ mod tests {
             engine.remove(&mut kernel, &id),
             Err(EngineError::NoSuchContainer(_))
         ));
+    }
+
+    fn injecting(config: crate::faults::FaultConfig) -> (Kernel, Engine) {
+        let (kernel, mut engine) = setup();
+        engine.set_fault_injector(Arc::new(crate::faults::FaultPlan::new(config)));
+        (kernel, engine)
+    }
+
+    #[test]
+    fn injected_start_failure_surfaces_as_start_failed() {
+        let (mut kernel, mut engine) = injecting(crate::faults::FaultConfig {
+            start_fail: 1.0,
+            ..Default::default()
+        });
+        assert!(matches!(
+            engine.create(&mut kernel, ContainerSpec::new("fuzz-0")),
+            Err(EngineError::StartFailed(_))
+        ));
+        assert_eq!(engine.fault_counters().start_fail, 1);
+        assert!(engine.container_ids().is_empty());
+    }
+
+    #[test]
+    fn injected_cgroup_write_failure_blocks_creation() {
+        let (mut kernel, mut engine) = injecting(crate::faults::FaultConfig {
+            cgroup_write_fail: 1.0,
+            ..Default::default()
+        });
+        assert!(matches!(
+            engine.create(&mut kernel, ContainerSpec::new("fuzz-0")),
+            Err(EngineError::CgroupWriteFailed(_))
+        ));
+        assert_eq!(engine.fault_counters().cgroup_write_fail, 1);
+    }
+
+    #[test]
+    fn injected_crash_takes_the_real_crash_path() {
+        let (mut kernel, mut engine) = injecting(crate::faults::FaultConfig {
+            container_crash: 1.0,
+            ..Default::default()
+        });
+        let id = engine
+            .create(&mut kernel, ContainerSpec::new("fuzz-0").cpuset_cpus(&[0]))
+            .unwrap();
+        kernel.begin_round(Usecs::from_secs(1));
+        let exec = engine
+            .exec(&mut kernel, &id, SyscallRequest::new("getpid", [0; 6]))
+            .unwrap();
+        let crash = exec.crash.expect("fault produced a crash");
+        assert_eq!(crash.reason, "fault-injected-crash");
+        assert!(matches!(
+            engine.container(&id).unwrap().state(),
+            ContainerState::Crashed(_)
+        ));
+        // The same recovery that works for runtime-bug crashes works here.
+        assert!(matches!(
+            engine.exec(&mut kernel, &id, SyscallRequest::new("getpid", [0; 6])),
+            Err(EngineError::NotRunning(_))
+        ));
+        assert_eq!(engine.fault_counters().container_crash, 1);
+    }
+
+    #[test]
+    fn injected_exec_error_is_transient() {
+        let (mut kernel, mut engine) = injecting(crate::faults::FaultConfig {
+            seed: 3,
+            exec_error: 0.5,
+            ..Default::default()
+        });
+        let id = engine
+            .create(&mut kernel, ContainerSpec::new("fuzz-0").cpuset_cpus(&[0]))
+            .unwrap();
+        kernel.begin_round(Usecs::from_secs(1));
+        let mut faulted = 0;
+        let mut succeeded = 0;
+        for _ in 0..64 {
+            match engine.exec(&mut kernel, &id, SyscallRequest::new("getpid", [0; 6])) {
+                Err(EngineError::ExecFault(_)) => faulted += 1,
+                Ok(exec) => {
+                    assert!(exec.crash.is_none());
+                    succeeded += 1;
+                }
+                Err(other) => panic!("unexpected error: {other}"),
+            }
+            // Exec faults are transient: the container stays Running.
+            assert!(matches!(
+                engine.container(&id).unwrap().state(),
+                ContainerState::Running
+            ));
+        }
+        assert!(faulted > 0 && succeeded > 0);
+        assert_eq!(engine.fault_counters().exec_error, faulted);
+    }
+
+    #[test]
+    fn no_injector_means_no_faults_and_zero_counters() {
+        let (mut kernel, mut engine) = setup();
+        let id = engine
+            .create(&mut kernel, ContainerSpec::new("fuzz-0").cpuset_cpus(&[0]))
+            .unwrap();
+        kernel.begin_round(Usecs::from_secs(1));
+        for _ in 0..32 {
+            let exec = engine
+                .exec(&mut kernel, &id, SyscallRequest::new("getpid", [0; 6]))
+                .unwrap();
+            assert!(exec.crash.is_none());
+        }
+        assert_eq!(
+            engine.fault_counters(),
+            crate::faults::FaultCounters::default()
+        );
     }
 }

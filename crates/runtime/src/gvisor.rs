@@ -18,7 +18,9 @@ use std::collections::HashSet;
 
 use torpedo_kernel::errno::Errno;
 use torpedo_kernel::kernel::Kernel;
-use torpedo_kernel::syscalls::{self, fallback_signal, nr_of, ExecContext, ExecPolicy, SyscallOutcome, SyscallRequest};
+use torpedo_kernel::syscalls::{
+    self, fallback_signal, nr_of, ExecContext, ExecPolicy, SyscallOutcome, SyscallRequest,
+};
 use torpedo_kernel::time::Usecs;
 
 use crate::spec::RuntimeKind;
@@ -86,7 +88,10 @@ impl GVisor {
             user: Usecs(1),
             system: Usecs(3),
             blocked: Usecs::ZERO,
-            coverage: vec![fallback_signal(nr_of(name).unwrap_or(u32::MAX), Some(Errno::ENOSYS))],
+            coverage: vec![fallback_signal(
+                nr_of(name).unwrap_or(u32::MAX),
+                Some(Errno::ENOSYS),
+            )],
             throttled: false,
         }
     }
@@ -249,8 +254,8 @@ mod tests {
         let ctx = ctx(&mut kernel);
         kernel.begin_round(Usecs::from_secs(5));
         let g = GVisor::new();
-        let req = SyscallRequest::new("open", [0, 0x680002, 0x20, 0, 0, 0])
-            .with_path(0, "/no/such/path");
+        let req =
+            SyscallRequest::new("open", [0, 0x680002, 0x20, 0, 0, 0]).with_path(0, "/no/such/path");
         let exec = g.execute(&mut kernel, &ctx, req, ExecEnv::default());
         assert!(exec.crash.is_none());
     }
@@ -261,15 +266,11 @@ mod tests {
         let ctx = ctx(&mut kernel);
         kernel.begin_round(Usecs::from_secs(5));
         let g = GVisor::new();
-        let req = SyscallRequest::new("open", [0, 0x8000, 0, 0, 0, 0])
-            .with_path(0, "/etc/passwd");
+        let req = SyscallRequest::new("open", [0, 0x8000, 0, 0, 0, 0]).with_path(0, "/etc/passwd");
         let calm = g.execute(&mut kernel, &ctx, req, ExecEnv { collider: false });
         assert!(calm.crash.is_none());
         let racy = g.execute(&mut kernel, &ctx, req, ExecEnv { collider: true });
-        assert_eq!(
-            racy.crash.unwrap().reason,
-            "sentry-race-open-collider"
-        );
+        assert_eq!(racy.crash.unwrap().reason, "sentry-race-open-collider");
     }
 
     #[test]

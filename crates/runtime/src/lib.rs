@@ -26,6 +26,7 @@
 
 pub mod crun;
 pub mod engine;
+pub mod faults;
 pub mod gvisor;
 pub mod kata;
 pub mod pods;
@@ -37,6 +38,7 @@ use torpedo_kernel::syscalls::{ExecContext, ExecPolicy, SyscallOutcome, SyscallR
 
 pub use crun::Crun;
 pub use engine::{ContainerId, ContainerState, Engine};
+pub use faults::{FaultConfig, FaultCounters, FaultInjector, FaultKind, FaultPlan};
 pub use gvisor::GVisor;
 pub use kata::Kata;
 pub use pods::{Kubelet, Pod, PodPhase, PodSpec, RestartPolicy};

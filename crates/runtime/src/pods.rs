@@ -157,11 +157,13 @@ impl Kubelet {
                 Some(ContainerState::Crashed(_))
             )
         });
-        Some(if any_crashed && pod.spec.restart_policy == RestartPolicy::Never {
-            PodPhase::Failed
-        } else {
-            PodPhase::Running
-        })
+        Some(
+            if any_crashed && pod.spec.restart_policy == RestartPolicy::Never {
+                PodPhase::Failed
+            } else {
+                PodPhase::Running
+            },
+        )
     }
 
     /// One control-loop pass: restart crashed containers per policy.
@@ -204,14 +206,24 @@ mod tests {
 
     fn fuzz_pod(runtime: &str) -> PodSpec {
         PodSpec::new("fuzzer")
-            .container(ContainerSpec::new("exec").runtime_name(runtime).cpuset_cpus(&[0]))
-            .container(ContainerSpec::new("sidecar").runtime_name(runtime).cpuset_cpus(&[1]))
+            .container(
+                ContainerSpec::new("exec")
+                    .runtime_name(runtime)
+                    .cpuset_cpus(&[0]),
+            )
+            .container(
+                ContainerSpec::new("sidecar")
+                    .runtime_name(runtime)
+                    .cpuset_cpus(&[1]),
+            )
     }
 
     #[test]
     fn deploy_names_containers_by_pod() {
         let (mut kernel, mut engine, mut kubelet) = setup();
-        let idx = kubelet.deploy(&mut kernel, &mut engine, fuzz_pod("runc")).unwrap();
+        let idx = kubelet
+            .deploy(&mut kernel, &mut engine, fuzz_pod("runc"))
+            .unwrap();
         let pod = &kubelet.pods()[idx];
         assert_eq!(pod.containers().len(), 2);
         assert_eq!(pod.containers()[0].name(), "fuzzer-exec");
@@ -234,7 +246,9 @@ mod tests {
     #[test]
     fn restart_policy_always_recovers_crashes() {
         let (mut kernel, mut engine, mut kubelet) = setup();
-        let idx = kubelet.deploy(&mut kernel, &mut engine, fuzz_pod("runsc")).unwrap();
+        let idx = kubelet
+            .deploy(&mut kernel, &mut engine, fuzz_pod("runsc"))
+            .unwrap();
         kernel.begin_round(Usecs::from_secs(1));
         let crasher = kubelet.pods()[idx].containers()[0].clone();
         let req = SyscallRequest::new("open", [0, 0x680002, 0x20, 0, 0, 0])

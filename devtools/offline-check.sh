@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Typecheck (and optionally test) the workspace with NO network access by
+# patching the external dependencies with the API stubs under
+# devtools/offline-stubs/. The committed manifests are untouched: the patch
+# happens entirely through --config flags, and the stub-resolved Cargo.lock
+# is kept out of the tree by removing it afterwards.
+#
+# Usage:
+#   devtools/offline-check.sh                 # cargo check --all-targets
+#   devtools/offline-check.sh test -q         # cargo test -q (stub rand!)
+#   devtools/offline-check.sh clippy -- -D warnings
+#
+# Caveat: the rand stub draws different value streams than the real crate,
+# so RNG-sensitive test outcomes can differ from a networked build.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+STUBS=devtools/offline-stubs
+CONFIGS=(
+  --config "patch.crates-io.rand.path=\"$STUBS/rand\""
+  --config "patch.crates-io.crossbeam.path=\"$STUBS/crossbeam\""
+  --config "patch.crates-io.parking_lot.path=\"$STUBS/parking_lot\""
+  --config "patch.crates-io.proptest.path=\"$STUBS/proptest\""
+  --config "patch.crates-io.criterion.path=\"$STUBS/criterion\""
+)
+
+CMD=${1:-check}
+if [[ $# -gt 0 ]]; then shift; fi
+ARGS=("$@")
+if [[ "$CMD" == "check" && ${#ARGS[@]} -eq 0 ]]; then
+  ARGS=(--workspace --all-targets)
+fi
+
+cleanup() { rm -f Cargo.lock; }
+trap cleanup EXIT
+
+cargo "$CMD" --offline "${CONFIGS[@]}" "${ARGS[@]}"

@@ -1,0 +1,346 @@
+//! Offline API stub for `proptest` 1.x — see ../../README.md.
+//!
+//! The `proptest!` macro here expands to a plain loop over sampled inputs:
+//! no shrinking, no regression persistence, fixed case count. Only the
+//! strategy combinators this workspace uses are provided.
+
+/// Internal splitmix64 RNG driving the samplers.
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    pub fn new(seed: u64) -> Rng64 {
+        Rng64 {
+            state: seed ^ 0xA076_1D64_78BD_642F,
+        }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+pub mod test_runner {
+    /// Stand-in for `proptest::test_runner::ProptestConfig`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> ProptestConfig {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> ProptestConfig {
+            ProptestConfig { cases: 32 }
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::Rng64;
+
+    /// Stand-in for `proptest::strategy::Strategy`: draw one value.
+    pub trait Strategy {
+        type Value;
+
+        fn sample_one(&self, rng: &mut Rng64) -> Self::Value;
+    }
+
+    macro_rules! impl_int_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample_one(&self, rng: &mut Rng64) -> $t {
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    assert!(span > 0, "empty strategy range");
+                    let off = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + off as i128) as $t
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample_one(&self, rng: &mut Rng64) -> $t {
+                    let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                    let off = (rng.next_u64() as u128) % span;
+                    (*self.start() as i128 + off as i128) as $t
+                }
+            }
+        )*};
+    }
+    impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_float_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for std::ops::Range<$t> {
+                type Value = $t;
+
+                fn sample_one(&self, rng: &mut Rng64) -> $t {
+                    self.start + (rng.next_f64() as $t) * (self.end - self.start)
+                }
+            }
+            impl Strategy for std::ops::RangeInclusive<$t> {
+                type Value = $t;
+
+                fn sample_one(&self, rng: &mut Rng64) -> $t {
+                    *self.start() + (rng.next_f64() as $t) * (*self.end() - *self.start())
+                }
+            }
+        )*};
+    }
+    impl_float_strategy!(f32, f64);
+
+    /// Stand-in for `proptest::strategy::Just`.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn sample_one(&self, _rng: &mut Rng64) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Full-domain sampling for `any::<T>()`.
+    pub trait ArbSample: Sized {
+        fn arb_sample(rng: &mut Rng64) -> Self;
+    }
+
+    macro_rules! impl_arb_int {
+        ($($t:ty),*) => {$(
+            impl ArbSample for $t {
+                fn arb_sample(rng: &mut Rng64) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+    impl_arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl ArbSample for bool {
+        fn arb_sample(rng: &mut Rng64) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl ArbSample for f64 {
+        fn arb_sample(rng: &mut Rng64) -> f64 {
+            rng.next_f64()
+        }
+    }
+
+    /// Strategy returned by [`crate::prelude::any`].
+    #[derive(Debug, Clone, Default)]
+    pub struct AnyStrategy<T>(std::marker::PhantomData<T>);
+
+    impl<T> AnyStrategy<T> {
+        pub fn new() -> AnyStrategy<T> {
+            AnyStrategy(std::marker::PhantomData)
+        }
+    }
+
+    impl<T: ArbSample> Strategy for AnyStrategy<T> {
+        type Value = T;
+
+        fn sample_one(&self, rng: &mut Rng64) -> T {
+            T::arb_sample(rng)
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::Rng64;
+
+    /// Size specification: a fixed count or a range of counts.
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> SizeRange {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> SizeRange {
+            SizeRange {
+                lo: r.start,
+                hi: r.end.saturating_sub(1),
+            }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> SizeRange {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    impl SizeRange {
+        fn draw(&self, rng: &mut Rng64) -> usize {
+            if self.hi <= self.lo {
+                self.lo
+            } else {
+                self.lo + (rng.next_u64() as usize) % (self.hi - self.lo + 1)
+            }
+        }
+    }
+
+    /// Stand-in for `proptest::collection::vec`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample_one(&self, rng: &mut Rng64) -> Vec<S::Value> {
+            let n = self.size.draw(rng);
+            (0..n).map(|_| self.element.sample_one(rng)).collect()
+        }
+    }
+
+    /// Stand-in for `proptest::collection::hash_set`.
+    pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: std::hash::Hash + Eq,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    #[derive(Debug, Clone)]
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: std::hash::Hash + Eq,
+    {
+        type Value = std::collections::HashSet<S::Value>;
+
+        fn sample_one(&self, rng: &mut Rng64) -> std::collections::HashSet<S::Value> {
+            let n = self.size.draw(rng);
+            let mut out = std::collections::HashSet::new();
+            // Bounded attempts: duplicates may make exact `n` unreachable.
+            for _ in 0..n * 4 {
+                if out.len() >= n {
+                    break;
+                }
+                out.insert(self.element.sample_one(rng));
+            }
+            out
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Stand-in for `proptest::prelude::any`.
+    pub fn any<T: crate::strategy::ArbSample>() -> crate::strategy::AnyStrategy<T> {
+        crate::strategy::AnyStrategy::new()
+    }
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::test_runner::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident in $strat:expr),* $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::test_runner::ProptestConfig = $cfg;
+            let mut __rng = $crate::Rng64::new(0x5EED ^ line!() as u64);
+            for __case in 0..__cfg.cases {
+                let _ = __case;
+                $(let $arg = $crate::strategy::Strategy::sample_one(&($strat), &mut __rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}

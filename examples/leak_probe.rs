@@ -27,21 +27,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     )?;
 
     let beacon: Vec<bool> = (0..14).map(|i| i % 2 == 0).collect();
-    println!("beacon schedule: {}", beacon.iter().map(|&b| if b { 'X' } else { '.' }).collect::<String>());
+    println!(
+        "beacon schedule: {}",
+        beacon
+            .iter()
+            .map(|&b| if b { 'X' } else { '.' })
+            .collect::<String>()
+    );
     let mut rounds = Vec::new();
     for &on in &beacon {
-        let programs = vec![watcher.clone(), if on { busy.clone() } else { idle.clone() }];
+        let programs = vec![
+            watcher.clone(),
+            if on { busy.clone() } else { idle.clone() },
+        ];
         let rec = observer.round(&table, &programs)?;
         rounds.push(rec.observation.per_core.clone());
     }
 
-    for (label, view) in [("host /proc/stat (leaky)", ProcView::Host), ("namespaced procfs", ProcView::Namespaced)] {
+    for (label, view) in [
+        ("host /proc/stat (leaky)", ProcView::Host),
+        ("namespaced procfs", ProcView::Namespaced),
+    ] {
         let series = observed_busy_series(&rounds, view, &[0]);
         let verdict = detect_coresidence(&beacon, &series, 0.8);
         println!(
             "{label:<26} correlation {:+.3} → {}",
             verdict.correlation,
-            if verdict.coresident { "CORESIDENT" } else { "no signal" }
+            if verdict.coresident {
+                "CORESIDENT"
+            } else {
+                "no signal"
+            }
         );
     }
     println!("\nthe non-namespaced pseudo-filesystem channel of §2.4.1 confirmed");

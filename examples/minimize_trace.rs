@@ -36,7 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Some(result) => {
                 println!(
                     "violations preserved: {:?}",
-                    result.kinds.iter().map(|k| k.describe()).collect::<Vec<_>>()
+                    result
+                        .kinds
+                        .iter()
+                        .map(|k| k.describe())
+                        .collect::<Vec<_>>()
                 );
                 println!(
                     "minimized to {} call(s) in {} evaluations ({} removed):",

@@ -12,11 +12,7 @@ use torpedo_oracle::observation::Observation;
 use torpedo_oracle::{CpuOracle, CpuThresholds, Oracle};
 use torpedo_prog::{build_table, deserialize, Program, SyscallDesc};
 
-fn collect_rounds(
-    table: &[SyscallDesc],
-    programs: &[Program],
-    rounds: usize,
-) -> Vec<Observation> {
+fn collect_rounds(table: &[SyscallDesc], programs: &[Program], rounds: usize) -> Vec<Observation> {
     let mut observer = Observer::new(
         KernelConfig::default(),
         ObserverConfig {
@@ -69,7 +65,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             / benign_obs.len() as f64;
         let fn_ = adv_obs.iter().filter(|o| oracle.flag(o).is_empty()).count() as f64
             / adv_obs.len() as f64;
-        println!("{idle_max:<18.1} {:>13.0}% {:>13.0}%", fp * 100.0, fn_ * 100.0);
+        println!(
+            "{idle_max:<18.1} {:>13.0}% {:>13.0}%",
+            fp * 100.0,
+            fn_ * 100.0
+        );
     }
 
     println!("\nsweeping fuzz-core floor\n");
@@ -89,7 +89,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             / benign_obs.len() as f64;
         let fn_ = adv_obs.iter().filter(|o| oracle.flag(o).is_empty()).count() as f64
             / adv_obs.len() as f64;
-        println!("{fuzz_min:<18.1} {:>13.0}% {:>13.0}%", fp * 100.0, fn_ * 100.0);
+        println!(
+            "{fuzz_min:<18.1} {:>13.0}% {:>13.0}%",
+            fp * 100.0,
+            fn_ * 100.0
+        );
     }
 
     let default = CpuThresholds::default();

@@ -57,7 +57,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "kubelet sync restarted {restarted} container(s); restartCount = {}",
         kubelet.pods()[pod].restarts()
     );
-    let ok = engine.exec(&mut kernel, &executor, SyscallRequest::new("getpid", [0; 6]))?;
+    let ok = engine.exec(
+        &mut kernel,
+        &executor,
+        SyscallRequest::new("getpid", [0; 6]),
+    )?;
     println!("post-restart getpid() = {}", ok.outcome.retval);
 
     // Emit the C reproducer a human would file with the gVisor issue.
@@ -67,9 +71,6 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         &table,
     )?;
     println!("\n// --- crash reproducer (compare with Appendix A.2.2) ---");
-    print!(
-        "{}",
-        generate_c(&program, &table, &CGenOptions::default())
-    );
+    print!("{}", generate_c(&program, &table, &CGenOptions::default()));
     Ok(())
 }

@@ -79,7 +79,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         cause.events,
                         cause.oob_cost,
                         conf.amplification,
-                        if cause.known { "reconfirms CCS'19" } else { "NEW" }
+                        if cause.known {
+                            "reconfirms CCS'19"
+                        } else {
+                            "NEW"
+                        }
                     );
                 }
                 confirmed += 1;

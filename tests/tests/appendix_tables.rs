@@ -11,13 +11,16 @@ use torpedo_moonshine::APPENDIX_SEEDS;
 #[test]
 fn table_a1_baseline_shape() {
     let t = table();
-    let progs = programs(&APPENDIX_SEEDS[0..3].to_vec(), &t);
+    let progs = programs(&APPENDIX_SEEDS[0..3], &t);
     let mut obs = observer(3, "runc", 5);
     let rec = settled_round(&mut obs, &t, &progs, 2);
     let ob = &rec.observation;
     for core in 0..3 {
         let busy = ob.busy_percent(core);
-        assert!((60.0..=99.0).contains(&busy), "fuzz core {core}: {busy:.1}%");
+        assert!(
+            (60.0..=99.0).contains(&busy),
+            "fuzz core {core}: {busy:.1}%"
+        );
         let row = &ob.per_core[core];
         assert!(
             row.system > row.user,
@@ -78,7 +81,14 @@ fn table_a2_sync_shape() {
 #[test]
 fn table_a3_socket_oob_shape() {
     let t = table();
-    let progs = programs(&[APPENDIX_SEEDS[6], "socket(0x9, 0x3, 0x0)\n", APPENDIX_SEEDS[4]], &t);
+    let progs = programs(
+        &[
+            APPENDIX_SEEDS[6],
+            "socket(0x9, 0x3, 0x0)\n",
+            APPENDIX_SEEDS[4],
+        ],
+        &t,
+    );
     let mut obs = observer(3, "runc", 5);
     let rec = settled_round(&mut obs, &t, &progs, 2);
     let ob = &rec.observation;
@@ -114,7 +124,7 @@ fn table_a3_socket_oob_shape() {
 #[test]
 fn table_a4_gvisor_baseline_shape() {
     let t = table();
-    let progs = programs(&APPENDIX_SEEDS[7..10].to_vec(), &t);
+    let progs = programs(&APPENDIX_SEEDS[7..10], &t);
     let mut runc = observer(3, "runc", 5);
     let mut gvisor = observer(3, "runsc", 5);
     let runc_rec = settled_round(&mut runc, &t, &progs, 2);

@@ -102,9 +102,20 @@ fn runtime_startup_ordering_matches_designs() {
     let gvisor = GVisor::new().startup_cost(false);
     let kata = Kata::new().startup_cost(false);
     assert!(crun < runc, "crun is the fast native runtime");
-    assert!(runc < gvisor, "sentry boot beats VM boot but loses to native");
+    assert!(
+        runc < gvisor,
+        "sentry boot beats VM boot but loses to native"
+    );
     assert!(gvisor < kata, "full VM boot is slowest");
-    for rt in [&RunC::new() as &dyn Runtime] {
-        assert!(rt.startup_cost(true) > rt.startup_cost(false), "cold start dominates");
+    for rt in [
+        &RunC::new() as &dyn Runtime,
+        &Crun::new(),
+        &GVisor::new(),
+        &Kata::new(),
+    ] {
+        assert!(
+            rt.startup_cost(true) > rt.startup_cost(false),
+            "cold start dominates"
+        );
     }
 }

@@ -6,10 +6,10 @@ use torpedo_core::campaign::{Campaign, CampaignConfig};
 use torpedo_core::confirm::confirm;
 use torpedo_core::observer::ObserverConfig;
 use torpedo_core::seeds::{default_denylist, SeedCorpus};
+use torpedo_integration_tests::{observer, programs, settled_round, table};
 use torpedo_kernel::{KernelConfig, Usecs};
 use torpedo_oracle::CpuOracle;
 use torpedo_prog::{deserialize, MutatePolicy};
-use torpedo_integration_tests::{observer, programs, settled_round, table};
 
 fn gvisor_config() -> CampaignConfig {
     CampaignConfig {
@@ -113,7 +113,9 @@ fn unsupported_syscalls_surface_as_enosys_not_crashes() {
     let mut config = gvisor_config();
     config.observer.executors = 1;
     config.max_rounds_per_batch = 2;
-    let report = Campaign::new(config, t).run(&seeds, &CpuOracle::new()).unwrap();
+    let report = Campaign::new(config, t)
+        .run(&seeds, &CpuOracle::new())
+        .unwrap();
     assert!(report.crashes.is_empty());
     assert!(report.rounds_total >= 2);
 }
@@ -121,7 +123,6 @@ fn unsupported_syscalls_surface_as_enosys_not_crashes() {
 #[test]
 fn patched_sentry_finds_no_crashes() {
     use torpedo_runtime::gvisor::GVisor;
-    let t = table();
     let mut kernel = torpedo_kernel::Kernel::with_defaults();
     let mut engine = torpedo_runtime::engine::Engine::new(&mut kernel);
     engine.register_runtime(Box::new(GVisor::patched()));

@@ -7,22 +7,31 @@ use torpedo_core::confirm::confirm;
 use torpedo_core::minimize::{minimize_with_oracle, ViolationHarness};
 use torpedo_core::observer::ObserverConfig;
 use torpedo_core::seeds::{default_denylist, SeedCorpus};
+use torpedo_integration_tests::table;
 use torpedo_kernel::process::HelperKind;
 use torpedo_kernel::{DeferralChannel, KernelConfig, Usecs};
 use torpedo_oracle::CpuOracle;
 use torpedo_prog::{deserialize, MutatePolicy};
-use torpedo_integration_tests::table;
 
 fn confirm_cause(text: &str) -> Vec<DeferralChannel> {
     let t = table();
     let program = deserialize(text, &t).unwrap();
-    let c = confirm(&program, &t, KernelConfig::default(), "runc", Usecs::from_secs(2));
+    let c = confirm(
+        &program,
+        &t,
+        KernelConfig::default(),
+        "runc",
+        Usecs::from_secs(2),
+    );
     c.causes.iter().map(|x| x.channel).collect()
 }
 
 #[test]
 fn sync_family_is_io_flush_deferral() {
-    for text in ["sync()\n", "r0 = creat(&'workfile-0', 0x1a4)\nwrite(r0, 0x0, 0x8000)\nfsync(r0)\n"] {
+    for text in [
+        "sync()\n",
+        "r0 = creat(&'workfile-0', 0x1a4)\nwrite(r0, 0x0, 0x8000)\nfsync(r0)\n",
+    ] {
         let channels = confirm_cause(text);
         assert!(
             channels.contains(&DeferralChannel::IoFlush),
@@ -63,11 +72,17 @@ fn socket_modprobe_storm_is_the_new_finding() {
     // All three errno variants of Table 4.2: EAFNOSUPPORT (97),
     // ESOCKTNOSUPPORT (94), EPROTONOSUPPORT (93).
     for text in [
-        "socket(0x9, 0x3, 0x0)\n",   // modular family
-        "socket(0x2, 0x1, 0x63)\n",  // unknown protocol
+        "socket(0x9, 0x3, 0x0)\n",  // modular family
+        "socket(0x2, 0x1, 0x63)\n", // unknown protocol
     ] {
         let program = deserialize(text, &t).unwrap();
-        let c = confirm(&program, &t, KernelConfig::default(), "runc", Usecs::from_secs(2));
+        let c = confirm(
+            &program,
+            &t,
+            KernelConfig::default(),
+            "runc",
+            Usecs::from_secs(2),
+        );
         let modprobe = c
             .causes
             .iter()
@@ -105,7 +120,9 @@ fn full_pipeline_flags_minimizes_and_confirms_sync() {
         ..CampaignConfig::default()
     };
     let oracle = CpuOracle::new();
-    let report = Campaign::new(config, t.clone()).run(&seeds, &oracle).unwrap();
+    let report = Campaign::new(config, t.clone())
+        .run(&seeds, &oracle)
+        .unwrap();
     assert!(!report.flagged.is_empty(), "sync batch must flag");
 
     // At least one flagged program must minimize to something containing
@@ -115,8 +132,16 @@ fn full_pipeline_flags_minimizes_and_confirms_sync() {
         let Some(min) = minimize_with_oracle(&finding.program, &t, &oracle, &harness) else {
             return false;
         };
-        let c = confirm(&min.program, &t, KernelConfig::default(), "runc", Usecs::from_secs(2));
-        c.causes.iter().any(|x| x.channel == DeferralChannel::IoFlush)
+        let c = confirm(
+            &min.program,
+            &t,
+            KernelConfig::default(),
+            "runc",
+            Usecs::from_secs(2),
+        );
+        c.causes
+            .iter()
+            .any(|x| x.channel == DeferralChannel::IoFlush)
     });
     assert!(confirmed, "no flagged program confirmed as IoFlush");
 }
@@ -136,10 +161,18 @@ fn mitigated_kernel_suppresses_the_storms() {
     let modprobe_events: usize = c
         .causes
         .iter()
-        .filter(|x| matches!(x.channel, DeferralChannel::UserModeHelper(HelperKind::Modprobe)))
+        .filter(|x| {
+            matches!(
+                x.channel,
+                DeferralChannel::UserModeHelper(HelperKind::Modprobe)
+            )
+        })
         .map(|x| x.events)
         .sum();
-    assert!(modprobe_events <= 1, "negative cache failed: {modprobe_events} execs");
+    assert!(
+        modprobe_events <= 1,
+        "negative cache failed: {modprobe_events} execs"
+    );
 
     // Coredump patch: usermodehelper work is charged to the origin cgroup,
     // so the amplification collapses.

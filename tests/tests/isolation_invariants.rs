@@ -12,7 +12,10 @@ use torpedo_prog::deserialize;
 #[test]
 fn core_time_is_conserved() {
     let t = table();
-    let progs = programs(&["sync()\n", "socket(0x9, 0x3, 0x0)\n", "rt_sigreturn()\n"], &t);
+    let progs = programs(
+        &["sync()\n", "socket(0x9, 0x3, 0x0)\n", "rt_sigreturn()\n"],
+        &t,
+    );
     let mut obs = observer(3, "runc", 2);
     let rec = settled_round(&mut obs, &t, &progs, 3);
     for (core, row) in rec.observation.per_core.iter().enumerate() {
@@ -57,7 +60,11 @@ fn quota_limitation_is_sound_for_all_seed_families() {
 fn deferrals_always_escape_to_root() {
     let t = table();
     let progs = programs(
-        &["sync()\n", "socket(0x9, 0x3, 0x0)\n", "r0 = socket(0x10, 0x3, 0x9)\nsendto(r0, 0x0, 0x24, 0x0, 0x0, 0xc)\n"],
+        &[
+            "sync()\n",
+            "socket(0x9, 0x3, 0x0)\n",
+            "r0 = socket(0x10, 0x3, 0x9)\nsendto(r0, 0x0, 0x24, 0x0, 0x0, 0xc)\n",
+        ],
         &t,
     );
     let mut obs = observer(3, "runc", 2);

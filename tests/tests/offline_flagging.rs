@@ -7,10 +7,10 @@ use torpedo_core::campaign::{Campaign, CampaignConfig};
 use torpedo_core::logfmt::{parse_log, write_round};
 use torpedo_core::observer::ObserverConfig;
 use torpedo_core::seeds::{default_denylist, SeedCorpus};
+use torpedo_integration_tests::table;
 use torpedo_kernel::Usecs;
 use torpedo_oracle::{CpuOracle, Oracle};
 use torpedo_prog::{serialize, MutatePolicy};
-use torpedo_integration_tests::table;
 
 #[test]
 fn archived_logs_reproduce_the_flagging_verdicts() {
@@ -36,7 +36,9 @@ fn archived_logs_reproduce_the_flagging_verdicts() {
         ..CampaignConfig::default()
     };
     let oracle = CpuOracle::new();
-    let report = Campaign::new(config, t.clone()).run(&seeds, &oracle).unwrap();
+    let report = Campaign::new(config, t.clone())
+        .run(&seeds, &oracle)
+        .unwrap();
     assert!(!report.flagged.is_empty(), "the storm batch must flag live");
 
     // Archive every round to the on-disk format, then run the flagging

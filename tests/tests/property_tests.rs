@@ -10,9 +10,7 @@ use rand::SeedableRng;
 use torpedo_kernel::cpu::{CpuCategory, CpuTimes};
 use torpedo_kernel::syscalls::fallback_signal;
 use torpedo_kernel::{Errno, Usecs};
-use torpedo_prog::{
-    build_table, deserialize, gen_program, minimize, serialize, Mutator, Program,
-};
+use torpedo_prog::{build_table, deserialize, gen_program, minimize, serialize, Mutator, Program};
 
 proptest! {
     /// Generated programs always validate, and serialization round-trips.
