@@ -1,0 +1,92 @@
+//! Criterion bench: syscall dispatch — the legacy name-string path (linear
+//! `SYSCALL_TABLE` scan + module-by-module string cascade) against the nr
+//! fast path (hashed name→nr resolution + O(1) jump table). The tentpole
+//! perf claim: the nr path must be several times faster per dispatch.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use torpedo_kernel::cgroup::{CgroupLimits, CgroupTree};
+use torpedo_kernel::process::ProcessKind;
+use torpedo_kernel::{
+    dispatch, dispatch_via_name_scan, nr_of, nr_of_scan, ExecContext, ExecPolicy, Kernel,
+    SyscallRequest, Usecs, SYSCALL_TABLE,
+};
+
+fn bench_ctx() -> (Kernel, ExecContext) {
+    let mut kernel = Kernel::with_defaults();
+    let cgroup = kernel
+        .cgroups
+        .create(
+            CgroupTree::ROOT,
+            "docker/bench-0",
+            CgroupLimits {
+                cpu_quota_cores: Some(1.0),
+                cpuset: Some(vec![0]),
+                ..CgroupLimits::default()
+            },
+        )
+        .expect("bench cgroup");
+    let pid = kernel.procs.spawn(
+        "syz-executor-bench",
+        ProcessKind::Executor {
+            container: "bench-0".into(),
+        },
+        cgroup,
+    );
+    let ctx = ExecContext {
+        pid,
+        cgroup,
+        core: 0,
+        cpuset: vec![0],
+        policy: ExecPolicy::default(),
+    };
+    kernel.begin_round(Usecs::from_secs(60));
+    (kernel, ctx)
+}
+
+fn bench_name_resolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nr_of");
+    group.bench_function("hashed", |b| {
+        b.iter(|| {
+            for (name, _) in SYSCALL_TABLE {
+                black_box(nr_of(black_box(name)));
+            }
+        })
+    });
+    group.bench_function("linear_scan", |b| {
+        b.iter(|| {
+            for (name, _) in SYSCALL_TABLE {
+                black_box(nr_of_scan(black_box(name)));
+            }
+        })
+    });
+    group.finish();
+}
+
+fn bench_dispatch(c: &mut Criterion) {
+    // getpid is the cheapest modelled call, so the handler body contributes
+    // as little as possible and the measurement isolates routing cost.
+    let mut group = c.benchmark_group("dispatch");
+    group.bench_function("nr_fast_path", |b| {
+        let (mut kernel, ctx) = bench_ctx();
+        let nr = nr_of("getpid").expect("getpid modelled");
+        b.iter(|| {
+            let req = SyscallRequest::with_nr("getpid", nr, [0; 6]);
+            black_box(dispatch(&mut kernel, &ctx, req))
+        })
+    });
+    group.bench_function("name_scan_cascade", |b| {
+        let (mut kernel, ctx) = bench_ctx();
+        b.iter(|| {
+            // `with_nr` + NR_UNKNOWN skips the constructor's hashed lookup;
+            // `dispatch_via_name_scan` re-resolves with the linear scan, so
+            // the baseline pays exactly the pre-optimization cost.
+            let req =
+                SyscallRequest::with_nr(black_box("getpid"), torpedo_kernel::NR_UNKNOWN, [0; 6]);
+            black_box(dispatch_via_name_scan(&mut kernel, &ctx, req))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_name_resolution, bench_dispatch);
+criterion_main!(benches);

@@ -1,0 +1,236 @@
+//! `torpedo-bench`: the JSON throughput harness.
+//!
+//! Measures the three perf-critical paths in host time and writes
+//! `BENCH_fuzz.json` (hand-rolled JSON, no serde):
+//!
+//! * `dispatch` — the syscall-dispatch microbench: hashed name→nr + O(1)
+//!   jump table against the legacy linear scan + module string cascade.
+//! * `fuzz_throughput` — a whole campaign: executions/s, rounds/s and
+//!   mutations/s of host time.
+//! * `shard_scaling` — the sharded runner at 1, 2 and 4 shards over the
+//!   same corpus.
+//!
+//! Usage: `torpedo_bench [--quick] [--out PATH]`. `--quick` shrinks every
+//! workload so the CI smoke test finishes in seconds.
+
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use torpedo_core::campaign::{Campaign, CampaignConfig};
+use torpedo_core::observer::ObserverConfig;
+use torpedo_core::seeds::{default_denylist, SeedCorpus};
+use torpedo_core::shard::run_sharded;
+use torpedo_core::stats::CampaignStats;
+use torpedo_kernel::cgroup::{CgroupLimits, CgroupTree};
+use torpedo_kernel::process::ProcessKind;
+use torpedo_kernel::{
+    dispatch, dispatch_via_name_scan, nr_of, nr_of_scan, ExecContext, ExecPolicy, Kernel,
+    SyscallRequest, Usecs, NR_UNKNOWN, SYSCALL_TABLE,
+};
+use torpedo_oracle::CpuOracle;
+use torpedo_prog::{build_table, MutatePolicy, Mutator};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .map_or("BENCH_fuzz.json", |s| s.as_str());
+
+    eprintln!("torpedo-bench: dispatch microbench…");
+    let dispatch_json = bench_dispatch(quick);
+    eprintln!("torpedo-bench: campaign throughput…");
+    let throughput_json = bench_throughput(quick);
+    eprintln!("torpedo-bench: shard scaling…");
+    let scaling_json = bench_shard_scaling(quick);
+
+    let json = format!(
+        "{{\n  \"quick\": {quick},\n  \"dispatch\": {dispatch_json},\n  \"fuzz_throughput\": {throughput_json},\n  \"shard_scaling\": {scaling_json}\n}}\n"
+    );
+    std::fs::write(out_path, &json).expect("write BENCH_fuzz.json");
+    eprintln!("torpedo-bench: wrote {out_path}");
+    print!("{json}");
+}
+
+fn bench_ctx() -> (Kernel, ExecContext) {
+    let mut kernel = Kernel::with_defaults();
+    let cgroup = kernel
+        .cgroups
+        .create(
+            CgroupTree::ROOT,
+            "docker/bench-0",
+            CgroupLimits {
+                cpu_quota_cores: Some(1.0),
+                cpuset: Some(vec![0]),
+                ..CgroupLimits::default()
+            },
+        )
+        .expect("bench cgroup");
+    let pid = kernel.procs.spawn(
+        "syz-executor-bench",
+        ProcessKind::Executor {
+            container: "bench-0".into(),
+        },
+        cgroup,
+    );
+    let ctx = ExecContext {
+        pid,
+        cgroup,
+        core: 0,
+        cpuset: vec![0],
+        policy: ExecPolicy::default(),
+    };
+    (kernel, ctx)
+}
+
+/// ns/op for `iters` runs of `f`, with a warmup quarter.
+fn time_ns(iters: u64, mut f: impl FnMut()) -> f64 {
+    for _ in 0..iters / 4 {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..iters {
+        f();
+    }
+    start.elapsed().as_nanos() as f64 / iters as f64
+}
+
+fn bench_dispatch(quick: bool) -> String {
+    let iters: u64 = if quick { 20_000 } else { 200_000 };
+
+    // Name→nr resolution over the full table (per-lookup cost). Whole-table
+    // passes are cheap, so even quick mode can afford enough of them for a
+    // stable per-lookup figure.
+    let passes: u64 = if quick { 4_000 } else { 40_000 };
+    let per_table = SYSCALL_TABLE.len() as f64;
+    let hashed_ns = time_ns(passes, || {
+        for (name, _) in SYSCALL_TABLE {
+            std::hint::black_box(nr_of(std::hint::black_box(name)));
+        }
+    }) / per_table;
+    let scan_ns = time_ns(passes, || {
+        for (name, _) in SYSCALL_TABLE {
+            std::hint::black_box(nr_of_scan(std::hint::black_box(name)));
+        }
+    }) / per_table;
+
+    // Full dispatch of the cheapest call, fast path vs legacy cascade. A
+    // long round window keeps the kernel from rolling state mid-measurement.
+    let (mut kernel, ctx) = bench_ctx();
+    kernel.begin_round(Usecs::from_secs(3600));
+    let nr = nr_of("getpid").expect("getpid modelled");
+    let fast_ns = time_ns(iters, || {
+        let req = SyscallRequest::with_nr("getpid", nr, [0; 6]);
+        std::hint::black_box(dispatch(&mut kernel, &ctx, req));
+    });
+    let (mut kernel, ctx) = bench_ctx();
+    kernel.begin_round(Usecs::from_secs(3600));
+    let slow_ns = time_ns(iters, || {
+        let req = SyscallRequest::with_nr(std::hint::black_box("getpid"), NR_UNKNOWN, [0; 6]);
+        std::hint::black_box(dispatch_via_name_scan(&mut kernel, &ctx, req));
+    });
+
+    format!(
+        "{{\n    \"nr_of_hashed_ns_per_lookup\": {:.2},\n    \"nr_of_scan_ns_per_lookup\": {:.2},\n    \"nr_of_speedup\": {:.2},\n    \"dispatch_nr_fast_path_ns_per_op\": {:.2},\n    \"dispatch_name_scan_ns_per_op\": {:.2},\n    \"dispatch_speedup\": {:.2}\n  }}",
+        hashed_ns,
+        scan_ns,
+        scan_ns / hashed_ns.max(1e-9),
+        fast_ns,
+        slow_ns,
+        slow_ns / fast_ns.max(1e-9),
+    )
+}
+
+fn throughput_config(quick: bool) -> CampaignConfig {
+    CampaignConfig {
+        observer: ObserverConfig {
+            window: Usecs::from_secs(1),
+            executors: if quick { 2 } else { 3 },
+            ..ObserverConfig::default()
+        },
+        mutate: MutatePolicy {
+            denylist: default_denylist(),
+            ..MutatePolicy::default()
+        },
+        max_rounds_per_batch: if quick { 2 } else { 4 },
+        ..CampaignConfig::default()
+    }
+}
+
+fn bench_throughput(quick: bool) -> String {
+    let table = build_table();
+    let texts = torpedo_moonshine::generate_corpus(if quick { 4 } else { 6 }, 1);
+    let seeds = SeedCorpus::load(&texts, &table, &default_denylist()).unwrap();
+    let config = throughput_config(quick);
+
+    let start = Instant::now();
+    let report = Campaign::new(config, table.clone())
+        .run(&seeds, &CpuOracle::new())
+        .unwrap();
+    let host = start.elapsed().as_secs_f64().max(1e-9);
+    let stats = CampaignStats::from_report(&report);
+
+    // Mutation throughput, measured directly on the mutator.
+    let mutator = Mutator::new(MutatePolicy {
+        denylist: default_denylist(),
+        ..MutatePolicy::default()
+    });
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut program = seeds.programs[0].clone();
+    let mutations: u64 = if quick { 20_000 } else { 100_000 };
+    let mstart = Instant::now();
+    for _ in 0..mutations {
+        let mut p = program.clone();
+        mutator.mutate(&mut p, &table, None, &mut rng);
+        if p.validate(&table).is_ok() {
+            program = p;
+        }
+    }
+    let mutations_per_sec = mutations as f64 / mstart.elapsed().as_secs_f64().max(1e-9);
+
+    format!(
+        "{{\n    \"rounds\": {},\n    \"executions\": {},\n    \"host_seconds\": {:.3},\n    \"execs_per_sec\": {:.1},\n    \"rounds_per_sec\": {:.2},\n    \"mutations_per_sec\": {:.1},\n    \"execs_per_vsec\": {:.1}\n  }}",
+        stats.rounds,
+        stats.executions,
+        host,
+        stats.executions as f64 / host,
+        stats.rounds as f64 / host,
+        mutations_per_sec,
+        stats.execs_per_vsec,
+    )
+}
+
+fn bench_shard_scaling(quick: bool) -> String {
+    let table = build_table();
+    let texts = torpedo_moonshine::generate_corpus(if quick { 4 } else { 8 }, 1);
+    let seeds = SeedCorpus::load(&texts, &table, &default_denylist()).unwrap();
+    let config = throughput_config(quick);
+
+    let mut points = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let start = Instant::now();
+        let report = run_sharded(
+            &config,
+            table.clone(),
+            &seeds,
+            shards,
+            shards,
+            &CpuOracle::new(),
+        )
+        .unwrap();
+        let host = start.elapsed().as_secs_f64().max(1e-9);
+        points.push(format!(
+            "{{\n      \"shards\": {},\n      \"workers\": {},\n      \"rounds\": {},\n      \"executions\": {},\n      \"host_seconds\": {:.3},\n      \"execs_per_sec\": {:.1}\n    }}",
+            shards,
+            shards,
+            report.rounds_total,
+            report.executions,
+            host,
+            report.executions as f64 / host,
+        ));
+    }
+    format!("[\n    {}\n  ]", points.join(",\n    "))
+}

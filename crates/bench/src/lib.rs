@@ -74,10 +74,11 @@ pub fn derive_symptoms(program: &Program, table: &[SyscallDesc]) -> String {
 
     let mut symptoms: Vec<String> = Vec::new();
     let mut retvals: Vec<i64> = Vec::new();
+    let mut req_paths: Vec<(usize, &str)> = Vec::new();
     for call in &program.calls {
         let desc = &table[call.desc];
         let mut args = [0u64; 6];
-        let mut req_paths: Vec<(usize, String)> = Vec::new();
+        req_paths.clear();
         for (i, a) in call.args.iter().take(6).enumerate() {
             match a {
                 torpedo_prog::ArgValue::Int(v) => args[i] = *v,
@@ -87,11 +88,11 @@ pub fn derive_symptoms(program: &Program, table: &[SyscallDesc]) -> String {
                 }
                 torpedo_prog::ArgValue::Path(p) | torpedo_prog::ArgValue::Name(p) => {
                     args[i] = 0x7f00_0000_0000;
-                    req_paths.push((i, p.clone()));
+                    req_paths.push((i, p.as_str()));
                 }
             }
         }
-        let mut req = torpedo_kernel::SyscallRequest::new(desc.name, args);
+        let mut req = torpedo_kernel::SyscallRequest::with_nr(desc.name, desc.nr, args);
         for (i, p) in &req_paths {
             req = req.with_path(*i, p);
         }

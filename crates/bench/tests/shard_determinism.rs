@@ -1,0 +1,117 @@
+//! The sharded runner's determinism proof over the Table 4.2 seeds: a
+//! K-shard threaded run must report the identical flagged syscall families
+//! and byte-identical per-shard round logs as K sequential campaigns run
+//! with the same derived seeds.
+
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+use torpedo_bench::VULNERABILITY_SEEDS;
+use torpedo_core::campaign::{Campaign, CampaignConfig, CampaignReport};
+use torpedo_core::observer::ObserverConfig;
+use torpedo_core::seeds::{default_denylist, SeedCorpus};
+use torpedo_core::shard::{derive_shard_seed, run_sharded, shard_seeds};
+use torpedo_kernel::Usecs;
+use torpedo_oracle::CpuOracle;
+use torpedo_prog::{build_table, SyscallDesc};
+
+const SHARDS: usize = 3;
+
+fn config() -> CampaignConfig {
+    CampaignConfig {
+        observer: ObserverConfig {
+            window: Usecs::from_secs(1),
+            executors: 2,
+            ..ObserverConfig::default()
+        },
+        max_rounds_per_batch: 2,
+        ..CampaignConfig::default()
+    }
+}
+
+fn table_seeds() -> (Vec<SyscallDesc>, SeedCorpus) {
+    let table = build_table();
+    let texts: Vec<&str> = VULNERABILITY_SEEDS.iter().map(|(_, text)| *text).collect();
+    let seeds = SeedCorpus::load(&texts, &table, &default_denylist()).unwrap();
+    (table, seeds)
+}
+
+/// The syscall families a report flags: the set of syscall names appearing
+/// in flagged programs.
+fn flagged_families(report: &CampaignReport, table: &[SyscallDesc]) -> BTreeSet<&'static str> {
+    report
+        .flagged
+        .iter()
+        .flat_map(|f| f.program.calls.iter().map(|c| table[c.desc].name))
+        .collect()
+}
+
+#[test]
+fn sharded_table_4_2_run_is_deterministic() {
+    let (table, seeds) = table_seeds();
+    let config = config();
+
+    let sharded = run_sharded(
+        &config,
+        table.clone(),
+        &seeds,
+        SHARDS,
+        SHARDS,
+        &CpuOracle::new(),
+    )
+    .unwrap();
+    assert_eq!(sharded.shards.len(), SHARDS);
+
+    let shared: Arc<[SyscallDesc]> = table.clone().into();
+    let split = shard_seeds(&seeds, SHARDS);
+    for (shard, sub) in split.iter().enumerate() {
+        let mut shard_config = config.clone();
+        shard_config.seed = derive_shard_seed(config.seed, shard);
+        assert_eq!(sharded.shards[shard].seed, shard_config.seed);
+        let sequential = Campaign::new(shard_config, Arc::clone(&shared))
+            .run(sub, &CpuOracle::new())
+            .unwrap();
+        let threaded = &sharded.shards[shard].report;
+
+        // Identical flagged syscall families.
+        assert_eq!(
+            flagged_families(threaded, &table),
+            flagged_families(&sequential, &table),
+            "shard {shard} flagged different syscall families"
+        );
+
+        // Byte-identical per-shard round logs.
+        assert_eq!(
+            format!("{:?}", threaded.logs),
+            format!("{:?}", sequential.logs),
+            "shard {shard} round logs diverged"
+        );
+    }
+}
+
+#[test]
+fn sharded_run_covers_all_table_4_2_families() {
+    let (table, seeds) = table_seeds();
+    let sharded = run_sharded(
+        &config(),
+        table.clone(),
+        &seeds,
+        SHARDS,
+        SHARDS,
+        &CpuOracle::new(),
+    )
+    .unwrap();
+    // The union of per-shard seed counts is the whole corpus and every
+    // shard ran to completion.
+    let total: usize = sharded.shards.iter().map(|s| s.seeds).sum();
+    assert_eq!(total, seeds.programs.len());
+    assert!(sharded.rounds_total > 0);
+    assert_eq!(
+        sharded.rounds_total,
+        sharded
+            .shards
+            .iter()
+            .map(|s| s.report.rounds_total)
+            .sum::<u64>()
+    );
+}

@@ -3,6 +3,8 @@
 //! admission, crash handling, and offline oracle flagging together
 //! (§4.1's testing procedure).
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -10,7 +12,9 @@ use torpedo_kernel::{DeferralEvent, KernelConfig};
 use torpedo_oracle::observation::Observation;
 use torpedo_oracle::violation::Violation;
 use torpedo_oracle::Oracle;
-use torpedo_prog::{Corpus, CorpusItem, CoverageSet, MutatePolicy, Mutator, Program, SyscallDesc};
+use torpedo_prog::{
+    Corpus, CorpusItem, CoverageSet, MutatePolicy, Mutator, Program, ProgramId, SyscallDesc,
+};
 use torpedo_runtime::{ContainerCrash, FaultCounters};
 
 use crate::batch::{BatchAction, BatchConfig, BatchMachine};
@@ -131,13 +135,15 @@ impl Driver {
         parallel: bool,
         kernel: KernelConfig,
         config: ObserverConfig,
-        table: &[SyscallDesc],
+        table: &Arc<[SyscallDesc]>,
     ) -> Result<Driver, TorpedoError> {
         Ok(if parallel {
+            // The threaded observer shares the campaign's table — an Arc
+            // clone, not a per-campaign copy of every description.
             Driver::Par(Box::new(ParallelObserver::new(
                 kernel,
                 config,
-                table.to_vec(),
+                Arc::clone(table),
             )?))
         } else {
             Driver::Seq(Box::new(Observer::new(kernel, config)?))
@@ -180,13 +186,18 @@ impl Driver {
 /// The campaign driver.
 pub struct Campaign {
     config: CampaignConfig,
-    table: Vec<SyscallDesc>,
+    table: Arc<[SyscallDesc]>,
 }
 
 impl Campaign {
-    /// A campaign over `table` with `config`.
-    pub fn new(config: CampaignConfig, table: Vec<SyscallDesc>) -> Campaign {
-        Campaign { config, table }
+    /// A campaign over `table` with `config`. The table is shared (and
+    /// shareable across campaigns) as an `Arc<[SyscallDesc]>`; a plain
+    /// `Vec<SyscallDesc>` converts in place.
+    pub fn new(config: CampaignConfig, table: impl Into<Arc<[SyscallDesc]>>) -> Campaign {
+        Campaign {
+            config,
+            table: table.into(),
+        }
     }
 
     /// The syscall table in use.
@@ -228,7 +239,11 @@ impl Campaign {
         let mut raw_crashes: Vec<(ContainerCrash, Program)> = Vec::new();
         let mut rounds_total = 0u64;
         let quarantine_threshold = self.config.observer.supervisor.quarantine_threshold;
-        let mut crash_counts: std::collections::HashMap<String, u32> = Default::default();
+        // Hot-path identity is the 64-bit ProgramId content hash; the text
+        // rendering is produced only on the rare quarantine event (for the
+        // report) instead of on every check.
+        let mut crash_counts: std::collections::HashMap<ProgramId, u32> = Default::default();
+        let mut quarantined_ids: std::collections::BTreeSet<ProgramId> = Default::default();
         let mut quarantined: std::collections::BTreeSet<String> = Default::default();
 
         for (batch_idx, batch_seeds) in seeds
@@ -240,6 +255,9 @@ impl Campaign {
             if programs.is_empty() {
                 continue;
             }
+            // Cached ids, maintained incrementally: recomputed only when a
+            // program actually changes (mutation, crash swap, shuffle).
+            let mut prog_ids: Vec<ProgramId> = programs.iter().map(ProgramId::of).collect();
             let mut machine = BatchMachine::new(self.config.batch.clone(), &programs);
             let mut prog_machines: Vec<ProgramStateMachine> = programs
                 .iter()
@@ -289,14 +307,16 @@ impl Campaign {
                     // A program that keeps killing executors is quarantined.
                     if let Some(crash) = &report.crash {
                         raw_crashes.push((crash.clone(), programs[i].clone()));
-                        let key = torpedo_prog::serialize(&programs[i], &self.table);
-                        let count = crash_counts.entry(key.clone()).or_insert(0);
+                        let key = prog_ids[i];
+                        let count = crash_counts.entry(key).or_insert(0);
                         *count += 1;
-                        if *count >= quarantine_threshold {
-                            quarantined.insert(key);
+                        if *count >= quarantine_threshold && quarantined_ids.insert(key) {
+                            quarantined.insert(torpedo_prog::serialize(&programs[i], &self.table));
                         }
                         observer.restart_crashed()?;
-                        programs[i] = self.fresh_program(&quarantined, &mut rng);
+                        let (fresh, fresh_id) = self.fresh_program(&quarantined_ids, &mut rng);
+                        programs[i] = fresh;
+                        prog_ids[i] = fresh_id;
                         prog_machines[i] = ProgramStateMachine::new();
                     }
                 }
@@ -317,18 +337,28 @@ impl Campaign {
                 let (_verdict, action) = machine.on_round(score, &mut programs, &mut rng);
                 match action {
                     BatchAction::Stop => break,
-                    BatchAction::ShuffleAndRun => {}
+                    BatchAction::ShuffleAndRun => {
+                        // The machine shuffled (or reverted) the batch:
+                        // resync the cached ids with the new order.
+                        for (id, program) in prog_ids.iter_mut().zip(programs.iter()) {
+                            *id = ProgramId::of(program);
+                        }
+                    }
                     BatchAction::MutateAndRun => {
-                        for program in &mut programs {
+                        for (idx, program) in programs.iter_mut().enumerate() {
                             let donor_pick = rand::Rng::gen_range(&mut rng, 0.0..1.0f64);
                             let donor = corpus.donor(donor_pick).cloned();
                             mutator.mutate(program, &self.table, donor.as_ref(), &mut rng);
                             // Mutation must not resurrect a quarantined
                             // executor-killer.
-                            let key = torpedo_prog::serialize(program, &self.table);
-                            if quarantined.contains(&key) {
-                                *program = self.fresh_program(&quarantined, &mut rng);
+                            let mut id = ProgramId::of(program);
+                            if quarantined_ids.contains(&id) {
+                                let (fresh, fresh_id) =
+                                    self.fresh_program(&quarantined_ids, &mut rng);
+                                *program = fresh;
+                                id = fresh_id;
                             }
+                            prog_ids[idx] = id;
                         }
                     }
                 }
@@ -338,15 +368,14 @@ impl Campaign {
         // Offline flagging (§3.6.1): parse the round logs and isolate
         // adversarial programs asynchronously from execution.
         let mut flagged: Vec<FlaggedFinding> = Vec::new();
-        let mut seen_programs: std::collections::HashSet<String> = Default::default();
+        let mut seen_programs: std::collections::HashSet<ProgramId> = Default::default();
         for log in &logs {
             let violations = oracle.flag(&log.observation);
             if violations.is_empty() {
                 continue;
             }
             for program in &log.programs {
-                let key = torpedo_prog::serialize(program, &self.table);
-                if seen_programs.insert(key) {
+                if seen_programs.insert(ProgramId::of(program)) {
                     flagged.push(FlaggedFinding {
                         program: program.clone(),
                         violations: violations.clone(),
@@ -395,13 +424,14 @@ impl Campaign {
 
     /// Generate a replacement program that is not on the quarantine list
     /// (bounded attempts; generation rarely reproduces a quarantined
-    /// program exactly).
+    /// program exactly). Returns the program with its content id.
     fn fresh_program(
         &self,
-        quarantined: &std::collections::BTreeSet<String>,
+        quarantined: &std::collections::BTreeSet<ProgramId>,
         rng: &mut StdRng,
-    ) -> Program {
+    ) -> (Program, ProgramId) {
         let mut program = Program::default();
+        let mut id = ProgramId::of(&program);
         for _ in 0..8 {
             program = torpedo_prog::gen_program(
                 &self.table,
@@ -409,11 +439,12 @@ impl Campaign {
                 &self.config.mutate.denylist,
                 rng,
             );
-            if !quarantined.contains(&torpedo_prog::serialize(&program, &self.table)) {
+            id = ProgramId::of(&program);
+            if !quarantined.contains(&id) {
                 break;
             }
         }
-        program
+        (program, id)
     }
 }
 

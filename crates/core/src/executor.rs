@@ -225,8 +225,8 @@ impl Executor {
         for call in &program.calls {
             let desc = &table[call.desc];
             let (args, paths) = lower_args(call, &retvals);
-            let mut req = SyscallRequest::new(desc.name, args);
-            for (i, path) in paths.iter().enumerate() {
+            let mut req = SyscallRequest::with_nr(desc.name, desc.nr, args);
+            for (i, path) in paths.into_iter().enumerate() {
                 if let Some(p) = path {
                     req = req.with_path(i, p);
                 }
@@ -272,8 +272,8 @@ impl Executor {
             for call in &program.calls {
                 let desc = &table[call.desc];
                 let (args, paths) = lower_args(call, &retvals);
-                let mut req = SyscallRequest::new(desc.name, args);
-                for (i, path) in paths.iter().enumerate() {
+                let mut req = SyscallRequest::with_nr(desc.name, desc.nr, args);
+                for (i, path) in paths.into_iter().enumerate() {
                     if let Some(p) = path {
                         req = req.with_path(i, p);
                     }
@@ -332,10 +332,15 @@ pub struct StepReport {
     pub fatal_signals: u64,
 }
 
-/// Lower typed argument values to raw registers plus path payloads.
-fn lower_args(call: &torpedo_prog::Call, retvals: &[i64]) -> ([u64; 6], [Option<String>; 6]) {
+/// Lower typed argument values to raw registers plus path payloads. The
+/// payloads are borrowed straight from the call — no per-iteration clones in
+/// the executor's hot loop.
+fn lower_args<'c>(
+    call: &'c torpedo_prog::Call,
+    retvals: &[i64],
+) -> ([u64; 6], [Option<&'c str>; 6]) {
     let mut args = [0u64; 6];
-    let mut paths: [Option<String>; 6] = Default::default();
+    let mut paths: [Option<&'c str>; 6] = [None; 6];
     for (i, value) in call.args.iter().take(6).enumerate() {
         match value {
             ArgValue::Int(v) => args[i] = *v,
@@ -345,11 +350,11 @@ fn lower_args(call: &torpedo_prog::Call, retvals: &[i64]) -> ([u64; 6], [Option<
             }
             ArgValue::Path(p) => {
                 args[i] = 0x7f00_0000_0000;
-                paths[i] = Some(p.clone());
+                paths[i] = Some(p.as_str());
             }
             ArgValue::Name(n) => {
                 args[i] = 0x7f00_0000_1000;
-                paths[i] = Some(n.clone());
+                paths[i] = Some(n.as_str());
             }
         }
     }

@@ -13,6 +13,8 @@
 //! * [`seeds`] — seed ingestion with the blocking-call denylist (§4.1.2).
 //! * [`campaign`] — the manager loop over seed batches, with offline
 //!   oracle flagging of round logs (§3.6.1).
+//! * [`shard`] — K independent campaigns over disjoint seed shards on a
+//!   thread pool, with deterministic per-shard seeds and merged reports.
 //! * [`minimize`] — Algorithm 3: oracle-violation-preserving shrinking.
 //! * [`confirm`] — the §4.1.4 confirmation harness, classifying root
 //!   causes from the kernel's deferral ledger (the ftrace step).
@@ -55,6 +57,7 @@ pub mod observer;
 pub mod parallel;
 pub mod prog_sm;
 pub mod seeds;
+pub mod shard;
 pub mod stats;
 
 pub use batch::{BatchAction, BatchConfig, BatchMachine, BatchState, RoundVerdict};
@@ -70,4 +73,5 @@ pub use observer::{Observer, ObserverConfig, RoundRecord, SupervisorConfig};
 pub use parallel::ParallelObserver;
 pub use prog_sm::{InvalidTransition, ProgEvent, ProgStage, ProgramStateMachine};
 pub use seeds::{default_denylist, filter_denylisted, SeedCorpus};
+pub use shard::{derive_shard_seed, run_sharded, shard_seeds, ShardOutcome, ShardReport};
 pub use stats::{CampaignStats, RecoveryStats};

@@ -76,7 +76,9 @@ struct Worker {
 struct Shared {
     kernel: Mutex<Kernel>,
     engine: Mutex<Engine>,
-    table: Vec<SyscallDesc>,
+    /// Shared with the owning campaign (and any sibling campaigns) — an Arc
+    /// clone rather than a per-observer copy of the description table.
+    table: Arc<[SyscallDesc]>,
 }
 
 /// A threaded observer: same protocol and measurements as
@@ -112,7 +114,7 @@ impl ParallelObserver {
     pub fn new(
         kernel_config: torpedo_kernel::KernelConfig,
         config: ObserverConfig,
-        table: Vec<SyscallDesc>,
+        table: impl Into<Arc<[SyscallDesc]>>,
     ) -> Result<ParallelObserver, TorpedoError> {
         let mut kernel = Kernel::new(kernel_config);
         let mut engine = Engine::new(&mut kernel);
@@ -132,7 +134,7 @@ impl ParallelObserver {
         let shared = Arc::new(Shared {
             kernel: Mutex::new(kernel),
             engine: Mutex::new(engine),
-            table,
+            table: table.into(),
         });
         let workers = executors
             .into_iter()

@@ -5,7 +5,7 @@
 
 use std::collections::HashSet;
 
-use torpedo_prog::{deserialize, ParseError, Program, SyscallDesc};
+use torpedo_prog::{deserialize_with, NameIndex, ParseError, Program, SyscallDesc};
 
 /// The paper's observed-blocking denylist (§4.1.2): "certain syscalls, such
 /// as 'pause', 'nanosleep', 'poll', and 'recv' send the program into the
@@ -48,8 +48,11 @@ impl SeedCorpus {
         denylist: &HashSet<String>,
     ) -> Result<SeedCorpus, (usize, ParseError)> {
         let mut corpus = SeedCorpus::default();
+        // One name index for the whole corpus: per-call resolution during
+        // parsing is O(1) instead of a table scan per line.
+        let index = NameIndex::new(table);
         for (i, text) in texts.iter().enumerate() {
-            let mut program = deserialize(text.as_ref(), table).map_err(|e| (i, e))?;
+            let mut program = deserialize_with(text.as_ref(), table, &index).map_err(|e| (i, e))?;
             filter_denylisted(&mut program, table, denylist, &mut corpus.filtered_calls);
             if !program.is_empty() {
                 corpus.programs.push(program);

@@ -93,6 +93,13 @@ impl DeferralLedger {
         &self.events
     }
 
+    /// Discard all events in place, keeping the allocation — the
+    /// round-reset path, which (unlike [`DeferralLedger::drain`]) lets the
+    /// event vec's capacity be reused round after round.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
     /// Total escaped CPU caused by `origin` this round.
     pub fn escaped_cost(&self, origin: CgroupId) -> Usecs {
         self.events

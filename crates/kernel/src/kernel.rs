@@ -82,13 +82,6 @@ pub struct RoundState {
 }
 
 impl RoundState {
-    fn new(cores: usize, window: Usecs) -> RoundState {
-        RoundState {
-            window,
-            per_core: vec![CpuTimes::default(); cores],
-        }
-    }
-
     /// The round window length.
     pub fn window(&self) -> Usecs {
         self.window
@@ -143,6 +136,9 @@ pub struct Kernel {
     fd_tables: HashMap<Pid, FdTable>,
     ledger: DeferralLedger,
     round: Option<RoundState>,
+    /// Recycled per-core buffer from the previous round, so
+    /// [`Kernel::begin_round`] does not reallocate every round.
+    round_scratch: Vec<CpuTimes>,
     cumulative: Vec<CpuTimes>,
     rng: StdRng,
     /// Pids that performed block I/O this round, with their cores: the
@@ -229,6 +225,7 @@ impl Kernel {
             fd_tables: HashMap::new(),
             ledger: DeferralLedger::new(),
             round: None,
+            round_scratch: Vec::new(),
             cumulative: vec![CpuTimes::default(); cores],
             rng: StdRng::seed_from_u64(noise_seed),
             io_active: HashSet::new(),
@@ -301,10 +298,20 @@ impl Kernel {
     pub fn begin_round(&mut self, window: Usecs) {
         self.cgroups.reset_window();
         self.procs.begin_round();
-        self.ledger.drain();
+        self.ledger.clear();
         self.io_active.clear();
         self.vfs.dirty(self.config.host_dirty_bytes_per_round);
-        self.round = Some(RoundState::new(self.config.cores, window));
+        let state = self.fresh_round(window);
+        self.round = Some(state);
+    }
+
+    /// A zeroed [`RoundState`] drawn from the recycled scratch buffer:
+    /// allocation-free in steady state.
+    fn fresh_round(&mut self, window: Usecs) -> RoundState {
+        let mut per_core = std::mem::take(&mut self.round_scratch);
+        per_core.clear();
+        per_core.resize(self.config.cores, CpuTimes::default());
+        RoundState { window, per_core }
     }
 
     /// Finish the round: add background noise, the framework's softirq
@@ -377,9 +384,15 @@ impl Kernel {
         }
         self.rounds_completed += 1;
 
+        // Hand the caller its own copy of the per-core deltas and recycle
+        // the round's buffer for the next begin_round.
+        let per_core = round.per_core.clone();
+        round.per_core.clear();
+        self.round_scratch = round.per_core;
+
         RoundOutput {
             window,
-            per_core: round.per_core,
+            per_core,
             deferrals: self.ledger.drain(),
         }
     }
@@ -404,9 +417,11 @@ impl Kernel {
         pid: Pid,
         cgroup: CgroupId,
     ) -> Usecs {
-        let round = self
-            .round
-            .get_or_insert_with(|| RoundState::new(self.config.cores, Usecs(u64::MAX / 4)));
+        if self.round.is_none() {
+            let state = self.fresh_round(Usecs(u64::MAX / 4));
+            self.round = Some(state);
+        }
+        let round = self.round.as_mut().expect("round initialised above");
         let applied = amount.min(round.remaining(core));
         round.per_core[core].charge(cat, applied);
         self.procs.charge_cpu(pid, applied);
@@ -417,9 +432,11 @@ impl Kernel {
     /// Charge I/O-wait on `core` (not attributed to any process: iowait is a
     /// core-level phenomenon). Clamped to remaining capacity.
     pub fn charge_iowait(&mut self, core: usize, amount: Usecs) -> Usecs {
-        let round = self
-            .round
-            .get_or_insert_with(|| RoundState::new(self.config.cores, Usecs(u64::MAX / 4)));
+        if self.round.is_none() {
+            let state = self.fresh_round(Usecs(u64::MAX / 4));
+            self.round = Some(state);
+        }
+        let round = self.round.as_mut().expect("round initialised above");
         let applied = amount.min(round.remaining(core));
         round.per_core[core].charge(CpuCategory::IoWait, applied);
         applied

@@ -53,6 +53,8 @@ pub use process::{DaemonKind, HelperKind, KthreadKind, Pid, ProcessKind};
 pub use signal::Signal;
 pub use syscalls::{
     dispatch, fallback_signal, nr_of, ExecContext, ExecPolicy, SyscallOutcome, SyscallRequest,
-    SYSCALL_TABLE,
+    NR_UNKNOWN, SYSCALL_TABLE,
 };
+#[doc(hidden)]
+pub use syscalls::{dispatch_via_name_scan, nr_of_scan};
 pub use time::Usecs;

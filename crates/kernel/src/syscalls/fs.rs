@@ -15,6 +15,53 @@ use super::{ExecContext, Sem, SyscallRequest};
 /// Largest buffer length honoured per call (fuzzers pass wild lengths).
 const MAX_XFER: u64 = 1 << 20;
 
+/// Every syscall name [`handle`] owns — the dispatch jump table routes these
+/// numbers here without probing the other modules. Must stay in sync with
+/// the `match` arms below (the kernel's routing tests enforce it).
+pub(crate) const NAMES: &[&str] = &[
+    "open",
+    "openat",
+    "creat",
+    "close",
+    "read",
+    "pread64",
+    "write",
+    "pwrite64",
+    "lseek",
+    "fallocate",
+    "ftruncate",
+    "truncate",
+    "sync",
+    "syncfs",
+    "fsync",
+    "fdatasync",
+    "msync",
+    "readlink",
+    "chmod",
+    "fchmod",
+    "setxattr",
+    "getxattr",
+    "listxattr",
+    "removexattr",
+    "inotify_init",
+    "inotify_add_watch",
+    "ioctl",
+    "dup",
+    "dup2",
+    "dup3",
+    "stat",
+    "access",
+    "mkdir",
+    "rmdir",
+    "unlink",
+    "rename",
+    "getdents",
+    "flock",
+    "fcntl",
+    "memfd_create",
+    "fstat",
+];
+
 pub(crate) fn handle(
     k: &mut Kernel,
     ctx: &ExecContext,

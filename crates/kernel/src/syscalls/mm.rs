@@ -13,6 +13,22 @@ use super::{ExecContext, Sem, SyscallRequest};
 /// Largest mapping honoured per call.
 const MAX_MAP: u64 = 64 << 20;
 
+/// Every syscall name [`handle`] owns — the dispatch jump table routes these
+/// numbers here without probing the other modules. Must stay in sync with
+/// the `match` arms below (the kernel's routing tests enforce it).
+pub(crate) const NAMES: &[&str] = &[
+    "mmap",
+    "munmap",
+    "mprotect",
+    "brk",
+    "mremap",
+    "madvise",
+    "mlock",
+    "munlock",
+    "getrandom",
+    "futex",
+];
+
 pub(crate) fn handle(
     k: &mut Kernel,
     ctx: &ExecContext,

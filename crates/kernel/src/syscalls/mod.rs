@@ -11,6 +11,8 @@ mod mm;
 mod netsys;
 mod procsys;
 
+use std::sync::OnceLock;
+
 use crate::cgroup::CgroupId;
 use crate::cpu::CpuCategory;
 use crate::deferral::DeferralChannel;
@@ -58,6 +60,10 @@ pub struct ExecContext {
     pub policy: ExecPolicy,
 }
 
+/// Sentinel syscall number carried by requests whose name is not in
+/// [`SYSCALL_TABLE`]; such requests dispatch to the `ENOSYS` path.
+pub const NR_UNKNOWN: u32 = u32::MAX;
+
 /// A syscall request: name plus six raw arguments, as on x86-64.
 ///
 /// Pointer arguments that reference user-memory strings (paths, xattr keys)
@@ -67,6 +73,10 @@ pub struct ExecContext {
 pub struct SyscallRequest<'a> {
     /// Syscall name (e.g. `"open"`).
     pub name: &'a str,
+    /// Kernel syscall number, resolved once at construction time
+    /// ([`NR_UNKNOWN`] when the name is not modelled). [`dispatch`] routes on
+    /// this instead of re-matching the name string.
+    pub nr: u32,
     /// Raw register arguments.
     pub args: [u64; 6],
     /// String payloads for pointer arguments, by argument index.
@@ -74,10 +84,25 @@ pub struct SyscallRequest<'a> {
 }
 
 impl<'a> SyscallRequest<'a> {
-    /// A request with no string payloads.
+    /// A request with no string payloads. Resolves the syscall number via a
+    /// hashed lookup; callers that already hold the number (e.g. from a
+    /// `SyscallDesc`) should prefer [`SyscallRequest::with_nr`].
     pub fn new(name: &'a str, args: [u64; 6]) -> SyscallRequest<'a> {
         SyscallRequest {
             name,
+            nr: nr_of(name).unwrap_or(NR_UNKNOWN),
+            args,
+            paths: [None; 6],
+        }
+    }
+
+    /// A request carrying a pre-resolved syscall number — the zero-lookup
+    /// fast path for executors that resolved `name` to `nr` at table-build
+    /// time.
+    pub fn with_nr(name: &'a str, nr: u32, args: [u64; 6]) -> SyscallRequest<'a> {
+        SyscallRequest {
+            name,
+            nr,
             args,
             paths: [None; 6],
         }
@@ -188,10 +213,35 @@ pub fn fallback_signal(nr: u32, errno: Option<Errno>) -> u64 {
 
 /// Execute one syscall for the process described by `ctx`.
 ///
+/// Routes on the request's pre-resolved `nr` through a jump table; the
+/// name-string cascade survives only as a fallback for unknown names.
 /// Unknown syscall names fail with `ENOSYS` (and still produce a fallback
 /// coverage signal, as on real SYZKALLER).
 pub fn dispatch(kernel: &mut Kernel, ctx: &ExecContext, req: SyscallRequest<'_>) -> SyscallOutcome {
-    let nr = nr_of(req.name).unwrap_or(u32::MAX);
+    dispatch_inner(kernel, ctx, req, true)
+}
+
+/// The pre-optimization dispatch path: linear name→nr scan plus the
+/// module-by-module string cascade. Semantically identical to [`dispatch`];
+/// retained only so the `syscall_dispatch` benchmark can measure the fast
+/// path against it.
+#[doc(hidden)]
+pub fn dispatch_via_name_scan(
+    kernel: &mut Kernel,
+    ctx: &ExecContext,
+    mut req: SyscallRequest<'_>,
+) -> SyscallOutcome {
+    req.nr = nr_of_scan(req.name).unwrap_or(NR_UNKNOWN);
+    dispatch_inner(kernel, ctx, req, false)
+}
+
+fn dispatch_inner(
+    kernel: &mut Kernel,
+    ctx: &ExecContext,
+    req: SyscallRequest<'_>,
+    fast: bool,
+) -> SyscallOutcome {
+    let nr = req.nr;
 
     // CPU-quota gate (the CPU controller's limitation function, which the
     // paper notes is sound — only *tracking* has holes).
@@ -210,7 +260,11 @@ pub fn dispatch(kernel: &mut Kernel, ctx: &ExecContext, req: SyscallRequest<'_>)
         }
     }
 
-    let mut sem = run_handler(kernel, ctx, &req);
+    let mut sem = if fast {
+        run_handler(kernel, ctx, &req)
+    } else {
+        run_handler_cascade(kernel, ctx, &req)
+    };
 
     // Apply the runtime's interception overhead, then clamp to quota.
     let mut user = sem.user.scale(ctx.policy.overhead);
@@ -298,7 +352,117 @@ pub fn dispatch(kernel: &mut Kernel, ctx: &ExecContext, req: SyscallRequest<'_>)
     }
 }
 
+/// Which handler submodule owns a syscall number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HandlerModule {
+    Fs,
+    Mm,
+    ProcSys,
+    NetSys,
+}
+
+/// One past the highest modelled syscall number (`rseq` = 334).
+const NR_LIMIT: usize = 335;
+
+/// O(1) routing tables, built once from [`SYSCALL_TABLE`] and the handler
+/// modules' ownership lists on first use.
+/// Slot count of the open-addressed name table: a power of two at ~0.4
+/// load factor for the 110-entry syscall table, so lookups are one FNV-1a
+/// hash plus (almost always) a single key compare.
+const NAME_SLOTS: usize = 256;
+
+/// FNV-1a over a name. The keys are a fixed compile-time set, so the
+/// DoS-resistant (and much slower on short strings) SipHash default of
+/// `HashMap` buys nothing here.
+#[inline]
+fn fnv_name(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct FastTables {
+    /// Open-addressed (linear probing) name → nr table with canonical
+    /// `&'static str` keys; serves [`nr_of`] and `leak_name`.
+    name_slots: [Option<(&'static str, u32)>; NAME_SLOTS],
+    /// nr → owning handler module: the jump table [`run_handler`] routes on.
+    module_by_nr: [Option<HandlerModule>; NR_LIMIT],
+}
+
+impl FastTables {
+    #[inline]
+    fn entry(&self, name: &str) -> Option<(&'static str, u32)> {
+        let mut idx = fnv_name(name) as usize & (NAME_SLOTS - 1);
+        loop {
+            match self.name_slots[idx] {
+                // Pointer equality first: callers overwhelmingly pass the
+                // interned `&'static str` out of a syscall table, making the
+                // common hit a two-word compare instead of a memcmp.
+                Some((known, nr))
+                    if std::ptr::eq(known.as_ptr(), name.as_ptr()) && known.len() == name.len()
+                        || known == name =>
+                {
+                    return Some((known, nr))
+                }
+                Some(_) => idx = (idx + 1) & (NAME_SLOTS - 1),
+                None => return None,
+            }
+        }
+    }
+}
+
+fn fast_tables() -> &'static FastTables {
+    static TABLES: OnceLock<FastTables> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut name_slots = [None; NAME_SLOTS];
+        for (name, nr) in SYSCALL_TABLE {
+            let mut idx = fnv_name(name) as usize & (NAME_SLOTS - 1);
+            while name_slots[idx].is_some() {
+                idx = (idx + 1) & (NAME_SLOTS - 1);
+            }
+            name_slots[idx] = Some((*name, *nr));
+        }
+        let mut tables = FastTables {
+            name_slots,
+            module_by_nr: [None; NR_LIMIT],
+        };
+        let ownership: [(&[&str], HandlerModule); 4] = [
+            (fs::NAMES, HandlerModule::Fs),
+            (mm::NAMES, HandlerModule::Mm),
+            (procsys::NAMES, HandlerModule::ProcSys),
+            (netsys::NAMES, HandlerModule::NetSys),
+        ];
+        for (names, module) in ownership {
+            for name in names {
+                let (_, nr) = tables.entry(name).expect("module NAMES ⊆ SYSCALL_TABLE");
+                tables.module_by_nr[nr as usize] = Some(module);
+            }
+        }
+        tables
+    })
+}
+
 fn run_handler(kernel: &mut Kernel, ctx: &ExecContext, req: &SyscallRequest<'_>) -> Sem {
+    if let Some(Some(module)) = fast_tables().module_by_nr.get(req.nr as usize) {
+        let sem = match module {
+            HandlerModule::Fs => fs::handle(kernel, ctx, req.name, req),
+            HandlerModule::Mm => mm::handle(kernel, ctx, req.name, req),
+            HandlerModule::ProcSys => procsys::handle(kernel, ctx, req.name, req),
+            HandlerModule::NetSys => netsys::handle(kernel, ctx, req.name, req),
+        };
+        if let Some(sem) = sem {
+            return sem;
+        }
+    }
+    run_handler_cascade(kernel, ctx, req)
+}
+
+/// Slow fallback for requests whose name did not resolve to a modelled nr
+/// (and the baseline the jump table is benchmarked against).
+fn run_handler_cascade(kernel: &mut Kernel, ctx: &ExecContext, req: &SyscallRequest<'_>) -> Sem {
     if let Some(sem) = fs::handle(kernel, ctx, req.name, req) {
         return sem;
     }
@@ -317,12 +481,9 @@ fn run_handler(kernel: &mut Kernel, ctx: &ExecContext, req: &SyscallRequest<'_>)
 /// Static `"sync"`-style names for deferral events (events store a
 /// `&'static str`; syscall names arrive borrowed).
 fn leak_name(name: &str) -> &'static str {
-    for (known, _) in SYSCALL_TABLE {
-        if *known == name {
-            return known;
-        }
-    }
-    "unknown"
+    fast_tables()
+        .entry(name)
+        .map_or("unknown", |(known, _)| known)
 }
 
 /// The x86-64 syscall-number table for every modelled syscall.
@@ -439,8 +600,16 @@ pub const SYSCALL_TABLE: &[(&str, u32)] = &[
     ("rseq", 334),
 ];
 
-/// The syscall number of `name`, if modelled.
+/// The syscall number of `name`, if modelled. O(1) hashed lookup.
+#[inline]
 pub fn nr_of(name: &str) -> Option<u32> {
+    fast_tables().entry(name).map(|(_, nr)| nr)
+}
+
+/// The pre-optimization linear-scan lookup, retained as the baseline the
+/// `syscall_dispatch` benchmark measures [`nr_of`] against.
+#[doc(hidden)]
+pub fn nr_of_scan(name: &str) -> Option<u32> {
     SYSCALL_TABLE
         .iter()
         .find(|(n, _)| *n == name)
@@ -549,5 +718,52 @@ mod tests {
         assert_eq!(nr_of("socket"), Some(41));
         assert_eq!(nr_of("rseq"), Some(334));
         assert_eq!(nr_of("bogus"), None);
+    }
+
+    #[test]
+    fn hashed_lookup_matches_linear_scan() {
+        for (name, nr) in SYSCALL_TABLE {
+            assert_eq!(nr_of(name), Some(*nr));
+            assert_eq!(nr_of(name), nr_of_scan(name));
+        }
+        assert_eq!(nr_of_scan("bogus"), None);
+    }
+
+    #[test]
+    fn request_constructors_resolve_nr() {
+        assert_eq!(SyscallRequest::new("socket", [0; 6]).nr, 41);
+        assert_eq!(SyscallRequest::new("not_a_syscall", [0; 6]).nr, NR_UNKNOWN);
+        assert_eq!(SyscallRequest::with_nr("socket", 41, [0; 6]).nr, 41);
+    }
+
+    #[test]
+    fn jump_table_covers_every_modelled_syscall() {
+        let tables = fast_tables();
+        for (name, nr) in SYSCALL_TABLE {
+            assert!(
+                tables.module_by_nr[*nr as usize].is_some(),
+                "nr {nr} ({name}) has no owning handler module"
+            );
+        }
+    }
+
+    #[test]
+    fn jump_table_routes_like_the_cascade() {
+        // The fast path and the legacy name-scan path must agree on every
+        // modelled syscall (fresh kernel per dispatch so state mutations on
+        // one side cannot leak into the other).
+        for (name, _) in SYSCALL_TABLE {
+            let (mut k, ctx) = setup();
+            let fast = dispatch(&mut k, &ctx, SyscallRequest::new(name, [0; 6]));
+            let (mut k, ctx) = setup();
+            let slow = dispatch_via_name_scan(&mut k, &ctx, SyscallRequest::new(name, [0; 6]));
+            assert_eq!(fast, slow, "routing mismatch for {name}");
+        }
+        // Unknown names agree too (both take the ENOSYS path).
+        let (mut k, ctx) = setup();
+        let fast = dispatch(&mut k, &ctx, SyscallRequest::new("bogus", [0; 6]));
+        let (mut k, ctx) = setup();
+        let slow = dispatch_via_name_scan(&mut k, &ctx, SyscallRequest::new("bogus", [0; 6]));
+        assert_eq!(fast, slow);
     }
 }

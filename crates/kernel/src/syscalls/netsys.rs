@@ -19,6 +19,34 @@ use super::{ExecContext, Sem, SyscallRequest};
 /// Cost of one modprobe exec: fork + exec + module path search + failure.
 const MODPROBE_COST: Usecs = Usecs(700);
 
+/// Every syscall name [`handle`] owns — the dispatch jump table routes these
+/// numbers here without probing the other modules. Must stay in sync with
+/// the `match` arms below (the kernel's routing tests enforce it).
+pub(crate) const NAMES: &[&str] = &[
+    "socket",
+    "socketpair",
+    "pipe",
+    "pipe2",
+    "eventfd2",
+    "epoll_create1",
+    "bind",
+    "listen",
+    "setsockopt",
+    "getsockopt",
+    "shutdown",
+    "epoll_ctl",
+    "connect",
+    "accept",
+    "accept4",
+    "sendto",
+    "sendmsg",
+    "recvfrom",
+    "recvmsg",
+    "poll",
+    "select",
+    "epoll_wait",
+];
+
 pub(crate) fn handle(
     k: &mut Kernel,
     ctx: &ExecContext,

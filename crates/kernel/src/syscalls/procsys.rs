@@ -16,6 +16,49 @@ use super::{ExecContext, Sem, SyscallRequest};
 /// How long "forever" blocks within a round: longer than any sane window.
 const FOREVER: Usecs = Usecs::from_secs(3600);
 
+/// Every syscall name [`handle`] owns — the dispatch jump table routes these
+/// numbers here without probing the other modules. Must stay in sync with
+/// the `match` arms below (the kernel's routing tests enforce it).
+pub(crate) const NAMES: &[&str] = &[
+    "getpid",
+    "getppid",
+    "gettid",
+    "getuid",
+    "geteuid",
+    "setuid",
+    "setgid",
+    "getrlimit",
+    "setrlimit",
+    "prlimit64",
+    "alarm",
+    "pause",
+    "nanosleep",
+    "clock_nanosleep",
+    "sched_yield",
+    "kill",
+    "tgkill",
+    "rt_sigaction",
+    "rt_sigprocmask",
+    "rt_sigreturn",
+    "rseq",
+    "exit",
+    "exit_group",
+    "kcmp",
+    "capget",
+    "capset",
+    "prctl",
+    "personality",
+    "ptrace",
+    "uname",
+    "sysinfo",
+    "times",
+    "getcpu",
+    "gettimeofday",
+    "clock_gettime",
+    "getitimer",
+    "fork",
+];
+
 pub(crate) fn handle(
     k: &mut Kernel,
     ctx: &ExecContext,

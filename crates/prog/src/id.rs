@@ -1,0 +1,142 @@
+//! Cheap 64-bit content identity for programs.
+//!
+//! The campaign driver needs program identity in three hot paths —
+//! quarantine checks, corpus/finding dedup, and crash accounting — and used
+//! to re-render the full text serialization as the key each time. A
+//! [`ProgramId`] is an FNV-1a hash over the IR itself: no allocation, no
+//! formatting, and it agrees with text equality because the text rendering
+//! is injective on the IR (every call index, argument kind, and payload byte
+//! feeds the hash).
+
+use crate::program::{ArgValue, Program};
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A 64-bit content hash of a program's IR.
+///
+/// Two structurally equal programs always share an id; distinct programs
+/// collide only with ~2⁻⁶⁴ probability. Recompute it whenever the program
+/// changes (one cheap IR walk per mutation) and reuse the cached value for
+/// every identity check in between.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ProgramId(pub u64);
+
+impl ProgramId {
+    /// Hash `program`'s IR.
+    pub fn of(program: &Program) -> ProgramId {
+        let mut h = FNV_OFFSET;
+        fold(&mut h, &(program.calls.len() as u64).to_le_bytes());
+        for call in &program.calls {
+            fold(&mut h, &(call.desc as u64).to_le_bytes());
+            fold(&mut h, &(call.args.len() as u64).to_le_bytes());
+            for arg in &call.args {
+                match arg {
+                    ArgValue::Int(v) => {
+                        fold(&mut h, &[0]);
+                        fold(&mut h, &v.to_le_bytes());
+                    }
+                    ArgValue::Ref(target) => {
+                        fold(&mut h, &[1]);
+                        fold(&mut h, &(*target as u64).to_le_bytes());
+                    }
+                    ArgValue::Path(p) => {
+                        fold(&mut h, &[2]);
+                        fold(&mut h, &(p.len() as u64).to_le_bytes());
+                        fold(&mut h, p.as_bytes());
+                    }
+                    ArgValue::Name(n) => {
+                        fold(&mut h, &[3]);
+                        fold(&mut h, &(n.len() as u64).to_le_bytes());
+                        fold(&mut h, n.as_bytes());
+                    }
+                }
+            }
+        }
+        ProgramId(h)
+    }
+}
+
+fn fold(h: &mut u64, bytes: &[u8]) {
+    for b in bytes {
+        *h ^= *b as u64;
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::gen_program;
+    use crate::mutate::Mutator;
+    use crate::program::Call;
+    use crate::serialize::serialize;
+    use crate::table::{build_table, find};
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn equal_programs_share_an_id() {
+        let table = build_table();
+        let mut rng = StdRng::seed_from_u64(11);
+        let prog = gen_program(&table, 8, &HashSet::new(), &mut rng);
+        assert_eq!(ProgramId::of(&prog), ProgramId::of(&prog.clone()));
+    }
+
+    #[test]
+    fn payload_kind_is_distinguished() {
+        let table = build_table();
+        let creat = find(&table, "creat").unwrap();
+        let a = Program {
+            calls: vec![Call {
+                desc: creat,
+                args: vec![ArgValue::Path("x".into()), ArgValue::Int(0)],
+            }],
+        };
+        let mut b = a.clone();
+        b.calls[0].args[0] = ArgValue::Name("x".into());
+        assert_ne!(ProgramId::of(&a), ProgramId::of(&b));
+    }
+
+    #[test]
+    fn argument_change_changes_the_id() {
+        let table = build_table();
+        let alarm = find(&table, "alarm").unwrap();
+        let a = Program {
+            calls: vec![Call {
+                desc: alarm,
+                args: vec![ArgValue::Int(1)],
+            }],
+        };
+        let mut b = a.clone();
+        b.calls[0].args[0] = ArgValue::Int(2);
+        assert_ne!(ProgramId::of(&a), ProgramId::of(&b));
+    }
+
+    proptest! {
+        /// The satellite guarantee: id equality agrees with serialize-text
+        /// equality on generated (and mutated) programs.
+        #[test]
+        fn id_agrees_with_serialize_text_equality(
+            seed_a in 0u64..1 << 48,
+            seed_b in 0u64..1 << 48,
+            len_a in 1usize..10,
+            len_b in 1usize..10,
+            mutate in any::<bool>(),
+        ) {
+            let table = build_table();
+            let mut rng = StdRng::seed_from_u64(seed_a);
+            let a = gen_program(&table, len_a, &HashSet::new(), &mut rng);
+            let mut rng = StdRng::seed_from_u64(seed_b);
+            let mut b = gen_program(&table, len_b, &HashSet::new(), &mut rng);
+            if mutate {
+                Mutator::default().mutate(&mut b, &table, None, &mut rng);
+            }
+            let text_eq = serialize(&a, &table) == serialize(&b, &table);
+            let id_eq = ProgramId::of(&a) == ProgramId::of(&b);
+            prop_assert_eq!(text_eq, id_eq);
+        }
+    }
+}

@@ -25,6 +25,7 @@ pub mod cgen;
 pub mod corpus;
 pub mod desc;
 pub mod gen;
+pub mod id;
 pub mod minimize;
 pub mod mutate;
 pub mod program;
@@ -37,10 +38,11 @@ pub use cgen::{generate_c, CGenOptions};
 pub use corpus::{Corpus, CorpusItem};
 pub use desc::{ArgSpec, ArgType, InterfaceGroup, ResKind, SyscallDesc};
 pub use gen::gen_program;
+pub use id::ProgramId;
 pub use minimize::{minimize, MinimizeStats};
 pub use mutate::{MutatePolicy, MutationOp, Mutator};
 pub use program::{ArgValue, Call, Program, ValidationError};
 pub use queue::{WorkItem, WorkKind, WorkQueue};
-pub use serialize::{deserialize, serialize, ParseError};
+pub use serialize::{deserialize, deserialize_with, serialize, ParseError};
 pub use signal::{CoverageSet, ProgramCoverage};
-pub use table::{build_table, find, PATHS, SOCKET_FAMILIES, XATTR_NAMES};
+pub use table::{build_table, find, NameIndex, PATHS, SOCKET_FAMILIES, XATTR_NAMES};

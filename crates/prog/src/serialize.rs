@@ -15,7 +15,7 @@
 
 use crate::desc::SyscallDesc;
 use crate::program::{ArgValue, Call, Program};
-use crate::table::find;
+use crate::table::NameIndex;
 
 /// A deserialization failure.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -110,9 +110,25 @@ fn render_arg(arg: &ArgValue) -> String {
 
 /// Parse the text format back into a [`Program`].
 ///
+/// Builds a [`NameIndex`] for the single call; batch parsers (seed loading)
+/// should build the index once and use [`deserialize_with`].
+///
 /// # Errors
 /// Any [`ParseError`]; the first problem encountered is reported.
 pub fn deserialize(text: &str, table: &[SyscallDesc]) -> Result<Program, ParseError> {
+    deserialize_with(text, table, &NameIndex::new(table))
+}
+
+/// Parse the text format back into a [`Program`], resolving names through a
+/// pre-built [`NameIndex`].
+///
+/// # Errors
+/// Any [`ParseError`]; the first problem encountered is reported.
+pub fn deserialize_with(
+    text: &str,
+    table: &[SyscallDesc],
+    index: &NameIndex,
+) -> Result<Program, ParseError> {
     let mut program = Program::new();
     let mut lineno = 0usize;
     for raw in text.lines() {
@@ -136,7 +152,7 @@ pub fn deserialize(text: &str, table: &[SyscallDesc]) -> Result<Program, ParseEr
             return Err(ParseError::Malformed { line: lineno });
         }
         let name = body[..open].trim();
-        let desc_idx = find(table, name).ok_or_else(|| ParseError::UnknownSyscall {
+        let desc_idx = index.get(name).ok_or_else(|| ParseError::UnknownSyscall {
             line: lineno,
             name: name.to_string(),
         })?;

@@ -891,8 +891,36 @@ pub fn build_table() -> Vec<SyscallDesc> {
 }
 
 /// Look up a description index by name.
+///
+/// O(n) scan — fine for one-off lookups; repeated resolution (parsing,
+/// seed loading) should build a [`NameIndex`] once instead.
 pub fn find(table: &[SyscallDesc], name: &str) -> Option<usize> {
     table.iter().position(|desc| desc.name == name)
+}
+
+/// A name → table-index map built once, so per-call resolution during
+/// deserialization and seed loading is O(1) instead of an O(n) scan.
+#[derive(Debug, Clone)]
+pub struct NameIndex {
+    by_name: std::collections::HashMap<&'static str, usize>,
+}
+
+impl NameIndex {
+    /// Build the index for `table`.
+    pub fn new(table: &[SyscallDesc]) -> NameIndex {
+        NameIndex {
+            by_name: table
+                .iter()
+                .enumerate()
+                .map(|(i, desc)| (desc.name, i))
+                .collect(),
+        }
+    }
+
+    /// The table index of `name`, if present.
+    pub fn get(&self, name: &str) -> Option<usize> {
+        self.by_name.get(name).copied()
+    }
 }
 
 #[cfg(test)]

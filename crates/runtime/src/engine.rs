@@ -83,6 +83,10 @@ pub struct Container {
     state: ContainerState,
     namespaces: torpedo_kernel::namespace::NamespaceSet,
     uid_mapping: torpedo_kernel::namespace::UidMapping,
+    /// Pre-built execution context — constant between restarts, so the
+    /// per-syscall path borrows it instead of rebuilding (the cpuset `Vec`
+    /// allocation and runtime-policy lookup used to run once per call).
+    ctx: ExecContext,
 }
 
 impl Container {
@@ -346,6 +350,17 @@ impl Engine {
             UidMapping::identity()
         };
         let id = ContainerId(spec.name.clone());
+        let ctx = ExecContext {
+            pid: executor_pid,
+            cgroup,
+            core,
+            cpuset: if spec.cpuset.is_empty() {
+                (0..kernel.cores()).collect()
+            } else {
+                spec.cpuset.clone()
+            },
+            policy: self.runtimes[spec.runtime.as_str()].policy(),
+        };
         self.containers.insert(
             spec.name.clone(),
             Container {
@@ -357,6 +372,7 @@ impl Engine {
                 state: ContainerState::Running,
                 namespaces,
                 uid_mapping,
+                ctx,
             },
         );
         Ok(id)
@@ -382,21 +398,6 @@ impl Engine {
     }
 
     /// The execution context a syscall from this container runs under.
-    fn exec_context(&self, kernel: &Kernel, c: &Container) -> ExecContext {
-        let cpuset = if c.spec.cpuset.is_empty() {
-            (0..kernel.cores()).collect()
-        } else {
-            c.spec.cpuset.clone()
-        };
-        ExecContext {
-            pid: c.executor_pid,
-            cgroup: c.cgroup,
-            core: c.core,
-            cpuset,
-            policy: self.runtimes[c.spec.runtime.as_str()].policy(),
-        }
-    }
-
     /// Execute one syscall inside a container (no collider).
     ///
     /// # Errors
@@ -453,7 +454,6 @@ impl Engine {
                 crash: None,
             });
         }
-        let ctx = self.exec_context(kernel, container);
         let exec = if self.fault(FaultKind::ContainerCrash, &id.0) {
             // Synthesize a runtime-bug crash; the shared crash path below
             // transitions the container and reaps its processes.
@@ -467,7 +467,7 @@ impl Engine {
             }
         } else {
             let runtime = &self.runtimes[container.spec.runtime.as_str()];
-            runtime.execute(kernel, &ctx, req, env)
+            runtime.execute(kernel, &container.ctx, req, env)
         };
         if let Some(crash) = &exec.crash {
             let container = self.containers.get_mut(&id.0).expect("checked above");
@@ -510,6 +510,7 @@ impl Engine {
             },
             container.cgroup,
         );
+        container.ctx.pid = container.executor_pid;
         if matches!(
             self.runtimes[container.spec.runtime.as_str()].kind(),
             crate::RuntimeKind::Sandboxed
@@ -573,7 +574,10 @@ impl Engine {
     /// each streaming container, the TTY/LDISC flush deferral of §3.3, and
     /// any standing runtime overhead (sentry housekeeping, VMM tax).
     pub fn round_overhead(&self, kernel: &mut Kernel, window: Usecs) {
-        let running: Vec<(String, CgroupId, Pid, usize, &'static str)> = self
+        // Iterate by sorted name: `containers` is a HashMap, and its
+        // per-instance iteration order must not leak into charge order or the
+        // deferral ledger (round logs are replay-deterministic).
+        let mut running: Vec<(String, CgroupId, Pid, usize, &'static str)> = self
             .containers
             .values()
             .filter(|c| c.state == ContainerState::Running)
@@ -587,6 +591,7 @@ impl Engine {
                 )
             })
             .collect();
+        running.sort_by(|a, b| a.0.cmp(&b.0));
         if running.is_empty() {
             return;
         }
@@ -604,9 +609,10 @@ impl Engine {
             .get(containerd)
             .map(|p| p.cgroup())
             .unwrap_or(torpedo_kernel::cgroup::CgroupTree::ROOT);
-        let all_cpusets: Vec<usize> = self
-            .containers
-            .values()
+        let mut by_name: Vec<&Container> = self.containers.values().collect();
+        by_name.sort_by(|a, b| a.spec.name.cmp(&b.spec.name));
+        let all_cpusets: Vec<usize> = by_name
+            .iter()
             .flat_map(|c| c.spec.cpuset.iter().copied())
             .collect();
         let engine_core = kernel.pick_victim_core(&all_cpusets);

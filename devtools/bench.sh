@@ -1,0 +1,39 @@
+#!/usr/bin/env bash
+# The throughput cap: builds the torpedo_bench harness in release mode and
+# writes BENCH_fuzz.json at the repo root — dispatch microbench (nr fast
+# path vs name-string path), whole-campaign throughput (execs/s, rounds/s,
+# mutations/s) and the shard scaling curve.
+#
+# Works offline: falls back to devtools/offline-check.sh's stub patches
+# when dependency fetch fails (or when TORPEDO_OFFLINE=1 is set).
+#
+# Usage:
+#   devtools/bench.sh            # full measurement
+#   devtools/bench.sh --quick    # seconds-scale smoke (CI)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+if [[ "${TORPEDO_OFFLINE:-}" == "" ]]; then
+  if ! cargo fetch >/dev/null 2>&1; then
+    echo "bench: dependency fetch failed; falling back to offline stubs" >&2
+    TORPEDO_OFFLINE=1
+  else
+    TORPEDO_OFFLINE=0
+  fi
+fi
+
+run() {
+  if [[ "$TORPEDO_OFFLINE" == "1" ]]; then
+    devtools/offline-check.sh "$@"
+  else
+    cargo "$@"
+  fi
+}
+
+echo "bench: building torpedo_bench (release)"
+run build --release -p torpedo-bench --bin torpedo_bench
+
+echo "bench: running harness $*"
+./target/release/torpedo_bench "$@" --out BENCH_fuzz.json >/dev/null
+
+echo "bench: wrote BENCH_fuzz.json"

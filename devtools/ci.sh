@@ -41,4 +41,14 @@ run build --release --workspace
 echo "ci: cargo test"
 run test -q
 
+echo "ci: bench smoke (devtools/bench.sh --quick)"
+TORPEDO_OFFLINE="$TORPEDO_OFFLINE" devtools/bench.sh --quick
+for key in '"dispatch"' '"nr_of_speedup"' '"fuzz_throughput"' '"execs_per_sec"' \
+           '"mutations_per_sec"' '"shard_scaling"'; do
+  grep -q "$key" BENCH_fuzz.json \
+    || { echo "ci: BENCH_fuzz.json missing $key" >&2; exit 1; }
+done
+grep -q '^{' BENCH_fuzz.json && grep -q '^}' BENCH_fuzz.json \
+  || { echo "ci: BENCH_fuzz.json malformed" >&2; exit 1; }
+
 echo "ci: all gates passed"
