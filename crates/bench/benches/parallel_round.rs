@@ -1,0 +1,42 @@
+//! Criterion bench: one lock-step parallel-observer round at 1, 2 and 4
+//! workers — tracks the striped-lock win alongside `syscall_dispatch`.
+//!
+//! Each iteration runs a full round (prime, execute, measure) against the
+//! same pair of tiny programs, so the numbers isolate round-protocol and
+//! lock overhead rather than program complexity.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use torpedo_core::observer::ObserverConfig;
+use torpedo_core::parallel::ParallelObserver;
+use torpedo_kernel::{KernelConfig, Usecs};
+use torpedo_prog::{build_table, deserialize};
+
+fn bench_parallel_round(c: &mut Criterion) {
+    let table = build_table();
+    let mut group = c.benchmark_group("parallel_round");
+    group.sample_size(10);
+    for workers in [1usize, 2, 4] {
+        let config = ObserverConfig {
+            window: Usecs::from_secs(1),
+            executors: workers,
+            ..ObserverConfig::default()
+        };
+        let mut observer =
+            ParallelObserver::new(KernelConfig::default(), config, table.clone()).unwrap();
+        let programs: Vec<_> = (0..workers)
+            .map(|i| {
+                let text = if i % 2 == 0 { "sync()\n" } else { "getpid()\n" };
+                Arc::new(deserialize(text, &table).unwrap())
+            })
+            .collect();
+        group.bench_function(&format!("workers_{workers}"), |b| {
+            b.iter(|| observer.round(&programs).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_parallel_round);
+criterion_main!(benches);

@@ -113,9 +113,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // never reproduce under shuffle.
     let mut rng = StdRng::seed_from_u64(3);
     let programs = vec![
-        deserialize("getpid()\n", &table)?,
-        deserialize("uname(0x0)\n", &table)?,
-        deserialize("getuid()\n", &table)?,
+        std::sync::Arc::new(deserialize("getpid()\n", &table)?),
+        std::sync::Arc::new(deserialize("uname(0x0)\n", &table)?),
+        std::sync::Arc::new(deserialize("getuid()\n", &table)?),
     ];
     let spike_trace: Vec<(f64, f64)> = (0..40)
         .map(|i| {

@@ -21,9 +21,9 @@ fn main() {
     println!("{}", "=".repeat(70));
     let table = build_table();
     let mut programs = vec![
-        deserialize("sync()\n", &table).unwrap(),
-        deserialize("getpid()\n", &table).unwrap(),
-        deserialize("uname(0x0)\n", &table).unwrap(),
+        std::sync::Arc::new(deserialize("sync()\n", &table).unwrap()),
+        std::sync::Arc::new(deserialize("getpid()\n", &table).unwrap()),
+        std::sync::Arc::new(deserialize("uname(0x0)\n", &table).unwrap()),
     ];
     let mut machine = BatchMachine::new(
         BatchConfig {

@@ -89,6 +89,41 @@ fn sharded_table_4_2_run_is_deterministic() {
     }
 }
 
+/// The work-stealing scheduler must not leak the worker topology into
+/// results: with RNG streams keyed to shard id, any worker count — fewer
+/// workers than shards (stealing from the injector overflow), equal, or
+/// more workers than shards (idle workers) — produces byte-identical
+/// per-shard reports.
+#[test]
+fn work_stealing_is_worker_count_invariant() {
+    let (table, seeds) = table_seeds();
+    let config = config();
+    let fingerprint = |workers: usize| {
+        let report = run_sharded(
+            &config,
+            table.clone(),
+            &seeds,
+            SHARDS,
+            workers,
+            &CpuOracle::new(),
+        )
+        .unwrap();
+        report
+            .shards
+            .iter()
+            .map(|s| format!("seed={} logs={:?}", s.seed, s.report.logs))
+            .collect::<Vec<_>>()
+    };
+    let baseline = fingerprint(SHARDS);
+    for workers in [1usize, 2, SHARDS + 2] {
+        assert_eq!(
+            fingerprint(workers),
+            baseline,
+            "worker count {workers} changed shard results"
+        );
+    }
+}
+
 #[test]
 fn sharded_run_covers_all_table_4_2_families() {
     let (table, seeds) = table_seeds();

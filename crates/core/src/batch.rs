@@ -13,6 +13,8 @@
 //! After `patience` rounds without a confirmed improvement the batch is
 //! exhausted and the observer calls for new programs.
 
+use std::sync::Arc;
+
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 
@@ -89,13 +91,14 @@ pub struct BatchMachine {
     best_score: f64,
     rounds_without_improvement: u32,
     /// Snapshot of the programs at the last confirmed baseline, restored
-    /// when a confirmation fails.
-    saved: Vec<Program>,
+    /// when a confirmation fails. Copy-on-write handles: saving or
+    /// restoring a baseline moves `Arc`s, never call lists.
+    saved: Vec<Arc<Program>>,
 }
 
 impl BatchMachine {
     /// A machine over the initial batch (which is also the revert point).
-    pub fn new(config: BatchConfig, initial: &[Program]) -> BatchMachine {
+    pub fn new(config: BatchConfig, initial: &[Arc<Program>]) -> BatchMachine {
         BatchMachine {
             config,
             state: BatchState::Mutate,
@@ -127,7 +130,7 @@ impl BatchMachine {
     pub fn on_round(
         &mut self,
         score: f64,
-        programs: &mut [Program],
+        programs: &mut [Arc<Program>],
         rng: &mut StdRng,
     ) -> (RoundVerdict, BatchAction) {
         match self.state {
@@ -188,12 +191,12 @@ mod tests {
     use rand::SeedableRng;
     use torpedo_prog::{build_table, deserialize};
 
-    fn programs() -> Vec<Program> {
+    fn programs() -> Vec<Arc<Program>> {
         let table = build_table();
         vec![
-            deserialize("getpid()\n", &table).unwrap(),
-            deserialize("sync()\n", &table).unwrap(),
-            deserialize("uname(0x0)\n", &table).unwrap(),
+            Arc::new(deserialize("getpid()\n", &table).unwrap()),
+            Arc::new(deserialize("sync()\n", &table).unwrap()),
+            Arc::new(deserialize("uname(0x0)\n", &table).unwrap()),
         ]
     }
 
@@ -288,7 +291,7 @@ mod tests {
     #[test]
     fn shuffle_preserves_multiset_of_programs() {
         let mut progs = programs();
-        let before: Vec<Program> = progs.clone();
+        let before: Vec<Arc<Program>> = progs.clone();
         let mut machine = BatchMachine::new(BatchConfig::default(), &progs);
         let mut r = rng();
         machine.on_round(30.0, &mut progs, &mut r);

@@ -74,8 +74,9 @@ pub struct RoundLog {
     pub score: f64,
     /// The observation (kept for offline flagging).
     pub observation: Observation,
-    /// The programs that ran, executor-indexed.
-    pub programs: Vec<Program>,
+    /// The programs that ran, executor-indexed — copy-on-write handles,
+    /// so logging a round shares the batch instead of deep-copying it.
+    pub programs: Vec<Arc<Program>>,
     /// Ground-truth deferrals (confirmation stage only).
     pub deferrals: Vec<DeferralEvent>,
     /// Program executions completed this round, summed over executors.
@@ -89,10 +90,11 @@ pub struct RoundLog {
 /// A program flagged adversarial by offline log analysis.
 #[derive(Debug, Clone)]
 pub struct FlaggedFinding {
-    /// The program under suspicion.
-    pub program: Program,
-    /// The violations the round exhibited.
-    pub violations: Vec<Violation>,
+    /// The program under suspicion (shared, copy-on-write).
+    pub program: Arc<Program>,
+    /// The violations the round exhibited — shared across every finding
+    /// from the same round instead of cloned per program.
+    pub violations: Arc<Vec<Violation>>,
     /// The round's oracle score.
     pub score: f64,
     /// Where it was observed.
@@ -153,7 +155,7 @@ impl Driver {
     fn round(
         &mut self,
         table: &[SyscallDesc],
-        programs: &[Program],
+        programs: &[Arc<Program>],
     ) -> Result<RoundRecord, TorpedoError> {
         match self {
             Driver::Seq(o) => o.round(table, programs),
@@ -236,7 +238,7 @@ impl Campaign {
         let mut logs: Vec<RoundLog> = Vec::new();
         let mut corpus = Corpus::new();
         let mut coverage = CoverageSet::new();
-        let mut raw_crashes: Vec<(ContainerCrash, Program)> = Vec::new();
+        let mut raw_crashes: Vec<(ContainerCrash, Arc<Program>)> = Vec::new();
         let mut rounds_total = 0u64;
         let quarantine_threshold = self.config.observer.supervisor.quarantine_threshold;
         // Hot-path identity is the 64-bit ProgramId content hash; the text
@@ -257,7 +259,7 @@ impl Campaign {
             }
             // Cached ids, maintained incrementally: recomputed only when a
             // program actually changes (mutation, crash swap, shuffle).
-            let mut prog_ids: Vec<ProgramId> = programs.iter().map(ProgramId::of).collect();
+            let mut prog_ids: Vec<ProgramId> = programs.iter().map(|p| ProgramId::of(p)).collect();
             let mut machine = BatchMachine::new(self.config.batch.clone(), &programs);
             let mut prog_machines: Vec<ProgramStateMachine> = programs
                 .iter()
@@ -272,7 +274,11 @@ impl Campaign {
                 let score = oracle.score(&record.observation);
 
                 // Coverage feedback → per-program state machines → corpus.
-                for (i, report) in record.reports.iter().enumerate() {
+                // The threaded observer reports one slot per *worker*; slots
+                // beyond the batch ran the idle default program and carry no
+                // per-program feedback (a short final batch must not index
+                // past the program vectors).
+                for (i, report) in record.reports.iter().enumerate().take(programs.len()) {
                     let flat = report.coverage.flat();
                     let sm = &mut prog_machines[i];
                     match sm.stage() {
@@ -291,7 +297,7 @@ impl Campaign {
                                 let _ = sm.advance(ProgEvent::Minimized);
                                 let _ = sm.advance(ProgEvent::Smashed);
                                 corpus.add(CorpusItem {
-                                    program: programs[i].clone(),
+                                    program: Arc::clone(&programs[i]),
                                     new_signals: new,
                                     best_score: score,
                                     flagged: false,
@@ -306,7 +312,7 @@ impl Campaign {
                     // Crashes: record, restart, and swap in a fresh program.
                     // A program that keeps killing executors is quarantined.
                     if let Some(crash) = &report.crash {
-                        raw_crashes.push((crash.clone(), programs[i].clone()));
+                        raw_crashes.push((crash.clone(), Arc::clone(&programs[i])));
                         let key = prog_ids[i];
                         let count = crash_counts.entry(key).or_insert(0);
                         *count += 1;
@@ -315,7 +321,7 @@ impl Campaign {
                         }
                         observer.restart_crashed()?;
                         let (fresh, fresh_id) = self.fresh_program(&quarantined_ids, &mut rng);
-                        programs[i] = fresh;
+                        programs[i] = Arc::new(fresh);
                         prog_ids[i] = fresh_id;
                         prog_machines[i] = ProgramStateMachine::new();
                     }
@@ -326,6 +332,7 @@ impl Campaign {
                     round: rounds_total,
                     score,
                     observation: record.observation,
+                    // Arc clones: the round log references the batch.
                     programs: programs.clone(),
                     deferrals: record.deferrals,
                     executions: record.reports.iter().map(|r| r.executions).sum(),
@@ -348,14 +355,21 @@ impl Campaign {
                         for (idx, program) in programs.iter_mut().enumerate() {
                             let donor_pick = rand::Rng::gen_range(&mut rng, 0.0..1.0f64);
                             let donor = corpus.donor(donor_pick).cloned();
-                            mutator.mutate(program, &self.table, donor.as_ref(), &mut rng);
+                            // Copy-on-write: only the program being rewritten
+                            // is materialized; every other handle stays shared.
+                            mutator.mutate(
+                                Arc::make_mut(program),
+                                &self.table,
+                                donor.as_deref(),
+                                &mut rng,
+                            );
                             // Mutation must not resurrect a quarantined
                             // executor-killer.
                             let mut id = ProgramId::of(program);
                             if quarantined_ids.contains(&id) {
                                 let (fresh, fresh_id) =
                                     self.fresh_program(&quarantined_ids, &mut rng);
-                                *program = fresh;
+                                *program = Arc::new(fresh);
                                 id = fresh_id;
                             }
                             prog_ids[idx] = id;
@@ -370,15 +384,15 @@ impl Campaign {
         let mut flagged: Vec<FlaggedFinding> = Vec::new();
         let mut seen_programs: std::collections::HashSet<ProgramId> = Default::default();
         for log in &logs {
-            let violations = oracle.flag(&log.observation);
+            let violations = Arc::new(oracle.flag(&log.observation));
             if violations.is_empty() {
                 continue;
             }
             for program in &log.programs {
                 if seen_programs.insert(ProgramId::of(program)) {
                     flagged.push(FlaggedFinding {
-                        program: program.clone(),
-                        violations: violations.clone(),
+                        program: Arc::clone(program),
+                        violations: Arc::clone(&violations),
                         score: log.score,
                         batch: log.batch,
                         round: log.round,

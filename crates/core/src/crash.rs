@@ -3,6 +3,8 @@
 //! crash from the offending program and minimize it to a reproducer —
 //! SYZKALLER's crash workflow (§2.6.2) adapted to container crashes.
 
+use std::sync::Arc;
+
 use torpedo_kernel::{KernelConfig, Usecs};
 use torpedo_prog::{minimize as shrink, Program, SyscallDesc};
 use torpedo_runtime::engine::Engine;
@@ -16,8 +18,9 @@ use crate::executor::{Executor, GlueCost};
 pub struct CrashRecord {
     /// The crash as reported by the runtime.
     pub crash: ContainerCrash,
-    /// The program that was running.
-    pub program: Program,
+    /// The program that was running — the campaign's copy-on-write
+    /// handle, shared rather than deep-copied into the record.
+    pub program: Arc<Program>,
     /// Whether a fresh container reproduced the crash.
     pub reproduced: bool,
     /// The minimized reproducer, when reproduction succeeded.
@@ -46,13 +49,7 @@ pub fn crashes_once(
     let mut executor = Executor::new(id);
     executor.glue = GlueCost::confirmation();
     kernel.begin_round(Usecs::from_secs(1));
-    match executor.run_until(
-        &mut kernel,
-        &mut engine,
-        table,
-        program,
-        Usecs::from_millis(50),
-    ) {
+    match executor.run_until(&mut kernel, &engine, table, program, Usecs::from_millis(50)) {
         Ok(report) => report.crash.is_some(),
         Err(_) => false,
     }
@@ -63,7 +60,7 @@ pub fn crashes_once(
 /// — the manager "is not always successful in this regard".
 pub fn reproduce_and_minimize(
     crash: ContainerCrash,
-    program: Program,
+    program: Arc<Program>,
     table: &[SyscallDesc],
     kernel_config: &KernelConfig,
     runtime: &str,
@@ -72,7 +69,7 @@ pub fn reproduce_and_minimize(
     let reproduced =
         (0..attempts.max(1)).any(|_| crashes_once(&program, table, kernel_config, runtime));
     let minimized = if reproduced {
-        let mut candidate = program.clone();
+        let mut candidate = (*program).clone();
         shrink(&mut candidate, |p| {
             crashes_once(p, table, kernel_config, runtime)
         });
@@ -108,8 +105,14 @@ mod tests {
             syscall: "open".into(),
             args: [0, 0x680002, 0x20, 0, 0, 0],
         };
-        let record =
-            reproduce_and_minimize(crash, program, &table, &KernelConfig::default(), "runsc", 3);
+        let record = reproduce_and_minimize(
+            crash,
+            Arc::new(program),
+            &table,
+            &KernelConfig::default(),
+            "runsc",
+            3,
+        );
         assert!(record.reproduced);
         let minimized = record.minimized.unwrap();
         assert_eq!(minimized.len(), 1, "reproducer is a single open call");
@@ -137,8 +140,14 @@ mod tests {
             syscall: "getpid".into(),
             args: [0; 6],
         };
-        let record =
-            reproduce_and_minimize(crash, program, &table, &KernelConfig::default(), "runsc", 2);
+        let record = reproduce_and_minimize(
+            crash,
+            Arc::new(program),
+            &table,
+            &KernelConfig::default(),
+            "runsc",
+            2,
+        );
         assert!(!record.reproduced);
         assert!(record.minimized.is_none());
     }

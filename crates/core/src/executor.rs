@@ -115,7 +115,7 @@ impl Executor {
     pub fn run_until(
         &self,
         kernel: &mut Kernel,
-        engine: &mut Engine,
+        engine: &Engine,
         table: &[SyscallDesc],
         program: &Program,
         stop_after: Usecs,
@@ -179,23 +179,28 @@ impl Executor {
     pub fn step(
         &self,
         kernel: &mut Kernel,
-        engine: &mut Engine,
+        engine: &Engine,
         table: &[SyscallDesc],
         program: &Program,
         collect_coverage: bool,
     ) -> Result<StepReport, EngineError> {
+        // Lock this executor's container stripe once for the whole
+        // iteration; parallel workers contend only when they drive the
+        // same container, never on an engine-wide lock.
+        let stripe = engine
+            .stripe(&self.container)
+            .ok_or_else(|| EngineError::NoSuchContainer(self.container.name().to_string()))?;
+        let mut container = stripe.lock();
         // Entry-point glue: charged inside the container.
-        let (pid, cgroup, core) = {
-            let c = engine
-                .container(&self.container)
-                .ok_or_else(|| EngineError::NoSuchContainer(self.container.name().to_string()))?;
-            (c.executor_pid(), c.cgroup(), c.core())
-        };
+        let (pid, cgroup, core) = (
+            container.executor_pid(),
+            container.cgroup(),
+            container.core(),
+        );
         // The entrypoint itself runs inside the sandbox: its IPC and
-        // serialization syscalls pay the runtime's interception overhead too.
-        let overhead = engine
-            .policy_of(&self.container)
-            .map_or(1.0, |p| p.overhead);
+        // serialization syscalls pay the runtime's interception overhead
+        // too. The policy is read from the stripe we already hold.
+        let overhead = container.policy().overhead;
         let glue_user = self.glue.user.scale(overhead);
         let glue_system = self.glue.system.scale(overhead);
         // Interception also adds off-CPU stops (ptrace round-trips, VM
@@ -231,7 +236,7 @@ impl Executor {
                     req = req.with_path(i, p);
                 }
             }
-            let exec = engine.exec_env(kernel, &self.container, req, ExecEnv::default())?;
+            let exec = engine.exec_locked(kernel, &mut container, req, ExecEnv::default())?;
             retvals.push(exec.outcome.retval);
             if collect_coverage {
                 coverage.per_call.push(exec.outcome.coverage.clone());
@@ -279,7 +284,7 @@ impl Executor {
                     }
                 }
                 let exec =
-                    engine.exec_env(kernel, &self.container, req, ExecEnv { collider: true })?;
+                    engine.exec_locked(kernel, &mut container, req, ExecEnv { collider: true })?;
                 duration += exec.outcome.user + exec.outcome.system + exec.outcome.blocked;
                 blocked += exec.outcome.blocked;
                 if let Some(crash) = exec.crash {
@@ -384,17 +389,11 @@ mod tests {
 
     #[test]
     fn loop_fills_most_of_the_window() {
-        let (mut kernel, mut engine, exec, table) = setup("runc");
+        let (mut kernel, engine, exec, table) = setup("runc");
         let program = deserialize("getpid()\nuname(0x0)\n", &table).unwrap();
         kernel.begin_round(Usecs::from_secs(2));
         let report = exec
-            .run_until(
-                &mut kernel,
-                &mut engine,
-                &table,
-                &program,
-                Usecs::from_secs(2),
-            )
+            .run_until(&mut kernel, &engine, &table, &program, Usecs::from_secs(2))
             .unwrap();
         assert!(
             report.executions > 100,
@@ -409,17 +408,11 @@ mod tests {
 
     #[test]
     fn loop_stops_at_or_before_t() {
-        let (mut kernel, mut engine, exec, table) = setup("runc");
+        let (mut kernel, engine, exec, table) = setup("runc");
         let program = deserialize("getpid()\n", &table).unwrap();
         kernel.begin_round(Usecs::from_secs(1));
         let report = exec
-            .run_until(
-                &mut kernel,
-                &mut engine,
-                &table,
-                &program,
-                Usecs::from_secs(1),
-            )
+            .run_until(&mut kernel, &engine, &table, &program, Usecs::from_secs(1))
             .unwrap();
         let total = Usecs(report.avg_exec_time.as_micros() * report.executions);
         assert!(
@@ -430,17 +423,11 @@ mod tests {
 
     #[test]
     fn blocking_program_barely_executes() {
-        let (mut kernel, mut engine, exec, table) = setup("runc");
+        let (mut kernel, engine, exec, table) = setup("runc");
         let program = deserialize("pause()\n", &table).unwrap();
         kernel.begin_round(Usecs::from_secs(2));
         let report = exec
-            .run_until(
-                &mut kernel,
-                &mut engine,
-                &table,
-                &program,
-                Usecs::from_secs(2),
-            )
+            .run_until(&mut kernel, &engine, &table, &program, Usecs::from_secs(2))
             .unwrap();
         assert_eq!(report.executions, 1, "pause blocks the whole window");
         assert!(report.blocked_time > Usecs::from_secs(2));
@@ -450,17 +437,11 @@ mod tests {
 
     #[test]
     fn coredump_program_restarts_every_iteration() {
-        let (mut kernel, mut engine, exec, table) = setup("runc");
+        let (mut kernel, engine, exec, table) = setup("runc");
         let program = deserialize("rt_sigreturn()\n", &table).unwrap();
         kernel.begin_round(Usecs::from_secs(1));
         let report = exec
-            .run_until(
-                &mut kernel,
-                &mut engine,
-                &table,
-                &program,
-                Usecs::from_secs(1),
-            )
+            .run_until(&mut kernel, &engine, &table, &program, Usecs::from_secs(1))
             .unwrap();
         assert!(report.fatal_signals >= report.executions);
         let out = kernel.finish_round(&[0]);
@@ -470,7 +451,7 @@ mod tests {
 
     #[test]
     fn gvisor_crash_ends_loop() {
-        let (mut kernel, mut engine, exec, table) = setup("runsc");
+        let (mut kernel, engine, exec, table) = setup("runsc");
         let program = deserialize(
             "open(&'/lib/x86_64-Linux-gnu/libc.so.6', 0x680002, 0x20)\n",
             &table,
@@ -478,13 +459,7 @@ mod tests {
         .unwrap();
         kernel.begin_round(Usecs::from_secs(5));
         let report = exec
-            .run_until(
-                &mut kernel,
-                &mut engine,
-                &table,
-                &program,
-                Usecs::from_secs(5),
-            )
+            .run_until(&mut kernel, &engine, &table, &program, Usecs::from_secs(5))
             .unwrap();
         assert_eq!(report.executions, 1);
         assert!(report.crash.is_some());
@@ -492,7 +467,7 @@ mod tests {
 
     #[test]
     fn refs_lower_to_previous_retvals() {
-        let (mut kernel, mut engine, exec, table) = setup("runc");
+        let (mut kernel, engine, exec, table) = setup("runc");
         let program = deserialize(
             "r0 = creat(&'workfile-0', 0x1a4)\nwrite(r0, 0x7f0000000000, 0x100)\n",
             &table,
@@ -502,7 +477,7 @@ mod tests {
         let report = exec
             .run_until(
                 &mut kernel,
-                &mut engine,
+                &engine,
                 &table,
                 &program,
                 Usecs::from_millis(100),
@@ -530,13 +505,7 @@ mod tests {
         let program = deserialize("getpid()\n", &table).unwrap();
         kernel.begin_round(Usecs::from_secs(5));
         let report = exec
-            .run_until(
-                &mut kernel,
-                &mut engine,
-                &table,
-                &program,
-                Usecs::from_secs(5),
-            )
+            .run_until(&mut kernel, &engine, &table, &program, Usecs::from_secs(5))
             .unwrap();
         assert!(report.throttled, "0.001-core quota must throttle");
     }

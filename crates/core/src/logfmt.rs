@@ -119,8 +119,8 @@ pub struct ParsedRound {
     /// Reconstructed observation (no `top` frame: logs archive the
     /// `/proc/stat` view, as the paper's appendix does).
     pub observation: Observation,
-    /// The programs that ran.
-    pub programs: Vec<torpedo_prog::Program>,
+    /// The programs that ran (shared, like the live round log).
+    pub programs: Vec<std::sync::Arc<torpedo_prog::Program>>,
     /// Recovery events recorded for the round (all zero when the log block
     /// carries no `--- recovery` line).
     pub recovery: RecoveryStats,
@@ -200,7 +200,7 @@ pub fn parse_log(text: &str, table: &[SyscallDesc]) -> Result<Vec<ParsedRound>, 
                         io_bytes: 0,
                         oom_events: 0,
                     });
-                    programs.push(program);
+                    programs.push(std::sync::Arc::new(program));
                     program_text.clear();
                 }
                 if peeked == "--- proc_stat" {

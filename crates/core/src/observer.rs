@@ -276,12 +276,15 @@ impl Observer {
     /// retried with backoff up to the restart budget.
     pub fn restart_crashed(&mut self) -> Result<(), TorpedoError> {
         for i in 0..self.executors.len() {
-            let crashed = matches!(
-                self.engine
-                    .container(&self.executors[i].container)
-                    .map(|c| c.state()),
-                Some(torpedo_runtime::engine::ContainerState::Crashed(_))
-            );
+            let crashed = self
+                .engine
+                .container(&self.executors[i].container)
+                .is_some_and(|c| {
+                    matches!(
+                        c.state(),
+                        torpedo_runtime::engine::ContainerState::Crashed(_)
+                    )
+                });
             if !crashed {
                 continue;
             }
@@ -341,10 +344,13 @@ impl Observer {
     /// Engine/latch failures, or [`TorpedoError::RoundRetriesExhausted`]
     /// when retries run out. A container *crash* is not an error; it is
     /// reported in the record.
-    pub fn round(
+    /// Programs are accepted through [`std::borrow::Borrow`] so callers can
+    /// pass plain `&[Program]` slices (confirmation, minimization) or the
+    /// campaign's copy-on-write `&[Arc<Program>]` batches without cloning.
+    pub fn round<P: std::borrow::Borrow<Program>>(
         &mut self,
         table: &[SyscallDesc],
-        programs: &[Program],
+        programs: &[P],
     ) -> Result<RoundRecord, TorpedoError> {
         let mut attempts = 0u32;
         loop {
@@ -372,10 +378,10 @@ impl Observer {
     /// One round attempt: assign `programs[i]` to executor `i` (missing
     /// entries idle), drive the latch protocol, execute the window, and
     /// measure — Algorithm 2's loop body.
-    fn try_round(
+    fn try_round<P: std::borrow::Borrow<Program>>(
         &mut self,
         table: &[SyscallDesc],
-        programs: &[Program],
+        programs: &[P],
     ) -> Result<RoundRecord, TorpedoError> {
         let window = self.config.window;
         let n = self.executors.len().min(programs.len());
@@ -441,9 +447,9 @@ impl Observer {
             }
             let report = self.executors[i].run_until(
                 &mut self.kernel,
-                &mut self.engine,
+                &self.engine,
                 table,
-                &programs[i],
+                programs[i].borrow(),
                 window,
             )?;
             reports.push(report);

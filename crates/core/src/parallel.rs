@@ -21,18 +21,27 @@
 //! and retried from scratch otherwise, up to
 //! [`SupervisorConfig::round_retries`] times.
 //!
-//! The simulated kernel is shared state, so workers interleave at
-//! *iteration* granularity under a [`parking_lot::Mutex`] — coarse enough
-//! to be fast, fine enough that executors genuinely race for victim cores
-//! the way parallel fuzzers do on real hardware.
+//! Synchronization is striped, not monolithic. The engine sits behind a
+//! [`parking_lot::RwLock`] that workers only ever *read*-lock: per-container
+//! state (the `ExecContext`, crash state, seccomp/AppArmor checks) lives
+//! behind per-container stripes inside the engine, so two workers driving
+//! different containers execute concurrently and contend only when they
+//! truly race for the same victim container. The simulated kernel — the
+//! core scheduler, `/proc/stat` accounting, and the deferral ledger — is
+//! genuinely shared measurement state and stays behind one
+//! [`parking_lot::Mutex`], taken per iteration. Supervisor paths
+//! (restarts, measurement) take the engine *write* lock first, then the
+//! kernel lock, matching the workers' engine→kernel order so the two can
+//! never deadlock. Lock-wait time is accumulated per stage in
+//! [`LockStats`] for the contention section of `torpedo_bench`.
 
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::Mutex;
+use parking_lot::{Mutex, RwLock};
 
 use torpedo_kernel::kernel::Kernel;
 use torpedo_kernel::procfs::ProcStatSnapshot;
@@ -51,7 +60,9 @@ use crate::stats::RecoveryStats;
 
 enum Cmd {
     Run {
-        program: Program,
+        /// Copy-on-write handle: priming a worker clones the `Arc`, never
+        /// the call list.
+        program: Arc<Program>,
         window: Usecs,
         /// Fault-injected: stall before signalling ready.
         hang_ready: bool,
@@ -74,11 +85,47 @@ struct Worker {
 
 /// Shared simulation state guarded for the worker threads.
 struct Shared {
+    /// The genuinely global section: core scheduler, `/proc/stat`,
+    /// deferral ledger. One mutex, taken per iteration.
     kernel: Mutex<Kernel>,
-    engine: Mutex<Engine>,
+    /// Read-locked by workers (per-container stripes inside the engine
+    /// carry the mutable state); write-locked only by supervisor paths
+    /// (restarts, round measurement). Lock order is engine before kernel,
+    /// everywhere.
+    engine: RwLock<Engine>,
     /// Shared with the owning campaign (and any sibling campaigns) — an Arc
     /// clone rather than a per-observer copy of the description table.
     table: Arc<[SyscallDesc]>,
+    /// Cumulative lock-wait counters, nanoseconds.
+    locks: LockCounters,
+}
+
+#[derive(Debug, Default)]
+struct LockCounters {
+    exec_engine_ns: AtomicU64,
+    exec_kernel_ns: AtomicU64,
+    measure_ns: AtomicU64,
+}
+
+/// Cumulative time threads spent *waiting* for the shared locks, split by
+/// round stage — the contention signal reported by `torpedo_bench`'s
+/// scaling section. All fields are nanoseconds summed across threads.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LockStats {
+    /// Worker wait on the engine read lock in the execution loop.
+    pub exec_engine_wait_ns: u64,
+    /// Worker wait on the kernel mutex in the execution loop.
+    pub exec_kernel_wait_ns: u64,
+    /// Supervisor wait for the engine write + kernel locks in the
+    /// measurement section (includes draining in-flight readers).
+    pub measure_wait_ns: u64,
+}
+
+impl LockStats {
+    /// Total wait across all stages.
+    pub fn total_ns(&self) -> u64 {
+        self.exec_engine_wait_ns + self.exec_kernel_wait_ns + self.measure_wait_ns
+    }
 }
 
 /// A threaded observer: same protocol and measurements as
@@ -133,8 +180,9 @@ impl ParallelObserver {
         }
         let shared = Arc::new(Shared {
             kernel: Mutex::new(kernel),
-            engine: Mutex::new(engine),
+            engine: RwLock::new(engine),
             table: table.into(),
+            locks: LockCounters::default(),
         });
         let workers = executors
             .into_iter()
@@ -163,7 +211,16 @@ impl ParallelObserver {
 
     /// Faults the engine's injector has taken so far.
     pub fn fault_counters(&self) -> FaultCounters {
-        self.shared.engine.lock().fault_counters()
+        self.shared.engine.read().fault_counters()
+    }
+
+    /// Cumulative lock-wait telemetry across all rounds so far.
+    pub fn lock_stats(&self) -> LockStats {
+        LockStats {
+            exec_engine_wait_ns: self.shared.locks.exec_engine_ns.load(Ordering::Relaxed),
+            exec_kernel_wait_ns: self.shared.locks.exec_kernel_ns.load(Ordering::Relaxed),
+            measure_wait_ns: self.shared.locks.measure_ns.load(Ordering::Relaxed),
+        }
     }
 
     fn fault(&self, kind: FaultKind, scope: &str) -> bool {
@@ -180,16 +237,19 @@ impl ParallelObserver {
     /// Engine restart failures; [`TorpedoError::RestartBudget`] when the
     /// backoff budget runs out.
     pub fn restart_crashed(&mut self) -> Result<(), TorpedoError> {
+        // Engine before kernel: the same order workers use.
+        let mut engine = self.shared.engine.write();
         let mut kernel = self.shared.kernel.lock();
-        let mut engine = self.shared.engine.lock();
         let crashed: Vec<_> = engine
             .container_ids()
             .into_iter()
             .filter(|id| {
-                matches!(
-                    engine.container(id).map(|c| c.state()),
-                    Some(torpedo_runtime::engine::ContainerState::Crashed(_))
-                )
+                engine.container(id).is_some_and(|c| {
+                    matches!(
+                        c.state(),
+                        torpedo_runtime::engine::ContainerState::Crashed(_)
+                    )
+                })
             })
             .collect();
         for (i, id) in crashed.into_iter().enumerate() {
@@ -234,10 +294,10 @@ impl ParallelObserver {
         if let Some(handle) = self.workers[i].handle.take() {
             let _ = handle.join();
         }
-        // Replace its container.
+        // Replace its container. Engine before kernel, as everywhere.
         let executor = {
+            let mut engine = self.shared.engine.write();
             let mut kernel = self.shared.kernel.lock();
-            let mut engine = self.shared.engine.lock();
             match engine.remove(&mut kernel, &self.workers[i].container) {
                 Ok(()) | Err(EngineError::NoSuchContainer(_)) => {}
                 Err(e) => return Err(e.into()),
@@ -272,7 +332,7 @@ impl ParallelObserver {
     /// # Errors
     /// Engine failures, exhausted restart budgets, or
     /// [`TorpedoError::RoundRetriesExhausted`] when retries run out.
-    pub fn round(&mut self, programs: &[Program]) -> Result<RoundRecord, TorpedoError> {
+    pub fn round(&mut self, programs: &[Arc<Program>]) -> Result<RoundRecord, TorpedoError> {
         let mut attempts = 0u32;
         loop {
             match self.try_round(programs) {
@@ -296,7 +356,7 @@ impl ParallelObserver {
         }
     }
 
-    fn try_round(&mut self, programs: &[Program]) -> Result<RoundRecord, TorpedoError> {
+    fn try_round(&mut self, programs: &[Arc<Program>]) -> Result<RoundRecord, TorpedoError> {
         let window = self.config.window;
         let timeout = self.config.supervisor.stage_timeout;
         let n = self.workers.len();
@@ -418,10 +478,17 @@ impl ParallelObserver {
             .map(|r| r.unwrap_or_else(ExecReport::missed))
             .collect();
 
-        // Measure, exactly as the sequential observer does.
+        // Measure, exactly as the sequential observer does. Engine (write)
+        // before kernel; the write acquisition also drains any worker still
+        // holding a read lock, so measurement sees a quiesced engine.
         let (per_core, deferrals, containers, top, startup_times) = {
+            let wait = Instant::now();
+            let mut engine = self.shared.engine.write();
             let mut kernel = self.shared.kernel.lock();
-            let mut engine = self.shared.engine.lock();
+            self.shared
+                .locks
+                .measure_ns
+                .fetch_add(wait.elapsed().as_nanos() as u64, Ordering::Relaxed);
             engine.round_overhead(&mut kernel, window);
             let fuzz_cores: Vec<usize> = (0..n).collect();
             let out = kernel.finish_round(&fuzz_cores);
@@ -615,11 +682,24 @@ fn run_window(
 
     loop {
         let step = {
+            // Engine read lock first (shared with every other worker — the
+            // per-container stripe inside `step` is the real exclusion),
+            // then the global kernel mutex. Wait time feeds LockStats.
+            let wait = Instant::now();
+            let engine = shared.engine.read();
+            shared
+                .locks
+                .exec_engine_ns
+                .fetch_add(wait.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            let wait = Instant::now();
             let mut kernel = shared.kernel.lock();
-            let mut engine = shared.engine.lock();
+            shared
+                .locks
+                .exec_kernel_ns
+                .fetch_add(wait.elapsed().as_nanos() as u64, Ordering::Relaxed);
             match executor.step(
                 &mut kernel,
-                &mut engine,
+                &engine,
                 &shared.table,
                 program,
                 executions == 0,
@@ -681,13 +761,17 @@ mod tests {
         }
     }
 
+    fn prog(text: &str, table: &[SyscallDesc]) -> Arc<Program> {
+        Arc::new(deserialize(text, table).unwrap())
+    }
+
     #[test]
     fn parallel_round_conserves_core_time() {
         let table = build_table();
         let programs = vec![
-            deserialize("getpid()\n", &table).unwrap(),
-            deserialize("uname(0x0)\n", &table).unwrap(),
-            deserialize("sync()\n", &table).unwrap(),
+            prog("getpid()\n", &table),
+            prog("uname(0x0)\n", &table),
+            prog("sync()\n", &table),
         ];
         let mut obs =
             ParallelObserver::new(KernelConfig::default(), config(3), table.clone()).unwrap();
@@ -710,9 +794,9 @@ mod tests {
     fn parallel_matches_sequential_shape() {
         let table = build_table();
         let programs = vec![
-            deserialize("getpid()\nuname(0x0)\n", &table).unwrap(),
-            deserialize("stat(&'/etc/passwd', 0x0)\n", &table).unwrap(),
-            deserialize("getuid()\n", &table).unwrap(),
+            prog("getpid()\nuname(0x0)\n", &table),
+            prog("stat(&'/etc/passwd', 0x0)\n", &table),
+            prog("getuid()\n", &table),
         ];
         let mut par =
             ParallelObserver::new(KernelConfig::default(), config(3), table.clone()).unwrap();
@@ -738,7 +822,7 @@ mod tests {
     #[test]
     fn multiple_rounds_reuse_the_latch() {
         let table = build_table();
-        let programs = vec![deserialize("getpid()\n", &table).unwrap()];
+        let programs = vec![prog("getpid()\n", &table)];
         let mut obs = ParallelObserver::new(KernelConfig::default(), config(1), table).unwrap();
         for expected in 1..=3 {
             let rec = obs.round(&programs).unwrap();
@@ -749,7 +833,7 @@ mod tests {
     #[test]
     fn idle_workers_still_latch() {
         let table = build_table();
-        let programs = vec![deserialize("getpid()\n", &table).unwrap()];
+        let programs = vec![prog("getpid()\n", &table)];
         let mut obs = ParallelObserver::new(KernelConfig::default(), config(3), table).unwrap();
         let rec = obs.round(&programs).unwrap();
         assert_eq!(rec.reports.len(), 3);
@@ -764,12 +848,11 @@ mod tests {
         let mut cfg = config(2);
         cfg.runtime = "runsc".to_string();
         let programs = vec![
-            deserialize(
+            prog(
                 "open(&'/lib/x86_64-Linux-gnu/libc.so.6', 0x680002, 0x20)\n",
                 &table,
-            )
-            .unwrap(),
-            deserialize("getpid()\n", &table).unwrap(),
+            ),
+            prog("getpid()\n", &table),
         ];
         let mut obs = ParallelObserver::new(KernelConfig::default(), cfg, table).unwrap();
         let rec = obs.round(&programs).unwrap();
@@ -795,9 +878,9 @@ mod tests {
             ..SupervisorConfig::default()
         };
         let programs = vec![
-            deserialize("getpid()\n", &table).unwrap(),
-            deserialize("getuid()\n", &table).unwrap(),
-            deserialize("uname(0x0)\n", &table).unwrap(),
+            prog("getpid()\n", &table),
+            prog("getuid()\n", &table),
+            prog("uname(0x0)\n", &table),
         ];
         let mut obs = ParallelObserver::new(KernelConfig::default(), cfg, table).unwrap();
         let mut salvaged_rounds = 0;
@@ -828,7 +911,7 @@ mod tests {
     #[test]
     fn fault_free_recovery_counters_are_zero() {
         let table = build_table();
-        let programs = vec![deserialize("getpid()\n", &table).unwrap()];
+        let programs = vec![prog("getpid()\n", &table)];
         let mut obs = ParallelObserver::new(KernelConfig::default(), config(1), table).unwrap();
         obs.round(&programs).unwrap();
         assert!(obs.recovery().is_zero());

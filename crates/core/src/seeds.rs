@@ -4,6 +4,7 @@
 //! corpus into executor-sized batches.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use torpedo_prog::{deserialize_with, NameIndex, ParseError, Program, SyscallDesc};
 
@@ -30,8 +31,9 @@ pub fn default_denylist() -> HashSet<String> {
 /// A loaded seed corpus.
 #[derive(Debug, Clone, Default)]
 pub struct SeedCorpus {
-    /// The (filtered) seed programs.
-    pub programs: Vec<Program>,
+    /// The (filtered) seed programs, pre-wrapped as copy-on-write handles
+    /// so campaigns share them without deep copies.
+    pub programs: Vec<Arc<Program>>,
     /// Calls removed by the denylist filter, by syscall name.
     pub filtered_calls: Vec<String>,
 }
@@ -55,7 +57,7 @@ impl SeedCorpus {
             let mut program = deserialize_with(text.as_ref(), table, &index).map_err(|e| (i, e))?;
             filter_denylisted(&mut program, table, denylist, &mut corpus.filtered_calls);
             if !program.is_empty() {
-                corpus.programs.push(program);
+                corpus.programs.push(Arc::new(program));
             }
         }
         Ok(corpus)
@@ -73,7 +75,7 @@ impl SeedCorpus {
 
     /// Split into batches of `n` (one program per executor). The last batch
     /// may be short.
-    pub fn batches(&self, n: usize) -> Vec<Vec<Program>> {
+    pub fn batches(&self, n: usize) -> Vec<Vec<Arc<Program>>> {
         self.programs
             .chunks(n.max(1))
             .map(|chunk| chunk.to_vec())

@@ -6,12 +6,18 @@
 //! shard runner scales *out* instead: it splits the seed corpus round-robin
 //! into K disjoint shards and runs one full [`Campaign`] per shard, each
 //! with its own simulated kernel and a deterministic RNG seed derived from
-//! the campaign seed. Shards share nothing but the (immutable, `Arc`-shared)
-//! syscall table, so a K-shard run is bit-identical to running the K
-//! campaigns sequentially — the determinism proof the integration tests pin.
+//! the campaign seed. Shards are scheduled onto the worker pool with
+//! work-stealing deques (`crossbeam::deque`), so a worker whose shard
+//! finishes early steals pending shards instead of idling. Shards share
+//! nothing but the (immutable, `Arc`-shared) syscall table, and their RNG
+//! streams are keyed to the shard id — never the worker id — so a K-shard
+//! run is bit-identical to running the K campaigns sequentially regardless
+//! of worker count or steal order: the determinism proof the integration
+//! tests pin.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
+
+use crossbeam::deque::{Injector, Steal, Stealer, Worker};
 
 use torpedo_oracle::Oracle;
 use torpedo_prog::{ProgramId, SyscallDesc};
@@ -90,13 +96,56 @@ pub struct ShardReport {
     pub quarantined: Vec<String>,
 }
 
+/// Pull the next shard index for worker `me`: local deque first, then the
+/// shared injector, then steal from a sibling. Returns `None` only once
+/// every queue is drained (tasks are all enqueued before the pool starts,
+/// so an empty sweep means the run is complete).
+fn find_shard(
+    local: &Worker<usize>,
+    me: usize,
+    stealers: &[Stealer<usize>],
+    injector: &Injector<usize>,
+) -> Option<usize> {
+    if let Some(shard) = local.pop() {
+        return Some(shard);
+    }
+    loop {
+        let mut retry = false;
+        match injector.steal() {
+            Steal::Success(shard) => return Some(shard),
+            Steal::Retry => retry = true,
+            Steal::Empty => {}
+        }
+        for (i, stealer) in stealers.iter().enumerate() {
+            if i == me {
+                continue;
+            }
+            match stealer.steal() {
+                Steal::Success(shard) => return Some(shard),
+                Steal::Retry => retry = true,
+                Steal::Empty => {}
+            }
+        }
+        if !retry {
+            return None;
+        }
+    }
+}
+
 /// Run `shards` independent campaigns over disjoint shards of `seeds` on a
-/// pool of `workers` threads (clamped to the shard count; defaults to the
-/// machine's available parallelism when zero).
+/// work-stealing pool of `workers` threads (clamped to the shard count;
+/// defaults to the machine's available parallelism when zero).
+///
+/// Scheduling is dynamic: each worker owns a deque seeded with one shard,
+/// the remainder waits in a shared injector, and a worker that drains its
+/// own queue steals from the injector or a sibling — so a short shard never
+/// leaves its worker idle while a long shard runs elsewhere.
 ///
 /// Each shard runs `config` with its [`derive_shard_seed`]-derived seed and
 /// an `Arc` clone of `table`. Results are deterministic regardless of worker
-/// count or scheduling: shards are fully independent.
+/// count or scheduling: RNG streams are keyed to the *shard* id, never the
+/// worker that happens to execute it, and results land in shard-indexed
+/// slots.
 ///
 /// # Errors
 /// The first shard error, by shard order; completed shards are discarded.
@@ -119,29 +168,40 @@ pub fn run_sharded<O: Oracle + Sync>(
     .min(shards)
     .max(1);
 
-    let next = AtomicUsize::new(0);
+    let injector: Injector<usize> = Injector::new();
+    let locals: Vec<Worker<usize>> = (0..workers).map(|_| Worker::new_fifo()).collect();
+    let stealers: Vec<Stealer<usize>> = locals.iter().map(|w| w.stealer()).collect();
+    for (shard, local) in locals.iter().enumerate() {
+        local.push(shard);
+    }
+    for shard in workers..shards {
+        injector.push(shard);
+    }
     let results: Mutex<Vec<Option<Result<ShardOutcome, TorpedoError>>>> =
         Mutex::new((0..shards).map(|_| None).collect());
 
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let shard = next.fetch_add(1, Ordering::Relaxed);
-                if shard >= shards {
-                    break;
+        for (me, local) in locals.into_iter().enumerate() {
+            let stealers = &stealers;
+            let injector = &injector;
+            let shard_corpora = &shard_corpora;
+            let results = &results;
+            let table = &table;
+            scope.spawn(move || {
+                while let Some(shard) = find_shard(&local, me, stealers, injector) {
+                    let corpus = &shard_corpora[shard];
+                    let mut shard_config = config.clone();
+                    shard_config.seed = derive_shard_seed(config.seed, shard);
+                    let seed = shard_config.seed;
+                    let campaign = Campaign::new(shard_config, Arc::clone(table));
+                    let result = campaign.run(corpus, oracle).map(|report| ShardOutcome {
+                        shard,
+                        seed,
+                        seeds: corpus.programs.len(),
+                        report,
+                    });
+                    results.lock().expect("shard results poisoned")[shard] = Some(result);
                 }
-                let corpus = &shard_corpora[shard];
-                let mut shard_config = config.clone();
-                shard_config.seed = derive_shard_seed(config.seed, shard);
-                let seed = shard_config.seed;
-                let campaign = Campaign::new(shard_config, Arc::clone(&table));
-                let result = campaign.run(corpus, oracle).map(|report| ShardOutcome {
-                    shard,
-                    seed,
-                    seeds: corpus.programs.len(),
-                    report,
-                });
-                results.lock().expect("shard results poisoned")[shard] = Some(result);
             });
         }
     });

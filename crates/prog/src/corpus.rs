@@ -3,13 +3,16 @@
 //! of mutated workloads that generated the most adversarial resource usage
 //! is recorded into the corpus" (§3.5.2).
 
+use std::sync::Arc;
+
 use crate::program::Program;
 
 /// One corpus entry.
 #[derive(Debug, Clone)]
 pub struct CorpusItem {
-    /// The program.
-    pub program: Program,
+    /// The program — a copy-on-write handle shared with the campaign
+    /// batch it was admitted from.
+    pub program: Arc<Program>,
     /// Distinct coverage signals this program contributed when admitted.
     pub new_signals: usize,
     /// Best oracle score observed for a batch containing this program.
@@ -51,7 +54,8 @@ impl Corpus {
     }
 
     /// A donor program for splicing, selected by `pick` in `[0, 1)`.
-    pub fn donor(&self, pick: f64) -> Option<&Program> {
+    /// Returned as the shared handle so callers can clone it for free.
+    pub fn donor(&self, pick: f64) -> Option<&Arc<Program>> {
         if self.items.is_empty() {
             return None;
         }
@@ -131,7 +135,7 @@ impl Corpus {
             }
             let program = crate::serialize::deserialize(&body, table).map_err(|e| (idx, e))?;
             corpus.add(CorpusItem {
-                program,
+                program: Arc::new(program),
                 new_signals,
                 best_score,
                 flagged,
@@ -147,7 +151,7 @@ mod tests {
 
     fn item(score: f64, flagged: bool) -> CorpusItem {
         CorpusItem {
-            program: Program::new(),
+            program: Arc::new(Program::new()),
             new_signals: 1,
             best_score: score,
             flagged,
@@ -195,13 +199,13 @@ mod tests {
         )
         .unwrap();
         corpus.add(CorpusItem {
-            program,
+            program: Arc::new(program),
             new_signals: 4,
             best_score: 31.25,
             flagged: true,
         });
         corpus.add(CorpusItem {
-            program: crate::serialize::deserialize("sync()\n", &table).unwrap(),
+            program: Arc::new(crate::serialize::deserialize("sync()\n", &table).unwrap()),
             new_signals: 1,
             best_score: 12.0,
             flagged: false,

@@ -9,8 +9,17 @@
 //! through the Docker CLI and streaming their output "results in a
 //! non-trivial workload being placed on the docker engine" via TTY/LDISC
 //! work-queue flushes — charged each round by [`Engine::round_overhead`].
+//!
+//! Per-container state lives behind per-container lock stripes
+//! ([`parking_lot::Mutex`]), so the syscall execution path takes `&self`:
+//! parallel executors driving *different* containers never contend on the
+//! engine itself (§1.2's "multiple fuzzing processes … without compromising
+//! measurement accuracy"). Lifecycle operations (create/restart/remove)
+//! keep `&mut self` and access stripes without locking.
 
 use std::collections::HashMap;
+
+use parking_lot::{Mutex, MutexGuard};
 
 use torpedo_kernel::cgroup::{CgroupError, CgroupId, CgroupLimits};
 use torpedo_kernel::cpu::CpuCategory;
@@ -126,6 +135,13 @@ impl Container {
     pub fn uid_mapping(&self) -> torpedo_kernel::namespace::UidMapping {
         self.uid_mapping
     }
+
+    /// The runtime-imposed execution policy this container runs under —
+    /// readable from the container stripe alone, so the exec hot path never
+    /// needs a second engine lookup while the stripe is held.
+    pub fn policy(&self) -> torpedo_kernel::syscalls::ExecPolicy {
+        self.ctx.policy
+    }
 }
 
 /// Errors from engine operations.
@@ -180,7 +196,10 @@ impl From<CgroupError> for EngineError {
 /// The container engine.
 pub struct Engine {
     runtimes: HashMap<&'static str, Box<dyn Runtime>>,
-    containers: HashMap<String, Container>,
+    /// Containers behind per-container lock stripes: the exec hot path
+    /// locks only the stripe of the container it drives, so concurrent
+    /// executors in different containers proceed without contention.
+    containers: HashMap<String, Mutex<Container>>,
     docker_cgroup: CgroupId,
     /// Runtimes that have started at least one container (cold-start state).
     warmed_runtimes: std::collections::HashSet<&'static str>,
@@ -363,7 +382,7 @@ impl Engine {
         };
         self.containers.insert(
             spec.name.clone(),
-            Container {
+            Mutex::new(Container {
                 spec,
                 cgroup,
                 executor_pid,
@@ -373,13 +392,20 @@ impl Engine {
                 namespaces,
                 uid_mapping,
                 ctx,
-            },
+            }),
         );
         Ok(id)
     }
 
-    /// Look up a container.
-    pub fn container(&self, id: &ContainerId) -> Option<&Container> {
+    /// Look up a container, locking its stripe for the guard's lifetime.
+    pub fn container(&self, id: &ContainerId) -> Option<MutexGuard<'_, Container>> {
+        self.containers.get(&id.0).map(|stripe| stripe.lock())
+    }
+
+    /// The lock stripe guarding a container, for callers that want to hold
+    /// it across several [`Engine::exec_locked`] calls (the executor locks
+    /// once per program iteration instead of once per syscall).
+    pub fn stripe(&self, id: &ContainerId) -> Option<&Mutex<Container>> {
         self.containers.get(&id.0)
     }
 
@@ -392,18 +418,18 @@ impl Engine {
 
     /// The execution policy of the runtime backing `id`.
     pub fn policy_of(&self, id: &ContainerId) -> Option<torpedo_kernel::syscalls::ExecPolicy> {
-        self.containers
-            .get(&id.0)
-            .map(|c| self.runtimes[c.spec.runtime.as_str()].policy())
+        self.containers.get(&id.0).map(|stripe| {
+            let c = stripe.lock();
+            self.runtimes[c.spec.runtime.as_str()].policy()
+        })
     }
 
-    /// The execution context a syscall from this container runs under.
     /// Execute one syscall inside a container (no collider).
     ///
     /// # Errors
     /// [`EngineError::NoSuchContainer`] / [`EngineError::NotRunning`].
     pub fn exec(
-        &mut self,
+        &self,
         kernel: &mut Kernel,
         id: &ContainerId,
         req: SyscallRequest<'_>,
@@ -414,26 +440,45 @@ impl Engine {
     /// Execute one syscall inside a container with explicit [`ExecEnv`].
     ///
     /// Applies the container's seccomp profile first: blocked syscalls fail
-    /// with `EPERM` without reaching the runtime.
+    /// with `EPERM` without reaching the runtime. Locks only the target
+    /// container's stripe — concurrent calls into other containers do not
+    /// serialize here.
     ///
     /// # Errors
     /// [`EngineError::NoSuchContainer`] / [`EngineError::NotRunning`].
     pub fn exec_env(
-        &mut self,
+        &self,
         kernel: &mut Kernel,
         id: &ContainerId,
         req: SyscallRequest<'_>,
         env: ExecEnv,
     ) -> Result<RuntimeExec, EngineError> {
-        let container = self
+        let stripe = self
             .containers
             .get(&id.0)
             .ok_or_else(|| EngineError::NoSuchContainer(id.0.clone()))?;
+        let mut container = stripe.lock();
+        self.exec_locked(kernel, &mut container, req, env)
+    }
+
+    /// [`Engine::exec_env`] against an already-locked container stripe.
+    /// The executor's hot loop locks the stripe once per program iteration
+    /// and issues every call of the program through this entry point.
+    ///
+    /// # Errors
+    /// [`EngineError::NotRunning`] when the container crashed or stopped.
+    pub fn exec_locked(
+        &self,
+        kernel: &mut Kernel,
+        container: &mut Container,
+        req: SyscallRequest<'_>,
+        env: ExecEnv,
+    ) -> Result<RuntimeExec, EngineError> {
         if container.state != ContainerState::Running {
-            return Err(EngineError::NotRunning(id.0.clone()));
+            return Err(EngineError::NotRunning(container.spec.name.clone()));
         }
-        if self.fault(FaultKind::ExecError, &id.0) {
-            return Err(EngineError::ExecFault(id.0.clone()));
+        if self.fault(FaultKind::ExecError, &container.spec.name) {
+            return Err(EngineError::ExecFault(container.spec.name.clone()));
         }
         if container.spec.seccomp.blocks(req.name) {
             return Ok(RuntimeExec {
@@ -454,7 +499,7 @@ impl Engine {
                 crash: None,
             });
         }
-        let exec = if self.fault(FaultKind::ContainerCrash, &id.0) {
+        let exec = if self.fault(FaultKind::ContainerCrash, &container.spec.name) {
             // Synthesize a runtime-bug crash; the shared crash path below
             // transitions the container and reaps its processes.
             RuntimeExec {
@@ -470,7 +515,6 @@ impl Engine {
             runtime.execute(kernel, &container.ctx, req, env)
         };
         if let Some(crash) = &exec.crash {
-            let container = self.containers.get_mut(&id.0).expect("checked above");
             container.state = ContainerState::Crashed(crash.clone());
             kernel.procs.exit(container.executor_pid);
             if let Some(sentry) = container.sentry_pid {
@@ -479,13 +523,21 @@ impl Engine {
         } else if exec.outcome.fatal_signal.is_some() {
             // The workload process died; the entrypoint restarts it (the
             // SYZKALLER executor loop behaviour) at a small in-cgroup cost.
-            let (pid, cgroup, core) = {
-                let c = &self.containers[&id.0];
-                (c.executor_pid, c.cgroup, c.core)
-            };
-            kernel.procs.restart(pid);
-            kernel.charge(core, CpuCategory::User, Usecs(20), pid, cgroup);
-            kernel.charge(core, CpuCategory::System, Usecs(35), pid, cgroup);
+            kernel.procs.restart(container.executor_pid);
+            kernel.charge(
+                container.core,
+                CpuCategory::User,
+                Usecs(20),
+                container.executor_pid,
+                container.cgroup,
+            );
+            kernel.charge(
+                container.core,
+                CpuCategory::System,
+                Usecs(35),
+                container.executor_pid,
+                container.cgroup,
+            );
         }
         Ok(exec)
     }
@@ -501,7 +553,8 @@ impl Engine {
         let container = self
             .containers
             .get_mut(&id.0)
-            .ok_or_else(|| EngineError::NoSuchContainer(id.0.clone()))?;
+            .ok_or_else(|| EngineError::NoSuchContainer(id.0.clone()))?
+            .get_mut();
         kernel.release_process_state(container.executor_pid);
         container.executor_pid = kernel.procs.spawn(
             &format!("syz-executor-{}", container.spec.name),
@@ -535,7 +588,8 @@ impl Engine {
         let container = self
             .containers
             .remove(&id.0)
-            .ok_or_else(|| EngineError::NoSuchContainer(id.0.clone()))?;
+            .ok_or_else(|| EngineError::NoSuchContainer(id.0.clone()))?
+            .into_inner();
         kernel.procs.exit(container.executor_pid);
         if let Some(sentry) = container.sentry_pid {
             kernel.procs.exit(sentry);
@@ -548,7 +602,7 @@ impl Engine {
     /// containerd-style container metrics (Table 2.2: "container-level
     /// metrics, cgroup stats and OOM events").
     pub fn metrics(&self, kernel: &Kernel, id: &ContainerId) -> Option<ContainerMetrics> {
-        let container = self.containers.get(&id.0)?;
+        let container = self.containers.get(&id.0)?.lock();
         let cg = kernel.cgroups.get(container.cgroup)?;
         let restarts = kernel
             .procs
@@ -574,24 +628,36 @@ impl Engine {
     /// each streaming container, the TTY/LDISC flush deferral of §3.3, and
     /// any standing runtime overhead (sentry housekeeping, VMM tax).
     pub fn round_overhead(&self, kernel: &mut Kernel, window: Usecs) {
-        // Iterate by sorted name: `containers` is a HashMap, and its
-        // per-instance iteration order must not leak into charge order or the
-        // deferral ledger (round logs are replay-deterministic).
-        let mut running: Vec<(String, CgroupId, Pid, usize, &'static str)> = self
+        // Snapshot every stripe once, then sort by name: `containers` is a
+        // HashMap, and neither its per-instance iteration order nor lock
+        // timing must leak into charge order or the deferral ledger (round
+        // logs are replay-deterministic).
+        type Snap = (
+            String,
+            Vec<usize>,
+            Option<(CgroupId, Pid, usize, &'static str)>,
+        );
+        let mut snapshot: Vec<Snap> = self
             .containers
             .values()
-            .filter(|c| c.state == ContainerState::Running)
-            .map(|c| {
-                (
-                    c.spec.name.clone(),
-                    c.cgroup,
-                    c.executor_pid,
-                    c.core,
-                    self.runtimes[c.spec.runtime.as_str()].name(),
-                )
+            .map(|stripe| {
+                let c = stripe.lock();
+                let running = (c.state == ContainerState::Running).then(|| {
+                    (
+                        c.cgroup,
+                        c.executor_pid,
+                        c.core,
+                        self.runtimes[c.spec.runtime.as_str()].name(),
+                    )
+                });
+                (c.spec.name.clone(), c.spec.cpuset.clone(), running)
             })
             .collect();
-        running.sort_by(|a, b| a.0.cmp(&b.0));
+        snapshot.sort_by(|a, b| a.0.cmp(&b.0));
+        let running: Vec<(CgroupId, Pid, usize, &'static str)> = snapshot
+            .iter()
+            .filter_map(|(_, _, running)| *running)
+            .collect();
         if running.is_empty() {
             return;
         }
@@ -609,15 +675,13 @@ impl Engine {
             .get(containerd)
             .map(|p| p.cgroup())
             .unwrap_or(torpedo_kernel::cgroup::CgroupTree::ROOT);
-        let mut by_name: Vec<&Container> = self.containers.values().collect();
-        by_name.sort_by(|a, b| a.spec.name.cmp(&b.spec.name));
-        let all_cpusets: Vec<usize> = by_name
+        let all_cpusets: Vec<usize> = snapshot
             .iter()
-            .flat_map(|c| c.spec.cpuset.iter().copied())
+            .flat_map(|(_, cpuset, _)| cpuset.iter().copied())
             .collect();
         let engine_core = kernel.pick_victim_core(&all_cpusets);
         let per_container = window.scale(0.004);
-        for (_, cgroup, pid, core, runtime_name) in &running {
+        for (cgroup, pid, core, runtime_name) in &running {
             kernel.charge(engine_core, CpuCategory::User, per_container, dockerd, dcg);
             kernel.charge(
                 engine_core,

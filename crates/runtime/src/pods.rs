@@ -152,10 +152,9 @@ impl Kubelet {
     pub fn phase(&self, engine: &Engine, index: usize) -> Option<PodPhase> {
         let pod = self.pods.get(index)?;
         let any_crashed = pod.containers.iter().any(|id| {
-            matches!(
-                engine.container(id).map(|c| c.state()),
-                Some(ContainerState::Crashed(_))
-            )
+            engine
+                .container(id)
+                .is_some_and(|c| matches!(c.state(), ContainerState::Crashed(_)))
         });
         Some(
             if any_crashed && pod.spec.restart_policy == RestartPolicy::Never {
@@ -178,10 +177,9 @@ impl Kubelet {
                 continue;
             }
             for id in &pod.containers {
-                let crashed = matches!(
-                    engine.container(id).map(|c| c.state()),
-                    Some(ContainerState::Crashed(_))
-                );
+                let crashed = engine
+                    .container(id)
+                    .is_some_and(|c| matches!(c.state(), ContainerState::Crashed(_)));
                 if crashed {
                     engine.restart(kernel, id)?;
                     pod.restarts += 1;

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # The tier-1 CI gate: formatting, lints (clippy -D warnings), release
-# build, and the full test suite.
+# build, the full test suite, a bench smoke run, and a throughput
+# regression gate against the committed BENCH_fuzz.json baseline.
 #
 # With network (or a warm cargo cache) this uses the real crates.io
 # dependencies. Set TORPEDO_OFFLINE=1 — or let the auto-probe trip — to run
@@ -42,13 +43,38 @@ echo "ci: cargo test"
 run test -q
 
 echo "ci: bench smoke (devtools/bench.sh --quick)"
+# Snapshot the committed baseline before the quick run overwrites it. The
+# quick run measures the same fuzz_throughput campaign workload as the full
+# run, so the two execs_per_sec figures are directly comparable.
+baseline_json=""
+if [[ -f BENCH_fuzz.json ]]; then
+  baseline_json=$(mktemp)
+  cp BENCH_fuzz.json "$baseline_json"
+fi
 TORPEDO_OFFLINE="$TORPEDO_OFFLINE" devtools/bench.sh --quick
 for key in '"dispatch"' '"nr_of_speedup"' '"fuzz_throughput"' '"execs_per_sec"' \
-           '"mutations_per_sec"' '"shard_scaling"'; do
+           '"mutations_per_sec"' '"shard_scaling"' '"scaling_efficiency"' \
+           '"contention"'; do
   grep -q "$key" BENCH_fuzz.json \
     || { echo "ci: BENCH_fuzz.json missing $key" >&2; exit 1; }
 done
 grep -q '^{' BENCH_fuzz.json && grep -q '^}' BENCH_fuzz.json \
   || { echo "ci: BENCH_fuzz.json malformed" >&2; exit 1; }
+
+echo "ci: bench regression gate (fuzz_throughput.execs_per_sec, -20% max)"
+if [[ -n "$baseline_json" ]]; then
+  python3 - "$baseline_json" BENCH_fuzz.json <<'PY'
+import json, sys
+baseline = json.load(open(sys.argv[1]))["fuzz_throughput"]["execs_per_sec"]
+current = json.load(open(sys.argv[2]))["fuzz_throughput"]["execs_per_sec"]
+floor = 0.8 * baseline
+print(f"ci: execs_per_sec baseline {baseline:.0f}, current {current:.0f}, floor {floor:.0f}")
+if current < floor:
+    sys.exit(f"ci: throughput regression: {current:.0f} < {floor:.0f} (-20% of baseline)")
+PY
+  rm -f "$baseline_json"
+else
+  echo "ci: no committed BENCH_fuzz.json baseline; skipping gate" >&2
+fi
 
 echo "ci: all gates passed"

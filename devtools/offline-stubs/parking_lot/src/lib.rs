@@ -1,9 +1,12 @@
 //! Offline API stub for `parking_lot` 0.12 — see ../../README.md.
 //!
-//! Wraps `std::sync::Mutex` with parking_lot's non-poisoning `lock()`
-//! signature.
+//! Wraps `std::sync::Mutex`/`std::sync::RwLock` with parking_lot's
+//! non-poisoning `lock()`/`read()`/`write()` signatures.
 
-use std::sync::{Mutex as StdMutex, MutexGuard as StdMutexGuard};
+use std::sync::{
+    Mutex as StdMutex, MutexGuard as StdMutexGuard, RwLock as StdRwLock,
+    RwLockReadGuard as StdRwLockReadGuard, RwLockWriteGuard as StdRwLockWriteGuard,
+};
 
 /// Stand-in for `parking_lot::Mutex`.
 #[derive(Debug, Default)]
@@ -39,6 +42,60 @@ impl<T> std::ops::Deref for MutexGuard<'_, T> {
 }
 
 impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.0
+    }
+}
+
+/// Stand-in for `parking_lot::RwLock`.
+#[derive(Debug, Default)]
+pub struct RwLock<T>(StdRwLock<T>);
+
+/// Stand-in for `parking_lot::RwLockReadGuard`.
+pub struct RwLockReadGuard<'a, T>(StdRwLockReadGuard<'a, T>);
+
+/// Stand-in for `parking_lot::RwLockWriteGuard`.
+pub struct RwLockWriteGuard<'a, T>(StdRwLockWriteGuard<'a, T>);
+
+impl<T> RwLock<T> {
+    pub fn new(value: T) -> RwLock<T> {
+        RwLock(StdRwLock::new(value))
+    }
+
+    pub fn read(&self) -> RwLockReadGuard<'_, T> {
+        RwLockReadGuard(self.0.read().unwrap_or_else(|poison| poison.into_inner()))
+    }
+
+    pub fn write(&self) -> RwLockWriteGuard<'_, T> {
+        RwLockWriteGuard(self.0.write().unwrap_or_else(|poison| poison.into_inner()))
+    }
+
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|poison| poison.into_inner())
+    }
+
+    pub fn get_mut(&mut self) -> &mut T {
+        self.0.get_mut().unwrap_or_else(|poison| poison.into_inner())
+    }
+}
+
+impl<T> std::ops::Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> std::ops::Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T> std::ops::DerefMut for RwLockWriteGuard<'_, T> {
     fn deref_mut(&mut self) -> &mut T {
         &mut self.0
     }

@@ -9,7 +9,7 @@ pub fn print_finding(index: usize, finding: &FlaggedFinding, table: &[SyscallDes
         "── finding #{index} (batch {}, round {}, score {:.1}) ──",
         finding.batch, finding.round, finding.score
     );
-    for violation in &finding.violations {
+    for violation in finding.violations.iter() {
         println!("   violation: {violation}");
     }
     print!("{}", indent(&serialize(&finding.program, table), "   | "));

@@ -2,15 +2,20 @@
 //! invariants the fuzzing loop depends on.
 
 use std::collections::HashSet;
+use std::sync::Arc;
 
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use torpedo_core::batch::{BatchAction, BatchConfig, BatchMachine};
 use torpedo_kernel::cpu::{CpuCategory, CpuTimes};
 use torpedo_kernel::syscalls::fallback_signal;
 use torpedo_kernel::{Errno, Usecs};
-use torpedo_prog::{build_table, deserialize, gen_program, minimize, serialize, Mutator, Program};
+use torpedo_prog::{
+    build_table, deserialize, gen_program, minimize, serialize, Corpus, CorpusItem, Mutator,
+    Program,
+};
 
 proptest! {
     /// Generated programs always validate, and serialization round-trips.
@@ -93,6 +98,80 @@ proptest! {
         let u = Usecs(a);
         let (lo, hi) = if f1 <= f2 { (f1, f2) } else { (f2, f1) };
         prop_assert!(u.scale(lo) <= u.scale(hi).saturating_add(Usecs(1)));
+    }
+
+    /// Copy-on-write program handles are observationally equal to the old
+    /// deep-copy path: a batch whose `Arc<Program>`s are aliased by the
+    /// corpus (donor selection) and the machine's save/restore snapshot
+    /// serializes byte-identically, round for round, to a twin batch where
+    /// every handle is unique (refcount 1, so `Arc::make_mut` mutates in
+    /// place exactly like the old owned `Vec<Program>`). Also checks the
+    /// aliased corpus donors never absorb a batch mutation.
+    #[test]
+    fn cow_programs_match_deep_copy_path(
+        seed in any::<u64>(),
+        scores in proptest::collection::vec(0.0f64..60.0, 1..25),
+    ) {
+        let table = build_table();
+        let mut gen_rng = StdRng::seed_from_u64(seed);
+        let initial: Vec<Program> =
+            (0..3).map(|_| gen_program(&table, 6, &HashSet::new(), &mut gen_rng)).collect();
+
+        // Shared path: batch, corpus and machine snapshot alias the same Arcs.
+        let shared: Vec<Arc<Program>> = initial.iter().map(|p| Arc::new(p.clone())).collect();
+        let mut corpus_shared = Corpus::new();
+        for p in &shared {
+            corpus_shared.add(CorpusItem {
+                program: Arc::clone(p),
+                new_signals: 1,
+                best_score: 0.0,
+                flagged: false,
+            });
+        }
+        let mut progs_shared = shared.clone();
+        let mut m_shared = BatchMachine::new(BatchConfig::default(), &progs_shared);
+
+        // Deep path: every handle unique — `Arc::make_mut` then mutates in
+        // place, which is exactly what the pre-Arc deep-copy code did.
+        let mut corpus_deep = Corpus::new();
+        for p in &initial {
+            corpus_deep.add(CorpusItem {
+                program: Arc::new(p.clone()),
+                new_signals: 1,
+                best_score: 0.0,
+                flagged: false,
+            });
+        }
+        let mut progs_deep: Vec<Arc<Program>> =
+            initial.iter().map(|p| Arc::new(p.clone())).collect();
+        let mut m_deep = BatchMachine::new(BatchConfig::default(), &progs_deep);
+
+        let mut rng_s = StdRng::seed_from_u64(seed ^ 0x5eed);
+        let mut rng_d = StdRng::seed_from_u64(seed ^ 0x5eed);
+        let mutator = Mutator::default();
+        for (i, score) in scores.iter().enumerate() {
+            let (_, act_s) = m_shared.on_round(*score, &mut progs_shared, &mut rng_s);
+            let (_, act_d) = m_deep.on_round(*score, &mut progs_deep, &mut rng_d);
+            prop_assert_eq!(act_s, act_d);
+            if act_s == BatchAction::Stop {
+                break;
+            }
+            if act_s == BatchAction::MutateAndRun {
+                let pick = (i as f64 * 0.137) % 1.0;
+                let donor_s = corpus_shared.donor(pick).cloned();
+                let donor_d = corpus_deep.donor(pick).cloned();
+                mutator.mutate(Arc::make_mut(&mut progs_shared[0]), &table, donor_s.as_deref(), &mut rng_s);
+                mutator.mutate(Arc::make_mut(&mut progs_deep[0]), &table, donor_d.as_deref(), &mut rng_d);
+            }
+            for (a, b) in progs_shared.iter().zip(&progs_deep) {
+                prop_assert_eq!(serialize(a, &table), serialize(b, &table));
+            }
+            // The aliased donors must still serialize as the originals:
+            // copy-on-write may never leak a batch mutation into the corpus.
+            for (item, orig) in corpus_shared.items().iter().zip(&initial) {
+                prop_assert_eq!(serialize(&item.program, &table), serialize(orig, &table));
+            }
+        }
     }
 
     /// remove_call never leaves dangling forward references.
