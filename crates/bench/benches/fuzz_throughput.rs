@@ -1,5 +1,10 @@
 //! Criterion bench: whole-campaign throughput (rounds and mutations per
-//! second of host time) — the §1.2 scalability claim.
+//! second of host time) — the §1.2 scalability claim — plus the telemetry
+//! zero-overhead contract: a campaign holding a [`Telemetry::disabled`]
+//! handle must run at the same speed as one instrumented end to end. The
+//! disabled path is a single `Option` branch per probe; the acceptance gate
+//! is < 2% regression on `campaign/telemetry_disabled` vs the pre-telemetry
+//! baseline.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use torpedo_core::campaign::{Campaign, CampaignConfig};
@@ -8,15 +13,14 @@ use torpedo_core::seeds::{default_denylist, SeedCorpus};
 use torpedo_kernel::Usecs;
 use torpedo_oracle::CpuOracle;
 use torpedo_prog::{build_table, MutatePolicy};
+use torpedo_telemetry::Telemetry;
 
-fn bench_campaign(c: &mut Criterion) {
-    let table = build_table();
-    let texts = torpedo_moonshine::generate_corpus(6, 1);
-    let seeds = SeedCorpus::load(&texts, &table, &default_denylist()).unwrap();
-    let config = CampaignConfig {
+fn campaign_config(telemetry: Telemetry) -> CampaignConfig {
+    CampaignConfig {
         observer: ObserverConfig {
             window: Usecs::from_secs(1),
             executors: 3,
+            telemetry,
             ..ObserverConfig::default()
         },
         mutate: MutatePolicy {
@@ -25,12 +29,37 @@ fn bench_campaign(c: &mut Criterion) {
         },
         max_rounds_per_batch: 4,
         ..CampaignConfig::default()
-    };
+    }
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let table = build_table();
+    let texts = torpedo_moonshine::generate_corpus(6, 1);
+    let seeds = SeedCorpus::load(&texts, &table, &default_denylist()).unwrap();
+    let config = campaign_config(Telemetry::disabled());
     let mut group = c.benchmark_group("campaign");
     group.sample_size(10);
     group.bench_function("six_seeds_three_executors", |b| {
         b.iter(|| {
             Campaign::new(config.clone(), table.clone())
+                .run(&seeds, &CpuOracle::new())
+                .unwrap()
+        })
+    });
+    // The same workload with every telemetry probe compiled in but switched
+    // off — the no-op handle the default config carries.
+    group.bench_function("telemetry_disabled", |b| {
+        b.iter(|| {
+            Campaign::new(campaign_config(Telemetry::disabled()), table.clone())
+                .run(&seeds, &CpuOracle::new())
+                .unwrap()
+        })
+    });
+    // Fully instrumented: spans, counters, histograms, and the journal all
+    // live. A fresh handle per iteration keeps the ring from saturating.
+    group.bench_function("telemetry_enabled", |b| {
+        b.iter(|| {
+            Campaign::new(campaign_config(Telemetry::enabled()), table.clone())
                 .run(&seeds, &CpuOracle::new())
                 .unwrap()
         })

@@ -1,0 +1,124 @@
+//! `status_probe`: fetch the campaign status endpoint over plain TCP.
+//!
+//! Two modes:
+//!
+//! * `status_probe --self-test` — run a small instrumented campaign with the
+//!   status server bound to a loopback ephemeral port, fetch `/` and
+//!   `/metrics`, validate the JSON against the telemetry schema, and exit
+//!   non-zero on any mismatch. This is the CI telemetry smoke test; it needs
+//!   no network beyond the loopback interface.
+//! * `status_probe ADDR [PATH]` — fetch `PATH` (default `/`) from a live
+//!   campaign's status server and print the body, e.g.
+//!   `status_probe 127.0.0.1:7070 /metrics`.
+
+use std::net::SocketAddr;
+
+use torpedo_core::campaign::{Campaign, CampaignConfig};
+use torpedo_core::logfmt::parse_metrics;
+use torpedo_core::observer::ObserverConfig;
+use torpedo_core::seeds::{default_denylist, SeedCorpus};
+use torpedo_kernel::Usecs;
+use torpedo_oracle::CpuOracle;
+use torpedo_prog::build_table;
+use torpedo_telemetry::server::fetch;
+use torpedo_telemetry::Telemetry;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("--self-test") => self_test(),
+        Some(addr) => probe(addr, args.get(1).map_or("/", String::as_str)),
+        None => {
+            eprintln!("usage: status_probe --self-test | status_probe ADDR [PATH]");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn probe(addr: &str, path: &str) -> i32 {
+    let addr: SocketAddr = match addr.parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("status_probe: bad address '{addr}': {e}");
+            return 2;
+        }
+    };
+    match fetch(addr, path) {
+        Ok((status, body)) => {
+            eprintln!("status_probe: {status}");
+            println!("{body}");
+            i32::from(!status.contains("200"))
+        }
+        Err(e) => {
+            eprintln!("status_probe: fetch failed: {e}");
+            1
+        }
+    }
+}
+
+fn self_test() -> i32 {
+    let table = build_table();
+    let seeds = SeedCorpus::load(&["sync()\n", "getpid()\n"], &table, &default_denylist())
+        .expect("seed corpus");
+    let config = CampaignConfig {
+        observer: ObserverConfig {
+            window: Usecs::from_secs(1),
+            executors: 2,
+            telemetry: Telemetry::enabled(),
+            ..ObserverConfig::default()
+        },
+        max_rounds_per_batch: 2,
+        status_addr: Some("127.0.0.1:0".to_string()),
+        ..CampaignConfig::default()
+    };
+    let campaign = Campaign::new(config, table);
+    campaign
+        .run(&seeds, &CpuOracle::new())
+        .expect("smoke campaign");
+    // The server outlives run(): the final stats page stays served until the
+    // campaign itself drops.
+    let addr = campaign.status_local_addr().expect("status server bound");
+
+    let (status, page) = fetch(addr, "/").expect("fetch /");
+    if !status.contains("200") || !page.contains("TORPEDO campaign status") {
+        eprintln!("status_probe: bad status page ({status}):\n{page}");
+        return 1;
+    }
+    let (status, body) = fetch(addr, "/metrics").expect("fetch /metrics");
+    if !status.contains("200") {
+        eprintln!("status_probe: /metrics returned {status}");
+        return 1;
+    }
+    let snapshot = match parse_metrics(&body) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("status_probe: /metrics schema violation: {e}\n{body}");
+            return 1;
+        }
+    };
+    if !snapshot.enabled {
+        eprintln!("status_probe: telemetry unexpectedly disabled");
+        return 1;
+    }
+    let rounds = snapshot
+        .counters
+        .iter()
+        .find(|(n, _)| n == "rounds_completed")
+        .map_or(0, |(_, v)| *v);
+    let round_hist = snapshot
+        .histograms
+        .iter()
+        .find(|(n, _)| n == "round_latency_ns");
+    if rounds == 0 || round_hist.is_none_or(|(_, h)| h.count == 0) {
+        eprintln!("status_probe: no rounds recorded in telemetry:\n{body}");
+        return 1;
+    }
+    let (status, _) = fetch(addr, "/nonexistent").expect("fetch 404");
+    if !status.contains("404") {
+        eprintln!("status_probe: expected 404, got {status}");
+        return 1;
+    }
+    eprintln!("status_probe: self-test ok ({rounds} rounds at {addr})");
+    0
+}

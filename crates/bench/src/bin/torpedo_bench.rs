@@ -14,6 +14,9 @@
 //!   lock contention).
 //! * `contention` — lock-wait nanoseconds per round stage from the striped
 //!   parallel observer at 1/2/4/8 workers.
+//! * `latency` — telemetry histograms from an instrumented campaign plus a
+//!   parallel run: round latency, per-program exec latency and lock-wait
+//!   distributions, with per-span-kind aggregates.
 //!
 //! Usage: `torpedo_bench [--quick] [--out PATH]`. `--quick` shrinks every
 //! workload so the CI smoke test finishes in seconds.
@@ -36,6 +39,9 @@ use torpedo_kernel::{
 };
 use torpedo_oracle::CpuOracle;
 use torpedo_prog::{build_table, MutatePolicy, Mutator};
+use torpedo_telemetry::{
+    metrics::write_histogram_json, safe_div, HistogramId, SpanKind, Telemetry,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -54,9 +60,11 @@ fn main() {
     let scaling_json = bench_shard_scaling(quick);
     eprintln!("torpedo-bench: lock contention…");
     let contention_json = bench_contention(quick);
+    eprintln!("torpedo-bench: telemetry latency…");
+    let latency_json = bench_latency(quick);
 
     let json = format!(
-        "{{\n  \"quick\": {quick},\n  \"dispatch\": {dispatch_json},\n  \"fuzz_throughput\": {throughput_json},\n  \"shard_scaling\": {scaling_json},\n  \"contention\": {contention_json}\n}}\n"
+        "{{\n  \"quick\": {quick},\n  \"dispatch\": {dispatch_json},\n  \"fuzz_throughput\": {throughput_json},\n  \"shard_scaling\": {scaling_json},\n  \"contention\": {contention_json},\n  \"latency\": {latency_json}\n}}\n"
     );
     std::fs::write(out_path, &json).expect("write BENCH_fuzz.json");
     eprintln!("torpedo-bench: wrote {out_path}");
@@ -256,7 +264,7 @@ fn bench_shard_scaling(quick: bool) -> String {
         // the shard count, so 1.0 means perfect linear scaling. On a host
         // with fewer cores than workers (see `host_parallelism`) the wall
         // clock serializes the workers and efficiency tends to 1/shards.
-        let speedup = eps / base.max(1e-9);
+        let speedup = safe_div(eps, base);
         points.push(format!(
             "{{\n      \"shards\": {},\n      \"workers\": {},\n      \"rounds\": {},\n      \"executions\": {},\n      \"host_seconds\": {:.3},\n      \"execs_per_sec\": {:.1},\n      \"speedup_vs_1_shard\": {:.3},\n      \"scaling_efficiency\": {:.3}\n    }}",
             shards,
@@ -266,7 +274,7 @@ fn bench_shard_scaling(quick: bool) -> String {
             host,
             eps,
             speedup,
-            speedup / shards as f64,
+            safe_div(speedup, shards as f64),
         ));
     }
     format!(
@@ -317,4 +325,63 @@ fn bench_contention(quick: bool) -> String {
         ));
     }
     format!("[\n    {}\n  ]", points.join(",\n    "))
+}
+
+/// Latency distributions from the telemetry registry: an instrumented
+/// sequential campaign feeds the round/exec histograms, then a parallel
+/// observer run at 4 workers feeds lock-wait. One shared handle collects
+/// both, matching what the status endpoint would serve for the same run.
+fn bench_latency(quick: bool) -> String {
+    let table = build_table();
+    let telemetry = Telemetry::enabled();
+
+    let texts = torpedo_moonshine::generate_corpus(4, 1);
+    let seeds = SeedCorpus::load(&texts, &table, &default_denylist()).unwrap();
+    let mut config = throughput_config(quick);
+    config.observer.telemetry = telemetry.clone();
+    Campaign::new(config, table.clone())
+        .run(&seeds, &CpuOracle::new())
+        .expect("instrumented campaign");
+
+    let workers = if quick { 2 } else { 4 };
+    let pconfig = ObserverConfig {
+        window: Usecs::from_secs(1),
+        executors: workers,
+        telemetry: telemetry.clone(),
+        ..ObserverConfig::default()
+    };
+    let mut observer = ParallelObserver::new(KernelConfig::default(), pconfig, table.clone())
+        .expect("boot parallel observer");
+    let programs: Vec<_> = (0..workers)
+        .map(|i| {
+            let text = if i % 2 == 0 { "sync()\n" } else { "getpid()\n" };
+            std::sync::Arc::new(torpedo_prog::deserialize(text, &table).unwrap())
+        })
+        .collect();
+    for _ in 0..if quick { 2 } else { 4 } {
+        observer.round(&programs).expect("instrumented round");
+    }
+
+    let mut out = String::from("{\n    \"histograms\": {");
+    for (i, id) in HistogramId::ALL.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!("\n      \"{}\": ", id.as_str()));
+        write_histogram_json(&mut out, id, &telemetry.histogram(id));
+    }
+    out.push_str("\n    },\n    \"spans\": {");
+    for (i, kind) in SpanKind::ALL.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let (count, total_ns) = telemetry.span_totals(kind);
+        out.push_str(&format!(
+            "\n      \"{}\": {{\"count\": {count}, \"total_ns\": {total_ns}, \"mean_ns\": {:.1}}}",
+            kind.as_str(),
+            safe_div(total_ns as f64, count as f64),
+        ));
+    }
+    out.push_str("\n    }\n  }");
+    out
 }

@@ -124,6 +124,50 @@ fn work_stealing_is_worker_count_invariant() {
     }
 }
 
+/// Telemetry observes wall-clock timing only — it must never perturb shard
+/// results. An instrumented run (all shards feeding one shared registry)
+/// produces byte-identical per-shard reports to the uninstrumented baseline,
+/// at any worker count.
+#[test]
+fn telemetry_does_not_perturb_shard_determinism() {
+    let (table, seeds) = table_seeds();
+    let plain = config();
+    let mut instrumented = config();
+    instrumented.observer.telemetry = torpedo_core::Telemetry::enabled();
+    let fingerprint = |config: &CampaignConfig, workers: usize| {
+        let report = run_sharded(
+            config,
+            table.clone(),
+            &seeds,
+            SHARDS,
+            workers,
+            &CpuOracle::new(),
+        )
+        .unwrap();
+        report
+            .shards
+            .iter()
+            .map(|s| format!("seed={} logs={:?}", s.seed, s.report.logs))
+            .collect::<Vec<_>>()
+    };
+    let baseline = fingerprint(&plain, SHARDS);
+    for workers in [1usize, SHARDS] {
+        assert_eq!(
+            fingerprint(&instrumented, workers),
+            baseline,
+            "telemetry at {workers} workers changed shard results"
+        );
+    }
+    // The shared registry actually saw the instrumented runs.
+    assert!(
+        instrumented
+            .observer
+            .telemetry
+            .counter(torpedo_core::CounterId::RoundsCompleted)
+            > 0
+    );
+}
+
 #[test]
 fn sharded_run_covers_all_table_4_2_families() {
     let (table, seeds) = table_seeds();

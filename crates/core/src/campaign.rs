@@ -3,11 +3,13 @@
 //! admission, crash handling, and offline oracle flagging together
 //! (§4.1's testing procedure).
 
-use std::sync::Arc;
+use std::net::SocketAddr;
+use std::sync::{Arc, Mutex};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use torpedo_kernel::time::Usecs;
 use torpedo_kernel::{DeferralEvent, KernelConfig};
 use torpedo_oracle::observation::Observation;
 use torpedo_oracle::violation::Violation;
@@ -16,6 +18,7 @@ use torpedo_prog::{
     Corpus, CorpusItem, CoverageSet, MutatePolicy, Mutator, Program, ProgramId, SyscallDesc,
 };
 use torpedo_runtime::{ContainerCrash, FaultCounters};
+use torpedo_telemetry::{safe_div, CounterId, SpanKind, StatusServer, StatusShared};
 
 use crate::batch::{BatchAction, BatchConfig, BatchMachine};
 use crate::crash::{reproduce_and_minimize, CrashRecord};
@@ -46,6 +49,11 @@ pub struct CampaignConfig {
     /// Run executors on real threads through the [`crate::parallel`]
     /// observer instead of the sequential one.
     pub parallel: bool,
+    /// Bind a syz-manager-style status endpoint here (e.g.
+    /// `"127.0.0.1:8090"`) for the duration of the run. `None` (the
+    /// default) serves nothing. `/` is the text status page, `/metrics`
+    /// the telemetry JSON.
+    pub status_addr: Option<String>,
 }
 
 impl Default for CampaignConfig {
@@ -59,6 +67,7 @@ impl Default for CampaignConfig {
             max_rounds_per_batch: 40,
             crash_repro_attempts: 3,
             parallel: false,
+            status_addr: None,
         }
     }
 }
@@ -189,6 +198,9 @@ impl Driver {
 pub struct Campaign {
     config: CampaignConfig,
     table: Arc<[SyscallDesc]>,
+    /// The status endpoint, once started; kept on the campaign (not the
+    /// run) so the final stats stay served after [`Campaign::run`] returns.
+    status: Mutex<Option<(Arc<StatusShared>, StatusServer)>>,
 }
 
 impl Campaign {
@@ -199,12 +211,50 @@ impl Campaign {
         Campaign {
             config,
             table: table.into(),
+            status: Mutex::new(None),
         }
     }
 
     /// The syscall table in use.
     pub fn table(&self) -> &[SyscallDesc] {
         &self.table
+    }
+
+    /// Start the status endpoint on `addr` (use port 0 for an ephemeral
+    /// port), serving the live status page at `/` and the telemetry JSON at
+    /// `/metrics`. Idempotent: a second call returns the existing address.
+    /// [`Campaign::run`] calls this automatically when
+    /// [`CampaignConfig::status_addr`] is set.
+    ///
+    /// # Errors
+    /// Propagates the bind failure.
+    pub fn serve_status(&self, addr: &str) -> std::io::Result<SocketAddr> {
+        let mut slot = self.status.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some((_, server)) = slot.as_ref() {
+            return Ok(server.local_addr());
+        }
+        let shared = Arc::new(StatusShared::new(self.config.observer.telemetry.clone()));
+        let server = StatusServer::bind(addr, Arc::clone(&shared))?;
+        let local = server.local_addr();
+        *slot = Some((shared, server));
+        Ok(local)
+    }
+
+    /// The bound status-endpoint address, if one is serving.
+    pub fn status_local_addr(&self) -> Option<SocketAddr> {
+        self.status
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .map(|(_, server)| server.local_addr())
+    }
+
+    fn status_shared(&self) -> Option<Arc<StatusShared>> {
+        self.status
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .map(|(shared, _)| Arc::clone(shared))
     }
 
     /// Run the campaign: every seed batch is fuzzed through the batch state
@@ -229,6 +279,12 @@ impl Campaign {
     ) -> Result<CampaignReport, TorpedoError> {
         let mut rng = StdRng::seed_from_u64(self.config.seed);
         let mutator = Mutator::new(self.config.mutate.clone());
+        let telemetry = self.config.observer.telemetry.clone();
+        if let Some(addr) = &self.config.status_addr {
+            self.serve_status(addr)
+                .map_err(|e| TorpedoError::Internal(format!("status server bind: {e}")))?;
+        }
+        let status = self.status_shared();
         let mut observer = Driver::new(
             self.config.parallel,
             self.config.kernel.clone(),
@@ -240,6 +296,11 @@ impl Campaign {
         let mut coverage = CoverageSet::new();
         let mut raw_crashes: Vec<(ContainerCrash, Arc<Program>)> = Vec::new();
         let mut rounds_total = 0u64;
+        // Live-page accumulators (only consulted when a status endpoint is
+        // up, but cheap enough to keep unconditionally).
+        let mut live_execs = 0u64;
+        let mut live_vtime = Usecs::ZERO;
+        let mut live_best = 0.0f64;
         let quarantine_threshold = self.config.observer.supervisor.quarantine_threshold;
         // Hot-path identity is the 64-bit ProgramId content hash; the text
         // rendering is produced only on the rare quarantine event (for the
@@ -271,7 +332,10 @@ impl Campaign {
                 let recovery_before = observer.recovery();
                 let record = observer.round(&self.table, &programs)?;
                 rounds_total += 1;
-                let score = oracle.score(&record.observation);
+                let score = {
+                    let _oracle_span = telemetry.span(SpanKind::Oracle);
+                    oracle.score(&record.observation)
+                };
 
                 // Coverage feedback → per-program state machines → corpus.
                 // The threaded observer reports one slot per *worker*; slots
@@ -327,6 +391,8 @@ impl Campaign {
                     }
                 }
 
+                let round_recovery = observer.recovery().since(&recovery_before);
+                telemetry.add(CounterId::RecoveryEvents, round_recovery.total());
                 logs.push(RoundLog {
                     batch: batch_idx,
                     round: rounds_total,
@@ -337,8 +403,25 @@ impl Campaign {
                     deferrals: record.deferrals,
                     executions: record.reports.iter().map(|r| r.executions).sum(),
                     fatal_signals: record.reports.iter().map(|r| r.fatal_signals).sum(),
-                    recovery: observer.recovery().since(&recovery_before),
+                    recovery: round_recovery,
                 });
+
+                if let Some(shared) = &status {
+                    let log = logs.last().expect("round log just pushed");
+                    live_execs += log.executions;
+                    live_vtime += log.observation.window;
+                    live_best = live_best.max(score);
+                    shared.set_page(live_status_page(
+                        rounds_total,
+                        live_execs,
+                        live_vtime,
+                        live_best,
+                        corpus.len(),
+                        coverage.len(),
+                        raw_crashes.len(),
+                        &observer.recovery(),
+                    ));
+                }
 
                 // Batch machine decides what happens next.
                 let (_verdict, action) = machine.on_round(score, &mut programs, &mut rng);
@@ -352,6 +435,8 @@ impl Campaign {
                         }
                     }
                     BatchAction::MutateAndRun => {
+                        let _mutate_span = telemetry.span(SpanKind::Mutate);
+                        telemetry.add(CounterId::MutationsTotal, programs.len() as u64);
                         for (idx, program) in programs.iter_mut().enumerate() {
                             let donor_pick = rand::Rng::gen_range(&mut rng, 0.0..1.0f64);
                             let donor = corpus.donor(donor_pick).cloned();
@@ -381,6 +466,7 @@ impl Campaign {
 
         // Offline flagging (§3.6.1): parse the round logs and isolate
         // adversarial programs asynchronously from execution.
+        let flag_span = telemetry.span(SpanKind::Oracle);
         let mut flagged: Vec<FlaggedFinding> = Vec::new();
         let mut seen_programs: std::collections::HashSet<ProgramId> = Default::default();
         for log in &logs {
@@ -405,6 +491,8 @@ impl Campaign {
                 .partial_cmp(&a.score)
                 .unwrap_or(std::cmp::Ordering::Equal)
         });
+        drop(flag_span);
+        telemetry.add(CounterId::FlaggedTotal, flagged.len() as u64);
 
         // Crash reproduction + minimization.
         let crashes = raw_crashes
@@ -423,7 +511,7 @@ impl Campaign {
 
         let mut recovery = observer.recovery();
         recovery.quarantined_programs = quarantined.len() as u64;
-        Ok(CampaignReport {
+        let report = CampaignReport {
             rounds_total,
             logs,
             flagged,
@@ -433,7 +521,14 @@ impl Campaign {
             recovery,
             faults_injected: observer.fault_counters(),
             quarantined: quarantined.into_iter().collect(),
-        })
+        };
+        telemetry.add(CounterId::FaultsInjected, report.faults_injected.total());
+        if let Some(shared) = &status {
+            // The final page is the full post-campaign stats rendering; it
+            // stays served until the campaign is dropped.
+            shared.set_page(crate::stats::CampaignStats::from_report(&report).render());
+        }
+        Ok(report)
     }
 
     /// Generate a replacement program that is not on the quarantine list
@@ -460,6 +555,45 @@ impl Campaign {
         }
         (program, id)
     }
+}
+
+/// The mid-campaign status page: what is known *during* the run (flagging is
+/// offline, so findings read "pending"). The final page swaps to the full
+/// [`crate::stats::CampaignStats`] rendering.
+#[allow(clippy::too_many_arguments)]
+fn live_status_page(
+    rounds: u64,
+    executions: u64,
+    virtual_time: Usecs,
+    best_score: f64,
+    corpus: usize,
+    signals: usize,
+    crashes: usize,
+    recovery: &RecoveryStats,
+) -> String {
+    format!(
+        "TORPEDO campaign status (live)\n\
+         ==============================\n\
+         rounds              {}\n\
+         virtual time        {}\n\
+         executions          {}\n\
+         execs / vsec        {:.1}\n\
+         corpus programs     {}\n\
+         coverage signals    {}\n\
+         crashes collected   {}\n\
+         best oracle score   {:.2}\n\
+         recovery events     {}\n\
+         flagged programs    pending offline analysis\n",
+        rounds,
+        virtual_time,
+        executions,
+        safe_div(executions as f64, virtual_time.as_secs_f64()),
+        corpus,
+        signals,
+        crashes,
+        best_score,
+        recovery.total(),
+    )
 }
 
 #[cfg(test)]

@@ -67,7 +67,10 @@ pub use crash::{crashes_once, reproduce_and_minimize, CrashRecord};
 pub use error::{RoundStage, TorpedoError};
 pub use executor::{ExecReport, Executor, GlueCost};
 pub use latch::{LatchError, LatchState, RoundLatch};
-pub use logfmt::{parse_log, write_round, LogParseError, ParsedRound};
+pub use logfmt::{
+    parse_json, parse_log, parse_metrics, write_round, HistogramExport, JsonValue, LogParseError,
+    MetricsSnapshot, ParsedRound,
+};
 pub use minimize::{minimize_with_oracle, OracleMinimized, ViolationHarness};
 pub use observer::{Observer, ObserverConfig, RoundRecord, SupervisorConfig};
 pub use parallel::ParallelObserver;
@@ -75,3 +78,8 @@ pub use prog_sm::{InvalidTransition, ProgEvent, ProgStage, ProgramStateMachine};
 pub use seeds::{default_denylist, filter_denylisted, SeedCorpus};
 pub use shard::{derive_shard_seed, run_sharded, shard_seeds, ShardOutcome, ShardReport};
 pub use stats::{CampaignStats, RecoveryStats};
+// Telemetry lives in its own crate (the runtime engine feeds it too);
+// re-exported here so campaign callers need only one import root.
+pub use torpedo_telemetry::{
+    safe_div, CounterId, HistogramId, SpanKind, StatusServer, StatusShared, Telemetry,
+};

@@ -279,6 +279,424 @@ pub fn parse_log(text: &str, table: &[SyscallDesc]) -> Result<Vec<ParsedRound>, 
     Ok(rounds)
 }
 
+// ---------------------------------------------------------------------
+// Telemetry metrics parsing
+// ---------------------------------------------------------------------
+//
+// The status server's `/metrics` route serves the telemetry registry as
+// hand-written JSON (the workspace has no serde). The parser below is the
+// matching hand-written reader, so the export schema can be validated in
+// tests and consumed by offline tooling the same way round logs are.
+
+/// A minimal JSON value, just rich enough for the telemetry export.
+/// Object keys keep their emission order (the export order is part of the
+/// schema contract — stable across runs for diffing).
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number (the export only emits non-negative integers and
+    /// fixed-point means, all exactly representable here).
+    Number(f64),
+    /// A string (escapes decoded).
+    String(String),
+    /// An array.
+    Array(Vec<JsonValue>),
+    /// An object, in emission order.
+    Object(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member lookup on an object.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Object(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The object members, in emission order.
+    pub fn as_object(&self) -> Option<&[(String, JsonValue)]> {
+        match self {
+            JsonValue::Object(members) => Some(members),
+            _ => None,
+        }
+    }
+
+    /// The array elements.
+    pub fn as_array(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The string payload.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonValue::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The number as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Number(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The number as a non-negative integer (counters, bucket counts).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Number(n) if *n >= 0.0 && n.fract() == 0.0 => Some(*n as u64),
+            _ => None,
+        }
+    }
+}
+
+/// Parse a JSON document (single value plus trailing whitespace).
+///
+/// # Errors
+/// [`LogParseError`] with the byte offset of the first malformed token in
+/// the message (telemetry exports are single-line, so line numbers carry
+/// no information).
+pub fn parse_json(text: &str) -> Result<JsonValue, LogParseError> {
+    let mut p = JsonParser {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.fail("trailing data after JSON document"));
+    }
+    Ok(value)
+}
+
+struct JsonParser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn fail(&self, message: &str) -> LogParseError {
+        LogParseError {
+            line: 1,
+            message: format!("{message} at byte {}", self.pos),
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, byte: u8) -> Result<(), LogParseError> {
+        if self.bytes.get(self.pos) == Some(&byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.fail(&format!("expected '{}'", byte as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<JsonValue, LogParseError> {
+        self.skip_ws();
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(JsonValue::String(self.string()?)),
+            Some(b't') => self.literal("true", JsonValue::Bool(true)),
+            Some(b'f') => self.literal("false", JsonValue::Bool(false)),
+            Some(b'n') => self.literal("null", JsonValue::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.fail("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, LogParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.fail(&format!("expected '{word}'")))
+        }
+    }
+
+    fn object(&mut self) -> Result<JsonValue, LogParseError> {
+        self.eat(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(JsonValue::Object(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Object(members));
+                }
+                _ => return Err(self.fail("expected ',' or '}'")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<JsonValue, LogParseError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(JsonValue::Array(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(JsonValue::Array(items));
+                }
+                _ => return Err(self.fail("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, LogParseError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.fail("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.bytes.get(self.pos).copied();
+                    self.pos += 1;
+                    match escape {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32)
+                                .ok_or_else(|| self.fail("bad \\u escape"))?;
+                            self.pos += 4;
+                            out.push(hex);
+                        }
+                        _ => return Err(self.fail("bad escape")),
+                    }
+                }
+                Some(&b) if b < 0x80 => {
+                    out.push(b as char);
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Multi-byte UTF-8: copy the whole scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.fail("invalid UTF-8"))?;
+                    let ch = rest.chars().next().ok_or_else(|| self.fail("bad char"))?;
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<JsonValue, LogParseError> {
+        let start = self.pos;
+        if self.bytes.get(self.pos) == Some(&b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.bytes.get(self.pos),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
+        text.parse::<f64>()
+            .map(JsonValue::Number)
+            .map_err(|_| self.fail("malformed number"))
+    }
+}
+
+/// One histogram from a `/metrics` export.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramExport {
+    /// Unit label (`ns` or `us`).
+    pub unit: String,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Largest observed value.
+    pub max: u64,
+    /// `sum / count`, zero when empty.
+    pub mean: f64,
+    /// `(upper_bound, count)` per finite bucket.
+    pub buckets: Vec<(u64, u64)>,
+    /// Observations above the last finite bound.
+    pub overflow: u64,
+}
+
+/// A decoded `/metrics` export: the schema the status endpoint commits to.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Schema tag (`torpedo-telemetry-v1`).
+    pub schema: String,
+    /// Whether telemetry was enabled (a disabled export carries no data).
+    pub enabled: bool,
+    /// Counter values in export order.
+    pub counters: Vec<(String, u64)>,
+    /// Histograms in export order.
+    pub histograms: Vec<(String, HistogramExport)>,
+    /// Per-span-kind `(kind, count, total_ns)` aggregates.
+    pub spans: Vec<(String, u64, u64)>,
+    /// Span events the journal retained.
+    pub journal_recorded: u64,
+    /// Span events the ring overwrote.
+    pub journal_dropped: u64,
+}
+
+/// Parse and validate a `/metrics` JSON export.
+///
+/// # Errors
+/// [`LogParseError`] on malformed JSON or a schema mismatch.
+pub fn parse_metrics(text: &str) -> Result<MetricsSnapshot, LogParseError> {
+    let doc = parse_json(text)?;
+    let schema_err = |message: &str| LogParseError {
+        line: 1,
+        message: message.to_string(),
+    };
+    let schema = doc
+        .get("schema")
+        .and_then(JsonValue::as_str)
+        .ok_or_else(|| schema_err("missing schema tag"))?
+        .to_string();
+    if schema != "torpedo-telemetry-v1" {
+        return Err(schema_err(&format!("unknown schema '{schema}'")));
+    }
+    let enabled = doc
+        .get("enabled")
+        .and_then(JsonValue::as_bool)
+        .ok_or_else(|| schema_err("missing enabled flag"))?;
+    let mut snapshot = MetricsSnapshot {
+        schema,
+        enabled,
+        counters: Vec::new(),
+        histograms: Vec::new(),
+        spans: Vec::new(),
+        journal_recorded: 0,
+        journal_dropped: 0,
+    };
+    if !enabled {
+        return Ok(snapshot);
+    }
+    let member_u64 = |v: &JsonValue, key: &str| {
+        v.get(key)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| schema_err(&format!("missing integer member '{key}'")))
+    };
+    for (name, value) in doc
+        .get("counters")
+        .and_then(JsonValue::as_object)
+        .ok_or_else(|| schema_err("missing counters object"))?
+    {
+        let count = value
+            .as_u64()
+            .ok_or_else(|| schema_err(&format!("counter '{name}' not an integer")))?;
+        snapshot.counters.push((name.clone(), count));
+    }
+    for (name, h) in doc
+        .get("histograms")
+        .and_then(JsonValue::as_object)
+        .ok_or_else(|| schema_err("missing histograms object"))?
+    {
+        let unit = h
+            .get("unit")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| schema_err("histogram missing unit"))?
+            .to_string();
+        let mean = h
+            .get("mean")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| schema_err("histogram missing mean"))?;
+        let mut buckets = Vec::new();
+        for bucket in h
+            .get("buckets")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| schema_err("histogram missing buckets"))?
+        {
+            buckets.push((member_u64(bucket, "le")?, member_u64(bucket, "count")?));
+        }
+        snapshot.histograms.push((
+            name.clone(),
+            HistogramExport {
+                unit,
+                count: member_u64(h, "count")?,
+                sum: member_u64(h, "sum")?,
+                max: member_u64(h, "max")?,
+                mean,
+                buckets,
+                overflow: member_u64(h, "overflow")?,
+            },
+        ));
+    }
+    for (kind, s) in doc
+        .get("spans")
+        .and_then(JsonValue::as_object)
+        .ok_or_else(|| schema_err("missing spans object"))?
+    {
+        snapshot.spans.push((
+            kind.clone(),
+            member_u64(s, "count")?,
+            member_u64(s, "total_ns")?,
+        ));
+    }
+    let journal = doc
+        .get("journal")
+        .ok_or_else(|| schema_err("missing journal object"))?;
+    snapshot.journal_recorded = member_u64(journal, "recorded")?;
+    snapshot.journal_dropped = member_u64(journal, "dropped")?;
+    Ok(snapshot)
+}
+
 fn err(line: usize, message: &str) -> LogParseError {
     LogParseError {
         line: line.saturating_add(1),
@@ -418,5 +836,75 @@ mod tests {
         let table = build_table();
         assert!(parse_log("", &table).unwrap().is_empty());
         assert!(parse_log("\n\n", &table).unwrap().is_empty());
+    }
+
+    #[test]
+    fn metrics_export_round_trips_through_parser() {
+        use torpedo_telemetry::{CounterId, HistogramId, SpanKind, Telemetry};
+        let telemetry = Telemetry::enabled();
+        telemetry.add(CounterId::ExecsTotal, 41);
+        telemetry.incr(CounterId::RoundsCompleted);
+        telemetry.record_span_ns(SpanKind::Round, 2_000_000);
+        telemetry.observe(HistogramId::ExecLatencyUs, 17);
+        telemetry.record_lock_wait(900);
+        {
+            let _oracle = telemetry.span(SpanKind::Oracle);
+        }
+        let snapshot = parse_metrics(&telemetry.export_json()).unwrap();
+        assert!(snapshot.enabled);
+        assert_eq!(snapshot.schema, "torpedo-telemetry-v1");
+        let counter = |name: &str| {
+            snapshot
+                .counters
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, v)| *v)
+        };
+        assert_eq!(counter("execs_total"), Some(41));
+        assert_eq!(counter("rounds_completed"), Some(1));
+        // Every registry entry survives the trip, in export order.
+        assert_eq!(snapshot.counters.len(), CounterId::ALL.len());
+        assert_eq!(snapshot.histograms.len(), HistogramId::ALL.len());
+        assert_eq!(snapshot.spans.len(), SpanKind::ALL.len());
+        let (name, round_hist) = &snapshot.histograms[0];
+        assert_eq!(name, "round_latency_ns");
+        assert_eq!(round_hist.unit, "ns");
+        assert_eq!(round_hist.count, 1);
+        assert_eq!(round_hist.sum, 2_000_000);
+        assert!((round_hist.mean - 2_000_000.0).abs() < 1.0);
+        assert_eq!(round_hist.buckets.len(), torpedo_telemetry::BUCKETS);
+        let lock = snapshot
+            .spans
+            .iter()
+            .find(|(k, _, _)| k == "lock-wait")
+            .unwrap();
+        assert_eq!((lock.1, lock.2), (1, 900));
+        // record_span_ns and record_lock_wait bypass the journal: only the
+        // guarded oracle span landed there.
+        assert_eq!(snapshot.journal_recorded, 1);
+        assert_eq!(snapshot.journal_dropped, 0);
+    }
+
+    #[test]
+    fn disabled_metrics_export_parses_empty() {
+        use torpedo_telemetry::Telemetry;
+        let snapshot = parse_metrics(&Telemetry::disabled().export_json()).unwrap();
+        assert!(!snapshot.enabled);
+        assert!(snapshot.counters.is_empty());
+        assert!(snapshot.histograms.is_empty());
+    }
+
+    #[test]
+    fn malformed_metrics_are_rejected() {
+        assert!(parse_metrics("not json").is_err());
+        assert!(parse_metrics("{\"schema\":\"other-v9\",\"enabled\":true}").is_err());
+        assert!(parse_metrics("{\"enabled\":true}").is_err());
+        // Trailing garbage after a valid document is not silently ignored.
+        assert!(parse_json("{} extra").is_err());
+        // Nested structures and escapes decode.
+        let v = parse_json("{\"a\":[1,2.5,-3],\"b\":\"x\\ny\",\"c\":{\"d\":null}}").unwrap();
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x\ny"));
+        assert_eq!(v.get("c").unwrap().get("d"), Some(&JsonValue::Null));
     }
 }

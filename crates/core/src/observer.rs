@@ -26,6 +26,7 @@ use torpedo_runtime::engine::{ContainerId, Engine, EngineError};
 use torpedo_runtime::faults::{FaultConfig, FaultInjector, FaultKind, FaultPlan};
 use torpedo_runtime::spec::ContainerSpec;
 use torpedo_runtime::FaultCounters;
+use torpedo_telemetry::{CounterId, HistogramId, SpanKind, Telemetry};
 
 use crate::error::{RoundStage, TorpedoError};
 use crate::executor::{ExecReport, Executor, GlueCost};
@@ -90,6 +91,9 @@ pub struct ObserverConfig {
     pub faults: FaultConfig,
     /// Watchdog / restart / retry policy.
     pub supervisor: SupervisorConfig,
+    /// Span/metrics sink. [`Telemetry::disabled`] (the default) is a no-op
+    /// handle: no clocks, no allocation, one branch per call site.
+    pub telemetry: Telemetry,
 }
 
 impl Default for ObserverConfig {
@@ -103,6 +107,7 @@ impl Default for ObserverConfig {
             cpus_per_container: 1.0,
             faults: FaultConfig::default(),
             supervisor: SupervisorConfig::default(),
+            telemetry: Telemetry::disabled(),
         }
     }
 }
@@ -197,6 +202,7 @@ impl Observer {
     ) -> Result<Observer, TorpedoError> {
         let mut kernel = Kernel::new(kernel_config);
         let mut engine = Engine::new(&mut kernel);
+        engine.set_telemetry(config.telemetry.clone());
         let faults = build_injector(&config);
         if let Some(f) = &faults {
             engine.set_fault_injector(Arc::clone(f));
@@ -385,6 +391,11 @@ impl Observer {
     ) -> Result<RoundRecord, TorpedoError> {
         let window = self.config.window;
         let n = self.executors.len().min(programs.len());
+        // Local clone (an `Option<Arc>`) so span guards never borrow `self`
+        // across the `&mut self` recovery calls below. A failed attempt still
+        // closes its round span: attempts are what wall-clock is spent on.
+        let telemetry = self.config.telemetry.clone();
+        let _round_span = telemetry.span(SpanKind::Round);
 
         // Watchdog: roll executor-hang faults before the window opens. In
         // the sequential model a "hang" is an executor that would miss its
@@ -445,13 +456,16 @@ impl Observer {
                 reports.push(ExecReport::missed());
                 continue;
             }
-            let report = self.executors[i].run_until(
-                &mut self.kernel,
-                &self.engine,
-                table,
-                programs[i].borrow(),
-                window,
-            )?;
+            let report = {
+                let _exec_span = telemetry.span(SpanKind::Exec);
+                self.executors[i].run_until(
+                    &mut self.kernel,
+                    &self.engine,
+                    table,
+                    programs[i].borrow(),
+                    window,
+                )?
+            };
             reports.push(report);
             latch.complete(slot)?;
             slot += 1;
@@ -461,7 +475,9 @@ impl Observer {
             self.recovery.rounds_salvaged += 1;
         }
 
-        // Engine/runtime standing overhead for the round.
+        // Engine/runtime standing overhead for the round, then measurement —
+        // the snapshot span covers both.
+        let snapshot_span = telemetry.span(SpanKind::Snapshot);
         self.engine.round_overhead(&mut self.kernel, window);
 
         let fuzz_cores = self.fuzz_cores();
@@ -469,6 +485,7 @@ impl Observer {
         let after = ProcStatSnapshot::capture(&self.kernel);
         let per_core = after.since(&before);
         let top = self.sampler.sample(&self.kernel, window);
+        drop(snapshot_span);
 
         let mut containers = Vec::with_capacity(self.executors.len());
         for e in &self.executors {
@@ -493,6 +510,16 @@ impl Observer {
             .map(|m| (m + 1) % self.kernel.cores());
         let startup_times = self.engine.drain_startup_log();
         self.rounds += 1;
+        telemetry.incr(CounterId::RoundsCompleted);
+        for report in &reports {
+            telemetry.add(CounterId::ExecsTotal, report.executions);
+            if report.executions > 0 {
+                telemetry.observe(HistogramId::ExecLatencyUs, report.avg_exec_time.as_micros());
+            }
+            if report.crash.is_some() {
+                telemetry.incr(CounterId::CrashesTotal);
+            }
+        }
         Ok(RoundRecord {
             round: self.rounds,
             observation: Observation {

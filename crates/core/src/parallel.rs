@@ -52,6 +52,7 @@ use torpedo_prog::{Program, ProgramCoverage, SyscallDesc};
 use torpedo_runtime::engine::{ContainerId, Engine, EngineError};
 use torpedo_runtime::faults::{FaultInjector, FaultKind};
 use torpedo_runtime::FaultCounters;
+use torpedo_telemetry::{CounterId, HistogramId, SpanKind, Telemetry};
 
 use crate::error::{RoundStage, TorpedoError};
 use crate::executor::{ExecReport, Executor};
@@ -98,6 +99,9 @@ struct Shared {
     table: Arc<[SyscallDesc]>,
     /// Cumulative lock-wait counters, nanoseconds.
     locks: LockCounters,
+    /// Span/metrics sink (disabled by default). Lock waits fold into the
+    /// `lock_wait_ns` histogram alongside the [`LockCounters`] atomics.
+    telemetry: Telemetry,
 }
 
 #[derive(Debug, Default)]
@@ -165,6 +169,7 @@ impl ParallelObserver {
     ) -> Result<ParallelObserver, TorpedoError> {
         let mut kernel = Kernel::new(kernel_config);
         let mut engine = Engine::new(&mut kernel);
+        engine.set_telemetry(config.telemetry.clone());
         let faults = build_injector(&config);
         if let Some(f) = &faults {
             engine.set_fault_injector(Arc::clone(f));
@@ -183,6 +188,7 @@ impl ParallelObserver {
             engine: RwLock::new(engine),
             table: table.into(),
             locks: LockCounters::default(),
+            telemetry: config.telemetry.clone(),
         });
         let workers = executors
             .into_iter()
@@ -361,6 +367,10 @@ impl ParallelObserver {
         let timeout = self.config.supervisor.stage_timeout;
         let n = self.workers.len();
         let assigned = n.min(programs.len());
+        // Local clone so span guards never borrow `self` across the
+        // `&mut self` recovery calls; failed attempts still close their span.
+        let telemetry = self.config.telemetry.clone();
+        let _round_span = telemetry.span(SpanKind::Round);
 
         // Roll fault-injected hang decisions up front, on the observer side,
         // so the schedule is a pure function of the fault seed regardless of
@@ -482,13 +492,16 @@ impl ParallelObserver {
         // before kernel; the write acquisition also drains any worker still
         // holding a read lock, so measurement sees a quiesced engine.
         let (per_core, deferrals, containers, top, startup_times) = {
+            let _snapshot_span = telemetry.span(SpanKind::Snapshot);
             let wait = Instant::now();
             let mut engine = self.shared.engine.write();
             let mut kernel = self.shared.kernel.lock();
+            let waited_ns = wait.elapsed().as_nanos() as u64;
             self.shared
                 .locks
                 .measure_ns
-                .fetch_add(wait.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                .fetch_add(waited_ns, Ordering::Relaxed);
+            telemetry.record_lock_wait(waited_ns);
             engine.round_overhead(&mut kernel, window);
             let fuzz_cores: Vec<usize> = (0..n).collect();
             let out = kernel.finish_round(&fuzz_cores);
@@ -519,6 +532,16 @@ impl ParallelObserver {
             self.recovery.rounds_salvaged += 1;
         }
         self.rounds += 1;
+        telemetry.incr(CounterId::RoundsCompleted);
+        for report in &reports {
+            telemetry.add(CounterId::ExecsTotal, report.executions);
+            if report.executions > 0 {
+                telemetry.observe(HistogramId::ExecLatencyUs, report.avg_exec_time.as_micros());
+            }
+            if report.crash.is_some() {
+                telemetry.incr(CounterId::CrashesTotal);
+            }
+        }
         let cores = per_core.len();
         Ok(RoundRecord {
             round: self.rounds,
@@ -687,16 +710,20 @@ fn run_window(
             // then the global kernel mutex. Wait time feeds LockStats.
             let wait = Instant::now();
             let engine = shared.engine.read();
+            let engine_wait_ns = wait.elapsed().as_nanos() as u64;
             shared
                 .locks
                 .exec_engine_ns
-                .fetch_add(wait.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                .fetch_add(engine_wait_ns, Ordering::Relaxed);
+            shared.telemetry.record_lock_wait(engine_wait_ns);
             let wait = Instant::now();
             let mut kernel = shared.kernel.lock();
+            let kernel_wait_ns = wait.elapsed().as_nanos() as u64;
             shared
                 .locks
                 .exec_kernel_ns
-                .fetch_add(wait.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                .fetch_add(kernel_wait_ns, Ordering::Relaxed);
+            shared.telemetry.record_lock_wait(kernel_wait_ns);
             match executor.step(
                 &mut kernel,
                 &engine,

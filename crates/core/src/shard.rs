@@ -192,6 +192,11 @@ pub fn run_sharded<O: Oracle + Sync>(
                     let corpus = &shard_corpora[shard];
                     let mut shard_config = config.clone();
                     shard_config.seed = derive_shard_seed(config.seed, shard);
+                    // One status endpoint belongs to the driving process, not
+                    // to each shard: K shards must not race to bind one addr.
+                    // (The telemetry handle in the observer config is an Arc,
+                    // so all shards still feed the same shared registry.)
+                    shard_config.status_addr = None;
                     let seed = shard_config.seed;
                     let campaign = Campaign::new(shard_config, Arc::clone(table));
                     let result = campaign.run(corpus, oracle).map(|report| ShardOutcome {
@@ -200,16 +205,21 @@ pub fn run_sharded<O: Oracle + Sync>(
                         seeds: corpus.programs.len(),
                         report,
                     });
-                    results.lock().expect("shard results poisoned")[shard] = Some(result);
+                    // A sibling worker's panic poisons the mutex but leaves
+                    // the slot vector coherent; recover rather than cascade.
+                    results.lock().unwrap_or_else(|e| e.into_inner())[shard] = Some(result);
                 }
             });
         }
     });
 
-    let outcomes = results.into_inner().expect("shard results poisoned");
+    let outcomes = results.into_inner().unwrap_or_else(|e| e.into_inner());
     let mut shard_outcomes = Vec::with_capacity(shards);
-    for slot in outcomes {
-        shard_outcomes.push(slot.expect("worker pool covered every shard")?);
+    for (shard, slot) in outcomes.into_iter().enumerate() {
+        let outcome = slot.ok_or_else(|| {
+            TorpedoError::Internal(format!("worker pool never scheduled shard {shard}"))
+        })?;
+        shard_outcomes.push(outcome?);
     }
     Ok(merge(shard_outcomes))
 }

@@ -6,6 +6,7 @@
 
 use torpedo_kernel::time::Usecs;
 use torpedo_runtime::FaultCounters;
+use torpedo_telemetry::safe_div;
 
 use crate::campaign::CampaignReport;
 
@@ -120,16 +121,11 @@ impl CampaignStats {
             executions += log.executions;
             fatal_signals += log.fatal_signals;
         }
-        let vsecs = virtual_time.as_secs_f64();
         CampaignStats {
             rounds: report.rounds_total,
             executions,
             virtual_time,
-            execs_per_vsec: if vsecs > 0.0 {
-                executions as f64 / vsecs
-            } else {
-                0.0
-            },
+            execs_per_vsec: safe_div(executions as f64, virtual_time.as_secs_f64()),
             corpus: report.corpus.len(),
             signals: report.coverage_signals,
             flagged: report.flagged.len(),
@@ -228,5 +224,119 @@ mod tests {
         let page = stats.render();
         assert!(page.contains("execs / vsec"));
         assert!(page.contains("corpus programs"));
+    }
+
+    #[test]
+    fn since_saturates_instead_of_underflowing() {
+        // A restarted worker can report counters behind the campaign's
+        // accumulated totals; the delta must clamp at zero, not wrap.
+        let behind = RecoveryStats {
+            worker_restarts: 1,
+            hangs_detected: 2,
+            ..RecoveryStats::default()
+        };
+        let ahead = RecoveryStats {
+            worker_restarts: 3,
+            containers_respawned: 4,
+            ..RecoveryStats::default()
+        };
+        let delta = ahead.since(&behind);
+        assert_eq!(delta.worker_restarts, 2);
+        assert_eq!(delta.containers_respawned, 4);
+        assert_eq!(delta.hangs_detected, 0, "must saturate, not underflow");
+        // since(self) is identically zero.
+        assert!(ahead.since(&ahead).is_zero());
+    }
+
+    #[test]
+    fn absorb_is_associative() {
+        let a = RecoveryStats {
+            worker_restarts: 1,
+            rounds_retried: 5,
+            ..RecoveryStats::default()
+        };
+        let b = RecoveryStats {
+            containers_respawned: 2,
+            rounds_salvaged: 3,
+            ..RecoveryStats::default()
+        };
+        let c = RecoveryStats {
+            start_failures: 7,
+            quarantined_programs: 1,
+            hangs_detected: 9,
+            ..RecoveryStats::default()
+        };
+        // (a + b) + c
+        let mut left = a;
+        left.absorb(&b);
+        left.absorb(&c);
+        // a + (b + c)
+        let mut bc = b;
+        bc.absorb(&c);
+        let mut right = a;
+        right.absorb(&bc);
+        assert_eq!(left, right);
+        assert_eq!(left.total(), a.total() + b.total() + c.total());
+    }
+
+    #[test]
+    fn empty_report_rates_are_finite() {
+        let report = CampaignReport {
+            rounds_total: 0,
+            logs: Vec::new(),
+            flagged: Vec::new(),
+            crashes: Vec::new(),
+            corpus: torpedo_prog::Corpus::new(),
+            coverage_signals: 0,
+            recovery: RecoveryStats::default(),
+            faults_injected: FaultCounters::default(),
+            quarantined: Vec::new(),
+        };
+        let stats = CampaignStats::from_report(&report);
+        assert!(stats.execs_per_vsec.is_finite());
+        assert_eq!(stats.execs_per_vsec, 0.0);
+        assert!(stats.best_score.is_finite());
+        // Rendering a zeroed report must not panic or emit NaN.
+        let page = stats.render();
+        assert!(page.contains("execs / vsec        0.0"));
+        assert!(!page.contains("NaN"));
+    }
+
+    #[test]
+    fn render_golden_page() {
+        let stats = CampaignStats {
+            rounds: 12,
+            executions: 34_567,
+            virtual_time: Usecs::from_secs(60),
+            execs_per_vsec: 576.1,
+            corpus: 40,
+            signals: 210,
+            flagged: 3,
+            crashes: 2,
+            crashes_reproduced: 1,
+            fatal_signals: 5,
+            best_score: 0.87,
+            recovery: RecoveryStats::default(),
+            faults_injected: FaultCounters::default(),
+        };
+        let expected = "TORPEDO campaign status\n\
+                        =======================\n\
+                        rounds              12\n\
+                        virtual time        60.000s\n\
+                        executions          34567\n\
+                        execs / vsec        576.1\n\
+                        corpus programs     40\n\
+                        coverage signals    210\n\
+                        flagged programs    3\n\
+                        crashes             2 (1 reproduced)\n\
+                        fatal signals       5\n\
+                        best oracle score   0.87\n";
+        assert_eq!(stats.render(), expected);
+        // The recovery block appears only when something was recovered.
+        let mut with_recovery = stats.clone();
+        with_recovery.recovery.worker_restarts = 1;
+        let page = with_recovery.render();
+        assert!(page.starts_with(expected));
+        assert!(page.contains("worker restarts     1\n"));
     }
 }

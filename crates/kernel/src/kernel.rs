@@ -323,10 +323,17 @@ impl Kernel {
     /// immediately following the last fuzzing core (a side-effect of
     /// streaming output through Docker), which is reproduced here.
     pub fn finish_round(&mut self, fuzz_cores: &[usize]) -> RoundOutput {
-        let mut round = self
-            .round
-            .take()
-            .expect("finish_round called without begin_round");
+        // The supervised recovery path can close a round that was never
+        // opened (a worker died between rounds and the observer drains the
+        // kernel before retrying); report an empty window instead of
+        // panicking the recovery thread.
+        let Some(mut round) = self.round.take() else {
+            return RoundOutput {
+                window: Usecs::ZERO,
+                per_core: vec![CpuTimes::default(); self.config.cores],
+                deferrals: self.ledger.drain(),
+            };
+        };
         let window = round.window;
         let cores = self.config.cores;
 
@@ -421,7 +428,9 @@ impl Kernel {
             let state = self.fresh_round(Usecs(u64::MAX / 4));
             self.round = Some(state);
         }
-        let round = self.round.as_mut().expect("round initialised above");
+        let Some(round) = self.round.as_mut() else {
+            return Usecs::ZERO;
+        };
         let applied = amount.min(round.remaining(core));
         round.per_core[core].charge(cat, applied);
         self.procs.charge_cpu(pid, applied);
@@ -436,7 +445,9 @@ impl Kernel {
             let state = self.fresh_round(Usecs(u64::MAX / 4));
             self.round = Some(state);
         }
-        let round = self.round.as_mut().expect("round initialised above");
+        let Some(round) = self.round.as_mut() else {
+            return Usecs::ZERO;
+        };
         let applied = amount.min(round.remaining(core));
         round.per_core[core].charge(CpuCategory::IoWait, applied);
         applied
@@ -488,7 +499,7 @@ impl Kernel {
         };
         pool.into_iter()
             .max_by_key(|&c| (remaining(c), std::cmp::Reverse(c)))
-            .expect("at least one core")
+            .unwrap_or(0) // a zero-core config has no victim to pick
     }
 
     // ------------------------------------------------------------------

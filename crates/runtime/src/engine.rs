@@ -31,6 +31,7 @@ use torpedo_kernel::syscalls::{
     fallback_signal, nr_of, ExecContext, SyscallOutcome, SyscallRequest,
 };
 use torpedo_kernel::time::Usecs;
+use torpedo_telemetry::{SpanKind, Telemetry};
 
 use std::sync::Arc;
 
@@ -208,6 +209,9 @@ pub struct Engine {
     /// Fault injector for robustness testing; `None` (the default) means
     /// every fault check is a single branch on an empty `Option`.
     faults: Option<Arc<dyn FaultInjector>>,
+    /// Span sink for the engine's share of the snapshot stage
+    /// ([`Engine::round_overhead`]); disabled (free) by default.
+    telemetry: Telemetry,
 }
 
 impl std::fmt::Debug for Engine {
@@ -237,6 +241,7 @@ impl Engine {
             warmed_runtimes: std::collections::HashSet::new(),
             startup_log: Vec::new(),
             faults: None,
+            telemetry: Telemetry::disabled(),
         };
         engine.register_runtime(Box::new(RunC::new()));
         engine.register_runtime(Box::new(Crun::new()));
@@ -259,6 +264,12 @@ impl Engine {
     /// Remove the fault injector (back to the zero-cost production path).
     pub fn clear_fault_injector(&mut self) {
         self.faults = None;
+    }
+
+    /// Install a telemetry handle; the engine's round-overhead charge then
+    /// records under the `snapshot` span (nested inside the observer's).
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Faults injected so far (all-zero when no injector is installed).
@@ -294,9 +305,10 @@ impl Engine {
         kernel: &mut Kernel,
         spec: ContainerSpec,
     ) -> Result<ContainerId, EngineError> {
-        if !self.runtimes.contains_key(spec.runtime.as_str()) {
-            return Err(EngineError::UnknownRuntime(spec.runtime.clone()));
-        }
+        let runtime = self
+            .runtimes
+            .get(spec.runtime.as_str())
+            .ok_or_else(|| EngineError::UnknownRuntime(spec.runtime.clone()))?;
         if self.containers.contains_key(&spec.name) {
             return Err(EngineError::DuplicateName(spec.name.clone()));
         }
@@ -322,9 +334,8 @@ impl Engine {
         )?;
         // Startup latency: dockerd + runtime setup; cold the first time a
         // runtime starts anything on this node (§5.1's cold-start caveat).
-        let runtime_ref = &self.runtimes[spec.runtime.as_str()];
-        let cold = self.warmed_runtimes.insert(runtime_ref.name());
-        let startup = runtime_ref.startup_cost(cold);
+        let cold = self.warmed_runtimes.insert(runtime.name());
+        let startup = runtime.startup_cost(cold);
         self.startup_log.push(startup);
         let core = spec.cpuset.first().copied().unwrap_or(0);
         let executor_pid = kernel.procs.spawn(
@@ -334,7 +345,6 @@ impl Engine {
             },
             cgroup,
         );
-        let runtime = &self.runtimes[spec.runtime.as_str()];
         let sentry_pid = if matches!(runtime.kind(), crate::RuntimeKind::Sandboxed) {
             Some(kernel.procs.spawn(
                 &format!("runsc-sandbox-{}", spec.name),
@@ -418,9 +428,11 @@ impl Engine {
 
     /// The execution policy of the runtime backing `id`.
     pub fn policy_of(&self, id: &ContainerId) -> Option<torpedo_kernel::syscalls::ExecPolicy> {
-        self.containers.get(&id.0).map(|stripe| {
+        self.containers.get(&id.0).and_then(|stripe| {
             let c = stripe.lock();
-            self.runtimes[c.spec.runtime.as_str()].policy()
+            self.runtimes
+                .get(c.spec.runtime.as_str())
+                .map(|r| r.policy())
         })
     }
 
@@ -511,7 +523,12 @@ impl Engine {
                 }),
             }
         } else {
-            let runtime = &self.runtimes[container.spec.runtime.as_str()];
+            // Hot path: a panic here takes the whole worker thread with it,
+            // so a stale runtime name degrades to a typed error instead.
+            let runtime = self
+                .runtimes
+                .get(container.spec.runtime.as_str())
+                .ok_or_else(|| EngineError::UnknownRuntime(container.spec.runtime.clone()))?;
             runtime.execute(kernel, &container.ctx, req, env)
         };
         if let Some(crash) = &exec.crash {
@@ -555,6 +572,16 @@ impl Engine {
             .get_mut(&id.0)
             .ok_or_else(|| EngineError::NoSuchContainer(id.0.clone()))?
             .get_mut();
+        // Resolve the runtime before mutating any kernel or container state:
+        // the supervised recovery path calls restart and must see an error,
+        // not a panic, if the spec references a runtime that was never
+        // registered.
+        let runtime = self
+            .runtimes
+            .get(container.spec.runtime.as_str())
+            .ok_or_else(|| EngineError::UnknownRuntime(container.spec.runtime.clone()))?;
+        let sandboxed = matches!(runtime.kind(), crate::RuntimeKind::Sandboxed);
+        let startup = runtime.startup_cost(false);
         kernel.release_process_state(container.executor_pid);
         container.executor_pid = kernel.procs.spawn(
             &format!("syz-executor-{}", container.spec.name),
@@ -564,10 +591,7 @@ impl Engine {
             container.cgroup,
         );
         container.ctx.pid = container.executor_pid;
-        if matches!(
-            self.runtimes[container.spec.runtime.as_str()].kind(),
-            crate::RuntimeKind::Sandboxed
-        ) {
+        if sandboxed {
             container.sentry_pid = Some(kernel.procs.spawn(
                 &format!("runsc-sandbox-{}", container.spec.name),
                 ProcessKind::Daemon(DaemonKind::GvisorSentry),
@@ -575,7 +599,6 @@ impl Engine {
             ));
         }
         container.state = ContainerState::Running;
-        let startup = self.runtimes[container.spec.runtime.as_str()].startup_cost(false);
         self.startup_log.push(startup);
         Ok(())
     }
@@ -628,6 +651,9 @@ impl Engine {
     /// each streaming container, the TTY/LDISC flush deferral of §3.3, and
     /// any standing runtime overhead (sentry housekeeping, VMM tax).
     pub fn round_overhead(&self, kernel: &mut Kernel, window: Usecs) {
+        // The engine's slice of the observer's snapshot stage; nested inside
+        // the observer's own snapshot span when telemetry is enabled.
+        let _span = self.telemetry.span(SpanKind::Snapshot);
         // Snapshot every stripe once, then sort by name: `containers` is a
         // HashMap, and neither its per-instance iteration order nor lock
         // timing must leak into charge order or the deferral ledger (round
@@ -642,14 +668,13 @@ impl Engine {
             .values()
             .map(|stripe| {
                 let c = stripe.lock();
-                let running = (c.state == ContainerState::Running).then(|| {
-                    (
-                        c.cgroup,
-                        c.executor_pid,
-                        c.core,
-                        self.runtimes[c.spec.runtime.as_str()].name(),
-                    )
-                });
+                let running = (c.state == ContainerState::Running)
+                    .then(|| {
+                        self.runtimes
+                            .get(c.spec.runtime.as_str())
+                            .map(|r| (c.cgroup, c.executor_pid, c.core, r.name()))
+                    })
+                    .flatten();
                 (c.spec.name.clone(), c.spec.cpuset.clone(), running)
             })
             .collect();
@@ -701,7 +726,10 @@ impl Engine {
                 "write",
             );
             // Standing runtime overhead inside the container's own budget.
-            let standing = self.runtimes[*runtime_name].standing_overhead();
+            let standing = self
+                .runtimes
+                .get(*runtime_name)
+                .map_or(0.0, |r| r.standing_overhead());
             if standing > 0.0 {
                 kernel.charge(
                     *core,

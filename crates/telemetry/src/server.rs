@@ -1,0 +1,237 @@
+//! The status endpoint: a hand-rolled HTTP/1.1 server on
+//! `std::net::TcpListener`, serving the campaign's text status page at `/`
+//! and the telemetry JSON export at `/metrics`. No external dependencies, no
+//! TLS, loopback-friendly — the same shape as syz-manager's local stats
+//! server (§2.6.2).
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crate::{CounterId, Telemetry};
+
+/// State shared between the campaign driver (which refreshes the page) and
+/// the serving thread (which renders responses from it).
+#[derive(Debug)]
+pub struct StatusShared {
+    page: Mutex<String>,
+    telemetry: Telemetry,
+}
+
+impl StatusShared {
+    /// Build shared state around a telemetry handle (which may be disabled;
+    /// `/metrics` then reports `"enabled":false`).
+    pub fn new(telemetry: Telemetry) -> StatusShared {
+        StatusShared {
+            page: Mutex::new(String::from("TORPEDO campaign status\nno rounds yet\n")),
+            telemetry,
+        }
+    }
+
+    /// Replace the text status page served at `/`.
+    pub fn set_page(&self, page: String) {
+        *self.page.lock().expect("status page lock") = page;
+    }
+
+    /// The current text status page.
+    pub fn page(&self) -> String {
+        self.page.lock().expect("status page lock").clone()
+    }
+
+    /// The telemetry handle behind `/metrics`.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+}
+
+/// A running status server. Dropping it shuts the serving thread down.
+#[derive(Debug)]
+pub struct StatusServer {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl StatusServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and start
+    /// serving `shared` on a background thread.
+    pub fn bind<A: ToSocketAddrs>(addr: A, shared: Arc<StatusShared>) -> io::Result<StatusServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stop = Arc::clone(&shutdown);
+        let handle = thread::Builder::new()
+            .name("torpedo-status".into())
+            .spawn(move || serve_loop(listener, shared, stop))?;
+        Ok(StatusServer {
+            addr,
+            shutdown,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (resolves the port when `:0` was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+}
+
+impl Drop for StatusServer {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn serve_loop(listener: TcpListener, shared: Arc<StatusShared>, shutdown: Arc<AtomicBool>) {
+    while !shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                // Serve inline: the endpoint is a low-traffic human/CI
+                // observer page, so one connection at a time is plenty.
+                let _ = handle_connection(stream, &shared);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &StatusShared) -> io::Result<()> {
+    stream.set_read_timeout(Some(Duration::from_millis(500)))?;
+    stream.set_write_timeout(Some(Duration::from_millis(500)))?;
+
+    // Read until the end of the request headers (or a small cap — the only
+    // thing we need is the request line).
+    let mut buf = Vec::with_capacity(512);
+    let mut chunk = [0u8; 512];
+    loop {
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => {
+                buf.extend_from_slice(&chunk[..n]);
+                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8 * 1024 {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(_) => break,
+        }
+    }
+
+    let request = String::from_utf8_lossy(&buf);
+    let path = parse_request_path(&request);
+    shared.telemetry.incr(CounterId::StatusRequests);
+
+    let (status, content_type, body) = match path.as_deref() {
+        Some("/") | Some("/status") => ("200 OK", "text/plain; charset=utf-8", shared.page()),
+        Some("/metrics") => ("200 OK", "application/json", shared.telemetry.export_json()),
+        Some(_) => (
+            "404 Not Found",
+            "text/plain; charset=utf-8",
+            String::from("not found\n"),
+        ),
+        None => (
+            "400 Bad Request",
+            "text/plain; charset=utf-8",
+            String::from("bad request\n"),
+        ),
+    };
+
+    let response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+/// Extract the path from an HTTP request line (`GET /metrics HTTP/1.1`),
+/// ignoring any query string.
+fn parse_request_path(request: &str) -> Option<String> {
+    let line = request.lines().next()?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next()?;
+    if method != "GET" {
+        return None;
+    }
+    let target = parts.next()?;
+    let path = target.split('?').next().unwrap_or(target);
+    Some(path.to_string())
+}
+
+/// Fetch `path` from a status server with a plain std TCP client, returning
+/// `(headers, body)`. Public so tests and the CI smoke probe can share it.
+pub fn fetch(addr: SocketAddr, path: &str) -> io::Result<(String, String)> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(5)))?;
+    let request = format!("GET {path} HTTP/1.1\r\nHost: torpedo\r\nConnection: close\r\n\r\n");
+    stream.write_all(request.as_bytes())?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    match response.split_once("\r\n\r\n") {
+        Some((head, body)) => Ok((head.to_string(), body.to_string())),
+        None => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "malformed HTTP response",
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal std-only HTTP GET against a local server; also used by the CI
+    /// smoke probe through `fetch`.
+    pub fn http_get(addr: SocketAddr, path: &str) -> io::Result<(String, String)> {
+        fetch(addr, path)
+    }
+
+    #[test]
+    fn serves_status_and_metrics() {
+        let telemetry = Telemetry::enabled();
+        telemetry.incr(CounterId::RoundsCompleted);
+        let shared = Arc::new(StatusShared::new(telemetry));
+        shared.set_page("hello torpedo\n".to_string());
+        let server = StatusServer::bind("127.0.0.1:0", Arc::clone(&shared)).unwrap();
+        let addr = server.local_addr();
+
+        let (head, body) = http_get(addr, "/").unwrap();
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("text/plain"));
+        assert_eq!(body, "hello torpedo\n");
+
+        let (head, body) = http_get(addr, "/metrics").unwrap();
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("application/json"));
+        assert!(body.contains("\"rounds_completed\":1"), "{body}");
+
+        let (head, _) = http_get(addr, "/nope").unwrap();
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+        // Three requests were counted.
+        assert_eq!(shared.telemetry().counter(CounterId::StatusRequests), 3);
+    }
+
+    #[test]
+    fn page_updates_are_visible() {
+        let shared = Arc::new(StatusShared::new(Telemetry::disabled()));
+        let server = StatusServer::bind("127.0.0.1:0", Arc::clone(&shared)).unwrap();
+        shared.set_page("round 1\n".to_string());
+        let (_, body) = http_get(server.local_addr(), "/").unwrap();
+        assert_eq!(body, "round 1\n");
+        shared.set_page("round 2\n".to_string());
+        let (_, body) = http_get(server.local_addr(), "/").unwrap();
+        assert_eq!(body, "round 2\n");
+    }
+}

@@ -42,6 +42,19 @@ run build --release --workspace
 echo "ci: cargo test"
 run test -q
 
+echo "ci: telemetry smoke (status server over loopback TCP)"
+run build --release -p torpedo-bench --bin status_probe
+./target/release/status_probe --self-test
+
+echo "ci: results freshness (regenerate tables, diff against committed)"
+regen_dir=$(mktemp -d)
+OUT_DIR="$regen_dir" TORPEDO_OFFLINE="$TORPEDO_OFFLINE" devtools/regen-results.sh
+if ! diff -ru results "$regen_dir"; then
+  echo "ci: results/ is stale — run devtools/regen-results.sh and commit" >&2
+  exit 1
+fi
+rm -rf "$regen_dir"
+
 echo "ci: bench smoke (devtools/bench.sh --quick)"
 # Snapshot the committed baseline before the quick run overwrites it. The
 # quick run measures the same fuzz_throughput campaign workload as the full
@@ -54,7 +67,7 @@ fi
 TORPEDO_OFFLINE="$TORPEDO_OFFLINE" devtools/bench.sh --quick
 for key in '"dispatch"' '"nr_of_speedup"' '"fuzz_throughput"' '"execs_per_sec"' \
            '"mutations_per_sec"' '"shard_scaling"' '"scaling_efficiency"' \
-           '"contention"'; do
+           '"contention"' '"latency"' '"round_latency_ns"' '"lock_wait_ns"'; do
   grep -q "$key" BENCH_fuzz.json \
     || { echo "ci: BENCH_fuzz.json missing $key" >&2; exit 1; }
 done

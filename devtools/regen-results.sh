@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Regenerate every committed table in results/ from the current tree.
+#
+# The table binaries are deterministic (fixed campaign seeds), so the
+# captured outputs must match a fresh run of HEAD exactly; ci.sh uses this
+# script with OUT_DIR pointed at a temp directory and diffs against the
+# committed files to catch stale results.
+#
+# Usage:
+#   devtools/regen-results.sh               # rewrite results/ in place
+#   OUT_DIR=/tmp/x devtools/regen-results.sh  # write elsewhere (CI diff)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT_DIR="${OUT_DIR:-results}"
+mkdir -p "$OUT_DIR"
+
+if [[ "${TORPEDO_OFFLINE:-}" == "" ]]; then
+  if ! cargo fetch >/dev/null 2>&1; then
+    echo "regen-results: dependency fetch failed; falling back to offline stubs" >&2
+    TORPEDO_OFFLINE=1
+  else
+    TORPEDO_OFFLINE=0
+  fi
+fi
+
+run() {
+  if [[ "$TORPEDO_OFFLINE" == "1" ]]; then
+    devtools/offline-check.sh "$@"
+  else
+    cargo "$@"
+  fi
+}
+
+BINS=(table_4_1 table_4_2 table_4_3 appendix_tables state_machines ablations)
+
+echo "regen-results: building table binaries (release)"
+build_args=(build --release -p torpedo-bench)
+for bin in "${BINS[@]}"; do
+  build_args+=(--bin "$bin")
+done
+run "${build_args[@]}"
+
+for bin in "${BINS[@]}"; do
+  echo "regen-results: $bin -> $OUT_DIR/$bin.txt"
+  ./target/release/"$bin" > "$OUT_DIR/$bin.txt" 2>/dev/null
+done
+
+echo "regen-results: done"

@@ -1,0 +1,172 @@
+//! Observability-layer integration tests: the status endpoint end to end
+//! over real TCP, the `/metrics` schema contract, and the zero-perturbation
+//! property — a campaign's results are byte-identical with telemetry on or
+//! off.
+
+use proptest::prelude::*;
+
+use torpedo_core::campaign::{Campaign, CampaignConfig, CampaignReport};
+use torpedo_core::logfmt::{parse_metrics, write_round};
+use torpedo_core::observer::ObserverConfig;
+use torpedo_core::seeds::{default_denylist, SeedCorpus};
+use torpedo_core::stats::CampaignStats;
+use torpedo_kernel::Usecs;
+use torpedo_oracle::CpuOracle;
+use torpedo_prog::{build_table, SyscallDesc};
+use torpedo_telemetry::server::fetch;
+use torpedo_telemetry::{CounterId, Telemetry};
+
+const SEED_POOL: [&str; 4] = [
+    "sync()\n",
+    "getpid()\n",
+    "r0 = socket(0x10, 0x3, 0x9)\nsendto(r0, 0x0, 0x24, 0x0, 0x0, 0xc)\n",
+    "sync()\ngetpid()\nsync()\n",
+];
+
+fn small_config(telemetry: Telemetry, parallel: bool) -> CampaignConfig {
+    CampaignConfig {
+        observer: ObserverConfig {
+            window: Usecs::from_secs(1),
+            executors: 2,
+            telemetry,
+            ..ObserverConfig::default()
+        },
+        max_rounds_per_batch: 2,
+        parallel,
+        ..CampaignConfig::default()
+    }
+}
+
+fn run_small(config: CampaignConfig) -> (CampaignReport, Vec<SyscallDesc>) {
+    let table = build_table();
+    let seeds = SeedCorpus::load(&SEED_POOL[..2], &table, &default_denylist()).unwrap();
+    let report = Campaign::new(config, table.clone())
+        .run(&seeds, &CpuOracle::new())
+        .unwrap();
+    (report, table)
+}
+
+/// The full loop: campaign binds the status server, serves live pages during
+/// the run, and keeps the final stats page plus `/metrics` up after `run`
+/// returns (the campaign owns the server, not the run).
+#[test]
+fn status_endpoint_serves_stats_and_metrics_end_to_end() {
+    let table = build_table();
+    let seeds = SeedCorpus::load(&SEED_POOL[..3], &table, &default_denylist()).unwrap();
+    let mut config = small_config(Telemetry::enabled(), true);
+    config.status_addr = Some("127.0.0.1:0".to_string());
+    let telemetry = config.observer.telemetry.clone();
+    let campaign = Campaign::new(config, table);
+    let report = campaign.run(&seeds, &CpuOracle::new()).unwrap();
+    let addr = campaign.status_local_addr().expect("server bound by run()");
+
+    // `/` is the final stats page once the run finishes.
+    let (status, page) = fetch(addr, "/").unwrap();
+    assert!(status.contains("200 OK"), "{status}");
+    assert_eq!(page, CampaignStats::from_report(&report).render());
+
+    // `/metrics` round-trips through the schema parser and carries the
+    // round-latency and lock-wait histograms the bench consumes.
+    let (status, body) = fetch(addr, "/metrics").unwrap();
+    assert!(status.contains("200 OK"), "{status}");
+    let snapshot = parse_metrics(&body).unwrap();
+    assert!(snapshot.enabled);
+    let hist = |name: &str| {
+        snapshot
+            .histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h.clone())
+            .unwrap_or_else(|| panic!("missing histogram {name}"))
+    };
+    assert_eq!(hist("round_latency_ns").count, report.rounds_total);
+    assert!(
+        hist("lock_wait_ns").count > 0,
+        "parallel rounds must record lock waits"
+    );
+    let counters: std::collections::BTreeMap<_, _> = snapshot.counters.iter().cloned().collect();
+    assert_eq!(counters["rounds_completed"], report.rounds_total);
+    assert!(counters["execs_total"] > 0);
+    assert_eq!(
+        counters["rounds_completed"],
+        telemetry.counter(CounterId::RoundsCompleted)
+    );
+    // The probe requests themselves are counted (this fetch sees the two
+    // fetches above already served).
+    assert!(counters["status_requests"] >= 1);
+
+    // Unknown routes 404, and the server survives to answer again.
+    let (status, _) = fetch(addr, "/nope").unwrap();
+    assert!(status.contains("404"), "{status}");
+    let (status, _) = fetch(addr, "/status").unwrap();
+    assert!(status.contains("200 OK"), "{status}");
+}
+
+/// `serve_status` is idempotent and usable without a run for tooling that
+/// wants the endpoint before the campaign starts.
+#[test]
+fn serve_status_is_idempotent() {
+    let table = build_table();
+    let campaign = Campaign::new(small_config(Telemetry::enabled(), false), table);
+    let first = campaign.serve_status("127.0.0.1:0").unwrap();
+    let second = campaign.serve_status("127.0.0.1:0").unwrap();
+    assert_eq!(first, second, "rebinding must reuse the live server");
+    let (status, page) = fetch(first, "/").unwrap();
+    assert!(status.contains("200 OK"), "{status}");
+    assert!(page.contains("TORPEDO"), "{page}");
+}
+
+/// A campaign without `status_addr` binds nothing.
+#[test]
+fn no_status_server_by_default() {
+    let (report, _) = run_small(small_config(Telemetry::disabled(), false));
+    assert!(report.rounds_total > 0);
+}
+
+fn report_fingerprint(report: &CampaignReport, table: &[SyscallDesc]) -> String {
+    let logs: String = report.logs.iter().map(|l| write_round(l, table)).collect();
+    format!(
+        "rounds={} signals={} corpus={} flagged={} crashes={} logs:\n{logs}",
+        report.rounds_total,
+        report.coverage_signals,
+        report.corpus.len(),
+        report.flagged.len(),
+        report.crashes.len(),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Telemetry records timing; it must never influence results. For any
+    /// small campaign shape, the report with telemetry enabled is identical
+    /// to the report with the no-op handle.
+    #[test]
+    fn telemetry_on_and_off_reports_are_identical(
+        seed in any::<u64>(),
+        nseeds in 1usize..=SEED_POOL.len(),
+        executors in 1usize..3,
+        parallel in any::<bool>(),
+    ) {
+        let table = build_table();
+        let corpus = SeedCorpus::load(&SEED_POOL[..nseeds], &table, &default_denylist()).unwrap();
+        let run = |telemetry: Telemetry| {
+            let mut config = small_config(telemetry, parallel);
+            config.seed = seed;
+            config.observer.executors = executors;
+            Campaign::new(config, table.clone())
+                .run(&corpus, &CpuOracle::new())
+                .unwrap()
+        };
+        let off = run(Telemetry::disabled());
+        let on = run(Telemetry::enabled());
+        prop_assert_eq!(
+            report_fingerprint(&off, &table),
+            report_fingerprint(&on, &table)
+        );
+        prop_assert_eq!(
+            CampaignStats::from_report(&off),
+            CampaignStats::from_report(&on)
+        );
+    }
+}
