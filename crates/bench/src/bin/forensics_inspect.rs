@@ -1,0 +1,336 @@
+//! `forensics_inspect`: load a `torpedo-forensics-v1` bundle, print what the
+//! flight recorder captured, and optionally replay the embedded program
+//! against the simulated kernel to reconfirm the finding.
+//!
+//! Modes:
+//!
+//! * `forensics_inspect BUNDLE.json` — parse the bundle and print a summary:
+//!   lineage chain, score trajectory, violations, deferral excerpt,
+//!   minimization.
+//! * `forensics_inspect --replay BUNDLE.json` — additionally re-run the
+//!   program solo under the bundle's runtime. Flag bundles must reproduce
+//!   the recorded oracle violation (every minimization kind when one is
+//!   embedded — those came from the same deterministic harness — otherwise
+//!   at least one of the flagged round's kinds, ignoring the
+//!   environment-dependent system-process heuristic). Crash bundles must
+//!   crash the container again.
+//! * `forensics_inspect --self-test` — run a small forensics-enabled
+//!   campaign, write its first bundle to a temp file, reload it, and replay.
+//!   The CI smoke test; exits non-zero on any mismatch.
+
+use torpedo_core::campaign::{Campaign, CampaignConfig};
+use torpedo_core::crash::crashes_once;
+use torpedo_core::forensics::{parse_bundle, BundleKind, ForensicsBundle};
+use torpedo_core::minimize::ViolationHarness;
+use torpedo_core::observer::ObserverConfig;
+use torpedo_core::seeds::{default_denylist, SeedCorpus};
+use torpedo_kernel::{KernelConfig, Usecs};
+use torpedo_oracle::violation::{violation_kinds, HeuristicKind};
+use torpedo_oracle::{CpuOracle, IoOracle, Oracle};
+use torpedo_prog::{build_table, deserialize};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("--self-test") => self_test(),
+        Some("--replay") => match args.get(1) {
+            Some(path) => inspect(path, true),
+            None => usage(),
+        },
+        Some(path) => inspect(path, false),
+        None => usage(),
+    };
+    std::process::exit(code);
+}
+
+fn usage() -> i32 {
+    eprintln!("usage: forensics_inspect [--replay] BUNDLE.json | forensics_inspect --self-test");
+    2
+}
+
+fn inspect(path: &str, replay: bool) -> i32 {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("forensics_inspect: cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let bundle = match parse_bundle(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("forensics_inspect: {path} is not a valid bundle: {e}");
+            return 1;
+        }
+    };
+    print!("{}", summarize(&bundle));
+    if !replay {
+        return 0;
+    }
+    match replay_bundle(&bundle) {
+        Ok(note) => {
+            println!("replay              reconfirmed ({note})");
+            0
+        }
+        Err(e) => {
+            eprintln!("forensics_inspect: replay did NOT reconfirm: {e}");
+            1
+        }
+    }
+}
+
+fn summarize(bundle: &ForensicsBundle) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "bundle              {} on {} (shard {}, batch {}, round {})\n\
+         score               {:.2}\n\
+         program             {} call(s)\n",
+        bundle.kind.as_str(),
+        bundle.runtime,
+        bundle.shard,
+        bundle.batch,
+        bundle.round,
+        bundle.score,
+        bundle.program.lines().count(),
+    ));
+    for line in bundle.program.lines() {
+        out.push_str(&format!("  | {line}\n"));
+    }
+    out.push_str(&format!(
+        "violations          {}\n",
+        bundle.violations.len()
+    ));
+    for v in &bundle.violations {
+        out.push_str(&format!(
+            "  {} (core {:?}, measured {:.2} vs threshold {:.2})\n",
+            v.heuristic.as_str(),
+            v.core,
+            v.measured,
+            v.threshold
+        ));
+    }
+    out.push_str(&format!(
+        "lineage             {} record(s), newest first\n",
+        bundle.lineage.len()
+    ));
+    for r in &bundle.lineage {
+        out.push_str(&format!(
+            "  {} <- {} via {} at round {} (score {:.2} -> {})\n",
+            r.id,
+            r.parent.map_or("seed".to_string(), |p| p.to_string()),
+            r.op.map_or("root", |op| op.as_str()),
+            r.round,
+            r.pre_score,
+            r.post_score
+                .map_or("unmeasured".to_string(), |s| format!("{s:.2}")),
+        ));
+    }
+    out.push_str(&format!(
+        "trajectory          {} point(s)",
+        bundle.trajectory.len()
+    ));
+    if let (Some(first), Some(last)) = (bundle.trajectory.first(), bundle.trajectory.last()) {
+        out.push_str(&format!(
+            ", {:.2} at round {} -> {:.2} at round {}",
+            first.score, first.round, last.score, last.round
+        ));
+    }
+    out.push('\n');
+    out.push_str(&format!(
+        "per-core snapshot   {} core(s)\ndeferral excerpt    {} event(s)\n",
+        bundle.per_core.len(),
+        bundle.deferrals.len()
+    ));
+    for d in bundle.deferrals.iter().take(5) {
+        out.push_str(&format!(
+            "  {} via {} on core {} ({} us)\n",
+            d.channel, d.syscall, d.core, d.cost_us
+        ));
+    }
+    match &bundle.minimization {
+        Some(m) => out.push_str(&format!(
+            "minimized           {} call(s) removed in {} evaluation(s), preserves [{}]\n",
+            m.removed,
+            m.evaluations,
+            m.kinds
+                .iter()
+                .map(|k| k.as_str())
+                .collect::<Vec<_>>()
+                .join(", "),
+        )),
+        None => out.push_str("minimized           no\n"),
+    }
+    out
+}
+
+/// Re-run the bundle's program against a fresh simulated kernel and check
+/// that the finding reproduces. Returns a human-readable note on success.
+fn replay_bundle(bundle: &ForensicsBundle) -> Result<String, String> {
+    let table = build_table();
+    // Prefer the minimized reproducer: it is the artifact the bundle claims
+    // explains the finding.
+    let text = bundle
+        .minimization
+        .as_ref()
+        .map_or(bundle.program.as_str(), |m| m.program.as_str());
+    let program =
+        deserialize(text, &table).map_err(|e| format!("embedded program does not parse: {e}"))?;
+    let kernel_config = KernelConfig::default();
+
+    match bundle.kind {
+        BundleKind::Crash => {
+            let crashed =
+                (0..3).any(|_| crashes_once(&program, &table, &kernel_config, &bundle.runtime));
+            if crashed {
+                Ok(format!("container crash on {}", bundle.runtime))
+            } else {
+                Err(format!("program no longer crashes {}", bundle.runtime))
+            }
+        }
+        BundleKind::Quarantine => {
+            // Quarantine is triggered by repeated executor-killing crashes.
+            let crashed =
+                (0..3).any(|_| crashes_once(&program, &table, &kernel_config, &bundle.runtime));
+            Ok(if crashed {
+                format!("still crashes {}", bundle.runtime)
+            } else {
+                "no longer crashes solo (quarantine was behavioral)".to_string()
+            })
+        }
+        BundleKind::Flag => {
+            let harness = ViolationHarness::new(kernel_config, &bundle.runtime);
+            // The CPU and I/O oracles watch disjoint heuristics; replay
+            // under both so the bundle's violation kinds are reachable
+            // whichever oracle flagged the campaign.
+            let cpu = CpuOracle::new();
+            let io = IoOracle::new();
+            let mut flags = harness.violations(&program, &table, &cpu as &dyn Oracle);
+            flags.extend(harness.violations(&program, &table, &io as &dyn Oracle));
+            let got = violation_kinds(&flags);
+            match &bundle.minimization {
+                // The minimization's kinds came from this same deterministic
+                // harness (under the campaign's oracle), so every recorded
+                // kind must reproduce; the second oracle may add more.
+                Some(m) if !m.kinds.is_empty() => {
+                    if m.kinds.iter().all(|k| got.contains(k)) {
+                        Ok(format!(
+                            "all minimized violation kinds [{}]",
+                            kinds_str(&m.kinds)
+                        ))
+                    } else {
+                        Err(format!(
+                            "minimized reproducer yields [{}], bundle recorded [{}]",
+                            kinds_str(&got),
+                            kinds_str(&m.kinds)
+                        ))
+                    }
+                }
+                // The flagged round ran a whole batch; solo replay can shift
+                // kinds, so require overlap on the program-attributable ones.
+                _ => {
+                    let mut wanted: Vec<HeuristicKind> = bundle
+                        .violations
+                        .iter()
+                        .map(|v| v.heuristic)
+                        .filter(|k| *k != HeuristicKind::SystemProcessAboveBaseline)
+                        .collect();
+                    wanted.dedup();
+                    if wanted.is_empty() {
+                        if got.is_empty() {
+                            return Err("solo replay produced no violations".to_string());
+                        }
+                        return Ok(format!("violations [{}]", kinds_str(&got)));
+                    }
+                    if wanted.iter().any(|k| got.contains(k)) {
+                        Ok(format!("shared violation kinds [{}]", kinds_str(&got)))
+                    } else {
+                        Err(format!(
+                            "solo replay yields [{}], flagged round had [{}]",
+                            kinds_str(&got),
+                            kinds_str(&wanted)
+                        ))
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn kinds_str(kinds: &[HeuristicKind]) -> String {
+    kinds
+        .iter()
+        .map(|k| k.as_str())
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn self_test() -> i32 {
+    let table = build_table();
+    // The sync() storm is the deterministic solo-reproducible pattern (the
+    // minimization tests pin it): the I/O oracle flags it both in the
+    // campaign round and under the replay harness.
+    let seeds = SeedCorpus::load(
+        &["sync()\nsync()\n", "getpid()\n"],
+        &table,
+        &default_denylist(),
+    )
+    .expect("seed corpus");
+    let config = CampaignConfig {
+        observer: ObserverConfig {
+            window: Usecs::from_secs(1),
+            executors: 2,
+            collider: true,
+            ..ObserverConfig::default()
+        },
+        max_rounds_per_batch: 4,
+        forensics: true,
+        ..CampaignConfig::default()
+    };
+    let report = Campaign::new(config, table)
+        .run(&seeds, &IoOracle::new())
+        .expect("forensics campaign");
+    // A flag bundle whose minimization succeeded: its kinds came from the
+    // replay harness itself, so the replay below must match them exactly.
+    let Some(bundle) = report.forensics.iter().find(|b| {
+        b.kind == BundleKind::Flag && b.minimization.as_ref().is_some_and(|m| !m.kinds.is_empty())
+    }) else {
+        eprintln!("forensics_inspect: self-test campaign produced no minimized flag bundle");
+        return 1;
+    };
+
+    // Round-trip through a real file like a user would.
+    let path = std::env::temp_dir().join(format!(
+        "torpedo-forensics-self-test-{}.json",
+        std::process::id()
+    ));
+    if let Err(e) = std::fs::write(&path, bundle.to_json()) {
+        eprintln!("forensics_inspect: cannot write {}: {e}", path.display());
+        return 1;
+    }
+    let text = std::fs::read_to_string(&path).expect("reread bundle");
+    let _ = std::fs::remove_file(&path);
+    let reloaded = match parse_bundle(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("forensics_inspect: self-test bundle does not round-trip: {e}");
+            return 1;
+        }
+    };
+    if reloaded != *bundle {
+        eprintln!("forensics_inspect: reloaded bundle differs from the original");
+        return 1;
+    }
+    match replay_bundle(&reloaded) {
+        Ok(note) => {
+            eprintln!(
+                "forensics_inspect: self-test ok ({} bundles, replay {note})",
+                report.forensics.len()
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("forensics_inspect: self-test replay failed: {e}");
+            1
+        }
+    }
+}

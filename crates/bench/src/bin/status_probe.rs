@@ -14,14 +14,15 @@
 use std::net::SocketAddr;
 
 use torpedo_core::campaign::{Campaign, CampaignConfig};
+use torpedo_core::logfmt::parse_json;
 use torpedo_core::logfmt::parse_metrics;
 use torpedo_core::observer::ObserverConfig;
 use torpedo_core::seeds::{default_denylist, SeedCorpus};
 use torpedo_kernel::Usecs;
 use torpedo_oracle::CpuOracle;
 use torpedo_prog::build_table;
-use torpedo_telemetry::server::fetch;
-use torpedo_telemetry::Telemetry;
+use torpedo_telemetry::server::{fetch, request};
+use torpedo_telemetry::{check_exposition, Telemetry};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -119,6 +120,64 @@ fn self_test() -> i32 {
         eprintln!("status_probe: expected 404, got {status}");
         return 1;
     }
-    eprintln!("status_probe: self-test ok ({rounds} rounds at {addr})");
+
+    // Prometheus exposition: must parse under the exposition-format checker
+    // and carry at least the enabled gauge plus the counters.
+    let (status, prom) = fetch(addr, "/metrics.prom").expect("fetch /metrics.prom");
+    if !status.contains("200") {
+        eprintln!("status_probe: /metrics.prom returned {status}");
+        return 1;
+    }
+    let samples = match check_exposition(&prom) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("status_probe: /metrics.prom exposition violation: {e}\n{prom}");
+            return 1;
+        }
+    };
+    if !prom.contains("torpedo_telemetry_enabled 1") || !prom.contains("torpedo_rounds_completed") {
+        eprintln!("status_probe: /metrics.prom missing expected families:\n{prom}");
+        return 1;
+    }
+
+    // Chrome trace: must be valid JSON with a traceEvents array.
+    let (status, trace) = fetch(addr, "/trace.json").expect("fetch /trace.json");
+    if !status.contains("200") {
+        eprintln!("status_probe: /trace.json returned {status}");
+        return 1;
+    }
+    let events = match parse_json(&trace) {
+        Ok(doc) => doc
+            .get("traceEvents")
+            .and_then(|e| e.as_array().map(<[_]>::len)),
+        Err(e) => {
+            eprintln!("status_probe: /trace.json is not valid JSON: {e}");
+            return 1;
+        }
+    };
+    let Some(events) = events else {
+        eprintln!("status_probe: /trace.json has no traceEvents array");
+        return 1;
+    };
+
+    // HEAD and unknown methods must answer promptly with proper statuses.
+    let (status, body) = request(addr, "HEAD", "/").expect("HEAD /");
+    if !status.contains("200") || !body.is_empty() {
+        eprintln!(
+            "status_probe: HEAD / returned {status} with {}B body",
+            body.len()
+        );
+        return 1;
+    }
+    let (status, _) = request(addr, "POST", "/").expect("POST /");
+    if !status.contains("405") {
+        eprintln!("status_probe: POST / expected 405, got {status}");
+        return 1;
+    }
+
+    eprintln!(
+        "status_probe: self-test ok ({rounds} rounds, {samples} prom samples, \
+         {events} trace events at {addr})"
+    );
     0
 }

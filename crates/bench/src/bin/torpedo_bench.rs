@@ -258,6 +258,9 @@ fn bench_shard_scaling(quick: bool) -> String {
         )
         .unwrap();
         let host = start.elapsed().as_secs_f64().max(1e-9);
+        // Per-shard breakdown on stderr (progress channel; the JSON schema
+        // below stays unchanged) so imbalance is visible at a glance.
+        eprint!("{}", report.render_metrics());
         let eps = report.executions as f64 / host;
         let base = *baseline_eps.get_or_insert(eps);
         // Speedup is throughput vs. the 1-shard run; efficiency divides by

@@ -123,6 +123,13 @@ impl BatchMachine {
         self.rounds_without_improvement
     }
 
+    /// The last confirmed baseline: the program set a failed confirmation
+    /// reverts to. Forensics uses this to tell a reverted program (its id
+    /// reappears here) from a genuinely new mutant.
+    pub fn baseline(&self) -> &[Arc<Program>] {
+        &self.saved
+    }
+
     /// Feed the score of the round that just ran over `programs`; the
     /// machine may mutate `programs` (revert on rejected confirmation,
     /// shuffle on entering confirmation). Returns the verdict and the next
@@ -219,6 +226,29 @@ mod tests {
         assert_eq!(a, BatchAction::MutateAndRun);
         assert!((machine.best_score() - 30.0).abs() < 1e-9);
         assert_eq!(machine.stale_rounds(), 0);
+    }
+
+    #[test]
+    fn baseline_tracks_the_last_confirmed_set() {
+        let mut progs = programs();
+        let mut machine = BatchMachine::new(BatchConfig::default(), &progs);
+        let mut r = rng();
+        // The initial batch is the first baseline.
+        assert_eq!(machine.baseline().len(), progs.len());
+        let before: Vec<_> = machine.baseline().to_vec();
+        machine.on_round(30.0, &mut progs, &mut r); // → confirm (shuffles)
+        machine.on_round(29.0, &mut progs, &mut r); // confirmed
+                                                    // Confirmation replaced the baseline with the shuffled batch
+                                                    // (same programs, Arc-shared — compare as sets).
+        let mut now: Vec<String> = machine
+            .baseline()
+            .iter()
+            .map(|p| format!("{p:?}"))
+            .collect();
+        let mut orig: Vec<String> = before.iter().map(|p| format!("{p:?}")).collect();
+        now.sort();
+        orig.sort();
+        assert_eq!(now, orig);
     }
 
     #[test]

@@ -23,6 +23,11 @@ use torpedo_telemetry::{safe_div, CounterId, SpanKind, StatusServer, StatusShare
 use crate::batch::{BatchAction, BatchConfig, BatchMachine};
 use crate::crash::{reproduce_and_minimize, CrashRecord};
 use crate::error::TorpedoError;
+use crate::forensics::{
+    deferral_excerpt, BundleKind, FlightRecorder, ForensicsBundle, MinimizationSummary,
+    FORENSICS_MINIMIZE_CAP,
+};
+use crate::minimize::{minimize_with_oracle, ViolationHarness};
 use crate::observer::{Observer, ObserverConfig, RoundRecord};
 use crate::parallel::ParallelObserver;
 use crate::prog_sm::{ProgEvent, ProgramStateMachine};
@@ -52,8 +57,19 @@ pub struct CampaignConfig {
     /// Bind a syz-manager-style status endpoint here (e.g.
     /// `"127.0.0.1:8090"`) for the duration of the run. `None` (the
     /// default) serves nothing. `/` is the text status page, `/metrics`
-    /// the telemetry JSON.
+    /// the telemetry JSON, `/metrics.prom` the Prometheus exposition,
+    /// `/trace.json` the Chrome trace.
     pub status_addr: Option<String>,
+    /// Record finding forensics: mutation lineage, per-batch score
+    /// trajectories, and a [`ForensicsBundle`] per flag / crash /
+    /// quarantine in [`CampaignReport::forensics`]. Off by default; the
+    /// recorder never touches the campaign RNG, so every other report
+    /// field is byte-identical with this on or off.
+    pub forensics: bool,
+    /// The shard this campaign runs as (stamped into lineage records and
+    /// bundles; [`crate::shard::run_sharded`] sets it, standalone
+    /// campaigns leave the default 0).
+    pub shard_index: usize,
 }
 
 impl Default for CampaignConfig {
@@ -68,6 +84,8 @@ impl Default for CampaignConfig {
             crash_repro_attempts: 3,
             parallel: false,
             status_addr: None,
+            forensics: false,
+            shard_index: 0,
         }
     }
 }
@@ -133,6 +151,9 @@ pub struct CampaignReport {
     pub faults_injected: FaultCounters,
     /// Programs quarantined for repeatedly killing executors (serialized).
     pub quarantined: Vec<String>,
+    /// Forensics bundles, one per flag / crash / quarantine event. Empty
+    /// unless [`CampaignConfig::forensics`] was set.
+    pub forensics: Vec<ForensicsBundle>,
 }
 
 /// Dispatch between the sequential and threaded observers.
@@ -282,7 +303,10 @@ impl Campaign {
         let telemetry = self.config.observer.telemetry.clone();
         if let Some(addr) = &self.config.status_addr {
             self.serve_status(addr)
-                .map_err(|e| TorpedoError::Internal(format!("status server bind: {e}")))?;
+                .map_err(|e| TorpedoError::StatusBind {
+                    addr: addr.clone(),
+                    source: e,
+                })?;
         }
         let status = self.status_shared();
         let mut observer = Driver::new(
@@ -294,7 +318,16 @@ impl Campaign {
         let mut logs: Vec<RoundLog> = Vec::new();
         let mut corpus = Corpus::new();
         let mut coverage = CoverageSet::new();
-        let mut raw_crashes: Vec<(ContainerCrash, Arc<Program>)> = Vec::new();
+        // Crash provenance rides along as (batch, round) so a bundle can
+        // point back at the round that killed the container.
+        let mut raw_crashes: Vec<(ContainerCrash, Arc<Program>, usize, u64)> = Vec::new();
+        // The flight recorder exists only when forensics is on; every hook
+        // below is a no-op `if let` otherwise, and none of them touch the
+        // campaign RNG — reports are byte-identical either way.
+        let mut recorder = self
+            .config
+            .forensics
+            .then(|| FlightRecorder::new(self.config.shard_index));
         let mut rounds_total = 0u64;
         // Live-page accumulators (only consulted when a status endpoint is
         // up, but cheap enough to keep unconditionally).
@@ -321,6 +354,11 @@ impl Campaign {
             // Cached ids, maintained incrementally: recomputed only when a
             // program actually changes (mutation, crash swap, shuffle).
             let mut prog_ids: Vec<ProgramId> = programs.iter().map(|p| ProgramId::of(p)).collect();
+            if let Some(rec) = recorder.as_mut() {
+                for &id in &prog_ids {
+                    rec.record_root(id, batch_idx, rounds_total + 1);
+                }
+            }
             let mut machine = BatchMachine::new(self.config.batch.clone(), &programs);
             let mut prog_machines: Vec<ProgramStateMachine> = programs
                 .iter()
@@ -336,6 +374,11 @@ impl Campaign {
                     let _oracle_span = telemetry.span(SpanKind::Oracle);
                     oracle.score(&record.observation)
                 };
+                if let Some(rec) = recorder.as_mut() {
+                    // Before crash swaps below: these ids are the programs
+                    // that actually ran this round.
+                    rec.observe_round(batch_idx, rounds_total, score, &prog_ids);
+                }
 
                 // Coverage feedback → per-program state machines → corpus.
                 // The threaded observer reports one slot per *worker*; slots
@@ -376,18 +419,34 @@ impl Campaign {
                     // Crashes: record, restart, and swap in a fresh program.
                     // A program that keeps killing executors is quarantined.
                     if let Some(crash) = &report.crash {
-                        raw_crashes.push((crash.clone(), Arc::clone(&programs[i])));
+                        raw_crashes.push((
+                            crash.clone(),
+                            Arc::clone(&programs[i]),
+                            batch_idx,
+                            rounds_total,
+                        ));
                         let key = prog_ids[i];
                         let count = crash_counts.entry(key).or_insert(0);
                         *count += 1;
                         if *count >= quarantine_threshold && quarantined_ids.insert(key) {
                             quarantined.insert(torpedo_prog::serialize(&programs[i], &self.table));
+                            if let Some(rec) = recorder.as_mut() {
+                                rec.record_quarantine(
+                                    key,
+                                    Arc::clone(&programs[i]),
+                                    batch_idx,
+                                    rounds_total,
+                                );
+                            }
                         }
                         observer.restart_crashed()?;
                         let (fresh, fresh_id) = self.fresh_program(&quarantined_ids, &mut rng);
                         programs[i] = Arc::new(fresh);
                         prog_ids[i] = fresh_id;
                         prog_machines[i] = ProgramStateMachine::new();
+                        if let Some(rec) = recorder.as_mut() {
+                            rec.record_root(fresh_id, batch_idx, rounds_total + 1);
+                        }
                     }
                 }
 
@@ -411,7 +470,7 @@ impl Campaign {
                     live_execs += log.executions;
                     live_vtime += log.observation.window;
                     live_best = live_best.max(score);
-                    shared.set_page(live_status_page(
+                    let mut page = live_status_page(
                         rounds_total,
                         live_execs,
                         live_vtime,
@@ -420,7 +479,9 @@ impl Campaign {
                         coverage.len(),
                         raw_crashes.len(),
                         &observer.recovery(),
-                    ));
+                    );
+                    page.push_str(&crate::stats::telemetry_saturation_section(&telemetry));
+                    shared.set_page(page);
                 }
 
                 // Batch machine decides what happens next.
@@ -438,11 +499,17 @@ impl Campaign {
                         let _mutate_span = telemetry.span(SpanKind::Mutate);
                         telemetry.add(CounterId::MutationsTotal, programs.len() as u64);
                         for (idx, program) in programs.iter_mut().enumerate() {
+                            // Lineage parent: hash the program *before* the
+                            // in-place mutation overwrites it. `prog_ids[idx]`
+                            // can be stale here if the machine just reverted
+                            // the batch; hashing is RNG-free so determinism
+                            // holds with forensics on or off.
+                            let parent_id = recorder.as_ref().map(|_| ProgramId::of(program));
                             let donor_pick = rand::Rng::gen_range(&mut rng, 0.0..1.0f64);
                             let donor = corpus.donor(donor_pick).cloned();
                             // Copy-on-write: only the program being rewritten
                             // is materialized; every other handle stays shared.
-                            mutator.mutate(
+                            let op = mutator.mutate(
                                 Arc::make_mut(program),
                                 &self.table,
                                 donor.as_deref(),
@@ -451,13 +518,30 @@ impl Campaign {
                             // Mutation must not resurrect a quarantined
                             // executor-killer.
                             let mut id = ProgramId::of(program);
+                            let mut regenerated = false;
                             if quarantined_ids.contains(&id) {
                                 let (fresh, fresh_id) =
                                     self.fresh_program(&quarantined_ids, &mut rng);
                                 *program = Arc::new(fresh);
                                 id = fresh_id;
+                                regenerated = true;
                             }
                             prog_ids[idx] = id;
+                            if let Some(rec) = recorder.as_mut() {
+                                if regenerated {
+                                    rec.record_root(id, batch_idx, rounds_total + 1);
+                                } else {
+                                    rec.record_mutation(
+                                        id,
+                                        parent_id.expect("captured before mutation"),
+                                        donor.as_ref().map(|d| ProgramId::of(d)),
+                                        op,
+                                        batch_idx,
+                                        rounds_total + 1,
+                                        score,
+                                    );
+                                }
+                            }
                         }
                     }
                 }
@@ -495,9 +579,13 @@ impl Campaign {
         telemetry.add(CounterId::FlaggedTotal, flagged.len() as u64);
 
         // Crash reproduction + minimization.
-        let crashes = raw_crashes
+        let crash_sites: Vec<(usize, u64)> = raw_crashes
+            .iter()
+            .map(|(_, _, batch, round)| (*batch, *round))
+            .collect();
+        let crashes: Vec<CrashRecord> = raw_crashes
             .into_iter()
-            .map(|(crash, program)| {
+            .map(|(crash, program, _, _)| {
                 reproduce_and_minimize(
                     crash,
                     program,
@@ -508,6 +596,16 @@ impl Campaign {
                 )
             })
             .collect();
+
+        let forensics = match recorder.as_ref() {
+            Some(rec) => {
+                let bundles =
+                    self.assemble_bundles(rec, oracle, &logs, &flagged, &crashes, &crash_sites);
+                telemetry.add(CounterId::ForensicsBundles, bundles.len() as u64);
+                bundles
+            }
+            None => Vec::new(),
+        };
 
         let mut recovery = observer.recovery();
         recovery.quarantined_programs = quarantined.len() as u64;
@@ -521,14 +619,127 @@ impl Campaign {
             recovery,
             faults_injected: observer.fault_counters(),
             quarantined: quarantined.into_iter().collect(),
+            forensics,
         };
         telemetry.add(CounterId::FaultsInjected, report.faults_injected.total());
         if let Some(shared) = &status {
-            // The final page is the full post-campaign stats rendering; it
-            // stays served until the campaign is dropped.
-            shared.set_page(crate::stats::CampaignStats::from_report(&report).render());
+            // The final page is the full post-campaign stats rendering plus
+            // the telemetry-saturation footer (appended here rather than in
+            // `render()` so the stats rendering itself stays byte-stable);
+            // it stays served until the campaign is dropped.
+            let mut page = crate::stats::CampaignStats::from_report(&report).render();
+            page.push_str(&crate::stats::telemetry_saturation_section(&telemetry));
+            if !report.forensics.is_empty() {
+                page.push_str(&format!("forensics bundles   {}\n", report.forensics.len()));
+            }
+            shared.set_page(page);
         }
         Ok(report)
+    }
+
+    /// Package every flag, crash, and quarantine event into a
+    /// [`ForensicsBundle`]. The first [`FORENSICS_MINIMIZE_CAP`] flagged
+    /// findings (already sorted best-score-first) also get an oracle-guided
+    /// minimization; crash bundles reuse the reproducer minimized against
+    /// the crash itself.
+    fn assemble_bundles(
+        &self,
+        rec: &FlightRecorder,
+        oracle: &dyn Oracle,
+        logs: &[RoundLog],
+        flagged: &[FlaggedFinding],
+        crashes: &[CrashRecord],
+        crash_sites: &[(usize, u64)],
+    ) -> Vec<ForensicsBundle> {
+        let runtime = self.config.observer.runtime.clone();
+        let round_log = |round: u64| logs.iter().find(|l| l.round == round);
+        let mut bundles = Vec::new();
+
+        let harness = ViolationHarness::new(self.config.kernel.clone(), &runtime);
+        for (i, finding) in flagged.iter().enumerate() {
+            let log = round_log(finding.round);
+            let minimization = (i < FORENSICS_MINIMIZE_CAP)
+                .then(|| minimize_with_oracle(&finding.program, &self.table, oracle, &harness))
+                .flatten()
+                .map(|m| MinimizationSummary {
+                    removed: m.stats.removed as u64,
+                    evaluations: m.stats.evaluations as u64,
+                    kinds: m.kinds,
+                    program: torpedo_prog::serialize(&m.program, &self.table),
+                });
+            bundles.push(ForensicsBundle {
+                kind: BundleKind::Flag,
+                runtime: runtime.clone(),
+                shard: rec.shard(),
+                batch: finding.batch,
+                round: finding.round,
+                score: finding.score,
+                program: torpedo_prog::serialize(&finding.program, &self.table),
+                violations: (*finding.violations).clone(),
+                lineage: rec.chain(ProgramId::of(&finding.program)),
+                trajectory: rec.trajectory(finding.batch),
+                per_core: log
+                    .map(|l| l.observation.per_core.clone())
+                    .unwrap_or_default(),
+                deferrals: log
+                    .map(|l| deferral_excerpt(&l.deferrals))
+                    .unwrap_or_default(),
+                minimization,
+            });
+        }
+
+        for (record, &(batch, round)) in crashes.iter().zip(crash_sites) {
+            let log = round_log(round);
+            let minimization = record.minimized.as_ref().map(|m| MinimizationSummary {
+                removed: (record.program.len() - m.len()) as u64,
+                evaluations: 0,
+                kinds: Vec::new(),
+                program: torpedo_prog::serialize(m, &self.table),
+            });
+            bundles.push(ForensicsBundle {
+                kind: BundleKind::Crash,
+                runtime: runtime.clone(),
+                shard: rec.shard(),
+                batch,
+                round,
+                score: log.map_or(0.0, |l| l.score),
+                program: torpedo_prog::serialize(&record.program, &self.table),
+                violations: Vec::new(),
+                lineage: rec.chain(ProgramId::of(&record.program)),
+                trajectory: rec.trajectory(batch),
+                per_core: log
+                    .map(|l| l.observation.per_core.clone())
+                    .unwrap_or_default(),
+                deferrals: log
+                    .map(|l| deferral_excerpt(&l.deferrals))
+                    .unwrap_or_default(),
+                minimization,
+            });
+        }
+
+        for (id, program, batch, round) in rec.quarantines() {
+            let log = round_log(*round);
+            bundles.push(ForensicsBundle {
+                kind: BundleKind::Quarantine,
+                runtime: runtime.clone(),
+                shard: rec.shard(),
+                batch: *batch,
+                round: *round,
+                score: log.map_or(0.0, |l| l.score),
+                program: torpedo_prog::serialize(program, &self.table),
+                violations: Vec::new(),
+                lineage: rec.chain(*id),
+                trajectory: rec.trajectory(*batch),
+                per_core: log
+                    .map(|l| l.observation.per_core.clone())
+                    .unwrap_or_default(),
+                deferrals: log
+                    .map(|l| deferral_excerpt(&l.deferrals))
+                    .unwrap_or_default(),
+                minimization: None,
+            });
+        }
+        bundles
     }
 
     /// Generate a replacement program that is not on the quarantine list

@@ -7,8 +7,7 @@ use std::sync::Arc;
 
 use torpedo_kernel::{KernelConfig, Usecs};
 use torpedo_prog::{minimize as shrink, Program, SyscallDesc};
-use torpedo_runtime::engine::Engine;
-use torpedo_runtime::spec::ContainerSpec;
+use torpedo_runtime::engine::replay_environment;
 use torpedo_runtime::ContainerCrash;
 
 use crate::executor::{Executor, GlueCost};
@@ -36,14 +35,7 @@ pub fn crashes_once(
     runtime: &str,
 ) -> bool {
     let mut kernel = torpedo_kernel::Kernel::new(kernel_config.clone());
-    let mut engine = Engine::new(&mut kernel);
-    let Ok(id) = engine.create(
-        &mut kernel,
-        ContainerSpec::new("crash-repro")
-            .runtime_name(runtime)
-            .cpuset_cpus(&[0])
-            .cpus(1.0),
-    ) else {
+    let Ok((engine, id)) = replay_environment(&mut kernel, runtime, "crash-repro") else {
         return false;
     };
     let mut executor = Executor::new(id);

@@ -69,6 +69,15 @@ pub enum TorpedoError {
         /// The error the final attempt died with.
         last: Box<TorpedoError>,
     },
+    /// The status endpoint could not bind its configured address (already
+    /// in use, bad interface, …). Not retriable: the campaign refuses to
+    /// run silently unobservable when observability was asked for.
+    StatusBind {
+        /// The address that failed to bind.
+        addr: String,
+        /// The underlying socket error.
+        source: std::io::Error,
+    },
     /// An invariant the framework relies on was violated.
     Internal(String),
 }
@@ -107,6 +116,9 @@ impl std::fmt::Display for TorpedoError {
             TorpedoError::RoundRetriesExhausted { attempts, last } => {
                 write!(f, "round failed after {attempts} attempts: {last}")
             }
+            TorpedoError::StatusBind { addr, source } => {
+                write!(f, "status endpoint failed to bind {addr}: {source}")
+            }
             TorpedoError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -118,6 +130,7 @@ impl std::error::Error for TorpedoError {
             TorpedoError::Latch(e) => Some(e),
             TorpedoError::Engine(e) => Some(e),
             TorpedoError::RoundRetriesExhausted { last, .. } => Some(last.as_ref()),
+            TorpedoError::StatusBind { source, .. } => Some(source),
             _ => None,
         }
     }
@@ -157,6 +170,11 @@ mod tests {
         }
         .is_retriable());
         assert!(!TorpedoError::Internal("x".into()).is_retriable());
+        assert!(!TorpedoError::StatusBind {
+            addr: "127.0.0.1:1".into(),
+            source: std::io::Error::new(std::io::ErrorKind::AddrInUse, "in use"),
+        }
+        .is_retriable());
         assert!(!TorpedoError::Engine(EngineError::StartFailed("fuzz-0".into())).is_retriable());
     }
 
@@ -183,6 +201,17 @@ mod tests {
         };
         assert!(outer.source().is_some());
         assert!(outer.to_string().contains("after 4 attempts"));
+    }
+
+    #[test]
+    fn status_bind_names_the_address_and_chains_the_io_error() {
+        use std::error::Error;
+        let e = TorpedoError::StatusBind {
+            addr: "127.0.0.1:8080".into(),
+            source: std::io::Error::new(std::io::ErrorKind::AddrInUse, "address in use"),
+        };
+        assert!(e.to_string().contains("127.0.0.1:8080"), "{e}");
+        assert!(e.source().is_some());
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //! * [`crash`] — container-crash reproduction and minimization.
 //! * [`error`] — the unified [`TorpedoError`] taxonomy the supervised
 //!   recovery machinery dispatches on.
+//! * [`forensics`] — mutation lineage, score trajectories, and the
+//!   flight recorder that packages a finding into a self-contained
+//!   `torpedo-forensics-v1` bundle for offline replay.
 //! * [`stats`] — campaign counters, including [`RecoveryStats`] for the
 //!   fault-injection / supervision subsystem.
 //!
@@ -50,6 +53,7 @@ pub mod confirm;
 pub mod crash;
 pub mod error;
 pub mod executor;
+pub mod forensics;
 pub mod latch;
 pub mod logfmt;
 pub mod minimize;
@@ -66,6 +70,10 @@ pub use confirm::{classify, confirm, CauseReport, Confirmation};
 pub use crash::{crashes_once, reproduce_and_minimize, CrashRecord};
 pub use error::{RoundStage, TorpedoError};
 pub use executor::{ExecReport, Executor, GlueCost};
+pub use forensics::{
+    deferral_excerpt, parse_bundle, BundleKind, FlightRecorder, ForensicsBundle, LineageBook,
+    LineageRecord, MinimizationSummary, TrajectoryPoint, FORENSICS_SCHEMA,
+};
 pub use latch::{LatchError, LatchState, RoundLatch};
 pub use logfmt::{
     parse_json, parse_log, parse_metrics, write_round, HistogramExport, JsonValue, LogParseError,
@@ -76,8 +84,10 @@ pub use observer::{Observer, ObserverConfig, RoundRecord, SupervisorConfig};
 pub use parallel::ParallelObserver;
 pub use prog_sm::{InvalidTransition, ProgEvent, ProgStage, ProgramStateMachine};
 pub use seeds::{default_denylist, filter_denylisted, SeedCorpus};
-pub use shard::{derive_shard_seed, run_sharded, shard_seeds, ShardOutcome, ShardReport};
-pub use stats::{CampaignStats, RecoveryStats};
+pub use shard::{
+    derive_shard_seed, run_sharded, shard_seeds, ShardMetrics, ShardOutcome, ShardReport,
+};
+pub use stats::{telemetry_saturation_section, CampaignStats, RecoveryStats};
 // Telemetry lives in its own crate (the runtime engine feeds it too);
 // re-exported here so campaign callers need only one import root.
 pub use torpedo_telemetry::{

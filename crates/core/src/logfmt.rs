@@ -376,6 +376,7 @@ pub fn parse_json(text: &str) -> Result<JsonValue, LogParseError> {
     let mut p = JsonParser {
         bytes: text.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     let value = p.value()?;
     p.skip_ws();
@@ -385,9 +386,15 @@ pub fn parse_json(text: &str) -> Result<JsonValue, LogParseError> {
     Ok(value)
 }
 
+/// Maximum container nesting [`parse_json`] accepts. The parser is
+/// recursive-descent, so unbounded nesting would overflow the stack on
+/// adversarial input; no torpedo export nests deeper than ~6 levels.
+pub const MAX_JSON_DEPTH: usize = 96;
+
 struct JsonParser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl JsonParser<'_> {
@@ -416,8 +423,8 @@ impl JsonParser<'_> {
     fn value(&mut self) -> Result<JsonValue, LogParseError> {
         self.skip_ws();
         match self.bytes.get(self.pos) {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
+            Some(b'{') => self.nested(Self::object),
+            Some(b'[') => self.nested(Self::array),
             Some(b'"') => Ok(JsonValue::String(self.string()?)),
             Some(b't') => self.literal("true", JsonValue::Bool(true)),
             Some(b'f') => self.literal("false", JsonValue::Bool(false)),
@@ -425,6 +432,19 @@ impl JsonParser<'_> {
             Some(b'-' | b'0'..=b'9') => self.number(),
             _ => Err(self.fail("expected a JSON value")),
         }
+    }
+
+    fn nested(
+        &mut self,
+        parse: fn(&mut Self) -> Result<JsonValue, LogParseError>,
+    ) -> Result<JsonValue, LogParseError> {
+        if self.depth >= MAX_JSON_DEPTH {
+            return Err(self.fail("nesting too deep"));
+        }
+        self.depth += 1;
+        let out = parse(self);
+        self.depth -= 1;
+        out
     }
 
     fn literal(&mut self, word: &str, value: JsonValue) -> Result<JsonValue, LogParseError> {
@@ -550,9 +570,13 @@ impl JsonParser<'_> {
             self.pos += 1;
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("digits are ASCII");
-        text.parse::<f64>()
-            .map(JsonValue::Number)
-            .map_err(|_| self.fail("malformed number"))
+        match text.parse::<f64>() {
+            // `"1e999".parse::<f64>()` is Ok(inf) in Rust: JSON has no
+            // non-finite numbers, so reject them explicitly.
+            Ok(n) if n.is_finite() => Ok(JsonValue::Number(n)),
+            Ok(_) => Err(self.fail("non-finite number")),
+            Err(_) => Err(self.fail("malformed number")),
+        }
     }
 }
 
@@ -906,5 +930,64 @@ mod tests {
         assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 3);
         assert_eq!(v.get("b").unwrap().as_str(), Some("x\ny"));
         assert_eq!(v.get("c").unwrap().get("d"), Some(&JsonValue::Null));
+    }
+
+    #[test]
+    fn string_escapes_decode_and_bad_escapes_fail() {
+        let v = parse_json("\"a\\\"b\\\\c\\/d\\n\\t\\r\\b\\f\\u0041\\u00e9\"").unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c/d\n\t\r\u{8}\u{c}A\u{e9}"));
+        assert!(parse_json("\"\\x41\"").is_err(), "unknown escape");
+        assert!(parse_json("\"\\u12\"").is_err(), "truncated \\u escape");
+        assert!(parse_json("\"\\ud800\"").is_err(), "lone surrogate");
+        assert!(parse_json("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn nesting_is_bounded_by_max_json_depth() {
+        // Exactly at the limit parses; one deeper is rejected instead of
+        // overflowing the parser's stack.
+        let ok = format!(
+            "{}0{}",
+            "[".repeat(MAX_JSON_DEPTH),
+            "]".repeat(MAX_JSON_DEPTH)
+        );
+        assert!(parse_json(&ok).is_ok());
+        let deep = format!(
+            "{}0{}",
+            "[".repeat(MAX_JSON_DEPTH + 1),
+            "]".repeat(MAX_JSON_DEPTH + 1)
+        );
+        let e = parse_json(&deep).unwrap_err();
+        assert!(e.message.contains("nesting too deep"), "{e}");
+        // Mixed object/array nesting counts, too.
+        let mixed = "{\"a\":".repeat(MAX_JSON_DEPTH + 1) + "0" + &"}".repeat(MAX_JSON_DEPTH + 1);
+        assert!(parse_json(&mixed).is_err());
+        // Depth resets between sibling containers: wide documents are fine.
+        let wide = format!("[{}]", vec!["[0]"; 500].join(","));
+        assert!(parse_json(&wide).is_ok());
+    }
+
+    #[test]
+    fn non_finite_numbers_are_rejected() {
+        assert!(parse_json("NaN").is_err());
+        assert!(parse_json("Infinity").is_err());
+        assert!(parse_json("-Infinity").is_err());
+        // 1e999 overflows f64 to +inf — must not parse as a JSON number.
+        assert!(parse_json("1e999").is_err());
+        assert!(parse_json("-1e999").is_err());
+        assert!(parse_json("[1,NaN]").is_err());
+        // Ordinary scientific notation still parses.
+        assert_eq!(parse_json("1.5e3").unwrap().as_f64(), Some(1500.0));
+        assert_eq!(parse_json("-2e-2").unwrap().as_f64(), Some(-0.02));
+    }
+
+    #[test]
+    fn trailing_garbage_variants_are_rejected() {
+        assert!(parse_json("1 2").is_err());
+        assert!(parse_json("[1],").is_err());
+        assert!(parse_json("{\"a\":1}}").is_err());
+        assert!(parse_json("null null").is_err());
+        // Trailing whitespace alone is fine.
+        assert!(parse_json("  {\"a\":1}  \n").is_ok());
     }
 }

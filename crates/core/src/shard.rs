@@ -25,8 +25,10 @@ use torpedo_runtime::FaultCounters;
 
 use crate::campaign::{Campaign, CampaignConfig, CampaignReport, FlaggedFinding};
 use crate::error::TorpedoError;
+use crate::forensics::ForensicsBundle;
 use crate::seeds::SeedCorpus;
 use crate::stats::RecoveryStats;
+use torpedo_telemetry::safe_div;
 
 /// The RNG seed for `shard` of a campaign seeded with `campaign_seed`.
 ///
@@ -70,12 +72,39 @@ pub struct ShardOutcome {
     pub report: CampaignReport,
 }
 
+/// Per-shard aggregate metrics: one row of the shard-comparison table,
+/// derived from the shard's full report at merge time so dashboards (and
+/// the status page) can compare shards without re-walking every round log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardMetrics {
+    /// Shard index.
+    pub shard: usize,
+    /// Derived RNG seed the shard ran with.
+    pub seed: u64,
+    /// Rounds the shard executed.
+    pub rounds: u64,
+    /// Program executions the shard completed.
+    pub executions: u64,
+    /// Findings the shard flagged (pre-dedup).
+    pub flagged: usize,
+    /// Container crashes the shard collected.
+    pub crashes: usize,
+    /// Supervised-recovery events the shard absorbed.
+    pub recovery_events: u64,
+    /// Faults injected into the shard.
+    pub faults: u64,
+    /// Best oracle score any of the shard's rounds reached.
+    pub best_score: f64,
+}
+
 /// Merged output of a sharded run: the per-shard reports plus the
 /// aggregates a caller usually wants.
 #[derive(Debug)]
 pub struct ShardReport {
     /// Per-shard outcomes, in shard order.
     pub shards: Vec<ShardOutcome>,
+    /// Per-shard aggregate metrics, in shard order.
+    pub per_shard: Vec<ShardMetrics>,
     /// Rounds executed across all shards.
     pub rounds_total: u64,
     /// Program executions completed across all shards.
@@ -94,6 +123,34 @@ pub struct ShardReport {
     pub faults_injected: FaultCounters,
     /// Quarantined programs (serialized), merged and sorted.
     pub quarantined: Vec<String>,
+    /// Forensics bundles merged across shards, in shard order (empty
+    /// unless [`CampaignConfig::forensics`] was set).
+    pub forensics: Vec<ForensicsBundle>,
+}
+
+impl ShardReport {
+    /// Render the per-shard metrics as a text table (one row per shard),
+    /// suitable for appending to the status page or a run log.
+    pub fn render_metrics(&self) -> String {
+        let mut out = String::from(
+            "shard      rounds       execs  execs/round  flagged  crashes  recovery  faults  best score\n",
+        );
+        for m in &self.per_shard {
+            out.push_str(&format!(
+                "{:<5} {:>11} {:>11} {:>12.1} {:>8} {:>8} {:>9} {:>7} {:>11.2}\n",
+                m.shard,
+                m.rounds,
+                m.executions,
+                safe_div(m.executions as f64, m.rounds as f64),
+                m.flagged,
+                m.crashes,
+                m.recovery_events,
+                m.faults,
+                m.best_score,
+            ));
+        }
+        out
+    }
 }
 
 /// Pull the next shard index for worker `me`: local deque first, then the
@@ -192,6 +249,9 @@ pub fn run_sharded<O: Oracle + Sync>(
                     let corpus = &shard_corpora[shard];
                     let mut shard_config = config.clone();
                     shard_config.seed = derive_shard_seed(config.seed, shard);
+                    // Stamp lineage records and forensics bundles with the
+                    // shard that produced them.
+                    shard_config.shard_index = shard;
                     // One status endpoint belongs to the driving process, not
                     // to each shard: K shards must not race to bind one addr.
                     // (The telemetry handle in the observer config is an Arc,
@@ -234,11 +294,26 @@ fn merge(shards: Vec<ShardOutcome>) -> ShardReport {
     let mut recovery = RecoveryStats::default();
     let mut faults = FaultCounters::default();
     let mut quarantined: std::collections::BTreeSet<String> = Default::default();
+    let mut per_shard: Vec<ShardMetrics> = Vec::with_capacity(shards.len());
+    let mut forensics: Vec<ForensicsBundle> = Vec::new();
 
     for outcome in &shards {
         let report = &outcome.report;
+        let shard_execs = report.logs.iter().map(|l| l.executions).sum::<u64>();
+        per_shard.push(ShardMetrics {
+            shard: outcome.shard,
+            seed: outcome.seed,
+            rounds: report.rounds_total,
+            executions: shard_execs,
+            flagged: report.flagged.len(),
+            crashes: report.crashes.len(),
+            recovery_events: report.recovery.total(),
+            faults: report.faults_injected.total(),
+            best_score: report.logs.iter().fold(0.0f64, |best, l| best.max(l.score)),
+        });
+        forensics.extend(report.forensics.iter().cloned());
         rounds_total += report.rounds_total;
-        executions += report.logs.iter().map(|l| l.executions).sum::<u64>();
+        executions += shard_execs;
         for finding in &report.flagged {
             if seen.insert(ProgramId::of(&finding.program)) {
                 flagged.push(finding.clone());
@@ -262,6 +337,7 @@ fn merge(shards: Vec<ShardOutcome>) -> ShardReport {
 
     ShardReport {
         shards,
+        per_shard,
         rounds_total,
         executions,
         flagged,
@@ -270,6 +346,7 @@ fn merge(shards: Vec<ShardOutcome>) -> ShardReport {
         recovery,
         faults_injected: faults,
         quarantined: quarantined.into_iter().collect(),
+        forensics,
     }
 }
 
@@ -366,6 +443,30 @@ mod tests {
                 .map(|s| s.report.rounds_total)
                 .sum::<u64>()
         );
+    }
+
+    #[test]
+    fn per_shard_metrics_cover_every_shard_and_render() {
+        let config = quick_config();
+        let sharded =
+            run_sharded(&config, build_table(), &corpus(), 2, 2, &CpuOracle::new()).unwrap();
+        assert_eq!(sharded.per_shard.len(), 2);
+        for (shard, metrics) in sharded.per_shard.iter().enumerate() {
+            assert_eq!(metrics.shard, shard);
+            assert_eq!(metrics.seed, derive_shard_seed(config.seed, shard));
+            assert_eq!(metrics.rounds, sharded.shards[shard].report.rounds_total);
+            assert!(metrics.executions > 0);
+        }
+        assert_eq!(
+            sharded.per_shard.iter().map(|m| m.rounds).sum::<u64>(),
+            sharded.rounds_total
+        );
+        let table = sharded.render_metrics();
+        assert!(table.starts_with("shard"), "{table}");
+        // Header + one row per shard.
+        assert_eq!(table.lines().count(), 3, "{table}");
+        // Forensics was off: no bundles ride along.
+        assert!(sharded.forensics.is_empty());
     }
 
     #[test]

@@ -6,9 +6,37 @@
 
 use torpedo_kernel::time::Usecs;
 use torpedo_runtime::FaultCounters;
-use torpedo_telemetry::safe_div;
+use torpedo_telemetry::{safe_div, HistogramId, Telemetry};
 
 use crate::campaign::CampaignReport;
+
+/// The telemetry-saturation footer for the status page: how much the
+/// bounded telemetry stores have silently shed. Empty when telemetry is
+/// disabled *or* nothing saturated, so the page only grows when there is
+/// something to say. Callers append this to a rendered page
+/// ([`CampaignStats::render`] itself stays byte-stable).
+pub fn telemetry_saturation_section(telemetry: &Telemetry) -> String {
+    if !telemetry.is_enabled() {
+        return String::new();
+    }
+    let mut section = String::new();
+    let dropped = telemetry.journal_dropped();
+    if dropped > 0 {
+        section.push_str(&format!("journal spans dropped {dropped}\n"));
+    }
+    for id in HistogramId::ALL {
+        let snap = telemetry.histogram(id);
+        if snap.overflow > 0 {
+            section.push_str(&format!(
+                "histogram overflow  {} {} of {} samples past the last bucket\n",
+                id.as_str(),
+                snap.overflow,
+                snap.count,
+            ));
+        }
+    }
+    section
+}
 
 /// Recovery-event counters maintained by the supervised observers and the
 /// campaign driver. Every counter is monotone; per-round deltas are taken
@@ -291,6 +319,7 @@ mod tests {
             recovery: RecoveryStats::default(),
             faults_injected: FaultCounters::default(),
             quarantined: Vec::new(),
+            forensics: Vec::new(),
         };
         let stats = CampaignStats::from_report(&report);
         assert!(stats.execs_per_vsec.is_finite());
@@ -300,6 +329,32 @@ mod tests {
         let page = stats.render();
         assert!(page.contains("execs / vsec        0.0"));
         assert!(!page.contains("NaN"));
+    }
+
+    #[test]
+    fn saturation_section_reports_drops_and_overflow() {
+        use torpedo_telemetry::{SpanKind, Telemetry};
+
+        // Disabled telemetry: nothing to report, nothing rendered.
+        assert_eq!(telemetry_saturation_section(&Telemetry::disabled()), "");
+
+        // Enabled but unsaturated: still empty (the page only grows when
+        // a bounded store actually shed data).
+        let telemetry = Telemetry::enabled();
+        telemetry.observe(HistogramId::ExecLatencyUs, 3);
+        assert_eq!(telemetry_saturation_section(&telemetry), "");
+
+        // Overflow the journal ring and a histogram's last bucket.
+        for _ in 0..2000 {
+            drop(telemetry.span(SpanKind::Round));
+        }
+        telemetry.observe(HistogramId::ExecLatencyUs, u64::MAX);
+        let section = telemetry_saturation_section(&telemetry);
+        assert!(section.contains("journal spans dropped"), "{section}");
+        assert!(
+            section.contains("histogram overflow  exec_latency_us 1 of 2 samples"),
+            "{section}"
+        );
     }
 
     #[test]

@@ -22,6 +22,35 @@ pub enum HeuristicKind {
 }
 
 impl HeuristicKind {
+    /// Every kind, in discriminant order.
+    pub const ALL: [HeuristicKind; 7] = [
+        HeuristicKind::FuzzCoreBelowFloor,
+        HeuristicKind::IdleCoreAboveCeiling,
+        HeuristicKind::TotalAboveExpected,
+        HeuristicKind::SystemProcessAboveBaseline,
+        HeuristicKind::IoWaitOutsideCpuset,
+        HeuristicKind::MemoryBeyondLimits,
+        HeuristicKind::StartupDegraded,
+    ];
+
+    /// Stable wire name, used by the forensics bundle schema.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            HeuristicKind::FuzzCoreBelowFloor => "fuzz-core-below-floor",
+            HeuristicKind::IdleCoreAboveCeiling => "idle-core-above-ceiling",
+            HeuristicKind::TotalAboveExpected => "total-above-expected",
+            HeuristicKind::SystemProcessAboveBaseline => "system-process-above-baseline",
+            HeuristicKind::IoWaitOutsideCpuset => "io-wait-outside-cpuset",
+            HeuristicKind::MemoryBeyondLimits => "memory-beyond-limits",
+            HeuristicKind::StartupDegraded => "startup-degraded",
+        }
+    }
+
+    /// Parse a wire name produced by [`HeuristicKind::as_str`].
+    pub fn parse(name: &str) -> Option<HeuristicKind> {
+        HeuristicKind::ALL.into_iter().find(|k| k.as_str() == name)
+    }
+
     /// Human-readable description.
     pub fn describe(self) -> &'static str {
         match self {

@@ -55,6 +55,19 @@ impl ProgramId {
         }
         ProgramId(h)
     }
+
+    /// Parse the `0x`-prefixed hex rendering produced by `Display` — the
+    /// wire form used in forensics bundles and quarantine lists.
+    pub fn parse_hex(text: &str) -> Option<ProgramId> {
+        let digits = text.strip_prefix("0x")?;
+        u64::from_str_radix(digits, 16).ok().map(ProgramId)
+    }
+}
+
+impl std::fmt::Display for ProgramId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:#018x}", self.0)
+    }
 }
 
 fn fold(h: &mut u64, bytes: &[u8]) {

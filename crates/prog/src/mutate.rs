@@ -27,6 +27,29 @@ pub enum MutationOp {
     MutateArg,
 }
 
+impl MutationOp {
+    /// Stable wire name, used by the forensics bundle schema.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MutationOp::Splice => "splice",
+            MutationOp::AddCall => "add-call",
+            MutationOp::RemoveCall => "remove-call",
+            MutationOp::MutateArg => "mutate-arg",
+        }
+    }
+
+    /// Parse a wire name produced by [`MutationOp::as_str`].
+    pub fn parse(name: &str) -> Option<MutationOp> {
+        match name {
+            "splice" => Some(MutationOp::Splice),
+            "add-call" => Some(MutationOp::AddCall),
+            "remove-call" => Some(MutationOp::RemoveCall),
+            "mutate-arg" => Some(MutationOp::MutateArg),
+            _ => None,
+        }
+    }
+}
+
 /// Tunable mutation policy.
 ///
 /// The paper (§5.3) notes SYZKALLER's operator constants "are not grounded

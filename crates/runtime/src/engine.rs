@@ -792,6 +792,30 @@ fn seccomp_denied(name: &str) -> SyscallOutcome {
     }
 }
 
+/// Build the one-container replay environment shared by crash reproduction
+/// and forensics bundle replay: a fresh engine on `kernel` running a single
+/// container of `runtime` named `name`, pinned to core 0 with a full-core
+/// quota — the solo confirmation shape of §4.1.3.
+///
+/// # Errors
+/// Propagates [`Engine::create`] failures (unknown runtime, injected start
+/// faults, …).
+pub fn replay_environment(
+    kernel: &mut Kernel,
+    runtime: &str,
+    name: &str,
+) -> Result<(Engine, ContainerId), EngineError> {
+    let mut engine = Engine::new(kernel);
+    let id = engine.create(
+        kernel,
+        ContainerSpec::new(name)
+            .runtime_name(runtime)
+            .cpuset_cpus(&[0])
+            .cpus(1.0),
+    )?;
+    Ok((engine, id))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

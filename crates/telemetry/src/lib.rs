@@ -15,10 +15,14 @@
 //! the status server must work without any HTTP dependency.
 
 pub mod metrics;
+pub mod prom;
 pub mod server;
+pub mod trace;
 
 pub use metrics::{CounterId, HistogramId, HistogramSnapshot, Registry, BUCKETS};
+pub use prom::{check_exposition, prometheus_exposition, quantile_from_snapshot};
 pub use server::{StatusServer, StatusShared};
+pub use trace::chrome_trace_json;
 
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
@@ -256,6 +260,18 @@ impl Telemetry {
         self.inner
             .as_ref()
             .map_or((0, 0), |inner| inner.registry.span_totals(kind))
+    }
+
+    /// Span events overwritten (lost) in the journal ring so far — the
+    /// saturation signal surfaced on the text status page.
+    pub fn journal_dropped(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |inner| {
+            inner
+                .journal
+                .lock()
+                .unwrap_or_else(|e| e.into_inner())
+                .dropped()
+        })
     }
 
     /// The retained journal events, oldest first (empty when disabled).

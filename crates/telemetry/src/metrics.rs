@@ -27,11 +27,13 @@ pub enum CounterId {
     FaultsInjected = 6,
     /// HTTP requests served by the status endpoint.
     StatusRequests = 7,
+    /// Forensics bundles emitted by the flight recorder.
+    ForensicsBundles = 8,
 }
 
 impl CounterId {
     /// Every counter, in stable export order.
-    pub const ALL: [CounterId; 8] = [
+    pub const ALL: [CounterId; 9] = [
         CounterId::RoundsCompleted,
         CounterId::ExecsTotal,
         CounterId::MutationsTotal,
@@ -40,6 +42,7 @@ impl CounterId {
         CounterId::RecoveryEvents,
         CounterId::FaultsInjected,
         CounterId::StatusRequests,
+        CounterId::ForensicsBundles,
     ];
 
     /// Stable wire name.
@@ -53,6 +56,7 @@ impl CounterId {
             CounterId::RecoveryEvents => "recovery_events",
             CounterId::FaultsInjected => "faults_injected",
             CounterId::StatusRequests => "status_requests",
+            CounterId::ForensicsBundles => "forensics_bundles",
         }
     }
 }

@@ -109,8 +109,10 @@ fn handle_connection(mut stream: TcpStream, shared: &StatusShared) -> io::Result
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     stream.set_write_timeout(Some(Duration::from_millis(500)))?;
 
-    // Read until the end of the request headers (or a small cap — the only
-    // thing we need is the request line).
+    // Read until the end of the request headers (or a small cap). As soon as
+    // a complete request line for a non-GET method arrives we stop reading:
+    // the request line is everything those paths need, and a HEAD probe or a
+    // stray POST must not sit out the 500 ms read timeout.
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
     loop {
@@ -121,6 +123,12 @@ fn handle_connection(mut stream: TcpStream, shared: &StatusShared) -> io::Result
                 if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8 * 1024 {
                     break;
                 }
+                if let Some(line_end) = buf.windows(2).position(|w| w == b"\r\n") {
+                    let line = String::from_utf8_lossy(&buf[..line_end]);
+                    if !line.trim_start().starts_with("GET ") {
+                        break;
+                    }
+                }
             }
             Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
             Err(_) => break,
@@ -128,53 +136,108 @@ fn handle_connection(mut stream: TcpStream, shared: &StatusShared) -> io::Result
     }
 
     let request = String::from_utf8_lossy(&buf);
-    let path = parse_request_path(&request);
+    let parsed = parse_request_line(&request);
     shared.telemetry.incr(CounterId::StatusRequests);
 
-    let (status, content_type, body) = match path.as_deref() {
-        Some("/") | Some("/status") => ("200 OK", "text/plain; charset=utf-8", shared.page()),
-        Some("/metrics") => ("200 OK", "application/json", shared.telemetry.export_json()),
+    let route = |path: &str| -> (&'static str, &'static str, String) {
+        match path {
+            "/" | "/status" => ("200 OK", "text/plain; charset=utf-8", shared.page()),
+            "/metrics" => ("200 OK", "application/json", shared.telemetry.export_json()),
+            "/metrics.prom" => (
+                "200 OK",
+                "text/plain; version=0.0.4; charset=utf-8",
+                crate::prom::prometheus_exposition(&shared.telemetry),
+            ),
+            "/trace.json" => (
+                "200 OK",
+                "application/json",
+                crate::trace::chrome_trace_json(&shared.telemetry),
+            ),
+            _ => (
+                "404 Not Found",
+                "text/plain; charset=utf-8",
+                String::from("not found\n"),
+            ),
+        }
+    };
+
+    let (status, content_type, body, include_body, allow) = match &parsed {
+        Some((method, path)) if method == "GET" => {
+            let (status, content_type, body) = route(path);
+            (status, content_type, body, true, false)
+        }
+        // HEAD mirrors GET's status line and headers (Content-Length
+        // included) with no body, per RFC 9110 §9.3.2.
+        Some((method, path)) if method == "HEAD" => {
+            let (status, content_type, body) = route(path);
+            (status, content_type, body, false, false)
+        }
         Some(_) => (
-            "404 Not Found",
+            "405 Method Not Allowed",
             "text/plain; charset=utf-8",
-            String::from("not found\n"),
+            String::from("method not allowed\n"),
+            true,
+            true,
         ),
         None => (
             "400 Bad Request",
             "text/plain; charset=utf-8",
             String::from("bad request\n"),
+            true,
+            false,
         ),
     };
 
-    let response = format!(
-        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+    let mut response = format!(
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
         body.len()
     );
+    if allow {
+        response.push_str("Allow: GET, HEAD\r\n");
+    }
+    response.push_str("Connection: close\r\n\r\n");
+    if include_body {
+        response.push_str(&body);
+    }
     stream.write_all(response.as_bytes())?;
-    stream.flush()
+    stream.flush()?;
+    // We may have stopped reading before the client finished sending its
+    // headers; closing now could RST the connection and clobber the
+    // response in flight. Signal end-of-response, then drain what is left
+    // until the client hangs up.
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    while matches!(stream.read(&mut chunk), Ok(n) if n > 0) {}
+    Ok(())
 }
 
-/// Extract the path from an HTTP request line (`GET /metrics HTTP/1.1`),
-/// ignoring any query string.
-fn parse_request_path(request: &str) -> Option<String> {
+/// Split an HTTP request line (`GET /metrics HTTP/1.1`) into method and
+/// path, dropping any query string. `None` means the line is not even an
+/// HTTP request shape (→ 400); an unsupported method is reported verbatim
+/// so the caller can answer 405.
+fn parse_request_line(request: &str) -> Option<(String, String)> {
     let line = request.lines().next()?;
     let mut parts = line.split_whitespace();
     let method = parts.next()?;
-    if method != "GET" {
-        return None;
-    }
     let target = parts.next()?;
+    parts.next()?.starts_with("HTTP/").then_some(())?;
     let path = target.split('?').next().unwrap_or(target);
-    Some(path.to_string())
+    Some((method.to_string(), path.to_string()))
 }
 
 /// Fetch `path` from a status server with a plain std TCP client, returning
 /// `(headers, body)`. Public so tests and the CI smoke probe can share it.
 pub fn fetch(addr: SocketAddr, path: &str) -> io::Result<(String, String)> {
+    request(addr, "GET", path)
+}
+
+/// Issue a bare `method path` request (the general form of [`fetch`]; CI
+/// uses it to probe HEAD and 405 behaviour).
+pub fn request(addr: SocketAddr, method: &str, path: &str) -> io::Result<(String, String)> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     stream.set_write_timeout(Some(Duration::from_secs(5)))?;
-    let request = format!("GET {path} HTTP/1.1\r\nHost: torpedo\r\nConnection: close\r\n\r\n");
+    let request = format!("{method} {path} HTTP/1.1\r\nHost: torpedo\r\nConnection: close\r\n\r\n");
     stream.write_all(request.as_bytes())?;
     let mut response = String::new();
     stream.read_to_string(&mut response)?;
@@ -221,6 +284,58 @@ mod tests {
 
         // Three requests were counted.
         assert_eq!(shared.telemetry().counter(CounterId::StatusRequests), 3);
+    }
+
+    #[test]
+    fn head_and_unknown_methods_answer_promptly() {
+        let telemetry = Telemetry::enabled();
+        let shared = Arc::new(StatusShared::new(telemetry));
+        shared.set_page("torpedo page\n".to_string());
+        let server = StatusServer::bind("127.0.0.1:0", Arc::clone(&shared)).unwrap();
+        let addr = server.local_addr();
+
+        let started = std::time::Instant::now();
+        let (head, body) = request(addr, "HEAD", "/").unwrap();
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        // HEAD carries the GET Content-Length but no body.
+        assert!(head.contains(&format!("Content-Length: {}", "torpedo page\n".len())));
+        assert!(body.is_empty(), "{body:?}");
+
+        let (head, _) = request(addr, "POST", "/").unwrap();
+        assert!(head.starts_with("HTTP/1.1 405"), "{head}");
+        assert!(head.contains("Allow: GET, HEAD"), "{head}");
+        // Both answered without sitting out the 500 ms read timeout.
+        assert!(
+            started.elapsed() < Duration::from_millis(900),
+            "{:?}",
+            started.elapsed()
+        );
+
+        let (head, _) = request(addr, "HEAD", "/nope").unwrap();
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+    }
+
+    #[test]
+    fn serves_prometheus_and_chrome_trace() {
+        let telemetry = Telemetry::enabled();
+        telemetry.incr(CounterId::RoundsCompleted);
+        {
+            let _g = telemetry.span(crate::SpanKind::Round);
+        }
+        let shared = Arc::new(StatusShared::new(telemetry));
+        let server = StatusServer::bind("127.0.0.1:0", Arc::clone(&shared)).unwrap();
+        let addr = server.local_addr();
+
+        let (head, body) = http_get(addr, "/metrics.prom").unwrap();
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(head.contains("text/plain; version=0.0.4"));
+        assert!(body.contains("torpedo_rounds_completed 1\n"), "{body}");
+        crate::prom::check_exposition(&body).unwrap();
+
+        let (head, body) = http_get(addr, "/trace.json").unwrap();
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.starts_with("{\"displayTimeUnit\":\"ms\""), "{body}");
+        assert!(body.contains("\"ph\":\"X\""), "{body}");
     }
 
     #[test]

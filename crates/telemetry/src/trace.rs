@@ -1,0 +1,103 @@
+//! Chrome trace-event export: converts the span journal into the JSON Object
+//! Format consumed by `chrome://tracing` and Perfetto. Each journal entry
+//! becomes one complete event (`"ph":"X"`) with microsecond timestamps
+//! relative to the telemetry epoch; one metadata event per span kind names
+//! the virtual "thread" so the timeline groups rows by stage.
+//!
+//! The format reference is the Trace Event Format document shipped with
+//! Chromium: a top-level `{"traceEvents":[…]}` object whose `ts`/`dur`
+//! fields are microseconds (fractional values allowed).
+
+use crate::{SpanEvent, SpanKind, Telemetry};
+
+/// Fixed process id for all events; the campaign is one process.
+const TRACE_PID: u32 = 1;
+
+/// The virtual thread id for a span kind: discriminant + 1 so tid 0 (which
+/// some viewers reserve for the process row) is never used.
+fn trace_tid(kind: SpanKind) -> usize {
+    kind as usize + 1
+}
+
+/// Format nanoseconds as fractional microseconds with fixed precision, the
+/// native unit of the trace-event format.
+fn micros(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1_000, ns % 1_000)
+}
+
+/// Append one complete ("X") event.
+fn write_complete_event(out: &mut String, ev: &SpanEvent) {
+    out.push_str(&format!(
+        "{{\"name\":\"{}\",\"cat\":\"torpedo\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":{TRACE_PID},\"tid\":{}}}",
+        ev.kind.as_str(),
+        micros(ev.start_ns),
+        micros(ev.dur_ns),
+        trace_tid(ev.kind),
+    ));
+}
+
+/// Serialize the retained journal as a Chrome trace. Works on a disabled
+/// handle too (empty journal → metadata-only trace), so callers never need
+/// to branch before exporting.
+pub fn chrome_trace_json(telemetry: &Telemetry) -> String {
+    let events = telemetry.journal_events();
+    let mut out = String::with_capacity(256 + events.len() * 96);
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    let mut first = true;
+    // Metadata: name the per-kind rows so the viewer shows "round", "exec",
+    // … instead of bare thread ids.
+    for kind in SpanKind::ALL {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{TRACE_PID},\"tid\":{},\"args\":{{\"name\":\"{}\"}}}}",
+            trace_tid(kind),
+            kind.as_str(),
+        ));
+    }
+    for ev in &events {
+        out.push(',');
+        write_complete_event(&mut out, ev);
+    }
+    out.push_str("]}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_exports_metadata_only() {
+        let trace = chrome_trace_json(&Telemetry::disabled());
+        assert!(trace.starts_with("{\"displayTimeUnit\":\"ms\",\"traceEvents\":["));
+        assert!(trace.ends_with("]}"));
+        // Six metadata rows, no complete events.
+        assert_eq!(trace.matches("\"ph\":\"M\"").count(), SpanKind::ALL.len());
+        assert_eq!(trace.matches("\"ph\":\"X\"").count(), 0);
+    }
+
+    #[test]
+    fn spans_become_complete_events_in_microseconds() {
+        let t = Telemetry::enabled();
+        {
+            let _g = t.span(SpanKind::Round);
+            let _h = t.span(SpanKind::Oracle);
+        }
+        let trace = chrome_trace_json(&t);
+        assert_eq!(trace.matches("\"ph\":\"X\"").count(), 2);
+        assert!(trace.contains("\"name\":\"round\",\"cat\":\"torpedo\""));
+        assert!(trace.contains("\"name\":\"oracle\",\"cat\":\"torpedo\""));
+        // tid is discriminant + 1: round is 1, oracle is 4.
+        assert!(trace.contains(&format!("\"tid\":{}", SpanKind::Round as usize + 1)));
+    }
+
+    #[test]
+    fn micros_formats_fractional_microseconds() {
+        assert_eq!(micros(0), "0.000");
+        assert_eq!(micros(1_500), "1.500");
+        assert_eq!(micros(1_000_007), "1000.007");
+    }
+}

@@ -42,9 +42,13 @@ run build --release --workspace
 echo "ci: cargo test"
 run test -q
 
-echo "ci: telemetry smoke (status server over loopback TCP)"
+echo "ci: telemetry smoke (status page, /metrics, Prometheus exposition, Chrome trace)"
 run build --release -p torpedo-bench --bin status_probe
 ./target/release/status_probe --self-test
+
+echo "ci: forensics smoke (flight-recorder bundle round-trip + replay)"
+run build --release -p torpedo-bench --bin forensics_inspect
+./target/release/forensics_inspect --self-test
 
 echo "ci: results freshness (regenerate tables, diff against committed)"
 regen_dir=$(mktemp -d)

@@ -60,10 +60,15 @@ fn status_endpoint_serves_stats_and_metrics_end_to_end() {
     let report = campaign.run(&seeds, &CpuOracle::new()).unwrap();
     let addr = campaign.status_local_addr().expect("server bound by run()");
 
-    // `/` is the final stats page once the run finishes.
+    // `/` is the final stats page once the run finishes. The rendered
+    // stats come first; the campaign may append saturation / forensics
+    // lines after them.
     let (status, page) = fetch(addr, "/").unwrap();
     assert!(status.contains("200 OK"), "{status}");
-    assert_eq!(page, CampaignStats::from_report(&report).render());
+    assert!(
+        page.starts_with(&CampaignStats::from_report(&report).render()),
+        "{page}"
+    );
 
     // `/metrics` round-trips through the schema parser and carries the
     // round-latency and lock-wait histograms the bench consumes.
@@ -158,8 +163,18 @@ proptest! {
                 .run(&corpus, &CpuOracle::new())
                 .unwrap()
         };
+        let run_forensics = || {
+            let mut config = small_config(Telemetry::disabled(), parallel);
+            config.seed = seed;
+            config.observer.executors = executors;
+            config.forensics = true;
+            Campaign::new(config, table.clone())
+                .run(&corpus, &CpuOracle::new())
+                .unwrap()
+        };
         let off = run(Telemetry::disabled());
         let on = run(Telemetry::enabled());
+        let forensics = run_forensics();
         prop_assert_eq!(
             report_fingerprint(&off, &table),
             report_fingerprint(&on, &table)
@@ -167,6 +182,24 @@ proptest! {
         prop_assert_eq!(
             CampaignStats::from_report(&off),
             CampaignStats::from_report(&on)
+        );
+        // The flight recorder is a pure observer: every result field stays
+        // byte-identical with forensics on, and the extra work shows up only
+        // as the bundle list (one bundle per flag, crash, and quarantine).
+        prop_assert_eq!(
+            report_fingerprint(&off, &table),
+            report_fingerprint(&forensics, &table)
+        );
+        prop_assert_eq!(
+            CampaignStats::from_report(&off),
+            CampaignStats::from_report(&forensics)
+        );
+        prop_assert!(off.forensics.is_empty());
+        prop_assert_eq!(
+            forensics.forensics.len(),
+            forensics.flagged.len()
+                + forensics.crashes.len()
+                + forensics.quarantined.len()
         );
     }
 }
