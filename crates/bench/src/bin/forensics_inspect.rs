@@ -49,7 +49,12 @@ fn usage() -> i32 {
 }
 
 fn inspect(path: &str, replay: bool) -> i32 {
-    let text = match std::fs::read_to_string(path) {
+    // Size-capped read: a truncated or absurdly large file is a typed
+    // error up front, not an OOM or a parser panic later.
+    let text = match torpedo_core::read_text_capped(
+        std::path::Path::new(path),
+        torpedo_core::snapshot::MAX_SNAPSHOT_BYTES,
+    ) {
         Ok(t) => t,
         Err(e) => {
             eprintln!("forensics_inspect: cannot read {path}: {e}");

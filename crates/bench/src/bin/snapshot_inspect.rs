@@ -1,0 +1,263 @@
+//! `snapshot_inspect`: load a `torpedo-snapshot-v1` checkpoint bundle,
+//! print what the campaign had accumulated, and optionally prove the
+//! durability contract end-to-end.
+//!
+//! Modes:
+//!
+//! * `snapshot_inspect SNAPSHOT.json` — parse the bundle (hash-checked,
+//!   size-capped) and print a summary: position, RNG contract, seeds,
+//!   journal depth, batch-machine state, corpus, coverage, quarantine,
+//!   crash sites, recovery/fault counters, forensics payload.
+//! * `snapshot_inspect --verify SNAPSHOT.json` — additionally re-render
+//!   the parsed bundle and require the exact original bytes back (the
+//!   serialization fixed point resume verification relies on).
+//! * `snapshot_inspect --self-test` — run a small checkpointed campaign,
+//!   load its newest checkpoint from disk, resume it in a fresh
+//!   `Campaign`, and require the byte-identical final report and logfmt
+//!   stream; then round-trip the corpus through export/import and
+//!   warm-start a second campaign from it. The CI smoke test; exits
+//!   non-zero on any mismatch.
+
+use torpedo_core::campaign::{Campaign, CampaignConfig, CampaignReport};
+use torpedo_core::logfmt::write_round;
+use torpedo_core::observer::ObserverConfig;
+use torpedo_core::seeds::{default_denylist, SeedCorpus};
+use torpedo_core::snapshot::MAX_SNAPSHOT_BYTES;
+use torpedo_core::{
+    export_corpus, import_corpus, load_latest, parse_snapshot, read_text_capped, CheckpointConfig,
+    SnapshotBundle,
+};
+use torpedo_kernel::Usecs;
+use torpedo_oracle::CpuOracle;
+use torpedo_prog::{build_table, SyscallDesc};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("--self-test") => self_test(),
+        Some("--verify") => match args.get(1) {
+            Some(path) => inspect(path, true),
+            None => usage(),
+        },
+        Some(path) => inspect(path, false),
+        None => usage(),
+    };
+    std::process::exit(code);
+}
+
+fn usage() -> i32 {
+    eprintln!("usage: snapshot_inspect [--verify] SNAPSHOT.json | snapshot_inspect --self-test");
+    2
+}
+
+fn inspect(path: &str, verify: bool) -> i32 {
+    let text = match read_text_capped(std::path::Path::new(path), MAX_SNAPSHOT_BYTES) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("snapshot_inspect: cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let bundle = match parse_snapshot(&text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("snapshot_inspect: {path} is not a valid snapshot: {e}");
+            return 1;
+        }
+    };
+    print!("{}", summarize(&bundle));
+    if !verify {
+        return 0;
+    }
+    if bundle.render() == text {
+        println!("verify              ok (hash checked, render is a fixed point)");
+        0
+    } else {
+        eprintln!("snapshot_inspect: re-rendered bundle differs from the file bytes");
+        1
+    }
+}
+
+fn summarize(bundle: &SnapshotBundle) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "snapshot            round {} (batch {}, round-in-batch {}{})\n\
+         rng                 seed {:#018x}, epoch {}\n\
+         seeds               {} program(s), {} warm-started\n\
+         journal             {} round(s)\n\
+         machine             {} (best {:.2}, stale {}, {} baseline program(s))\n",
+        bundle.rounds,
+        bundle.batch,
+        bundle.round_in_batch,
+        if bundle.batch_stopped {
+            ", batch stopped"
+        } else {
+            ""
+        },
+        bundle.rng_seed,
+        bundle.rng_epoch,
+        bundle.seeds.len(),
+        bundle.warm_started,
+        bundle.journal.len(),
+        bundle.machine.state,
+        bundle.machine.best_score,
+        bundle.machine.stale_rounds,
+        bundle.machine.baseline.len(),
+    ));
+    out.push_str(&format!(
+        "corpus              {} entr{}\ncoverage            {} signal(s)\n",
+        bundle.corpus.len(),
+        if bundle.corpus.len() == 1 { "y" } else { "ies" },
+        bundle.coverage.len(),
+    ));
+    out.push_str(&format!(
+        "quarantine          {} program(s), {} crash-count entr{}\n\
+         crash sites         {}\n",
+        bundle.quarantine.ids.len(),
+        bundle.quarantine.counts.len(),
+        if bundle.quarantine.counts.len() == 1 {
+            "y"
+        } else {
+            "ies"
+        },
+        bundle.crashes.len(),
+    ));
+    for c in bundle.crashes.iter().take(5) {
+        out.push_str(&format!(
+            "  batch {} round {}: {} via {}\n",
+            c.batch, c.round, c.reason, c.syscall
+        ));
+    }
+    out.push_str(&format!(
+        "recovery            {} event(s)\nfaults              {} injected\n",
+        bundle.recovery.total(),
+        bundle.faults.total(),
+    ));
+    match &bundle.forensics {
+        Some(f) => out.push_str(&format!(
+            "forensics           {} lineage record(s) (+{} evicted), {} trajectory batch(es), {} quarantine note(s)\n",
+            f.lineage.len(),
+            f.evicted,
+            f.trajectories.len(),
+            f.quarantines.len(),
+        )),
+        None => out.push_str("forensics           off\n"),
+    }
+    out
+}
+
+fn self_test_config(dir: std::path::PathBuf) -> CampaignConfig {
+    CampaignConfig {
+        observer: ObserverConfig {
+            window: Usecs::from_secs(1),
+            executors: 2,
+            ..ObserverConfig::default()
+        },
+        max_rounds_per_batch: 4,
+        forensics: true,
+        checkpoint: Some(CheckpointConfig {
+            dir,
+            interval_rounds: 2,
+            keep: 8,
+        }),
+        ..CampaignConfig::default()
+    }
+}
+
+fn render_report(report: &CampaignReport, table: &[SyscallDesc]) -> String {
+    let mut out = format!("{report:?}\n");
+    for log in &report.logs {
+        out.push_str(&write_round(log, table));
+    }
+    out
+}
+
+fn self_test() -> i32 {
+    let table = build_table();
+    let base =
+        std::env::temp_dir().join(format!("torpedo-snapshot-self-test-{}", std::process::id()));
+    std::fs::remove_dir_all(&base).ok();
+    let seeds = SeedCorpus::load(
+        &[
+            "socket(0x9, 0x3, 0x0)\n",
+            "getpid()\nuname(0x0)\n",
+            "sync()\n",
+        ],
+        &table,
+        &default_denylist(),
+    )
+    .expect("seed corpus");
+
+    // 1. Checkpointed campaign.
+    let writer = Campaign::new(self_test_config(base.join("writer")), table.clone());
+    let report = match writer.run(&seeds, &CpuOracle::new()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("snapshot_inspect: self-test campaign failed: {e}");
+            return 1;
+        }
+    };
+    let want = render_report(&report, &table);
+
+    // 2. Load the newest checkpoint back off disk and check the fixed point.
+    let (bundle, path) = match load_latest(&base.join("writer")) {
+        Ok(pair) => pair,
+        Err(e) => {
+            eprintln!("snapshot_inspect: self-test wrote no loadable checkpoint: {e}");
+            return 1;
+        }
+    };
+    let text = std::fs::read_to_string(&path).expect("reread checkpoint");
+    if bundle.render() != text {
+        eprintln!("snapshot_inspect: self-test bundle is not a serialization fixed point");
+        return 1;
+    }
+
+    // 3. Resume in a fresh campaign: the report must be byte-identical.
+    let resumer = Campaign::new(self_test_config(base.join("resume")), table.clone());
+    let resumed = match resumer.resume(&bundle, &CpuOracle::new()) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("snapshot_inspect: self-test resume failed: {e}");
+            return 1;
+        }
+    };
+    if render_report(&resumed, &table) != want {
+        eprintln!("snapshot_inspect: resumed report differs from the uninterrupted run");
+        return 1;
+    }
+
+    // 4. Corpus service: export, reimport, warm-start a second campaign.
+    let exported = export_corpus(&report.corpus, &table);
+    let imported = match import_corpus(&exported, &table) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("snapshot_inspect: exported corpus does not reimport: {e}");
+            return 1;
+        }
+    };
+    if imported.len() != report.corpus.len() {
+        eprintln!(
+            "snapshot_inspect: corpus round-trip lost entries ({} -> {})",
+            report.corpus.len(),
+            imported.len()
+        );
+        return 1;
+    }
+    let mut config = self_test_config(base.join("warm"));
+    config.warm_start = Some(imported);
+    if let Err(e) = Campaign::new(config, table.clone()).run(&seeds, &CpuOracle::new()) {
+        eprintln!("snapshot_inspect: warm-started campaign failed: {e}");
+        return 1;
+    }
+
+    std::fs::remove_dir_all(&base).ok();
+    eprintln!(
+        "snapshot_inspect: self-test ok (round {} checkpoint at {}, resume byte-identical, \
+         corpus round-trip {} entries)",
+        bundle.rounds,
+        path.display(),
+        report.corpus.len(),
+    );
+    0
+}

@@ -31,6 +31,7 @@ use torpedo_core::parallel::ParallelObserver;
 use torpedo_core::seeds::{default_denylist, SeedCorpus};
 use torpedo_core::shard::run_sharded;
 use torpedo_core::stats::CampaignStats;
+use torpedo_core::{load_latest, CheckpointConfig, CounterId};
 use torpedo_kernel::cgroup::{CgroupLimits, CgroupTree};
 use torpedo_kernel::process::ProcessKind;
 use torpedo_kernel::{
@@ -62,9 +63,11 @@ fn main() {
     let contention_json = bench_contention(quick);
     eprintln!("torpedo-bench: telemetry latency…");
     let latency_json = bench_latency(quick);
+    eprintln!("torpedo-bench: checkpoint durability…");
+    let durability_json = bench_durability(quick);
 
     let json = format!(
-        "{{\n  \"quick\": {quick},\n  \"dispatch\": {dispatch_json},\n  \"fuzz_throughput\": {throughput_json},\n  \"shard_scaling\": {scaling_json},\n  \"contention\": {contention_json},\n  \"latency\": {latency_json}\n}}\n"
+        "{{\n  \"quick\": {quick},\n  \"dispatch\": {dispatch_json},\n  \"fuzz_throughput\": {throughput_json},\n  \"shard_scaling\": {scaling_json},\n  \"contention\": {contention_json},\n  \"latency\": {latency_json},\n  \"durability\": {durability_json}\n}}\n"
     );
     std::fs::write(out_path, &json).expect("write BENCH_fuzz.json");
     eprintln!("torpedo-bench: wrote {out_path}");
@@ -187,12 +190,23 @@ fn bench_throughput(quick: bool) -> String {
     let seeds = SeedCorpus::load(&texts, &table, &default_denylist()).unwrap();
     let config = throughput_config(false);
 
-    let start = Instant::now();
-    let report = Campaign::new(config, table.clone())
-        .run(&seeds, &CpuOracle::new())
-        .unwrap();
-    let host = start.elapsed().as_secs_f64().max(1e-9);
-    let stats = CampaignStats::from_report(&report);
+    // Best-of-3 (the campaign takes ~0.2 s): the regression gate compares
+    // this figure across runs on a shared host, so single-run scheduling
+    // noise must not dominate it.
+    let mut host = f64::MAX;
+    let mut best_report = None;
+    for _ in 0..3 {
+        let start = Instant::now();
+        let report = Campaign::new(config.clone(), table.clone())
+            .run(&seeds, &CpuOracle::new())
+            .unwrap();
+        let elapsed = start.elapsed().as_secs_f64().max(1e-9);
+        if elapsed < host {
+            host = elapsed;
+            best_report = Some(report);
+        }
+    }
+    let stats = CampaignStats::from_report(&best_report.unwrap());
 
     // Mutation throughput, measured directly on the mutator.
     let mutator = Mutator::new(MutatePolicy {
@@ -328,6 +342,106 @@ fn bench_contention(quick: bool) -> String {
         ));
     }
     format!("[\n    {}\n  ]", points.join(",\n    "))
+}
+
+/// The durability cost model: the checkpoint subsystem must be free when
+/// off and cheap when on.
+///
+/// * `overhead_off_pct` — best-of-N `execs_per_sec` of a campaign whose
+///   config merely carries a (disabled, `interval_rounds: 0`) checkpoint
+///   policy versus the plain pre-feature config. The CI gate holds this
+///   under 2%.
+/// * `..._checkpoint_on` — the same campaign checkpointing every other
+///   round, with per-write latency from the `checkpoint` span totals.
+/// * `resume_*` — load the newest checkpoint back and resume in a fresh
+///   campaign; the resumed report must render byte-identically.
+fn bench_durability(quick: bool) -> String {
+    let table = build_table();
+    let texts = torpedo_moonshine::generate_corpus(6, 1);
+    let seeds = SeedCorpus::load(&texts, &table, &default_denylist()).unwrap();
+    // The campaign under measurement takes ~0.2 s, so a deep best-of-N is
+    // cheap — and needed: the gate asserts < 2% overhead, below the
+    // single-run noise floor of a shared-host VM.
+    let runs = if quick { 10 } else { 16 };
+    let oracle = CpuOracle::new();
+
+    // One timed campaign run -> execs/s.
+    let run_eps = |config: &CampaignConfig| -> f64 {
+        let start = Instant::now();
+        let report = Campaign::new(config.clone(), table.clone())
+            .run(&seeds, &oracle)
+            .expect("durability campaign");
+        let host = start.elapsed().as_secs_f64().max(1e-9);
+        let execs: u64 = report.logs.iter().map(|l| l.executions).sum();
+        execs as f64 / host
+    };
+
+    let config_ref = throughput_config(false);
+    let ckpt_dir = std::env::temp_dir().join(format!("torpedo-bench-ckpt-{}", std::process::id()));
+    std::fs::remove_dir_all(&ckpt_dir).ok();
+    let mut config_off = throughput_config(false);
+    config_off.checkpoint = Some(CheckpointConfig {
+        dir: ckpt_dir.clone(),
+        interval_rounds: 0,
+        keep: 2,
+    });
+    // Interleaved best-of-N: alternate reference and checkpoint-off runs so
+    // host-load drift hits both configs equally, and take the best of each
+    // (scheduling noise only ever subtracts throughput). The two configs run
+    // identical code — interval 0 is filtered out up front — so the reported
+    // overhead is the measurement floor, not a real cost.
+    let _ = run_eps(&config_ref); // warm-up, untimed
+    let (mut eps_ref, mut eps_off) = (0.0f64, 0.0f64);
+    for _ in 0..runs {
+        eps_ref = eps_ref.max(run_eps(&config_ref));
+        eps_off = eps_off.max(run_eps(&config_off));
+    }
+
+    // Checkpointing on, instrumented: every other round, keep 4.
+    let telemetry = Telemetry::enabled();
+    let mut config_on = throughput_config(false);
+    config_on.observer.telemetry = telemetry.clone();
+    config_on.checkpoint = Some(CheckpointConfig {
+        dir: ckpt_dir.clone(),
+        interval_rounds: 2,
+        keep: 4,
+    });
+    let start = Instant::now();
+    let report_on = Campaign::new(config_on.clone(), table.clone())
+        .run(&seeds, &oracle)
+        .expect("checkpointed campaign");
+    let host_on = start.elapsed().as_secs_f64().max(1e-9);
+    let execs_on: u64 = report_on.logs.iter().map(|l| l.executions).sum();
+    let eps_on = execs_on as f64 / host_on;
+    let writes = telemetry.counter(CounterId::CheckpointWrites);
+    let (span_count, span_total_ns) = telemetry.span_totals(SpanKind::Checkpoint);
+
+    // Resume from the newest checkpoint: verified replay, byte-identical.
+    let (bundle, _) = load_latest(&ckpt_dir).expect("checkpoint written");
+    let rstart = Instant::now();
+    let resumed = Campaign::new(config_on, table.clone())
+        .resume(&bundle, &oracle)
+        .expect("resume");
+    let resume_secs = rstart.elapsed().as_secs_f64();
+    let identical = format!("{:?}", resumed.logs) == format!("{:?}", report_on.logs)
+        && resumed.rounds_total == report_on.rounds_total;
+    std::fs::remove_dir_all(&ckpt_dir).ok();
+
+    format!(
+        "{{\n    \"runs\": {},\n    \"execs_per_sec_reference\": {:.1},\n    \"execs_per_sec_checkpoint_off\": {:.1},\n    \"overhead_off_pct\": {:.2},\n    \"execs_per_sec_checkpoint_on\": {:.1},\n    \"overhead_on_pct\": {:.2},\n    \"checkpoint_writes\": {},\n    \"checkpoint_span_count\": {},\n    \"checkpoint_write_mean_ns\": {:.0},\n    \"resume_host_seconds\": {:.3},\n    \"resume_rounds_replayed\": {},\n    \"resume_byte_identical\": {}\n  }}",
+        runs,
+        eps_ref,
+        eps_off,
+        (100.0 * (1.0 - safe_div(eps_off, eps_ref))).max(0.0),
+        eps_on,
+        (100.0 * (1.0 - safe_div(eps_on, eps_ref))).max(0.0),
+        writes,
+        span_count,
+        safe_div(span_total_ns as f64, span_count as f64),
+        resume_secs,
+        bundle.rounds,
+        identical,
+    )
 }
 
 /// Latency distributions from the telemetry registry: an instrumented

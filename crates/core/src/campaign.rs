@@ -3,6 +3,7 @@
 //! admission, crash handling, and offline oracle flagging together
 //! (§4.1's testing procedure).
 
+use std::collections::{BTreeSet, HashMap};
 use std::net::SocketAddr;
 use std::sync::{Arc, Mutex};
 
@@ -17,10 +18,10 @@ use torpedo_oracle::Oracle;
 use torpedo_prog::{
     Corpus, CorpusItem, CoverageSet, MutatePolicy, Mutator, Program, ProgramId, SyscallDesc,
 };
-use torpedo_runtime::{ContainerCrash, FaultCounters};
+use torpedo_runtime::{checkpoint_fault_hit, ContainerCrash, FaultCounters};
 use torpedo_telemetry::{safe_div, CounterId, SpanKind, StatusServer, StatusShared};
 
-use crate::batch::{BatchAction, BatchConfig, BatchMachine};
+use crate::batch::{BatchAction, BatchConfig, BatchMachine, BatchState};
 use crate::crash::{reproduce_and_minimize, CrashRecord};
 use crate::error::TorpedoError;
 use crate::forensics::{
@@ -32,6 +33,11 @@ use crate::observer::{Observer, ObserverConfig, RoundRecord};
 use crate::parallel::ParallelObserver;
 use crate::prog_sm::{ProgEvent, ProgramStateMachine};
 use crate::seeds::SeedCorpus;
+use crate::snapshot::{
+    derive_round_seed, render_campaign_config, stage_name, write_checkpoint, CheckpointConfig,
+    CorpusEntry, CrashSite, ForensicsSnapshot, JournalRound, MachineSnapshot, QuarantineSnapshot,
+    SnapshotBundle, SnapshotError,
+};
 use crate::stats::RecoveryStats;
 
 /// Campaign configuration.
@@ -70,6 +76,17 @@ pub struct CampaignConfig {
     /// bundles; [`crate::shard::run_sharded`] sets it, standalone
     /// campaigns leave the default 0).
     pub shard_index: usize,
+    /// Periodic crash-safe checkpointing (`None`, the default, writes
+    /// nothing). When set, a `torpedo-snapshot-v1` bundle is written every
+    /// [`CheckpointConfig::interval_rounds`] rounds;
+    /// [`Campaign::resume`] finishes a killed campaign from one with a
+    /// byte-identical report.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Warm-start corpus: programs from a prior campaign's exported corpus
+    /// ([`crate::snapshot::export_corpus`]) appended to the seed list,
+    /// deduplicated by [`ProgramId`], with provenance recorded as round-0
+    /// lineage roots when forensics is on.
+    pub warm_start: Option<Corpus>,
 }
 
 impl Default for CampaignConfig {
@@ -86,6 +103,8 @@ impl Default for CampaignConfig {
             status_addr: None,
             forensics: false,
             shard_index: 0,
+            checkpoint: None,
+            warm_start: None,
         }
     }
 }
@@ -215,6 +234,30 @@ impl Driver {
     }
 }
 
+/// A borrow of every piece of live campaign state a checkpoint captures,
+/// handed to `Campaign::build_bundle` at a round boundary.
+struct SnapshotView<'a> {
+    seeds: &'a SeedCorpus,
+    warm_started: usize,
+    rounds_total: u64,
+    batch: usize,
+    round_in_batch: u32,
+    batch_stopped: bool,
+    machine: &'a BatchMachine,
+    programs: &'a [Arc<Program>],
+    prog_machines: &'a [ProgramStateMachine],
+    journal: &'a [JournalRound],
+    corpus: &'a Corpus,
+    coverage: &'a CoverageSet,
+    crash_counts: &'a HashMap<ProgramId, u32>,
+    quarantined_ids: &'a BTreeSet<ProgramId>,
+    quarantined: &'a BTreeSet<String>,
+    raw_crashes: &'a [(ContainerCrash, Arc<Program>, usize, u64)],
+    recovery: RecoveryStats,
+    faults: FaultCounters,
+    recorder: Option<&'a FlightRecorder>,
+}
+
 /// The campaign driver.
 pub struct Campaign {
     config: CampaignConfig,
@@ -255,10 +298,36 @@ impl Campaign {
             return Ok(server.local_addr());
         }
         let shared = Arc::new(StatusShared::new(self.config.observer.telemetry.clone()));
-        let server = StatusServer::bind(addr, Arc::clone(&shared))?;
+        // A just-dropped campaign's listener socket can linger briefly in
+        // the kernel even though its accept thread was joined; retry
+        // AddrInUse for a bounded window so checkpoint/resume in the same
+        // process can rebind the same address deterministically.
+        let server = {
+            let mut attempt = 0;
+            loop {
+                match StatusServer::bind(addr, Arc::clone(&shared)) {
+                    Ok(server) => break server,
+                    Err(e) if e.kind() == std::io::ErrorKind::AddrInUse && attempt < 40 => {
+                        attempt += 1;
+                        std::thread::sleep(std::time::Duration::from_millis(25));
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        };
         let local = server.local_addr();
         *slot = Some((shared, server));
         Ok(local)
+    }
+
+    /// Shut the status endpoint down deterministically: the accept loop is
+    /// signalled and its listener thread joined before this returns, so the
+    /// address is immediately rebindable (e.g. by a resumed campaign).
+    /// No-op when nothing is serving.
+    pub fn shutdown_status(&self) {
+        let mut slot = self.status.lock().unwrap_or_else(|e| e.into_inner());
+        // StatusServer::drop sets the shutdown flag and joins the thread.
+        *slot = None;
     }
 
     /// The bound status-endpoint address, if one is serving.
@@ -298,7 +367,90 @@ impl Campaign {
         seeds: &SeedCorpus,
         oracle: &dyn Oracle,
     ) -> Result<CampaignReport, TorpedoError> {
-        let mut rng = StdRng::seed_from_u64(self.config.seed);
+        let (effective, warm_started) = self.effective_seeds(seeds);
+        self.run_inner(&effective, warm_started, oracle, None)
+    }
+
+    /// Resume a killed campaign from a checkpoint bundle and finish it.
+    ///
+    /// Resume is *verified replay*: rounds `1..=bundle.rounds` re-execute
+    /// through the exact live code path (the per-round
+    /// [`derive_round_seed`] reseed makes them identical by construction)
+    /// while each round's pre-round programs are checked against the
+    /// bundle journal; at the checkpointed round the full re-rendered
+    /// bundle is compared byte-for-byte against the loaded one, then the
+    /// campaign continues live. The final report and logfmt stream are
+    /// therefore byte-identical to the uninterrupted run's.
+    ///
+    /// The campaign must be configured identically to the writer
+    /// ([`crate::snapshot::render_campaign_config`] decides); the
+    /// checkpoint *directory* may differ, and
+    /// [`CampaignConfig::warm_start`] is ignored — the bundle's seed list
+    /// already includes warm-started programs.
+    ///
+    /// # Errors
+    /// [`SnapshotError::ConfigMismatch`] or
+    /// [`SnapshotError::ReplayDivergence`] (wrapped in
+    /// [`TorpedoError::Snapshot`]) on a config or replay mismatch, plus
+    /// everything [`Campaign::run`] can fail with.
+    pub fn resume(
+        &self,
+        bundle: &SnapshotBundle,
+        oracle: &dyn Oracle,
+    ) -> Result<CampaignReport, TorpedoError> {
+        if render_campaign_config(&self.config) != bundle.config {
+            return Err(SnapshotError::ConfigMismatch.into());
+        }
+        let mut programs = Vec::with_capacity(bundle.seeds.len());
+        for (i, text) in bundle.seeds.iter().enumerate() {
+            let program = torpedo_prog::deserialize(text, &self.table)
+                .map_err(|e| SnapshotError::Parse(format!("seed program {i}: {e:?}")))?;
+            programs.push(Arc::new(program));
+        }
+        let seeds = SeedCorpus {
+            programs,
+            filtered_calls: Vec::new(),
+        };
+        self.config
+            .observer
+            .telemetry
+            .incr(CounterId::CheckpointRestores);
+        self.run_inner(&seeds, bundle.warm_started as usize, oracle, Some(bundle))
+    }
+
+    /// Merge the warm-start corpus into `seeds`: corpus programs not
+    /// already seeded are appended (deduplicated by [`ProgramId`], export
+    /// order preserved). Returns the effective corpus and how many
+    /// trailing programs were warm-started.
+    fn effective_seeds(&self, seeds: &SeedCorpus) -> (SeedCorpus, usize) {
+        let mut programs = seeds.programs.clone();
+        let mut warm_started = 0usize;
+        if let Some(corpus) = &self.config.warm_start {
+            let mut known: std::collections::HashSet<ProgramId> =
+                programs.iter().map(|p| ProgramId::of(p)).collect();
+            for item in corpus.items() {
+                if known.insert(ProgramId::of(&item.program)) {
+                    programs.push(Arc::clone(&item.program));
+                    warm_started += 1;
+                }
+            }
+        }
+        (
+            SeedCorpus {
+                programs,
+                filtered_calls: seeds.filtered_calls.clone(),
+            },
+            warm_started,
+        )
+    }
+
+    fn run_inner(
+        &self,
+        seeds: &SeedCorpus,
+        warm_started: usize,
+        oracle: &dyn Oracle,
+        resume: Option<&SnapshotBundle>,
+    ) -> Result<CampaignReport, TorpedoError> {
         let mutator = Mutator::new(self.config.mutate.clone());
         let telemetry = self.config.observer.telemetry.clone();
         if let Some(addr) = &self.config.status_addr {
@@ -338,9 +490,43 @@ impl Campaign {
         // Hot-path identity is the 64-bit ProgramId content hash; the text
         // rendering is produced only on the rare quarantine event (for the
         // report) instead of on every check.
-        let mut crash_counts: std::collections::HashMap<ProgramId, u32> = Default::default();
-        let mut quarantined_ids: std::collections::BTreeSet<ProgramId> = Default::default();
-        let mut quarantined: std::collections::BTreeSet<String> = Default::default();
+        let mut crash_counts: HashMap<ProgramId, u32> = Default::default();
+        let mut quarantined_ids: BTreeSet<ProgramId> = Default::default();
+        let mut quarantined: BTreeSet<String> = Default::default();
+
+        // Checkpoint/replay state. Rendering a bundle at every due round
+        // needs the per-round journal; both are tracked only when a
+        // checkpoint policy or a resume bundle asks for them, so plain
+        // campaigns pay nothing.
+        let checkpoint = self
+            .config
+            .checkpoint
+            .as_ref()
+            .filter(|c| c.interval_rounds > 0);
+        let track_state = checkpoint.is_some() || resume.is_some();
+        let resume_text = resume.map(|b| b.render());
+        let resume_rounds = resume.map_or(0, |b| b.rounds);
+        let mut resume_verified = resume.is_none();
+        let mut journal: Vec<JournalRound> = Vec::new();
+        // The checkpoint-fault ledger: `checkpoint_fault_hit` is rolled at
+        // *every* due round — including replayed rounds whose write is
+        // skipped — so the counter is a pure function of (seed, round) and
+        // resumed reports stay byte-identical.
+        let mut ckpt_writes = 0u64;
+        let mut ckpt_fault_hits = 0u64;
+
+        // Warm-start provenance: corpus-imported programs are lineage
+        // roots of round 0 (pre-campaign), recorded before their batch
+        // re-records them (first provenance wins in the lineage book).
+        if warm_started > 0 {
+            if let Some(rec) = recorder.as_mut() {
+                let executors = self.config.observer.executors.max(1);
+                let first = seeds.programs.len() - warm_started;
+                for (i, program) in seeds.programs.iter().enumerate().skip(first) {
+                    rec.record_root(ProgramId::of(program), i / executors, 0);
+                }
+            }
+        }
 
         for (batch_idx, batch_seeds) in seeds
             .batches(self.config.observer.executors)
@@ -366,7 +552,37 @@ impl Campaign {
                 .collect();
             observer.restart_crashed()?;
 
-            for _ in 0..self.config.max_rounds_per_batch {
+            for round_in_batch in 1..=self.config.max_rounds_per_batch {
+                // Per-round RNG: reseeded from the deterministic round
+                // counter, never carried across rounds. This is the whole
+                // checkpoint RNG contract — a bundle records (seed, epoch)
+                // instead of StdRng internals, and replaying round N is
+                // bitwise-identical no matter where the process restarted.
+                let epoch = rounds_total;
+                let mut rng = StdRng::seed_from_u64(derive_round_seed(self.config.seed, epoch));
+                if track_state {
+                    let serialized: Vec<String> = programs
+                        .iter()
+                        .map(|p| torpedo_prog::serialize(p, &self.table))
+                        .collect();
+                    if let Some(bundle) = resume {
+                        if let Some(expect) = bundle.journal.get(epoch as usize) {
+                            if expect.batch != batch_idx as u64 || expect.programs != serialized {
+                                return Err(SnapshotError::ReplayDivergence {
+                                    round: epoch + 1,
+                                    detail: format!(
+                                        "journaled pre-round programs differ in batch {batch_idx}"
+                                    ),
+                                }
+                                .into());
+                            }
+                        }
+                    }
+                    journal.push(JournalRound {
+                        batch: batch_idx as u64,
+                        programs: serialized,
+                    });
+                }
                 let recovery_before = observer.recovery();
                 let record = observer.round(&self.table, &programs)?;
                 rounds_total += 1;
@@ -481,13 +697,21 @@ impl Campaign {
                         &observer.recovery(),
                     );
                     page.push_str(&crate::stats::telemetry_saturation_section(&telemetry));
+                    if checkpoint.is_some() {
+                        page.push_str(&format!(
+                            "checkpoints         {ckpt_writes} written, {ckpt_fault_hits} faulted\n"
+                        ));
+                    }
                     shared.set_page(page);
                 }
 
-                // Batch machine decides what happens next.
+                // Batch machine decides what happens next. Stop is handled
+                // after the checkpoint hook below so that a checkpoint due
+                // on a batch's final round still gets written.
                 let (_verdict, action) = machine.on_round(score, &mut programs, &mut rng);
+                let stop = matches!(action, BatchAction::Stop);
                 match action {
-                    BatchAction::Stop => break,
+                    BatchAction::Stop => {}
                     BatchAction::ShuffleAndRun => {
                         // The machine shuffled (or reverted) the batch:
                         // resync the cached ids with the new order.
@@ -544,6 +768,104 @@ impl Campaign {
                             }
                         }
                     }
+                }
+
+                // Checkpoint hook: runs at every due round, after the
+                // machine action so the bundle captures next round's
+                // pre-state exactly.
+                if let Some(ckpt) = checkpoint {
+                    if rounds_total.is_multiple_of(ckpt.interval_rounds) {
+                        let fault =
+                            checkpoint_fault_hit(&self.config.observer.faults, rounds_total);
+                        if fault {
+                            ckpt_fault_hits += 1;
+                            telemetry.incr(CounterId::CheckpointWriteFails);
+                        }
+                        // Replayed rounds (≤ the resume point) roll the
+                        // fault but skip the write: those checkpoints
+                        // already exist on disk.
+                        if rounds_total > resume_rounds {
+                            let _ckpt_span = telemetry.span(SpanKind::Checkpoint);
+                            let mut faults = observer.fault_counters();
+                            faults.checkpoint_write_fail = ckpt_fault_hits;
+                            let text = self
+                                .build_bundle(SnapshotView {
+                                    seeds,
+                                    warm_started,
+                                    rounds_total,
+                                    batch: batch_idx,
+                                    round_in_batch,
+                                    batch_stopped: stop,
+                                    machine: &machine,
+                                    programs: &programs,
+                                    prog_machines: &prog_machines,
+                                    journal: &journal,
+                                    corpus: &corpus,
+                                    coverage: &coverage,
+                                    crash_counts: &crash_counts,
+                                    quarantined_ids: &quarantined_ids,
+                                    quarantined: &quarantined,
+                                    raw_crashes: &raw_crashes,
+                                    recovery: observer.recovery(),
+                                    faults,
+                                    recorder: recorder.as_ref(),
+                                })
+                                .render();
+                            if write_checkpoint(&ckpt.dir, &text, rounds_total, ckpt.keep, fault)?
+                                .is_some()
+                            {
+                                ckpt_writes += 1;
+                                telemetry.incr(CounterId::CheckpointWrites);
+                            }
+                        }
+                    }
+                }
+
+                // Resume verification: at the checkpointed round the live
+                // state, re-rendered through the same builder, must equal
+                // the loaded bundle byte-for-byte — total-state proof that
+                // the replay really reproduced the writer's campaign.
+                if !resume_verified && rounds_total == resume_rounds {
+                    let _ckpt_span = telemetry.span(SpanKind::Checkpoint);
+                    let mut faults = observer.fault_counters();
+                    faults.checkpoint_write_fail = ckpt_fault_hits;
+                    let live = self
+                        .build_bundle(SnapshotView {
+                            seeds,
+                            warm_started,
+                            rounds_total,
+                            batch: batch_idx,
+                            round_in_batch,
+                            batch_stopped: stop,
+                            machine: &machine,
+                            programs: &programs,
+                            prog_machines: &prog_machines,
+                            journal: &journal,
+                            corpus: &corpus,
+                            coverage: &coverage,
+                            crash_counts: &crash_counts,
+                            quarantined_ids: &quarantined_ids,
+                            quarantined: &quarantined,
+                            raw_crashes: &raw_crashes,
+                            recovery: observer.recovery(),
+                            faults,
+                            recorder: recorder.as_ref(),
+                        })
+                        .render();
+                    let expected = resume_text.as_deref().expect("resume text set with bundle");
+                    if live != expected {
+                        return Err(SnapshotError::ReplayDivergence {
+                            round: rounds_total,
+                            detail: "re-rendered campaign state differs from the loaded checkpoint"
+                                .into(),
+                        }
+                        .into());
+                    }
+                    resume_verified = true;
+                }
+
+                if stop {
+                    break;
                 }
             }
         }
@@ -607,8 +929,23 @@ impl Campaign {
             None => Vec::new(),
         };
 
+        if !resume_verified {
+            // The replay finished without ever reaching the checkpointed
+            // round — the resumed campaign cannot have matched the writer.
+            return Err(SnapshotError::ReplayDivergence {
+                round: rounds_total,
+                detail: format!(
+                    "campaign ended after {rounds_total} rounds without reaching the \
+                     checkpointed round {resume_rounds}"
+                ),
+            }
+            .into());
+        }
+
         let mut recovery = observer.recovery();
         recovery.quarantined_programs = quarantined.len() as u64;
+        let mut faults_injected = observer.fault_counters();
+        faults_injected.checkpoint_write_fail = ckpt_fault_hits;
         let report = CampaignReport {
             rounds_total,
             logs,
@@ -617,7 +954,7 @@ impl Campaign {
             corpus,
             coverage_signals: coverage.len(),
             recovery,
-            faults_injected: observer.fault_counters(),
+            faults_injected,
             quarantined: quarantined.into_iter().collect(),
             forensics,
         };
@@ -631,6 +968,11 @@ impl Campaign {
             page.push_str(&crate::stats::telemetry_saturation_section(&telemetry));
             if !report.forensics.is_empty() {
                 page.push_str(&format!("forensics bundles   {}\n", report.forensics.len()));
+            }
+            if checkpoint.is_some() {
+                page.push_str(&format!(
+                    "checkpoints         {ckpt_writes} written, {ckpt_fault_hits} faulted\n"
+                ));
             }
             shared.set_page(page);
         }
@@ -765,6 +1107,96 @@ impl Campaign {
             }
         }
         (program, id)
+    }
+
+    /// Render the live campaign state into a [`SnapshotBundle`]. Every
+    /// collection is serialized in a deterministic order (sorted sets,
+    /// insertion-ordered books), so two campaigns in the same state render
+    /// byte-identical bundles — the property resume verification rests on.
+    fn build_bundle(&self, view: SnapshotView<'_>) -> SnapshotBundle {
+        let ser = |p: &Arc<Program>| torpedo_prog::serialize(p, &self.table);
+        let (state, candidate_score) = match view.machine.state() {
+            BatchState::Mutate => ("mutate", None),
+            BatchState::Confirm { candidate_score } => ("confirm", Some(candidate_score)),
+            BatchState::Exhausted => ("exhausted", None),
+        };
+        let mut counts: Vec<(ProgramId, u64)> = view
+            .crash_counts
+            .iter()
+            .map(|(&id, &count)| (id, count as u64))
+            .collect();
+        counts.sort_by_key(|&(id, _)| id);
+        let forensics = view.recorder.map(|rec| ForensicsSnapshot {
+            evicted: rec.lineage().evicted(),
+            lineage: rec.lineage().records_in_order().cloned().collect(),
+            trajectories: rec
+                .trajectory_batches()
+                .into_iter()
+                .map(|batch| (batch as u64, rec.trajectory(batch)))
+                .collect(),
+            quarantines: rec
+                .quarantines()
+                .iter()
+                .map(|(id, program, batch, round)| (*id, ser(program), *batch as u64, *round))
+                .collect(),
+        });
+        SnapshotBundle {
+            config: render_campaign_config(&self.config),
+            rng_seed: self.config.seed,
+            rng_epoch: view.rounds_total,
+            rounds: view.rounds_total,
+            batch: view.batch as u64,
+            round_in_batch: view.round_in_batch as u64,
+            batch_stopped: view.batch_stopped,
+            warm_started: view.warm_started as u64,
+            seeds: view.seeds.programs.iter().map(ser).collect(),
+            journal: view.journal.to_vec(),
+            machine: MachineSnapshot {
+                state: state.to_string(),
+                candidate_score,
+                best_score: view.machine.best_score(),
+                stale_rounds: view.machine.stale_rounds() as u64,
+                baseline: view.machine.baseline().iter().map(ser).collect(),
+                programs: view.programs.iter().map(ser).collect(),
+                stages: view
+                    .prog_machines
+                    .iter()
+                    .map(|sm| stage_name(sm.stage()).to_string())
+                    .collect(),
+            },
+            corpus: view
+                .corpus
+                .items()
+                .iter()
+                .map(|item| CorpusEntry {
+                    signals: item.new_signals as u64,
+                    score: item.best_score,
+                    flagged: item.flagged,
+                    program: ser(&item.program),
+                })
+                .collect(),
+            coverage: view.coverage.signals_sorted(),
+            quarantine: QuarantineSnapshot {
+                ids: view.quarantined_ids.iter().copied().collect(),
+                programs: view.quarantined.iter().cloned().collect(),
+                counts,
+            },
+            crashes: view
+                .raw_crashes
+                .iter()
+                .map(|(crash, program, batch, round)| CrashSite {
+                    batch: *batch as u64,
+                    round: *round,
+                    reason: crash.reason.clone(),
+                    syscall: crash.syscall.clone(),
+                    args: crash.args,
+                    program: ser(program),
+                })
+                .collect(),
+            recovery: view.recovery,
+            faults: view.faults,
+            forensics,
+        }
     }
 }
 

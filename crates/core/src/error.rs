@@ -78,6 +78,9 @@ pub enum TorpedoError {
         /// The underlying socket error.
         source: std::io::Error,
     },
+    /// A checkpoint/resume failure: corrupt or truncated bundle, config
+    /// mismatch, replay divergence, or a checkpoint-directory I/O error.
+    Snapshot(crate::snapshot::SnapshotError),
     /// An invariant the framework relies on was violated.
     Internal(String),
 }
@@ -119,6 +122,7 @@ impl std::fmt::Display for TorpedoError {
             TorpedoError::StatusBind { addr, source } => {
                 write!(f, "status endpoint failed to bind {addr}: {source}")
             }
+            TorpedoError::Snapshot(e) => write!(f, "{e}"),
             TorpedoError::Internal(msg) => write!(f, "internal error: {msg}"),
         }
     }
@@ -131,6 +135,7 @@ impl std::error::Error for TorpedoError {
             TorpedoError::Engine(e) => Some(e),
             TorpedoError::RoundRetriesExhausted { last, .. } => Some(last.as_ref()),
             TorpedoError::StatusBind { source, .. } => Some(source),
+            TorpedoError::Snapshot(e) => Some(e),
             _ => None,
         }
     }
@@ -145,6 +150,12 @@ impl From<LatchError> for TorpedoError {
 impl From<EngineError> for TorpedoError {
     fn from(e: EngineError) -> TorpedoError {
         TorpedoError::Engine(e)
+    }
+}
+
+impl From<crate::snapshot::SnapshotError> for TorpedoError {
+    fn from(e: crate::snapshot::SnapshotError) -> TorpedoError {
+        TorpedoError::Snapshot(e)
     }
 }
 

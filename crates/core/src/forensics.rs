@@ -132,6 +132,12 @@ impl LineageBook {
         self.records.get(&id)
     }
 
+    /// Retained records in FIFO (insertion) order — the deterministic
+    /// ordering checkpoint bundles serialize the book in.
+    pub fn records_in_order(&self) -> impl Iterator<Item = &LineageRecord> {
+        self.order.iter().filter_map(|id| self.records.get(id))
+    }
+
     /// Fill `id`'s post-mutation score, first observation wins.
     pub fn note_round_score(&mut self, id: ProgramId, score: f64) {
         if let Some(record) = self.records.get_mut(&id) {
@@ -194,6 +200,13 @@ impl TrajectoryBook {
             .get(&batch)
             .map(|ring| ring.iter().copied().collect())
             .unwrap_or_default()
+    }
+
+    /// Batches with a retained series, sorted ascending.
+    pub fn batches(&self) -> Vec<usize> {
+        let mut out: Vec<usize> = self.series.keys().copied().collect();
+        out.sort_unstable();
+        out
     }
 }
 
@@ -303,6 +316,11 @@ impl FlightRecorder {
     pub fn trajectory(&self, batch: usize) -> Vec<TrajectoryPoint> {
         self.trajectories.series(batch)
     }
+
+    /// Batches with a retained trajectory, sorted ascending.
+    pub fn trajectory_batches(&self) -> Vec<usize> {
+        self.trajectories.batches()
+    }
 }
 
 /// What triggered a bundle.
@@ -410,7 +428,7 @@ pub struct ForensicsBundle {
     pub minimization: Option<MinimizationSummary>,
 }
 
-fn json_escape(out: &mut String, text: &str) {
+pub(crate) fn json_escape(out: &mut String, text: &str) {
     for ch in text.chars() {
         match ch {
             '"' => out.push_str("\\\""),
@@ -424,7 +442,7 @@ fn json_escape(out: &mut String, text: &str) {
     }
 }
 
-fn push_str_member(out: &mut String, key: &str, value: &str) {
+pub(crate) fn push_str_member(out: &mut String, key: &str, value: &str) {
     out.push('"');
     out.push_str(key);
     out.push_str("\":\"");
@@ -432,11 +450,62 @@ fn push_str_member(out: &mut String, key: &str, value: &str) {
     out.push('"');
 }
 
-fn push_opt_id(out: &mut String, key: &str, id: Option<ProgramId>) {
+pub(crate) fn push_opt_id(out: &mut String, key: &str, id: Option<ProgramId>) {
     match id {
         Some(id) => out.push_str(&format!("\"{key}\":\"{id}\"")),
         None => out.push_str(&format!("\"{key}\":null")),
     }
+}
+
+/// Append one [`LineageRecord`] as its wire object — shared between the
+/// forensics bundle and the checkpoint bundle so both serialize lineage
+/// byte-identically.
+pub(crate) fn push_lineage_record(out: &mut String, r: &LineageRecord) {
+    out.push_str(&format!("{{\"id\":\"{}\",", r.id));
+    push_opt_id(out, "parent", r.parent);
+    out.push(',');
+    push_opt_id(out, "donor", r.donor);
+    out.push_str(&format!(
+        ",\"op\":{},\"batch\":{},\"round\":{},\"shard\":{},\"pre_score\":{},\"post_score\":{}}}",
+        r.op.map_or("null".to_string(), |op| format!("\"{}\"", op.as_str())),
+        r.batch,
+        r.round,
+        r.shard,
+        r.pre_score,
+        r.post_score.map_or("null".to_string(), |s| s.to_string()),
+    ));
+}
+
+/// Parse one lineage-record wire object back.
+pub(crate) fn parse_lineage_record(r: &JsonValue) -> Result<LineageRecord, LogParseError> {
+    let id =
+        ProgramId::parse_hex(need_str(r, "id")?).ok_or_else(|| bundle_err("bad lineage id"))?;
+    let op = match need(r, "op")? {
+        JsonValue::Null => None,
+        JsonValue::String(s) => {
+            Some(MutationOp::parse(s).ok_or_else(|| bundle_err("unknown mutation operator"))?)
+        }
+        _ => return Err(bundle_err("lineage op not a string or null")),
+    };
+    let post_score = match need(r, "post_score")? {
+        JsonValue::Null => None,
+        value => Some(
+            value
+                .as_f64()
+                .ok_or_else(|| bundle_err("post_score not a number"))?,
+        ),
+    };
+    Ok(LineageRecord {
+        id,
+        parent: opt_id(r, "parent")?,
+        donor: opt_id(r, "donor")?,
+        op,
+        batch: need_u64(r, "batch")? as usize,
+        round: need_u64(r, "round")?,
+        shard: need_u64(r, "shard")? as usize,
+        pre_score: need_f64(r, "pre_score")?,
+        post_score,
+    })
 }
 
 impl ForensicsBundle {
@@ -472,19 +541,7 @@ impl ForensicsBundle {
             if i > 0 {
                 out.push(',');
             }
-            out.push_str(&format!("{{\"id\":\"{}\",", r.id));
-            push_opt_id(&mut out, "parent", r.parent);
-            out.push(',');
-            push_opt_id(&mut out, "donor", r.donor);
-            out.push_str(&format!(
-                ",\"op\":{},\"batch\":{},\"round\":{},\"shard\":{},\"pre_score\":{},\"post_score\":{}}}",
-                r.op.map_or("null".to_string(), |op| format!("\"{}\"", op.as_str())),
-                r.batch,
-                r.round,
-                r.shard,
-                r.pre_score,
-                r.post_score.map_or("null".to_string(), |s| s.to_string()),
-            ));
+            push_lineage_record(&mut out, r);
         }
         out.push_str("],\"trajectory\":[");
         for (i, p) in self.trajectory.iter().enumerate() {
@@ -546,43 +603,46 @@ impl ForensicsBundle {
     }
 }
 
-fn bundle_err(message: impl Into<String>) -> LogParseError {
+pub(crate) fn bundle_err(message: impl Into<String>) -> LogParseError {
     LogParseError {
         line: 1,
         message: message.into(),
     }
 }
 
-fn need<'a>(doc: &'a JsonValue, key: &str) -> Result<&'a JsonValue, LogParseError> {
+pub(crate) fn need<'a>(doc: &'a JsonValue, key: &str) -> Result<&'a JsonValue, LogParseError> {
     doc.get(key)
         .ok_or_else(|| bundle_err(format!("missing member '{key}'")))
 }
 
-fn need_u64(doc: &JsonValue, key: &str) -> Result<u64, LogParseError> {
+pub(crate) fn need_u64(doc: &JsonValue, key: &str) -> Result<u64, LogParseError> {
     need(doc, key)?
         .as_u64()
         .ok_or_else(|| bundle_err(format!("member '{key}' not an integer")))
 }
 
-fn need_f64(doc: &JsonValue, key: &str) -> Result<f64, LogParseError> {
+pub(crate) fn need_f64(doc: &JsonValue, key: &str) -> Result<f64, LogParseError> {
     need(doc, key)?
         .as_f64()
         .ok_or_else(|| bundle_err(format!("member '{key}' not a number")))
 }
 
-fn need_str<'a>(doc: &'a JsonValue, key: &str) -> Result<&'a str, LogParseError> {
+pub(crate) fn need_str<'a>(doc: &'a JsonValue, key: &str) -> Result<&'a str, LogParseError> {
     need(doc, key)?
         .as_str()
         .ok_or_else(|| bundle_err(format!("member '{key}' not a string")))
 }
 
-fn need_array<'a>(doc: &'a JsonValue, key: &str) -> Result<&'a [JsonValue], LogParseError> {
+pub(crate) fn need_array<'a>(
+    doc: &'a JsonValue,
+    key: &str,
+) -> Result<&'a [JsonValue], LogParseError> {
     need(doc, key)?
         .as_array()
         .ok_or_else(|| bundle_err(format!("member '{key}' not an array")))
 }
 
-fn opt_id(doc: &JsonValue, key: &str) -> Result<Option<ProgramId>, LogParseError> {
+pub(crate) fn opt_id(doc: &JsonValue, key: &str) -> Result<Option<ProgramId>, LogParseError> {
     match need(doc, key)? {
         JsonValue::Null => Ok(None),
         JsonValue::String(s) => ProgramId::parse_hex(s)
@@ -630,34 +690,7 @@ pub fn parse_bundle(text: &str) -> Result<ForensicsBundle, LogParseError> {
 
     let mut lineage = Vec::new();
     for r in need_array(&doc, "lineage")? {
-        let id =
-            ProgramId::parse_hex(need_str(r, "id")?).ok_or_else(|| bundle_err("bad lineage id"))?;
-        let op = match need(r, "op")? {
-            JsonValue::Null => None,
-            JsonValue::String(s) => {
-                Some(MutationOp::parse(s).ok_or_else(|| bundle_err("unknown mutation operator"))?)
-            }
-            _ => return Err(bundle_err("lineage op not a string or null")),
-        };
-        let post_score = match need(r, "post_score")? {
-            JsonValue::Null => None,
-            value => Some(
-                value
-                    .as_f64()
-                    .ok_or_else(|| bundle_err("post_score not a number"))?,
-            ),
-        };
-        lineage.push(LineageRecord {
-            id,
-            parent: opt_id(r, "parent")?,
-            donor: opt_id(r, "donor")?,
-            op,
-            batch: need_u64(r, "batch")? as usize,
-            round: need_u64(r, "round")?,
-            shard: need_u64(r, "shard")? as usize,
-            pre_score: need_f64(r, "pre_score")?,
-            post_score,
-        });
+        lineage.push(parse_lineage_record(r)?);
     }
 
     let mut trajectory = Vec::new();

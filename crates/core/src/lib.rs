@@ -24,6 +24,9 @@
 //! * [`forensics`] — mutation lineage, score trajectories, and the
 //!   flight recorder that packages a finding into a self-contained
 //!   `torpedo-forensics-v1` bundle for offline replay.
+//! * [`snapshot`] — durable campaigns: the crash-safe
+//!   `torpedo-snapshot-v1` checkpoint bundle, verified byte-identical
+//!   resume, and the cross-campaign corpus export/import service.
 //! * [`stats`] — campaign counters, including [`RecoveryStats`] for the
 //!   fault-injection / supervision subsystem.
 //!
@@ -62,6 +65,7 @@ pub mod parallel;
 pub mod prog_sm;
 pub mod seeds;
 pub mod shard;
+pub mod snapshot;
 pub mod stats;
 
 pub use batch::{BatchAction, BatchConfig, BatchMachine, BatchState, RoundVerdict};
@@ -86,6 +90,11 @@ pub use prog_sm::{InvalidTransition, ProgEvent, ProgStage, ProgramStateMachine};
 pub use seeds::{default_denylist, filter_denylisted, SeedCorpus};
 pub use shard::{
     derive_shard_seed, run_sharded, shard_seeds, ShardMetrics, ShardOutcome, ShardReport,
+};
+pub use snapshot::{
+    derive_round_seed, export_corpus, import_corpus, import_corpus_file, load_checkpoint,
+    load_latest, parse_snapshot, read_text_capped, render_campaign_config, write_checkpoint,
+    CheckpointConfig, SnapshotBundle, SnapshotError, CORPUS_SCHEMA, SNAPSHOT_SCHEMA,
 };
 pub use stats::{telemetry_saturation_section, CampaignStats, RecoveryStats};
 // Telemetry lives in its own crate (the runtime engine feeds it too);

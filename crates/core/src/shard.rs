@@ -257,6 +257,11 @@ pub fn run_sharded<O: Oracle + Sync>(
                     // (The telemetry handle in the observer config is an Arc,
                     // so all shards still feed the same shared registry.)
                     shard_config.status_addr = None;
+                    // Shards checkpoint into disjoint subdirectories so
+                    // their atomic-rename protocols never collide.
+                    if let Some(ckpt) = shard_config.checkpoint.as_mut() {
+                        ckpt.dir = ckpt.dir.join(format!("shard-{shard}"));
+                    }
                     let seed = shard_config.seed;
                     let campaign = Campaign::new(shard_config, Arc::clone(table));
                     let result = campaign.run(corpus, oracle).map(|report| ShardOutcome {
@@ -327,6 +332,7 @@ fn merge(shards: Vec<ShardOutcome>) -> ShardReport {
         faults.container_crash += report.faults_injected.container_crash;
         faults.exec_error += report.faults_injected.exec_error;
         faults.executor_hang += report.faults_injected.executor_hang;
+        faults.checkpoint_write_fail += report.faults_injected.checkpoint_write_fail;
         quarantined.extend(report.quarantined.iter().cloned());
     }
     flagged.sort_by(|a, b| {

@@ -46,6 +46,14 @@ impl CoverageSet {
             .collect()
     }
 
+    /// Every distinct signal seen, sorted ascending — the deterministic
+    /// ordering checkpoint bundles serialize.
+    pub fn signals_sorted(&self) -> Vec<u64> {
+        let mut out: Vec<u64> = self.seen.iter().copied().collect();
+        out.sort_unstable();
+        out
+    }
+
     /// Number of distinct signals seen.
     pub fn len(&self) -> usize {
         self.seen.len()

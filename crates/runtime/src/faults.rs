@@ -40,16 +40,21 @@ pub enum FaultKind {
     ExecError,
     /// The executor wedges and misses its ready/report latch deadline.
     ExecutorHang,
+    /// A campaign checkpoint write dies mid-rename: the temp file lands
+    /// but the atomic rename to the final name never happens, leaving the
+    /// previous good checkpoint in place.
+    CheckpointWriteFail,
 }
 
 impl FaultKind {
     /// All kinds, in a stable order (counter layout, reports).
-    pub const ALL: [FaultKind; 5] = [
+    pub const ALL: [FaultKind; 6] = [
         FaultKind::StartFail,
         FaultKind::CgroupWriteFail,
         FaultKind::ContainerCrash,
         FaultKind::ExecError,
         FaultKind::ExecutorHang,
+        FaultKind::CheckpointWriteFail,
     ];
 
     /// Stable name used in logs and hashing.
@@ -60,6 +65,7 @@ impl FaultKind {
             FaultKind::ContainerCrash => "container-crash",
             FaultKind::ExecError => "exec-error",
             FaultKind::ExecutorHang => "executor-hang",
+            FaultKind::CheckpointWriteFail => "checkpoint-write-fail",
         }
     }
 
@@ -70,6 +76,7 @@ impl FaultKind {
             FaultKind::ContainerCrash => 0x53,
             FaultKind::ExecError => 0x54,
             FaultKind::ExecutorHang => 0x55,
+            FaultKind::CheckpointWriteFail => 0x56,
         }
     }
 }
@@ -90,6 +97,8 @@ pub struct FaultConfig {
     pub exec_error: f64,
     /// Probability an executor hangs past its latch deadline.
     pub executor_hang: f64,
+    /// Probability a due campaign checkpoint write dies mid-rename.
+    pub checkpoint_write_fail: f64,
 }
 
 impl Default for FaultConfig {
@@ -101,6 +110,7 @@ impl Default for FaultConfig {
             container_crash: 0.0,
             exec_error: 0.0,
             executor_hang: 0.0,
+            checkpoint_write_fail: 0.0,
         }
     }
 }
@@ -119,6 +129,7 @@ impl FaultConfig {
             FaultKind::ContainerCrash => self.container_crash,
             FaultKind::ExecError => self.exec_error,
             FaultKind::ExecutorHang => self.executor_hang,
+            FaultKind::CheckpointWriteFail => self.checkpoint_write_fail,
         }
     }
 }
@@ -136,6 +147,9 @@ pub struct FaultCounters {
     pub exec_error: u64,
     /// Injected executor hangs.
     pub executor_hang: u64,
+    /// Injected checkpoint-write failures (counted by the campaign
+    /// driver's checkpoint ledger, not the engine).
+    pub checkpoint_write_fail: u64,
 }
 
 impl FaultCounters {
@@ -146,6 +160,7 @@ impl FaultCounters {
             + self.container_crash
             + self.exec_error
             + self.executor_hang
+            + self.checkpoint_write_fail
     }
 
     fn bump(&mut self, kind: FaultKind) {
@@ -155,6 +170,7 @@ impl FaultCounters {
             FaultKind::ContainerCrash => self.container_crash += 1,
             FaultKind::ExecError => self.exec_error += 1,
             FaultKind::ExecutorHang => self.executor_hang += 1,
+            FaultKind::CheckpointWriteFail => self.checkpoint_write_fail += 1,
         }
     }
 }
@@ -234,6 +250,27 @@ fn mix(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Deterministic checkpoint-write-fault decision, keyed only by the fault
+/// seed and the global round number the checkpoint is due at.
+///
+/// Unlike [`FaultPlan::roll`], this is a *pure* function with no sequence
+/// state: a resumed campaign that replays rounds without re-writing their
+/// checkpoints still computes the same decisions (and hence the same fault
+/// counters) as the uninterrupted run — the property the byte-identical
+/// resume contract depends on.
+pub fn checkpoint_fault_hit(config: &FaultConfig, round: u64) -> bool {
+    let rate = config.rate(FaultKind::CheckpointWriteFail);
+    if rate <= 0.0 {
+        return false;
+    }
+    decision_draw(
+        config.seed,
+        FaultKind::CheckpointWriteFail,
+        "checkpoint",
+        round,
+    ) < rate
+}
+
 /// Uniform draw in `[0, 1)` keyed by the full decision identity.
 fn decision_draw(seed: u64, kind: FaultKind, scope: &str, seq: u64) -> f64 {
     let mut h = mix(seed ^ 0x9E37_79B9_7F4A_7C15);
@@ -259,6 +296,7 @@ mod tests {
             container_crash: rate,
             exec_error: rate,
             executor_hang: rate,
+            checkpoint_write_fail: rate,
         })
     }
 
@@ -365,8 +403,31 @@ mod tests {
                 "cgroup-write-fail",
                 "container-crash",
                 "exec-error",
-                "executor-hang"
+                "executor-hang",
+                "checkpoint-write-fail"
             ]
         );
+    }
+
+    #[test]
+    fn checkpoint_fault_is_pure_and_rate_gated() {
+        let config = FaultConfig {
+            seed: 11,
+            checkpoint_write_fail: 0.5,
+            ..FaultConfig::default()
+        };
+        // Stateless: the same round always decides the same way, however
+        // often (or in whatever order) it is consulted.
+        let first: Vec<bool> = (0..64).map(|r| checkpoint_fault_hit(&config, r)).collect();
+        let again: Vec<bool> = (0..64).map(|r| checkpoint_fault_hit(&config, r)).collect();
+        assert_eq!(first, again);
+        let hits = first.iter().filter(|h| **h).count();
+        assert!(hits > 8 && hits < 56, "rate 0.5 produced {hits}/64 hits");
+        // Zero rate never fires.
+        let off = FaultConfig {
+            seed: 11,
+            ..FaultConfig::default()
+        };
+        assert!((0..64).all(|r| !checkpoint_fault_hit(&off, r)));
     }
 }

@@ -38,7 +38,9 @@ use torpedo_kernel::syscalls::{ExecContext, ExecPolicy, SyscallOutcome, SyscallR
 
 pub use crun::Crun;
 pub use engine::{ContainerId, ContainerState, Engine};
-pub use faults::{FaultConfig, FaultCounters, FaultInjector, FaultKind, FaultPlan};
+pub use faults::{
+    checkpoint_fault_hit, FaultConfig, FaultCounters, FaultInjector, FaultKind, FaultPlan,
+};
 pub use gvisor::GVisor;
 pub use kata::Kata;
 pub use pods::{Kubelet, Pod, PodPhase, PodSpec, RestartPolicy};

@@ -61,17 +61,20 @@ pub enum SpanKind {
     Mutate = 4,
     /// Time spent waiting on a contended lock (engine stripe or kernel).
     LockWait = 5,
+    /// Checkpoint-bundle rendering/writing, and resume-time verification.
+    Checkpoint = 6,
 }
 
 impl SpanKind {
     /// Every kind, in stable export order.
-    pub const ALL: [SpanKind; 6] = [
+    pub const ALL: [SpanKind; 7] = [
         SpanKind::Round,
         SpanKind::Exec,
         SpanKind::Snapshot,
         SpanKind::Oracle,
         SpanKind::Mutate,
         SpanKind::LockWait,
+        SpanKind::Checkpoint,
     ];
 
     /// Stable wire name.
@@ -83,6 +86,7 @@ impl SpanKind {
             SpanKind::Oracle => "oracle",
             SpanKind::Mutate => "mutate",
             SpanKind::LockWait => "lock-wait",
+            SpanKind::Checkpoint => "checkpoint",
         }
     }
 }

@@ -29,11 +29,17 @@ pub enum CounterId {
     StatusRequests = 7,
     /// Forensics bundles emitted by the flight recorder.
     ForensicsBundles = 8,
+    /// Checkpoint bundles written crash-safely to disk.
+    CheckpointWrites = 9,
+    /// Checkpoint writes killed mid-rename by fault injection.
+    CheckpointWriteFails = 10,
+    /// Campaigns resumed from a checkpoint bundle.
+    CheckpointRestores = 11,
 }
 
 impl CounterId {
     /// Every counter, in stable export order.
-    pub const ALL: [CounterId; 9] = [
+    pub const ALL: [CounterId; 12] = [
         CounterId::RoundsCompleted,
         CounterId::ExecsTotal,
         CounterId::MutationsTotal,
@@ -43,6 +49,9 @@ impl CounterId {
         CounterId::FaultsInjected,
         CounterId::StatusRequests,
         CounterId::ForensicsBundles,
+        CounterId::CheckpointWrites,
+        CounterId::CheckpointWriteFails,
+        CounterId::CheckpointRestores,
     ];
 
     /// Stable wire name.
@@ -57,6 +66,9 @@ impl CounterId {
             CounterId::FaultsInjected => "faults_injected",
             CounterId::StatusRequests => "status_requests",
             CounterId::ForensicsBundles => "forensics_bundles",
+            CounterId::CheckpointWrites => "checkpoint_writes",
+            CounterId::CheckpointWriteFails => "checkpoint_write_fails",
+            CounterId::CheckpointRestores => "checkpoint_restores",
         }
     }
 }

@@ -1,0 +1,11 @@
+//! Fuzz the `torpedo-forensics-v1` flight-recorder bundle parser.
+
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+
+fuzz_target!(|data: &[u8]| {
+    if let Ok(text) = std::str::from_utf8(data) {
+        let _ = torpedo_core::parse_bundle(text);
+    }
+});

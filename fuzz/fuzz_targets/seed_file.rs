@@ -1,0 +1,21 @@
+//! Fuzz the seed-ingestion surfaces: the program deserializer, the seed
+//! corpus loader (with the blocking-call denylist), and the
+//! `torpedo-corpus-v1` importer.
+
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+
+fn table() -> &'static [torpedo_prog::SyscallDesc] {
+    static TABLE: std::sync::OnceLock<Vec<torpedo_prog::SyscallDesc>> = std::sync::OnceLock::new();
+    TABLE.get_or_init(torpedo_prog::build_table)
+}
+
+fuzz_target!(|data: &[u8]| {
+    if let Ok(text) = std::str::from_utf8(data) {
+        let denylist = torpedo_core::default_denylist();
+        let _ = torpedo_prog::deserialize(text, table());
+        let _ = torpedo_core::SeedCorpus::load(&[text], table(), &denylist);
+        let _ = torpedo_core::import_corpus(text, table());
+    }
+});

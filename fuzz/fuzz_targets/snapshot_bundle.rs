@@ -1,0 +1,13 @@
+//! Fuzz the `torpedo-snapshot-v1` checkpoint bundle parser: size caps,
+//! hash verification, and the typed-extraction layer must reject hostile
+//! input without panicking.
+
+#![no_main]
+
+use libfuzzer_sys::fuzz_target;
+
+fuzz_target!(|data: &[u8]| {
+    if let Ok(text) = std::str::from_utf8(data) {
+        let _ = torpedo_core::parse_snapshot(text);
+    }
+});

@@ -131,6 +131,7 @@ fn same_seed_and_fault_plan_is_deterministic() {
         start_fail: 0.15,
         exec_error: 0.002,
         cgroup_write_fail: 0.05,
+        checkpoint_write_fail: 0.0,
     };
     let table = build_table();
     let a = run(faults.clone(), false);
@@ -206,6 +207,7 @@ proptest! {
                 start_fail: start,
                 exec_error: exec,
                 cgroup_write_fail: cgroup,
+                checkpoint_write_fail: 0.0,
             },
             false,
         );

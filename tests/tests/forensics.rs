@@ -96,7 +96,8 @@ fn replay_reconfirms(bundle: &ForensicsBundle, oracle: &dyn Oracle) -> Result<()
                 Ok(())
             } else {
                 Err(format!(
-                    "replay kinds {got:?} share nothing with flagged {wanted:?}"
+                    "replay kinds {got:?} share nothing with flagged {wanted:?} (round {} program {:?})",
+                    bundle.round, bundle.program
                 ))
             }
         }
