@@ -12,8 +12,8 @@
 //!   1-shard baseline and per-entry `scaling_efficiency` (plus the host's
 //!   `available_parallelism` so single-core readings aren't mistaken for
 //!   lock contention).
-//! * `contention` — lock-wait nanoseconds per round stage from the striped
-//!   parallel observer at 1/2/4/8 workers.
+//! * `contention` — lock-wait nanoseconds per round stage from the
+//!   partitioned-kernel parallel observer at 1/2/4/8 workers.
 //! * `latency` — telemetry histograms from an instrumented campaign plus a
 //!   parallel run: round latency, per-program exec latency and lock-wait
 //!   distributions, with per-span-kind aggregates.
@@ -72,6 +72,18 @@ fn main() {
     std::fs::write(out_path, &json).expect("write BENCH_fuzz.json");
     eprintln!("torpedo-bench: wrote {out_path}");
     print!("{json}");
+}
+
+/// Worker threads the host can actually run in parallel. `TORPEDO_BENCH_THREADS`
+/// (documented in `devtools/bench.sh`) overrides the probe for CI runners whose
+/// cgroup quota makes `available_parallelism` misleading; otherwise the std
+/// probe decides, falling back to 1 when it errors.
+fn host_parallelism() -> usize {
+    std::env::var("TORPEDO_BENCH_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
 }
 
 fn bench_ctx() -> (Kernel, ExecContext) {
@@ -243,7 +255,15 @@ fn bench_shard_scaling(quick: bool) -> String {
     let texts = torpedo_moonshine::generate_corpus(if quick { 4 } else { 8 }, 1);
     let seeds = SeedCorpus::load(&texts, &table, &default_denylist()).unwrap();
     let config = throughput_config(quick);
-    let host_parallelism = std::thread::available_parallelism().map_or(1, |n| n.get());
+    let host_parallelism = host_parallelism();
+    // The CI scaling gate (devtools/ci.sh) only holds the 4-shard
+    // efficiency floor when the host can actually run 4 workers at once;
+    // the annotation makes a skipped gate visible in the committed JSON.
+    let scaling_gate = if host_parallelism >= 4 {
+        "enforced".to_string()
+    } else {
+        format!("skipped (host_parallelism {host_parallelism} < 4 shards)")
+    };
 
     let mut points = Vec::new();
     let mut baseline_eps: Option<f64> = None;
@@ -295,17 +315,19 @@ fn bench_shard_scaling(quick: bool) -> String {
         ));
     }
     format!(
-        "{{\n    \"host_parallelism\": {},\n    \"points\": [\n    {}\n  ]\n  }}",
+        "{{\n    \"host_parallelism\": {},\n    \"scaling_gate\": \"{}\",\n    \"points\": [\n    {}\n  ]\n  }}",
         host_parallelism,
+        scaling_gate,
         points.join(",\n    ")
     )
 }
 
 /// Lock-wait telemetry per round stage: run the parallel observer directly
-/// at 1/2/4/8 workers and report how long threads sat on the shared locks
-/// (engine read lock and kernel mutex in the execution loop, engine write +
-/// kernel in the measurement section). With striped container locks the
-/// execution-loop numbers are the residual global contention.
+/// at 1/2/4/8 workers. With partitioned kernels each worker locks only its
+/// own partition once per window, so `exec_kernel_wait_ns` is the residual
+/// supervisor/worker handoff cost, not cross-worker contention; the CI
+/// contention gate holds the 8-worker figure near the 1-worker figure.
+/// `exec_engine_wait_ns` is retained for schema stability and is always 0.
 fn bench_contention(quick: bool) -> String {
     let table = build_table();
     let rounds: u64 = if quick { 2 } else { 6 };
@@ -351,8 +373,14 @@ fn bench_contention(quick: bool) -> String {
 ///   config merely carries a (disabled, `interval_rounds: 0`) checkpoint
 ///   policy versus the plain pre-feature config. The CI gate holds this
 ///   under 2%.
-/// * `..._checkpoint_on` — the same campaign checkpointing every other
-///   round, with per-write latency from the `checkpoint` span totals.
+/// * `..._checkpoint_on_sync` — the same campaign checkpointing every
+///   other round with persistence forced inline
+///   (`TORPEDO_CHECKPOINT_SYNC=1`): the pre-offload cost.
+/// * `..._checkpoint_on` — checkpointing every other round with the
+///   background writer forced (`TORPEDO_CHECKPOINT_SYNC=0`; the
+///   campaign's default picks background only when a spare core exists
+///   to run it on), with per-write latency from the `checkpoint` span
+///   totals.
 /// * `resume_*` — load the newest checkpoint back and resume in a fresh
 ///   campaign; the resumed report must render byte-identically.
 fn bench_durability(quick: bool) -> String {
@@ -397,22 +425,49 @@ fn bench_durability(quick: bool) -> String {
         eps_off = eps_off.max(run_eps(&config_off));
     }
 
-    // Checkpointing on, instrumented: every other round, keep 4.
-    let telemetry = Telemetry::enabled();
+    // Checkpointing on with persistence forced inline: the pre-offload
+    // ("before") figure. Own directory and no shared telemetry so the
+    // instrumented background run below stays the sole source of the
+    // span/counter stats.
+    let sync_dir =
+        std::env::temp_dir().join(format!("torpedo-bench-ckpt-sync-{}", std::process::id()));
+    std::fs::remove_dir_all(&sync_dir).ok();
+    let mut config_on_sync = throughput_config(false);
+    config_on_sync.checkpoint = Some(CheckpointConfig {
+        dir: sync_dir.clone(),
+        interval_rounds: 2,
+        keep: 4,
+    });
+    std::env::set_var("TORPEDO_CHECKPOINT_SYNC", "1");
+    let mut eps_on_sync = 0.0f64;
+    for _ in 0..runs {
+        eps_on_sync = eps_on_sync.max(run_eps(&config_on_sync));
+    }
+    std::env::remove_var("TORPEDO_CHECKPOINT_SYNC");
+    std::fs::remove_dir_all(&sync_dir).ok();
+
+    // Checkpointing on with the background writer forced (the "after"
+    // figure), best-of-N like the sync run so the offload comparison is
+    // apples-to-apples.
     let mut config_on = throughput_config(false);
-    config_on.observer.telemetry = telemetry.clone();
     config_on.checkpoint = Some(CheckpointConfig {
         dir: ckpt_dir.clone(),
         interval_rounds: 2,
         keep: 4,
     });
-    let start = Instant::now();
+    std::env::set_var("TORPEDO_CHECKPOINT_SYNC", "0");
+    let mut eps_on = 0.0f64;
+    for _ in 0..runs {
+        eps_on = eps_on.max(run_eps(&config_on));
+    }
+
+    // One instrumented background run feeds the write/span stats and the
+    // resume check; its timing is not used (best-of-N above is).
+    let telemetry = Telemetry::enabled();
+    config_on.observer.telemetry = telemetry.clone();
     let report_on = Campaign::new(config_on.clone(), table.clone())
         .run(&seeds, &oracle)
         .expect("checkpointed campaign");
-    let host_on = start.elapsed().as_secs_f64().max(1e-9);
-    let execs_on: u64 = report_on.logs.iter().map(|l| l.executions).sum();
-    let eps_on = execs_on as f64 / host_on;
     let writes = telemetry.counter(CounterId::CheckpointWrites);
     let (span_count, span_total_ns) = telemetry.span_totals(SpanKind::Checkpoint);
 
@@ -425,14 +480,17 @@ fn bench_durability(quick: bool) -> String {
     let resume_secs = rstart.elapsed().as_secs_f64();
     let identical = format!("{:?}", resumed.logs) == format!("{:?}", report_on.logs)
         && resumed.rounds_total == report_on.rounds_total;
+    std::env::remove_var("TORPEDO_CHECKPOINT_SYNC");
     std::fs::remove_dir_all(&ckpt_dir).ok();
 
     format!(
-        "{{\n    \"runs\": {},\n    \"execs_per_sec_reference\": {:.1},\n    \"execs_per_sec_checkpoint_off\": {:.1},\n    \"overhead_off_pct\": {:.2},\n    \"execs_per_sec_checkpoint_on\": {:.1},\n    \"overhead_on_pct\": {:.2},\n    \"checkpoint_writes\": {},\n    \"checkpoint_span_count\": {},\n    \"checkpoint_write_mean_ns\": {:.0},\n    \"resume_host_seconds\": {:.3},\n    \"resume_rounds_replayed\": {},\n    \"resume_byte_identical\": {}\n  }}",
+        "{{\n    \"runs\": {},\n    \"execs_per_sec_reference\": {:.1},\n    \"execs_per_sec_checkpoint_off\": {:.1},\n    \"overhead_off_pct\": {:.2},\n    \"execs_per_sec_checkpoint_on_sync\": {:.1},\n    \"overhead_on_sync_pct\": {:.2},\n    \"execs_per_sec_checkpoint_on\": {:.1},\n    \"overhead_on_pct\": {:.2},\n    \"checkpoint_writes\": {},\n    \"checkpoint_span_count\": {},\n    \"checkpoint_write_mean_ns\": {:.0},\n    \"resume_host_seconds\": {:.3},\n    \"resume_rounds_replayed\": {},\n    \"resume_byte_identical\": {}\n  }}",
         runs,
         eps_ref,
         eps_off,
         (100.0 * (1.0 - safe_div(eps_off, eps_ref))).max(0.0),
+        eps_on_sync,
+        (100.0 * (1.0 - safe_div(eps_on_sync, eps_ref))).max(0.0),
         eps_on,
         (100.0 * (1.0 - safe_div(eps_on, eps_ref))).max(0.0),
         writes,

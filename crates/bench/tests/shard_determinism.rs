@@ -168,6 +168,97 @@ fn telemetry_does_not_perturb_shard_determinism() {
     );
 }
 
+/// The partitioned-kernel invariance property: with telemetry, forensics,
+/// and per-shard checkpointing all on, a 4-shard run's merged report,
+/// forensics bundles, and on-disk checkpoint bytes must be identical
+/// across worker counts 1/2/4/8, for any campaign seed. Worker threads
+/// decide only *when* work happens, never *what* any shard computes.
+mod worker_count_property {
+    use super::*;
+    use proptest::prelude::*;
+    use std::path::Path;
+
+    /// Every file under `dir`, as sorted (relative path, bytes) pairs.
+    fn dir_files(dir: &Path) -> Vec<(String, Vec<u8>)> {
+        fn walk(base: &Path, dir: &Path, out: &mut Vec<(String, Vec<u8>)>) {
+            let Ok(entries) = std::fs::read_dir(dir) else {
+                return;
+            };
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.is_dir() {
+                    walk(base, &path, out);
+                } else {
+                    let rel = path
+                        .strip_prefix(base)
+                        .expect("entry under base")
+                        .to_string_lossy()
+                        .into_owned();
+                    out.push((rel, std::fs::read(&path).expect("read checkpoint")));
+                }
+            }
+        }
+        let mut files = Vec::new();
+        walk(dir, dir, &mut files);
+        files.sort();
+        files
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(3))]
+        #[test]
+        fn artifacts_are_worker_count_invariant(seed in 0u64..(1u64 << 32)) {
+            let (table, seeds) = table_seeds();
+            let ckpt_root = std::env::temp_dir().join(format!(
+                "torpedo-prop-ckpt-{}-{seed}",
+                std::process::id()
+            ));
+            let fingerprint = |workers: usize| {
+                std::fs::remove_dir_all(&ckpt_root).ok();
+                let mut config = config();
+                config.seed = seed;
+                config.forensics = true;
+                config.observer.telemetry = torpedo_core::Telemetry::enabled();
+                config.checkpoint = Some(torpedo_core::CheckpointConfig {
+                    dir: ckpt_root.clone(),
+                    interval_rounds: 1,
+                    keep: 8,
+                });
+                let report = run_sharded(
+                    &config,
+                    table.clone(),
+                    &seeds,
+                    4,
+                    workers,
+                    &CpuOracle::new(),
+                )
+                .unwrap();
+                let logs: Vec<String> = report
+                    .shards
+                    .iter()
+                    .map(|s| format!("seed={} logs={:?}", s.seed, s.report.logs))
+                    .collect();
+                (logs, format!("{:?}", report.forensics), dir_files(&ckpt_root))
+            };
+            let baseline = fingerprint(1);
+            prop_assert!(
+                !baseline.2.is_empty(),
+                "checkpointing was on: files must exist"
+            );
+            for workers in [2usize, 4, 8] {
+                let got = fingerprint(workers);
+                prop_assert_eq!(
+                    &got,
+                    &baseline,
+                    "worker count {} changed merged artifacts",
+                    workers
+                );
+            }
+            std::fs::remove_dir_all(&ckpt_root).ok();
+        }
+    }
+}
+
 #[test]
 fn sharded_run_covers_all_table_4_2_families() {
     let (table, seeds) = table_seeds();

@@ -21,19 +21,36 @@
 //! and retried from scratch otherwise, up to
 //! [`SupervisorConfig::round_retries`] times.
 //!
-//! Synchronization is striped, not monolithic. The engine sits behind a
-//! [`parking_lot::RwLock`] that workers only ever *read*-lock: per-container
-//! state (the `ExecContext`, crash state, seccomp/AppArmor checks) lives
-//! behind per-container stripes inside the engine, so two workers driving
-//! different containers execute concurrently and contend only when they
-//! truly race for the same victim container. The simulated kernel — the
-//! core scheduler, `/proc/stat` accounting, and the deferral ledger — is
-//! genuinely shared measurement state and stays behind one
-//! [`parking_lot::Mutex`], taken per iteration. Supervisor paths
-//! (restarts, measurement) take the engine *write* lock first, then the
-//! kernel lock, matching the workers' engine→kernel order so the two can
-//! never deadlock. Lock-wait time is accumulated per stage in
-//! [`LockStats`] for the contention section of `torpedo_bench`.
+//! # Partitioned kernels
+//!
+//! There is no shared kernel mutex. Worker `i` owns kernel **partition**
+//! `i`: a full simulated [`Kernel`] plus its own [`Engine`] hosting exactly
+//! one executor container, pinned to core `i`. The partition sits behind a
+//! round-scoped [`parking_lot::Mutex`] — the worker locks it *once* per
+//! measurement window and then runs the whole execution loop on plain
+//! `&mut Kernel`, so the exec hot path takes zero locks per iteration and
+//! workers never serialize against each other. The supervisor takes the
+//! same mutex only between windows (measurement, restarts).
+//!
+//! Determinism is the headline guarantee. Every partition boots from the
+//! same [`KernelConfig`] (identical daemon pids, identical noise seed), and
+//! at measurement time the partitions are merged in canonical
+//! partition-index order: secondary partitions are drained raw
+//! ([`Kernel::take_round_raw`] — no noise, no RNG, no cumulative fold) and
+//! replayed into the primary ([`Kernel::absorb_round_raw`]) before the
+//! primary alone runs [`Kernel::finish_round`]. Only the primary's noise
+//! RNG ever advances — on abandoned attempts too — so the 1-worker round
+//! log is byte-identical to the pre-partition single-kernel output, and
+//! N-worker output is a pure function of the configuration, independent of
+//! thread interleaving. Per-partition `top` frames merge via
+//! [`merge_frames`] keyed on `(pid, name)`.
+//!
+//! Wait-time accounting moved with the locks: the once-per-window partition
+//! acquisition feeds [`LockStats::exec_kernel_wait_ns`] and the dedicated
+//! `kernel_wait_ns` histogram ([`Telemetry::record_kernel_wait`]); the
+//! supervisor's measurement-path acquisitions stay in the legacy
+//! `lock_wait_ns` series. [`LockStats::exec_engine_wait_ns`] is retained
+//! for schema stability and is always zero — no shared engine lock remains.
 
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -41,12 +58,12 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{bounded, Receiver, RecvTimeoutError, Sender};
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Mutex, MutexGuard};
 
 use torpedo_kernel::kernel::Kernel;
 use torpedo_kernel::procfs::ProcStatSnapshot;
 use torpedo_kernel::time::Usecs;
-use torpedo_kernel::top::TopSampler;
+use torpedo_kernel::top::{merge_frames, TopSampler};
 use torpedo_oracle::observation::{ContainerInfo, Observation};
 use torpedo_prog::{Program, ProgramCoverage, SyscallDesc};
 use torpedo_runtime::engine::{ContainerId, Engine, EngineError};
@@ -84,44 +101,52 @@ struct Worker {
     restarts: u32,
 }
 
-/// Shared simulation state guarded for the worker threads.
+/// One kernel partition: a full simulated kernel plus the engine hosting
+/// its single executor container. Worker `i` holds partition `i` for the
+/// whole execution window; the supervisor takes it between windows.
+struct Partition {
+    kernel: Kernel,
+    engine: Engine,
+}
+
+/// State shared between the supervisor and the worker threads.
 struct Shared {
-    /// The genuinely global section: core scheduler, `/proc/stat`,
-    /// deferral ledger. One mutex, taken per iteration.
-    kernel: Mutex<Kernel>,
-    /// Read-locked by workers (per-container stripes inside the engine
-    /// carry the mutable state); write-locked only by supervisor paths
-    /// (restarts, round measurement). Lock order is engine before kernel,
-    /// everywhere.
-    engine: RwLock<Engine>,
+    /// One partition per worker, indexed by worker slot (plus one bare
+    /// partition when the fleet is empty, so measurement always has a
+    /// primary). The mutex is round-scoped, not iteration-scoped.
+    partitions: Vec<Mutex<Partition>>,
     /// Shared with the owning campaign (and any sibling campaigns) — an Arc
     /// clone rather than a per-observer copy of the description table.
     table: Arc<[SyscallDesc]>,
     /// Cumulative lock-wait counters, nanoseconds.
     locks: LockCounters,
-    /// Span/metrics sink (disabled by default). Lock waits fold into the
-    /// `lock_wait_ns` histogram alongside the [`LockCounters`] atomics.
+    /// Span/metrics sink (disabled by default). Exec-path partition waits
+    /// feed `kernel_wait_ns`; measurement waits feed `lock_wait_ns`.
     telemetry: Telemetry,
 }
 
 #[derive(Debug, Default)]
 struct LockCounters {
+    /// Retained for schema stability; never incremented since the shared
+    /// engine `RwLock` was replaced by per-worker partitions.
     exec_engine_ns: AtomicU64,
     exec_kernel_ns: AtomicU64,
     measure_ns: AtomicU64,
 }
 
-/// Cumulative time threads spent *waiting* for the shared locks, split by
+/// Cumulative time threads spent *waiting* for partition locks, split by
 /// round stage — the contention signal reported by `torpedo_bench`'s
 /// scaling section. All fields are nanoseconds summed across threads.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LockStats {
-    /// Worker wait on the engine read lock in the execution loop.
+    /// Worker wait on the old shared engine read lock. Always zero since
+    /// kernel partitioning removed that lock; kept so the bench JSON schema
+    /// (and its committed baselines) stay comparable across versions.
     pub exec_engine_wait_ns: u64,
-    /// Worker wait on the kernel mutex in the execution loop.
+    /// Worker wait for its kernel partition at window open — one
+    /// acquisition per worker per round, not per iteration.
     pub exec_kernel_wait_ns: u64,
-    /// Supervisor wait for the engine write + kernel locks in the
-    /// measurement section (includes draining in-flight readers).
+    /// Supervisor wait for the partition locks in the measurement section.
     pub measure_wait_ns: u64,
 }
 
@@ -133,12 +158,13 @@ impl LockStats {
 }
 
 /// A threaded observer: same protocol and measurements as
-/// [`crate::observer::Observer`], executed by concurrent workers under a
-/// supervising watchdog.
+/// [`crate::observer::Observer`], executed by concurrent workers over
+/// partitioned kernels under a supervising watchdog.
 pub struct ParallelObserver {
     shared: Arc<Shared>,
     workers: Vec<Worker>,
-    sampler: TopSampler,
+    /// One sampler per partition; frames merge in partition-index order.
+    samplers: Vec<TopSampler>,
     config: ObserverConfig,
     rounds: u64,
     faults: Option<Arc<dyn FaultInjector>>,
@@ -156,8 +182,10 @@ impl std::fmt::Debug for ParallelObserver {
 }
 
 impl ParallelObserver {
-    /// Boot the host, deploy containers, and spawn one worker thread per
-    /// executor. Injected start failures are retried with backoff.
+    /// Boot one kernel partition per executor (identical configuration, so
+    /// identical boot state), deploy each container into its own partition,
+    /// and spawn one worker thread per executor. Injected start failures
+    /// are retried with backoff.
     ///
     /// # Errors
     /// Engine errors from container creation; [`TorpedoError::RestartBudget`]
@@ -167,37 +195,47 @@ impl ParallelObserver {
         config: ObserverConfig,
         table: impl Into<Arc<[SyscallDesc]>>,
     ) -> Result<ParallelObserver, TorpedoError> {
-        let mut kernel = Kernel::new(kernel_config);
-        let mut engine = Engine::new(&mut kernel);
-        engine.set_telemetry(config.telemetry.clone());
         let faults = build_injector(&config);
-        if let Some(f) = &faults {
-            engine.set_fault_injector(Arc::clone(f));
-        }
         let mut recovery = RecoveryStats::default();
+        // One partition per worker; at least one so measurement always has
+        // a primary kernel even with an empty fleet.
+        let slots = config.executors.max(1);
+        let mut partitions = Vec::with_capacity(slots);
         let mut executors = Vec::with_capacity(config.executors);
-        for i in 0..config.executors {
-            let id = boot_container(&mut kernel, &mut engine, &config, i, &mut recovery)?;
-            let mut executor = Executor::new(id);
-            executor.collider = config.collider;
-            executor.glue = config.glue;
-            executors.push(executor);
+        for i in 0..slots {
+            let mut kernel = Kernel::new(kernel_config.clone());
+            let mut engine = Engine::new(&mut kernel);
+            engine.set_telemetry(config.telemetry.clone());
+            // The injector Arc is shared across partitions: fault decisions
+            // stay a pure per-scope function of the seed, and counters
+            // aggregate fleet-wide.
+            if let Some(f) = &faults {
+                engine.set_fault_injector(Arc::clone(f));
+            }
+            if i < config.executors {
+                let id = boot_container(&mut kernel, &mut engine, &config, i, &mut recovery)?;
+                let mut executor = Executor::new(id);
+                executor.collider = config.collider;
+                executor.glue = config.glue;
+                executors.push(executor);
+            }
+            partitions.push(Mutex::new(Partition { kernel, engine }));
         }
         let shared = Arc::new(Shared {
-            kernel: Mutex::new(kernel),
-            engine: RwLock::new(engine),
+            partitions,
             table: table.into(),
             locks: LockCounters::default(),
             telemetry: config.telemetry.clone(),
         });
         let workers = executors
             .into_iter()
-            .map(|executor| spawn_worker(Arc::clone(&shared), executor))
+            .enumerate()
+            .map(|(slot, executor)| spawn_worker(Arc::clone(&shared), slot, executor))
             .collect();
         Ok(ParallelObserver {
             shared,
             workers,
-            sampler: TopSampler::new(),
+            samplers: vec![TopSampler::new(); slots],
             config,
             rounds: 0,
             faults,
@@ -215,9 +253,10 @@ impl ParallelObserver {
         self.recovery
     }
 
-    /// Faults the engine's injector has taken so far.
+    /// Faults injected so far. The injector is shared across partitions, so
+    /// any partition's engine reports the fleet-wide aggregate.
     pub fn fault_counters(&self) -> FaultCounters {
-        self.shared.engine.read().fault_counters()
+        self.shared.partitions[0].lock().engine.fault_counters()
     }
 
     /// Cumulative lock-wait telemetry across all rounds so far.
@@ -238,45 +277,48 @@ impl ParallelObserver {
 
     /// Restart any crashed containers (between batches), as the sequential
     /// observer does. Injected start failures are retried with backoff.
+    /// Each partition heals independently — no fleet-wide stall.
     ///
     /// # Errors
     /// Engine restart failures; [`TorpedoError::RestartBudget`] when the
     /// backoff budget runs out.
     pub fn restart_crashed(&mut self) -> Result<(), TorpedoError> {
-        // Engine before kernel: the same order workers use.
-        let mut engine = self.shared.engine.write();
-        let mut kernel = self.shared.kernel.lock();
-        let crashed: Vec<_> = engine
-            .container_ids()
-            .into_iter()
-            .filter(|id| {
-                engine.container(id).is_some_and(|c| {
-                    matches!(
-                        c.state(),
-                        torpedo_runtime::engine::ContainerState::Crashed(_)
-                    )
+        for (i, slot) in self.shared.partitions.iter().enumerate() {
+            let mut part = slot.lock();
+            let part = &mut *part;
+            let crashed: Vec<_> = part
+                .engine
+                .container_ids()
+                .into_iter()
+                .filter(|id| {
+                    part.engine.container(id).is_some_and(|c| {
+                        matches!(
+                            c.state(),
+                            torpedo_runtime::engine::ContainerState::Crashed(_)
+                        )
+                    })
                 })
-            })
-            .collect();
-        for (i, id) in crashed.into_iter().enumerate() {
-            let mut delay = self.config.supervisor.backoff_base;
-            let mut attempts = 0u32;
-            loop {
-                match engine.restart(&mut kernel, &id) {
-                    Ok(()) => break,
-                    Err(EngineError::StartFailed(_)) => {
-                        self.recovery.start_failures += 1;
-                        attempts += 1;
-                        if attempts > self.config.supervisor.max_worker_restarts {
-                            return Err(TorpedoError::RestartBudget {
-                                executor: i,
-                                restarts: attempts,
-                            });
+                .collect();
+            for id in crashed {
+                let mut delay = self.config.supervisor.backoff_base;
+                let mut attempts = 0u32;
+                loop {
+                    match part.engine.restart(&mut part.kernel, &id) {
+                        Ok(()) => break,
+                        Err(EngineError::StartFailed(_)) => {
+                            self.recovery.start_failures += 1;
+                            attempts += 1;
+                            if attempts > self.config.supervisor.max_worker_restarts {
+                                return Err(TorpedoError::RestartBudget {
+                                    executor: i,
+                                    restarts: attempts,
+                                });
+                            }
+                            std::thread::sleep(delay);
+                            delay = (delay * 2).min(self.config.supervisor.backoff_cap);
                         }
-                        std::thread::sleep(delay);
-                        delay = (delay * 2).min(self.config.supervisor.backoff_cap);
+                        Err(e) => return Err(e.into()),
                     }
-                    Err(e) => return Err(e.into()),
                 }
             }
         }
@@ -284,7 +326,8 @@ impl ParallelObserver {
     }
 
     /// Cancel, join, and respawn worker `i`: fresh thread, fresh container
-    /// with the original name and spec, restart budget enforced.
+    /// with the original name and spec, restart budget enforced. Only
+    /// partition `i` is touched; the rest of the fleet keeps running.
     fn restart_worker(&mut self, i: usize) -> Result<(), TorpedoError> {
         let restarts = self.workers[i].restarts + 1;
         if restarts > self.config.supervisor.max_worker_restarts {
@@ -294,23 +337,27 @@ impl ParallelObserver {
             });
         }
         // Tear down the old worker. A hung thread polls its cancel flag and
-        // exits; a dead one joins immediately.
+        // exits; a dead one joins immediately. Joining before locking the
+        // partition guarantees the dead worker's window guard is released.
         self.workers[i].cancel.store(true, Ordering::SeqCst);
         let _ = self.workers[i].cmd_tx.send(Cmd::Shutdown);
         if let Some(handle) = self.workers[i].handle.take() {
             let _ = handle.join();
         }
-        // Replace its container. Engine before kernel, as everywhere.
+        // Replace its container inside its own partition.
         let executor = {
-            let mut engine = self.shared.engine.write();
-            let mut kernel = self.shared.kernel.lock();
-            match engine.remove(&mut kernel, &self.workers[i].container) {
+            let mut part = self.shared.partitions[i].lock();
+            let part = &mut *part;
+            match part
+                .engine
+                .remove(&mut part.kernel, &self.workers[i].container)
+            {
                 Ok(()) | Err(EngineError::NoSuchContainer(_)) => {}
                 Err(e) => return Err(e.into()),
             }
             let id = boot_container(
-                &mut kernel,
-                &mut engine,
+                &mut part.kernel,
+                &mut part.engine,
                 &self.config,
                 i,
                 &mut self.recovery,
@@ -320,7 +367,7 @@ impl ParallelObserver {
             executor.glue = self.config.glue;
             executor
         };
-        let mut worker = spawn_worker(Arc::clone(&self.shared), executor);
+        let mut worker = spawn_worker(Arc::clone(&self.shared), i, executor);
         worker.restarts = restarts;
         self.workers[i] = worker;
         self.recovery.worker_restarts += 1;
@@ -382,13 +429,20 @@ impl ParallelObserver {
             hang_report[i] = self.fault(FaultKind::ExecutorHang, &format!("fuzz-{i}/report"));
         }
 
+        // Open the round on every partition. The /proc/stat baseline is the
+        // primary's: it alone accumulates the merged cumulative counters.
+        let reserved: Vec<usize> = (0..n).collect();
         let before;
         {
-            let mut kernel = self.shared.kernel.lock();
-            before = ProcStatSnapshot::capture(&kernel);
-            kernel.begin_round(window);
-            let reserved: Vec<usize> = (0..n).collect();
-            kernel.set_reserved_cores(&reserved);
+            let mut primary = self.shared.partitions[0].lock();
+            before = ProcStatSnapshot::capture(&primary.kernel);
+            primary.kernel.begin_round(window);
+            primary.kernel.set_reserved_cores(&reserved);
+        }
+        for slot in self.shared.partitions.iter().skip(1) {
+            let mut part = slot.lock();
+            part.kernel.begin_round(window);
+            part.kernel.set_reserved_cores(&reserved);
         }
 
         // Stage 1: prime every worker.
@@ -404,7 +458,7 @@ impl ParallelObserver {
                 // Workers primed so far will park at the release latch;
                 // wave them off before abandoning the attempt.
                 self.wave_off(0..i);
-                self.close_kernel_round();
+                self.close_round();
                 self.handle_worker_failure(i, RoundStage::Prime, false)?;
                 return Err(TorpedoError::WorkerDied {
                     executor: i,
@@ -433,7 +487,7 @@ impl ParallelObserver {
             // Below quorum: the healthy survivors are parked at the release
             // latch — wave them off, then retry the round.
             self.wave_off((0..n).filter(|i| !failed[*i]));
-            self.close_kernel_round();
+            self.close_round();
             let loser = failed.iter().position(|f| *f).unwrap_or(0);
             return Err(TorpedoError::WorkerTimeout {
                 executor: loser,
@@ -475,7 +529,7 @@ impl ParallelObserver {
         if !self.quorum_met(healthy, n) {
             // Nobody is parked at a latch here: survivors already reported
             // and the failed were respawned. Just close out the attempt.
-            self.close_kernel_round();
+            self.close_round();
             let loser = failed.iter().position(|f| *f).unwrap_or(0);
             return Err(TorpedoError::WorkerTimeout {
                 executor: loser,
@@ -488,43 +542,44 @@ impl ParallelObserver {
             .map(|r| r.unwrap_or_else(ExecReport::missed))
             .collect();
 
-        // Measure, exactly as the sequential observer does. Engine (write)
-        // before kernel; the write acquisition also drains any worker still
-        // holding a read lock, so measurement sees a quiesced engine.
+        // Measure: the canonical merge. Partitions are visited in stable
+        // partition-index order, so per-core charges, deferral-ledger
+        // entries, top rows, container info, and startup logs concatenate
+        // identically regardless of which worker finished first. Secondary
+        // partitions drain raw (no noise, no RNG) into the primary; the
+        // primary alone finishes the round — exactly the pre-partition
+        // single-kernel sequence when there is one worker.
         let (per_core, deferrals, containers, top, startup_times) = {
             let _snapshot_span = telemetry.span(SpanKind::Snapshot);
-            let wait = Instant::now();
-            let mut engine = self.shared.engine.write();
-            let mut kernel = self.shared.kernel.lock();
-            let waited_ns = wait.elapsed().as_nanos() as u64;
-            self.shared
-                .locks
-                .measure_ns
-                .fetch_add(waited_ns, Ordering::Relaxed);
-            telemetry.record_lock_wait(waited_ns);
-            engine.round_overhead(&mut kernel, window);
             let fuzz_cores: Vec<usize> = (0..n).collect();
-            let out = kernel.finish_round(&fuzz_cores);
-            let after = ProcStatSnapshot::capture(&kernel);
-            let per_core = after.since(&before);
-            let top = self.sampler.sample(&kernel, window);
-            let mut containers = Vec::new();
-            for id in engine.container_ids() {
-                let c = engine
-                    .container(&id)
-                    .ok_or_else(|| EngineError::NoSuchContainer(id.name().to_string()))?;
-                let cg = kernel.cgroups.get(c.cgroup());
-                containers.push(ContainerInfo {
-                    name: id.name().to_string(),
-                    cpuset: c.spec().cpuset.clone(),
-                    cpu_quota: c.spec().cpus,
-                    memory_limit: c.spec().memory_bytes,
-                    memory_used: cg.map_or(0, |g| g.charged_memory()),
-                    io_bytes: cg.map_or(0, |g| g.charged_io_bytes()),
-                    oom_events: cg.map_or(0, |g| g.oom_events()),
-                });
+            let mut primary = lock_for_measure(&self.shared, 0, &telemetry);
+            {
+                let p = &mut *primary;
+                p.engine.round_overhead(&mut p.kernel, window);
             }
-            let startup_times = engine.drain_startup_log();
+            let mut sec_samples = Vec::new();
+            let mut sec_containers = Vec::new();
+            let mut sec_startups = Vec::new();
+            for i in 1..self.shared.partitions.len() {
+                let mut part = lock_for_measure(&self.shared, i, &telemetry);
+                let p = &mut *part;
+                p.engine.round_overhead(&mut p.kernel, window);
+                let raw = p.kernel.take_round_raw();
+                primary.kernel.absorb_round_raw(raw);
+                sec_samples.push(self.samplers[i].sample(&p.kernel, window));
+                sec_containers.extend(container_info(&p.engine, &p.kernel)?);
+                sec_startups.extend(p.engine.drain_startup_log());
+            }
+            let out = primary.kernel.finish_round(&fuzz_cores);
+            let after = ProcStatSnapshot::capture(&primary.kernel);
+            let per_core = after.since(&before);
+            let mut samples = vec![self.samplers[0].sample(&primary.kernel, window)];
+            samples.extend(sec_samples);
+            let top = merge_frames(samples);
+            let mut containers = container_info(&primary.engine, &primary.kernel)?;
+            containers.extend(sec_containers);
+            let mut startup_times = primary.engine.drain_startup_log();
+            startup_times.extend(sec_startups);
             (per_core, out.deferrals, containers, top, startup_times)
         };
 
@@ -570,12 +625,21 @@ impl ParallelObserver {
         }
     }
 
-    /// Close out an abandoned kernel round so the next attempt starts from
-    /// a clean measurement window.
-    fn close_kernel_round(&self) {
-        let mut kernel = self.shared.kernel.lock();
+    /// Close out an abandoned round so the next attempt starts from a clean
+    /// measurement window. The primary finishes its round — consuming
+    /// exactly the noise entropy a completed round would, keeping the RNG
+    /// stream aligned with the pre-partition observer across retries — and
+    /// secondaries are drained raw (they never touch the RNG).
+    fn close_round(&self) {
         let fuzz_cores: Vec<usize> = (0..self.workers.len()).collect();
-        let _ = kernel.finish_round(&fuzz_cores);
+        for (i, slot) in self.shared.partitions.iter().enumerate() {
+            let mut part = slot.lock();
+            if i == 0 {
+                let _ = part.kernel.finish_round(&fuzz_cores);
+            } else {
+                let _ = part.kernel.take_round_raw();
+            }
+        }
     }
 
     /// A worker missed a stage deadline (`hung`) or died: count it and
@@ -593,6 +657,47 @@ impl ParallelObserver {
     }
 }
 
+/// Lock partition `i` for measurement, folding the wait into the
+/// supervisor's legacy lock-wait accounting.
+fn lock_for_measure<'a>(
+    shared: &'a Shared,
+    i: usize,
+    telemetry: &Telemetry,
+) -> MutexGuard<'a, Partition> {
+    let wait = Instant::now();
+    let guard = shared.partitions[i].lock();
+    let waited_ns = wait.elapsed().as_nanos() as u64;
+    shared
+        .locks
+        .measure_ns
+        .fetch_add(waited_ns, Ordering::Relaxed);
+    telemetry.record_lock_wait(waited_ns);
+    guard
+}
+
+/// Container rows for one partition's engine, in its name-sorted id order.
+/// Partition `i` hosts only `fuzz-i`, so concatenating partitions in index
+/// order reproduces the shared-engine name-sorted order exactly.
+fn container_info(engine: &Engine, kernel: &Kernel) -> Result<Vec<ContainerInfo>, EngineError> {
+    let mut containers = Vec::new();
+    for id in engine.container_ids() {
+        let c = engine
+            .container(&id)
+            .ok_or_else(|| EngineError::NoSuchContainer(id.name().to_string()))?;
+        let cg = kernel.cgroups.get(c.cgroup());
+        containers.push(ContainerInfo {
+            name: id.name().to_string(),
+            cpuset: c.spec().cpuset.clone(),
+            cpu_quota: c.spec().cpus,
+            memory_limit: c.spec().memory_bytes,
+            memory_used: cg.map_or(0, |g| g.charged_memory()),
+            io_bytes: cg.map_or(0, |g| g.charged_io_bytes()),
+            oom_events: cg.map_or(0, |g| g.oom_events()),
+        });
+    }
+    Ok(containers)
+}
+
 impl Drop for ParallelObserver {
     fn drop(&mut self) {
         for worker in &self.workers {
@@ -608,14 +713,15 @@ impl Drop for ParallelObserver {
 }
 
 /// A fault-injected hang: park until the supervisor cancels us, then let
-/// the thread exit so it can be joined and respawned.
+/// the thread exit so it can be joined and respawned. Hangs fire outside
+/// [`run_window`], so a parked thread never holds its partition lock.
 fn park_until_cancelled(cancel: &AtomicBool) {
     while !cancel.load(Ordering::SeqCst) {
         std::thread::sleep(Duration::from_micros(200));
     }
 }
 
-fn spawn_worker(shared: Arc<Shared>, executor: Executor) -> Worker {
+fn spawn_worker(shared: Arc<Shared>, slot: usize, executor: Executor) -> Worker {
     let container = executor.container.clone();
     let (cmd_tx, cmd_rx) = bounded::<Cmd>(1);
     let (ready_tx, ready_rx) = bounded::<()>(1);
@@ -649,7 +755,7 @@ fn spawn_worker(shared: Arc<Shared>, executor: Executor) -> Worker {
                 Ok(false) => continue,
                 Err(_) => return,
             }
-            let report = run_window(&shared, &executor, &program, window);
+            let report = run_window(&shared, slot, &executor, &program, window);
             if hang_report {
                 park_until_cancelled(&thread_cancel);
                 return;
@@ -671,13 +777,16 @@ fn spawn_worker(shared: Arc<Shared>, executor: Executor) -> Worker {
     }
 }
 
-/// Algorithm 1's loop, interleaving with other workers at iteration
-/// granularity under the shared-kernel lock. Transient injected exec
-/// faults end the window early with a partial report, mirroring
-/// [`Executor::run_until`]; hard engine errors are reported to the
-/// supervisor.
+/// Algorithm 1's loop over this worker's own kernel partition. The
+/// partition is locked once for the whole window — the only thing the
+/// acquisition can wait on is the supervisor finishing the previous round's
+/// measurement — and every iteration runs on plain `&mut Kernel`. Transient
+/// injected exec faults end the window early with a partial report,
+/// mirroring [`Executor::run_until`]; hard engine errors are reported to
+/// the supervisor.
 fn run_window(
     shared: &Shared,
+    slot: usize,
     executor: &Executor,
     program: &Program,
     window: Usecs,
@@ -703,39 +812,28 @@ fn run_window(
         });
     }
 
+    let wait = Instant::now();
+    let mut part = shared.partitions[slot].lock();
+    let waited_ns = wait.elapsed().as_nanos() as u64;
+    shared
+        .locks
+        .exec_kernel_ns
+        .fetch_add(waited_ns, Ordering::Relaxed);
+    shared.telemetry.record_kernel_wait(waited_ns);
+    let part = &mut *part;
+
     loop {
-        let step = {
-            // Engine read lock first (shared with every other worker — the
-            // per-container stripe inside `step` is the real exclusion),
-            // then the global kernel mutex. Wait time feeds LockStats.
-            let wait = Instant::now();
-            let engine = shared.engine.read();
-            let engine_wait_ns = wait.elapsed().as_nanos() as u64;
-            shared
-                .locks
-                .exec_engine_ns
-                .fetch_add(engine_wait_ns, Ordering::Relaxed);
-            shared.telemetry.record_lock_wait(engine_wait_ns);
-            let wait = Instant::now();
-            let mut kernel = shared.kernel.lock();
-            let kernel_wait_ns = wait.elapsed().as_nanos() as u64;
-            shared
-                .locks
-                .exec_kernel_ns
-                .fetch_add(kernel_wait_ns, Ordering::Relaxed);
-            shared.telemetry.record_lock_wait(kernel_wait_ns);
-            match executor.step(
-                &mut kernel,
-                &engine,
-                &shared.table,
-                program,
-                executions == 0,
-            ) {
-                Ok(step) => step,
-                // Transient injected exec failure: end the window early.
-                Err(EngineError::ExecFault(_)) => break,
-                Err(e) => return Err(e),
-            }
+        let step = match executor.step(
+            &mut part.kernel,
+            &part.engine,
+            &shared.table,
+            program,
+            executions == 0,
+        ) {
+            Ok(step) => step,
+            // Transient injected exec failure: end the window early.
+            Err(EngineError::ExecFault(_)) => break,
+            Err(e) => return Err(e),
         };
         executions += 1;
         total += step.duration;
@@ -757,8 +855,6 @@ fn run_window(
         if elapsed + avg > window || step.duration == Usecs::ZERO {
             break;
         }
-        // Give other workers a chance at the lock.
-        std::thread::yield_now();
     }
 
     Ok(ExecReport {
@@ -844,6 +940,50 @@ mod tests {
         for core in 0..3 {
             assert!(pr.observation.busy_percent(core) > 50.0);
         }
+    }
+
+    /// The tentpole determinism guarantee, observer layer: a 1-worker
+    /// partitioned round is byte-identical to the sequential single-kernel
+    /// observer's round, and N-worker rounds are a pure function of the
+    /// configuration (two fresh observers produce identical records).
+    #[test]
+    fn one_worker_round_matches_sequential_byte_for_byte() {
+        let table = build_table();
+        let programs = vec![prog("getpid()\nuname(0x0)\n", &table)];
+        let mut par =
+            ParallelObserver::new(KernelConfig::default(), config(1), table.clone()).unwrap();
+        let mut seq = Observer::new(KernelConfig::default(), config(1)).unwrap();
+        for _ in 0..3 {
+            let pr = par.round(&programs).unwrap();
+            let sr = seq.round(&table, &programs).unwrap();
+            assert_eq!(format!("{pr:?}"), format!("{sr:?}"));
+        }
+    }
+
+    #[test]
+    fn partitioned_rounds_are_deterministic_across_runs() {
+        let table = build_table();
+        let programs = vec![
+            prog("getpid()\n", &table),
+            prog("uname(0x0)\n", &table),
+            prog("sync()\n", &table),
+        ];
+        let run = |table: &Arc<[SyscallDesc]>| {
+            let mut obs =
+                ParallelObserver::new(KernelConfig::default(), config(3), Arc::clone(table))
+                    .unwrap();
+            let mut log = String::new();
+            for _ in 0..3 {
+                log.push_str(&format!("{:?}\n", obs.round(&programs).unwrap()));
+            }
+            log
+        };
+        let table: Arc<[SyscallDesc]> = table.into();
+        assert_eq!(
+            run(&table),
+            run(&table),
+            "thread interleaving must not leak"
+        );
     }
 
     #[test]

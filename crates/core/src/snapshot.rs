@@ -45,6 +45,7 @@ use std::sync::Arc;
 
 use torpedo_prog::{Corpus, CorpusItem, ProgramId, SyscallDesc};
 use torpedo_runtime::FaultCounters;
+use torpedo_telemetry::{SpanKind, Telemetry};
 
 use crate::campaign::CampaignConfig;
 use crate::forensics::{
@@ -986,6 +987,148 @@ fn gc_checkpoints(dir: &Path, keep: usize) -> Result<(), SnapshotError> {
         let _ = fs::remove_file(path);
     }
     Ok(())
+}
+
+/// One queued checkpoint write, carrying everything [`write_checkpoint`]
+/// needs so the campaign loop can hand the rendered text off and move on.
+struct CheckpointJob {
+    dir: PathBuf,
+    text: String,
+    round: u64,
+    keep: usize,
+    die_before_rename: bool,
+}
+
+/// Asynchronous checkpoint persistence: rendering stays on the campaign's
+/// round path (it borrows live state), but the fsync-heavy
+/// [`write_checkpoint`] call moves to a dedicated background thread fed
+/// over an in-order channel. FIFO submission preserves the keep-N
+/// garbage-collection order, so the on-disk directory is byte-identical
+/// to what the old inline writes produced — only the timing moves.
+///
+/// The writer records one [`SpanKind::Checkpoint`] span per completed
+/// write (timed around `write_checkpoint` itself), keeping the span
+/// count equal to the number of writes exactly as the inline path did.
+///
+/// [`CheckpointWriter::synchronous`] is the inline variant — same API, no
+/// thread. The campaign picks it on 1-core hosts (no spare core to run
+/// the writer on, so the offload only adds context switches) and whenever
+/// `TORPEDO_CHECKPOINT_SYNC=1`; `TORPEDO_CHECKPOINT_SYNC=0` forces the
+/// background thread. The bench harness forces each mode in turn to
+/// measure the offload's before/after.
+pub struct CheckpointWriter {
+    tx: Option<std::sync::mpsc::Sender<CheckpointJob>>,
+    handle: Option<std::thread::JoinHandle<Result<(), SnapshotError>>>,
+    telemetry: Telemetry,
+}
+
+impl CheckpointWriter {
+    /// Start a background writer thread.
+    pub fn spawn(telemetry: Telemetry) -> Self {
+        let (tx, rx) = std::sync::mpsc::channel::<CheckpointJob>();
+        let thread_telemetry = telemetry.clone();
+        let handle = std::thread::Builder::new()
+            .name("torpedo-ckpt".into())
+            .spawn(move || {
+                for job in rx {
+                    let start = std::time::Instant::now();
+                    write_checkpoint(
+                        &job.dir,
+                        &job.text,
+                        job.round,
+                        job.keep,
+                        job.die_before_rename,
+                    )?;
+                    thread_telemetry
+                        .record_span_ns(SpanKind::Checkpoint, start.elapsed().as_nanos() as u64);
+                }
+                Ok(())
+            })
+            .expect("spawn checkpoint writer thread");
+        Self {
+            tx: Some(tx),
+            handle: Some(handle),
+            telemetry,
+        }
+    }
+
+    /// An inline variant with the same API: every [`Self::submit`] performs
+    /// the write before returning. Selected on 1-core hosts and via
+    /// `TORPEDO_CHECKPOINT_SYNC=1`.
+    pub fn synchronous(telemetry: Telemetry) -> Self {
+        Self {
+            tx: None,
+            handle: None,
+            telemetry,
+        }
+    }
+
+    /// Queue (or, in synchronous mode, perform) one checkpoint write.
+    ///
+    /// # Errors
+    /// [`SnapshotError::Io`] — immediately in synchronous mode; in
+    /// background mode a failed earlier write surfaces here once the
+    /// writer thread has died (the error is joined and propagated).
+    pub fn submit(
+        &mut self,
+        dir: PathBuf,
+        text: String,
+        round: u64,
+        keep: usize,
+        die_before_rename: bool,
+    ) -> Result<(), SnapshotError> {
+        match &self.tx {
+            None => {
+                let start = std::time::Instant::now();
+                write_checkpoint(&dir, &text, round, keep, die_before_rename)?;
+                self.telemetry
+                    .record_span_ns(SpanKind::Checkpoint, start.elapsed().as_nanos() as u64);
+                Ok(())
+            }
+            Some(tx) => {
+                let job = CheckpointJob {
+                    dir,
+                    text,
+                    round,
+                    keep,
+                    die_before_rename,
+                };
+                if tx.send(job).is_ok() {
+                    return Ok(());
+                }
+                // The receiver is gone: the writer thread died on an I/O
+                // error. Join it to surface the real failure.
+                self.tx = None;
+                match self.handle.take().map(|h| h.join()) {
+                    Some(Ok(result)) => result,
+                    _ => Ok(()), // panicked or already joined; nothing better to report
+                }
+            }
+        }
+    }
+
+    /// Drain all queued writes and stop the writer thread, surfacing any
+    /// write error. Call before reading checkpoint state back (e.g. final
+    /// report assembly or resume verification of the last round).
+    ///
+    /// # Errors
+    /// [`SnapshotError::Io`] from any queued write that failed.
+    pub fn finish(mut self) -> Result<(), SnapshotError> {
+        drop(self.tx.take());
+        match self.handle.take().map(|h| h.join()) {
+            Some(Ok(result)) => result,
+            _ => Ok(()),
+        }
+    }
+}
+
+impl Drop for CheckpointWriter {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
 }
 
 /// Load one checkpoint file: size cap, integrity check, parse.

@@ -404,6 +404,76 @@ impl Kernel {
         }
     }
 
+    /// Close the round on a secondary kernel partition and hand back its
+    /// raw, pre-noise charge records: the per-core busy time accumulated by
+    /// executors plus the drained deferral ledger, with no background noise,
+    /// no idle fill, and no fold into the cumulative counters.
+    ///
+    /// This is one half of the partitioned-kernel merge protocol: every
+    /// partition except the primary is drained with `take_round_raw` and its
+    /// output replayed into the primary via [`Kernel::absorb_round_raw`]
+    /// *before* the primary runs [`Kernel::finish_round`]. The noise RNG,
+    /// `rounds_completed`, and the cumulative `/proc/stat` counters are
+    /// untouched here, so only the primary ever consumes noise entropy and
+    /// the merged output is byte-identical to a single shared kernel.
+    pub fn take_round_raw(&mut self) -> RoundOutput {
+        let Some(mut round) = self.round.take() else {
+            return RoundOutput {
+                window: Usecs::ZERO,
+                per_core: vec![CpuTimes::default(); self.config.cores],
+                deferrals: self.ledger.drain(),
+            };
+        };
+        let window = round.window;
+        let per_core = round.per_core.clone();
+        round.per_core.clear();
+        self.round_scratch = round.per_core;
+        RoundOutput {
+            window,
+            per_core,
+            deferrals: self.ledger.drain(),
+        }
+    }
+
+    /// Replay another partition's raw round output (from
+    /// [`Kernel::take_round_raw`]) into this kernel's open round.
+    ///
+    /// Per-core charges are applied category by category, clamped to this
+    /// round's remaining capacity exactly like a live [`Kernel::charge`]
+    /// call; `Idle` is skipped because raw rounds carry no idle fill and
+    /// idle does not count against busy capacity. Deferral events are
+    /// appended to the ledger in their recorded order, so merging partitions
+    /// in stable shard-index order yields a canonical ledger. Process and
+    /// cgroup accounting stay in the donor partition (its `top` sample and
+    /// container info are read there); the RNG, `rounds_completed`, and the
+    /// cumulative counters are untouched.
+    pub fn absorb_round_raw(&mut self, raw: RoundOutput) {
+        if self.round.is_none() {
+            let state = self.fresh_round(raw.window);
+            self.round = Some(state);
+        }
+        let Some(round) = self.round.as_mut() else {
+            return;
+        };
+        let cores = self.config.cores.min(raw.per_core.len());
+        for (core, times) in raw.per_core.iter().enumerate().take(cores) {
+            for cat in CpuCategory::ALL {
+                if cat == CpuCategory::Idle {
+                    continue;
+                }
+                let amount = times.get(cat);
+                if amount == Usecs::ZERO {
+                    continue;
+                }
+                let applied = amount.min(round.remaining(core));
+                round.per_core[core].charge(cat, applied);
+            }
+        }
+        for event in raw.deferrals {
+            self.ledger.record(event);
+        }
+    }
+
     /// Cumulative `/proc/stat`-style counters since boot.
     pub fn proc_stat(&self) -> &[CpuTimes] {
         &self.cumulative
@@ -763,6 +833,72 @@ mod tests {
         assert_eq!(applied, Usecs::from_millis(10));
         let applied2 = k.charge(3, CpuCategory::System, Usecs(1), pid, cg);
         assert_eq!(applied2, Usecs::ZERO, "core saturated");
+    }
+
+    #[test]
+    fn absorbed_partition_round_matches_single_kernel() {
+        let window = Usecs::from_secs(1);
+        let mut single = booted();
+        let mut primary = booted();
+        let mut secondary = booted();
+        for k in [&mut single, &mut primary, &mut secondary] {
+            k.begin_round(window);
+        }
+        // Identically-booted kernels spawn identical daemon pids, so the
+        // same (pid, cgroup) attribution works in all three.
+        let pid = single.boot.dockerd;
+        let cg = single.procs.get(pid).unwrap().cgroup();
+        // Same charges, split across two partitions vs one shared kernel.
+        single.charge(0, CpuCategory::User, Usecs(300_000), pid, cg);
+        single.charge(1, CpuCategory::System, Usecs(200_000), pid, cg);
+        primary.charge(0, CpuCategory::User, Usecs(300_000), pid, cg);
+        secondary.charge(1, CpuCategory::System, Usecs(200_000), pid, cg);
+        let raw = secondary.take_round_raw();
+        assert_eq!(secondary.rounds_completed(), 0, "raw take is not a round");
+        assert!(
+            raw.per_core.iter().all(|c| c.idle == Usecs::ZERO),
+            "raw rounds carry no idle fill"
+        );
+        primary.absorb_round_raw(raw);
+        let merged = primary.finish_round(&[0, 1]);
+        let reference = single.finish_round(&[0, 1]);
+        assert_eq!(merged.per_core, reference.per_core);
+        assert_eq!(merged.deferrals, reference.deferrals);
+        assert_eq!(primary.proc_stat(), single.proc_stat());
+        assert_eq!(secondary.proc_stat(), vec![CpuTimes::default(); 12]);
+    }
+
+    #[test]
+    fn absorb_appends_deferrals_in_partition_order() {
+        let window = Usecs::from_secs(5);
+        let mut primary = booted();
+        let mut secondary = booted();
+        for (k, syscall) in [(&mut primary, "socket"), (&mut secondary, "open")] {
+            let cg = k
+                .cgroups
+                .create(CgroupTree::ROOT, "docker/fuzz-0", Default::default())
+                .unwrap();
+            let pid = k.procs.spawn(
+                "syz-executor-0",
+                ProcessKind::Executor {
+                    container: "fuzz-0".into(),
+                },
+                cg,
+            );
+            k.begin_round(window);
+            k.defer_work(
+                DeferralChannel::UserModeHelper(HelperKind::Modprobe),
+                pid,
+                cg,
+                &[0],
+                Usecs(700),
+                syscall,
+            );
+        }
+        primary.absorb_round_raw(secondary.take_round_raw());
+        let out = primary.finish_round(&[0]);
+        let order: Vec<&str> = out.deferrals.iter().map(|e| e.syscall).collect();
+        assert_eq!(order, ["socket", "open"], "primary first, then donors");
     }
 
     #[test]

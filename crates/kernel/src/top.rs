@@ -108,14 +108,49 @@ impl TopSampler {
                     / window.as_micros().max(1) as f64,
             })
             .collect();
-        entries.sort_by(|a, b| {
-            b.cpu_percent
-                .partial_cmp(&a.cpu_percent)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.pid.cmp(&b.pid))
-        });
+        entries.sort_by(rank);
         Some(TopSample { entries })
     }
+}
+
+/// The frame ordering top reports: descending CPU, pid as tiebreak.
+fn rank(a: &TopEntry, b: &TopEntry) -> std::cmp::Ordering {
+    b.cpu_percent
+        .partial_cmp(&a.cpu_percent)
+        .unwrap_or(std::cmp::Ordering::Equal)
+        .then(a.pid.cmp(&b.pid))
+}
+
+/// Merge per-partition top frames into one canonical frame.
+///
+/// Partitioned kernels boot identically, so long-lived daemons carry the
+/// same pid *and* name in every partition — those rows are summed, exactly
+/// as one shared kernel would have accumulated their CPU. Executor
+/// processes are named per container (`syz-executor-<name>`), so rows from
+/// different partitions never collide even when their pids do. Rows merge
+/// keyed on `(pid, name)` in first-seen order (callers pass frames in
+/// stable partition-index order) and the result is re-sorted with the
+/// sampler's own comparator; the sort is stable, so a single-frame merge
+/// passes through byte-identical.
+///
+/// Returns `None` when every input frame is a warm-up `None`.
+pub fn merge_frames(frames: Vec<Option<TopSample>>) -> Option<TopSample> {
+    let mut merged: Option<Vec<TopEntry>> = None;
+    for frame in frames.into_iter().flatten() {
+        let entries = merged.get_or_insert_with(Vec::new);
+        for entry in frame.entries {
+            match entries
+                .iter_mut()
+                .find(|e| e.pid == entry.pid && e.name == entry.name)
+            {
+                Some(existing) => existing.cpu_percent += entry.cpu_percent,
+                None => entries.push(entry),
+            }
+        }
+    }
+    let mut entries = merged?;
+    entries.sort_by(rank);
+    Some(TopSample { entries })
 }
 
 fn categorize(kind: &ProcessKind) -> TopCategory {
@@ -213,6 +248,57 @@ mod tests {
             .position(|e| e.pid == k.boot.journald.0)
             .unwrap();
         assert!(dockerd_pos < journald_pos);
+    }
+
+    #[test]
+    fn merge_sums_daemons_and_keeps_executors_apart() {
+        let entry = |pid: u32, name: &str, category, cpu_percent| TopEntry {
+            pid,
+            name: name.to_string(),
+            category,
+            cpu_percent,
+        };
+        // Two partitions that booted identically: dockerd has the same pid
+        // and name in both; each hosts its own distinctly-named executor
+        // that happens to share a pid.
+        let a = TopSample {
+            entries: vec![
+                entry(40, "syz-executor-fuzz-0", TopCategory::Executor, 90.0),
+                entry(1, "dockerd", TopCategory::Docker, 3.0),
+            ],
+        };
+        let b = TopSample {
+            entries: vec![
+                entry(40, "syz-executor-fuzz-1", TopCategory::Executor, 80.0),
+                entry(1, "dockerd", TopCategory::Docker, 2.0),
+            ],
+        };
+        let merged = merge_frames(vec![Some(a), Some(b)]).unwrap();
+        assert_eq!(merged.entries.len(), 3);
+        assert_eq!(merged.entries[0].name, "syz-executor-fuzz-0");
+        assert_eq!(merged.entries[1].name, "syz-executor-fuzz-1");
+        let dockerd = merged.entry(1).unwrap();
+        assert_eq!(dockerd.name, "dockerd");
+        assert!((dockerd.cpu_percent - 5.0).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn merge_of_one_frame_is_identity_and_all_warmups_is_none() {
+        let mut k = Kernel::with_defaults();
+        k.begin_round(Usecs::from_secs(1));
+        k.finish_round(&[0]);
+        k.begin_round(Usecs::from_secs(1));
+        k.procs.charge_cpu(k.boot.dockerd, Usecs(300_000));
+        let mut sampler = TopSampler::new();
+        let _ = sampler.sample(&k, Usecs::from_secs(1));
+        let frame = sampler.sample(&k, Usecs::from_secs(1)).unwrap();
+        assert_eq!(
+            merge_frames(vec![Some(frame.clone())]),
+            Some(frame),
+            "single-partition merge is byte-identical passthrough"
+        );
+        assert_eq!(merge_frames(vec![None, None]), None);
+        assert_eq!(merge_frames(Vec::new()), None);
     }
 
     #[test]

@@ -230,6 +230,18 @@ impl Telemetry {
         }
     }
 
+    /// Fold an externally-measured kernel-partition wait in: the once-per-
+    /// window acquisition of a worker's own kernel partition. Shares the
+    /// lock-wait span aggregate (it is still a lock wait) but feeds the
+    /// dedicated `kernel_wait_ns` histogram so partition contention stays
+    /// separable from the legacy shared-lock series. Atomics only.
+    pub fn record_kernel_wait(&self, ns: u64) {
+        if let Some(inner) = &self.inner {
+            inner.registry.record_span(SpanKind::LockWait, ns);
+            inner.registry.observe(HistogramId::KernelWaitNs, ns);
+        }
+    }
+
     /// Fold an externally-measured duration in as a span aggregate (no
     /// journal entry; use [`Telemetry::span`] for journalled spans).
     pub fn record_span_ns(&self, kind: SpanKind, ns: u64) {

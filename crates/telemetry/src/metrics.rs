@@ -84,6 +84,10 @@ pub enum HistogramId {
     ExecLatencyUs = 1,
     /// Host nanoseconds spent waiting on contended locks.
     LockWaitNs = 2,
+    /// Host nanoseconds a worker waits to acquire its kernel partition for
+    /// an execution window (the partitioned successor to the exec-path share
+    /// of `lock_wait_ns`; measurement-path waits stay in the legacy series).
+    KernelWaitNs = 3,
 }
 
 /// Number of finite bucket bounds per histogram (plus one overflow bucket).
@@ -104,17 +108,23 @@ const fn pow4_bounds(base: u64) -> [u64; BUCKETS] {
 
 /// 1 µs … ~17 s in host nanoseconds.
 const ROUND_LATENCY_BOUNDS: [u64; BUCKETS] = pow4_bounds(1_024);
-/// 1 µs … ~4.2 virtual seconds in virtual microseconds.
-const EXEC_LATENCY_BOUNDS: [u64; BUCKETS] = pow4_bounds(1);
+/// 4 µs … ~16.8 virtual seconds in virtual microseconds. The top bound must
+/// clear a full executor window plus collider tail (observed max 5.4 Mµs),
+/// or p99 drowns in the overflow bucket.
+const EXEC_LATENCY_BOUNDS: [u64; BUCKETS] = pow4_bounds(4);
 /// 256 ns … ~1.07 s in host nanoseconds.
 const LOCK_WAIT_BOUNDS: [u64; BUCKETS] = pow4_bounds(256);
+/// 256 ns … ~1.07 s in host nanoseconds (same ladder as `lock_wait_ns`, so
+/// the two series stay directly comparable).
+const KERNEL_WAIT_BOUNDS: [u64; BUCKETS] = pow4_bounds(256);
 
 impl HistogramId {
     /// Every histogram, in stable export order.
-    pub const ALL: [HistogramId; 3] = [
+    pub const ALL: [HistogramId; 4] = [
         HistogramId::RoundLatencyNs,
         HistogramId::ExecLatencyUs,
         HistogramId::LockWaitNs,
+        HistogramId::KernelWaitNs,
     ];
 
     /// Stable wire name.
@@ -123,13 +133,16 @@ impl HistogramId {
             HistogramId::RoundLatencyNs => "round_latency_ns",
             HistogramId::ExecLatencyUs => "exec_latency_us",
             HistogramId::LockWaitNs => "lock_wait_ns",
+            HistogramId::KernelWaitNs => "kernel_wait_ns",
         }
     }
 
     /// The unit the series is recorded in.
     pub fn unit(self) -> &'static str {
         match self {
-            HistogramId::RoundLatencyNs | HistogramId::LockWaitNs => "ns",
+            HistogramId::RoundLatencyNs | HistogramId::LockWaitNs | HistogramId::KernelWaitNs => {
+                "ns"
+            }
             HistogramId::ExecLatencyUs => "us",
         }
     }
@@ -140,6 +153,7 @@ impl HistogramId {
             HistogramId::RoundLatencyNs => &ROUND_LATENCY_BOUNDS,
             HistogramId::ExecLatencyUs => &EXEC_LATENCY_BOUNDS,
             HistogramId::LockWaitNs => &LOCK_WAIT_BOUNDS,
+            HistogramId::KernelWaitNs => &KERNEL_WAIT_BOUNDS,
         }
     }
 }
@@ -328,6 +342,30 @@ mod tests {
         assert_eq!(snap.overflow, 1);
         assert_eq!(snap.count, 3);
         assert_eq!(snap.max, u64::MAX);
+    }
+
+    #[test]
+    fn exec_latency_top_bound_covers_long_windows() {
+        let bounds = HistogramId::ExecLatencyUs.bounds();
+        assert_eq!(bounds[0], 4);
+        assert_eq!(bounds[BUCKETS - 1], 16_777_216);
+        // The worst execution observed on the committed bench (5.4 Mµs)
+        // must land in a finite bucket, not overflow.
+        let reg = Registry::new();
+        reg.observe(HistogramId::ExecLatencyUs, 5_401_390);
+        let snap = reg.snapshot(HistogramId::ExecLatencyUs);
+        assert_eq!(snap.overflow, 0);
+        assert_eq!(snap.buckets[BUCKETS - 1], 1);
+    }
+
+    #[test]
+    fn kernel_wait_shares_the_lock_wait_ladder() {
+        assert_eq!(
+            HistogramId::KernelWaitNs.bounds(),
+            HistogramId::LockWaitNs.bounds()
+        );
+        assert_eq!(HistogramId::KernelWaitNs.as_str(), "kernel_wait_ns");
+        assert_eq!(HistogramId::KernelWaitNs.unit(), "ns");
     }
 
     #[test]

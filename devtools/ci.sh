@@ -89,8 +89,9 @@ fi
 TORPEDO_OFFLINE="$TORPEDO_OFFLINE" devtools/bench.sh --quick
 for key in '"dispatch"' '"nr_of_speedup"' '"fuzz_throughput"' '"execs_per_sec"' \
            '"mutations_per_sec"' '"shard_scaling"' '"scaling_efficiency"' \
-           '"contention"' '"latency"' '"round_latency_ns"' '"lock_wait_ns"' \
-           '"durability"' '"overhead_off_pct"' '"resume_byte_identical"'; do
+           '"scaling_gate"' '"contention"' '"latency"' '"round_latency_ns"' \
+           '"lock_wait_ns"' '"kernel_wait_ns"' '"durability"' \
+           '"overhead_off_pct"' '"resume_byte_identical"'; do
   grep -q "$key" BENCH_fuzz.json \
     || { echo "ci: BENCH_fuzz.json missing $key" >&2; exit 1; }
 done
@@ -142,6 +143,43 @@ if off >= 2.0:
     sys.exit(f"ci: checkpointing-off overhead {off:.2f}% >= 2% budget")
 if not d["resume_byte_identical"]:
     sys.exit("ci: resumed campaign report diverged from the uninterrupted run")
+PY
+
+echo "ci: shard scaling gate (4-shard efficiency >= 0.5 when host_parallelism >= 4)"
+python3 - BENCH_fuzz.json <<'PY'
+import json, sys
+d = json.load(open(sys.argv[1]))["shard_scaling"]
+hp = d["host_parallelism"]
+point = next(p for p in d["points"] if p["shards"] == 4)
+eff = point["scaling_efficiency"]
+if hp < 4:
+    # The harness annotates the skip in the JSON (`scaling_gate`); a
+    # serialized-core host says nothing about lock contention.
+    print(f"ci: scaling gate skipped: host_parallelism {hp} < 4 shards "
+          f"(4-shard efficiency measured {eff:.3f})")
+    sys.exit(0)
+print(f"ci: 4-shard scaling_efficiency {eff:.3f} (floor 0.500, "
+      f"host_parallelism {hp})")
+if eff < 0.5:
+    sys.exit(f"ci: 4-shard scaling efficiency {eff:.3f} < 0.5 floor")
+PY
+
+echo "ci: contention gate (exec_kernel_wait_ns must not grow superlinearly)"
+python3 - BENCH_fuzz.json <<'PY'
+import json, sys
+points = {p["workers"]: p for p in json.load(open(sys.argv[1]))["contention"]}
+w1 = points[1]["exec_kernel_wait_ns"]
+w8 = points[8]["exec_kernel_wait_ns"]
+# With partitioned kernels both figures are near zero (each worker locks
+# only its own uncontended partition once per window), so the 10x ratio
+# alone would gate on timer noise; a 50 microsecond absolute floor keeps
+# the gate meaningful while still catching a reintroduced global lock,
+# which costs milliseconds at 8 workers.
+limit = max(10 * w1, 50_000)
+print(f"ci: exec_kernel_wait_ns 1 worker {w1}, 8 workers {w8} (limit {limit})")
+if w8 >= limit:
+    sys.exit(f"ci: kernel wait at 8 workers ({w8} ns) >= limit ({limit} ns): "
+             "global contention is back")
 PY
 
 echo "ci: all gates passed"
