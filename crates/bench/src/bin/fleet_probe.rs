@@ -1,0 +1,159 @@
+//! `fleet_probe`: the fleet-scheduler CI smoke test.
+//!
+//! `fleet_probe --self-test` runs a 16-campaign fleet on 2 workers — a mix
+//! of Table 4.2 vulnerability families and benign tenants, with the working
+//! set bounded so park/unpark through the snapshot path is exercised — and
+//! exits non-zero unless:
+//!
+//! * every admitted campaign executes at least one window (the starvation
+//!   bound at work),
+//! * no campaign errors,
+//! * the global round budget is respected,
+//! * the fleet report is byte-stable across two runs (the determinism
+//!   invariant, independent of host scheduling).
+//!
+//! The probe needs no network and finishes in a few seconds; `devtools/ci.sh`
+//! runs it on every change.
+
+use std::sync::Arc;
+
+use torpedo_bench::VULNERABILITY_SEEDS;
+use torpedo_core::campaign::CampaignConfig;
+use torpedo_core::fleet::{Fleet, FleetConfig, FleetOutcome, FleetSpec};
+use torpedo_core::observer::ObserverConfig;
+use torpedo_core::seeds::{default_denylist, SeedCorpus};
+use torpedo_kernel::Usecs;
+use torpedo_oracle::CpuOracle;
+use torpedo_prog::{build_table, MutatePolicy, SyscallDesc};
+use torpedo_telemetry::Telemetry;
+
+const CAMPAIGNS: usize = 16;
+const WORKERS: usize = 2;
+const ROUND_BUDGET: u64 = 96;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("--self-test") => self_test(),
+        _ => {
+            eprintln!("usage: fleet_probe --self-test");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn tenant_config(seed: u64) -> CampaignConfig {
+    CampaignConfig {
+        observer: ObserverConfig {
+            window: Usecs::from_secs(1),
+            executors: 1,
+            runtime: "runc".to_string(),
+            telemetry: Telemetry::enabled(),
+            ..ObserverConfig::default()
+        },
+        mutate: MutatePolicy {
+            denylist: default_denylist(),
+            ..MutatePolicy::default()
+        },
+        seed,
+        max_rounds_per_batch: 4,
+        ..CampaignConfig::default()
+    }
+}
+
+fn spec(i: usize, table: &Arc<[SyscallDesc]>) -> FleetSpec {
+    // Every other tenant seeds from a Table 4.2 vulnerability family; the
+    // rest are benign, so the bandit has a real ranking problem.
+    let (family, text) = if i.is_multiple_of(2) {
+        VULNERABILITY_SEEDS[(i / 2) % VULNERABILITY_SEEDS.len()]
+    } else {
+        ("benign", "getpid()\nuname(0x0)\n")
+    };
+    FleetSpec {
+        name: format!("{family}-{i}"),
+        config: tenant_config(0xF1EE_5E00 + i as u64),
+        table: Arc::clone(table),
+        seeds: SeedCorpus::load(&[text], table, &default_denylist()).expect("probe seeds"),
+        oracle: Arc::new(CpuOracle::new()),
+    }
+}
+
+fn run_once(table: &Arc<[SyscallDesc]>) -> FleetOutcome {
+    let mut fleet = Fleet::new(FleetConfig {
+        workers: WORKERS,
+        max_active: 6,
+        window_rounds: 2,
+        window_rounds_max: 6,
+        starvation_windows: 2,
+        round_budget: ROUND_BUDGET,
+        ..FleetConfig::default()
+    });
+    for i in 0..CAMPAIGNS {
+        fleet.admit(spec(i, table));
+    }
+    fleet.run().expect("fleet run")
+}
+
+fn self_test() -> i32 {
+    let table: Arc<[SyscallDesc]> = build_table().into();
+    let first = run_once(&table);
+    let mut failures = 0;
+
+    for row in &first.rows {
+        if row.windows == 0 {
+            eprintln!(
+                "fleet_probe: FAIL campaign {} ({}) never got a window",
+                row.id, row.name
+            );
+            failures += 1;
+        }
+        if let Some(err) = &row.error {
+            eprintln!("fleet_probe: FAIL campaign {} errored: {err}", row.id);
+            failures += 1;
+        }
+    }
+    if first.rounds_total > ROUND_BUDGET {
+        eprintln!(
+            "fleet_probe: FAIL budget overrun: {} rounds > {ROUND_BUDGET}",
+            first.rounds_total
+        );
+        failures += 1;
+    }
+    if first.parks == 0 || first.unparks == 0 {
+        eprintln!(
+            "fleet_probe: FAIL bounded working set never parked/unparked \
+             (parks {}, unparks {})",
+            first.parks, first.unparks
+        );
+        failures += 1;
+    }
+
+    let second = run_once(&table);
+    if first.render() != second.render() {
+        eprintln!("fleet_probe: FAIL fleet report is not byte-stable across runs");
+        eprintln!("--- first ---\n{}", first.render());
+        eprintln!("--- second ---\n{}", second.render());
+        failures += 1;
+    }
+
+    eprintln!(
+        "fleet_probe: {} campaigns, {} generations, {} rounds, {} executions, \
+         {} flags, {} parks/{} unparks, scheduler overhead {:.2}%",
+        first.rows.len(),
+        first.generations,
+        first.rounds_total,
+        first.executions_total,
+        first.flags_total,
+        first.parks,
+        first.unparks,
+        first.scheduler_overhead_pct(),
+    );
+    if failures == 0 {
+        eprintln!("fleet_probe: self-test passed");
+        0
+    } else {
+        eprintln!("fleet_probe: {failures} failure(s)");
+        1
+    }
+}

@@ -17,15 +17,22 @@
 //! * `latency` — telemetry histograms from an instrumented campaign plus a
 //!   parallel run: round latency, per-program exec latency and lock-wait
 //!   distributions, with per-span-kind aggregates.
+//! * `fleet` — the campaign-fleet scheduler: scheduler overhead as a share
+//!   of busy time at 256 simulated campaigns (the `< 5%` gate) and the
+//!   bandit-vs-round-robin executions-to-flag-target comparison over the
+//!   Table 4.2 seed families.
 //!
 //! Usage: `torpedo_bench [--quick] [--out PATH]`. `--quick` shrinks every
 //! workload so the CI smoke test finishes in seconds.
 
+use std::sync::Arc;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use torpedo_bench::VULNERABILITY_SEEDS;
 use torpedo_core::campaign::{Campaign, CampaignConfig};
+use torpedo_core::fleet::{Fleet, FleetConfig, FleetPolicy, FleetSpec};
 use torpedo_core::observer::ObserverConfig;
 use torpedo_core::parallel::ParallelObserver;
 use torpedo_core::seeds::{default_denylist, SeedCorpus};
@@ -65,9 +72,11 @@ fn main() {
     let latency_json = bench_latency(quick);
     eprintln!("torpedo-bench: checkpoint durability…");
     let durability_json = bench_durability(quick);
+    eprintln!("torpedo-bench: fleet scheduler…");
+    let fleet_json = bench_fleet(quick);
 
     let json = format!(
-        "{{\n  \"quick\": {quick},\n  \"dispatch\": {dispatch_json},\n  \"fuzz_throughput\": {throughput_json},\n  \"shard_scaling\": {scaling_json},\n  \"contention\": {contention_json},\n  \"latency\": {latency_json},\n  \"durability\": {durability_json}\n}}\n"
+        "{{\n  \"quick\": {quick},\n  \"dispatch\": {dispatch_json},\n  \"fuzz_throughput\": {throughput_json},\n  \"shard_scaling\": {scaling_json},\n  \"contention\": {contention_json},\n  \"latency\": {latency_json},\n  \"durability\": {durability_json},\n  \"fleet\": {fleet_json}\n}}\n"
     );
     std::fs::write(out_path, &json).expect("write BENCH_fuzz.json");
     eprintln!("torpedo-bench: wrote {out_path}");
@@ -281,37 +290,53 @@ fn bench_shard_scaling(quick: bool) -> String {
             &CpuOracle::new(),
         )
         .unwrap();
-        let start = Instant::now();
-        let report = run_sharded(
-            &config,
-            table.clone(),
-            &seeds,
-            shards,
-            shards,
-            &CpuOracle::new(),
-        )
-        .unwrap();
-        let host = start.elapsed().as_secs_f64().max(1e-9);
+        // Best-of-N timing: the sharded run is deterministic, so the spread
+        // between repeats is pure scheduler noise. On fast hosts a single
+        // near-zero elapsed reading used to put garbage into `speedup` and
+        // `scaling_efficiency`; the minimum over N runs is the stable
+        // estimator of the true cost.
+        let timing_runs = if quick { 2 } else { 3 };
+        let mut best: Option<(f64, _)> = None;
+        for _ in 0..timing_runs {
+            let start = Instant::now();
+            let report = run_sharded(
+                &config,
+                table.clone(),
+                &seeds,
+                shards,
+                shards,
+                &CpuOracle::new(),
+            )
+            .unwrap();
+            let host = start.elapsed().as_secs_f64();
+            if best.as_ref().is_none_or(|(b, _)| host < *b) {
+                best = Some((host, report));
+            }
+        }
+        let (host, report) = best.expect("timing_runs >= 1");
         // Per-shard breakdown on stderr (progress channel; the JSON schema
         // below stays unchanged) so imbalance is visible at a glance.
         eprint!("{}", report.render_metrics());
-        let eps = report.executions as f64 / host;
+        let eps = safe_div(report.executions as f64, host);
         let base = *baseline_eps.get_or_insert(eps);
         // Speedup is throughput vs. the 1-shard run; efficiency divides by
-        // the shard count, so 1.0 means perfect linear scaling. On a host
-        // with fewer cores than workers (see `host_parallelism`) the wall
-        // clock serializes the workers and efficiency tends to 1/shards.
+        // the shard count, so 1.0 means perfect linear scaling. An
+        // oversubscribed point (more workers than cores) serializes on the
+        // wall clock and its efficiency tends to 1/shards — the annotation
+        // keeps those readings from being mistaken for lock contention.
         let speedup = safe_div(eps, base);
         points.push(format!(
-            "{{\n      \"shards\": {},\n      \"workers\": {},\n      \"rounds\": {},\n      \"executions\": {},\n      \"host_seconds\": {:.3},\n      \"execs_per_sec\": {:.1},\n      \"speedup_vs_1_shard\": {:.3},\n      \"scaling_efficiency\": {:.3}\n    }}",
+            "{{\n      \"shards\": {},\n      \"workers\": {},\n      \"rounds\": {},\n      \"executions\": {},\n      \"timing_runs\": {},\n      \"host_seconds\": {:.3},\n      \"execs_per_sec\": {:.1},\n      \"speedup_vs_1_shard\": {:.3},\n      \"scaling_efficiency\": {:.3},\n      \"oversubscribed\": {}\n    }}",
             shards,
             shards,
             report.rounds_total,
             report.executions,
+            timing_runs,
             host,
             eps,
             speedup,
             safe_div(speedup, shards as f64),
+            host_parallelism < shards,
         ));
     }
     format!(
@@ -342,7 +367,11 @@ fn bench_contention(quick: bool) -> String {
             .expect("boot parallel observer");
         let programs: Vec<_> = (0..workers)
             .map(|i| {
-                let text = if i % 2 == 0 { "sync()\n" } else { "getpid()\n" };
+                let text = if i.is_multiple_of(2) {
+                    "sync()\n"
+                } else {
+                    "getpid()\n"
+                };
                 std::sync::Arc::new(torpedo_prog::deserialize(text, &table).unwrap())
             })
             .collect();
@@ -529,7 +558,11 @@ fn bench_latency(quick: bool) -> String {
         .expect("boot parallel observer");
     let programs: Vec<_> = (0..workers)
         .map(|i| {
-            let text = if i % 2 == 0 { "sync()\n" } else { "getpid()\n" };
+            let text = if i.is_multiple_of(2) {
+                "sync()\n"
+            } else {
+                "getpid()\n"
+            };
             std::sync::Arc::new(torpedo_prog::deserialize(text, &table).unwrap())
         })
         .collect();
@@ -559,4 +592,174 @@ fn bench_latency(quick: bool) -> String {
     }
     out.push_str("\n    }\n  }");
     out
+}
+
+/// One simulated fleet tenant: 1-second windows, one executor, short
+/// batches. The fleet bench measures scheduling, not per-campaign fuzzing
+/// throughput, so each tenant is as small as a campaign can usefully be.
+fn fleet_tenant_config(seed: u64) -> CampaignConfig {
+    CampaignConfig {
+        observer: ObserverConfig {
+            window: Usecs::from_secs(1),
+            executors: 1,
+            runtime: "runc".to_string(),
+            ..ObserverConfig::default()
+        },
+        mutate: MutatePolicy {
+            denylist: default_denylist(),
+            ..MutatePolicy::default()
+        },
+        seed,
+        max_rounds_per_batch: 8,
+        ..CampaignConfig::default()
+    }
+}
+
+/// Benign tenant seeds diluting the Table 4.2 vulnerability families in the
+/// time-to-flags fleet: programs the CPU oracle has no reason to flag, so
+/// round-robin wastes budget on them while the bandit walks away.
+const FLEET_BENIGN_SEEDS: &[&str] = &[
+    "getpid()\nuname(0x0)\n",
+    "stat(&'/etc/passwd', 0x0)\n",
+    "getuid()\ngetpid()\n",
+];
+
+fn fleet_spec(
+    i: usize,
+    adversarial_every: usize,
+    table: &Arc<[torpedo_prog::SyscallDesc]>,
+) -> FleetSpec {
+    // Adversarial tenants start at the socket families (index 6 in
+    // `VULNERABILITY_SEEDS`) — the strongest CPU-oracle signal — then
+    // rotate through the rest of Table 4.2.
+    let (family, text) = if i.is_multiple_of(adversarial_every) {
+        VULNERABILITY_SEEDS[(6 + i / adversarial_every) % VULNERABILITY_SEEDS.len()]
+    } else {
+        ("benign", FLEET_BENIGN_SEEDS[i % FLEET_BENIGN_SEEDS.len()])
+    };
+    // Eight seed batches per tenant (one executor → one program per batch)
+    // so a tenant lives for several fleet windows instead of finishing
+    // inside its first one; an adversarial tenant keeps flagging across
+    // its whole life, which is the signal the bandit feeds on.
+    let texts: Vec<&str> = (0..8)
+        .map(|k| {
+            if i.is_multiple_of(adversarial_every) {
+                text
+            } else {
+                FLEET_BENIGN_SEEDS[(i + k) % FLEET_BENIGN_SEEDS.len()]
+            }
+        })
+        .collect();
+    FleetSpec {
+        name: format!("{family}-{i}"),
+        config: fleet_tenant_config(0xF1EE_7000 + i as u64),
+        table: Arc::clone(table),
+        seeds: SeedCorpus::load(&texts, table, &default_denylist()).unwrap(),
+        oracle: Arc::new(CpuOracle::new()),
+    }
+}
+
+fn run_bench_fleet(
+    config: FleetConfig,
+    campaigns: usize,
+    adversarial_every: usize,
+    table: &Arc<[torpedo_prog::SyscallDesc]>,
+) -> torpedo_core::FleetOutcome {
+    let mut fleet = Fleet::new(config);
+    for i in 0..campaigns {
+        fleet.admit(fleet_spec(i, adversarial_every, table));
+    }
+    fleet.run().expect("fleet run")
+}
+
+/// The fleet scheduler section: scheduler overhead at scale (the tentpole
+/// `< 5%` gate) and the bandit-vs-round-robin executions-to-flag-target
+/// comparison over the Table 4.2 seed families. Both figures are
+/// deterministic — the schedule is a pure function of (fleet seed,
+/// campaign set) — so the CI gates hold on any host.
+fn bench_fleet(quick: bool) -> String {
+    let table: Arc<[torpedo_prog::SyscallDesc]> = build_table().into();
+
+    // Overhead at scale: every campaign gets at least one window under a
+    // single worker, so sched_ns covers planning over the full tenant
+    // table every generation while exec_ns is the serialized window work —
+    // the worst case for the ratio.
+    let campaigns = if quick { 32 } else { 256 };
+    let overhead_fleet = run_bench_fleet(
+        FleetConfig {
+            workers: 1,
+            window_rounds: 2,
+            window_rounds_max: 6,
+            round_budget: campaigns as u64 * 3,
+            ..FleetConfig::default()
+        },
+        campaigns,
+        4,
+        &table,
+    );
+    let scheduled = overhead_fleet.rows.iter().filter(|r| r.windows > 0).count();
+    let overhead_pct = overhead_fleet.scheduler_overhead_pct();
+
+    // Time to a fixed flag count: mostly-benign tenants dilute the
+    // vulnerability families; the bandit reallocates toward flagging
+    // campaigns after the first generation and reaches the target in
+    // fewer total executions than uniform round-robin slicing.
+    // The target must sit well past the first generation barrier (where
+    // every tenant is fresh and both policies are uniform) or the bandit
+    // has no stats to act on and the comparison degenerates to a tie —
+    // but inside the adversarial tenants' total round capacity, or both
+    // policies end up grinding the benign tail for mutation-drift flags
+    // and the comparison measures overshoot, not allocation.
+    let flag_campaigns = if quick { 8 } else { 12 };
+    let flag_adversarial_every = if quick { 4 } else { 6 };
+    let flag_target: u64 = if quick { 16 } else { 40 };
+    let mut policy_results = Vec::new();
+    for policy in [FleetPolicy::Bandit, FleetPolicy::RoundRobin] {
+        let outcome = run_bench_fleet(
+            FleetConfig {
+                workers: 1,
+                window_rounds: 4,
+                window_rounds_max: 8,
+                round_budget: 4096,
+                stop_after_flags: Some(flag_target),
+                policy,
+                ..FleetConfig::default()
+            },
+            flag_campaigns,
+            flag_adversarial_every,
+            &table,
+        );
+        // Per-tenant rows on stderr (progress channel): which families
+        // flagged and how the policy split the budget.
+        eprint!("{}", outcome.render());
+        policy_results.push(outcome);
+    }
+    let bandit = &policy_results[0];
+    let round_robin = &policy_results[1];
+
+    format!(
+        "{{\n    \"overhead\": {{\n      \"campaigns\": {},\n      \"workers\": 1,\n      \"campaigns_scheduled\": {},\n      \"generations\": {},\n      \"rounds\": {},\n      \"executions\": {},\n      \"exec_ns\": {},\n      \"sched_ns\": {},\n      \"scheduler_overhead_pct\": {:.2},\n      \"overhead_gate\": \"enforced (< 5%)\"\n    }},\n    \"time_to_flags\": {{\n      \"campaigns\": {},\n      \"flag_target\": {},\n      \"bandit_executions\": {},\n      \"bandit_rounds\": {},\n      \"bandit_flags\": {},\n      \"round_robin_executions\": {},\n      \"round_robin_rounds\": {},\n      \"round_robin_flags\": {},\n      \"bandit_execution_savings_pct\": {:.1}\n    }}\n  }}",
+        campaigns,
+        scheduled,
+        overhead_fleet.generations,
+        overhead_fleet.rounds_total,
+        overhead_fleet.executions_total,
+        overhead_fleet.exec_ns,
+        overhead_fleet.sched_ns,
+        overhead_pct,
+        flag_campaigns,
+        flag_target,
+        bandit.executions_total,
+        bandit.rounds_total,
+        bandit.flags_total,
+        round_robin.executions_total,
+        round_robin.rounds_total,
+        round_robin.flags_total,
+        100.0
+            * (1.0
+                - safe_div(
+                    bandit.executions_total as f64,
+                    round_robin.executions_total as f64,
+                )),
+    )
 }

@@ -19,7 +19,7 @@ use torpedo_prog::{
     Corpus, CorpusItem, CoverageSet, MutatePolicy, Mutator, Program, ProgramId, SyscallDesc,
 };
 use torpedo_runtime::{checkpoint_fault_hit, ContainerCrash, FaultCounters};
-use torpedo_telemetry::{safe_div, CounterId, SpanKind, StatusServer, StatusShared};
+use torpedo_telemetry::{safe_div, CounterId, SpanKind, StatusServer, StatusShared, Telemetry};
 
 use crate::batch::{BatchAction, BatchConfig, BatchMachine, BatchState};
 use crate::crash::{reproduce_and_minimize, CrashRecord};
@@ -284,6 +284,12 @@ impl Campaign {
         &self.table
     }
 
+    /// The campaign configuration (the fleet clones it as the template
+    /// for control-plane submissions).
+    pub fn config(&self) -> &CampaignConfig {
+        &self.config
+    }
+
     /// Start the status endpoint on `addr` (use port 0 for an ephemeral
     /// port), serving the live status page at `/` and the telemetry JSON at
     /// `/metrics`. Idempotent: a second call returns the existing address.
@@ -367,8 +373,9 @@ impl Campaign {
         seeds: &SeedCorpus,
         oracle: &dyn Oracle,
     ) -> Result<CampaignReport, TorpedoError> {
-        let (effective, warm_started) = self.effective_seeds(seeds);
-        self.run_inner(&effective, warm_started, oracle, None)
+        let mut run = self.start(seeds, false)?;
+        while matches!(run.step(oracle)?, CampaignStep::Ran(_)) {}
+        run.finish(oracle)
     }
 
     /// Resume a killed campaign from a checkpoint bundle and finish it.
@@ -398,6 +405,48 @@ impl Campaign {
         bundle: &SnapshotBundle,
         oracle: &dyn Oracle,
     ) -> Result<CampaignReport, TorpedoError> {
+        let mut run = self.start_resume(bundle, false)?;
+        while matches!(run.step(oracle)?, CampaignStep::Ran(_)) {}
+        run.finish(oracle)
+    }
+
+    /// Start the campaign without driving it: the returned [`CampaignRun`]
+    /// is a resumable stepper — each [`CampaignRun::step`] executes exactly
+    /// one round through the identical code path [`Campaign::run`] uses, so
+    /// a fully stepped run produces a byte-identical report. The fleet
+    /// scheduler uses this to time-slice many campaigns over one worker
+    /// pool.
+    ///
+    /// `track_for_park` forces per-round journal tracking even without a
+    /// checkpoint policy, so [`CampaignRun::park_bundle`] can render a
+    /// `torpedo-snapshot-v1` bundle at any round boundary (the fleet's
+    /// park/unpark path). Plain campaigns leave it `false` and pay nothing.
+    ///
+    /// # Errors
+    /// Observer boot problems, exactly as [`Campaign::run`].
+    pub fn start(
+        &self,
+        seeds: &SeedCorpus,
+        track_for_park: bool,
+    ) -> Result<CampaignRun, TorpedoError> {
+        let (effective, warm_started) = self.effective_seeds(seeds);
+        self.start_run(effective, warm_started, None, track_for_park)
+    }
+
+    /// The stepper form of [`Campaign::resume`]: verified replay happens
+    /// across the initial [`CampaignRun::step`] calls (the bundle's rounds
+    /// re-execute and are journal-checked), after which stepping continues
+    /// live. See [`Campaign::start`] for `track_for_park`.
+    ///
+    /// # Errors
+    /// [`SnapshotError::ConfigMismatch`] when this campaign's rendered
+    /// config differs from the bundle's, plus anything [`Campaign::start`]
+    /// can fail with.
+    pub fn start_resume(
+        &self,
+        bundle: &SnapshotBundle,
+        track_for_park: bool,
+    ) -> Result<CampaignRun, TorpedoError> {
         if render_campaign_config(&self.config) != bundle.config {
             return Err(SnapshotError::ConfigMismatch.into());
         }
@@ -415,7 +464,12 @@ impl Campaign {
             .observer
             .telemetry
             .incr(CounterId::CheckpointRestores);
-        self.run_inner(&seeds, bundle.warm_started as usize, oracle, Some(bundle))
+        self.start_run(
+            seeds,
+            bundle.warm_started as usize,
+            Some(bundle),
+            track_for_park,
+        )
     }
 
     /// Merge the warm-start corpus into `seeds`: corpus programs not
@@ -444,13 +498,13 @@ impl Campaign {
         )
     }
 
-    fn run_inner(
+    fn start_run(
         &self,
-        seeds: &SeedCorpus,
+        seeds: SeedCorpus,
         warm_started: usize,
-        oracle: &dyn Oracle,
         resume: Option<&SnapshotBundle>,
-    ) -> Result<CampaignReport, TorpedoError> {
+        track_for_park: bool,
+    ) -> Result<CampaignRun, TorpedoError> {
         let mutator = Mutator::new(self.config.mutate.clone());
         let telemetry = self.config.observer.telemetry.clone();
         if let Some(addr) = &self.config.status_addr {
@@ -461,59 +515,30 @@ impl Campaign {
                 })?;
         }
         let status = self.status_shared();
-        let mut observer = Driver::new(
+        let observer = Driver::new(
             self.config.parallel,
             self.config.kernel.clone(),
             self.config.observer.clone(),
             &self.table,
         )?;
-        let mut logs: Vec<RoundLog> = Vec::new();
-        let mut corpus = Corpus::new();
-        let mut coverage = CoverageSet::new();
-        // Crash provenance rides along as (batch, round) so a bundle can
-        // point back at the round that killed the container.
-        let mut raw_crashes: Vec<(ContainerCrash, Arc<Program>, usize, u64)> = Vec::new();
         // The flight recorder exists only when forensics is on; every hook
-        // below is a no-op `if let` otherwise, and none of them touch the
-        // campaign RNG — reports are byte-identical either way.
+        // in the stepper is a no-op `if let` otherwise, and none of them
+        // touch the campaign RNG — reports are byte-identical either way.
         let mut recorder = self
             .config
             .forensics
             .then(|| FlightRecorder::new(self.config.shard_index));
-        let mut rounds_total = 0u64;
-        // Live-page accumulators (only consulted when a status endpoint is
-        // up, but cheap enough to keep unconditionally).
-        let mut live_execs = 0u64;
-        let mut live_vtime = Usecs::ZERO;
-        let mut live_best = 0.0f64;
-        let quarantine_threshold = self.config.observer.supervisor.quarantine_threshold;
-        // Hot-path identity is the 64-bit ProgramId content hash; the text
-        // rendering is produced only on the rare quarantine event (for the
-        // report) instead of on every check.
-        let mut crash_counts: HashMap<ProgramId, u32> = Default::default();
-        let mut quarantined_ids: BTreeSet<ProgramId> = Default::default();
-        let mut quarantined: BTreeSet<String> = Default::default();
 
-        // Checkpoint/replay state. Rendering a bundle at every due round
+        // Checkpoint/replay state. Rendering a bundle at a round boundary
         // needs the per-round journal; both are tracked only when a
-        // checkpoint policy or a resume bundle asks for them, so plain
-        // campaigns pay nothing.
+        // checkpoint policy, a resume bundle, or the fleet's park path asks
+        // for them, so plain campaigns pay nothing.
         let checkpoint = self
             .config
             .checkpoint
-            .as_ref()
+            .clone()
             .filter(|c| c.interval_rounds > 0);
-        let track_state = checkpoint.is_some() || resume.is_some();
-        let resume_text = resume.map(|b| b.render());
-        let resume_rounds = resume.map_or(0, |b| b.rounds);
-        let mut resume_verified = resume.is_none();
-        let mut journal: Vec<JournalRound> = Vec::new();
-        // The checkpoint-fault ledger: `checkpoint_fault_hit` is rolled at
-        // *every* due round — including replayed rounds whose write is
-        // skipped — so the counter is a pure function of (seed, round) and
-        // resumed reports stay byte-identical.
-        let mut ckpt_writes = 0u64;
-        let mut ckpt_fault_hits = 0u64;
+        let track_state = checkpoint.is_some() || resume.is_some() || track_for_park;
         // Checkpoint persistence runs off the round critical path on a
         // background thread when the host has a spare core to run it;
         // on a serialized (1-core) host the offload only adds context
@@ -522,7 +547,7 @@ impl Campaign {
         // harness measures the before/after. An env var (not a config
         // field) so the rendered config — and thus the checkpoint byte
         // format — is unchanged either way.
-        let mut ckpt_writer = checkpoint.map(|_| {
+        let ckpt_writer = checkpoint.as_ref().map(|_| {
             let sync = match std::env::var("TORPEDO_CHECKPOINT_SYNC").ok().as_deref() {
                 Some("1") => true,
                 Some("0") => false,
@@ -548,363 +573,617 @@ impl Campaign {
             }
         }
 
-        for (batch_idx, batch_seeds) in seeds
-            .batches(self.config.observer.executors)
-            .into_iter()
-            .enumerate()
-        {
-            let mut programs = batch_seeds;
+        let batches = seeds.batches(self.config.observer.executors);
+        Ok(CampaignRun {
+            config: self.config.clone(),
+            table: Arc::clone(&self.table),
+            status,
+            telemetry,
+            mutator,
+            observer,
+            seeds,
+            warm_started,
+            batches,
+            batch_idx: 0,
+            cur: None,
+            done: false,
+            logs: Vec::new(),
+            corpus: Corpus::new(),
+            coverage: CoverageSet::new(),
+            raw_crashes: Vec::new(),
+            recorder,
+            rounds_total: 0,
+            live_execs: 0,
+            live_vtime: Usecs::ZERO,
+            live_best: 0.0,
+            crash_counts: Default::default(),
+            quarantined_ids: Default::default(),
+            quarantined: Default::default(),
+            checkpoint,
+            track_state,
+            resume_journal: resume.map(|b| b.journal.clone()).unwrap_or_default(),
+            resume_text: resume.map(|b| b.render()),
+            resume_rounds: resume.map_or(0, |b| b.rounds),
+            resume_verified: resume.is_none(),
+            journal: Vec::new(),
+            ckpt_writes: 0,
+            ckpt_fault_hits: 0,
+            ckpt_writer,
+        })
+    }
+}
+
+/// Outcome of one [`CampaignRun::step`].
+#[derive(Debug, Clone)]
+pub enum CampaignStep {
+    /// One round executed; the summary is the scheduler's feedback signal.
+    Ran(RoundSummary),
+    /// Every batch is exhausted: call [`CampaignRun::finish`].
+    Done,
+}
+
+/// What one stepped round produced — the per-execution deltas a fleet
+/// scheduler feeds its allocation policy.
+#[derive(Debug, Clone)]
+pub struct RoundSummary {
+    /// Batch index of the round.
+    pub batch: usize,
+    /// Global round number (1-based).
+    pub round: u64,
+    /// The round's oracle score.
+    pub score: f64,
+    /// Program executions completed this round, summed over executors.
+    pub executions: u64,
+    /// Total distinct coverage signals after this round.
+    pub coverage_signals: usize,
+}
+
+/// The in-flight state of one seed batch inside a [`CampaignRun`]. Kept
+/// (with `closed` set) after the batch's last round, so park-bundle
+/// rendering always has the exact in-round context the checkpoint hook
+/// had.
+struct BatchCursor {
+    programs: Vec<Arc<Program>>,
+    prog_ids: Vec<ProgramId>,
+    machine: BatchMachine,
+    prog_machines: Vec<ProgramStateMachine>,
+    round_in_batch: u32,
+    /// The machine said [`BatchAction::Stop`] on the last round.
+    stopped: bool,
+    /// No more rounds run in this batch.
+    closed: bool,
+}
+
+/// A started campaign, steppable one round at a time.
+///
+/// Produced by [`Campaign::start`] / [`Campaign::start_resume`];
+/// [`Campaign::run`] is exactly `start`, then step-until-[`CampaignStep::Done`],
+/// then [`CampaignRun::finish`], so a stepped campaign's report is
+/// byte-identical to a driven one's no matter how its steps interleave
+/// with other campaigns' — the property the fleet scheduler's bounded
+/// execution windows rest on. All run state lives here (the originating
+/// [`Campaign`] keeps only the status endpoint), so a run can move across
+/// worker threads between steps.
+pub struct CampaignRun {
+    config: CampaignConfig,
+    table: Arc<[SyscallDesc]>,
+    status: Option<Arc<StatusShared>>,
+    telemetry: Telemetry,
+    mutator: Mutator,
+    observer: Driver,
+    seeds: SeedCorpus,
+    warm_started: usize,
+    batches: Vec<Vec<Arc<Program>>>,
+    batch_idx: usize,
+    cur: Option<BatchCursor>,
+    done: bool,
+    logs: Vec<RoundLog>,
+    corpus: Corpus,
+    coverage: CoverageSet,
+    /// Crash provenance rides along as (batch, round) so a bundle can
+    /// point back at the round that killed the container.
+    raw_crashes: Vec<(ContainerCrash, Arc<Program>, usize, u64)>,
+    recorder: Option<FlightRecorder>,
+    rounds_total: u64,
+    // Live-page accumulators (only consulted when a status endpoint is
+    // up, but cheap enough to keep unconditionally).
+    live_execs: u64,
+    live_vtime: Usecs,
+    live_best: f64,
+    // Hot-path identity is the 64-bit ProgramId content hash; the text
+    // rendering is produced only on the rare quarantine event (for the
+    // report) instead of on every check.
+    crash_counts: HashMap<ProgramId, u32>,
+    quarantined_ids: BTreeSet<ProgramId>,
+    quarantined: BTreeSet<String>,
+    checkpoint: Option<CheckpointConfig>,
+    track_state: bool,
+    resume_journal: Vec<JournalRound>,
+    resume_text: Option<String>,
+    resume_rounds: u64,
+    resume_verified: bool,
+    journal: Vec<JournalRound>,
+    // The checkpoint-fault ledger: `checkpoint_fault_hit` is rolled at
+    // *every* due round — including replayed rounds whose write is
+    // skipped — so the counter is a pure function of (seed, round) and
+    // resumed reports stay byte-identical.
+    ckpt_writes: u64,
+    ckpt_fault_hits: u64,
+    ckpt_writer: Option<CheckpointWriter>,
+}
+
+impl CampaignRun {
+    /// Execute exactly one round (opening the next batch when needed).
+    /// Returns [`CampaignStep::Done`] once every batch is exhausted.
+    ///
+    /// # Errors
+    /// Observer/recovery failures and replay divergence, exactly as
+    /// [`Campaign::run`] / [`Campaign::resume`] surface them.
+    pub fn step(&mut self, oracle: &dyn Oracle) -> Result<CampaignStep, TorpedoError> {
+        loop {
+            if self.done {
+                return Ok(CampaignStep::Done);
+            }
+            match &self.cur {
+                Some(cur) if !cur.closed => break,
+                Some(_) => {
+                    self.cur = None;
+                    self.batch_idx += 1;
+                }
+                None => {
+                    if !self.open_next_batch()? {
+                        self.done = true;
+                    }
+                }
+            }
+        }
+        let mut cur = self.cur.take().expect("open batch cursor");
+        let result = self.exec_round(oracle, &mut cur);
+        self.cur = Some(cur);
+        result.map(CampaignStep::Ran)
+    }
+
+    /// Advance `batch_idx` to the next non-empty batch and set its cursor
+    /// up. `false` when no batches remain.
+    fn open_next_batch(&mut self) -> Result<bool, TorpedoError> {
+        while self.batch_idx < self.batches.len() {
+            let programs = std::mem::take(&mut self.batches[self.batch_idx]);
             if programs.is_empty() {
+                self.batch_idx += 1;
                 continue;
             }
             // Cached ids, maintained incrementally: recomputed only when a
             // program actually changes (mutation, crash swap, shuffle).
-            let mut prog_ids: Vec<ProgramId> = programs.iter().map(|p| ProgramId::of(p)).collect();
-            if let Some(rec) = recorder.as_mut() {
+            let prog_ids: Vec<ProgramId> = programs.iter().map(|p| ProgramId::of(p)).collect();
+            if let Some(rec) = self.recorder.as_mut() {
                 for &id in &prog_ids {
-                    rec.record_root(id, batch_idx, rounds_total + 1);
+                    rec.record_root(id, self.batch_idx, self.rounds_total + 1);
                 }
             }
-            let mut machine = BatchMachine::new(self.config.batch.clone(), &programs);
-            let mut prog_machines: Vec<ProgramStateMachine> = programs
+            let machine = BatchMachine::new(self.config.batch.clone(), &programs);
+            let prog_machines: Vec<ProgramStateMachine> = programs
                 .iter()
                 .map(|_| ProgramStateMachine::new())
                 .collect();
-            observer.restart_crashed()?;
+            self.observer.restart_crashed()?;
+            let closed = self.config.max_rounds_per_batch == 0;
+            self.cur = Some(BatchCursor {
+                programs,
+                prog_ids,
+                machine,
+                prog_machines,
+                round_in_batch: 0,
+                stopped: false,
+                closed,
+            });
+            return Ok(true);
+        }
+        Ok(false)
+    }
 
-            for round_in_batch in 1..=self.config.max_rounds_per_batch {
-                // Per-round RNG: reseeded from the deterministic round
-                // counter, never carried across rounds. This is the whole
-                // checkpoint RNG contract — a bundle records (seed, epoch)
-                // instead of StdRng internals, and replaying round N is
-                // bitwise-identical no matter where the process restarted.
-                let epoch = rounds_total;
-                let mut rng = StdRng::seed_from_u64(derive_round_seed(self.config.seed, epoch));
-                if track_state {
-                    let serialized: Vec<String> = programs
-                        .iter()
-                        .map(|p| torpedo_prog::serialize(p, &self.table))
-                        .collect();
-                    if let Some(bundle) = resume {
-                        if let Some(expect) = bundle.journal.get(epoch as usize) {
-                            if expect.batch != batch_idx as u64 || expect.programs != serialized {
-                                return Err(SnapshotError::ReplayDivergence {
-                                    round: epoch + 1,
-                                    detail: format!(
-                                        "journaled pre-round programs differ in batch {batch_idx}"
-                                    ),
-                                }
-                                .into());
-                            }
-                        }
+    /// The round body: everything the old inline loop did for one round,
+    /// operating on the open cursor.
+    fn exec_round(
+        &mut self,
+        oracle: &dyn Oracle,
+        cur: &mut BatchCursor,
+    ) -> Result<RoundSummary, TorpedoError> {
+        cur.round_in_batch += 1;
+        let batch_idx = self.batch_idx;
+        let round_in_batch = cur.round_in_batch;
+        let telemetry = self.telemetry.clone();
+        let quarantine_threshold = self.config.observer.supervisor.quarantine_threshold;
+        // Per-round RNG: reseeded from the deterministic round counter,
+        // never carried across rounds. This is the whole checkpoint RNG
+        // contract — a bundle records (seed, epoch) instead of StdRng
+        // internals, and replaying round N is bitwise-identical no matter
+        // where the process restarted.
+        let epoch = self.rounds_total;
+        let mut rng = StdRng::seed_from_u64(derive_round_seed(self.config.seed, epoch));
+        if self.track_state {
+            let serialized: Vec<String> = cur
+                .programs
+                .iter()
+                .map(|p| torpedo_prog::serialize(p, &self.table))
+                .collect();
+            if let Some(expect) = self.resume_journal.get(epoch as usize) {
+                if expect.batch != batch_idx as u64 || expect.programs != serialized {
+                    return Err(SnapshotError::ReplayDivergence {
+                        round: epoch + 1,
+                        detail: format!("journaled pre-round programs differ in batch {batch_idx}"),
                     }
-                    journal.push(JournalRound {
-                        batch: batch_idx as u64,
-                        programs: serialized,
-                    });
+                    .into());
                 }
-                let recovery_before = observer.recovery();
-                let record = observer.round(&self.table, &programs)?;
-                rounds_total += 1;
-                let score = {
-                    let _oracle_span = telemetry.span(SpanKind::Oracle);
-                    oracle.score(&record.observation)
-                };
-                if let Some(rec) = recorder.as_mut() {
-                    // Before crash swaps below: these ids are the programs
-                    // that actually ran this round.
-                    rec.observe_round(batch_idx, rounds_total, score, &prog_ids);
-                }
+            }
+            self.journal.push(JournalRound {
+                batch: batch_idx as u64,
+                programs: serialized,
+            });
+        }
+        let recovery_before = self.observer.recovery();
+        let record = self.observer.round(&self.table, &cur.programs)?;
+        self.rounds_total += 1;
+        let score = {
+            let _oracle_span = telemetry.span(SpanKind::Oracle);
+            oracle.score(&record.observation)
+        };
+        if let Some(rec) = self.recorder.as_mut() {
+            // Before crash swaps below: these ids are the programs that
+            // actually ran this round.
+            rec.observe_round(batch_idx, self.rounds_total, score, &cur.prog_ids);
+        }
 
-                // Coverage feedback → per-program state machines → corpus.
-                // The threaded observer reports one slot per *worker*; slots
-                // beyond the batch ran the idle default program and carry no
-                // per-program feedback (a short final batch must not index
-                // past the program vectors).
-                for (i, report) in record.reports.iter().enumerate().take(programs.len()) {
-                    let flat = report.coverage.flat();
-                    let sm = &mut prog_machines[i];
-                    match sm.stage() {
-                        crate::prog_sm::ProgStage::Candidate => {
-                            if coverage.has_new(&flat) {
-                                let _ = sm.advance(ProgEvent::NewCoverage);
-                            } else {
-                                let _ = sm.advance(ProgEvent::NoNewCoverage);
-                            }
-                        }
-                        crate::prog_sm::ProgStage::Triage => {
-                            // Second sighting: verify, merge, admit.
-                            let new = coverage.merge(&flat);
-                            if new > 0 {
-                                let _ = sm.advance(ProgEvent::Verified);
-                                let _ = sm.advance(ProgEvent::Minimized);
-                                let _ = sm.advance(ProgEvent::Smashed);
-                                corpus.add(CorpusItem {
-                                    program: Arc::clone(&programs[i]),
-                                    new_signals: new,
-                                    best_score: score,
-                                    flagged: false,
-                                });
-                            } else {
-                                let _ = sm.advance(ProgEvent::Flaky);
-                            }
-                        }
-                        _ => {}
+        // Coverage feedback → per-program state machines → corpus.
+        // The threaded observer reports one slot per *worker*; slots
+        // beyond the batch ran the idle default program and carry no
+        // per-program feedback (a short final batch must not index
+        // past the program vectors).
+        for (i, report) in record.reports.iter().enumerate().take(cur.programs.len()) {
+            let flat = report.coverage.flat();
+            let sm = &mut cur.prog_machines[i];
+            match sm.stage() {
+                crate::prog_sm::ProgStage::Candidate => {
+                    if self.coverage.has_new(&flat) {
+                        let _ = sm.advance(ProgEvent::NewCoverage);
+                    } else {
+                        let _ = sm.advance(ProgEvent::NoNewCoverage);
                     }
+                }
+                crate::prog_sm::ProgStage::Triage => {
+                    // Second sighting: verify, merge, admit.
+                    let new = self.coverage.merge(&flat);
+                    if new > 0 {
+                        let _ = sm.advance(ProgEvent::Verified);
+                        let _ = sm.advance(ProgEvent::Minimized);
+                        let _ = sm.advance(ProgEvent::Smashed);
+                        self.corpus.add(CorpusItem {
+                            program: Arc::clone(&cur.programs[i]),
+                            new_signals: new,
+                            best_score: score,
+                            flagged: false,
+                        });
+                    } else {
+                        let _ = sm.advance(ProgEvent::Flaky);
+                    }
+                }
+                _ => {}
+            }
 
-                    // Crashes: record, restart, and swap in a fresh program.
-                    // A program that keeps killing executors is quarantined.
-                    if let Some(crash) = &report.crash {
-                        raw_crashes.push((
-                            crash.clone(),
-                            Arc::clone(&programs[i]),
+            // Crashes: record, restart, and swap in a fresh program.
+            // A program that keeps killing executors is quarantined.
+            if let Some(crash) = &report.crash {
+                self.raw_crashes.push((
+                    crash.clone(),
+                    Arc::clone(&cur.programs[i]),
+                    batch_idx,
+                    self.rounds_total,
+                ));
+                let key = cur.prog_ids[i];
+                let count = self.crash_counts.entry(key).or_insert(0);
+                *count += 1;
+                if *count >= quarantine_threshold && self.quarantined_ids.insert(key) {
+                    self.quarantined
+                        .insert(torpedo_prog::serialize(&cur.programs[i], &self.table));
+                    if let Some(rec) = self.recorder.as_mut() {
+                        rec.record_quarantine(
+                            key,
+                            Arc::clone(&cur.programs[i]),
                             batch_idx,
-                            rounds_total,
-                        ));
-                        let key = prog_ids[i];
-                        let count = crash_counts.entry(key).or_insert(0);
-                        *count += 1;
-                        if *count >= quarantine_threshold && quarantined_ids.insert(key) {
-                            quarantined.insert(torpedo_prog::serialize(&programs[i], &self.table));
-                            if let Some(rec) = recorder.as_mut() {
-                                rec.record_quarantine(
-                                    key,
-                                    Arc::clone(&programs[i]),
-                                    batch_idx,
-                                    rounds_total,
-                                );
-                            }
-                        }
-                        observer.restart_crashed()?;
-                        let (fresh, fresh_id) = self.fresh_program(&quarantined_ids, &mut rng);
-                        programs[i] = Arc::new(fresh);
-                        prog_ids[i] = fresh_id;
-                        prog_machines[i] = ProgramStateMachine::new();
-                        if let Some(rec) = recorder.as_mut() {
-                            rec.record_root(fresh_id, batch_idx, rounds_total + 1);
-                        }
+                            self.rounds_total,
+                        );
                     }
                 }
-
-                let round_recovery = observer.recovery().since(&recovery_before);
-                telemetry.add(CounterId::RecoveryEvents, round_recovery.total());
-                logs.push(RoundLog {
-                    batch: batch_idx,
-                    round: rounds_total,
-                    score,
-                    observation: record.observation,
-                    // Arc clones: the round log references the batch.
-                    programs: programs.clone(),
-                    deferrals: record.deferrals,
-                    executions: record.reports.iter().map(|r| r.executions).sum(),
-                    fatal_signals: record.reports.iter().map(|r| r.fatal_signals).sum(),
-                    recovery: round_recovery,
-                });
-
-                if let Some(shared) = &status {
-                    let log = logs.last().expect("round log just pushed");
-                    live_execs += log.executions;
-                    live_vtime += log.observation.window;
-                    live_best = live_best.max(score);
-                    let mut page = live_status_page(
-                        rounds_total,
-                        live_execs,
-                        live_vtime,
-                        live_best,
-                        corpus.len(),
-                        coverage.len(),
-                        raw_crashes.len(),
-                        &observer.recovery(),
-                    );
-                    page.push_str(&crate::stats::telemetry_saturation_section(&telemetry));
-                    if checkpoint.is_some() {
-                        page.push_str(&format!(
-                            "checkpoints         {ckpt_writes} written, {ckpt_fault_hits} faulted\n"
-                        ));
-                    }
-                    shared.set_page(page);
-                }
-
-                // Batch machine decides what happens next. Stop is handled
-                // after the checkpoint hook below so that a checkpoint due
-                // on a batch's final round still gets written.
-                let (_verdict, action) = machine.on_round(score, &mut programs, &mut rng);
-                let stop = matches!(action, BatchAction::Stop);
-                match action {
-                    BatchAction::Stop => {}
-                    BatchAction::ShuffleAndRun => {
-                        // The machine shuffled (or reverted) the batch:
-                        // resync the cached ids with the new order.
-                        for (id, program) in prog_ids.iter_mut().zip(programs.iter()) {
-                            *id = ProgramId::of(program);
-                        }
-                    }
-                    BatchAction::MutateAndRun => {
-                        let _mutate_span = telemetry.span(SpanKind::Mutate);
-                        telemetry.add(CounterId::MutationsTotal, programs.len() as u64);
-                        for (idx, program) in programs.iter_mut().enumerate() {
-                            // Lineage parent: hash the program *before* the
-                            // in-place mutation overwrites it. `prog_ids[idx]`
-                            // can be stale here if the machine just reverted
-                            // the batch; hashing is RNG-free so determinism
-                            // holds with forensics on or off.
-                            let parent_id = recorder.as_ref().map(|_| ProgramId::of(program));
-                            let donor_pick = rand::Rng::gen_range(&mut rng, 0.0..1.0f64);
-                            let donor = corpus.donor(donor_pick).cloned();
-                            // Copy-on-write: only the program being rewritten
-                            // is materialized; every other handle stays shared.
-                            let op = mutator.mutate(
-                                Arc::make_mut(program),
-                                &self.table,
-                                donor.as_deref(),
-                                &mut rng,
-                            );
-                            // Mutation must not resurrect a quarantined
-                            // executor-killer.
-                            let mut id = ProgramId::of(program);
-                            let mut regenerated = false;
-                            if quarantined_ids.contains(&id) {
-                                let (fresh, fresh_id) =
-                                    self.fresh_program(&quarantined_ids, &mut rng);
-                                *program = Arc::new(fresh);
-                                id = fresh_id;
-                                regenerated = true;
-                            }
-                            prog_ids[idx] = id;
-                            if let Some(rec) = recorder.as_mut() {
-                                if regenerated {
-                                    rec.record_root(id, batch_idx, rounds_total + 1);
-                                } else {
-                                    rec.record_mutation(
-                                        id,
-                                        parent_id.expect("captured before mutation"),
-                                        donor.as_ref().map(|d| ProgramId::of(d)),
-                                        op,
-                                        batch_idx,
-                                        rounds_total + 1,
-                                        score,
-                                    );
-                                }
-                            }
-                        }
-                    }
-                }
-
-                // Checkpoint hook: runs at every due round, after the
-                // machine action so the bundle captures next round's
-                // pre-state exactly.
-                if let Some(ckpt) = checkpoint {
-                    if rounds_total.is_multiple_of(ckpt.interval_rounds) {
-                        let fault =
-                            checkpoint_fault_hit(&self.config.observer.faults, rounds_total);
-                        if fault {
-                            ckpt_fault_hits += 1;
-                            telemetry.incr(CounterId::CheckpointWriteFails);
-                        }
-                        // Replayed rounds (≤ the resume point) roll the
-                        // fault but skip the write: those checkpoints
-                        // already exist on disk.
-                        if rounds_total > resume_rounds {
-                            // Rendering must stay inline (it borrows the
-                            // live campaign state), but persistence is
-                            // handed to the background writer: the round
-                            // loop no longer waits on fsync. The writer
-                            // records the Checkpoint span per write.
-                            let mut faults = observer.fault_counters();
-                            faults.checkpoint_write_fail = ckpt_fault_hits;
-                            let text = self
-                                .build_bundle(SnapshotView {
-                                    seeds,
-                                    warm_started,
-                                    rounds_total,
-                                    batch: batch_idx,
-                                    round_in_batch,
-                                    batch_stopped: stop,
-                                    machine: &machine,
-                                    programs: &programs,
-                                    prog_machines: &prog_machines,
-                                    journal: &journal,
-                                    corpus: &corpus,
-                                    coverage: &coverage,
-                                    crash_counts: &crash_counts,
-                                    quarantined_ids: &quarantined_ids,
-                                    quarantined: &quarantined,
-                                    raw_crashes: &raw_crashes,
-                                    recovery: observer.recovery(),
-                                    faults,
-                                    recorder: recorder.as_ref(),
-                                })
-                                .render();
-                            let writer =
-                                ckpt_writer.as_mut().expect("writer exists with checkpoint");
-                            writer.submit(
-                                ckpt.dir.clone(),
-                                text,
-                                rounds_total,
-                                ckpt.keep,
-                                fault,
-                            )?;
-                            if !fault {
-                                ckpt_writes += 1;
-                                telemetry.incr(CounterId::CheckpointWrites);
-                            }
-                        }
-                    }
-                }
-
-                // Resume verification: at the checkpointed round the live
-                // state, re-rendered through the same builder, must equal
-                // the loaded bundle byte-for-byte — total-state proof that
-                // the replay really reproduced the writer's campaign.
-                if !resume_verified && rounds_total == resume_rounds {
-                    let _ckpt_span = telemetry.span(SpanKind::Checkpoint);
-                    let mut faults = observer.fault_counters();
-                    faults.checkpoint_write_fail = ckpt_fault_hits;
-                    let live = self
-                        .build_bundle(SnapshotView {
-                            seeds,
-                            warm_started,
-                            rounds_total,
-                            batch: batch_idx,
-                            round_in_batch,
-                            batch_stopped: stop,
-                            machine: &machine,
-                            programs: &programs,
-                            prog_machines: &prog_machines,
-                            journal: &journal,
-                            corpus: &corpus,
-                            coverage: &coverage,
-                            crash_counts: &crash_counts,
-                            quarantined_ids: &quarantined_ids,
-                            quarantined: &quarantined,
-                            raw_crashes: &raw_crashes,
-                            recovery: observer.recovery(),
-                            faults,
-                            recorder: recorder.as_ref(),
-                        })
-                        .render();
-                    let expected = resume_text.as_deref().expect("resume text set with bundle");
-                    if live != expected {
-                        return Err(SnapshotError::ReplayDivergence {
-                            round: rounds_total,
-                            detail: "re-rendered campaign state differs from the loaded checkpoint"
-                                .into(),
-                        }
-                        .into());
-                    }
-                    resume_verified = true;
-                }
-
-                if stop {
-                    break;
+                self.observer.restart_crashed()?;
+                let (fresh, fresh_id) = self.fresh_program(&self.quarantined_ids, &mut rng);
+                cur.programs[i] = Arc::new(fresh);
+                cur.prog_ids[i] = fresh_id;
+                cur.prog_machines[i] = ProgramStateMachine::new();
+                if let Some(rec) = self.recorder.as_mut() {
+                    rec.record_root(fresh_id, batch_idx, self.rounds_total + 1);
                 }
             }
         }
 
+        let round_recovery = self.observer.recovery().since(&recovery_before);
+        telemetry.add(CounterId::RecoveryEvents, round_recovery.total());
+        let executions: u64 = record.reports.iter().map(|r| r.executions).sum();
+        self.logs.push(RoundLog {
+            batch: batch_idx,
+            round: self.rounds_total,
+            score,
+            observation: record.observation,
+            // Arc clones: the round log references the batch.
+            programs: cur.programs.clone(),
+            deferrals: record.deferrals,
+            executions,
+            fatal_signals: record.reports.iter().map(|r| r.fatal_signals).sum(),
+            recovery: round_recovery,
+        });
+
+        if self.status.is_some() {
+            let window = self
+                .logs
+                .last()
+                .expect("round log just pushed")
+                .observation
+                .window;
+            self.live_execs += executions;
+            self.live_vtime += window;
+            self.live_best = self.live_best.max(score);
+            let mut page = live_status_page(
+                self.rounds_total,
+                self.live_execs,
+                self.live_vtime,
+                self.live_best,
+                self.corpus.len(),
+                self.coverage.len(),
+                self.raw_crashes.len(),
+                &self.observer.recovery(),
+            );
+            page.push_str(&crate::stats::telemetry_saturation_section(&telemetry));
+            if self.checkpoint.is_some() {
+                page.push_str(&format!(
+                    "checkpoints         {} written, {} faulted\n",
+                    self.ckpt_writes, self.ckpt_fault_hits
+                ));
+            }
+            if let Some(shared) = &self.status {
+                shared.set_page(page);
+            }
+        }
+
+        // Batch machine decides what happens next. Stop is handled
+        // after the checkpoint hook below so that a checkpoint due
+        // on a batch's final round still gets written.
+        let (_verdict, action) = cur.machine.on_round(score, &mut cur.programs, &mut rng);
+        let stop = matches!(action, BatchAction::Stop);
+        match action {
+            BatchAction::Stop => {}
+            BatchAction::ShuffleAndRun => {
+                // The machine shuffled (or reverted) the batch:
+                // resync the cached ids with the new order.
+                for (id, program) in cur.prog_ids.iter_mut().zip(cur.programs.iter()) {
+                    *id = ProgramId::of(program);
+                }
+            }
+            BatchAction::MutateAndRun => {
+                let _mutate_span = telemetry.span(SpanKind::Mutate);
+                telemetry.add(CounterId::MutationsTotal, cur.programs.len() as u64);
+                for (idx, program) in cur.programs.iter_mut().enumerate() {
+                    // Lineage parent: hash the program *before* the
+                    // in-place mutation overwrites it. `prog_ids[idx]`
+                    // can be stale here if the machine just reverted
+                    // the batch; hashing is RNG-free so determinism
+                    // holds with forensics on or off.
+                    let parent_id = self.recorder.as_ref().map(|_| ProgramId::of(program));
+                    let donor_pick = rand::Rng::gen_range(&mut rng, 0.0..1.0f64);
+                    let donor = self.corpus.donor(donor_pick).cloned();
+                    // Copy-on-write: only the program being rewritten
+                    // is materialized; every other handle stays shared.
+                    let op = self.mutator.mutate(
+                        Arc::make_mut(program),
+                        &self.table,
+                        donor.as_deref(),
+                        &mut rng,
+                    );
+                    // Mutation must not resurrect a quarantined
+                    // executor-killer.
+                    let mut id = ProgramId::of(program);
+                    let mut regenerated = false;
+                    if self.quarantined_ids.contains(&id) {
+                        let (fresh, fresh_id) = self.fresh_program(&self.quarantined_ids, &mut rng);
+                        *program = Arc::new(fresh);
+                        id = fresh_id;
+                        regenerated = true;
+                    }
+                    cur.prog_ids[idx] = id;
+                    if let Some(rec) = self.recorder.as_mut() {
+                        if regenerated {
+                            rec.record_root(id, batch_idx, self.rounds_total + 1);
+                        } else {
+                            rec.record_mutation(
+                                id,
+                                parent_id.expect("captured before mutation"),
+                                donor.as_ref().map(|d| ProgramId::of(d)),
+                                op,
+                                batch_idx,
+                                self.rounds_total + 1,
+                                score,
+                            );
+                        }
+                    }
+                }
+            }
+        }
+
+        // Checkpoint hook: runs at every due round, after the
+        // machine action so the bundle captures next round's
+        // pre-state exactly.
+        let ckpt_due = self
+            .checkpoint
+            .as_ref()
+            .is_some_and(|c| self.rounds_total.is_multiple_of(c.interval_rounds));
+        if ckpt_due {
+            let fault = checkpoint_fault_hit(&self.config.observer.faults, self.rounds_total);
+            if fault {
+                self.ckpt_fault_hits += 1;
+                telemetry.incr(CounterId::CheckpointWriteFails);
+            }
+            // Replayed rounds (≤ the resume point) roll the
+            // fault but skip the write: those checkpoints
+            // already exist on disk.
+            if self.rounds_total > self.resume_rounds {
+                // Rendering must stay inline (it borrows the
+                // live campaign state), but persistence is
+                // handed to the background writer: the round
+                // loop no longer waits on fsync. The writer
+                // records the Checkpoint span per write.
+                let mut faults = self.observer.fault_counters();
+                faults.checkpoint_write_fail = self.ckpt_fault_hits;
+                let text = self.render_bundle(cur, stop, faults).render();
+                let (dir, keep) = {
+                    let ckpt = self.checkpoint.as_ref().expect("due implies checkpoint");
+                    (ckpt.dir.clone(), ckpt.keep)
+                };
+                let writer = self
+                    .ckpt_writer
+                    .as_mut()
+                    .expect("writer exists with checkpoint");
+                writer.submit(dir, text, self.rounds_total, keep, fault)?;
+                if !fault {
+                    self.ckpt_writes += 1;
+                    telemetry.incr(CounterId::CheckpointWrites);
+                }
+            }
+        }
+
+        // Resume verification: at the checkpointed round the live
+        // state, re-rendered through the same builder, must equal
+        // the loaded bundle byte-for-byte — total-state proof that
+        // the replay really reproduced the writer's campaign.
+        if !self.resume_verified && self.rounds_total == self.resume_rounds {
+            let _ckpt_span = telemetry.span(SpanKind::Checkpoint);
+            let mut faults = self.observer.fault_counters();
+            faults.checkpoint_write_fail = self.ckpt_fault_hits;
+            let live = self.render_bundle(cur, stop, faults).render();
+            let expected = self
+                .resume_text
+                .as_deref()
+                .expect("resume text set with bundle");
+            if live != expected {
+                return Err(SnapshotError::ReplayDivergence {
+                    round: self.rounds_total,
+                    detail: "re-rendered campaign state differs from the loaded checkpoint".into(),
+                }
+                .into());
+            }
+            self.resume_verified = true;
+        }
+
+        cur.stopped = stop;
+        if stop || round_in_batch >= self.config.max_rounds_per_batch {
+            cur.closed = true;
+        }
+        Ok(RoundSummary {
+            batch: batch_idx,
+            round: self.rounds_total,
+            score,
+            executions,
+            coverage_signals: self.coverage.len(),
+        })
+    }
+
+    /// Render the live state exactly as the in-round checkpoint hook
+    /// would: the cursor supplies the batch context, everything else
+    /// comes from the run.
+    fn render_bundle(
+        &self,
+        cur: &BatchCursor,
+        batch_stopped: bool,
+        faults: FaultCounters,
+    ) -> SnapshotBundle {
+        self.build_bundle(SnapshotView {
+            seeds: &self.seeds,
+            warm_started: self.warm_started,
+            rounds_total: self.rounds_total,
+            batch: self.batch_idx,
+            round_in_batch: cur.round_in_batch,
+            batch_stopped,
+            machine: &cur.machine,
+            programs: &cur.programs,
+            prog_machines: &cur.prog_machines,
+            journal: &self.journal,
+            corpus: &self.corpus,
+            coverage: &self.coverage,
+            crash_counts: &self.crash_counts,
+            quarantined_ids: &self.quarantined_ids,
+            quarantined: &self.quarantined,
+            raw_crashes: &self.raw_crashes,
+            recovery: self.observer.recovery(),
+            faults,
+            recorder: self.recorder.as_ref(),
+        })
+    }
+
+    /// Render a `torpedo-snapshot-v1` bundle of the current state for the
+    /// fleet's park path — exactly the bundle an in-round checkpoint at
+    /// this round would have written, so [`Campaign::start_resume`] can
+    /// replay back to this point byte-identically. `None` when nothing has
+    /// run yet (park as fresh), when the run is already done, or when
+    /// state tracking is off (start with `track_for_park`).
+    pub fn park_bundle(&self) -> Option<String> {
+        if !self.track_state || self.rounds_total == 0 || self.done {
+            return None;
+        }
+        let cur = self.cur.as_ref()?;
+        let mut faults = self.observer.fault_counters();
+        faults.checkpoint_write_fail = self.ckpt_fault_hits;
+        Some(self.render_bundle(cur, cur.stopped, faults).render())
+    }
+
+    /// Rounds executed so far (replayed rounds included).
+    pub fn rounds_total(&self) -> u64 {
+        self.rounds_total
+    }
+
+    /// Every round logged so far (a fleet reads the tail for online
+    /// flagging).
+    pub fn logs(&self) -> &[RoundLog] {
+        &self.logs
+    }
+
+    /// Distinct coverage signals observed so far.
+    pub fn coverage_signals(&self) -> usize {
+        self.coverage.len()
+    }
+
+    /// Whether a replay-in-progress has been verified (always true for a
+    /// fresh start). Finishing before the resume point is a divergence.
+    pub fn replay_verified(&self) -> bool {
+        self.resume_verified
+    }
+
+    /// `true` once [`CampaignRun::step`] has returned
+    /// [`CampaignStep::Done`].
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Assemble the final report: drain the checkpoint writer, run offline
+    /// flagging over the logs, reproduce crashes, package forensics, and
+    /// render the final status page. Callable at any step boundary — the
+    /// fleet finishes budget-exhausted campaigns early; flagging simply
+    /// covers the rounds that ran.
+    ///
+    /// # Errors
+    /// Queued checkpoint-write failures, and replay divergence when a
+    /// resumed run never reached its checkpointed round.
+    pub fn finish(mut self, oracle: &dyn Oracle) -> Result<CampaignReport, TorpedoError> {
+        let telemetry = self.telemetry.clone();
         // Drain the background checkpoint writer before anything below
         // reads campaign results: every queued write lands (or its error
         // surfaces) before the final report is assembled.
-        if let Some(writer) = ckpt_writer.take() {
+        if let Some(writer) = self.ckpt_writer.take() {
             writer.finish()?;
         }
 
@@ -913,7 +1192,7 @@ impl Campaign {
         let flag_span = telemetry.span(SpanKind::Oracle);
         let mut flagged: Vec<FlaggedFinding> = Vec::new();
         let mut seen_programs: std::collections::HashSet<ProgramId> = Default::default();
-        for log in &logs {
+        for log in &self.logs {
             let violations = Arc::new(oracle.flag(&log.observation));
             if violations.is_empty() {
                 continue;
@@ -939,6 +1218,7 @@ impl Campaign {
         telemetry.add(CounterId::FlaggedTotal, flagged.len() as u64);
 
         // Crash reproduction + minimization.
+        let raw_crashes = std::mem::take(&mut self.raw_crashes);
         let crash_sites: Vec<(usize, u64)> = raw_crashes
             .iter()
             .map(|(_, _, batch, round)| (*batch, *round))
@@ -957,47 +1237,54 @@ impl Campaign {
             })
             .collect();
 
-        let forensics = match recorder.as_ref() {
+        let forensics = match self.recorder.as_ref() {
             Some(rec) => {
-                let bundles =
-                    self.assemble_bundles(rec, oracle, &logs, &flagged, &crashes, &crash_sites);
+                let bundles = self.assemble_bundles(
+                    rec,
+                    oracle,
+                    &self.logs,
+                    &flagged,
+                    &crashes,
+                    &crash_sites,
+                );
                 telemetry.add(CounterId::ForensicsBundles, bundles.len() as u64);
                 bundles
             }
             None => Vec::new(),
         };
 
-        if !resume_verified {
+        if !self.resume_verified {
             // The replay finished without ever reaching the checkpointed
             // round — the resumed campaign cannot have matched the writer.
             return Err(SnapshotError::ReplayDivergence {
-                round: rounds_total,
+                round: self.rounds_total,
                 detail: format!(
-                    "campaign ended after {rounds_total} rounds without reaching the \
-                     checkpointed round {resume_rounds}"
+                    "campaign ended after {} rounds without reaching the \
+                     checkpointed round {}",
+                    self.rounds_total, self.resume_rounds
                 ),
             }
             .into());
         }
 
-        let mut recovery = observer.recovery();
-        recovery.quarantined_programs = quarantined.len() as u64;
-        let mut faults_injected = observer.fault_counters();
-        faults_injected.checkpoint_write_fail = ckpt_fault_hits;
+        let mut recovery = self.observer.recovery();
+        recovery.quarantined_programs = self.quarantined.len() as u64;
+        let mut faults_injected = self.observer.fault_counters();
+        faults_injected.checkpoint_write_fail = self.ckpt_fault_hits;
         let report = CampaignReport {
-            rounds_total,
-            logs,
+            rounds_total: self.rounds_total,
+            logs: self.logs,
             flagged,
             crashes,
-            corpus,
-            coverage_signals: coverage.len(),
+            corpus: self.corpus,
+            coverage_signals: self.coverage.len(),
             recovery,
             faults_injected,
-            quarantined: quarantined.into_iter().collect(),
+            quarantined: self.quarantined.into_iter().collect(),
             forensics,
         };
         telemetry.add(CounterId::FaultsInjected, report.faults_injected.total());
-        if let Some(shared) = &status {
+        if let Some(shared) = &self.status {
             // The final page is the full post-campaign stats rendering plus
             // the telemetry-saturation footer (appended here rather than in
             // `render()` so the stats rendering itself stays byte-stable);
@@ -1007,9 +1294,10 @@ impl Campaign {
             if !report.forensics.is_empty() {
                 page.push_str(&format!("forensics bundles   {}\n", report.forensics.len()));
             }
-            if checkpoint.is_some() {
+            if self.checkpoint.is_some() {
                 page.push_str(&format!(
-                    "checkpoints         {ckpt_writes} written, {ckpt_fault_hits} faulted\n"
+                    "checkpoints         {} written, {} faulted\n",
+                    self.ckpt_writes, self.ckpt_fault_hits
                 ));
             }
             shared.set_page(page);
@@ -1325,6 +1613,73 @@ mod tests {
             "socket storm must flag the CPU oracle"
         );
         assert!(report.coverage_signals > 0);
+    }
+
+    #[test]
+    fn stepper_matches_run() {
+        let corpus_texts = [
+            "socket(0x9, 0x3, 0x0)\nsocket(0x9, 0x3, 0x0)\n",
+            "getpid()\nuname(0x0)\n",
+            "stat(&'/etc/passwd', 0x0)\n",
+        ];
+        let oracle = CpuOracle::new();
+        let driven = Campaign::new(quick_config("runc"), build_table())
+            .run(&seeds(&corpus_texts), &oracle)
+            .unwrap();
+
+        // The same campaign stepped one round at a time, with park-style
+        // state tracking on, must produce a byte-identical report.
+        let campaign = Campaign::new(quick_config("runc"), build_table());
+        let mut run = campaign.start(&seeds(&corpus_texts), true).unwrap();
+        let mut rounds = 0u64;
+        while let CampaignStep::Ran(summary) = run.step(&oracle).unwrap() {
+            rounds += 1;
+            assert_eq!(summary.round, rounds);
+            assert_eq!(run.rounds_total(), rounds);
+            assert!(!run.is_done());
+        }
+        assert!(run.is_done());
+        let stepped = run.finish(&oracle).unwrap();
+
+        assert_eq!(driven.rounds_total, stepped.rounds_total);
+        assert_eq!(
+            crate::stats::CampaignStats::from_report(&driven).render(),
+            crate::stats::CampaignStats::from_report(&stepped).render(),
+        );
+    }
+
+    #[test]
+    fn park_bundle_resumes_byte_identically() {
+        let corpus_texts = [
+            "socket(0x9, 0x3, 0x0)\nsocket(0x9, 0x3, 0x0)\n",
+            "getpid()\nuname(0x0)\n",
+        ];
+        let oracle = CpuOracle::new();
+        let baseline = Campaign::new(quick_config("runc"), build_table())
+            .run(&seeds(&corpus_texts), &oracle)
+            .unwrap();
+
+        // Step three rounds, park, resume from the in-memory bundle, and
+        // drive to completion: the final report must match the
+        // uninterrupted baseline byte-for-byte.
+        let campaign = Campaign::new(quick_config("runc"), build_table());
+        let mut run = campaign.start(&seeds(&corpus_texts), true).unwrap();
+        for _ in 0..3 {
+            assert!(matches!(run.step(&oracle).unwrap(), CampaignStep::Ran(_)));
+        }
+        let bundle_text = run.park_bundle().expect("tracked run parks");
+        drop(run);
+        let bundle = crate::snapshot::parse_snapshot(&bundle_text).unwrap();
+        let campaign = Campaign::new(quick_config("runc"), build_table());
+        let mut run = campaign.start_resume(&bundle, true).unwrap();
+        while matches!(run.step(&oracle).unwrap(), CampaignStep::Ran(_)) {}
+        let resumed = run.finish(&oracle).unwrap();
+
+        assert_eq!(baseline.rounds_total, resumed.rounds_total);
+        assert_eq!(
+            crate::stats::CampaignStats::from_report(&baseline).render(),
+            crate::stats::CampaignStats::from_report(&resumed).render(),
+        );
     }
 
     #[test]

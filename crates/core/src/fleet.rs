@@ -1,0 +1,1106 @@
+//! The campaign-fleet scheduler: N admitted campaigns time-sliced into
+//! bounded execution windows on a fixed worker pool under one global
+//! round budget.
+//!
+//! This is the layer above [`crate::shard`]: where a shard run splits one
+//! seed corpus across K identical campaigns, a fleet multiplexes many
+//! *independent* campaigns — each with its own runtime, kernel config,
+//! seed, and oracle — over shared execution capacity, the way a fuzzing
+//! service must when thousands of submitted container images compete for
+//! one machine.
+//!
+//! Design invariants (DESIGN.md §5e):
+//!
+//! * **Windows, not threads.** A campaign never owns a worker; it is
+//!   granted a window of at most `window_rounds_max` rounds, runs it via
+//!   the [`CampaignRun`] stepper, and returns to the pool.
+//! * **Bandit reallocation.** Each generation re-scores every campaign
+//!   from its *last window's* oracle-score and coverage deltas per
+//!   execution (a power-schedule: hot campaigns get wider windows), with
+//!   an explicit starvation bound — a campaign unscheduled for
+//!   `starvation_windows` generations is forced to the front.
+//! * **Determinism.** Allocation for generation `g` reads only stats
+//!   absorbed at the `g−1` barrier, results are absorbed in campaign-id
+//!   order, and no wall-clock feeds any decision — the schedule, every
+//!   report, and [`FleetOutcome::render`] are a pure function of
+//!   (fleet seed, campaign set), invariant under worker count.
+//! * **Bounded working set.** With `max_active` set, campaigns outside
+//!   the active set park through the PR 6 snapshot path
+//!   ([`CampaignRun::park_bundle`] → [`Campaign::start_resume`]) — to a
+//!   spill directory when `park_dir` is set, else as an in-memory bundle
+//!   string — so a 1,000-campaign fleet holds only `max_active` booted
+//!   campaigns.
+//!
+//! The status endpoint becomes the multi-tenant control plane: the page
+//! shows one row per campaign (state, budget share, score trajectory,
+//! last flag) and `POST /fleet/submit` / `POST /fleet/cancel` queue
+//! admissions and cancellations that drain at the next generation
+//! barrier.
+
+use std::collections::{HashSet, VecDeque};
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use torpedo_oracle::Oracle;
+use torpedo_prog::{ProgramId, SyscallDesc};
+use torpedo_telemetry::{safe_div, ControlApi, StatusServer, StatusShared, Telemetry};
+
+use crate::campaign::{Campaign, CampaignConfig, CampaignReport, CampaignRun, CampaignStep};
+use crate::error::TorpedoError;
+use crate::seeds::{default_denylist, SeedCorpus};
+use crate::snapshot::{parse_snapshot, read_text_capped, MAX_SNAPSHOT_BYTES};
+
+/// A shareable oracle handle: fleet workers score windows from any thread.
+pub type FleetOracle = Arc<dyn Oracle + Send + Sync>;
+
+/// How the scheduler divides the budget among campaigns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FleetPolicy {
+    /// Power-schedule-flavored bandit: window width follows each
+    /// campaign's recent score/coverage/flag yield per execution.
+    Bandit,
+    /// Equal fixed-width windows in admission order (the baseline the
+    /// bench compares the bandit against).
+    RoundRobin,
+}
+
+/// Fleet-wide configuration.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Fleet seed: stamped into the outcome and reserved for jittered
+    /// policies; the shipped policies are fully determined by campaign
+    /// stats, so two fleets with the same campaign set and any worker
+    /// count produce identical schedules.
+    pub seed: u64,
+    /// Worker threads executing windows. `0` means one per available
+    /// core. The schedule is worker-count invariant; this only sets
+    /// physical parallelism.
+    pub workers: usize,
+    /// Campaigns allowed to stay booted between generations; the rest
+    /// park through the snapshot path. `usize::MAX` (default) keeps every
+    /// campaign resident and never parks.
+    pub max_active: usize,
+    /// Base window width in rounds.
+    pub window_rounds: u64,
+    /// Hard cap on a single window after bandit scaling.
+    pub window_rounds_max: u64,
+    /// Starvation bound: a runnable campaign left unscheduled for this
+    /// many generations is forced into the next active set.
+    pub starvation_windows: u64,
+    /// Global execution budget in campaign rounds (replayed unpark rounds
+    /// are not charged; only new rounds consume budget).
+    pub round_budget: u64,
+    /// Stop the whole fleet once this many flagged programs have been
+    /// found (the time-to-X-flags bench measures executions to reach it).
+    pub stop_after_flags: Option<u64>,
+    /// Allocation policy.
+    pub policy: FleetPolicy,
+    /// Spill directory for parked campaign bundles; `None` parks
+    /// in-memory.
+    pub park_dir: Option<PathBuf>,
+    /// Serve the multi-tenant status page + control API here.
+    pub status_addr: Option<String>,
+    /// Keep each finished campaign's full [`CampaignReport`] in the
+    /// outcome (off by default: a 1,000-campaign fleet's reports dwarf
+    /// the row table).
+    pub keep_reports: bool,
+    /// Fleet-level telemetry handle (drives the status endpoint's
+    /// `/metrics`).
+    pub telemetry: Telemetry,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            seed: 0x70CA_F1EE,
+            workers: 0,
+            max_active: usize::MAX,
+            window_rounds: 4,
+            window_rounds_max: 16,
+            starvation_windows: 4,
+            round_budget: 256,
+            stop_after_flags: None,
+            policy: FleetPolicy::Bandit,
+            park_dir: None,
+            status_addr: None,
+            keep_reports: false,
+            telemetry: Telemetry::disabled(),
+        }
+    }
+}
+
+/// One campaign submitted to the fleet.
+pub struct FleetSpec {
+    /// Display name (status rows, logs).
+    pub name: String,
+    /// The campaign's own configuration — runtime, kernel/cgroup model,
+    /// seed, batch tuning all per-tenant.
+    pub config: CampaignConfig,
+    /// The syscall table the campaign (and its seeds) were built against.
+    pub table: Arc<[SyscallDesc]>,
+    /// The campaign's seed corpus.
+    pub seeds: SeedCorpus,
+    /// The campaign's oracle (thresholds are per-tenant too).
+    pub oracle: FleetOracle,
+}
+
+/// Lifecycle state of a fleet campaign, as shown on the status page.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CampaignState {
+    /// Admitted, never started (or parked before its first round).
+    Queued,
+    /// Booted and eligible for windows.
+    Active,
+    /// Evicted from the working set; state lives in a snapshot bundle.
+    Parked,
+    /// Ran to completion (or was finalized at budget exhaustion).
+    Finished,
+    /// Cancelled through the control API before completion.
+    Cancelled,
+    /// Start/park/unpark/step failed; the error is kept on the row.
+    Failed,
+}
+
+impl CampaignState {
+    fn label(self) -> &'static str {
+        match self {
+            CampaignState::Queued => "queued",
+            CampaignState::Active => "active",
+            CampaignState::Parked => "parked",
+            CampaignState::Finished => "finished",
+            CampaignState::Cancelled => "cancelled",
+            CampaignState::Failed => "failed",
+        }
+    }
+}
+
+/// Where a parked campaign's bundle lives.
+enum Parked {
+    Memory(String),
+    Disk(PathBuf),
+}
+
+/// The slot holding a campaign's execution state.
+enum Slot {
+    Queued,
+    Active(Box<CampaignRun>),
+    Parked(Parked),
+    Finished,
+    Cancelled,
+    Failed,
+}
+
+impl Slot {
+    fn state(&self) -> CampaignState {
+        match self {
+            Slot::Queued => CampaignState::Queued,
+            Slot::Active(_) => CampaignState::Active,
+            Slot::Parked(_) => CampaignState::Parked,
+            Slot::Finished => CampaignState::Finished,
+            Slot::Cancelled => CampaignState::Cancelled,
+            Slot::Failed => CampaignState::Failed,
+        }
+    }
+}
+
+/// One admitted campaign plus the deterministic statistics that drive its
+/// budget share. Everything the planner reads lives here and is updated
+/// only at generation barriers, in campaign-id order.
+struct Entry {
+    id: usize,
+    name: String,
+    campaign: Campaign,
+    seeds: SeedCorpus,
+    oracle: FleetOracle,
+    slot: Slot,
+    rounds: u64,
+    executions: u64,
+    windows: u64,
+    flags: u64,
+    flag_seen: HashSet<ProgramId>,
+    coverage: usize,
+    best_score: f64,
+    last_score: f64,
+    // Last-window deltas: the bandit's feedback signal.
+    w_rounds: u64,
+    w_execs: u64,
+    w_flags: u64,
+    w_cov: u64,
+    w_score_gain: f64,
+    last_scheduled: u64,
+    last_flag_round: Option<u64>,
+    score_trail: VecDeque<f64>,
+    error: Option<String>,
+    report: Option<CampaignReport>,
+}
+
+impl Entry {
+    fn runnable(&self) -> bool {
+        matches!(self.slot, Slot::Queued | Slot::Active(_) | Slot::Parked(_))
+    }
+}
+
+/// One row of the multi-tenant status table; the deterministic per-
+/// campaign summary in [`FleetOutcome`].
+#[derive(Debug, Clone)]
+pub struct CampaignRow {
+    /// Fleet-assigned campaign id (admission order).
+    pub id: usize,
+    /// Submitted name.
+    pub name: String,
+    /// Final lifecycle state.
+    pub state: CampaignState,
+    /// Campaign rounds executed (replayed rounds counted once).
+    pub rounds: u64,
+    /// Program executions completed.
+    pub executions: u64,
+    /// Execution windows granted.
+    pub windows: u64,
+    /// Flagged programs found (online, deduplicated by program id).
+    pub flags: u64,
+    /// Distinct coverage signals.
+    pub coverage: usize,
+    /// Best oracle score seen.
+    pub best_score: f64,
+    /// Most recent round's oracle score.
+    pub last_score: f64,
+    /// Share of the fleet's executed rounds this campaign received.
+    pub share_pct: f64,
+    /// Recent score trajectory (newest last, bounded).
+    pub score_trail: Vec<f64>,
+    /// Round of the most recent flag, if any.
+    pub last_flag_round: Option<u64>,
+    /// Failure detail for [`CampaignState::Failed`] rows.
+    pub error: Option<String>,
+}
+
+/// What a fleet run produced. [`FleetOutcome::render`] is byte-stable
+/// across runs and worker counts; the `*_ns` timing fields are the only
+/// nondeterministic members and are excluded from it.
+pub struct FleetOutcome {
+    /// Per-campaign rows in id order.
+    pub rows: Vec<CampaignRow>,
+    /// Scheduler generations executed.
+    pub generations: u64,
+    /// Total campaign rounds executed (budget consumed).
+    pub rounds_total: u64,
+    /// Total program executions across the fleet.
+    pub executions_total: u64,
+    /// Total flagged programs across the fleet.
+    pub flags_total: u64,
+    /// Park events (working-set evictions).
+    pub parks: u64,
+    /// Unpark events (snapshot resumes).
+    pub unparks: u64,
+    /// Wall-clock for the whole run (excluded from `render`).
+    pub wall_ns: u64,
+    /// Time workers spent inside campaign boot/step/finish (excluded from
+    /// `render`).
+    pub exec_ns: u64,
+    /// Time the scheduler spent planning, parking, absorbing, and
+    /// rendering (excluded from `render`).
+    pub sched_ns: u64,
+    /// Finished campaigns' full reports (only with
+    /// [`FleetConfig::keep_reports`]).
+    pub reports: Vec<(usize, CampaignReport)>,
+}
+
+impl FleetOutcome {
+    /// Scheduler overhead as a percentage of total busy time: the
+    /// tentpole perf gate (`< 5%` at 256 campaigns).
+    pub fn scheduler_overhead_pct(&self) -> f64 {
+        100.0 * safe_div(self.sched_ns as f64, (self.sched_ns + self.exec_ns) as f64)
+    }
+
+    /// Deterministic text rendering: the fleet report. Byte-stable across
+    /// runs and worker counts (timings are deliberately absent).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("TORPEDO fleet report\n");
+        out.push_str(&format!(
+            "generations {}  rounds {}  executions {}  flags {}  parks {}  unparks {}\n",
+            self.generations,
+            self.rounds_total,
+            self.executions_total,
+            self.flags_total,
+            self.parks,
+            self.unparks,
+        ));
+        out.push_str(
+            "id    state      windows  rounds  share%   execs      flags  coverage  best     last flag  name\n",
+        );
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:<5} {:<10} {:<8} {:<7} {:<8.3} {:<10} {:<6} {:<9} {:<8.3} {:<10} {}\n",
+                row.id,
+                row.state.label(),
+                row.windows,
+                row.rounds,
+                row.share_pct,
+                row.executions,
+                row.flags,
+                row.coverage,
+                row.best_score,
+                row.last_flag_round
+                    .map_or_else(|| "-".to_string(), |r| r.to_string()),
+                row.name,
+            ));
+            if let Some(err) = &row.error {
+                out.push_str(&format!("      error: {err}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// Control messages queued by the HTTP control plane, drained at
+/// generation barriers.
+enum ControlMsg {
+    Submit {
+        name: String,
+        seed: Option<u64>,
+        text: String,
+    },
+    Cancel {
+        id: usize,
+    },
+}
+
+/// The HTTP control plane mounted on the fleet's status endpoint.
+/// Submissions are validated eagerly (parse errors answer 400) and
+/// re-parsed deterministically at the barrier.
+struct FleetControl {
+    pending: Mutex<Vec<ControlMsg>>,
+    table: Arc<[SyscallDesc]>,
+    denylist: std::collections::HashSet<String>,
+}
+
+impl ControlApi for FleetControl {
+    fn handle(&self, method: &str, target: &str, body: &str) -> Option<(u16, String)> {
+        if method != "POST" {
+            return None;
+        }
+        let (path, query) = match target.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (target, ""),
+        };
+        match path {
+            "/fleet/submit" => {
+                let name = query_param(query, "name").unwrap_or_else(|| "submitted".into());
+                let seed = query_param(query, "seed").and_then(|s| s.parse().ok());
+                if body.trim().is_empty() {
+                    return Some((400, "empty seed program\n".into()));
+                }
+                if let Err((idx, e)) = SeedCorpus::load(&[body], &self.table, &self.denylist) {
+                    return Some((400, format!("seed program {idx} rejected: {e}\n")));
+                }
+                self.pending
+                    .lock()
+                    .expect("fleet control lock")
+                    .push(ControlMsg::Submit {
+                        name,
+                        seed,
+                        text: body.to_string(),
+                    });
+                Some((202, "queued\n".into()))
+            }
+            "/fleet/cancel" => {
+                let Some(id) = query_param(query, "id").and_then(|s| s.parse().ok()) else {
+                    return Some((400, "missing or malformed id\n".into()));
+                };
+                self.pending
+                    .lock()
+                    .expect("fleet control lock")
+                    .push(ControlMsg::Cancel { id });
+                Some((202, "queued\n".into()))
+            }
+            _ => None,
+        }
+    }
+}
+
+fn query_param(query: &str, key: &str) -> Option<String> {
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key).then(|| v.to_string())
+    })
+}
+
+/// A window handed to the worker pool: the booted run, its oracle, the
+/// round target, and the flag-dedup set (moved in so scoring happens on
+/// the worker, off the scheduler thread).
+struct Assignment {
+    entry_id: usize,
+    run: Box<CampaignRun>,
+    oracle: FleetOracle,
+    target_rounds: u64,
+    rounds_before: u64,
+    flag_seen: HashSet<ProgramId>,
+    best_score: f64,
+}
+
+/// What came back from one executed window.
+struct WindowResult {
+    entry_id: usize,
+    /// The run, unless it completed (then `report`/`error` is set).
+    run: Option<Box<CampaignRun>>,
+    report: Option<CampaignReport>,
+    error: Option<String>,
+    flag_seen: HashSet<ProgramId>,
+    rounds_after: u64,
+    executions_delta: u64,
+    flags_delta: u64,
+    coverage_after: usize,
+    last_score: f64,
+    best_score: f64,
+    last_flag_round: Option<u64>,
+    exec_ns: u64,
+}
+
+/// The fleet scheduler. Admit campaigns with [`Fleet::admit`], then
+/// [`Fleet::run`] to completion of the global budget.
+pub struct Fleet {
+    config: FleetConfig,
+    entries: Vec<Entry>,
+    control: Option<Arc<FleetControl>>,
+    generation: u64,
+    rounds_spent: u64,
+    parks: u64,
+    unparks: u64,
+    exec_ns: u64,
+    sched_ns: u64,
+}
+
+impl Fleet {
+    /// Build an empty fleet.
+    pub fn new(config: FleetConfig) -> Fleet {
+        Fleet {
+            config,
+            entries: Vec::new(),
+            control: None,
+            generation: 0,
+            rounds_spent: 0,
+            parks: 0,
+            unparks: 0,
+            exec_ns: 0,
+            sched_ns: 0,
+        }
+    }
+
+    /// Admit one campaign; returns its fleet id (admission order).
+    pub fn admit(&mut self, spec: FleetSpec) -> usize {
+        let id = self.entries.len();
+        let admitted_at = self.generation;
+        let campaign = Campaign::new(spec.config, spec.table);
+        self.entries.push(Entry {
+            id,
+            name: spec.name,
+            campaign,
+            seeds: spec.seeds,
+            oracle: spec.oracle,
+            slot: Slot::Queued,
+            rounds: 0,
+            executions: 0,
+            windows: 0,
+            flags: 0,
+            flag_seen: HashSet::new(),
+            coverage: 0,
+            best_score: 0.0,
+            last_score: 0.0,
+            w_rounds: 0,
+            w_execs: 0,
+            w_flags: 0,
+            w_cov: 0,
+            w_score_gain: 0.0,
+            last_scheduled: admitted_at,
+            last_flag_round: None,
+            score_trail: VecDeque::new(),
+            error: None,
+            report: None,
+        });
+        id
+    }
+
+    /// Enable `POST /fleet/submit` on the status endpoint: submitted seed
+    /// programs are validated against `table` and admitted as campaigns
+    /// cloned from the fleet's first admitted campaign's configuration.
+    /// Cancel is always available once a control plane is mounted.
+    pub fn enable_submissions(&mut self, table: Arc<[SyscallDesc]>) {
+        self.control = Some(Arc::new(FleetControl {
+            pending: Mutex::new(Vec::new()),
+            table,
+            denylist: default_denylist(),
+        }));
+    }
+
+    /// The mounted control plane, if [`Fleet::enable_submissions`] was
+    /// called. Tests (and embedders that already own an HTTP server) can
+    /// queue submit/cancel messages through it directly; they drain at the
+    /// next generation barrier exactly like HTTP-borne ones.
+    pub fn control_api(&self) -> Option<Arc<dyn ControlApi>> {
+        self.control.clone().map(|c| c as Arc<dyn ControlApi>)
+    }
+
+    /// Whether every campaign parks when evicted (bounded working set).
+    fn parking_enabled(&self) -> bool {
+        self.config.max_active != usize::MAX
+    }
+
+    /// The bandit priority of one runnable entry. Reads only stats
+    /// absorbed at generation barriers — deterministic by construction.
+    fn priority(&self, entry: &Entry) -> f64 {
+        match self.config.policy {
+            FleetPolicy::RoundRobin => 1.0,
+            FleetPolicy::Bandit => {
+                if entry.windows == 0 {
+                    // Unexplored arm: optimistic initial estimate.
+                    return 1.0;
+                }
+                // Weights favor *recent deltas* over absolute level: every
+                // non-trivial oracle score saturates `s/(1+s)` near 1, so a
+                // large score weight would flatten the ranking and the
+                // bandit would degenerate to round-robin. Flag rate is
+                // scaled ×3 before capping: one flag every three rounds is
+                // already a fully-interesting arm.
+                let s = entry.last_score.max(0.0);
+                let score_part = s / (1.0 + s);
+                let gain = entry.w_score_gain.max(0.0);
+                let gain_part = gain / (1.0 + gain);
+                let cov_rate = safe_div(entry.w_cov as f64, entry.w_execs.max(1) as f64).min(1.0);
+                let flag_rate =
+                    (3.0 * safe_div(entry.w_flags as f64, entry.w_rounds.max(1) as f64)).min(1.0);
+                0.05 + 0.15 * score_part + 0.25 * gain_part + 0.15 * cov_rate + 0.40 * flag_rate
+            }
+        }
+    }
+
+    /// Plan one generation: the chosen campaign ids and their window
+    /// widths, in grant order (starvation-forced first, then priority
+    /// descending, ties by id).
+    fn plan(&self) -> Vec<(usize, u64)> {
+        let budget_left = self.config.round_budget.saturating_sub(self.rounds_spent);
+        if budget_left == 0 {
+            return Vec::new();
+        }
+        let mut runnable: Vec<(bool, f64, usize)> = self
+            .entries
+            .iter()
+            .filter(|e| e.runnable())
+            .map(|e| {
+                let starved = self.generation.saturating_sub(e.last_scheduled)
+                    >= self.config.starvation_windows;
+                (starved, self.priority(e), e.id)
+            })
+            .collect();
+        if runnable.is_empty() {
+            return Vec::new();
+        }
+        let mean: f64 = runnable.iter().map(|(_, p, _)| *p).sum::<f64>() / runnable.len() as f64;
+        runnable.sort_by(|a, b| {
+            b.0.cmp(&a.0)
+                .then(b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal))
+                .then(a.2.cmp(&b.2))
+        });
+        let mut remaining = budget_left;
+        let mut granted = Vec::new();
+        for (_, prio, id) in runnable.into_iter().take(self.config.max_active) {
+            if remaining == 0 {
+                break;
+            }
+            let scaled = match self.config.policy {
+                FleetPolicy::RoundRobin => self.config.window_rounds,
+                FleetPolicy::Bandit => {
+                    let w = (self.config.window_rounds as f64 * safe_div(prio, mean)).round();
+                    (w as u64).clamp(1, self.config.window_rounds_max)
+                }
+            };
+            let window = scaled.min(remaining);
+            remaining -= window;
+            granted.push((id, window));
+        }
+        granted
+    }
+
+    /// Park one active entry through the snapshot path.
+    fn park_entry(&mut self, idx: usize) {
+        let entry = &mut self.entries[idx];
+        let Slot::Active(run) = std::mem::replace(&mut entry.slot, Slot::Queued) else {
+            return;
+        };
+        match run.park_bundle() {
+            Some(text) => {
+                let parked = match &self.config.park_dir {
+                    Some(dir) => {
+                        let path = dir.join(format!("fleet-campaign-{:05}.json", entry.id));
+                        match std::fs::create_dir_all(dir)
+                            .and_then(|()| std::fs::write(&path, &text))
+                        {
+                            Ok(()) => Parked::Disk(path),
+                            // Spill failure degrades to in-memory parking
+                            // rather than losing the campaign.
+                            Err(_) => Parked::Memory(text),
+                        }
+                    }
+                    None => Parked::Memory(text),
+                };
+                entry.slot = Slot::Parked(parked);
+                self.parks += 1;
+            }
+            // Nothing ran yet (or tracking is off): restart from scratch
+            // later — byte-identical to never having booted.
+            None => entry.slot = Slot::Queued,
+        }
+    }
+
+    /// Boot (or resume) the chosen campaigns into worker assignments.
+    /// Boot time counts as execution time: a sequential baseline pays the
+    /// same boots.
+    fn prepare(&mut self, granted: &[(usize, u64)]) -> Vec<Assignment> {
+        let track = self.parking_enabled();
+        let mut assignments = Vec::with_capacity(granted.len());
+        for &(id, window) in granted {
+            let boot_start = Instant::now();
+            let entry = &mut self.entries[id];
+            entry.last_scheduled = self.generation;
+            let slot = std::mem::replace(&mut entry.slot, Slot::Queued);
+            let run = match slot {
+                Slot::Active(run) => Ok(run),
+                Slot::Queued => entry
+                    .campaign
+                    .start(&entry.seeds, track)
+                    .map(Box::new)
+                    .map_err(|e| format!("start failed: {e}")),
+                Slot::Parked(parked) => {
+                    self.unparks += 1;
+                    let text = match parked {
+                        Parked::Memory(text) => Ok(text),
+                        Parked::Disk(path) => read_text_capped(&path, MAX_SNAPSHOT_BYTES)
+                            .map_err(|e| format!("unpark read failed: {e}")),
+                    };
+                    text.and_then(|t| {
+                        parse_snapshot(&t).map_err(|e| format!("unpark parse failed: {e}"))
+                    })
+                    .and_then(|bundle| {
+                        entry
+                            .campaign
+                            .start_resume(&bundle, track)
+                            .map(Box::new)
+                            .map_err(|e| format!("unpark resume failed: {e}"))
+                    })
+                }
+                finished => {
+                    // Cancelled/finished between plan and prepare (control
+                    // drain runs before plan, so this is defensive).
+                    entry.slot = finished;
+                    continue;
+                }
+            };
+            self.exec_ns += boot_start.elapsed().as_nanos() as u64;
+            match run {
+                Ok(run) => {
+                    let rounds_before = entry.rounds;
+                    assignments.push(Assignment {
+                        entry_id: id,
+                        run,
+                        oracle: Arc::clone(&entry.oracle),
+                        target_rounds: rounds_before + window,
+                        rounds_before,
+                        flag_seen: std::mem::take(&mut entry.flag_seen),
+                        best_score: entry.best_score,
+                    });
+                }
+                Err(msg) => {
+                    entry.slot = Slot::Failed;
+                    entry.error = Some(msg);
+                }
+            }
+        }
+        assignments
+    }
+
+    /// Execute one generation's assignments on the worker pool. Workers
+    /// pull windows from a shared queue; each window runs to its round
+    /// target (or campaign completion) without further coordination.
+    fn run_generation(
+        &mut self,
+        assignments: Vec<Assignment>,
+        workers: usize,
+    ) -> Vec<WindowResult> {
+        let queue = Mutex::new(VecDeque::from(assignments));
+        let results = Mutex::new(Vec::new());
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let next = queue.lock().expect("fleet queue lock").pop_front();
+                    let Some(assignment) = next else { break };
+                    let result = execute_window(assignment);
+                    results.lock().expect("fleet results lock").push(result);
+                });
+            }
+        });
+        results.into_inner().expect("fleet results lock")
+    }
+
+    /// Absorb a generation's results at the barrier, in campaign-id order,
+    /// so every stat the next plan reads is worker-count invariant.
+    fn absorb(&mut self, mut results: Vec<WindowResult>) {
+        results.sort_by_key(|r| r.entry_id);
+        for res in results {
+            let entry = &mut self.entries[res.entry_id];
+            let new_rounds = res.rounds_after.saturating_sub(entry.rounds);
+            self.rounds_spent += new_rounds;
+            self.exec_ns += res.exec_ns;
+            entry.w_rounds = new_rounds;
+            entry.w_execs = res.executions_delta;
+            entry.w_flags = res.flags_delta;
+            entry.w_cov = (res.coverage_after.saturating_sub(entry.coverage)) as u64;
+            entry.w_score_gain = res.best_score - entry.best_score;
+            entry.rounds = res.rounds_after;
+            entry.executions += res.executions_delta;
+            entry.windows += 1;
+            entry.flags += res.flags_delta;
+            entry.flag_seen = res.flag_seen;
+            entry.coverage = res.coverage_after;
+            entry.best_score = res.best_score;
+            entry.last_score = res.last_score;
+            if res.last_flag_round.is_some() {
+                entry.last_flag_round = res.last_flag_round;
+            }
+            entry.score_trail.push_back(res.last_score);
+            if entry.score_trail.len() > 8 {
+                entry.score_trail.pop_front();
+            }
+            if let Some(msg) = res.error {
+                entry.slot = Slot::Failed;
+                entry.error = Some(msg);
+            } else if let Some(report) = res.report {
+                entry.slot = Slot::Finished;
+                if self.config.keep_reports {
+                    entry.report = Some(report);
+                }
+            } else if let Some(run) = res.run {
+                entry.slot = Slot::Active(run);
+            }
+        }
+    }
+
+    /// Drain queued control messages (submissions and cancellations) at
+    /// the generation barrier.
+    fn drain_control(&mut self) {
+        let Some(control) = self.control.clone() else {
+            return;
+        };
+        let pending = std::mem::take(&mut *control.pending.lock().expect("fleet control lock"));
+        for msg in pending {
+            match msg {
+                ControlMsg::Submit { name, seed, text } => {
+                    // The template: the first admitted campaign's config
+                    // (a fleet with submissions enabled always has one).
+                    let Some(template) = self.entries.first().map(|e| {
+                        let mut config = e.campaign.config().clone();
+                        config.status_addr = None;
+                        config
+                    }) else {
+                        continue;
+                    };
+                    let mut config = template;
+                    if let Some(seed) = seed {
+                        config.seed = seed;
+                    }
+                    let Ok(seeds) =
+                        SeedCorpus::load(&[text.as_str()], &control.table, &control.denylist)
+                    else {
+                        continue;
+                    };
+                    let oracle = match self.entries.first() {
+                        Some(e) => Arc::clone(&e.oracle),
+                        None => continue,
+                    };
+                    self.admit(FleetSpec {
+                        name,
+                        config,
+                        table: Arc::clone(&control.table),
+                        seeds,
+                        oracle,
+                    });
+                }
+                ControlMsg::Cancel { id } => {
+                    if let Some(entry) = self.entries.get_mut(id) {
+                        if entry.runnable() {
+                            entry.slot = Slot::Cancelled;
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Render the multi-tenant status page (one row per campaign).
+    fn status_page(&self) -> String {
+        let mut page = String::from("TORPEDO fleet status\n");
+        page.push_str(&format!(
+            "generation {}  budget {}/{} rounds  parks {}  unparks {}\n\n",
+            self.generation, self.rounds_spent, self.config.round_budget, self.parks, self.unparks,
+        ));
+        page.push_str("id    state      share%   rounds  flags  best     trail (newest last)\n");
+        let total_rounds = self.rounds_spent.max(1);
+        for entry in &self.entries {
+            let trail: Vec<String> = entry
+                .score_trail
+                .iter()
+                .map(|s| format!("{s:.2}"))
+                .collect();
+            page.push_str(&format!(
+                "{:<5} {:<10} {:<8.3} {:<7} {:<6} {:<8.3} {}  {}\n",
+                entry.id,
+                entry.slot.state().label(),
+                100.0 * safe_div(entry.rounds as f64, total_rounds as f64),
+                entry.rounds,
+                entry.flags,
+                entry.best_score,
+                trail.join(" "),
+                entry.name,
+            ));
+        }
+        page
+    }
+
+    fn flags_total(&self) -> u64 {
+        self.entries.iter().map(|e| e.flags).sum()
+    }
+
+    /// Run the fleet to completion of the global budget (or the flag
+    /// target, or until no campaign is runnable), then finalize remaining
+    /// active campaigns into reports.
+    ///
+    /// # Errors
+    /// Binding the fleet status endpoint. Per-campaign failures never
+    /// abort the fleet; they mark the row [`CampaignState::Failed`].
+    pub fn run(mut self) -> Result<FleetOutcome, TorpedoError> {
+        let wall_start = Instant::now();
+        let workers = if self.config.workers == 0 {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        } else {
+            self.config.workers
+        };
+        let status = match &self.config.status_addr {
+            Some(addr) => {
+                let shared = Arc::new(StatusShared::new(self.config.telemetry.clone()));
+                if let Some(control) = &self.control {
+                    shared.set_control(Arc::clone(control) as Arc<dyn ControlApi>);
+                }
+                let server =
+                    StatusServer::bind(addr.as_str(), Arc::clone(&shared)).map_err(|e| {
+                        TorpedoError::StatusBind {
+                            addr: addr.clone(),
+                            source: e,
+                        }
+                    })?;
+                Some((shared, server))
+            }
+            None => None,
+        };
+
+        loop {
+            let sched_start = Instant::now();
+            self.drain_control();
+            let target_met = self
+                .config
+                .stop_after_flags
+                .is_some_and(|target| self.flags_total() >= target);
+            let granted = if target_met { Vec::new() } else { self.plan() };
+            let mut chosen: HashSet<usize> = granted.iter().map(|(id, _)| *id).collect();
+            // Evict actives that lost their slot this generation.
+            if self.parking_enabled() {
+                let evict: Vec<usize> = self
+                    .entries
+                    .iter()
+                    .filter(|e| matches!(e.slot, Slot::Active(_)) && !chosen.contains(&e.id))
+                    .map(|e| e.id)
+                    .collect();
+                for id in evict {
+                    self.park_entry(id);
+                }
+            }
+            chosen.clear();
+            if granted.is_empty() {
+                self.sched_ns += sched_start.elapsed().as_nanos() as u64;
+                break;
+            }
+            // Boot time inside `prepare` is charged to exec_ns, not
+            // sched_ns: the span below subtracts it back out.
+            let exec_before_prepare = self.exec_ns;
+            let assignments = self.prepare(&granted);
+            self.generation += 1;
+            let boot_ns = self.exec_ns - exec_before_prepare;
+            self.sched_ns += (sched_start.elapsed().as_nanos() as u64).saturating_sub(boot_ns);
+            let results = self.run_generation(assignments, workers);
+            let absorb_start = Instant::now();
+            self.absorb(results);
+            if let Some((shared, _)) = &status {
+                shared.set_page(self.status_page());
+            }
+            self.sched_ns += absorb_start.elapsed().as_nanos() as u64;
+        }
+
+        // Finalize: finish still-active runs (id order) so their findings
+        // land in reports even when the budget cut them off mid-campaign.
+        // Parked/queued campaigns keep their state — their rows say so.
+        let keep_reports = self.config.keep_reports;
+        for idx in 0..self.entries.len() {
+            let entry = &mut self.entries[idx];
+            if !matches!(entry.slot, Slot::Active(_)) {
+                continue;
+            }
+            let Slot::Active(run) = std::mem::replace(&mut entry.slot, Slot::Finished) else {
+                unreachable!("checked active above");
+            };
+            let exec_start = Instant::now();
+            let oracle = Arc::clone(&entry.oracle);
+            match run.finish(oracle.as_ref()) {
+                Ok(report) => {
+                    if keep_reports {
+                        entry.report = Some(report);
+                    }
+                }
+                Err(e) => {
+                    entry.slot = Slot::Failed;
+                    entry.error = Some(format!("finish failed: {e}"));
+                }
+            }
+            self.exec_ns += exec_start.elapsed().as_nanos() as u64;
+        }
+
+        let rounds_total = self.rounds_spent;
+        let executions_total = self.entries.iter().map(|e| e.executions).sum();
+        let flags_total = self.flags_total();
+        let share_base = rounds_total.max(1) as f64;
+        let rows = self
+            .entries
+            .iter()
+            .map(|e| CampaignRow {
+                id: e.id,
+                name: e.name.clone(),
+                state: e.slot.state(),
+                rounds: e.rounds,
+                executions: e.executions,
+                windows: e.windows,
+                flags: e.flags,
+                coverage: e.coverage,
+                best_score: e.best_score,
+                last_score: e.last_score,
+                share_pct: 100.0 * safe_div(e.rounds as f64, share_base),
+                score_trail: e.score_trail.iter().copied().collect(),
+                last_flag_round: e.last_flag_round,
+                error: e.error.clone(),
+            })
+            .collect();
+        let reports = self
+            .entries
+            .iter_mut()
+            .filter_map(|e| e.report.take().map(|r| (e.id, r)))
+            .collect();
+        let outcome = FleetOutcome {
+            rows,
+            generations: self.generation,
+            rounds_total,
+            executions_total,
+            flags_total,
+            parks: self.parks,
+            unparks: self.unparks,
+            wall_ns: wall_start.elapsed().as_nanos() as u64,
+            exec_ns: self.exec_ns,
+            sched_ns: self.sched_ns,
+            reports,
+        };
+        if let Some((shared, _server)) = &status {
+            let mut page = self.status_page();
+            page.push_str("\nfleet complete\n");
+            shared.set_page(page);
+        }
+        Ok(outcome)
+    }
+}
+
+/// Run one window to its round target (or campaign completion) and score
+/// the new rounds. Everything here is per-campaign deterministic; only
+/// the `exec_ns` timing depends on the host.
+fn execute_window(mut assignment: Assignment) -> WindowResult {
+    let started = Instant::now();
+    let oracle: &dyn Oracle = assignment.oracle.as_ref();
+    let mut completed = false;
+    let mut error: Option<String> = None;
+    while assignment.run.rounds_total() < assignment.target_rounds {
+        match assignment.run.step(oracle) {
+            Ok(CampaignStep::Ran(_)) => {}
+            Ok(CampaignStep::Done) => {
+                completed = true;
+                break;
+            }
+            Err(e) => {
+                error = Some(format!("step failed: {e}"));
+                break;
+            }
+        }
+    }
+
+    // Score the window's new rounds (replayed rounds excluded): online
+    // flagging with the same per-program dedup the offline pass uses.
+    let mut executions_delta = 0;
+    let mut flags_delta = 0;
+    let mut last_score = f64::NAN;
+    let mut best_score = assignment.best_score;
+    let mut last_flag_round = None;
+    for log in assignment.run.logs() {
+        if log.round <= assignment.rounds_before {
+            continue;
+        }
+        executions_delta += log.executions;
+        last_score = log.score;
+        best_score = best_score.max(log.score);
+        if !oracle.flag(&log.observation).is_empty() {
+            for program in &log.programs {
+                if assignment.flag_seen.insert(ProgramId::of(program)) {
+                    flags_delta += 1;
+                    last_flag_round = Some(log.round);
+                }
+            }
+        }
+    }
+    if last_score.is_nan() {
+        last_score = 0.0;
+    }
+    let rounds_after = assignment.run.rounds_total();
+    let coverage_after = assignment.run.coverage_signals();
+
+    let (run, report) = if error.is_some() {
+        (None, None)
+    } else if completed {
+        match assignment.run.finish(oracle) {
+            Ok(report) => (None, Some(report)),
+            Err(e) => {
+                error = Some(format!("finish failed: {e}"));
+                (None, None)
+            }
+        }
+    } else {
+        (Some(assignment.run), None)
+    };
+
+    WindowResult {
+        entry_id: assignment.entry_id,
+        run,
+        report,
+        error,
+        flag_seen: assignment.flag_seen,
+        rounds_after,
+        executions_delta,
+        flags_delta,
+        coverage_after,
+        last_score,
+        best_score,
+        last_flag_round,
+        exec_ns: started.elapsed().as_nanos() as u64,
+    }
+}

@@ -15,6 +15,10 @@
 //!   oracle flagging of round logs (§3.6.1).
 //! * [`shard`] — K independent campaigns over disjoint seed shards on a
 //!   thread pool, with deterministic per-shard seeds and merged reports.
+//! * [`fleet`] — the campaign-fleet scheduler: N admitted campaigns
+//!   time-sliced into bounded execution windows on a fixed worker pool
+//!   under one global budget, with bandit-style reallocation, a
+//!   starvation bound, and park/unpark through the snapshot path.
 //! * [`minimize`] — Algorithm 3: oracle-violation-preserving shrinking.
 //! * [`confirm`] — the §4.1.4 confirmation harness, classifying root
 //!   causes from the kernel's deferral ledger (the ftrace step).
@@ -56,6 +60,7 @@ pub mod confirm;
 pub mod crash;
 pub mod error;
 pub mod executor;
+pub mod fleet;
 pub mod forensics;
 pub mod latch;
 pub mod logfmt;
@@ -69,11 +74,17 @@ pub mod snapshot;
 pub mod stats;
 
 pub use batch::{BatchAction, BatchConfig, BatchMachine, BatchState, RoundVerdict};
-pub use campaign::{Campaign, CampaignConfig, CampaignReport, FlaggedFinding, RoundLog};
+pub use campaign::{
+    Campaign, CampaignConfig, CampaignReport, CampaignRun, CampaignStep, FlaggedFinding, RoundLog,
+    RoundSummary,
+};
 pub use confirm::{classify, confirm, CauseReport, Confirmation};
 pub use crash::{crashes_once, reproduce_and_minimize, CrashRecord};
 pub use error::{RoundStage, TorpedoError};
 pub use executor::{ExecReport, Executor, GlueCost};
+pub use fleet::{
+    CampaignRow, CampaignState, Fleet, FleetConfig, FleetOutcome, FleetPolicy, FleetSpec,
+};
 pub use forensics::{
     deferral_excerpt, parse_bundle, BundleKind, FlightRecorder, ForensicsBundle, LineageBook,
     LineageRecord, MinimizationSummary, TrajectoryPoint, FORENSICS_SCHEMA,
@@ -93,8 +104,9 @@ pub use shard::{
 };
 pub use snapshot::{
     derive_round_seed, export_corpus, import_corpus, import_corpus_file, load_checkpoint,
-    load_latest, parse_snapshot, read_text_capped, render_campaign_config, write_checkpoint,
-    CheckpointConfig, SnapshotBundle, SnapshotError, CORPUS_SCHEMA, SNAPSHOT_SCHEMA,
+    load_latest, load_latest_matching, parse_snapshot, read_text_capped, render_campaign_config,
+    write_checkpoint, CheckpointConfig, SnapshotBundle, SnapshotError, CORPUS_SCHEMA,
+    SNAPSHOT_SCHEMA,
 };
 pub use stats::{telemetry_saturation_section, CampaignStats, RecoveryStats};
 // Telemetry lives in its own crate (the runtime engine feeds it too);

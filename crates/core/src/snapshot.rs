@@ -1145,6 +1145,25 @@ pub fn load_checkpoint(path: &Path) -> Result<SnapshotBundle, SnapshotError> {
 /// checkpoint (the last corruption error is swallowed in favor of the
 /// uniform "nothing to resume from" signal callers branch on).
 pub fn load_latest(dir: &Path) -> Result<(SnapshotBundle, PathBuf), SnapshotError> {
+    load_latest_where(dir, |_| true)
+}
+
+/// Like [`load_latest`], but only considers bundles whose rendered config
+/// fragment equals `config` ([`render_campaign_config`]). This is the
+/// fleet-directory form: when checkpoints from *different* campaigns share
+/// one directory, the newest loadable bundle may belong to another tenant —
+/// filtering by config recovers the right campaign's chain.
+pub fn load_latest_matching(
+    dir: &Path,
+    config: &str,
+) -> Result<(SnapshotBundle, PathBuf), SnapshotError> {
+    load_latest_where(dir, |bundle| bundle.config == config)
+}
+
+fn load_latest_where(
+    dir: &Path,
+    accept: impl Fn(&SnapshotBundle) -> bool,
+) -> Result<(SnapshotBundle, PathBuf), SnapshotError> {
     let mut rounds: Vec<(u64, PathBuf)> = Vec::new();
     if let Ok(entries) = fs::read_dir(dir) {
         for entry in entries.flatten() {
@@ -1154,10 +1173,14 @@ pub fn load_latest(dir: &Path) -> Result<(SnapshotBundle, PathBuf), SnapshotErro
             }
         }
     }
-    rounds.sort_by_key(|r| std::cmp::Reverse(r.0));
+    // Round-descending, then path-descending so same-round files from
+    // different campaigns are visited in a deterministic order.
+    rounds.sort_by(|a, b| b.cmp(a));
     for (_, path) in rounds {
         if let Ok(bundle) = load_checkpoint(&path) {
-            return Ok((bundle, path));
+            if accept(&bundle) {
+                return Ok((bundle, path));
+            }
         }
     }
     Err(SnapshotError::NoCheckpoint {

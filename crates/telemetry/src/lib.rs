@@ -21,7 +21,7 @@ pub mod trace;
 
 pub use metrics::{CounterId, HistogramId, HistogramSnapshot, Registry, BUCKETS};
 pub use prom::{check_exposition, prometheus_exposition, quantile_from_snapshot};
-pub use server::{StatusServer, StatusShared};
+pub use server::{ControlApi, StatusServer, StatusShared};
 pub use trace::chrome_trace_json;
 
 use std::sync::{Arc, Mutex};

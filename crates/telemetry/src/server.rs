@@ -13,12 +13,37 @@ use std::time::Duration;
 
 use crate::{CounterId, Telemetry};
 
+/// A control-plane handler mounted on a status server: `POST` requests are
+/// dispatched here (with the raw request target, query string included, and
+/// the request body). `None` means "not a control route" and falls through
+/// to the default `405` answer, so mounting a control plane never shadows
+/// the read-only endpoints.
+pub trait ControlApi: Send + Sync {
+    /// Handle one control request; return `(http_status_code, body)` or
+    /// `None` when the target is not a control route.
+    fn handle(&self, method: &str, target: &str, body: &str) -> Option<(u16, String)>;
+}
+
+/// Largest control-request body the server will buffer (seed programs are
+/// a few hundred bytes; this is generous headroom, not a streaming path).
+const MAX_CONTROL_BODY: usize = 1024 * 1024;
+
 /// State shared between the campaign driver (which refreshes the page) and
 /// the serving thread (which renders responses from it).
-#[derive(Debug)]
 pub struct StatusShared {
     page: Mutex<String>,
     telemetry: Telemetry,
+    control: Mutex<Option<Arc<dyn ControlApi>>>,
+}
+
+impl std::fmt::Debug for StatusShared {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StatusShared")
+            .field("page", &self.page)
+            .field("telemetry", &self.telemetry)
+            .field("control", &self.control().is_some())
+            .finish()
+    }
 }
 
 impl StatusShared {
@@ -28,7 +53,23 @@ impl StatusShared {
         StatusShared {
             page: Mutex::new(String::from("TORPEDO campaign status\nno rounds yet\n")),
             telemetry,
+            control: Mutex::new(None),
         }
+    }
+
+    /// Mount a control plane: `POST` requests are routed through it. The
+    /// fleet scheduler uses this for its submit/cancel API.
+    pub fn set_control(&self, control: Arc<dyn ControlApi>) {
+        *self.control.lock().expect("status control lock") = Some(control);
+    }
+
+    /// Unmount the control plane; subsequent `POST`s answer `405` again.
+    pub fn clear_control(&self) {
+        *self.control.lock().expect("status control lock") = None;
+    }
+
+    fn control(&self) -> Option<Arc<dyn ControlApi>> {
+        self.control.lock().expect("status control lock").clone()
     }
 
     /// Replace the text status page served at `/`.
@@ -109,23 +150,42 @@ fn handle_connection(mut stream: TcpStream, shared: &StatusShared) -> io::Result
     stream.set_read_timeout(Some(Duration::from_millis(500)))?;
     stream.set_write_timeout(Some(Duration::from_millis(500)))?;
 
-    // Read until the end of the request headers (or a small cap). As soon as
-    // a complete request line for a non-GET method arrives we stop reading:
-    // the request line is everything those paths need, and a HEAD probe or a
-    // stray POST must not sit out the 500 ms read timeout.
+    // Read until the end of the request headers (or a small cap). As soon
+    // as a complete request line for a method we won't read a body for
+    // arrives we stop reading: the request line is everything those paths
+    // need, and a HEAD probe or a stray POST must not sit out the 500 ms
+    // read timeout. When a control plane is mounted, POST bodies are read
+    // to Content-Length (capped) before dispatch.
+    let control = shared.control();
     let mut buf = Vec::with_capacity(512);
     let mut chunk = [0u8; 512];
+    let mut headers_end: Option<usize> = None;
     loop {
         match stream.read(&mut chunk) {
             Ok(0) => break,
             Ok(n) => {
                 buf.extend_from_slice(&chunk[..n]);
-                if buf.windows(4).any(|w| w == b"\r\n\r\n") || buf.len() > 8 * 1024 {
-                    break;
+                if headers_end.is_none() {
+                    headers_end = buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4);
                 }
-                if let Some(line_end) = buf.windows(2).position(|w| w == b"\r\n") {
+                if let Some(he) = headers_end {
+                    let head = String::from_utf8_lossy(&buf[..he]);
+                    let wants_body = control.is_some() && head.trim_start().starts_with("POST ");
+                    if !wants_body {
+                        break;
+                    }
+                    let need = he + content_length(&head).min(MAX_CONTROL_BODY);
+                    if buf.len() >= need {
+                        buf.truncate(need);
+                        break;
+                    }
+                } else if buf.len() > 8 * 1024 {
+                    break;
+                } else if let Some(line_end) = buf.windows(2).position(|w| w == b"\r\n") {
                     let line = String::from_utf8_lossy(&buf[..line_end]);
-                    if !line.trim_start().starts_with("GET ") {
+                    let keep_reading = line.trim_start().starts_with("GET ")
+                        || (control.is_some() && line.trim_start().starts_with("POST "));
+                    if !keep_reading {
                         break;
                     }
                 }
@@ -135,6 +195,9 @@ fn handle_connection(mut stream: TcpStream, shared: &StatusShared) -> io::Result
         }
     }
 
+    let body_text = headers_end
+        .map(|he| String::from_utf8_lossy(&buf[he..]).to_string())
+        .unwrap_or_default();
     let request = String::from_utf8_lossy(&buf);
     let parsed = parse_request_line(&request);
     shared.telemetry.incr(CounterId::StatusRequests);
@@ -162,15 +225,40 @@ fn handle_connection(mut stream: TcpStream, shared: &StatusShared) -> io::Result
     };
 
     let (status, content_type, body, include_body, allow) = match &parsed {
-        Some((method, path)) if method == "GET" => {
+        Some((method, path, _)) if method == "GET" => {
             let (status, content_type, body) = route(path);
             (status, content_type, body, true, false)
         }
         // HEAD mirrors GET's status line and headers (Content-Length
         // included) with no body, per RFC 9110 §9.3.2.
-        Some((method, path)) if method == "HEAD" => {
+        Some((method, path, _)) if method == "HEAD" => {
             let (status, content_type, body) = route(path);
             (status, content_type, body, false, false)
+        }
+        // POST goes to the mounted control plane (raw target, query string
+        // included); without one — or for targets the control plane does
+        // not claim — the old 405 answer stands.
+        Some((method, _, target)) if method == "POST" && control.is_some() => {
+            let handled = control
+                .as_ref()
+                .expect("checked control")
+                .handle("POST", target, &body_text);
+            match handled {
+                Some((code, body)) => (
+                    control_status(code),
+                    "text/plain; charset=utf-8",
+                    body,
+                    true,
+                    false,
+                ),
+                None => (
+                    "405 Method Not Allowed",
+                    "text/plain; charset=utf-8",
+                    String::from("method not allowed\n"),
+                    true,
+                    true,
+                ),
+            }
         }
         Some(_) => (
             "405 Method Not Allowed",
@@ -211,18 +299,44 @@ fn handle_connection(mut stream: TcpStream, shared: &StatusShared) -> io::Result
     Ok(())
 }
 
-/// Split an HTTP request line (`GET /metrics HTTP/1.1`) into method and
-/// path, dropping any query string. `None` means the line is not even an
-/// HTTP request shape (→ 400); an unsupported method is reported verbatim
-/// so the caller can answer 405.
-fn parse_request_line(request: &str) -> Option<(String, String)> {
+/// Split an HTTP request line (`GET /metrics HTTP/1.1`) into method, path
+/// (query string dropped), and the raw target (query string kept, for the
+/// control plane). `None` means the line is not even an HTTP request shape
+/// (→ 400); an unsupported method is reported verbatim so the caller can
+/// answer 405.
+fn parse_request_line(request: &str) -> Option<(String, String, String)> {
     let line = request.lines().next()?;
     let mut parts = line.split_whitespace();
     let method = parts.next()?;
     let target = parts.next()?;
     parts.next()?.starts_with("HTTP/").then_some(())?;
     let path = target.split('?').next().unwrap_or(target);
-    Some((method.to_string(), path.to_string()))
+    Some((method.to_string(), path.to_string(), target.to_string()))
+}
+
+/// The `Content-Length` of a request-header block, `0` when absent or
+/// malformed (a control POST without one simply dispatches an empty body).
+fn content_length(head: &str) -> usize {
+    head.lines()
+        .find_map(|l| {
+            let (name, value) = l.split_once(':')?;
+            name.trim()
+                .eq_ignore_ascii_case("content-length")
+                .then(|| value.trim().parse::<usize>().ok())?
+        })
+        .unwrap_or(0)
+}
+
+/// Map a control-plane status code to an HTTP status line.
+fn control_status(code: u16) -> &'static str {
+    match code {
+        200 => "200 OK",
+        202 => "202 Accepted",
+        400 => "400 Bad Request",
+        404 => "404 Not Found",
+        409 => "409 Conflict",
+        _ => "500 Internal Server Error",
+    }
 }
 
 /// Fetch `path` from a status server with a plain std TCP client, returning
@@ -234,10 +348,28 @@ pub fn fetch(addr: SocketAddr, path: &str) -> io::Result<(String, String)> {
 /// Issue a bare `method path` request (the general form of [`fetch`]; CI
 /// uses it to probe HEAD and 405 behaviour).
 pub fn request(addr: SocketAddr, method: &str, path: &str) -> io::Result<(String, String)> {
+    request_with_body(addr, method, path, "")
+}
+
+/// `POST` a body to a control route; the fleet CLI and tests drive the
+/// submit/cancel API through this.
+pub fn post(addr: SocketAddr, path: &str, body: &str) -> io::Result<(String, String)> {
+    request_with_body(addr, "POST", path, body)
+}
+
+fn request_with_body(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> io::Result<(String, String)> {
     let mut stream = TcpStream::connect(addr)?;
     stream.set_read_timeout(Some(Duration::from_secs(5)))?;
     stream.set_write_timeout(Some(Duration::from_secs(5)))?;
-    let request = format!("{method} {path} HTTP/1.1\r\nHost: torpedo\r\nConnection: close\r\n\r\n");
+    let request = format!(
+        "{method} {path} HTTP/1.1\r\nHost: torpedo\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    );
     stream.write_all(request.as_bytes())?;
     let mut response = String::new();
     stream.read_to_string(&mut response)?;
@@ -336,6 +468,61 @@ mod tests {
         assert!(head.starts_with("HTTP/1.1 200"), "{head}");
         assert!(body.starts_with("{\"displayTimeUnit\":\"ms\""), "{body}");
         assert!(body.contains("\"ph\":\"X\""), "{body}");
+    }
+
+    #[test]
+    fn control_api_routes_posts_and_preserves_reads() {
+        struct Echo;
+        impl ControlApi for Echo {
+            fn handle(&self, method: &str, target: &str, body: &str) -> Option<(u16, String)> {
+                (method == "POST" && target.starts_with("/fleet/"))
+                    .then(|| (200, format!("target={target} body={body}\n")))
+            }
+        }
+        let shared = Arc::new(StatusShared::new(Telemetry::disabled()));
+        shared.set_page("fleet page\n".to_string());
+        let server = StatusServer::bind("127.0.0.1:0", Arc::clone(&shared)).unwrap();
+        let addr = server.local_addr();
+
+        // Without a control plane mounted, POST keeps answering 405.
+        let (head, _) = post(addr, "/fleet/submit", "sync()\n").unwrap();
+        assert!(head.starts_with("HTTP/1.1 405"), "{head}");
+
+        shared.set_control(Arc::new(Echo));
+        // The raw target (query included) and the body reach the handler.
+        let (head, body) = post(addr, "/fleet/submit?name=t1", "sync()\n").unwrap();
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body, "target=/fleet/submit?name=t1 body=sync()\n\n");
+
+        // Targets the control plane does not claim still answer 405, and
+        // the read-only endpoints are not shadowed.
+        let (head, _) = post(addr, "/other", "").unwrap();
+        assert!(head.starts_with("HTTP/1.1 405"), "{head}");
+        let (head, body) = http_get(addr, "/").unwrap();
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body, "fleet page\n");
+
+        shared.clear_control();
+        let (head, _) = post(addr, "/fleet/submit", "").unwrap();
+        assert!(head.starts_with("HTTP/1.1 405"), "{head}");
+    }
+
+    #[test]
+    fn rebinding_a_fixed_port_cycles_without_a_racy_window() {
+        // Park/unpark reuses a campaign's fixed status_addr: dropping the
+        // server must release the port synchronously (the serving thread is
+        // joined in Drop), so an immediate rebind of the same port succeeds
+        // on every cycle.
+        let shared = Arc::new(StatusShared::new(Telemetry::disabled()));
+        let probe = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = probe.local_addr().unwrap();
+        drop(probe);
+        for cycle in 0..100 {
+            let server = StatusServer::bind(addr, Arc::clone(&shared))
+                .unwrap_or_else(|e| panic!("cycle {cycle}: rebind failed: {e}"));
+            assert_eq!(server.local_addr(), addr);
+            drop(server);
+        }
     }
 
     #[test]

@@ -54,6 +54,10 @@ echo "ci: snapshot smoke (checkpoint -> kill -> resume, byte-identical)"
 run build --release -p torpedo-bench --bin snapshot_inspect
 ./target/release/snapshot_inspect --self-test
 
+echo "ci: fleet smoke (16 campaigns on 2 workers, byte-stable report)"
+run build --release -p torpedo-bench --bin fleet_probe
+./target/release/fleet_probe --self-test
+
 echo "ci: parser fuzz smoke (in-tree fallback fuzzer, ~30s time-box)"
 run build --release -p torpedo-bench --bin parser_fuzz
 ./target/release/parser_fuzz --secs 30
@@ -91,7 +95,8 @@ for key in '"dispatch"' '"nr_of_speedup"' '"fuzz_throughput"' '"execs_per_sec"' 
            '"mutations_per_sec"' '"shard_scaling"' '"scaling_efficiency"' \
            '"scaling_gate"' '"contention"' '"latency"' '"round_latency_ns"' \
            '"lock_wait_ns"' '"kernel_wait_ns"' '"durability"' \
-           '"overhead_off_pct"' '"resume_byte_identical"'; do
+           '"overhead_off_pct"' '"resume_byte_identical"' '"fleet"' \
+           '"scheduler_overhead_pct"' '"bandit_executions"'; do
   grep -q "$key" BENCH_fuzz.json \
     || { echo "ci: BENCH_fuzz.json missing $key" >&2; exit 1; }
 done
@@ -180,6 +185,27 @@ print(f"ci: exec_kernel_wait_ns 1 worker {w1}, 8 workers {w8} (limit {limit})")
 if w8 >= limit:
     sys.exit(f"ci: kernel wait at 8 workers ({w8} ns) >= limit ({limit} ns): "
              "global contention is back")
+PY
+
+echo "ci: fleet gates (scheduler overhead < 5%, bandit <= round-robin to flag target)"
+python3 - BENCH_fuzz.json <<'PY'
+import json, sys
+d = json.load(open(sys.argv[1]))["fleet"]
+o = d["overhead"]
+pct = o["scheduler_overhead_pct"]
+print(f"ci: fleet scheduler overhead {pct:.2f}% at {o['campaigns']} campaigns "
+      f"(limit 5.00%)")
+if pct >= 5.0:
+    sys.exit(f"ci: fleet scheduler overhead {pct:.2f}% >= 5% budget")
+t = d["time_to_flags"]
+bandit, rr = t["bandit_executions"], t["round_robin_executions"]
+print(f"ci: executions to {t['flag_target']} flags: bandit {bandit}, "
+      f"round-robin {rr}")
+# The schedule is deterministic — a pure function of (fleet seed, campaign
+# set) — so this comparison is exact, not a noisy wall-clock race.
+if bandit > rr:
+    sys.exit(f"ci: bandit needed more executions ({bandit}) than "
+             f"round-robin ({rr}) to reach the flag target")
 PY
 
 echo "ci: all gates passed"

@@ -1,0 +1,247 @@
+//! Fleet scheduler integration tests: every admitted campaign makes
+//! progress, the fleet report is byte-stable, park/unpark round-trips
+//! through the snapshot path, the control plane admits and cancels
+//! tenants, and — the tentpole invariant — the whole schedule is
+//! worker-count invariant (pinned by proptest).
+
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use torpedo_core::campaign::CampaignConfig;
+use torpedo_core::fleet::{Fleet, FleetConfig, FleetPolicy, FleetSpec};
+use torpedo_core::observer::ObserverConfig;
+use torpedo_core::seeds::{default_denylist, SeedCorpus};
+use torpedo_core::CampaignState;
+use torpedo_integration_tests::table;
+use torpedo_kernel::Usecs;
+use torpedo_oracle::CpuOracle;
+use torpedo_prog::MutatePolicy;
+
+/// A deliberately small per-tenant campaign: 1-second windows, one
+/// executor, short batches — fleet tests measure scheduling, not fuzzing
+/// throughput.
+fn tenant_config(seed: u64) -> CampaignConfig {
+    CampaignConfig {
+        observer: ObserverConfig {
+            window: Usecs::from_secs(1),
+            executors: 1,
+            runtime: "runc".to_string(),
+            ..ObserverConfig::default()
+        },
+        mutate: MutatePolicy {
+            denylist: default_denylist(),
+            ..MutatePolicy::default()
+        },
+        seed,
+        max_rounds_per_batch: 4,
+        ..CampaignConfig::default()
+    }
+}
+
+/// Seed texts cycled across tenants: a mix of adversarial (socket storm,
+/// sync) and benign programs so the bandit has something to rank.
+const TENANT_SEEDS: &[&str] = &[
+    "socket(0x9, 0x3, 0x0)\nsocket(0x9, 0x3, 0x0)\n",
+    "getpid()\nuname(0x0)\n",
+    "sync()\n",
+    "stat(&'/etc/passwd', 0x0)\n",
+];
+
+fn spec(i: usize) -> FleetSpec {
+    let text = TENANT_SEEDS[i % TENANT_SEEDS.len()];
+    FleetSpec {
+        name: format!("tenant-{i}"),
+        config: tenant_config(0x70CA_0000 + i as u64),
+        table: table_arc(),
+        seeds: SeedCorpus::load(&[text], &table(), &default_denylist()).unwrap(),
+        oracle: Arc::new(CpuOracle::new()),
+    }
+}
+
+fn table_arc() -> Arc<[torpedo_prog::SyscallDesc]> {
+    table().into()
+}
+
+fn run_fleet(config: FleetConfig, campaigns: usize) -> torpedo_core::FleetOutcome {
+    let mut fleet = Fleet::new(config);
+    for i in 0..campaigns {
+        fleet.admit(spec(i));
+    }
+    fleet.run().unwrap()
+}
+
+#[test]
+fn every_campaign_executes_and_report_is_byte_stable() {
+    let config = FleetConfig {
+        workers: 2,
+        window_rounds: 2,
+        window_rounds_max: 6,
+        round_budget: 96,
+        ..FleetConfig::default()
+    };
+    let first = run_fleet(config.clone(), 8);
+    for row in &first.rows {
+        assert!(
+            row.windows >= 1,
+            "campaign {} ({}) never got a window",
+            row.id,
+            row.name
+        );
+        assert!(row.error.is_none(), "campaign {}: {:?}", row.id, row.error);
+    }
+    assert!(
+        first.rounds_total <= 96,
+        "budget overrun: {}",
+        first.rounds_total
+    );
+    assert!(first.flags_total > 0, "the socket storms must flag");
+
+    let second = run_fleet(config, 8);
+    assert_eq!(
+        first.render(),
+        second.render(),
+        "fleet report must be byte-stable across runs"
+    );
+}
+
+#[test]
+fn bounded_working_set_parks_through_snapshots() {
+    let config = FleetConfig {
+        workers: 2,
+        max_active: 2,
+        window_rounds: 2,
+        window_rounds_max: 4,
+        starvation_windows: 2,
+        round_budget: 72,
+        ..FleetConfig::default()
+    };
+    let outcome = run_fleet(config.clone(), 6);
+    assert!(outcome.parks > 0, "a 6-tenant fleet capped at 2 must park");
+    assert!(outcome.unparks > 0, "parked campaigns must resume");
+    for row in &outcome.rows {
+        assert!(
+            row.windows >= 1,
+            "starvation bound must schedule campaign {} at least once",
+            row.id
+        );
+        assert!(row.error.is_none(), "campaign {}: {:?}", row.id, row.error);
+    }
+    // Park/unpark is invisible in the deterministic report.
+    let again = run_fleet(config, 6);
+    assert_eq!(outcome.render(), again.render());
+}
+
+#[test]
+fn disk_spill_parks_to_the_fleet_dir() {
+    let dir = tempdir("fleet-spill");
+    let config = FleetConfig {
+        workers: 1,
+        max_active: 1,
+        window_rounds: 2,
+        round_budget: 24,
+        park_dir: Some(dir.clone()),
+        ..FleetConfig::default()
+    };
+    let outcome = run_fleet(config, 3);
+    assert!(outcome.parks > 0);
+    let spilled = std::fs::read_dir(&dir).map(|d| d.count()).unwrap_or(0);
+    assert!(spilled > 0, "park_dir must hold spilled bundles");
+    for row in &outcome.rows {
+        assert!(row.error.is_none(), "campaign {}: {:?}", row.id, row.error);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn control_plane_submits_and_cancels_at_the_barrier() {
+    let mut fleet = Fleet::new(FleetConfig {
+        workers: 1,
+        window_rounds: 2,
+        round_budget: 48,
+        ..FleetConfig::default()
+    });
+    for i in 0..3 {
+        fleet.admit(spec(i));
+    }
+    fleet.enable_submissions(table_arc());
+    let control = fleet.control_api().expect("control plane mounted");
+
+    // Queue a cancellation of tenant 1 and a new submission; both drain at
+    // the first generation barrier, before any window is granted.
+    let (code, _) = control.handle("POST", "/fleet/cancel?id=1", "").unwrap();
+    assert_eq!(code, 202);
+    let (code, _) = control
+        .handle("POST", "/fleet/submit?name=late-tenant&seed=77", "sync()\n")
+        .unwrap();
+    assert_eq!(code, 202);
+    // Malformed requests answer 4xx without queueing.
+    let (code, _) = control.handle("POST", "/fleet/cancel?id=x", "").unwrap();
+    assert_eq!(code, 400);
+    let (code, _) = control.handle("POST", "/fleet/submit", "").unwrap();
+    assert_eq!(code, 400);
+    assert!(control.handle("POST", "/fleet/nope", "").is_none());
+
+    let outcome = fleet.run().unwrap();
+    assert_eq!(outcome.rows.len(), 4, "the submission was admitted");
+    assert_eq!(outcome.rows[1].state, CampaignState::Cancelled);
+    assert_eq!(outcome.rows[1].windows, 0, "cancelled before any window");
+    let late = &outcome.rows[3];
+    assert_eq!(late.name, "late-tenant");
+    assert!(late.windows >= 1, "submitted tenant must execute");
+    assert!(late.error.is_none(), "{:?}", late.error);
+}
+
+fn tempdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "torpedo-{tag}-{}-{}",
+        std::process::id(),
+        std::thread::current().name().unwrap_or("t").len()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The tentpole determinism invariant: the fleet report is a pure
+    /// function of (fleet seed, campaign set) — identical bytes under 1,
+    /// 2, and 4 workers, with the working set bounded so park/unpark is
+    /// exercised too.
+    #[test]
+    fn fleet_report_is_worker_count_invariant(
+        fleet_seed in any::<u64>(),
+        campaigns in 4usize..7,
+        policy_bandit in any::<bool>(),
+    ) {
+        let base = FleetConfig {
+            seed: fleet_seed,
+            max_active: 3,
+            window_rounds: 2,
+            window_rounds_max: 5,
+            starvation_windows: 2,
+            round_budget: 60,
+            policy: if policy_bandit { FleetPolicy::Bandit } else { FleetPolicy::RoundRobin },
+            ..FleetConfig::default()
+        };
+        let mut renders = Vec::new();
+        for workers in [1usize, 2, 4] {
+            let outcome = run_fleet(
+                FleetConfig { workers, ..base.clone() },
+                campaigns,
+            );
+            renders.push((workers, outcome.render()));
+        }
+        let (_, reference) = &renders[0];
+        for (workers, render) in &renders[1..] {
+            prop_assert_eq!(
+                reference,
+                render,
+                "fleet report diverged between 1 and {} workers",
+                workers
+            );
+        }
+    }
+}

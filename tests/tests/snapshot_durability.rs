@@ -18,8 +18,9 @@ use torpedo_core::observer::{ObserverConfig, SupervisorConfig};
 use torpedo_core::seeds::{default_denylist, SeedCorpus};
 use torpedo_core::snapshot::checkpoint_file_name;
 use torpedo_core::{
-    export_corpus, import_corpus, load_checkpoint, load_latest, read_text_capped, CheckpointConfig,
-    SnapshotError, Telemetry, TorpedoError,
+    export_corpus, import_corpus, load_checkpoint, load_latest, load_latest_matching,
+    read_text_capped, render_campaign_config, CheckpointConfig, SnapshotError, Telemetry,
+    TorpedoError,
 };
 use torpedo_kernel::Usecs;
 use torpedo_oracle::CpuOracle;
@@ -214,6 +215,99 @@ fn load_latest_falls_back_past_a_corrupted_checkpoint() {
     fs::remove_dir_all(&base).ok();
 }
 
+/// Fleet directories mix checkpoints from *different* campaigns plus the
+/// debris a crashed fleet leaves behind: truncated bundles, foreign schema
+/// versions. [`load_latest`] must fall back past the junk to the newest
+/// loadable bundle regardless of owner, and [`load_latest_matching`] must
+/// recover each tenant's own chain by rendered config.
+#[test]
+fn load_latest_in_a_mixed_campaign_fleet_dir() {
+    let table = build_table();
+    let base = scratch("fleet-dir");
+    let fleet = base.join("fleet");
+
+    // Tenant A checkpoints straight into the shared fleet dir.
+    let mut config_a = durable_config(fleet.clone(), 1, FaultConfig::default());
+    config_a.seed = 0xA11CE;
+    let report_a = Campaign::new(config_a.clone(), table.clone())
+        .run(&seeds(&table), &CpuOracle::new())
+        .unwrap();
+
+    // Tenant B checkpoints into its own dir; its files are then copied into
+    // the fleet dir under unpadded round names, so the same round number
+    // exists twice with distinct paths (the deterministic tie-break case).
+    let dir_b = base.join("writer-b");
+    let mut config_b = durable_config(dir_b.clone(), 1, FaultConfig::default());
+    config_b.seed = 0xB0B;
+    let report_b = Campaign::new(config_b.clone(), table.clone())
+        .run(&seeds(&table), &CpuOracle::new())
+        .unwrap();
+    for round in 1..=report_b.rounds_total {
+        let text = fs::read_to_string(dir_b.join(checkpoint_file_name(round))).unwrap();
+        fs::write(fleet.join(format!("torpedo-snapshot-{round}.json")), text).unwrap();
+    }
+
+    // Debris, both at rounds newer than any real bundle: a truncated
+    // write and a bundle from some future schema version.
+    let newest_a =
+        fs::read_to_string(fleet.join(checkpoint_file_name(report_a.rounds_total))).unwrap();
+    fs::write(
+        fleet.join(checkpoint_file_name(90_000_000)),
+        &newest_a[..newest_a.len() / 2],
+    )
+    .unwrap();
+    fs::write(
+        fleet.join(checkpoint_file_name(90_000_001)),
+        newest_a.replacen("torpedo-snapshot-v1", "torpedo-snapshot-v9", 1),
+    )
+    .unwrap();
+
+    // load_latest skips the junk and hands back the newest loadable bundle,
+    // whichever tenant wrote it.
+    let (bundle, _) = load_latest(&fleet).unwrap();
+    let rendered_a = render_campaign_config(&config_a);
+    let rendered_b = render_campaign_config(&config_b);
+    assert_eq!(
+        bundle.rounds,
+        report_a.rounds_total.max(report_b.rounds_total),
+        "newest loadable bundle wins, junk is skipped"
+    );
+    assert!(
+        bundle.config == rendered_a || bundle.config == rendered_b,
+        "the bundle must belong to one of the two tenants"
+    );
+
+    // load_latest_matching recovers each tenant's own newest bundle.
+    let (for_a, _) = load_latest_matching(&fleet, &rendered_a).unwrap();
+    assert_eq!(for_a.config, rendered_a);
+    assert_eq!(for_a.rounds, report_a.rounds_total);
+    let (for_b, path_b) = load_latest_matching(&fleet, &rendered_b).unwrap();
+    assert_eq!(for_b.config, rendered_b);
+    assert_eq!(for_b.rounds, report_b.rounds_total);
+    assert!(
+        path_b.ends_with(format!("torpedo-snapshot-{}.json", report_b.rounds_total)),
+        "tenant B's chain lives under the unpadded copies: {path_b:?}"
+    );
+
+    // A config that matches no bundle reads as "nothing to resume from".
+    let mut config_c = config_a.clone();
+    config_c.seed = 0xC0FFEE;
+    assert!(matches!(
+        load_latest_matching(&fleet, &render_campaign_config(&config_c)),
+        Err(SnapshotError::NoCheckpoint { .. })
+    ));
+
+    // And the matching bundle is actually resumable as that tenant.
+    let resumed = Campaign::new(config_b, table.clone())
+        .resume(&for_b, &CpuOracle::new())
+        .unwrap();
+    assert_eq!(
+        render_report(&resumed, &table),
+        render_report(&report_b, &table)
+    );
+    fs::remove_dir_all(&base).ok();
+}
+
 /// Loader hardening: oversized inputs are rejected by a typed error before
 /// any parsing happens, and undersized (truncated) ones never panic.
 #[test]
@@ -339,6 +433,18 @@ fn status_endpoint_rebinds_deterministically_across_resume() {
     resumer.shutdown_status();
     assert_eq!(resumer.status_local_addr(), None);
     assert_eq!(render_report(&resumed, &table), want);
+
+    // Fleet park/unpark churns the same address far harder than a single
+    // resume: cycle bind → shutdown on the fixed port 100× and require
+    // every rebind to land without an AddrInUse flake.
+    for cycle in 0..100 {
+        let got = resumer
+            .serve_status(&addr.to_string())
+            .unwrap_or_else(|e| panic!("cycle {cycle}: rebind failed: {e}"));
+        assert_eq!(got.port(), addr.port(), "cycle {cycle}");
+        resumer.shutdown_status();
+        assert_eq!(resumer.status_local_addr(), None, "cycle {cycle}");
+    }
     fs::remove_dir_all(&base).ok();
 }
 
