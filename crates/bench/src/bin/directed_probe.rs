@@ -1,0 +1,123 @@
+//! `directed_probe`: the directed-fuzzing CI smoke test.
+//!
+//! `directed_probe --self-test` runs the directed-vs-undirected comparison
+//! over the runC deferral-channel families (`DIRECTED_FAMILIES`): both arms
+//! start from the same benign corpus with the same RNG seed, so the only
+//! difference is the distance-guided call selection. It exits non-zero
+//! unless:
+//!
+//! * per family, the directed arm needs no more executions to its first
+//!   flag than the undirected arm (the headline gate),
+//! * the directed arms flag at least as many families as the undirected
+//!   arms (directed mode must not lose findings),
+//! * a directed campaign is byte-stable across two runs (the determinism
+//!   contract extends to the distance-guided path),
+//! * an *unreachable* target (`channel:tty-flush`, empty trigger set)
+//!   degrades to a report byte-identical with the undirected run — the
+//!   "directed machinery is free when it has nothing to steer toward"
+//!   invariant the `< 2%` bench overhead gate measures in host time.
+//!
+//! The probe needs no network and finishes in a few seconds;
+//! `devtools/ci.sh` runs it on every change.
+
+use torpedo_bench::{
+    directed_bench_config, directed_family_oracle, run_directed_family, DIRECTED_BENIGN_SEEDS,
+    DIRECTED_FAMILIES,
+};
+use torpedo_core::campaign::Campaign;
+use torpedo_core::seeds::{default_denylist, SeedCorpus};
+use torpedo_prog::{build_table, DirectedTarget};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("--self-test") => self_test(),
+        _ => {
+            eprintln!("usage: directed_probe --self-test");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn self_test() -> i32 {
+    let mut failures = 0;
+    let mut directed_flags = 0usize;
+    let mut undirected_flags = 0usize;
+
+    for family in DIRECTED_FAMILIES {
+        let directed = run_directed_family(family, true);
+        let undirected = run_directed_family(family, false);
+        directed_flags += directed.flagged as usize;
+        undirected_flags += undirected.flagged as usize;
+        eprintln!(
+            "directed_probe: {:<12} directed {:>8} execs to first flag \
+             (flagged {}), undirected {:>8} (flagged {})",
+            family.name,
+            directed.executions_to_first_flag,
+            directed.flagged,
+            undirected.executions_to_first_flag,
+            undirected.flagged,
+        );
+        if directed.executions_to_first_flag > undirected.executions_to_first_flag {
+            eprintln!(
+                "directed_probe: FAIL {}: directed needed {} executions, \
+                 undirected only {}",
+                family.name, directed.executions_to_first_flag, undirected.executions_to_first_flag,
+            );
+            failures += 1;
+        }
+    }
+    if directed_flags < undirected_flags {
+        eprintln!(
+            "directed_probe: FAIL directed arms flagged {directed_flags} \
+             families, undirected arms {undirected_flags}"
+        );
+        failures += 1;
+    }
+    if directed_flags == 0 {
+        eprintln!("directed_probe: FAIL no directed arm flagged any family");
+        failures += 1;
+    }
+
+    // Determinism: the distance-guided path is byte-stable across runs.
+    let family = &DIRECTED_FAMILIES[0];
+    let a = run_directed_family(family, true);
+    let b = run_directed_family(family, true);
+    if a != b {
+        eprintln!("directed_probe: FAIL directed run not reproducible: {a:?} vs {b:?}");
+        failures += 1;
+    }
+
+    // An unreachable target (empty trigger set) must degrade to the exact
+    // undirected campaign: every distance multiplier is 1.0, so both arms
+    // make identical draws and identical picks.
+    let table = build_table();
+    let seeds = SeedCorpus::load(DIRECTED_BENIGN_SEEDS, &table, &default_denylist())
+        .expect("benign seeds parse");
+    let oracle = directed_family_oracle("io-flush");
+    let unreachable = Campaign::new(
+        directed_bench_config(DirectedTarget::parse("channel:tty-flush"), None),
+        table.clone(),
+    )
+    .run(&seeds, oracle.as_ref())
+    .expect("unreachable-target campaign");
+    let plain = Campaign::new(directed_bench_config(None, None), table)
+        .run(&seeds, oracle.as_ref())
+        .expect("undirected campaign");
+    if format!("{unreachable:?}") != format!("{plain:?}") {
+        eprintln!(
+            "directed_probe: FAIL unreachable target diverged from the \
+             undirected campaign"
+        );
+        failures += 1;
+    }
+
+    if failures == 0 {
+        eprintln!("directed_probe: self-test passed");
+        0
+    } else {
+        eprintln!("directed_probe: {failures} failure(s)");
+        1
+    }
+}

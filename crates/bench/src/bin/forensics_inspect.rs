@@ -123,7 +123,7 @@ fn summarize(bundle: &ForensicsBundle) -> String {
             "  {} <- {} via {} at round {} (score {:.2} -> {})\n",
             r.id,
             r.parent.map_or("seed".to_string(), |p| p.to_string()),
-            r.op.map_or("root", |op| op.as_str()),
+            r.op.as_ref().map_or("root", |op| op.as_str()),
             r.round,
             r.pre_score,
             r.post_score

@@ -65,6 +65,16 @@ fn family_of(
         ),
         DeferralChannel::SoftIrq => ("sendto".into(), "softirq in victim context".into(), false),
         DeferralChannel::TtyFlush => ("(framework)".into(), "TTY LDISC flush".into(), false),
+        DeferralChannel::Writeback => (
+            "mmap, mlock".into(),
+            "writeback + kswapd reclaim".into(),
+            true,
+        ),
+        DeferralChannel::NetSoftirq => (
+            "sendto (bulk)".into(),
+            "net softirq amplification".into(),
+            true,
+        ),
     }
 }
 

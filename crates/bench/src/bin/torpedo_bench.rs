@@ -30,7 +30,7 @@ use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use torpedo_bench::VULNERABILITY_SEEDS;
+use torpedo_bench::{run_directed_family, DIRECTED_FAMILIES, VULNERABILITY_SEEDS};
 use torpedo_core::campaign::{Campaign, CampaignConfig};
 use torpedo_core::fleet::{Fleet, FleetConfig, FleetPolicy, FleetSpec};
 use torpedo_core::observer::ObserverConfig;
@@ -46,7 +46,7 @@ use torpedo_kernel::{
     KernelConfig, SyscallRequest, Usecs, NR_UNKNOWN, SYSCALL_TABLE,
 };
 use torpedo_oracle::CpuOracle;
-use torpedo_prog::{build_table, MutatePolicy, Mutator};
+use torpedo_prog::{build_table, DirectedTarget, MutatePolicy, Mutator};
 use torpedo_telemetry::{
     metrics::write_histogram_json, safe_div, HistogramId, SpanKind, Telemetry,
 };
@@ -74,9 +74,11 @@ fn main() {
     let durability_json = bench_durability(quick);
     eprintln!("torpedo-bench: fleet scheduler…");
     let fleet_json = bench_fleet(quick);
+    eprintln!("torpedo-bench: directed fuzzing…");
+    let directed_json = bench_directed(quick);
 
     let json = format!(
-        "{{\n  \"quick\": {quick},\n  \"dispatch\": {dispatch_json},\n  \"fuzz_throughput\": {throughput_json},\n  \"shard_scaling\": {scaling_json},\n  \"contention\": {contention_json},\n  \"latency\": {latency_json},\n  \"durability\": {durability_json},\n  \"fleet\": {fleet_json}\n}}\n"
+        "{{\n  \"quick\": {quick},\n  \"dispatch\": {dispatch_json},\n  \"fuzz_throughput\": {throughput_json},\n  \"shard_scaling\": {scaling_json},\n  \"contention\": {contention_json},\n  \"latency\": {latency_json},\n  \"durability\": {durability_json},\n  \"fleet\": {fleet_json},\n  \"directed\": {directed_json}\n}}\n"
     );
     std::fs::write(out_path, &json).expect("write BENCH_fuzz.json");
     eprintln!("torpedo-bench: wrote {out_path}");
@@ -761,5 +763,89 @@ fn bench_fleet(quick: bool) -> String {
                     bandit.executions_total as f64,
                     round_robin.executions_total as f64,
                 )),
+    )
+}
+
+/// Directed-fuzzing figures for the CI gates:
+///
+/// * `families` — per deferral-channel family, executions to the first
+///   flagged finding with distance steering on versus off. Both arms share
+///   seeds and RNG seed, and campaigns are deterministic, so these are
+///   exact counts, not timings; the gate holds directed ≤ undirected for
+///   every runC family.
+/// * `overhead_no_target_pct` — best-of-N `execs_per_sec` of a campaign
+///   whose config names an *unreachable* target (`channel:tty-flush`,
+///   empty trigger set) versus the plain undirected config. The campaign
+///   drops an all-unreachable distance map up front and runs the exact
+///   undirected path — `no_target_report_identical` asserts the reports
+///   match byte for byte — so the measured overhead is one distance-map
+///   build per run, gated under 2%.
+fn bench_directed(quick: bool) -> String {
+    let table = build_table();
+
+    let mut family_rows = Vec::new();
+    for family in DIRECTED_FAMILIES {
+        let directed = run_directed_family(family, true);
+        let undirected = run_directed_family(family, false);
+        eprintln!(
+            "torpedo-bench: directed {:<12} {} vs {} execs to first flag",
+            family.name, directed.executions_to_first_flag, undirected.executions_to_first_flag,
+        );
+        family_rows.push(format!(
+            "{{\n        \"family\": \"{}\",\n        \"target\": \"{}\",\n        \"directed_execs_to_first_flag\": {},\n        \"directed_flagged\": {},\n        \"undirected_execs_to_first_flag\": {},\n        \"undirected_flagged\": {},\n        \"execution_savings_pct\": {:.1}\n      }}",
+            family.name,
+            family.target,
+            directed.executions_to_first_flag,
+            directed.flagged,
+            undirected.executions_to_first_flag,
+            undirected.flagged,
+            100.0
+                * (1.0
+                    - safe_div(
+                        directed.executions_to_first_flag as f64,
+                        undirected.executions_to_first_flag as f64,
+                    )),
+        ));
+    }
+
+    // No-target overhead: interleaved best-of-N like the durability gate,
+    // so host-load drift hits both configs equally and scheduling noise
+    // only ever subtracts throughput.
+    let texts = torpedo_moonshine::generate_corpus(6, 1);
+    let seeds = SeedCorpus::load(&texts, &table, &default_denylist()).unwrap();
+    let oracle = CpuOracle::new();
+    let runs = if quick { 10 } else { 16 };
+    let run_campaign = |config: &CampaignConfig| {
+        Campaign::new(config.clone(), table.clone())
+            .run(&seeds, &oracle)
+            .expect("directed overhead campaign")
+    };
+    let run_eps = |config: &CampaignConfig| -> f64 {
+        let start = Instant::now();
+        let report = run_campaign(config);
+        let host = start.elapsed().as_secs_f64().max(1e-9);
+        let execs: u64 = report.logs.iter().map(|l| l.executions).sum();
+        execs as f64 / host
+    };
+    let config_ref = throughput_config(false);
+    let mut config_directed = throughput_config(false);
+    config_directed.directed = DirectedTarget::parse("channel:tty-flush");
+    let identical = format!("{:?}", run_campaign(&config_ref).logs)
+        == format!("{:?}", run_campaign(&config_directed).logs);
+    let _ = run_eps(&config_ref); // warm-up, untimed
+    let (mut eps_ref, mut eps_directed) = (0.0f64, 0.0f64);
+    for _ in 0..runs {
+        eps_ref = eps_ref.max(run_eps(&config_ref));
+        eps_directed = eps_directed.max(run_eps(&config_directed));
+    }
+
+    format!(
+        "{{\n    \"families\": [\n      {}\n    ],\n    \"runs\": {},\n    \"execs_per_sec_undirected\": {:.1},\n    \"execs_per_sec_no_target_directed\": {:.1},\n    \"overhead_no_target_pct\": {:.2},\n    \"no_target_report_identical\": {}\n  }}",
+        family_rows.join(",\n      "),
+        runs,
+        eps_ref,
+        eps_directed,
+        (100.0 * (1.0 - safe_div(eps_directed, eps_ref))).max(0.0),
+        identical,
     )
 }

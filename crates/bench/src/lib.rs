@@ -12,9 +12,13 @@
 //! | Figures 3.2/3.3 (state machines) | `state_machines` |
 //! | §2.4.3 amplification, §3.4 T choice, §3.5.2 shuffle, §4.1.2 denylist | `ablations` |
 
+use torpedo_core::campaign::{Campaign, CampaignConfig, CampaignReport};
 use torpedo_core::confirm::{confirm, Confirmation};
+use torpedo_core::observer::ObserverConfig;
+use torpedo_core::seeds::{default_denylist, SeedCorpus};
 use torpedo_kernel::{KernelConfig, Usecs};
-use torpedo_prog::{deserialize, Program, SyscallDesc};
+use torpedo_oracle::{CpuOracle, MemOracle, NetOracle, Oracle};
+use torpedo_prog::{deserialize, DirectedTarget, MutatePolicy, Program, SyscallDesc};
 
 /// The known-vulnerable recreation seeds of §4.1 ("we begin by distilling a
 /// handful seeds from C programs that recreate the vulnerabilities
@@ -43,6 +47,150 @@ pub const VULNERABILITY_SEEDS: &[(&str, &str)] = &[
 /// Parse one fixture seed.
 pub fn seed_program(text: &str, table: &[SyscallDesc]) -> Program {
     deserialize(text, table).expect("fixture parses")
+}
+
+/// The benign corpus the directed-vs-undirected comparison starts from:
+/// nothing here touches a deferral channel, so the campaign has to *mutate
+/// its way* to the target family — exactly the search directed mode is
+/// supposed to shorten.
+pub const DIRECTED_BENIGN_SEEDS: &[&str] = &[
+    "getpid()\nuname(0x0)\n",
+    "getuid()\ngetpid()\n",
+    // An *available*-family socket is benign — no modprobe, no transmit —
+    // but gives mutation a SockFd to wire resource arguments against.
+    "r0 = socket(0x2, 0x1, 0x0)\ngetpid()\n",
+    "stat(&'/etc/passwd', 0x0)\ngetpid()\n",
+    "uname(0x0)\ngetuid()\n",
+];
+
+/// One runC family of the directed comparison: the channel target the
+/// directed campaign steers toward, plus the observer/oracle shape the
+/// family needs (the writeback family only exists relative to a
+/// `memory.max`).
+pub struct DirectedFamily {
+    /// Family name (Table 4.2 vocabulary).
+    pub name: &'static str,
+    /// The rendered [`DirectedTarget`] for the directed arm.
+    pub target: &'static str,
+    /// `memory.max` for the fuzzing containers, when the family needs one.
+    pub memory_bytes: Option<u64>,
+}
+
+/// The runC families the directed gate compares: the classic Table 4.2
+/// channels plus the two new OOB families.
+pub const DIRECTED_FAMILIES: &[DirectedFamily] = &[
+    DirectedFamily {
+        name: "modprobe",
+        target: "channel:modprobe",
+        memory_bytes: None,
+    },
+    DirectedFamily {
+        name: "io-flush",
+        target: "channel:io-flush",
+        memory_bytes: None,
+    },
+    DirectedFamily {
+        name: "coredump",
+        target: "channel:coredump",
+        memory_bytes: None,
+    },
+    DirectedFamily {
+        name: "writeback",
+        target: "channel:writeback",
+        memory_bytes: Some(32 << 20),
+    },
+    DirectedFamily {
+        name: "net-softirq",
+        target: "channel:net-softirq",
+        memory_bytes: None,
+    },
+];
+
+/// The oracle that flags `family` (CPU for the classic channels, memory
+/// and net for the new ones).
+pub fn directed_family_oracle(family: &str) -> Box<dyn Oracle> {
+    match family {
+        "writeback" => Box::new(MemOracle::new()),
+        "net-softirq" => Box::new(NetOracle::new()),
+        _ => Box::new(CpuOracle::new()),
+    }
+}
+
+/// The campaign config of one comparison arm. Both arms share everything —
+/// seed included, so they draw the same RNG stream — except the `directed`
+/// target.
+pub fn directed_bench_config(
+    directed: Option<DirectedTarget>,
+    memory_bytes: Option<u64>,
+) -> CampaignConfig {
+    CampaignConfig {
+        observer: ObserverConfig {
+            window: Usecs::from_secs(1),
+            executors: 1,
+            runtime: "runc".to_string(),
+            memory_bytes_per_container: memory_bytes,
+            ..ObserverConfig::default()
+        },
+        mutate: MutatePolicy {
+            denylist: default_denylist(),
+            ..MutatePolicy::default()
+        },
+        seed: 0xD1_C7ED,
+        max_rounds_per_batch: 16,
+        directed,
+        ..CampaignConfig::default()
+    }
+}
+
+/// Executions-to-first-flag summary of one comparison arm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DirectedRun {
+    /// Whether the campaign flagged at all.
+    pub flagged: bool,
+    /// Executions up to and including the first flagged round (the whole
+    /// campaign when nothing flagged — the worst case the gate compares).
+    pub executions_to_first_flag: u64,
+    /// Total rounds executed.
+    pub rounds: u64,
+    /// Total executions.
+    pub executions_total: u64,
+}
+
+/// Fold a campaign report into the executions-to-first-flag metric.
+pub fn execs_to_first_flag(report: &CampaignReport) -> DirectedRun {
+    let first_flag_round = report.flagged.iter().map(|f| f.round).min();
+    let mut executions = 0u64;
+    let mut to_first_flag = None;
+    for log in &report.logs {
+        executions += log.executions;
+        if Some(log.round) == first_flag_round && to_first_flag.is_none() {
+            to_first_flag = Some(executions);
+        }
+    }
+    DirectedRun {
+        flagged: first_flag_round.is_some(),
+        executions_to_first_flag: to_first_flag.unwrap_or(executions),
+        rounds: report.rounds_total,
+        executions_total: executions,
+    }
+}
+
+/// Run one arm of the comparison for `family`: directed at the family's
+/// channel, or undirected with the identical config and seed. The campaign
+/// is deterministic, so the returned figures are exact, not wall-clock
+/// noise.
+pub fn run_directed_family(family: &DirectedFamily, directed: bool) -> DirectedRun {
+    let table = torpedo_prog::build_table();
+    let target =
+        directed.then(|| DirectedTarget::parse(family.target).expect("family target parses"));
+    let config = directed_bench_config(target, family.memory_bytes);
+    let seeds = SeedCorpus::load(DIRECTED_BENIGN_SEEDS, &table, &default_denylist())
+        .expect("benign seeds parse");
+    let oracle = directed_family_oracle(family.name);
+    let report = Campaign::new(config, table)
+        .run(&seeds, oracle.as_ref())
+        .expect("directed bench campaign");
+    execs_to_first_flag(&report)
 }
 
 /// Confirm a program on a runtime with the standard 2-second window.

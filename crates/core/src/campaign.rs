@@ -16,7 +16,8 @@ use torpedo_oracle::observation::Observation;
 use torpedo_oracle::violation::Violation;
 use torpedo_oracle::Oracle;
 use torpedo_prog::{
-    Corpus, CorpusItem, CoverageSet, MutatePolicy, Mutator, Program, ProgramId, SyscallDesc,
+    Corpus, CorpusItem, CoverageSet, DirectedTarget, DistanceMap, MutatePolicy, Mutator, Program,
+    ProgramId, SyscallDesc,
 };
 use torpedo_runtime::{checkpoint_fault_hit, ContainerCrash, FaultCounters};
 use torpedo_telemetry::{safe_div, CounterId, SpanKind, StatusServer, StatusShared, Telemetry};
@@ -87,6 +88,14 @@ pub struct CampaignConfig {
     /// deduplicated by [`ProgramId`], with provenance recorded as round-0
     /// lineage roots when forensics is on.
     pub warm_start: Option<Corpus>,
+    /// Directed-fuzzing target. When set, a [`DistanceMap`] is built once
+    /// at campaign start from the syscall table and folded into call
+    /// selection (generation and mutation both amplify on-path syscalls).
+    /// `None` (the default) is byte-identical to the undirected campaign —
+    /// the directed machinery consumes no extra RNG draws. The target is
+    /// part of the rendered config fingerprint, so directed and undirected
+    /// checkpoints never cross-resume.
+    pub directed: Option<DirectedTarget>,
 }
 
 impl Default for CampaignConfig {
@@ -105,6 +114,7 @@ impl Default for CampaignConfig {
             shard_index: 0,
             checkpoint: None,
             warm_start: None,
+            directed: None,
         }
     }
 }
@@ -505,8 +515,23 @@ impl Campaign {
         resume: Option<&SnapshotBundle>,
         track_for_park: bool,
     ) -> Result<CampaignRun, TorpedoError> {
-        let mutator = Mutator::new(self.config.mutate.clone());
+        // Directed mode: the distance map is a pure function of the table
+        // and the rendered target — deterministic, RNG-free, built once.
+        // An all-unreachable map (unknown target name, empty trigger set)
+        // is dropped outright: the campaign then runs the exact undirected
+        // path — same RNG draws, byte-identical report — instead of a
+        // steering-nowhere variant with different mutation-op weights.
+        let distance = self
+            .config
+            .directed
+            .as_ref()
+            .map(|target| DistanceMap::build(&self.table, target))
+            .filter(|map| map.reachable() > 0);
         let telemetry = self.config.observer.telemetry.clone();
+        if let Some(map) = &distance {
+            telemetry.add(CounterId::DirectedReachable, map.reachable() as u64);
+        }
+        let mutator = Mutator::directed(self.config.mutate.clone(), distance);
         if let Some(addr) = &self.config.status_addr {
             self.serve_status(addr)
                 .map_err(|e| TorpedoError::StatusBind {
@@ -906,6 +931,16 @@ impl CampaignRun {
 
         let round_recovery = self.observer.recovery().since(&recovery_before);
         telemetry.add(CounterId::RecoveryEvents, round_recovery.total());
+        // Directed telemetry: how many of this round's programs carried a
+        // call from the target set (distance 0).
+        if let Some(map) = self.mutator.distance() {
+            let on_target = cur
+                .programs
+                .iter()
+                .filter(|p| p.calls.iter().any(|c| map.distance(c.desc) == Some(0)))
+                .count() as u64;
+            telemetry.add(CounterId::DirectedOnTarget, on_target);
+        }
         let executions: u64 = record.reports.iter().map(|r| r.executions).sum();
         self.logs.push(RoundLog {
             batch: batch_idx,
@@ -1421,10 +1456,11 @@ impl CampaignRun {
         let mut program = Program::default();
         let mut id = ProgramId::of(&program);
         for _ in 0..8 {
-            program = torpedo_prog::gen_program(
+            program = torpedo_prog::gen_program_directed(
                 &self.table,
                 self.config.mutate.max_len,
                 &self.config.mutate.denylist,
+                self.mutator.distance(),
                 rng,
             );
             id = ProgramId::of(&program);

@@ -65,8 +65,18 @@ pub fn classify(channel: DeferralChannel) -> (&'static str, bool) {
         DeferralChannel::Audit => ("audit daemon event processing", true),
         DeferralChannel::SoftIrq => ("softirq handled in victim context", true),
         DeferralChannel::TtyFlush => ("TTY LDISC flush (framework overhead)", true),
+        DeferralChannel::Writeback => ("dirty-page writeback and kswapd reclaim", false),
+        DeferralChannel::NetSoftirq => ("net rx/tx softirq amplification", false),
     }
 }
+
+/// Memory limit on the confirmation container. The fuzzing executors run
+/// unconstrained by default, but the confirmation harness always applies a
+/// limit: the memory-family findings (dirty-page writeback, kswapd reclaim)
+/// only *exist* relative to a memory.max, and the real confirm rig runs the
+/// reproducer in a limit-carrying pod. Programs that never charge memory are
+/// unaffected.
+pub const CONFIRM_MEMORY_BYTES: u64 = 256 << 20;
 
 /// Run `program` alone in a tight confirmation loop on `runtime` and
 /// classify the kernel interactions behind its resource behaviour.
@@ -86,6 +96,7 @@ pub fn confirm(
             collider: false,
             glue: GlueCost::confirmation(),
             cpus_per_container: 1.0,
+            memory_bytes_per_container: Some(CONFIRM_MEMORY_BYTES),
             ..ObserverConfig::default()
         },
     )

@@ -596,7 +596,7 @@ impl Fleet {
         if runnable.is_empty() {
             return Vec::new();
         }
-        let mean: f64 = runnable.iter().map(|(_, p, _)| *p).sum::<f64>() / runnable.len() as f64;
+        let mean = mean_priority(&runnable);
         runnable.sort_by(|a, b| {
             b.0.cmp(&a.0)
                 .then(b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal))
@@ -1102,5 +1102,51 @@ fn execute_window(mut assignment: Assignment) -> WindowResult {
         best_score,
         last_flag_round,
         exec_ns: started.elapsed().as_nanos() as u64,
+    }
+}
+
+/// Mean priority of the runnable set. Routed through [`safe_div`] so an
+/// empty set or a NaN-poisoned oracle score collapses to `0.0` instead of
+/// spreading NaN into every bandit window width (a NaN mean would make
+/// `safe_div(prio, mean)` zero for *healthy* arms too, and before the
+/// guard the bare `/ runnable.len()` panicked analysis tools on the
+/// degenerate empty slice).
+fn mean_priority(runnable: &[(bool, f64, usize)]) -> f64 {
+    if runnable.is_empty() {
+        return 0.0;
+    }
+    safe_div(
+        runnable.iter().map(|(_, p, _)| *p).sum::<f64>(),
+        runnable.len() as f64,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_priority_guards_empty_and_nan_sets() {
+        // Empty runnable set: explicit early-out, never 0/0 = NaN.
+        assert_eq!(mean_priority(&[]), 0.0);
+        // A single NaN score must not poison the mean.
+        let poisoned = [(false, 1.0, 0), (false, f64::NAN, 1)];
+        assert_eq!(mean_priority(&poisoned), 0.0);
+        let infinite = [(false, f64::INFINITY, 0)];
+        assert_eq!(mean_priority(&infinite), 0.0);
+        // The healthy path is an ordinary mean.
+        let healthy = [(false, 0.2, 0), (true, 0.4, 1)];
+        assert!((mean_priority(&healthy) - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_mean_still_grants_full_windows() {
+        // With a zero mean every bandit ratio is 0; the clamp must keep
+        // each granted window at >= 1 round rather than 0 (which would
+        // burn a generation without scheduling anything).
+        let mean = mean_priority(&[]);
+        let window_rounds = 8u64;
+        let w = (window_rounds as f64 * safe_div(0.7, mean)).round();
+        assert_eq!((w as u64).clamp(1, 64), 1);
     }
 }

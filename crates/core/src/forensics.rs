@@ -51,6 +51,37 @@ pub const DEFERRAL_EXCERPT_CAP: usize = 32;
 /// original program only).
 pub const FORENSICS_MINIMIZE_CAP: usize = 8;
 
+/// A lineage operator name. The wire vocabulary is *open*: bundles written
+/// by a newer torpedo (or a foreign tool speaking the schema) may carry
+/// operator names this build's [`MutationOp`] does not know, and those must
+/// still parse — and render back byte-identically — rather than make the
+/// whole bundle unreadable.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LineageOp {
+    /// An operator in this build's mutation vocabulary.
+    Known(MutationOp),
+    /// An operator name outside the vocabulary, preserved verbatim.
+    Unknown(String),
+}
+
+impl LineageOp {
+    /// The wire name (the original text for [`LineageOp::Unknown`]).
+    pub fn as_str(&self) -> &str {
+        match self {
+            LineageOp::Known(op) => op.as_str(),
+            LineageOp::Unknown(name) => name,
+        }
+    }
+
+    /// Parse a wire name, tagging anything unrecognized instead of failing.
+    pub fn parse(name: &str) -> LineageOp {
+        match MutationOp::parse(name) {
+            Some(op) => LineageOp::Known(op),
+            None => LineageOp::Unknown(name.to_string()),
+        }
+    }
+}
+
 /// One program's provenance entry.
 #[derive(Debug, Clone, PartialEq)]
 pub struct LineageRecord {
@@ -61,7 +92,7 @@ pub struct LineageRecord {
     /// The corpus donor, when the operator spliced one in.
     pub donor: Option<ProgramId>,
     /// The operator applied (`None` for roots).
-    pub op: Option<MutationOp>,
+    pub op: Option<LineageOp>,
     /// Batch the program entered the campaign in.
     pub batch: usize,
     /// Global round number of its first run.
@@ -268,7 +299,7 @@ impl FlightRecorder {
             id,
             parent: Some(parent),
             donor,
-            op: Some(op),
+            op: Some(LineageOp::Known(op)),
             batch,
             round,
             shard: self.shard,
@@ -465,9 +496,16 @@ pub(crate) fn push_lineage_record(out: &mut String, r: &LineageRecord) {
     push_opt_id(out, "parent", r.parent);
     out.push(',');
     push_opt_id(out, "donor", r.donor);
+    match &r.op {
+        None => out.push_str(",\"op\":null"),
+        Some(op) => {
+            out.push_str(",\"op\":\"");
+            json_escape(out, op.as_str());
+            out.push('"');
+        }
+    }
     out.push_str(&format!(
-        ",\"op\":{},\"batch\":{},\"round\":{},\"shard\":{},\"pre_score\":{},\"post_score\":{}}}",
-        r.op.map_or("null".to_string(), |op| format!("\"{}\"", op.as_str())),
+        ",\"batch\":{},\"round\":{},\"shard\":{},\"pre_score\":{},\"post_score\":{}}}",
         r.batch,
         r.round,
         r.shard,
@@ -482,9 +520,10 @@ pub(crate) fn parse_lineage_record(r: &JsonValue) -> Result<LineageRecord, LogPa
         ProgramId::parse_hex(need_str(r, "id")?).ok_or_else(|| bundle_err("bad lineage id"))?;
     let op = match need(r, "op")? {
         JsonValue::Null => None,
-        JsonValue::String(s) => {
-            Some(MutationOp::parse(s).ok_or_else(|| bundle_err("unknown mutation operator"))?)
-        }
+        // Open vocabulary: an unrecognized operator name parses as
+        // `Unknown` and renders back verbatim, so bundles from a build
+        // with more operators survive a round trip here.
+        JsonValue::String(s) => Some(LineageOp::parse(s)),
         _ => return Err(bundle_err("lineage op not a string or null")),
     };
     let post_score = match need(r, "post_score")? {
@@ -655,9 +694,11 @@ pub(crate) fn opt_id(doc: &JsonValue, key: &str) -> Result<Option<ProgramId>, Lo
 /// Parse a `torpedo-forensics-v1` bundle back from its JSON text.
 ///
 /// # Errors
-/// [`LogParseError`] on malformed JSON, a schema mismatch, or any field
-/// outside the wire vocabulary ([`BundleKind`], [`MutationOp`],
-/// [`HeuristicKind`] names).
+/// [`LogParseError`] on malformed JSON, a schema mismatch, or a field
+/// outside the *closed* wire vocabulary ([`BundleKind`], [`HeuristicKind`]
+/// names). Mutation-operator and deferral-channel names are an *open*
+/// vocabulary: unknown names parse as tagged strings ([`LineageOp::Unknown`],
+/// the free-form [`DeferralExcerpt::channel`]) and render back verbatim.
 pub fn parse_bundle(text: &str) -> Result<ForensicsBundle, LogParseError> {
     let doc = parse_json(text)?;
     let schema = need_str(&doc, "schema")?;
@@ -790,7 +831,7 @@ mod tests {
             id: pid(2),
             parent: Some(pid(1)),
             donor: None,
-            op: Some(MutationOp::MutateArg),
+            op: Some(LineageOp::Known(MutationOp::MutateArg)),
             batch: 0,
             round: 2,
             shard: 0,
@@ -801,7 +842,7 @@ mod tests {
             id: pid(3),
             parent: Some(pid(2)),
             donor: Some(pid(9)),
-            op: Some(MutationOp::Splice),
+            op: Some(LineageOp::Known(MutationOp::Splice)),
             batch: 0,
             round: 3,
             shard: 0,
@@ -818,7 +859,7 @@ mod tests {
             id: pid(4),
             parent: Some(pid(3)),
             donor: None,
-            op: Some(MutationOp::AddCall),
+            op: Some(LineageOp::Known(MutationOp::AddCall)),
             batch: 0,
             round: 4,
             shard: 0,
@@ -839,7 +880,7 @@ mod tests {
             id: pid(1),
             parent: Some(pid(2)),
             donor: None,
-            op: Some(MutationOp::MutateArg),
+            op: Some(LineageOp::Known(MutationOp::MutateArg)),
             batch: 0,
             round: 2,
             shard: 0,
@@ -850,7 +891,7 @@ mod tests {
             id: pid(2),
             parent: Some(pid(1)),
             donor: None,
-            op: Some(MutationOp::MutateArg),
+            op: Some(LineageOp::Known(MutationOp::MutateArg)),
             batch: 0,
             round: 1,
             shard: 0,
@@ -908,7 +949,7 @@ mod tests {
                 id: pid(0xabc),
                 parent: Some(pid(0xdef)),
                 donor: None,
-                op: Some(MutationOp::Splice),
+                op: Some(LineageOp::Known(MutationOp::Splice)),
                 batch: 2,
                 round: 16,
                 shard: 1,
@@ -971,12 +1012,39 @@ mod tests {
         let mut json = sample_bundle().to_json();
         json = json.replace("\"kind\":\"flag\"", "\"kind\":\"vibe\"");
         assert!(parse_bundle(&json).is_err());
-        let mut json = sample_bundle().to_json();
-        json = json.replace("\"op\":\"splice\"", "\"op\":\"teleport\"");
-        assert!(parse_bundle(&json).is_err());
+        // Heuristic names stay a closed vocabulary: the oracle set defines
+        // what a violation can mean, so a typo here is a real error.
         let mut json = sample_bundle().to_json();
         json = json.replace("idle-core-above-ceiling", "idle-core-on-fire");
         assert!(parse_bundle(&json).is_err());
+    }
+
+    #[test]
+    fn unknown_operator_and_channel_names_round_trip() {
+        // A bundle written by a build with a richer mutation/channel
+        // vocabulary must read back — and re-render byte-identically — on
+        // this build, with the foreign names preserved verbatim.
+        let json = sample_bundle()
+            .to_json()
+            .replace("\"op\":\"splice\"", "\"op\":\"teleport\"")
+            .replace(
+                "softirq handled in victim context",
+                "io_uring worker outside cgroup",
+            );
+        let back = parse_bundle(&json).unwrap();
+        assert_eq!(
+            back.lineage[0].op,
+            Some(LineageOp::Unknown("teleport".to_string()))
+        );
+        assert_eq!(back.lineage[0].op.as_ref().unwrap().as_str(), "teleport");
+        assert_eq!(back.deferrals[0].channel, "io_uring worker outside cgroup");
+        assert_eq!(back.to_json(), json, "foreign names render back verbatim");
+        // Known names still land on the typed variant.
+        let native = parse_bundle(&sample_bundle().to_json()).unwrap();
+        assert_eq!(
+            native.lineage[0].op,
+            Some(LineageOp::Known(MutationOp::Splice))
+        );
     }
 
     #[test]

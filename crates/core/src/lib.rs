@@ -87,7 +87,7 @@ pub use fleet::{
 };
 pub use forensics::{
     deferral_excerpt, parse_bundle, BundleKind, FlightRecorder, ForensicsBundle, LineageBook,
-    LineageRecord, MinimizationSummary, TrajectoryPoint, FORENSICS_SCHEMA,
+    LineageOp, LineageRecord, MinimizationSummary, TrajectoryPoint, FORENSICS_SCHEMA,
 };
 pub use latch::{LatchError, LatchState, RoundLatch};
 pub use logfmt::{

@@ -86,6 +86,12 @@ pub struct ObserverConfig {
     pub glue: GlueCost,
     /// `--cpus` quota per container.
     pub cpus_per_container: f64,
+    /// `--memory` limit per executor container. `None` (the default)
+    /// deploys unconstrained containers, matching the paper's CPU-focused
+    /// evaluation; set it to put the memory cgroup under pressure so the
+    /// writeback/kswapd deferral channel (and the memory oracle) have a
+    /// limit to push against.
+    pub memory_bytes_per_container: Option<u64>,
     /// Deterministic fault injection; all-zero rates (the default) install
     /// no injector and cost nothing.
     pub faults: FaultConfig,
@@ -105,6 +111,7 @@ impl Default for ObserverConfig {
             collider: true,
             glue: GlueCost::fuzzing(),
             cpus_per_container: 1.0,
+            memory_bytes_per_container: None,
             faults: FaultConfig::default(),
             supervisor: SupervisorConfig::default(),
             telemetry: Telemetry::disabled(),
@@ -129,10 +136,14 @@ pub struct RoundRecord {
 
 /// The spec every executor container is created with.
 pub(crate) fn executor_spec(config: &ObserverConfig, i: usize) -> ContainerSpec {
-    ContainerSpec::new(&format!("fuzz-{i}"))
+    let spec = ContainerSpec::new(&format!("fuzz-{i}"))
         .runtime_name(&config.runtime)
         .cpuset_cpus(&[i])
-        .cpus(config.cpus_per_container)
+        .cpus(config.cpus_per_container);
+    match config.memory_bytes_per_container {
+        Some(bytes) => spec.memory(bytes),
+        None => spec,
+    }
 }
 
 /// Create executor container `i`, retrying injected/transient start

@@ -393,6 +393,18 @@ pub fn render_campaign_config(config: &CampaignConfig) -> String {
         config.forensics,
         o.supervisor.quarantine_threshold,
     ));
+    match &config.directed {
+        Some(target) => {
+            out.push_str("\"directed\":\"");
+            json_escape(&mut out, &target.render());
+            out.push_str("\",");
+        }
+        None => out.push_str("\"directed\":null,"),
+    }
+    out.push_str(&format!(
+        "\"memory_bytes\":{},",
+        o.memory_bytes_per_container.unwrap_or(0)
+    ));
     out.push_str(&format!(
         "\"batch\":{{\"equivalence_band\":{},\"significance\":{},\"patience\":{}}},",
         b.equivalence_band, b.significance, b.patience
@@ -1540,8 +1552,21 @@ mod tests {
         // But the interval does: it shifts the fault-roll schedule.
         assert_ne!(render_campaign_config(&with_dir), a);
         // And a seed change does too.
-        let mut reseeded = config;
+        let mut reseeded = config.clone();
         reseeded.seed ^= 1;
         assert_ne!(render_campaign_config(&reseeded), a);
+        // A directed target changes the RNG-draw schedule, so it must
+        // fingerprint: a directed checkpoint never resumes undirected.
+        assert!(a.contains("\"directed\":null"));
+        let mut directed = config.clone();
+        directed.directed = torpedo_prog::DirectedTarget::parse("channel:net-softirq");
+        let d = render_campaign_config(&directed);
+        assert!(d.contains("\"directed\":\"channel:net-softirq\""));
+        assert_ne!(d, a);
+        // So does the per-container memory limit (it gates the writeback
+        // reclaim path inside the simulated kernel).
+        let mut limited = config;
+        limited.observer.memory_bytes_per_container = Some(64 << 20);
+        assert_ne!(render_campaign_config(&limited), a);
     }
 }

@@ -308,6 +308,19 @@ impl CgroupTree {
         Ok(())
     }
 
+    /// Fraction of the group's own memory limit currently charged (`0.0`
+    /// for an unconstrained or unknown group). Near `1.0` the kernel starts
+    /// reclaiming — the trigger for the writeback deferral channel.
+    pub fn memory_pressure(&self, id: CgroupId) -> f64 {
+        let Some(g) = self.groups.get(&id) else {
+            return 0.0;
+        };
+        match g.limits.memory_bytes {
+            Some(limit) if limit > 0 => g.charged_memory as f64 / limit as f64,
+            _ => 0.0,
+        }
+    }
+
     /// Remaining CPU budget of the group within an accounting window of
     /// `window` virtual time, given the effective quota.
     ///

@@ -31,6 +31,15 @@ pub enum DeferralChannel {
     /// Docker CLI — the framework's own overhead, which TORPEDO minimizes but
     /// cannot eliminate (§3.3).
     TtyFlush,
+    /// Dirty-page writeback plus kswapd reclaim executed by kworkers when a
+    /// memory-constrained cgroup pushes against its limit: the flush and the
+    /// reclaim scan both run in the root cgroup, never charged to the
+    /// container that dirtied the pages.
+    Writeback,
+    /// rx/tx network softirq amplification: large transmits queue packet
+    /// processing in `ksoftirqd`, whose CPU time lands on whatever core the
+    /// softirq fires on — outside the sender's cpuset and cgroup.
+    NetSoftirq,
 }
 
 impl DeferralChannel {
@@ -47,6 +56,8 @@ impl DeferralChannel {
             DeferralChannel::Audit => "audit daemon event processing",
             DeferralChannel::SoftIrq => "softirq handling in victim context",
             DeferralChannel::TtyFlush => "TTY LDISC flush via work queue",
+            DeferralChannel::Writeback => "kworker dirty-page writeback and kswapd reclaim",
+            DeferralChannel::NetSoftirq => "net rx/tx softirq amplification",
         }
     }
 }
@@ -196,6 +207,8 @@ mod tests {
             DeferralChannel::Audit,
             DeferralChannel::SoftIrq,
             DeferralChannel::TtyFlush,
+            DeferralChannel::Writeback,
+            DeferralChannel::NetSoftirq,
         ];
         let mut seen = std::collections::HashSet::new();
         for c in channels {

@@ -300,6 +300,7 @@ impl Kernel {
         self.procs.begin_round();
         self.ledger.clear();
         self.io_active.clear();
+        self.net.reset_window();
         self.vfs.dirty(self.config.host_dirty_bytes_per_round);
         let state = self.fresh_round(window);
         self.round = Some(state);
@@ -532,16 +533,18 @@ impl Kernel {
         self.cgroups.remaining_cpu_budget(cgroup, window)
     }
 
-    /// A deterministic per-origin core outside `exclude`: where repeated
-    /// usermodehelper children for one origin keep landing.
-    pub fn stable_victim_core(&self, origin: Pid, exclude: &[usize]) -> usize {
+    /// A deterministic per-key core outside `exclude`: where repeated
+    /// usermodehelper children for one origin keep landing (key = pid), and
+    /// where a flow's NAPI completions keep firing (key = cgroup — the IRQ
+    /// affinity outlives any one sender process).
+    pub fn stable_victim_core(&self, key: u32, exclude: &[usize]) -> usize {
         let candidates: Vec<usize> = (0..self.config.cores)
             .filter(|c| !exclude.contains(c) && !self.reserved_cores.contains(c))
             .collect();
         if candidates.is_empty() {
-            return (origin.0 as usize).wrapping_mul(2654435761) % self.config.cores;
+            return (key as usize).wrapping_mul(2654435761) % self.config.cores;
         }
-        let idx = (origin.0 as usize).wrapping_mul(2654435761) % candidates.len();
+        let idx = (key as usize).wrapping_mul(2654435761) % candidates.len();
         candidates[idx]
     }
 
@@ -594,24 +597,34 @@ impl Kernel {
         // usermodehelper children inherit the workqueue's CPU affinity and
         // keep landing on the same core for a given origin — the paper's
         // Table A.3 shows the OOB workload concentrated on one core.
+        // NAPI completion processing is likewise pinned — but to the NIC
+        // queue's IRQ-affinity core, which outlives any single sender
+        // process, so the key is the origin container, not its pid.
         let core = match channel {
             DeferralChannel::UserModeHelper(_) => {
-                self.stable_victim_core(origin_pid, origin_cpuset)
+                self.stable_victim_core(origin_pid.0, origin_cpuset)
             }
+            DeferralChannel::NetSoftirq => self.stable_victim_core(origin_cgroup.0, origin_cpuset),
             _ => self.pick_victim_core(origin_cpuset),
         };
         let patched = (self.config.usermodehelper_patched
             && matches!(channel, DeferralChannel::UserModeHelper(_)))
-            || (self.config.iron_accounting && channel == DeferralChannel::SoftIrq);
+            || (self.config.iron_accounting
+                && matches!(
+                    channel,
+                    DeferralChannel::SoftIrq | DeferralChannel::NetSoftirq
+                ));
         let charged_cgroup = if patched {
             origin_cgroup
         } else {
             CgroupTree::ROOT
         };
         let worker_pid = match channel {
-            DeferralChannel::IoFlush | DeferralChannel::TtyFlush => self.boot.kworkers[0],
+            DeferralChannel::IoFlush | DeferralChannel::TtyFlush | DeferralChannel::Writeback => {
+                self.boot.kworkers[0]
+            }
             DeferralChannel::Audit => self.boot.kauditd,
-            DeferralChannel::SoftIrq => self.boot.ksoftirqd[core],
+            DeferralChannel::SoftIrq | DeferralChannel::NetSoftirq => self.boot.ksoftirqd[core],
             DeferralChannel::UserModeHelper(kind) => {
                 // usermodehelper forks a fresh short-lived child each time.
                 let name = match kind {
@@ -626,7 +639,7 @@ impl Kernel {
             }
         };
         let cat = match channel {
-            DeferralChannel::SoftIrq => CpuCategory::SoftIrq,
+            DeferralChannel::SoftIrq | DeferralChannel::NetSoftirq => CpuCategory::SoftIrq,
             _ => CpuCategory::System,
         };
         let applied = self.charge(core, cat, cost, worker_pid, charged_cgroup);
@@ -776,6 +789,52 @@ impl Kernel {
             self.charge_iowait(caller_core, wait.scale(0.3));
         }
         // The caller blocks until the flush completes (but is charged ~nothing).
+        wait
+    }
+
+    /// The memory-pressure path: when a cgroup's allocation pushes against
+    /// its memory limit, the kernel flushes dirty pages and runs a kswapd
+    /// reclaim scan — both on kworkers in the root cgroup — while the
+    /// allocating task eats direct-reclaim I/O-wait. Returns how long the
+    /// *caller* must block.
+    ///
+    /// With `host_visible = false` (sandboxed runtimes), the sentry manages
+    /// its own page cache: reclaim is charged inside the caller's cgroup and
+    /// no host kworker is touched, so the channel does not exist on gVisor.
+    pub fn memory_reclaim(
+        &mut self,
+        origin_pid: Pid,
+        origin_cgroup: CgroupId,
+        origin_cpuset: &[usize],
+        requested_bytes: u64,
+        host_visible: bool,
+        syscall: &'static str,
+    ) -> Usecs {
+        // ~40 µs of reclaim scan per 64 KiB requested, capped well below a
+        // window; the flush half also drains whatever the host has dirtied.
+        let chunks = (requested_bytes >> 16).max(1);
+        let reclaim_cost = Usecs(chunks * 40).min(Usecs::from_millis(800));
+        if !host_visible {
+            let core = origin_cpuset.first().copied().unwrap_or(0);
+            let cost = reclaim_cost.scale(0.5);
+            self.charge(core, CpuCategory::System, cost, origin_pid, origin_cgroup);
+            return cost;
+        }
+        self.vfs.flush_all();
+        let reclaim_core = self.defer_work(
+            DeferralChannel::Writeback,
+            origin_pid,
+            origin_cgroup,
+            origin_cpuset,
+            reclaim_cost,
+            syscall,
+        );
+        // Direct reclaim stalls the allocator and the disk while pages drain.
+        let wait = reclaim_cost.scale(4.0);
+        self.charge_iowait(reclaim_core, wait.scale(0.5));
+        if let Some(&caller_core) = origin_cpuset.first() {
+            self.charge_iowait(caller_core, wait.scale(0.4));
+        }
         wait
     }
 }

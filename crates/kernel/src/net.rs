@@ -102,9 +102,15 @@ pub struct NetState {
     negative_cache: HashSet<u64>,
     /// Total modprobe executions (diagnostics).
     pub modprobe_exec_count: u64,
+    /// Bytes transmitted in the current observer window (reset each round).
+    tx_bytes_window: u64,
 }
 
 impl NetState {
+    /// The NAPI budget: once a window's cumulative transmits exceed this,
+    /// packet completion work is kicked out of syscall context into
+    /// `ksoftirqd` — the trigger for the net-softirq deferral channel.
+    pub const NAPI_BUDGET_BYTES: u64 = 256 << 10;
     /// Desktop-kernel default: common families built in, negative caching
     /// off (the vulnerable configuration the paper fuzzed).
     pub fn new() -> NetState {
@@ -114,7 +120,27 @@ impl NetState {
             negative_cache_enabled: false,
             negative_cache: HashSet::new(),
             modprobe_exec_count: 0,
+            tx_bytes_window: 0,
         }
+    }
+
+    /// Account `len` transmitted bytes; returns `true` once the window's
+    /// cumulative transmit load exceeds the NAPI budget, meaning rx/tx
+    /// completion processing now runs in `ksoftirqd` context instead of
+    /// being absorbed inline by the sender.
+    pub fn transmit(&mut self, len: u64) -> bool {
+        self.tx_bytes_window = self.tx_bytes_window.saturating_add(len);
+        self.tx_bytes_window > Self::NAPI_BUDGET_BYTES
+    }
+
+    /// Bytes transmitted so far this window.
+    pub fn tx_bytes_window(&self) -> u64 {
+        self.tx_bytes_window
+    }
+
+    /// Reset per-window transmit accounting (start of an observer round).
+    pub fn reset_window(&mut self) {
+        self.tx_bytes_window = 0;
     }
 
     /// Process a `socket(2)` request.
@@ -297,6 +323,22 @@ mod tests {
             SocketOutcome::Created(s) => assert!(!s.audit),
             other => panic!("expected created, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn napi_budget_gates_the_softirq_kick() {
+        let mut net = NetState::new();
+        // Four full 64 KiB sends sit exactly at the budget: still inline.
+        for _ in 0..4 {
+            assert!(!net.transmit(64 << 10));
+        }
+        // The next byte tips completion processing into ksoftirqd.
+        assert!(net.transmit(1));
+        assert_eq!(net.tx_bytes_window(), NetState::NAPI_BUDGET_BYTES + 1);
+        // A new observer round starts the accounting over.
+        net.reset_window();
+        assert_eq!(net.tx_bytes_window(), 0);
+        assert!(!net.transmit(64 << 10));
     }
 
     #[test]

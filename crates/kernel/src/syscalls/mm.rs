@@ -13,6 +13,10 @@ use super::{ExecContext, Sem, SyscallRequest};
 /// Largest mapping honoured per call.
 const MAX_MAP: u64 = 64 << 20;
 
+/// Memory-pressure fraction of the cgroup limit above which a successful
+/// allocation still wakes kswapd (background writeback reclaim).
+const PRESSURE_RECLAIM: f64 = 0.85;
+
 /// Every syscall name [`handle`] owns — the dispatch jump table routes these
 /// numbers here without probing the other modules. Must stay in sync with
 /// the `match` arms below (the kernel's routing tests enforce it).
@@ -44,10 +48,40 @@ pub(crate) fn handle(
             }
             let len = len.min(MAX_MAP);
             match k.cgroups.charge_memory(ctx.cgroup, len as i64) {
-                Ok(()) => Sem::ok(0x7f00_0000_0000u64 as i64)
-                    .cost(2, 9 + len / (4 << 20))
-                    .branch("mmap_ok"),
-                Err(_) => Sem::err(Errno::ENOMEM).cost(2, 7).branch("mmap_enomem"),
+                Ok(()) => {
+                    // Nearing the limit wakes kswapd: background writeback
+                    // reclaim on a kworker, charged to the root cgroup.
+                    if k.cgroups.memory_pressure(ctx.cgroup) > PRESSURE_RECLAIM {
+                        k.memory_reclaim(
+                            ctx.pid,
+                            ctx.cgroup,
+                            &ctx.cpuset,
+                            len,
+                            ctx.policy.host_deferrals,
+                            "mmap",
+                        );
+                    }
+                    Sem::ok(0x7f00_0000_0000u64 as i64)
+                        .cost(2, 9 + len / (4 << 20))
+                        .branch("mmap_ok")
+                }
+                Err(_) => {
+                    // The allocator runs direct reclaim trying to satisfy the
+                    // charge before giving up; the flush work escapes to
+                    // kworkers while the caller stalls in iowait.
+                    let wait = k.memory_reclaim(
+                        ctx.pid,
+                        ctx.cgroup,
+                        &ctx.cpuset,
+                        len,
+                        ctx.policy.host_deferrals,
+                        "mmap",
+                    );
+                    Sem::err(Errno::ENOMEM)
+                        .cost(2, 7)
+                        .block(wait)
+                        .branch("mmap_enomem")
+                }
             }
         }
         "munmap" => {
@@ -91,7 +125,22 @@ pub(crate) fn handle(
             let len = args[1].min(MAX_MAP);
             match k.cgroups.charge_memory(ctx.cgroup, len as i64) {
                 Ok(()) => Sem::ok(0).cost(2, 10 + len / (8 << 20)).branch("mlock_ok"),
-                Err(_) => Sem::err(Errno::ENOMEM).cost(1, 5).branch("mlock_enomem"),
+                Err(_) => {
+                    // mlock under pressure also takes the direct-reclaim
+                    // path: pages must be written back before pinning fails.
+                    let wait = k.memory_reclaim(
+                        ctx.pid,
+                        ctx.cgroup,
+                        &ctx.cpuset,
+                        len,
+                        ctx.policy.host_deferrals,
+                        "mlock",
+                    );
+                    Sem::err(Errno::ENOMEM)
+                        .cost(1, 5)
+                        .block(wait)
+                        .branch("mlock_enomem")
+                }
             }
         }
         "munlock" => {

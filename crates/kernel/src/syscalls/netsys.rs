@@ -183,6 +183,20 @@ pub(crate) fn handle(
                             Usecs(4 + len / 8192),
                             "sendto",
                         );
+                        // Past the NAPI budget, completion processing falls
+                        // off the inline path into ksoftirqd and scales with
+                        // the payload: rx/tx softirq amplification, charged
+                        // to nobody the sender's controllers can see.
+                        if k.net.transmit(len) {
+                            k.defer_work(
+                                DeferralChannel::NetSoftirq,
+                                ctx.pid,
+                                ctx.cgroup,
+                                &ctx.cpuset,
+                                Usecs(len / 128),
+                                "sendto",
+                            );
+                        }
                     }
                     Sem::ok(len as i64)
                         .cost(3, 10 + len / 16384)

@@ -8,8 +8,8 @@
 //! violated).
 //!
 //! [`cpu::CpuOracle`] implements the Table 4.1 heuristics the evaluation
-//! ran with; [`io::IoOracle`], [`memory::MemOracle`] and
-//! [`startup::StartupOracle`] implement the §5.1 future-work oracles.
+//! ran with; [`io::IoOracle`], [`memory::MemOracle`], [`net::NetOracle`]
+//! and [`startup::StartupOracle`] implement the §5.1 future-work oracles.
 //!
 //! # Examples
 //! ```
@@ -32,6 +32,7 @@
 pub mod cpu;
 pub mod io;
 pub mod memory;
+pub mod net;
 pub mod observation;
 pub mod startup;
 pub mod violation;
@@ -39,6 +40,7 @@ pub mod violation;
 pub use cpu::{CpuOracle, CpuThresholds};
 pub use io::{IoOracle, IoThresholds};
 pub use memory::{MemOracle, MemThresholds};
+pub use net::{NetOracle, NetThresholds};
 pub use observation::{ContainerInfo, Observation};
 pub use startup::{StartupConfig, StartupOracle};
 pub use violation::{violation_kinds, HeuristicKind, Violation};

@@ -1,0 +1,182 @@
+//! The network oracle: detects rx/tx softirq amplification.
+//!
+//! Once a window's transmits exceed the NAPI budget, packet-completion
+//! processing migrates from the sender's syscall context into `ksoftirqd`
+//! on whatever core takes the completion interrupt — CPU the sender's
+//! cpuset and quota controllers never see. From `/proc/stat` that shows
+//! up as SOFTIRQ time concentrated on cores *outside* the fuzzing cpuset,
+//! which is exactly what this oracle flags.
+//!
+//! Like the Appendix A analysis, the known framework sidecar core (the
+//! persistent SOFTIRQ side effect of the collider) is excluded so the
+//! heuristic does not flag TORPEDO's own overhead.
+
+use crate::observation::Observation;
+use crate::violation::{HeuristicKind, Violation};
+use crate::Oracle;
+
+/// Thresholds for the network oracle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetThresholds {
+    /// Maximum tolerated SOFTIRQ percentage on any non-fuzzing,
+    /// non-sidecar core.
+    pub foreign_softirq_max: f64,
+    /// Maximum tolerated machine-wide SOFTIRQ percentage.
+    pub total_softirq_max: f64,
+}
+
+impl Default for NetThresholds {
+    fn default() -> Self {
+        NetThresholds {
+            foreign_softirq_max: 6.0,
+            total_softirq_max: 2.5,
+        }
+    }
+}
+
+/// The network oracle.
+#[derive(Debug, Clone, Default)]
+pub struct NetOracle {
+    thresholds: NetThresholds,
+}
+
+impl NetOracle {
+    /// An oracle with default thresholds.
+    pub fn new() -> NetOracle {
+        NetOracle::default()
+    }
+
+    /// An oracle with custom thresholds.
+    pub fn with_thresholds(thresholds: NetThresholds) -> NetOracle {
+        NetOracle { thresholds }
+    }
+}
+
+/// Machine-wide SOFTIRQ percentage of an observation.
+fn total_softirq_percent(obs: &Observation) -> f64 {
+    if obs.per_core.is_empty() {
+        return 0.0;
+    }
+    let softirq: u64 = obs.per_core.iter().map(|c| c.softirq.as_micros()).sum();
+    let total: u64 = obs.per_core.iter().map(|c| c.total().as_micros()).sum();
+    if total == 0 {
+        0.0
+    } else {
+        100.0 * softirq as f64 / total as f64
+    }
+}
+
+impl Oracle for NetOracle {
+    fn name(&self) -> &'static str {
+        "net"
+    }
+
+    /// Score: machine-wide SOFTIRQ percentage — more interrupt servicing
+    /// is more indicative of completion-amplification behaviour.
+    fn score(&self, obs: &Observation) -> f64 {
+        total_softirq_percent(obs)
+    }
+
+    fn flag(&self, obs: &Observation) -> Vec<Violation> {
+        let mut violations = Vec::new();
+        let fuzz = obs.fuzz_cores();
+        for core in 0..obs.per_core.len() {
+            if fuzz.contains(&core) || Some(core) == obs.sidecar_core {
+                continue;
+            }
+            let row = &obs.per_core[core];
+            let total = row.total().as_micros().max(1);
+            let softirq_pct = 100.0 * row.softirq.as_micros() as f64 / total as f64;
+            if softirq_pct > self.thresholds.foreign_softirq_max {
+                violations.push(Violation {
+                    heuristic: HeuristicKind::SoftirqOutsideCpuset,
+                    core: Some(core),
+                    measured: softirq_pct,
+                    threshold: self.thresholds.foreign_softirq_max,
+                });
+            }
+        }
+        let total = total_softirq_percent(obs);
+        if total > self.thresholds.total_softirq_max {
+            violations.push(Violation {
+                heuristic: HeuristicKind::SoftirqOutsideCpuset,
+                core: None,
+                measured: total,
+                threshold: self.thresholds.total_softirq_max,
+            });
+        }
+        violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::observation::ContainerInfo;
+    use torpedo_kernel::cpu::{CpuCategory, CpuTimes};
+    use torpedo_kernel::time::Usecs;
+
+    fn obs(softirq_frac: &[f64]) -> Observation {
+        let window = Usecs::from_secs(5);
+        let per_core = softirq_frac
+            .iter()
+            .map(|r| {
+                let mut t = CpuTimes::default();
+                let si = window.scale(*r);
+                t.charge(CpuCategory::SoftIrq, si);
+                t.charge(CpuCategory::Idle, window.saturating_sub(si));
+                t
+            })
+            .collect();
+        Observation {
+            window,
+            per_core,
+            top: None,
+            containers: vec![ContainerInfo {
+                name: "fuzz-0".into(),
+                cpuset: vec![0],
+                cpu_quota: Some(1.0),
+                memory_limit: None,
+                memory_used: 0,
+                io_bytes: 0,
+                oom_events: 0,
+            }],
+            sidecar_core: Some(1),
+            startup_times: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn quiet_network_no_violations() {
+        let o = obs(&[0.01, 0.02, 0.005, 0.0]);
+        assert!(NetOracle::new().flag(&o).is_empty());
+    }
+
+    #[test]
+    fn bulk_send_pattern_flags_foreign_softirq() {
+        // NAPI-budget overflow shape: ksoftirqd burning a victim core.
+        let o = obs(&[0.05, 0.02, 0.0, 0.25]);
+        let violations = NetOracle::new().flag(&o);
+        assert!(violations
+            .iter()
+            .any(|v| v.core == Some(3) && v.heuristic == HeuristicKind::SoftirqOutsideCpuset));
+        assert!(
+            violations.iter().any(|v| v.core.is_none()),
+            "total fires too"
+        );
+    }
+
+    #[test]
+    fn fuzz_and_sidecar_cores_are_exempt() {
+        let o = obs(&[0.30, 0.30, 0.0, 0.0]);
+        let violations = NetOracle::new().flag(&o);
+        assert!(!violations.iter().any(|v| v.core == Some(0)));
+        assert!(!violations.iter().any(|v| v.core == Some(1)));
+    }
+
+    #[test]
+    fn score_tracks_total_softirq() {
+        let o = obs(&[0.2, 0.2]);
+        assert!((NetOracle::new().score(&o) - 20.0).abs() < 0.5);
+    }
+}

@@ -19,11 +19,14 @@ pub enum HeuristicKind {
     MemoryBeyondLimits,
     /// Container startup time degraded beyond the cold-start allowance.
     StartupDegraded,
+    /// Soft-IRQ servicing concentrated outside the fuzzing cpuset (net
+    /// rx/tx completion amplification past the NAPI budget).
+    SoftirqOutsideCpuset,
 }
 
 impl HeuristicKind {
     /// Every kind, in discriminant order.
-    pub const ALL: [HeuristicKind; 7] = [
+    pub const ALL: [HeuristicKind; 8] = [
         HeuristicKind::FuzzCoreBelowFloor,
         HeuristicKind::IdleCoreAboveCeiling,
         HeuristicKind::TotalAboveExpected,
@@ -31,6 +34,7 @@ impl HeuristicKind {
         HeuristicKind::IoWaitOutsideCpuset,
         HeuristicKind::MemoryBeyondLimits,
         HeuristicKind::StartupDegraded,
+        HeuristicKind::SoftirqOutsideCpuset,
     ];
 
     /// Stable wire name, used by the forensics bundle schema.
@@ -43,6 +47,7 @@ impl HeuristicKind {
             HeuristicKind::IoWaitOutsideCpuset => "io-wait-outside-cpuset",
             HeuristicKind::MemoryBeyondLimits => "memory-beyond-limits",
             HeuristicKind::StartupDegraded => "startup-degraded",
+            HeuristicKind::SoftirqOutsideCpuset => "softirq-outside-cpuset",
         }
     }
 
@@ -63,6 +68,7 @@ impl HeuristicKind {
             HeuristicKind::IoWaitOutsideCpuset => "I/O wait outside fuzzing cpuset",
             HeuristicKind::MemoryBeyondLimits => "memory consumption beyond container limits",
             HeuristicKind::StartupDegraded => "container startup time degraded",
+            HeuristicKind::SoftirqOutsideCpuset => "softirq processing outside fuzzing cpuset",
         }
     }
 }
@@ -162,18 +168,17 @@ mod tests {
 
     #[test]
     fn descriptions_are_distinct() {
-        let all = [
-            HeuristicKind::FuzzCoreBelowFloor,
-            HeuristicKind::IdleCoreAboveCeiling,
-            HeuristicKind::TotalAboveExpected,
-            HeuristicKind::SystemProcessAboveBaseline,
-            HeuristicKind::IoWaitOutsideCpuset,
-            HeuristicKind::MemoryBeyondLimits,
-            HeuristicKind::StartupDegraded,
-        ];
         let mut seen = std::collections::HashSet::new();
-        for k in all {
+        for k in HeuristicKind::ALL {
             assert!(seen.insert(k.describe()));
         }
+    }
+
+    #[test]
+    fn wire_names_round_trip_for_all_kinds() {
+        for k in HeuristicKind::ALL {
+            assert_eq!(HeuristicKind::parse(k.as_str()), Some(k));
+        }
+        assert_eq!(HeuristicKind::parse("idle-core-on-fire"), None);
     }
 }

@@ -12,6 +12,7 @@ use rand::rngs::StdRng;
 use rand::Rng;
 
 use crate::desc::{ArgType, SyscallDesc};
+use crate::distance::DistanceMap;
 use crate::program::Program;
 
 /// Relative selection weights for one candidate syscall against the current
@@ -56,6 +57,21 @@ pub fn pick_biased(
     denylist: &HashSet<String>,
     rng: &mut StdRng,
 ) -> Option<usize> {
+    pick_biased_directed(table, program, denylist, None, rng)
+}
+
+/// [`pick_biased`] with an optional directed-fuzzing distance map folded
+/// in: each candidate's weight is multiplied by
+/// [`DistanceMap::multiplier`]. With `distance = None` this consumes the
+/// exact same RNG draws as the undirected picker, so existing campaigns
+/// replay byte-identically.
+pub fn pick_biased_directed(
+    table: &[SyscallDesc],
+    program: &Program,
+    denylist: &HashSet<String>,
+    distance: Option<&DistanceMap>,
+    rng: &mut StdRng,
+) -> Option<usize> {
     let candidates: Vec<usize> = (0..table.len())
         .filter(|&i| !denylist.contains(table[i].name))
         .collect();
@@ -64,17 +80,37 @@ pub fn pick_biased(
     }
     let weights: Vec<f64> = candidates
         .iter()
-        .map(|&i| bias_weight(table, program, i))
+        .map(|&i| {
+            let w = bias_weight(table, program, i);
+            match distance {
+                Some(map) => w * map.multiplier(i),
+                None => w,
+            }
+        })
         .collect();
+    weighted_index(&weights, rng).map(|pos| candidates[pos])
+}
+
+/// Roulette-wheel selection over `weights`, returning a position into the
+/// slice. A degenerate total (zero, negative, NaN, or infinite — which
+/// would make `gen_range` panic) falls back to a uniform pick instead of
+/// aborting the campaign.
+pub(crate) fn weighted_index(weights: &[f64], rng: &mut StdRng) -> Option<usize> {
+    if weights.is_empty() {
+        return None;
+    }
     let total: f64 = weights.iter().sum();
+    if !total.is_finite() || total <= 0.0 {
+        return Some(rng.gen_range(0..weights.len()));
+    }
     let mut pick = rng.gen_range(0.0..total);
-    for (idx, w) in candidates.iter().zip(&weights) {
+    for (idx, w) in weights.iter().enumerate() {
         if pick < *w {
-            return Some(*idx);
+            return Some(idx);
         }
         pick -= w;
     }
-    candidates.last().copied()
+    Some(weights.len() - 1)
 }
 
 #[cfg(test)]
@@ -119,6 +155,67 @@ mod tests {
         let deny: HashSet<String> = table.iter().map(|d| d.name.to_string()).collect();
         let mut rng = StdRng::seed_from_u64(1);
         assert_eq!(pick_biased(&table, &Program::new(), &deny, &mut rng), None);
+    }
+
+    #[test]
+    fn degenerate_weight_totals_fall_back_to_uniform() {
+        // Regression: `gen_range(0.0..total)` panics when the weight sum is
+        // zero, NaN, or infinite. The picker must degrade to a uniform
+        // choice instead of aborting the campaign.
+        let mut rng = StdRng::seed_from_u64(11);
+        for weights in [
+            vec![0.0, 0.0, 0.0],
+            vec![f64::NAN, 1.0],
+            vec![f64::INFINITY, 1.0],
+            vec![-1.0, -2.0],
+        ] {
+            for _ in 0..50 {
+                let picked = super::weighted_index(&weights, &mut rng).unwrap();
+                assert!(picked < weights.len());
+            }
+        }
+        assert_eq!(super::weighted_index(&[], &mut rng), None);
+    }
+
+    #[test]
+    fn directed_distance_amplifies_target_calls() {
+        use crate::distance::{DirectedTarget, DistanceMap};
+        let table = build_table();
+        let map = DistanceMap::build(&table, &DirectedTarget::Syscall("socket".into()));
+        let socket = find(&table, "socket").unwrap();
+        let deny = HashSet::new();
+        let prog = Program::new();
+        let trials = 2000;
+        let mut undirected_hits = 0;
+        let mut directed_hits = 0;
+        let mut rng = StdRng::seed_from_u64(17);
+        for _ in 0..trials {
+            if pick_biased(&table, &prog, &deny, &mut rng) == Some(socket) {
+                undirected_hits += 1;
+            }
+            if pick_biased_directed(&table, &prog, &deny, Some(&map), &mut rng) == Some(socket) {
+                directed_hits += 1;
+            }
+        }
+        assert!(
+            directed_hits > undirected_hits * 2,
+            "directed {directed_hits} vs undirected {undirected_hits}"
+        );
+    }
+
+    #[test]
+    fn none_distance_is_rng_identical_to_undirected() {
+        let table = build_table();
+        let deny = HashSet::new();
+        let prog = Program::new();
+        let mut a = StdRng::seed_from_u64(23);
+        let mut b = StdRng::seed_from_u64(23);
+        for _ in 0..200 {
+            assert_eq!(
+                pick_biased(&table, &prog, &deny, &mut a),
+                pick_biased_directed(&table, &prog, &deny, None, &mut b)
+            );
+        }
     }
 
     #[test]

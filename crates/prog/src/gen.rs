@@ -11,8 +11,9 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use crate::bias::pick_biased;
+use crate::bias::pick_biased_directed;
 use crate::desc::{ArgType, ResKind, SyscallDesc, INTERESTING};
+use crate::distance::DistanceMap;
 use crate::program::{ArgValue, Call, Program};
 use crate::table::XATTR_NAMES;
 
@@ -129,10 +130,23 @@ pub fn gen_program(
     denylist: &HashSet<String>,
     rng: &mut StdRng,
 ) -> Program {
+    gen_program_directed(table, max_len, denylist, None, rng)
+}
+
+/// [`gen_program`] with an optional directed-fuzzing distance map: call
+/// selection amplifies syscalls near the target. With `distance = None`
+/// this consumes the exact same RNG draws as the undirected generator.
+pub fn gen_program_directed(
+    table: &[SyscallDesc],
+    max_len: usize,
+    denylist: &HashSet<String>,
+    distance: Option<&DistanceMap>,
+    rng: &mut StdRng,
+) -> Program {
     let len = rng.gen_range(1..=max_len.max(1));
     let mut program = Program::new();
     for i in 0..len {
-        let Some(desc_idx) = pick_biased(table, &program, denylist, rng) else {
+        let Some(desc_idx) = pick_biased_directed(table, &program, denylist, distance, rng) else {
             break;
         };
         let call = gen_call(table, desc_idx, &program, i, rng);

@@ -24,6 +24,7 @@ pub mod bias;
 pub mod cgen;
 pub mod corpus;
 pub mod desc;
+pub mod distance;
 pub mod gen;
 pub mod id;
 pub mod minimize;
@@ -37,7 +38,8 @@ pub mod table;
 pub use cgen::{generate_c, CGenOptions};
 pub use corpus::{Corpus, CorpusItem};
 pub use desc::{ArgSpec, ArgType, InterfaceGroup, ResKind, SyscallDesc};
-pub use gen::gen_program;
+pub use distance::{channel_triggers, DirectedTarget, DistanceMap, CHANNEL_TRIGGERS};
+pub use gen::{gen_program, gen_program_directed};
 pub use id::ProgramId;
 pub use minimize::{minimize, MinimizeStats};
 pub use mutate::{MutatePolicy, MutationOp, Mutator};

@@ -9,8 +9,9 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::Rng;
 
-use crate::bias::pick_biased;
+use crate::bias::{pick_biased_directed, weighted_index};
 use crate::desc::{ArgType, SyscallDesc, INTERESTING};
+use crate::distance::DistanceMap;
 use crate::gen::{gen_arg, gen_call, producers_before};
 use crate::program::{ArgValue, Program};
 
@@ -88,17 +89,34 @@ impl Default for MutatePolicy {
 #[derive(Debug, Clone)]
 pub struct Mutator {
     policy: MutatePolicy,
+    distance: Option<DistanceMap>,
 }
 
 impl Mutator {
-    /// A mutator with the given policy.
+    /// A mutator with the given policy (undirected).
     pub fn new(policy: MutatePolicy) -> Mutator {
-        Mutator { policy }
+        Mutator {
+            policy,
+            distance: None,
+        }
+    }
+
+    /// A mutator steered by a directed-fuzzing distance map. With
+    /// `distance = None` this is exactly [`Mutator::new`]: the undirected
+    /// path consumes the same RNG draws as before, so existing campaigns
+    /// replay byte-identically.
+    pub fn directed(policy: MutatePolicy, distance: Option<DistanceMap>) -> Mutator {
+        Mutator { policy, distance }
     }
 
     /// The active policy.
     pub fn policy(&self) -> &MutatePolicy {
         &self.policy
+    }
+
+    /// The distance map steering this mutator, when directed.
+    pub fn distance(&self) -> Option<&DistanceMap> {
+        self.distance.as_ref()
     }
 
     /// Mutate `program` in place; `donor` is a random corpus program used
@@ -115,7 +133,29 @@ impl Mutator {
         // Dynamic re-weighting per §2.6.1: add is less likely near max
         // length, remove less likely when the program is small.
         let len = program.len();
-        let w_add = if len >= p.max_len { 0.0 } else { p.w_add };
+        // Directed campaigns explore harder until the program carries a
+        // call *from the target set* (distance 0): triple the add-call
+        // weight so the biased picker (which itself amplifies on-path
+        // candidates) gets more chances to plant one. Merely-adjacent
+        // calls don't end the boost — a program with `socket` but no
+        // `sendto` still hasn't reached a net target.
+        // Deterministic — no RNG consumed.
+        let add_boost = match &self.distance {
+            Some(map)
+                if !program
+                    .calls
+                    .iter()
+                    .any(|c| map.distance(c.desc) == Some(0)) =>
+            {
+                3.0
+            }
+            _ => 1.0,
+        };
+        let w_add = if len >= p.max_len {
+            0.0
+        } else {
+            p.w_add * add_boost
+        };
         let w_remove = if len <= 1 {
             0.0
         } else {
@@ -195,12 +235,42 @@ impl Mutator {
         }
     }
 
-    /// Add one biased call at a random position (§2.6.1 item 2).
+    /// Add one biased call at a random position (§2.6.1 item 2); directed
+    /// mutators amplify candidates near the target.
+    ///
+    /// Directed insertion is also *wire-aware*: a call that consumes a
+    /// resource the program already produces is inserted after its last
+    /// producer, so [`gen_call`] can reference it instead of falling back
+    /// to a junk fd. (An unwired `sendto(-1, …)` is a dead mutation — it
+    /// can never reach the net targets.) The undirected path keeps its
+    /// original uniform position draw.
     pub fn add_call(&self, program: &mut Program, table: &[SyscallDesc], rng: &mut StdRng) {
-        let Some(desc_idx) = pick_biased(table, program, &self.policy.denylist, rng) else {
+        let Some(desc_idx) = pick_biased_directed(
+            table,
+            program,
+            &self.policy.denylist,
+            self.distance.as_ref(),
+            rng,
+        ) else {
             return;
         };
-        let position = rng.gen_range(0..=program.len());
+        let len = program.len();
+        let floor = match &self.distance {
+            None => 0,
+            Some(_) => table[desc_idx]
+                .args
+                .iter()
+                .find_map(|spec| match spec.ty {
+                    ArgType::Res(wanted) => program
+                        .calls
+                        .iter()
+                        .rposition(|c| table[c.desc].produces.is_some_and(|p| wanted.accepts(p)))
+                        .map(|i| i + 1),
+                    _ => None,
+                })
+                .unwrap_or(0),
+        };
+        let position = rng.gen_range(floor.min(len)..=len);
         let call = gen_call(table, desc_idx, program, position, rng);
         program.insert_call(position, call);
     }
@@ -220,7 +290,20 @@ impl Mutator {
         if program.is_empty() {
             return;
         }
-        let call_idx = rng.gen_range(0..program.len());
+        // Directed mutators pick the victim call distance-weighted, so
+        // argument churn concentrates on the calls nearest the target; the
+        // undirected path keeps its original single uniform draw.
+        let call_idx = match &self.distance {
+            None => rng.gen_range(0..program.len()),
+            Some(map) => {
+                let weights: Vec<f64> = program
+                    .calls
+                    .iter()
+                    .map(|c| map.multiplier(c.desc))
+                    .collect();
+                weighted_index(&weights, rng).unwrap_or(0)
+            }
+        };
         let desc = &table[program.calls[call_idx].desc];
         if desc.args.is_empty() {
             return;
@@ -327,6 +410,63 @@ mod tests {
         assert_eq!(op, MutationOp::AddCall);
         assert_eq!(prog.len(), 1);
         prog.validate(&table).unwrap();
+    }
+
+    #[test]
+    fn directed_mutator_preserves_validity_and_steers_to_target() {
+        use crate::distance::{DirectedTarget, DistanceMap};
+        let table = build_table();
+        let map = DistanceMap::build(&table, &DirectedTarget::Channel("net-softirq".into()));
+        let directed = Mutator::directed(MutatePolicy::default(), Some(map));
+        let undirected = Mutator::default();
+        let deny = HashSet::new();
+        let mut rng = StdRng::seed_from_u64(31);
+        let mut directed_hits = 0;
+        let mut undirected_hits = 0;
+        for _ in 0..200 {
+            let mut a = gen_program(&table, 4, &deny, &mut rng);
+            let mut b = a.clone();
+            for _ in 0..6 {
+                directed.mutate(&mut a, &table, None, &mut rng);
+                undirected.mutate(&mut b, &table, None, &mut rng);
+            }
+            a.validate(&table)
+                .unwrap_or_else(|e| panic!("directed mutation broke validity: {e}\n{a:?}"));
+            directed_hits += a
+                .call_names(&table)
+                .iter()
+                .filter(|n| **n == "sendto")
+                .count();
+            undirected_hits += b
+                .call_names(&table)
+                .iter()
+                .filter(|n| **n == "sendto")
+                .count();
+        }
+        assert!(
+            directed_hits > undirected_hits,
+            "directed {directed_hits} vs undirected {undirected_hits} sendto calls"
+        );
+    }
+
+    #[test]
+    fn directed_none_matches_undirected_byte_for_byte() {
+        let table = build_table();
+        let deny = HashSet::new();
+        let plain = Mutator::default();
+        let none_directed = Mutator::directed(MutatePolicy::default(), None);
+        let mut a = StdRng::seed_from_u64(41);
+        let mut b = StdRng::seed_from_u64(41);
+        for _ in 0..100 {
+            let mut pa = gen_program(&table, 6, &deny, &mut a);
+            let mut pb = gen_program(&table, 6, &deny, &mut b);
+            assert_eq!(pa, pb);
+            let donor = pa.clone();
+            let op_a = plain.mutate(&mut pa, &table, Some(&donor), &mut a);
+            let op_b = none_directed.mutate(&mut pb, &table, Some(&donor), &mut b);
+            assert_eq!(op_a, op_b);
+            assert_eq!(pa, pb);
+        }
     }
 
     #[test]

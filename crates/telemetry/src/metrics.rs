@@ -35,11 +35,17 @@ pub enum CounterId {
     CheckpointWriteFails = 10,
     /// Campaigns resumed from a checkpoint bundle.
     CheckpointRestores = 11,
+    /// Syscalls with a finite distance to the directed target (recorded
+    /// once per directed campaign start; 0 for undirected campaigns).
+    DirectedReachable = 12,
+    /// Round-programs carrying a target-set (distance-0) call, summed per
+    /// round of a directed campaign.
+    DirectedOnTarget = 13,
 }
 
 impl CounterId {
     /// Every counter, in stable export order.
-    pub const ALL: [CounterId; 12] = [
+    pub const ALL: [CounterId; 14] = [
         CounterId::RoundsCompleted,
         CounterId::ExecsTotal,
         CounterId::MutationsTotal,
@@ -52,6 +58,8 @@ impl CounterId {
         CounterId::CheckpointWrites,
         CounterId::CheckpointWriteFails,
         CounterId::CheckpointRestores,
+        CounterId::DirectedReachable,
+        CounterId::DirectedOnTarget,
     ];
 
     /// Stable wire name.
@@ -69,6 +77,8 @@ impl CounterId {
             CounterId::CheckpointWrites => "checkpoint_writes",
             CounterId::CheckpointWriteFails => "checkpoint_write_fails",
             CounterId::CheckpointRestores => "checkpoint_restores",
+            CounterId::DirectedReachable => "directed_reachable",
+            CounterId::DirectedOnTarget => "directed_on_target",
         }
     }
 }

@@ -58,6 +58,10 @@ echo "ci: fleet smoke (16 campaigns on 2 workers, byte-stable report)"
 run build --release -p torpedo-bench --bin fleet_probe
 ./target/release/fleet_probe --self-test
 
+echo "ci: directed smoke (distance steering <= undirected per family, deterministic)"
+run build --release -p torpedo-bench --bin directed_probe
+./target/release/directed_probe --self-test
+
 echo "ci: parser fuzz smoke (in-tree fallback fuzzer, ~30s time-box)"
 run build --release -p torpedo-bench --bin parser_fuzz
 ./target/release/parser_fuzz --secs 30
@@ -96,7 +100,8 @@ for key in '"dispatch"' '"nr_of_speedup"' '"fuzz_throughput"' '"execs_per_sec"' 
            '"scaling_gate"' '"contention"' '"latency"' '"round_latency_ns"' \
            '"lock_wait_ns"' '"kernel_wait_ns"' '"durability"' \
            '"overhead_off_pct"' '"resume_byte_identical"' '"fleet"' \
-           '"scheduler_overhead_pct"' '"bandit_executions"'; do
+           '"scheduler_overhead_pct"' '"bandit_executions"' '"directed"' \
+           '"directed_execs_to_first_flag"' '"overhead_no_target_pct"'; do
   grep -q "$key" BENCH_fuzz.json \
     || { echo "ci: BENCH_fuzz.json missing $key" >&2; exit 1; }
 done
@@ -206,6 +211,30 @@ print(f"ci: executions to {t['flag_target']} flags: bandit {bandit}, "
 if bandit > rr:
     sys.exit(f"ci: bandit needed more executions ({bandit}) than "
              f"round-robin ({rr}) to reach the flag target")
+PY
+
+echo "ci: directed gates (per-family directed <= undirected, no-target overhead < 2%)"
+python3 - BENCH_fuzz.json <<'PY'
+import json, sys
+d = json.load(open(sys.argv[1]))["directed"]
+# Both arms of each family share seeds and RNG seed and campaigns are
+# deterministic, so the per-family comparison is exact, not a wall-clock
+# race.
+for fam in d["families"]:
+    dx, ux = fam["directed_execs_to_first_flag"], fam["undirected_execs_to_first_flag"]
+    print(f"ci: directed {fam['family']}: {dx} vs {ux} executions to first flag "
+          f"(directed flagged {fam['directed_flagged']})")
+    if dx > ux:
+        sys.exit(f"ci: directed {fam['family']} needed more executions ({dx}) "
+                 f"than undirected ({ux})")
+if not any(fam["directed_flagged"] for fam in d["families"]):
+    sys.exit("ci: no directed family flagged")
+pct = d["overhead_no_target_pct"]
+print(f"ci: directed no-target overhead {pct:.2f}% (limit 2.00%)")
+if pct >= 2.0:
+    sys.exit(f"ci: directed no-target overhead {pct:.2f}% >= 2% budget")
+if not d["no_target_report_identical"]:
+    sys.exit("ci: unreachable-target campaign diverged from the undirected run")
 PY
 
 echo "ci: all gates passed"

@@ -16,7 +16,7 @@ use torpedo_core::CampaignState;
 use torpedo_integration_tests::table;
 use torpedo_kernel::Usecs;
 use torpedo_oracle::CpuOracle;
-use torpedo_prog::MutatePolicy;
+use torpedo_prog::{DirectedTarget, MutatePolicy};
 
 /// A deliberately small per-tenant campaign: 1-second windows, one
 /// executor, short batches — fleet tests measure scheduling, not fuzzing
@@ -40,19 +40,37 @@ fn tenant_config(seed: u64) -> CampaignConfig {
 }
 
 /// Seed texts cycled across tenants: a mix of adversarial (socket storm,
-/// sync) and benign programs so the bandit has something to rank.
+/// sync, bulk transmit, mlock pressure) and benign programs so the bandit
+/// has something to rank.
 const TENANT_SEEDS: &[&str] = &[
     "socket(0x9, 0x3, 0x0)\nsocket(0x9, 0x3, 0x0)\n",
     "getpid()\nuname(0x0)\n",
+    "r0 = socket(0x2, 0x1, 0x0)\nsendto(r0, 0x0, 0x10000, 0x0, 0x0, 0x10)\n\
+     sendto(r0, 0x0, 0x10000, 0x0, 0x0, 0x10)\n",
     "sync()\n",
+    "mlock(0x0, 0x800000)\n",
     "stat(&'/etc/passwd', 0x0)\n",
 ];
 
+/// Every third tenant runs *directed* at one of the new deferral channels
+/// (with the memory limit the writeback family needs), so the fleet
+/// invariants below — progress, byte-stable reports, worker-count
+/// invariance — cover directed and undirected campaigns side by side.
 fn spec(i: usize) -> FleetSpec {
     let text = TENANT_SEEDS[i % TENANT_SEEDS.len()];
+    let mut config = tenant_config(0x70CA_0000 + i as u64);
+    if i % 3 == 2 {
+        let target = if i.is_multiple_of(2) {
+            "channel:net-softirq"
+        } else {
+            "channel:writeback"
+        };
+        config.directed = DirectedTarget::parse(target);
+        config.observer.memory_bytes_per_container = Some(32 << 20);
+    }
     FleetSpec {
         name: format!("tenant-{i}"),
-        config: tenant_config(0x70CA_0000 + i as u64),
+        config,
         table: table_arc(),
         seeds: SeedCorpus::load(&[text], &table(), &default_denylist()).unwrap(),
         oracle: Arc::new(CpuOracle::new()),

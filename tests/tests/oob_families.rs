@@ -1,0 +1,220 @@
+//! Acceptance tests for the two new deferral channels — dirty-page
+//! writeback/kswapd reclaim (memory family) and net rx/tx softirq
+//! amplification (network family) — end to end: flagged by an oracle,
+//! attributed by the confirmation stage, packaged into a forensics
+//! bundle, and byte-identically replayable through checkpoint/resume.
+//! Directed mode rides along: each campaign here names its channel as a
+//! [`DirectedTarget`] so the distance-guided path is exercised too.
+
+use torpedo_core::campaign::{Campaign, CampaignConfig, CampaignReport};
+use torpedo_core::confirm::confirm;
+use torpedo_core::observer::ObserverConfig;
+use torpedo_core::seeds::{default_denylist, SeedCorpus};
+use torpedo_core::{parse_bundle, CounterId, Telemetry};
+use torpedo_integration_tests::table;
+use torpedo_kernel::{DeferralChannel, KernelConfig, Usecs};
+use torpedo_oracle::{MemOracle, NetOracle, Oracle};
+use torpedo_prog::{deserialize, DirectedTarget, MutatePolicy};
+
+/// One 64 KiB bulk transmit; a confirmation loop (or a fuzzing round) runs
+/// it enough times to blow through the NAPI budget within the window.
+const BULK_SEND: &str = "r0 = socket(0x2, 0x1, 0x0)\nsendto(r0, 0x0, 0x10000, 0x0, 0x0, 0x10)\n\
+     sendto(r0, 0x0, 0x10000, 0x0, 0x0, 0x10)\n";
+
+/// An 8 MiB pin per execution: charges accumulate across the tight loop
+/// until the container limit is hit and direct reclaim starts escaping to
+/// kworkers.
+const MLOCK_STORM: &str = "mlock(0x0, 0x800000)\n";
+
+/// 32 MiB anonymous mappings; same accumulation shape via mmap.
+const MMAP_STORM: &str = "mmap(0x0, 0x2000000, 0x3, 0x22, 0xffffffffffffffff, 0x0)\n";
+
+fn confirm_channels(text: &str, runtime: &str) -> Vec<DeferralChannel> {
+    let t = table();
+    let program = deserialize(text, &t).unwrap();
+    let c = confirm(
+        &program,
+        &t,
+        KernelConfig::default(),
+        runtime,
+        Usecs::from_secs(2),
+    );
+    c.causes.iter().map(|x| x.channel).collect()
+}
+
+#[test]
+fn bulk_send_confirms_as_net_softirq() {
+    let channels = confirm_channels(BULK_SEND, "runc");
+    assert!(
+        channels.contains(&DeferralChannel::NetSoftirq),
+        "bulk transmit must attribute to the net-softirq channel: {channels:?}"
+    );
+    // The inline-budget portion still shows up as the classic softirq
+    // deferral; the new channel is the *overflow* past the NAPI budget.
+    assert!(channels.contains(&DeferralChannel::SoftIrq));
+}
+
+#[test]
+fn memory_storms_confirm_as_writeback() {
+    for text in [MLOCK_STORM, MMAP_STORM] {
+        let channels = confirm_channels(text, "runc");
+        assert!(
+            channels.contains(&DeferralChannel::Writeback),
+            "{text:?} must attribute to writeback/kswapd reclaim: {channels:?}"
+        );
+    }
+}
+
+#[test]
+fn gvisor_suppresses_both_new_channels() {
+    for text in [BULK_SEND, MLOCK_STORM, MMAP_STORM] {
+        let channels = confirm_channels(text, "runsc");
+        assert!(
+            channels.is_empty(),
+            "gVisor must absorb {text:?} in the sentry: {channels:?}"
+        );
+    }
+}
+
+/// A small directed campaign config targeting `target`, with forensics on
+/// so flagged findings come back as bundles.
+fn directed_config(target: &str, memory_bytes: Option<u64>) -> CampaignConfig {
+    directed_config_with(target, memory_bytes, Telemetry::disabled())
+}
+
+fn directed_config_with(
+    target: &str,
+    memory_bytes: Option<u64>,
+    telemetry: Telemetry,
+) -> CampaignConfig {
+    CampaignConfig {
+        observer: ObserverConfig {
+            window: Usecs::from_secs(1),
+            executors: 2,
+            runtime: "runc".into(),
+            memory_bytes_per_container: memory_bytes,
+            telemetry,
+            ..ObserverConfig::default()
+        },
+        mutate: MutatePolicy {
+            denylist: default_denylist(),
+            ..MutatePolicy::default()
+        },
+        directed: DirectedTarget::parse(target),
+        max_rounds_per_batch: 4,
+        forensics: true,
+        ..CampaignConfig::default()
+    }
+}
+
+fn run_campaign(config: CampaignConfig, seeds: &[&str], oracle: &dyn Oracle) -> CampaignReport {
+    let t = table();
+    let corpus = SeedCorpus::load(seeds, &t, &default_denylist()).unwrap();
+    Campaign::new(config, t).run(&corpus, oracle).unwrap()
+}
+
+/// The full pipeline for one channel: flag → confirm attribution →
+/// forensics bundle naming the cause.
+fn assert_channel_pipeline(report: &CampaignReport, cause: &str, channel: DeferralChannel) {
+    assert!(!report.flagged.is_empty(), "campaign must flag");
+    let t = table();
+    let attributed = report.flagged.iter().any(|finding| {
+        confirm(
+            &finding.program,
+            &t,
+            KernelConfig::default(),
+            "runc",
+            Usecs::from_secs(2),
+        )
+        .causes
+        .iter()
+        .any(|x| x.channel == channel)
+    });
+    assert!(attributed, "no flagged program confirmed as {channel:?}");
+    let bundled = report
+        .forensics
+        .iter()
+        .any(|b| b.deferrals.iter().any(|d| d.channel == cause));
+    assert!(
+        bundled,
+        "no forensics bundle excerpts the {channel:?} ledger events"
+    );
+    // Bundles with the new channel vocabulary must round-trip.
+    for bundle in &report.forensics {
+        let json = bundle.to_json();
+        let back = parse_bundle(&json).unwrap();
+        assert_eq!(back.to_json(), json);
+    }
+}
+
+#[test]
+fn net_softirq_family_flags_confirms_and_bundles() {
+    let report = run_campaign(
+        directed_config("channel:net-softirq", None),
+        &[BULK_SEND, "getpid()\nuname(0x0)\n"],
+        &NetOracle::new(),
+    );
+    assert_channel_pipeline(
+        &report,
+        "net rx/tx softirq amplification",
+        DeferralChannel::NetSoftirq,
+    );
+}
+
+#[test]
+fn writeback_family_flags_confirms_and_bundles() {
+    let report = run_campaign(
+        directed_config("channel:writeback", Some(32 << 20)),
+        &[MLOCK_STORM, "getpid()\nuname(0x0)\n"],
+        &MemOracle::new(),
+    );
+    assert_channel_pipeline(
+        &report,
+        "dirty-page writeback and kswapd reclaim",
+        DeferralChannel::Writeback,
+    );
+}
+
+/// Directed mode bookkeeping: the distance map marks the trigger family
+/// reachable and the on-target counter moves, while an unknown target
+/// degrades to plain undirected fuzzing rather than failing.
+#[test]
+fn directed_telemetry_counts_reachable_and_on_target() {
+    let telemetry = Telemetry::enabled();
+    run_campaign(
+        directed_config_with("channel:net-softirq", None, telemetry.clone()),
+        &[BULK_SEND, "getpid()\nuname(0x0)\n"],
+        &NetOracle::new(),
+    );
+    assert!(
+        telemetry.counter(CounterId::DirectedReachable) > 0,
+        "trigger set must be reachable"
+    );
+    assert!(
+        telemetry.counter(CounterId::DirectedOnTarget) > 0,
+        "seeded sendto programs count as on-target"
+    );
+}
+
+/// The two directed campaigns must be reproducible: same config, same
+/// seeds, byte-identical debug rendering (the determinism contract the
+/// checkpoint tests rely on, extended to the new channels).
+#[test]
+fn directed_campaigns_are_run_to_run_deterministic() {
+    for (target, memory, seeds) in [
+        ("channel:net-softirq", None, [BULK_SEND, "getuid()\n"]),
+        (
+            "channel:writeback",
+            Some(32 << 20),
+            [MLOCK_STORM, "getuid()\n"],
+        ),
+    ] {
+        let a = run_campaign(directed_config(target, memory), &seeds, &NetOracle::new());
+        let b = run_campaign(directed_config(target, memory), &seeds, &NetOracle::new());
+        assert_eq!(
+            format!("{a:?}"),
+            format!("{b:?}"),
+            "directed campaign {target} must be deterministic"
+        );
+    }
+}

@@ -23,8 +23,8 @@ use torpedo_core::{
     TorpedoError,
 };
 use torpedo_kernel::Usecs;
-use torpedo_oracle::CpuOracle;
-use torpedo_prog::{build_table, SyscallDesc};
+use torpedo_oracle::{CpuOracle, NetOracle};
+use torpedo_prog::{build_table, DirectedTarget, SyscallDesc};
 use torpedo_runtime::FaultConfig;
 
 /// A scratch directory under the system temp root, unique per process and
@@ -132,6 +132,103 @@ fn kill_at_any_round_resumes_byte_identical() {
             "resume from round {r} must be byte-identical"
         );
     }
+    fs::remove_dir_all(&base).ok();
+}
+
+/// Seeds exercising the memory and network OOB families: bulk transmits
+/// past the NAPI budget and accumulating mlock pins against the container
+/// memory limit, mixed with benign fillers.
+fn directed_seeds(table: &[SyscallDesc]) -> SeedCorpus {
+    SeedCorpus::load(
+        &[
+            "r0 = socket(0x2, 0x1, 0x0)\nsendto(r0, 0x0, 0x10000, 0x0, 0x0, 0x10)\n\
+             sendto(r0, 0x0, 0x10000, 0x0, 0x0, 0x10)\n",
+            "mlock(0x0, 0x800000)\n",
+            "getpid()\nuname(0x0)\n",
+            "mmap(0x0, 0x2000000, 0x3, 0x22, 0xffffffffffffffff, 0x0)\n",
+            "getuid()\ngetpid()\n",
+            "socket(0x9, 0x3, 0x0)\n",
+        ],
+        table,
+        &default_denylist(),
+    )
+    .unwrap()
+}
+
+/// [`durable_config`] plus the PR's new knobs: a directed target (whose
+/// distance map must ride entirely outside the two-u64 RNG state for
+/// resume to stay byte-identical) and a per-container memory limit so the
+/// writeback channel actually fires during the campaign.
+fn directed_durable_config(dir: PathBuf, interval: u64, faults: FaultConfig) -> CampaignConfig {
+    let mut config = durable_config(dir, interval, faults);
+    config.directed = DirectedTarget::parse("channel:net-softirq");
+    config.observer.memory_bytes_per_container = Some(32 << 20);
+    config
+}
+
+/// Satellite: the kill-at-any-round guarantee extended to a *directed*
+/// campaign with the writeback and net-softirq channels live. Directed
+/// state (the distance map) is rebuilt from config at start/resume, so
+/// every checkpoint must replay byte-identically with the new counters,
+/// channels, and bias multipliers in the loop.
+#[test]
+fn directed_kill_at_any_round_resumes_byte_identical() {
+    let table = build_table();
+    let base = scratch("directed");
+    let faults = FaultConfig {
+        seed: 0xD1_4EC7ED,
+        executor_hang: 0.05,
+        start_fail: 0.05,
+        ..FaultConfig::default()
+    };
+    let writer = Campaign::new(
+        directed_durable_config(base.join("writer"), 2, faults.clone()),
+        table.clone(),
+    );
+    let report = writer
+        .run(&directed_seeds(&table), &NetOracle::new())
+        .unwrap();
+    let want = render_report(&report, &table);
+    assert!(
+        !report.flagged.is_empty(),
+        "the bulk-send seeds must flag under the net oracle"
+    );
+
+    let mut resumed_from = 0;
+    for r in 1..=report.rounds_total {
+        let path = base.join("writer").join(checkpoint_file_name(r));
+        if !path.exists() {
+            continue; // interval 2: odd rounds have no checkpoint
+        }
+        let bundle = load_checkpoint(&path)
+            .unwrap_or_else(|e| panic!("round {r} checkpoint must load: {e}"));
+        let resumed = Campaign::new(
+            directed_durable_config(base.join(format!("resume-{r}")), 2, faults.clone()),
+            table.clone(),
+        )
+        .resume(&bundle, &NetOracle::new())
+        .unwrap_or_else(|e| panic!("directed resume from round {r} must succeed: {e}"));
+        assert_eq!(
+            render_report(&resumed, &table),
+            want,
+            "directed resume from round {r} must be byte-identical"
+        );
+        resumed_from += 1;
+    }
+    assert!(resumed_from >= 2, "at least two checkpoints must exist");
+
+    // A directed checkpoint must never cross-resume into an undirected
+    // campaign (the rendered config fingerprints the target).
+    let (bundle, _) = load_latest(&base.join("writer")).unwrap();
+    let mut undirected = directed_durable_config(base.join("cross"), 2, faults);
+    undirected.directed = None;
+    let err = Campaign::new(undirected, table.clone())
+        .resume(&bundle, &NetOracle::new())
+        .unwrap_err();
+    assert!(
+        matches!(err, TorpedoError::Snapshot(SnapshotError::ConfigMismatch)),
+        "undirected resume of a directed checkpoint must mismatch, got: {err}"
+    );
     fs::remove_dir_all(&base).ok();
 }
 
