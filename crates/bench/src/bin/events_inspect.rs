@@ -1,0 +1,241 @@
+//! `events_inspect`: offline reader and live tail for the fleet
+//! observatory's `torpedo-events-v1` journals.
+//!
+//! Three modes:
+//!
+//! * `events_inspect --summary PATH` — load and hash-verify a journal,
+//!   then print the logical-time series (per-campaign buckets plus the
+//!   fleet-wide sum) and the event totals.
+//! * `events_inspect --follow ADDR [SINCE]` — tail a live campaign or
+//!   fleet over its `/events?since=N` endpoint, printing each event line
+//!   as it arrives and resuming from the returned cursor.
+//! * `events_inspect --self-test` — exercise the journal round-trip,
+//!   tamper rejection, unknown-kind passthrough, and series determinism
+//!   without touching the network; this is the CI mode.
+
+use std::net::SocketAddr;
+use std::path::Path;
+
+use torpedo_telemetry::events::parse_journal;
+use torpedo_telemetry::server::fetch;
+use torpedo_telemetry::{load_journal, EventKind, EventLog, Series, DEFAULT_BUCKET_ROUNDS};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("--summary") => match args.get(1) {
+            Some(path) => summary(Path::new(path)),
+            None => usage(),
+        },
+        Some("--follow") => match args.get(1) {
+            Some(addr) => follow(addr, args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0)),
+            None => usage(),
+        },
+        Some("--self-test") => self_test(),
+        _ => usage(),
+    };
+    std::process::exit(code);
+}
+
+fn usage() -> i32 {
+    eprintln!(
+        "usage: events_inspect --summary PATH | events_inspect --follow ADDR [SINCE] | \
+         events_inspect --self-test"
+    );
+    2
+}
+
+fn summary(path: &Path) -> i32 {
+    let journal = match load_journal(path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("events_inspect: {e}");
+            return 1;
+        }
+    };
+    let series = Series::from_events(journal.events.iter(), DEFAULT_BUCKET_ROUNDS);
+    print!("{}", series.render());
+    let flags = journal
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::Flag(_)))
+        .count();
+    let health = journal
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::HealthFinding(_)))
+        .count();
+    println!(
+        "{} events ({} dropped past the journal cap), {} campaigns, {} flags, {} health findings",
+        journal.events.len(),
+        journal.dropped,
+        series.campaign_ids().len(),
+        flags,
+        health,
+    );
+    0
+}
+
+/// Extract the `"next":<digits>` cursor from a `/events` response body.
+fn next_cursor(body: &str) -> Option<u64> {
+    let start = body.find("\"next\":")? + "\"next\":".len();
+    let rest = &body[start..];
+    let end = rest
+        .find(|c: char| !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn follow(addr: &str, mut since: u64) -> i32 {
+    let addr: SocketAddr = match addr.parse() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("events_inspect: bad address '{addr}': {e}");
+            return 2;
+        }
+    };
+    let mut connected = false;
+    loop {
+        let body = match fetch(addr, &format!("/events?since={since}")) {
+            Ok((status, body)) if status.contains("200") => body,
+            Ok((status, _)) => {
+                eprintln!("events_inspect: /events returned {status}");
+                return 1;
+            }
+            Err(e) => {
+                // A server that was alive and went away means the campaign
+                // finished — a clean end of the tail, not a failure.
+                if connected {
+                    eprintln!("events_inspect: stream ended ({e})");
+                    return 0;
+                }
+                eprintln!("events_inspect: cannot reach {addr}: {e}");
+                return 1;
+            }
+        };
+        connected = true;
+        let next = next_cursor(&body).unwrap_or(since);
+        if next > since {
+            // Events render as one JSON object per entry; reprint each on
+            // its own line so the tail reads like the journal.
+            for chunk in body.split("{\"campaign\":").skip(1) {
+                let end = chunk.find('}').map_or(chunk.len(), |i| i + 1);
+                println!("{{\"campaign\":{}", &chunk[..end]);
+            }
+            since = next;
+        }
+        // The endpoint long-polls server-side; a short client-side pause
+        // keeps an idle tail from spinning.
+        std::thread::sleep(std::time::Duration::from_millis(200));
+    }
+}
+
+fn self_test() -> i32 {
+    let dir = std::env::temp_dir().join(format!("torpedo-events-inspect-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("self-test temp dir");
+    let path = dir.join("events.ndjson");
+    let mut failures = 0;
+
+    // Synthesize a small multi-campaign stream through the journal sink.
+    let log = EventLog::journaled(&path).expect("journal sink");
+    for campaign in 0..3u64 {
+        let tenant = log.tagged(campaign);
+        for seq in 1..=6u64 {
+            let round = seq * 3;
+            tenant.emit(seq, round, EventKind::RoundCompleted, 4, 1, "");
+            if seq == 4 {
+                tenant.emit(
+                    seq,
+                    round,
+                    EventKind::Flag("fuzz-core-below-floor".to_string()),
+                    1,
+                    0,
+                    "",
+                );
+            }
+        }
+    }
+    log.emit(
+        100,
+        18,
+        EventKind::Unknown("from-the-future".to_string()),
+        7,
+        0,
+        "forward-compat",
+    );
+    log.flush().expect("flush");
+
+    let journal = match load_journal(&path) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("events_inspect: FAIL journal does not load: {e}");
+            std::fs::remove_dir_all(&dir).ok();
+            return 1;
+        }
+    };
+    if journal.events.len() != 22 {
+        eprintln!(
+            "events_inspect: FAIL expected 22 events, loaded {}",
+            journal.events.len()
+        );
+        failures += 1;
+    }
+    if journal.events.last().map(|e| &e.kind)
+        != Some(&EventKind::Unknown("from-the-future".to_string()))
+    {
+        eprintln!("events_inspect: FAIL unknown kind did not round-trip");
+        failures += 1;
+    }
+
+    // The loaded journal and the live ring must fold to the same series.
+    let from_journal = Series::from_events(journal.events.iter(), DEFAULT_BUCKET_ROUNDS).render();
+    let ring = log.snapshot();
+    let from_ring = Series::from_events(ring.iter(), DEFAULT_BUCKET_ROUNDS).render();
+    if from_journal != from_ring {
+        eprintln!("events_inspect: FAIL series differ between journal and live ring");
+        eprintln!("--- journal ---\n{from_journal}--- ring ---\n{from_ring}");
+        failures += 1;
+    }
+    if !from_journal.contains("campaign 2") || !from_journal.contains("fleet\n") {
+        eprintln!("events_inspect: FAIL series render is degenerate:\n{from_journal}");
+        failures += 1;
+    }
+
+    // Tampering with a single payload byte must be caught by the tail hash.
+    let good = std::fs::read_to_string(&path).expect("journal readable");
+    std::fs::write(&path, good.replace("\"value\":7", "\"value\":8")).expect("tamper write");
+    if load_journal(&path).is_ok() {
+        eprintln!("events_inspect: FAIL tampered journal loaded cleanly");
+        failures += 1;
+    }
+    std::fs::write(&path, &good).expect("restore write");
+
+    // The parser half must reject garbage with typed errors, never panic.
+    for garbage in [
+        "",
+        "\n",
+        "{\"schema\":\"torpedo-events-v1\"}\n",
+        "not a journal at all",
+        "{\"schema\":\"torpedo-events-v1\"}\n{\"events\":1,\"dropped\":0,\"hash\":\"0xdead\"}\n",
+    ] {
+        if parse_journal(garbage).is_ok() {
+            eprintln!("events_inspect: FAIL garbage accepted: {garbage:?}");
+            failures += 1;
+        }
+    }
+
+    // And --summary over the restored journal must succeed end to end.
+    if summary(&path) != 0 {
+        eprintln!("events_inspect: FAIL --summary failed on a valid journal");
+        failures += 1;
+    }
+
+    std::fs::remove_dir_all(&dir).ok();
+    if failures == 0 {
+        eprintln!("events_inspect: self-test passed");
+        0
+    } else {
+        eprintln!("events_inspect: {failures} failure(s)");
+        1
+    }
+}

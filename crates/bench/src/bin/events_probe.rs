@@ -1,0 +1,300 @@
+//! `events_probe`: the fleet-observatory CI smoke test.
+//!
+//! `events_probe --self-test` runs a small mixed fleet with the event
+//! pipeline journaled and the health detectors armed, at 1, 2, and 4
+//! workers, and exits non-zero unless:
+//!
+//! * the `torpedo-events-v1` journal files are byte-identical across all
+//!   three worker counts (the logical-time determinism invariant),
+//! * the loaded journal hash-verifies, carries round/schedule events, and
+//!   folds into a non-trivial logical-time series,
+//! * the fleet report with events journaled is byte-identical to the
+//!   events-off report (the zero-cost-when-disabled contract, checked
+//!   from the other side: enabling events must not perturb results),
+//! * the `/events?since=N` live tail, the `/health` page, and the health
+//!   gauges on `/metrics.prom` all serve correctly over HTTP.
+//!
+//! The probe needs only the loopback interface; `devtools/ci.sh` runs it
+//! on every change.
+
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use torpedo_bench::VULNERABILITY_SEEDS;
+use torpedo_core::campaign::CampaignConfig;
+use torpedo_core::fleet::{Fleet, FleetConfig, FleetOutcome, FleetSpec};
+use torpedo_core::health::HealthConfig;
+use torpedo_core::observer::ObserverConfig;
+use torpedo_core::seeds::{default_denylist, SeedCorpus};
+use torpedo_kernel::Usecs;
+use torpedo_oracle::CpuOracle;
+use torpedo_prog::{build_table, MutatePolicy, SyscallDesc};
+use torpedo_telemetry::server::{fetch, StatusServer, StatusShared};
+use torpedo_telemetry::{
+    check_exposition, load_journal, EventKind, EventLog, Series, Telemetry, DEFAULT_BUCKET_ROUNDS,
+};
+
+const CAMPAIGNS: usize = 8;
+const ROUND_BUDGET: u64 = 48;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let code = match args.first().map(String::as_str) {
+        Some("--self-test") => self_test(),
+        _ => {
+            eprintln!("usage: events_probe --self-test");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+fn tenant_config(seed: u64) -> CampaignConfig {
+    CampaignConfig {
+        observer: ObserverConfig {
+            window: Usecs::from_secs(1),
+            executors: 1,
+            runtime: "runc".to_string(),
+            telemetry: Telemetry::enabled(),
+            ..ObserverConfig::default()
+        },
+        mutate: MutatePolicy {
+            denylist: default_denylist(),
+            ..MutatePolicy::default()
+        },
+        seed,
+        max_rounds_per_batch: 4,
+        ..CampaignConfig::default()
+    }
+}
+
+fn spec(i: usize, table: &Arc<[SyscallDesc]>) -> FleetSpec {
+    let (family, text) = if i.is_multiple_of(2) {
+        VULNERABILITY_SEEDS[(i / 2) % VULNERABILITY_SEEDS.len()]
+    } else {
+        ("benign", "getpid()\nuname(0x0)\n")
+    };
+    FleetSpec {
+        name: format!("{family}-{i}"),
+        config: tenant_config(0x0B5E_EC00 + i as u64),
+        table: Arc::clone(table),
+        seeds: SeedCorpus::load(&[text], table, &default_denylist()).expect("probe seeds"),
+        oracle: Arc::new(CpuOracle::new()),
+    }
+}
+
+fn run_once(
+    table: &Arc<[SyscallDesc]>,
+    workers: usize,
+    journal: Option<&Path>,
+    health: bool,
+) -> FleetOutcome {
+    let events = match journal {
+        Some(path) => EventLog::journaled(path).expect("journal sink"),
+        None => EventLog::disabled(),
+    };
+    // An execution floor no simulated window can meet, so the
+    // throughput-stall detector fires deterministically and the probe
+    // exercises the full finding path: event, /health page, report
+    // annotation, Prometheus gauge.
+    let stall_everything = HealthConfig {
+        min_execs_per_round: 1_000_000,
+        ..HealthConfig::default()
+    };
+    let mut fleet = Fleet::new(FleetConfig {
+        workers,
+        max_active: 3,
+        window_rounds: 2,
+        window_rounds_max: 4,
+        starvation_windows: 2,
+        round_budget: ROUND_BUDGET,
+        events,
+        health: health.then_some(stall_everything),
+        ..FleetConfig::default()
+    });
+    for i in 0..CAMPAIGNS {
+        fleet.admit(spec(i, table));
+    }
+    fleet.run().expect("fleet run")
+}
+
+fn self_test() -> i32 {
+    let table: Arc<[SyscallDesc]> = build_table().into();
+    let dir: PathBuf =
+        std::env::temp_dir().join(format!("torpedo-events-probe-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("probe temp dir");
+    let mut failures = 0;
+
+    // One journaled run per worker count: the journals must not differ by
+    // a byte, because events carry only logical-time payloads and the
+    // barrier drains absorb them in deterministic id order.
+    let mut journals: Vec<(usize, PathBuf, String)> = Vec::new();
+    let mut outcomes: Vec<(usize, FleetOutcome)> = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let path = dir.join(format!("events-w{workers}.ndjson"));
+        let outcome = run_once(&table, workers, Some(&path), true);
+        let bytes = std::fs::read_to_string(&path).expect("journal readable");
+        journals.push((workers, path, bytes));
+        outcomes.push((workers, outcome));
+    }
+    for (workers, _, bytes) in &journals[1..] {
+        if *bytes != journals[0].2 {
+            eprintln!(
+                "events_probe: FAIL journal at {workers} workers differs from 1 worker \
+                 ({} vs {} bytes)",
+                bytes.len(),
+                journals[0].2.len()
+            );
+            failures += 1;
+        }
+    }
+    for (workers, outcome) in &outcomes[1..] {
+        if outcome.render() != outcomes[0].1.render() {
+            eprintln!("events_probe: FAIL fleet report at {workers} workers is not byte-stable");
+            failures += 1;
+        }
+    }
+
+    // The journal must hash-verify, drop nothing at this scale, and carry
+    // the core vocabulary.
+    let journal = match load_journal(&journals[0].1) {
+        Ok(j) => j,
+        Err(e) => {
+            eprintln!("events_probe: FAIL journal does not load: {e}");
+            std::fs::remove_dir_all(&dir).ok();
+            return 1;
+        }
+    };
+    if journal.events.is_empty() || journal.dropped != 0 {
+        eprintln!(
+            "events_probe: FAIL journal has {} events, {} dropped",
+            journal.events.len(),
+            journal.dropped
+        );
+        failures += 1;
+    }
+    let rounds = journal
+        .events
+        .iter()
+        .filter(|e| e.kind == EventKind::RoundCompleted)
+        .count();
+    let schedules = journal
+        .events
+        .iter()
+        .filter(|e| e.kind == EventKind::ScheduleDecision)
+        .count();
+    let health_events = journal
+        .events
+        .iter()
+        .filter(|e| matches!(e.kind, EventKind::HealthFinding(_)))
+        .count();
+    if rounds == 0 || schedules == 0 || health_events == 0 {
+        eprintln!(
+            "events_probe: FAIL vocabulary gap: {rounds} round-completed, \
+             {schedules} schedule-decision, {health_events} health events"
+        );
+        failures += 1;
+    }
+    if outcomes[0].1.health.is_empty() || !outcomes[0].1.render().contains("health findings") {
+        eprintln!("events_probe: FAIL health findings missing from the fleet report");
+        failures += 1;
+    }
+
+    // The logical-time series folds the journal deterministically and the
+    // fleet-wide sum must account for every executed round.
+    let series = Series::from_events(journal.events.iter(), DEFAULT_BUCKET_ROUNDS);
+    let folded_rounds: u64 = series.fleet().iter().map(|b| b.rounds).sum();
+    if folded_rounds != rounds as u64 {
+        eprintln!("events_probe: FAIL series folded {folded_rounds} rounds, journal has {rounds}");
+        failures += 1;
+    }
+    if series.campaign_ids().is_empty() || !series.render().contains("fleet\n") {
+        eprintln!(
+            "events_probe: FAIL series render is degenerate:\n{}",
+            series.render()
+        );
+        failures += 1;
+    }
+
+    // Enabling the pipeline must not perturb campaign results: with the
+    // health annotation off, the journaled report and the events-off
+    // report must be byte-identical.
+    let on_path = dir.join("events-compare.ndjson");
+    let with_events = run_once(&table, 2, Some(&on_path), false);
+    let without_events = run_once(&table, 2, None, false);
+    if with_events.render() != without_events.render() {
+        eprintln!("events_probe: FAIL events-on report differs from events-off report");
+        eprintln!("--- events on ---\n{}", with_events.render());
+        eprintln!("--- events off ---\n{}", without_events.render());
+        failures += 1;
+    }
+
+    // Serve the journal through the same StatusShared/StatusServer pair
+    // the fleet mounts, and check all three observatory endpoints.
+    let live = EventLog::enabled();
+    for event in &journal.events {
+        live.emit_event(event.clone());
+    }
+    let shared = Arc::new(StatusShared::new(Telemetry::enabled()));
+    shared.set_events(live.clone());
+    shared.set_health_page("TORPEDO fleet health\ngeneration 0\nall clear\n".to_string());
+    shared.set_extra_prom(
+        "# HELP torpedo_fleet_health_findings Health-detector findings raised so far.\n\
+         # TYPE torpedo_fleet_health_findings gauge\n\
+         torpedo_fleet_health_findings{detector=\"coverage-plateau\"} 1\n"
+            .to_string(),
+    );
+    let server = StatusServer::bind("127.0.0.1:0", Arc::clone(&shared)).expect("status bind");
+    let addr = server.local_addr();
+    let (status, body) = fetch(addr, "/events?since=0").expect("fetch /events");
+    let appended = live.appended();
+    if !status.contains("200")
+        || !body.contains("torpedo-events-v1")
+        || !body.contains(&format!("\"next\":{appended}"))
+    {
+        eprintln!("events_probe: FAIL /events tail broken ({status}):\n{body}");
+        failures += 1;
+    }
+    let (status, body) = fetch(addr, &format!("/events?since={appended}")).expect("fetch tail");
+    if !status.contains("200") || !body.contains("\"events\":[]") {
+        eprintln!("events_probe: FAIL /events cursor did not drain ({status}):\n{body}");
+        failures += 1;
+    }
+    let (status, body) = fetch(addr, "/health").expect("fetch /health");
+    if !status.contains("200") || !body.contains("TORPEDO fleet health") {
+        eprintln!("events_probe: FAIL /health broken ({status}):\n{body}");
+        failures += 1;
+    }
+    let (status, prom) = fetch(addr, "/metrics.prom").expect("fetch /metrics.prom");
+    if !status.contains("200") {
+        eprintln!("events_probe: FAIL /metrics.prom returned {status}");
+        failures += 1;
+    }
+    match check_exposition(&prom) {
+        Ok(_) if prom.contains("torpedo_fleet_health_findings") => {}
+        Ok(_) => {
+            eprintln!("events_probe: FAIL health gauges missing from exposition:\n{prom}");
+            failures += 1;
+        }
+        Err(e) => {
+            eprintln!("events_probe: FAIL exposition violation: {e}\n{prom}");
+            failures += 1;
+        }
+    }
+
+    eprintln!(
+        "events_probe: {} events journaled ({rounds} rounds, {schedules} schedule \
+         decisions), {} campaigns in series, {} health findings",
+        journal.events.len(),
+        series.campaign_ids().len(),
+        outcomes[0].1.health.iter().map(|(_, n)| n).sum::<u64>(),
+    );
+    std::fs::remove_dir_all(&dir).ok();
+    if failures == 0 {
+        eprintln!("events_probe: self-test passed");
+        0
+    } else {
+        eprintln!("events_probe: {failures} failure(s)");
+        1
+    }
+}

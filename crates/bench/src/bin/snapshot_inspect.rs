@@ -84,6 +84,7 @@ fn summarize(bundle: &SnapshotBundle) -> String {
         "snapshot            round {} (batch {}, round-in-batch {}{})\n\
          rng                 seed {:#018x}, epoch {}\n\
          seeds               {} program(s), {} warm-started\n\
+         events              seq {}\n\
          journal             {} round(s)\n\
          machine             {} (best {:.2}, stale {}, {} baseline program(s))\n",
         bundle.rounds,
@@ -98,6 +99,7 @@ fn summarize(bundle: &SnapshotBundle) -> String {
         bundle.rng_epoch,
         bundle.seeds.len(),
         bundle.warm_started,
+        bundle.events_seq,
         bundle.journal.len(),
         bundle.machine.state,
         bundle.machine.best_score,

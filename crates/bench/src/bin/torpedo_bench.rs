@@ -48,7 +48,7 @@ use torpedo_kernel::{
 use torpedo_oracle::CpuOracle;
 use torpedo_prog::{build_table, DirectedTarget, MutatePolicy, Mutator};
 use torpedo_telemetry::{
-    metrics::write_histogram_json, safe_div, HistogramId, SpanKind, Telemetry,
+    metrics::write_histogram_json, safe_div, EventLog, HistogramId, SpanKind, Telemetry,
 };
 
 fn main() {
@@ -76,9 +76,11 @@ fn main() {
     let fleet_json = bench_fleet(quick);
     eprintln!("torpedo-bench: directed fuzzing…");
     let directed_json = bench_directed(quick);
+    eprintln!("torpedo-bench: event pipeline…");
+    let events_json = bench_events(quick);
 
     let json = format!(
-        "{{\n  \"quick\": {quick},\n  \"dispatch\": {dispatch_json},\n  \"fuzz_throughput\": {throughput_json},\n  \"shard_scaling\": {scaling_json},\n  \"contention\": {contention_json},\n  \"latency\": {latency_json},\n  \"durability\": {durability_json},\n  \"fleet\": {fleet_json},\n  \"directed\": {directed_json}\n}}\n"
+        "{{\n  \"quick\": {quick},\n  \"dispatch\": {dispatch_json},\n  \"fuzz_throughput\": {throughput_json},\n  \"shard_scaling\": {scaling_json},\n  \"contention\": {contention_json},\n  \"latency\": {latency_json},\n  \"durability\": {durability_json},\n  \"fleet\": {fleet_json},\n  \"directed\": {directed_json},\n  \"events\": {events_json}\n}}\n"
     );
     std::fs::write(out_path, &json).expect("write BENCH_fuzz.json");
     eprintln!("torpedo-bench: wrote {out_path}");
@@ -846,6 +848,83 @@ fn bench_directed(quick: bool) -> String {
         eps_ref,
         eps_directed,
         (100.0 * (1.0 - safe_div(eps_directed, eps_ref))).max(0.0),
+        identical,
+    )
+}
+
+/// The observatory cost model: the event pipeline must be free when off
+/// (it defaults off, so the reference run IS events-off) and cheap when
+/// on.
+///
+/// * `overhead_on_pct` — best-of-N `execs_per_sec` with an in-memory
+///   event ring attached versus the plain config. The CI gate holds this
+///   under 2%.
+/// * `overhead_journaled_pct` — the same campaign with the crash-safe
+///   NDJSON journal sink attached: the full durable-pipeline cost, for
+///   reference (ungated — it pays fsyncs by design).
+/// * `report_identical` — the events-on report must match the events-off
+///   report byte for byte; emission must never perturb results.
+fn bench_events(quick: bool) -> String {
+    let table = build_table();
+    let texts = torpedo_moonshine::generate_corpus(6, 1);
+    let seeds = SeedCorpus::load(&texts, &table, &default_denylist()).unwrap();
+    let oracle = CpuOracle::new();
+    let runs = if quick { 10 } else { 16 };
+
+    let run_campaign = |config: &CampaignConfig| {
+        Campaign::new(config.clone(), table.clone())
+            .run(&seeds, &oracle)
+            .expect("events overhead campaign")
+    };
+    let run_eps = |config: &CampaignConfig| -> f64 {
+        let start = Instant::now();
+        let report = run_campaign(config);
+        let host = start.elapsed().as_secs_f64().max(1e-9);
+        let execs: u64 = report.logs.iter().map(|l| l.executions).sum();
+        execs as f64 / host
+    };
+
+    let config_ref = throughput_config(false);
+    let mut config_on = throughput_config(false);
+    config_on.events = EventLog::enabled();
+    let journal_dir =
+        std::env::temp_dir().join(format!("torpedo-bench-events-{}", std::process::id()));
+    std::fs::remove_dir_all(&journal_dir).ok();
+    let mut config_journaled = throughput_config(false);
+    config_journaled.events =
+        EventLog::journaled(&journal_dir.join("events.ndjson")).expect("journal sink");
+
+    // One counted run on a fresh log for the emission total and the
+    // report-identity check; its timing is not used.
+    let counted_log = EventLog::enabled();
+    let mut config_counted = throughput_config(false);
+    config_counted.events = counted_log.clone();
+    let report_on = run_campaign(&config_counted);
+    let events_emitted = counted_log.appended();
+    let identical =
+        format!("{:?}", run_campaign(&config_ref).logs) == format!("{:?}", report_on.logs);
+
+    // Interleaved best-of-N, as for the durability and directed gates:
+    // host-load drift hits every config equally and scheduling noise only
+    // ever subtracts throughput.
+    let _ = run_eps(&config_ref); // warm-up, untimed
+    let (mut eps_ref, mut eps_on, mut eps_journaled) = (0.0f64, 0.0f64, 0.0f64);
+    for _ in 0..runs {
+        eps_ref = eps_ref.max(run_eps(&config_ref));
+        eps_on = eps_on.max(run_eps(&config_on));
+        eps_journaled = eps_journaled.max(run_eps(&config_journaled));
+    }
+    std::fs::remove_dir_all(&journal_dir).ok();
+
+    format!(
+        "{{\n    \"runs\": {},\n    \"execs_per_sec_reference\": {:.1},\n    \"execs_per_sec_events_on\": {:.1},\n    \"overhead_on_pct\": {:.2},\n    \"execs_per_sec_events_journaled\": {:.1},\n    \"overhead_journaled_pct\": {:.2},\n    \"events_emitted\": {},\n    \"report_identical\": {}\n  }}",
+        runs,
+        eps_ref,
+        eps_on,
+        (100.0 * (1.0 - safe_div(eps_on, eps_ref))).max(0.0),
+        eps_journaled,
+        (100.0 * (1.0 - safe_div(eps_journaled, eps_ref))).max(0.0),
+        events_emitted,
         identical,
     )
 }

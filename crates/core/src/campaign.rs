@@ -20,7 +20,9 @@ use torpedo_prog::{
     ProgramId, SyscallDesc,
 };
 use torpedo_runtime::{checkpoint_fault_hit, ContainerCrash, FaultCounters};
-use torpedo_telemetry::{safe_div, CounterId, SpanKind, StatusServer, StatusShared, Telemetry};
+use torpedo_telemetry::{
+    safe_div, CounterId, EventKind, EventLog, SpanKind, StatusServer, StatusShared, Telemetry,
+};
 
 use crate::batch::{BatchAction, BatchConfig, BatchMachine, BatchState};
 use crate::crash::{reproduce_and_minimize, CrashRecord};
@@ -96,6 +98,12 @@ pub struct CampaignConfig {
     /// part of the rendered config fingerprint, so directed and undirected
     /// checkpoints never cross-resume.
     pub directed: Option<DirectedTarget>,
+    /// Event-stream sink (DESIGN.md §5g). The default disabled handle makes
+    /// every emission a no-op branch; the per-event sequence counter still
+    /// advances so checkpoints from events-on and events-off runs stay
+    /// cross-resumable — the handle is deliberately *not* part of the
+    /// rendered config fingerprint.
+    pub events: EventLog,
 }
 
 impl Default for CampaignConfig {
@@ -115,6 +123,7 @@ impl Default for CampaignConfig {
             checkpoint: None,
             warm_start: None,
             directed: None,
+            events: EventLog::disabled(),
         }
     }
 }
@@ -265,6 +274,7 @@ struct SnapshotView<'a> {
     raw_crashes: &'a [(ContainerCrash, Arc<Program>, usize, u64)],
     recovery: RecoveryStats,
     faults: FaultCounters,
+    events_seq: u64,
     recorder: Option<&'a FlightRecorder>,
 }
 
@@ -540,6 +550,12 @@ impl Campaign {
                 })?;
         }
         let status = self.status_shared();
+        if let Some(shared) = &status {
+            if self.config.events.is_enabled() {
+                // Mount the stream for the `/events?since=N` live tail.
+                shared.set_events(self.config.events.clone());
+            }
+        }
         let observer = Driver::new(
             self.config.parallel,
             self.config.kernel.clone(),
@@ -634,6 +650,13 @@ impl Campaign {
             ckpt_writes: 0,
             ckpt_fault_hits: 0,
             ckpt_writer,
+            events: self.config.events.clone(),
+            // Fresh and resumed runs both start at 0: replayed rounds
+            // re-emit their events (the fleet deduplicates by sequence),
+            // rebuilding the counter to the bundle's recorded value by
+            // the time verification compares renders.
+            events_seq: 0,
+            events_fault_total: 0,
         })
     }
 }
@@ -735,6 +758,14 @@ pub struct CampaignRun {
     ckpt_writes: u64,
     ckpt_fault_hits: u64,
     ckpt_writer: Option<CheckpointWriter>,
+    // The event stream (DESIGN.md §5g). `events_seq` counts every emission
+    // point — even with the disabled handle — so it is a pure function of
+    // the rounds executed, checkpoints capture it, and replay rebuilds it
+    // by re-emitting. `events_fault_total` is the last fault total an
+    // emission reported (per-round FaultInjected deltas).
+    events: EventLog,
+    events_seq: u64,
+    events_fault_total: u64,
 }
 
 impl CampaignRun {
@@ -766,6 +797,16 @@ impl CampaignRun {
         let result = self.exec_round(oracle, &mut cur);
         self.cur = Some(cur);
         result.map(CampaignStep::Ran)
+    }
+
+    /// Advance the event sequence and emit when the stream is enabled. The
+    /// counter moves unconditionally — it is a pure function of the rounds
+    /// executed, so checkpoints capture it and events-on/events-off runs
+    /// keep byte-identical bundles.
+    fn emit(&mut self, round: u64, kind: EventKind, value: u64, extra: u64, note: &str) {
+        self.events_seq += 1;
+        self.events
+            .emit(self.events_seq, round, kind, value, extra, note);
     }
 
     /// Advance `batch_idx` to the next non-empty batch and set its cursor
@@ -863,6 +904,7 @@ impl CampaignRun {
         // beyond the batch ran the idle default program and carry no
         // per-program feedback (a short final batch must not index
         // past the program vectors).
+        let coverage_before = self.coverage.len();
         for (i, report) in record.reports.iter().enumerate().take(cur.programs.len()) {
             let flat = report.coverage.flat();
             let sm = &mut cur.prog_machines[i];
@@ -903,12 +945,14 @@ impl CampaignRun {
                     batch_idx,
                     self.rounds_total,
                 ));
+                self.emit(self.rounds_total, EventKind::Crash, 1, 0, &crash.reason);
                 let key = cur.prog_ids[i];
                 let count = self.crash_counts.entry(key).or_insert(0);
                 *count += 1;
                 if *count >= quarantine_threshold && self.quarantined_ids.insert(key) {
                     self.quarantined
                         .insert(torpedo_prog::serialize(&cur.programs[i], &self.table));
+                    self.emit(self.rounds_total, EventKind::Quarantine, 1, 0, "");
                     if let Some(rec) = self.recorder.as_mut() {
                         rec.record_quarantine(
                             key,
@@ -931,6 +975,32 @@ impl CampaignRun {
 
         let round_recovery = self.observer.recovery().since(&recovery_before);
         telemetry.add(CounterId::RecoveryEvents, round_recovery.total());
+        if round_recovery.worker_restarts > 0 {
+            self.emit(
+                self.rounds_total,
+                EventKind::WorkerRestart,
+                round_recovery.worker_restarts,
+                round_recovery.hangs_detected,
+                "",
+            );
+        }
+        // Fault emission reads the counters *before* this round's
+        // checkpoint-fault roll (a due round's hit lands in the next
+        // round's delta) — the one ordering at which every bundle render
+        // point (the checkpoint hook, resume verification, and the fleet's
+        // between-step park) observes the same sequence value.
+        let fault_total = self.observer.fault_counters().total() + self.ckpt_fault_hits;
+        let fault_delta = fault_total.saturating_sub(self.events_fault_total);
+        if fault_delta > 0 {
+            self.emit(
+                self.rounds_total,
+                EventKind::FaultInjected,
+                fault_delta,
+                0,
+                "",
+            );
+        }
+        self.events_fault_total = fault_total;
         // Directed telemetry: how many of this round's programs carried a
         // call from the target set (distance 0).
         if let Some(map) = self.mutator.distance() {
@@ -954,6 +1024,13 @@ impl CampaignRun {
             fatal_signals: record.reports.iter().map(|r| r.fatal_signals).sum(),
             recovery: round_recovery,
         });
+        self.emit(
+            self.rounds_total,
+            EventKind::RoundCompleted,
+            executions,
+            (self.coverage.len() - coverage_before) as u64,
+            "",
+        );
 
         if self.status.is_some() {
             let window = self
@@ -1063,6 +1140,19 @@ impl CampaignRun {
             if fault {
                 self.ckpt_fault_hits += 1;
                 telemetry.incr(CounterId::CheckpointWriteFails);
+            } else {
+                // Emitted at every non-faulted due round — including
+                // replayed ones whose write is skipped below — so the
+                // sequence stays a pure function of (config, round) and
+                // the bundle rendered inside this hook records the same
+                // counter a resumed replay re-derives.
+                self.emit(
+                    self.rounds_total,
+                    EventKind::CheckpointWritten,
+                    self.rounds_total,
+                    0,
+                    "",
+                );
             }
             // Replayed rounds (≤ the resume point) roll the
             // fault but skip the write: those checkpoints
@@ -1156,6 +1246,7 @@ impl CampaignRun {
             raw_crashes: &self.raw_crashes,
             recovery: self.observer.recovery(),
             faults,
+            events_seq: self.events_seq,
             recorder: self.recorder.as_ref(),
         })
     }
@@ -1251,6 +1342,26 @@ impl CampaignRun {
         });
         drop(flag_span);
         telemetry.add(CounterId::FlaggedTotal, flagged.len() as u64);
+        // One Flag event per finding, channeled by the strongest violation
+        // kind, stamped with the round the finding was *observed* at —
+        // logical-time series bucket flags where they happened, not where
+        // the offline pass ran. Finish happens exactly once per campaign,
+        // so these never replay and need no deduplication.
+        let flag_channels: Vec<(u64, String)> = flagged
+            .iter()
+            .filter_map(|finding| {
+                torpedo_oracle::violation::violation_kinds(&finding.violations)
+                    .first()
+                    .map(|kind| (finding.round, kind.as_str().to_string()))
+            })
+            .collect();
+        for (round, channel) in flag_channels {
+            self.emit(round, EventKind::Flag(channel), 1, 0, "");
+        }
+        // Findings, crashes, and the final round are all in the stream
+        // now; persist the journal frame. Sink errors must not void the
+        // report — the journal is observability, not ground truth.
+        let _ = self.events.flush();
 
         // Crash reproduction + minimization.
         let raw_crashes = std::mem::take(&mut self.raw_crashes);
@@ -1511,6 +1622,7 @@ impl CampaignRun {
             round_in_batch: view.round_in_batch as u64,
             batch_stopped: view.batch_stopped,
             warm_started: view.warm_started as u64,
+            events_seq: view.events_seq,
             seeds: view.seeds.programs.iter().map(ser).collect(),
             journal: view.journal.to_vec(),
             machine: MachineSnapshot {

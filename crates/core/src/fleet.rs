@@ -44,10 +44,13 @@ use std::time::Instant;
 
 use torpedo_oracle::Oracle;
 use torpedo_prog::{ProgramId, SyscallDesc};
-use torpedo_telemetry::{safe_div, ControlApi, StatusServer, StatusShared, Telemetry};
+use torpedo_telemetry::{
+    safe_div, ControlApi, Event, EventKind, EventLog, StatusServer, StatusShared, Telemetry,
+};
 
 use crate::campaign::{Campaign, CampaignConfig, CampaignReport, CampaignRun, CampaignStep};
 use crate::error::TorpedoError;
+use crate::health::{evaluate as evaluate_health, HealthConfig, HealthSample};
 use crate::seeds::{default_denylist, SeedCorpus};
 use crate::snapshot::{parse_snapshot, read_text_capped, MAX_SNAPSHOT_BYTES};
 
@@ -108,6 +111,17 @@ pub struct FleetConfig {
     /// Fleet-level telemetry handle (drives the status endpoint's
     /// `/metrics`).
     pub telemetry: Telemetry,
+    /// Fleet event stream (DESIGN.md §5g). When enabled, every admitted
+    /// campaign gets a per-tenant buffer drained into this log at
+    /// generation barriers (campaign-id order, sequence-deduplicated
+    /// against unpark replay), and the scheduler adds its own
+    /// park/unpark/schedule-decision/health events — so the journal is
+    /// byte-identical across runs and worker counts. Disabled by default;
+    /// the schedule and every report are byte-identical either way.
+    pub events: EventLog,
+    /// Health detectors evaluated at every generation barrier from
+    /// absorbed stats only. `None` (default) evaluates nothing.
+    pub health: Option<HealthConfig>,
 }
 
 impl Default for FleetConfig {
@@ -126,6 +140,8 @@ impl Default for FleetConfig {
             status_addr: None,
             keep_reports: false,
             telemetry: Telemetry::disabled(),
+            events: EventLog::disabled(),
+            health: None,
         }
     }
 }
@@ -233,6 +249,22 @@ struct Entry {
     score_trail: VecDeque<f64>,
     error: Option<String>,
     report: Option<CampaignReport>,
+    // Event pipeline state (all deterministic; untouched when the fleet
+    // log is disabled).
+    /// Per-tenant event buffer the campaign stepper emits into from
+    /// worker threads; drained at barriers in campaign-id order.
+    tenant_events: EventLog,
+    /// Highest campaign-stream sequence absorbed — unpark replay re-emits
+    /// earlier sequences and they are skipped here.
+    events_cursor: u64,
+    /// Consecutive executed windows with zero new coverage (the
+    /// coverage-plateau detector's input).
+    zero_cov_windows: u64,
+    /// Round of the last drained `checkpoint-written` event.
+    last_checkpoint_round: Option<u64>,
+    /// Status-page column: the most notable recent event or health
+    /// finding.
+    last_event: Option<String>,
 }
 
 impl Entry {
@@ -304,6 +336,11 @@ pub struct FleetOutcome {
     /// Finished campaigns' full reports (only with
     /// [`FleetConfig::keep_reports`]).
     pub reports: Vec<(usize, CampaignReport)>,
+    /// Cumulative health findings by detector wire name (empty when no
+    /// [`FleetConfig::health`] config was set — and then absent from
+    /// [`FleetOutcome::render`], keeping pre-observatory reports
+    /// byte-identical).
+    pub health: Vec<(String, u64)>,
 }
 
 impl FleetOutcome {
@@ -349,6 +386,14 @@ impl FleetOutcome {
             if let Some(err) = &row.error {
                 out.push_str(&format!("      error: {err}\n"));
             }
+        }
+        if !self.health.is_empty() {
+            let parts: Vec<String> = self
+                .health
+                .iter()
+                .map(|(detector, count)| format!("{detector} {count}"))
+                .collect();
+            out.push_str(&format!("health findings  {}\n", parts.join(", ")));
         }
         out
     }
@@ -470,6 +515,12 @@ pub struct Fleet {
     unparks: u64,
     exec_ns: u64,
     sched_ns: u64,
+    /// Sequence counter for scheduler-originated events (park, unpark,
+    /// schedule-decision, health findings). Campaign-stream events keep
+    /// their own per-campaign sequences.
+    fleet_seq: u64,
+    /// Cumulative health findings by detector wire name.
+    health_counts: std::collections::BTreeMap<String, u64>,
 }
 
 impl Fleet {
@@ -485,6 +536,8 @@ impl Fleet {
             unparks: 0,
             exec_ns: 0,
             sched_ns: 0,
+            fleet_seq: 0,
+            health_counts: Default::default(),
         }
     }
 
@@ -492,7 +545,18 @@ impl Fleet {
     pub fn admit(&mut self, spec: FleetSpec) -> usize {
         let id = self.entries.len();
         let admitted_at = self.generation;
-        let campaign = Campaign::new(spec.config, spec.table);
+        let mut config = spec.config;
+        // Per-tenant event buffer: the stepper emits into it from worker
+        // threads; barriers drain it into the fleet log in id order. The
+        // submitted config's own handle is always replaced — a template
+        // cloned from another entry must not share that entry's tag.
+        let tenant_events = if self.config.events.is_enabled() {
+            EventLog::enabled().tagged(id as u64)
+        } else {
+            EventLog::disabled()
+        };
+        config.events = tenant_events.clone();
+        let campaign = Campaign::new(config, spec.table);
         self.entries.push(Entry {
             id,
             name: spec.name,
@@ -518,8 +582,70 @@ impl Fleet {
             score_trail: VecDeque::new(),
             error: None,
             report: None,
+            tenant_events,
+            events_cursor: 0,
+            zero_cov_windows: 0,
+            last_checkpoint_round: None,
+            last_event: None,
         });
         id
+    }
+
+    /// Emit one scheduler-originated event onto the fleet stream.
+    fn emit_fleet(
+        &mut self,
+        campaign: usize,
+        round: u64,
+        kind: EventKind,
+        value: u64,
+        extra: u64,
+        note: &str,
+    ) {
+        if !self.config.events.is_enabled() {
+            return;
+        }
+        self.fleet_seq += 1;
+        self.config.events.emit_event(Event {
+            campaign: campaign as u64,
+            seq: self.fleet_seq,
+            round,
+            kind,
+            value,
+            extra,
+            note: note.to_string(),
+        });
+    }
+
+    /// Drain one entry's tenant buffer into the fleet log: events at or
+    /// below the absorbed cursor are unpark-replay re-emissions and are
+    /// skipped; the rest forward verbatim (campaign tag and sequence
+    /// intact) and update the entry's event-derived health inputs.
+    fn drain_entry_events(&mut self, idx: usize) {
+        if !self.config.events.is_enabled() {
+            return;
+        }
+        let log = self.config.events.clone();
+        let entry = &mut self.entries[idx];
+        let mut latest: Option<String> = None;
+        let mut notable: Option<String> = None;
+        for event in entry.tenant_events.drain() {
+            if event.seq <= entry.events_cursor {
+                continue;
+            }
+            entry.events_cursor = event.seq;
+            if matches!(event.kind, EventKind::CheckpointWritten) {
+                entry.last_checkpoint_round = Some(event.round);
+            }
+            let label = format!("{} @r{}", event.kind.wire_name(), event.round);
+            if !matches!(event.kind, EventKind::RoundCompleted) {
+                notable = Some(label.clone());
+            }
+            latest = Some(label);
+            log.emit_event(event);
+        }
+        if let Some(label) = notable.or(latest) {
+            entry.last_event = Some(label);
+        }
     }
 
     /// Enable `POST /fleet/submit` on the status endpoint: submitted seed
@@ -651,6 +777,11 @@ impl Fleet {
             // later — byte-identical to never having booted.
             None => entry.slot = Slot::Queued,
         }
+        let parked = matches!(entry.slot, Slot::Parked(_));
+        let rounds = entry.rounds;
+        if parked {
+            self.emit_fleet(idx, rounds, EventKind::Park, 1, 0, "");
+        }
     }
 
     /// Boot (or resume) the chosen campaigns into worker assignments.
@@ -664,6 +795,7 @@ impl Fleet {
             let entry = &mut self.entries[id];
             entry.last_scheduled = self.generation;
             let slot = std::mem::replace(&mut entry.slot, Slot::Queued);
+            let was_parked = matches!(slot, Slot::Parked(_));
             let run = match slot {
                 Slot::Active(run) => Ok(run),
                 Slot::Queued => entry
@@ -697,9 +829,11 @@ impl Fleet {
                 }
             };
             self.exec_ns += boot_start.elapsed().as_nanos() as u64;
+            let mut booted = false;
+            let rounds_before = entry.rounds;
             match run {
                 Ok(run) => {
-                    let rounds_before = entry.rounds;
+                    booted = true;
                     assignments.push(Assignment {
                         entry_id: id,
                         run,
@@ -714,6 +848,19 @@ impl Fleet {
                     entry.slot = Slot::Failed;
                     entry.error = Some(msg);
                 }
+            }
+            if booted {
+                if was_parked {
+                    self.emit_fleet(id, rounds_before, EventKind::Unpark, 1, 0, "");
+                }
+                self.emit_fleet(
+                    id,
+                    rounds_before,
+                    EventKind::ScheduleDecision,
+                    window,
+                    0,
+                    "",
+                );
             }
         }
         assignments
@@ -747,7 +894,8 @@ impl Fleet {
     fn absorb(&mut self, mut results: Vec<WindowResult>) {
         results.sort_by_key(|r| r.entry_id);
         for res in results {
-            let entry = &mut self.entries[res.entry_id];
+            let entry_id = res.entry_id;
+            let entry = &mut self.entries[entry_id];
             let new_rounds = res.rounds_after.saturating_sub(entry.rounds);
             self.rounds_spent += new_rounds;
             self.exec_ns += res.exec_ns;
@@ -755,6 +903,15 @@ impl Fleet {
             entry.w_execs = res.executions_delta;
             entry.w_flags = res.flags_delta;
             entry.w_cov = (res.coverage_after.saturating_sub(entry.coverage)) as u64;
+            // Coverage-plateau input: executed windows only (a window that
+            // was pure unpark replay says nothing about progress).
+            if new_rounds > 0 {
+                if entry.w_cov == 0 {
+                    entry.zero_cov_windows += 1;
+                } else {
+                    entry.zero_cov_windows = 0;
+                }
+            }
             entry.w_score_gain = res.best_score - entry.best_score;
             entry.rounds = res.rounds_after;
             entry.executions += res.executions_delta;
@@ -782,6 +939,7 @@ impl Fleet {
             } else if let Some(run) = res.run {
                 entry.slot = Slot::Active(run);
             }
+            self.drain_entry_events(entry_id);
         }
     }
 
@@ -836,6 +994,57 @@ impl Fleet {
         }
     }
 
+    /// Evaluate the health detectors at a generation barrier: pure over
+    /// barrier-absorbed stats, in campaign-id then detector order, so the
+    /// raised findings (and their events) are byte-stable across runs and
+    /// worker counts. Returns the rendered `/health` page.
+    fn evaluate_fleet_health(&mut self, config: &HealthConfig) -> String {
+        let mut raised: Vec<(usize, u64, &'static str, String)> = Vec::new();
+        for entry in &self.entries {
+            if !entry.runnable() {
+                continue;
+            }
+            let sample = HealthSample {
+                rounds: entry.rounds,
+                windows: entry.windows,
+                w_rounds: entry.w_rounds,
+                w_execs: entry.w_execs,
+                zero_cov_windows: entry.zero_cov_windows,
+                last_checkpoint_round: entry.last_checkpoint_round,
+                checkpointing: entry.campaign.config().checkpoint.is_some(),
+                generation: self.generation,
+                last_scheduled: entry.last_scheduled,
+            };
+            for finding in evaluate_health(config, &sample) {
+                raised.push((
+                    entry.id,
+                    entry.rounds,
+                    finding.detector.as_str(),
+                    finding.detail,
+                ));
+            }
+        }
+        let mut page = format!("TORPEDO fleet health\ngeneration {}\n", self.generation);
+        if raised.is_empty() {
+            page.push_str("all clear\n");
+            return page;
+        }
+        for (id, round, detector, detail) in raised {
+            page.push_str(&format!("campaign {id}  {detector}: {detail}\n"));
+            *self.health_counts.entry(detector.to_string()).or_insert(0) += 1;
+            self.entries[id].last_event = Some(format!("health:{detector}"));
+            self.emit_fleet(
+                id,
+                round,
+                EventKind::HealthFinding(detector.to_string()),
+                1,
+                0,
+                &detail,
+            );
+        }
+        page
+    }
+
     /// Render the multi-tenant status page (one row per campaign).
     fn status_page(&self) -> String {
         let mut page = String::from("TORPEDO fleet status\n");
@@ -843,7 +1052,9 @@ impl Fleet {
             "generation {}  budget {}/{} rounds  parks {}  unparks {}\n\n",
             self.generation, self.rounds_spent, self.config.round_budget, self.parks, self.unparks,
         ));
-        page.push_str("id    state      share%   rounds  flags  best     trail (newest last)\n");
+        page.push_str(
+            "id    state      share%   rounds  flags  best     last event                 trail (newest last)\n",
+        );
         let total_rounds = self.rounds_spent.max(1);
         for entry in &self.entries {
             let trail: Vec<String> = entry
@@ -852,13 +1063,14 @@ impl Fleet {
                 .map(|s| format!("{s:.2}"))
                 .collect();
             page.push_str(&format!(
-                "{:<5} {:<10} {:<8.3} {:<7} {:<6} {:<8.3} {}  {}\n",
+                "{:<5} {:<10} {:<8.3} {:<7} {:<6} {:<8.3} {:<26} {}  {}\n",
                 entry.id,
                 entry.slot.state().label(),
                 100.0 * safe_div(entry.rounds as f64, total_rounds as f64),
                 entry.rounds,
                 entry.flags,
                 entry.best_score,
+                entry.last_event.as_deref().unwrap_or("-"),
                 trail.join(" "),
                 entry.name,
             ));
@@ -901,6 +1113,12 @@ impl Fleet {
             }
             None => None,
         };
+        if let Some((shared, _)) = &status {
+            if self.config.events.is_enabled() {
+                // Mount the fleet log for the `/events?since=N` live tail.
+                shared.set_events(self.config.events.clone());
+            }
+        }
 
         loop {
             let sched_start = Instant::now();
@@ -938,6 +1156,13 @@ impl Fleet {
             let results = self.run_generation(assignments, workers);
             let absorb_start = Instant::now();
             self.absorb(results);
+            if let Some(health) = self.config.health.clone() {
+                let page = self.evaluate_fleet_health(&health);
+                if let Some((shared, _)) = &status {
+                    shared.set_health_page(page);
+                    shared.set_extra_prom(health_prom_chunk(&self.health_counts));
+                }
+            }
             if let Some((shared, _)) = &status {
                 shared.set_page(self.status_page());
             }
@@ -971,6 +1196,13 @@ impl Fleet {
             }
             self.exec_ns += exec_start.elapsed().as_nanos() as u64;
         }
+        // Finalized campaigns emitted their flag events into tenant
+        // buffers with no barrier left to drain them — absorb the tails
+        // in id order and persist the journal frame.
+        for idx in 0..self.entries.len() {
+            self.drain_entry_events(idx);
+        }
+        let _ = self.config.events.flush();
 
         let rounds_total = self.rounds_spent;
         let executions_total = self.entries.iter().map(|e| e.executions).sum();
@@ -1013,6 +1245,11 @@ impl Fleet {
             exec_ns: self.exec_ns,
             sched_ns: self.sched_ns,
             reports,
+            health: self
+                .health_counts
+                .iter()
+                .map(|(detector, count)| (detector.clone(), *count))
+                .collect(),
         };
         if let Some((shared, _server)) = &status {
             let mut page = self.status_page();
@@ -1103,6 +1340,26 @@ fn execute_window(mut assignment: Assignment) -> WindowResult {
         last_flag_round,
         exec_ns: started.elapsed().as_nanos() as u64,
     }
+}
+
+/// The Prometheus chunk appended to `/metrics.prom` when health
+/// detectors are active: one gauge sample per detector that has ever
+/// fired. Deterministic (BTreeMap order) and absent until a finding
+/// exists.
+fn health_prom_chunk(counts: &std::collections::BTreeMap<String, u64>) -> String {
+    if counts.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from(
+        "# HELP torpedo_fleet_health_findings Cumulative health findings by detector.\n\
+         # TYPE torpedo_fleet_health_findings gauge\n",
+    );
+    for (detector, count) in counts {
+        out.push_str(&format!(
+            "torpedo_fleet_health_findings{{detector=\"{detector}\"}} {count}\n"
+        ));
+    }
+    out
 }
 
 /// Mean priority of the runnable set. Routed through [`safe_div`] so an

@@ -62,6 +62,7 @@ pub mod error;
 pub mod executor;
 pub mod fleet;
 pub mod forensics;
+pub mod health;
 pub mod latch;
 pub mod logfmt;
 pub mod minimize;
@@ -88,6 +89,9 @@ pub use fleet::{
 pub use forensics::{
     deferral_excerpt, parse_bundle, BundleKind, FlightRecorder, ForensicsBundle, LineageBook,
     LineageOp, LineageRecord, MinimizationSummary, TrajectoryPoint, FORENSICS_SCHEMA,
+};
+pub use health::{
+    evaluate as evaluate_health, HealthConfig, HealthDetector, HealthFinding, HealthSample,
 };
 pub use latch::{LatchError, LatchState, RoundLatch};
 pub use logfmt::{

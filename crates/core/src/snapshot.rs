@@ -334,6 +334,10 @@ pub struct SnapshotBundle {
     pub batch_stopped: bool,
     /// Trailing count of `seeds` that came from a warm-start corpus.
     pub warm_started: u64,
+    /// Event-stream sequence counter at the checkpointed round. Advances
+    /// even when no event sink is mounted, so events-on and events-off
+    /// checkpoints cross-resume and replay re-derives it exactly.
+    pub events_seq: u64,
     /// The effective seed programs (serialized), including warm-start.
     pub seeds: Vec<String>,
     /// Per-round journal, round-ascending.
@@ -475,7 +479,7 @@ impl SnapshotBundle {
         out.push_str(&format!(
             ",\"rng\":{{\"scheme\":\"{RNG_SCHEME}\",\"seed\":\"{:#018x}\",\"epoch\":{}}},\
              \"rounds\":{},\"position\":{{\"batch\":{},\"round_in_batch\":{},\
-             \"batch_stopped\":{}}},\"warm_started\":{},\"seeds\":",
+             \"batch_stopped\":{}}},\"warm_started\":{},\"events_seq\":{},\"seeds\":",
             self.rng_seed,
             self.rng_epoch,
             self.rounds,
@@ -483,6 +487,7 @@ impl SnapshotBundle {
             self.round_in_batch,
             self.batch_stopped,
             self.warm_started,
+            self.events_seq,
         ));
         push_str_array(&mut out, &self.seeds);
         out.push_str(",\"journal\":[");
@@ -892,6 +897,7 @@ pub fn parse_snapshot(text: &str) -> Result<SnapshotBundle, SnapshotError> {
         round_in_batch: need_u64(position, "round_in_batch").map_err(parse_err)?,
         batch_stopped: need_bool(position, "batch_stopped")?,
         warm_started: need_u64(&doc, "warm_started").map_err(parse_err)?,
+        events_seq: need_u64(&doc, "events_seq").map_err(parse_err)?,
         seeds: need_str_array(&doc, "seeds")?,
         journal,
         machine,
@@ -1276,6 +1282,7 @@ mod tests {
             round_in_batch: 4,
             batch_stopped: false,
             warm_started: 1,
+            events_seq: 17,
             seeds: vec!["getpid()\n".into(), "socket(0x9, 0x3, 0x0)\n".into()],
             journal: vec![JournalRound {
                 batch: 0,

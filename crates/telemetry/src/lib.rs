@@ -14,13 +14,17 @@
 //! This crate is intentionally std-only: the container build is offline and
 //! the status server must work without any HTTP dependency.
 
+pub mod events;
 pub mod metrics;
 pub mod prom;
+pub mod series;
 pub mod server;
 pub mod trace;
 
+pub use events::{load_journal, Event, EventJournal, EventKind, EventLog, EVENTS_SCHEMA};
 pub use metrics::{CounterId, HistogramId, HistogramSnapshot, Registry, BUCKETS};
 pub use prom::{check_exposition, prometheus_exposition, quantile_from_snapshot};
+pub use series::{Bucket, Series, DEFAULT_BUCKET_ROUNDS};
 pub use server::{ControlApi, StatusServer, StatusShared};
 pub use trace::chrome_trace_json;
 

@@ -77,6 +77,19 @@ fn write_histogram(out: &mut String, id: HistogramId, snap: &HistogramSnapshot) 
         );
         out.push_str(&format!("{name}_{label} {value}\n"));
     }
+    // The saturation counter: observations past the last finite bucket.
+    // Until now this only rendered as a text line on the status page; as a
+    // counter family it is scrapeable and alertable.
+    write_family_header(
+        out,
+        &format!("{name}_overflow"),
+        "counter",
+        &format!(
+            "Observations of {} past the last finite bucket.",
+            id.as_str()
+        ),
+    );
+    out.push_str(&format!("{name}_overflow {}\n", snap.overflow));
 }
 
 /// Render the full text exposition for a telemetry handle. A disabled handle
@@ -139,10 +152,17 @@ pub fn prometheus_exposition(telemetry: &Telemetry) -> String {
 
 /// Validate a text exposition: every line must be a comment (`# …`) or a
 /// `name{labels} value` sample with a valid metric name and a finite float
-/// value, and every sample must be preceded by a `# TYPE` declaration for
-/// its family. Returns the first offending line on failure. This is a
-/// deliberately small subset of the format spec — enough to catch the
-/// classic mistakes (NaN values, bad names, missing TYPE lines).
+/// value, and every sample must belong to a family with a preceding
+/// `# TYPE` declaration — either exactly (counters, gauges) or via the
+/// `_bucket`/`_sum`/`_count` suffixes of a declared histogram or summary.
+/// Returns the first offending line on failure. This is a deliberately
+/// small subset of the format spec — enough to catch the classic mistakes
+/// (NaN values, bad names, missing or headerless series).
+///
+/// The suffix rule is deliberately strict: an earlier version accepted any
+/// sample whose name merely *started with* a typed family, which let a
+/// headerless `foo_extra` series hide behind `# TYPE foo counter` and
+/// reach scrapers that then warn on every scrape.
 pub fn check_exposition(text: &str) -> Result<usize, String> {
     fn valid_name(name: &str) -> bool {
         let mut chars = name.chars();
@@ -153,7 +173,20 @@ pub fn check_exposition(text: &str) -> Result<usize, String> {
         chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
     }
 
-    let mut typed_families: Vec<String> = Vec::new();
+    /// Whether `name` is a sample of the declared `(family, kind)`.
+    fn sample_of(name: &str, family: &str, kind: &str) -> bool {
+        if name == family {
+            return true;
+        }
+        if matches!(kind, "histogram" | "summary") {
+            if let Some(suffix) = name.strip_prefix(family) {
+                return matches!(suffix, "_bucket" | "_sum" | "_count");
+            }
+        }
+        false
+    }
+
+    let mut typed_families: Vec<(String, String)> = Vec::new();
     let mut samples = 0usize;
     for (lineno, line) in text.lines().enumerate() {
         let line = line.trim_end();
@@ -175,7 +208,7 @@ pub fn check_exposition(text: &str) -> Result<usize, String> {
                 ) {
                     return Err(format!("line {}: bad metric type {kind:?}", lineno + 1));
                 }
-                typed_families.push(family.to_string());
+                typed_families.push((family.to_string(), kind.to_string()));
             }
             continue;
         }
@@ -206,7 +239,10 @@ pub fn check_exposition(text: &str) -> Result<usize, String> {
         if value.is_nan() {
             return Err(format!("line {}: NaN sample value", lineno + 1));
         }
-        if !typed_families.iter().any(|f| name.starts_with(f.as_str())) {
+        if !typed_families
+            .iter()
+            .any(|(family, kind)| sample_of(name, family, kind))
+        {
             return Err(format!(
                 "line {}: sample {name:?} has no preceding # TYPE",
                 lineno + 1
@@ -284,5 +320,30 @@ mod tests {
         assert!(check_exposition("untyped_sample 1\n").is_err());
         assert!(check_exposition("# TYPE x flavour\nx 1\n").is_err());
         assert_eq!(check_exposition("# TYPE x counter\nx{le=\"5\"} 1\n"), Ok(1));
+    }
+
+    #[test]
+    fn checker_rejects_headerless_series_hiding_behind_a_typed_prefix() {
+        // Pre-fix behaviour: `x_extra` was accepted because it merely
+        // starts with the typed family `x`. Scrapers warn on such series.
+        assert!(check_exposition("# TYPE x counter\nx_extra 1\n").is_err());
+        // Histogram suffixes are legitimate only for histogram families…
+        let hist = "# TYPE h histogram\nh_bucket{le=\"1\"} 0\nh_sum 0\nh_count 0\n";
+        assert_eq!(check_exposition(hist), Ok(3));
+        // …not for counters, and not arbitrary suffixes even then.
+        assert!(check_exposition("# TYPE c counter\nc_bucket{le=\"1\"} 0\n").is_err());
+        assert!(check_exposition("# TYPE h histogram\nh_overflow 1\n").is_err());
+    }
+
+    #[test]
+    fn exposition_exports_saturation_counters() {
+        let t = Telemetry::enabled();
+        t.observe(HistogramId::ExecLatencyUs, u64::MAX / 2); // overflows
+        let text = prometheus_exposition(&t);
+        assert!(text.contains("# TYPE torpedo_exec_latency_us_overflow counter\n"));
+        assert!(text.contains("torpedo_exec_latency_us_overflow 1\n"));
+        assert!(text.contains("# TYPE torpedo_journal_dropped counter\n"));
+        // The strict checker must accept the whole real exposition.
+        assert!(check_exposition(&text).unwrap() > 20);
     }
 }

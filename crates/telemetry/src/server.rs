@@ -11,7 +11,7 @@ use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
-use crate::{CounterId, Telemetry};
+use crate::{CounterId, EventLog, Telemetry};
 
 /// A control-plane handler mounted on a status server: `POST` requests are
 /// dispatched here (with the raw request target, query string included, and
@@ -34,6 +34,9 @@ pub struct StatusShared {
     page: Mutex<String>,
     telemetry: Telemetry,
     control: Mutex<Option<Arc<dyn ControlApi>>>,
+    events: Mutex<Option<EventLog>>,
+    health: Mutex<Option<String>>,
+    extra_prom: Mutex<String>,
 }
 
 impl std::fmt::Debug for StatusShared {
@@ -42,6 +45,7 @@ impl std::fmt::Debug for StatusShared {
             .field("page", &self.page)
             .field("telemetry", &self.telemetry)
             .field("control", &self.control().is_some())
+            .field("events", &self.events().is_some())
             .finish()
     }
 }
@@ -54,7 +58,41 @@ impl StatusShared {
             page: Mutex::new(String::from("TORPEDO campaign status\nno rounds yet\n")),
             telemetry,
             control: Mutex::new(None),
+            events: Mutex::new(None),
+            health: Mutex::new(None),
+            extra_prom: Mutex::new(String::new()),
         }
+    }
+
+    /// Mount an event log: `/events?since=N` serves its live tail.
+    pub fn set_events(&self, events: EventLog) {
+        *self.events.lock().expect("status events lock") = Some(events);
+    }
+
+    fn events(&self) -> Option<EventLog> {
+        self.events.lock().expect("status events lock").clone()
+    }
+
+    /// Publish (or refresh) the `/health` page. `None` until the first
+    /// call; the route answers 404 until then so a probe can tell "no
+    /// health detectors configured" from "healthy".
+    pub fn set_health_page(&self, page: String) {
+        *self.health.lock().expect("status health lock") = Some(page);
+    }
+
+    fn health_page(&self) -> Option<String> {
+        self.health.lock().expect("status health lock").clone()
+    }
+
+    /// Append a pre-rendered exposition chunk (fleet health gauges) to the
+    /// `/metrics.prom` output. The caller owns validity; the CI probe runs
+    /// the combined exposition through `check_exposition`.
+    pub fn set_extra_prom(&self, chunk: String) {
+        *self.extra_prom.lock().expect("status prom lock") = chunk;
+    }
+
+    fn extra_prom(&self) -> String {
+        self.extra_prom.lock().expect("status prom lock").clone()
     }
 
     /// Mount a control plane: `POST` requests are routed through it. The
@@ -202,20 +240,53 @@ fn handle_connection(mut stream: TcpStream, shared: &StatusShared) -> io::Result
     let parsed = parse_request_line(&request);
     shared.telemetry.incr(CounterId::StatusRequests);
 
-    let route = |path: &str| -> (&'static str, &'static str, String) {
+    let route = |path: &str, target: &str, wait: bool| -> (&'static str, &'static str, String) {
         match path {
             "/" | "/status" => ("200 OK", "text/plain; charset=utf-8", shared.page()),
             "/metrics" => ("200 OK", "application/json", shared.telemetry.export_json()),
-            "/metrics.prom" => (
-                "200 OK",
-                "text/plain; version=0.0.4; charset=utf-8",
-                crate::prom::prometheus_exposition(&shared.telemetry),
-            ),
+            "/metrics.prom" => {
+                let mut body = crate::prom::prometheus_exposition(&shared.telemetry);
+                body.push_str(&shared.extra_prom());
+                ("200 OK", "text/plain; version=0.0.4; charset=utf-8", body)
+            }
             "/trace.json" => (
                 "200 OK",
                 "application/json",
                 crate::trace::chrome_trace_json(&shared.telemetry),
             ),
+            "/events" => match shared.events() {
+                None => (
+                    "404 Not Found",
+                    "text/plain; charset=utf-8",
+                    String::from("no event log mounted\n"),
+                ),
+                Some(events) => {
+                    let since = query_param(target, "since")
+                        .and_then(|v| v.parse::<u64>().ok())
+                        .unwrap_or(0);
+                    // Long-poll, capped short: the serve loop handles one
+                    // connection at a time, so a caught-up tail waits at
+                    // most ~400 ms for fresh events before answering empty
+                    // rather than starving the other routes.
+                    if wait {
+                        for _ in 0..40 {
+                            if events.appended() > since {
+                                break;
+                            }
+                            thread::sleep(Duration::from_millis(10));
+                        }
+                    }
+                    ("200 OK", "application/json", events.since_json(since))
+                }
+            },
+            "/health" => match shared.health_page() {
+                Some(page) => ("200 OK", "text/plain; charset=utf-8", page),
+                None => (
+                    "404 Not Found",
+                    "text/plain; charset=utf-8",
+                    String::from("no health detectors mounted\n"),
+                ),
+            },
             _ => (
                 "404 Not Found",
                 "text/plain; charset=utf-8",
@@ -225,14 +296,15 @@ fn handle_connection(mut stream: TcpStream, shared: &StatusShared) -> io::Result
     };
 
     let (status, content_type, body, include_body, allow) = match &parsed {
-        Some((method, path, _)) if method == "GET" => {
-            let (status, content_type, body) = route(path);
+        Some((method, path, target)) if method == "GET" => {
+            let (status, content_type, body) = route(path, target, true);
             (status, content_type, body, true, false)
         }
         // HEAD mirrors GET's status line and headers (Content-Length
-        // included) with no body, per RFC 9110 §9.3.2.
-        Some((method, path, _)) if method == "HEAD" => {
-            let (status, content_type, body) = route(path);
+        // included) with no body, per RFC 9110 §9.3.2 — and never
+        // long-polls, so probes answer promptly.
+        Some((method, path, target)) if method == "HEAD" => {
+            let (status, content_type, body) = route(path, target, false);
             (status, content_type, body, false, false)
         }
         // POST goes to the mounted control plane (raw target, query string
@@ -312,6 +384,16 @@ fn parse_request_line(request: &str) -> Option<(String, String, String)> {
     parts.next()?.starts_with("HTTP/").then_some(())?;
     let path = target.split('?').next().unwrap_or(target);
     Some((method.to_string(), path.to_string(), target.to_string()))
+}
+
+/// The value of `key` in a request target's query string (`/events?since=7`),
+/// `None` when the target has no query or the key is absent.
+fn query_param<'a>(target: &'a str, key: &str) -> Option<&'a str> {
+    let (_, query) = target.split_once('?')?;
+    query.split('&').find_map(|pair| {
+        let (k, v) = pair.split_once('=')?;
+        (k == key).then_some(v)
+    })
 }
 
 /// The `Content-Length` of a request-header block, `0` when absent or
@@ -523,6 +605,63 @@ mod tests {
             assert_eq!(server.local_addr(), addr);
             drop(server);
         }
+    }
+
+    #[test]
+    fn serves_event_tail_and_health_page() {
+        use crate::events::EventKind;
+        let shared = Arc::new(StatusShared::new(Telemetry::disabled()));
+        let server = StatusServer::bind("127.0.0.1:0", Arc::clone(&shared)).unwrap();
+        let addr = server.local_addr();
+
+        // Unmounted routes answer 404, distinguishably from empty.
+        let (head, _) = http_get(addr, "/events").unwrap();
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+        let (head, _) = http_get(addr, "/health").unwrap();
+        assert!(head.starts_with("HTTP/1.1 404"), "{head}");
+
+        let log = EventLog::enabled();
+        log.emit(0, 0, EventKind::RoundCompleted, 12, 1, "");
+        log.emit(1, 1, EventKind::Crash, 1, 0, "boom");
+        shared.set_events(log.clone());
+        shared.set_health_page("fleet health\nall campaigns healthy\n".to_string());
+
+        let (head, body) = http_get(addr, "/events?since=1").unwrap();
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(body.contains("\"schema\":\"torpedo-events-v1\""), "{body}");
+        assert!(body.contains("\"next\":2"), "{body}");
+        assert!(body.contains("\"kind\":\"crash\""), "{body}");
+        assert!(!body.contains("round-completed"), "{body}");
+
+        // A caught-up tail answers empty after the capped long-poll
+        // instead of blocking the server.
+        let started = std::time::Instant::now();
+        let (_, body) = http_get(addr, "/events?since=2").unwrap();
+        assert!(body.contains("\"events\":[]"), "{body}");
+        assert!(started.elapsed() < Duration::from_secs(2));
+
+        let (head, body) = http_get(addr, "/health").unwrap();
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert_eq!(body, "fleet health\nall campaigns healthy\n");
+    }
+
+    #[test]
+    fn extra_prom_chunk_is_appended_to_the_exposition() {
+        let shared = Arc::new(StatusShared::new(Telemetry::disabled()));
+        shared.set_extra_prom(
+            "# HELP torpedo_fleet_health_findings Active fleet health findings.\n\
+             # TYPE torpedo_fleet_health_findings gauge\n\
+             torpedo_fleet_health_findings{detector=\"coverage-plateau\"} 2\n"
+                .to_string(),
+        );
+        let server = StatusServer::bind("127.0.0.1:0", Arc::clone(&shared)).unwrap();
+        let (head, body) = http_get(server.local_addr(), "/metrics.prom").unwrap();
+        assert!(head.starts_with("HTTP/1.1 200"), "{head}");
+        assert!(
+            body.contains("torpedo_fleet_health_findings{detector=\"coverage-plateau\"} 2\n"),
+            "{body}"
+        );
+        crate::prom::check_exposition(&body).unwrap();
     }
 
     #[test]

@@ -62,6 +62,14 @@ echo "ci: directed smoke (distance steering <= undirected per family, determinis
 run build --release -p torpedo-bench --bin directed_probe
 ./target/release/directed_probe --self-test
 
+echo "ci: observatory smoke (journal byte-identical at 1/2/4 workers, live tail, /health)"
+run build --release -p torpedo-bench --bin events_probe
+./target/release/events_probe --self-test
+
+echo "ci: observatory inspector smoke (journal round-trip, tamper rejection, series)"
+run build --release -p torpedo-bench --bin events_inspect
+./target/release/events_inspect --self-test
+
 echo "ci: parser fuzz smoke (in-tree fallback fuzzer, ~30s time-box)"
 run build --release -p torpedo-bench --bin parser_fuzz
 ./target/release/parser_fuzz --secs 30
@@ -101,7 +109,9 @@ for key in '"dispatch"' '"nr_of_speedup"' '"fuzz_throughput"' '"execs_per_sec"' 
            '"lock_wait_ns"' '"kernel_wait_ns"' '"durability"' \
            '"overhead_off_pct"' '"resume_byte_identical"' '"fleet"' \
            '"scheduler_overhead_pct"' '"bandit_executions"' '"directed"' \
-           '"directed_execs_to_first_flag"' '"overhead_no_target_pct"'; do
+           '"directed_execs_to_first_flag"' '"overhead_no_target_pct"' \
+           '"events"' '"overhead_on_pct"' '"events_emitted"' \
+           '"report_identical"'; do
   grep -q "$key" BENCH_fuzz.json \
     || { echo "ci: BENCH_fuzz.json missing $key" >&2; exit 1; }
 done
@@ -235,6 +245,20 @@ if pct >= 2.0:
     sys.exit(f"ci: directed no-target overhead {pct:.2f}% >= 2% budget")
 if not d["no_target_report_identical"]:
     sys.exit("ci: unreachable-target campaign diverged from the undirected run")
+PY
+
+echo "ci: events gate (events-on overhead < 2%, report byte-identical)"
+python3 - BENCH_fuzz.json <<'PY'
+import json, sys
+d = json.load(open(sys.argv[1]))["events"]
+pct = d["overhead_on_pct"]
+print(f"ci: events-on overhead {pct:.2f}% (limit 2.00%), "
+      f"{d['events_emitted']} events emitted, journaled overhead "
+      f"{d['overhead_journaled_pct']:.2f}% (ungated)")
+if pct >= 2.0:
+    sys.exit(f"ci: events-on overhead {pct:.2f}% >= 2% budget")
+if not d["report_identical"]:
+    sys.exit("ci: events-on campaign report diverged from the events-off run")
 PY
 
 echo "ci: all gates passed"

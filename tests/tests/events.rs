@@ -1,0 +1,227 @@
+//! Fleet-observatory invariants (DESIGN.md §5g): the event pipeline must
+//! never perturb results, must be a pure function of the logical
+//! schedule, and must survive kill/resume byte-identically.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use proptest::prelude::*;
+
+use torpedo_core::campaign::{Campaign, CampaignConfig, CampaignReport};
+use torpedo_core::fleet::{Fleet, FleetConfig, FleetSpec};
+use torpedo_core::logfmt::write_round;
+use torpedo_core::observer::ObserverConfig;
+use torpedo_core::seeds::{default_denylist, SeedCorpus};
+use torpedo_core::snapshot::checkpoint_file_name;
+use torpedo_core::{load_checkpoint, CheckpointConfig};
+use torpedo_kernel::Usecs;
+use torpedo_oracle::CpuOracle;
+use torpedo_prog::{build_table, MutatePolicy, SyscallDesc};
+use torpedo_telemetry::{load_journal, EventLog, Series, DEFAULT_BUCKET_ROUNDS};
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("torpedo-events-{}-{tag}", std::process::id()));
+    fs::remove_dir_all(&dir).ok();
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn campaign_config(seed: u64) -> CampaignConfig {
+    CampaignConfig {
+        observer: ObserverConfig {
+            window: Usecs::from_secs(1),
+            executors: 2,
+            runtime: "runc".to_string(),
+            ..ObserverConfig::default()
+        },
+        mutate: MutatePolicy {
+            denylist: default_denylist(),
+            ..MutatePolicy::default()
+        },
+        seed,
+        max_rounds_per_batch: 3,
+        ..CampaignConfig::default()
+    }
+}
+
+fn campaign_seeds(table: &[SyscallDesc]) -> SeedCorpus {
+    SeedCorpus::load(
+        &[
+            "socket(0x9, 0x3, 0x0)\nsocket(0x9, 0x3, 0x0)\n",
+            "getpid()\nuname(0x0)\n",
+            "sync()\n",
+        ],
+        table,
+        &default_denylist(),
+    )
+    .unwrap()
+}
+
+/// The byte-identity oracle shared with the durability suite: the full
+/// report rendering plus the logfmt stream every round would be written
+/// with.
+fn render_report(report: &CampaignReport, table: &[SyscallDesc]) -> String {
+    let mut out = format!("{report:?}\n");
+    for log in &report.logs {
+        out.push_str(&write_round(log, table));
+    }
+    out
+}
+
+const TENANT_SEEDS: &[&str] = &[
+    "socket(0x9, 0x3, 0x0)\nsocket(0x9, 0x3, 0x0)\n",
+    "getpid()\nuname(0x0)\n",
+    "sync()\n",
+    "stat(&'/etc/passwd', 0x0)\n",
+];
+
+fn fleet_spec(i: usize, table: &Arc<[SyscallDesc]>) -> FleetSpec {
+    let mut config = campaign_config(0xEE_0000 + i as u64);
+    config.observer.executors = 1;
+    FleetSpec {
+        name: format!("tenant-{i}"),
+        config,
+        table: Arc::clone(table),
+        seeds: SeedCorpus::load(
+            &[TENANT_SEEDS[i % TENANT_SEEDS.len()]],
+            table,
+            &default_denylist(),
+        )
+        .unwrap(),
+        oracle: Arc::new(CpuOracle::new()),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Attaching the event pipeline — ring only or ring + journal — must
+    /// not change a single byte of the campaign report, for arbitrary
+    /// campaign seeds.
+    #[test]
+    fn events_on_and_off_reports_are_byte_identical(seed in any::<u64>()) {
+        let table = build_table();
+        let seeds = campaign_seeds(&table);
+        let oracle = CpuOracle::new();
+        let run = |events: EventLog| {
+            let mut config = campaign_config(seed);
+            config.events = events;
+            let report = Campaign::new(config, table.clone())
+                .run(&seeds, &oracle)
+                .unwrap();
+            render_report(&report, &table)
+        };
+        let dir = scratch("onoff");
+        let off = run(EventLog::disabled());
+        let ring = run(EventLog::enabled());
+        let journaled = run(EventLog::journaled(&dir.join("events.ndjson")).unwrap());
+        prop_assert_eq!(&off, &ring, "in-memory events perturbed the report");
+        prop_assert_eq!(&off, &journaled, "journaled events perturbed the report");
+        fs::remove_dir_all(&dir).ok();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// The journal and its folded logical-time series are pure functions
+    /// of the schedule: byte-identical at 1, 2, and 4 workers, with the
+    /// working set bounded so park/unpark events are in the stream too.
+    #[test]
+    fn fleet_journal_and_series_are_worker_count_invariant(
+        fleet_seed in any::<u64>(),
+        campaigns in 4usize..7,
+    ) {
+        let table: Arc<[SyscallDesc]> = build_table().into();
+        let dir = scratch("workers");
+        let mut journals = Vec::new();
+        for workers in [1usize, 2, 4] {
+            let path = dir.join(format!("events-w{workers}.ndjson"));
+            let mut fleet = Fleet::new(FleetConfig {
+                seed: fleet_seed,
+                workers,
+                max_active: 3,
+                window_rounds: 2,
+                window_rounds_max: 5,
+                starvation_windows: 2,
+                round_budget: 48,
+                events: EventLog::journaled(&path).unwrap(),
+                ..FleetConfig::default()
+            });
+            for i in 0..campaigns {
+                fleet.admit(fleet_spec(i, &table));
+            }
+            fleet.run().unwrap();
+            journals.push((workers, fs::read_to_string(&path).unwrap()));
+        }
+        let (_, reference) = &journals[0];
+        prop_assert!(reference.lines().count() > 2, "journal must not be empty");
+        for (workers, bytes) in &journals[1..] {
+            prop_assert_eq!(
+                reference,
+                bytes,
+                "event journal diverged between 1 and {} workers",
+                workers
+            );
+        }
+        let journal = load_journal(&dir.join("events-w1.ndjson")).unwrap();
+        let series = Series::from_events(journal.events.iter(), DEFAULT_BUCKET_ROUNDS);
+        prop_assert!(!series.campaign_ids().is_empty());
+        fs::remove_dir_all(&dir).ok();
+    }
+}
+
+/// Kill/resume with the journal attached: resuming from **every** round-r
+/// checkpoint re-emits the replayed rounds' events with their original
+/// sequence numbers, so both the final report and the resumed journal are
+/// byte-identical to the uninterrupted run's.
+#[test]
+fn kill_at_any_round_resume_rebuilds_an_identical_journal() {
+    let table = build_table();
+    let base = scratch("resume");
+    let durable = |dir: PathBuf, journal: &std::path::Path| {
+        let mut config = campaign_config(0x0B5E_CAFE);
+        config.checkpoint = Some(CheckpointConfig {
+            dir,
+            interval_rounds: 1,
+            keep: 64,
+        });
+        config.events = EventLog::journaled(journal).unwrap();
+        config
+    };
+    let writer_journal = base.join("writer-events.ndjson");
+    let writer = Campaign::new(durable(base.join("writer"), &writer_journal), table.clone());
+    let report = writer
+        .run(&campaign_seeds(&table), &CpuOracle::new())
+        .unwrap();
+    let want_report = render_report(&report, &table);
+    drop(writer);
+    let want_journal = fs::read_to_string(&writer_journal).unwrap();
+    assert!(report.rounds_total >= 6, "two batches must run");
+
+    for r in 1..=report.rounds_total {
+        let bundle = load_checkpoint(&base.join("writer").join(checkpoint_file_name(r)))
+            .unwrap_or_else(|e| panic!("round {r} checkpoint must load: {e}"));
+        let resumed_journal = base.join(format!("resume-{r}-events.ndjson"));
+        let resumed = Campaign::new(
+            durable(base.join(format!("resume-{r}")), &resumed_journal),
+            table.clone(),
+        );
+        let resumed_report = resumed
+            .resume(&bundle, &CpuOracle::new())
+            .unwrap_or_else(|e| panic!("resume from round {r} must succeed: {e}"));
+        assert_eq!(
+            render_report(&resumed_report, &table),
+            want_report,
+            "resume from round {r} must render byte-identically"
+        );
+        drop(resumed);
+        assert_eq!(
+            fs::read_to_string(&resumed_journal).unwrap(),
+            want_journal,
+            "journal resumed from round {r} must be byte-identical"
+        );
+    }
+    fs::remove_dir_all(&base).ok();
+}
